@@ -1,0 +1,61 @@
+// E10 — Ablation: cost of dependency-stability gating at the head.
+//
+// A write must wait until its dependencies are DC-Write-Stable. The wait is
+// only visible when a client writes very soon after reading data whose
+// chain has not yet stabilized — i.e. under low think time and high write
+// rates. Expected shape: the fraction of gated writes and the mean wait
+// drop quickly as client think time grows (propagation to the tail hides
+// behind client latency), which is the paper's argument for why the gating
+// is cheap in practice.
+#include <cstdio>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+#include "bench/bench_util.h"
+
+using namespace chainreaction;
+
+namespace {
+
+void Row(Duration think, const char* label) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 16;
+  opts.clients_per_dc = 48;
+  opts.k_stability = 1;  // maximally exposes the unstable window
+  opts.seed = 7;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(1000, 1024);
+  run.warmup = 300 * kMillisecond;
+  run.measure = 1500 * kMillisecond;
+  run.think_time = think;
+  const RunResult result = RunWorkload(&cluster, run);
+
+  const uint64_t waits = cluster.TotalDepWaits();
+  const uint64_t writes = cluster.TotalWritesApplied();
+  const double wait_frac =
+      writes == 0 ? 0 : 100.0 * static_cast<double>(waits) / static_cast<double>(writes);
+  const Histogram hist = cluster.MergedDepWaitHist();
+  PrintTableRow({label, Fmt("%.0f", result.throughput_ops_sec), FmtU(waits),
+                 Fmt("%.2f%%", wait_frac), Fmt("%.0fus", hist.Mean()),
+                 FormatMicros(hist.P99())});
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  PrintTableHeader("E10: dependency-gating cost vs client think time (k=1, YCSB-A)",
+                   {"think time", "ops/s", "gated writes", "gated frac", "mean wait", "p99 wait"});
+  Row(0, "0");
+  Row(1 * kMillisecond, "1ms");
+  Row(5 * kMillisecond, "5ms");
+  Row(20 * kMillisecond, "20ms");
+  std::printf(
+      "(the mean wait stays ~1 intra-DC RTT: by the time the head's stability check\n"
+      " reaches the dependency's tail the version is almost always stable already, so\n"
+      " the check round trip itself — not blocking — is the dominant gating cost)\n\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+// E3 — Figure: read and write latency (mean / p50 / p99) per system, YCSB
+// A (update-heavy) and B (read-heavy).
+//
+// Paper shape: ChainReaction reads are served by one hop to any allowed
+// replica (low, flat); CRAQ reads spike under writes (dirty objects add a
+// tail round trip); CR writes and CRAQ writes traverse the full chain;
+// ChainReaction writes stop at node k (here k=2 of R=3), so they sit
+// between R1W1's single-replica ack and CR's full-chain ack.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace chainreaction;
+
+namespace {
+
+void LatencyTable(const WorkloadSpec& spec, const char* title) {
+  PrintTableHeader(title, {"system", "rd-mean", "rd-p50", "rd-p99", "wr-mean", "wr-p50",
+                           "wr-p99"});
+  for (SystemKind system : AllSystems()) {
+    CellOptions cell;
+    cell.system = system;
+    cell.spec = spec;
+    CellResult result = RunCell(cell);
+    const Histogram& r = result.run.stats.read_latency;
+    const Histogram& w = result.run.stats.write_latency;
+    PrintTableRow({SystemKindName(system), Fmt("%.0fus", r.Mean()),
+                   FormatMicros(r.P50()), FormatMicros(r.P99()),
+                   w.count() > 0 ? Fmt("%.0fus", w.Mean()) : "-",
+                   w.count() > 0 ? FormatMicros(w.P50()) : "-",
+                   w.count() > 0 ? FormatMicros(w.P99()) : "-"});
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+
+int main() {
+  LatencyTable(WorkloadSpec::A(1000, 1024), "E3a: latency, YCSB-A (50/50)");
+  LatencyTable(WorkloadSpec::B(1000, 1024), "E3b: latency, YCSB-B (95/5)");
+  std::printf("\n");
+  return 0;
+}

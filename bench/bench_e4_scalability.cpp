@@ -1,0 +1,38 @@
+// E4 — Figure: throughput scalability with cluster size, YCSB-B.
+//
+// Clients scale with servers (3 per server), so per-server load is
+// constant: a scalable system grows near-linearly. Paper shape: all chain
+// systems scale with servers; ChainReaction keeps its advantage over CRAQ
+// and CR at every size because read capacity grows with the whole chain,
+// not just the tails.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace chainreaction;
+
+int main() {
+  const uint32_t sizes[] = {8, 16, 24, 32};
+  const SystemKind systems[] = {SystemKind::kChainReaction, SystemKind::kCraq, SystemKind::kCr,
+                                SystemKind::kEventualOne};
+
+  PrintTableHeader("E4: throughput (ops/s) vs cluster size, YCSB-B, 8 clients/server",
+                   {"system", "8 srv", "16 srv", "24 srv", "32 srv"});
+  for (SystemKind system : systems) {
+    std::vector<std::string> row = {SystemKindName(system)};
+    for (uint32_t servers : sizes) {
+      CellOptions cell;
+      cell.system = system;
+      cell.servers = servers;
+      cell.clients = servers * 8;
+      cell.spec = WorkloadSpec::B(1000, 1024);
+      cell.measure = 1 * kSecond;
+      CellResult result = RunCell(cell);
+      row.push_back(Fmt("%.0f", result.run.throughput_ops_sec));
+      std::fflush(stdout);
+    }
+    PrintTableRow(row);
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,157 @@
+// M1-M5 — google-benchmark micro-benchmarks for the hot substrate paths:
+// message serialization, ring chain lookup, versioned-store operations,
+// zipfian generation, histogram recording, and the causal checker.
+#include <benchmark/benchmark.h>
+
+#include "src/checker/causal_checker.h"
+#include "src/common/histogram.h"
+#include "src/common/rng.h"
+#include "src/msg/message.h"
+#include "src/ring/ring.h"
+#include "src/storage/versioned_store.h"
+#include "src/ycsb/generators.h"
+#include "src/ycsb/workload.h"
+
+namespace chainreaction {
+namespace {
+
+void BM_EncodeChainPut(benchmark::State& state) {
+  CrxChainPut msg;
+  msg.key = "user000000012345";
+  msg.value = std::string(static_cast<size_t>(state.range(0)), 'v');
+  msg.version.vv = VersionVector(2);
+  msg.version.vv.Set(0, 123);
+  msg.version.lamport = 123456789;
+  msg.deps.push_back(Dependency{"user000000000007", msg.version});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EncodeMessage(msg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EncodeChainPut)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_DecodeChainPut(benchmark::State& state) {
+  CrxChainPut msg;
+  msg.key = "user000000012345";
+  msg.value = std::string(static_cast<size_t>(state.range(0)), 'v');
+  msg.version.vv = VersionVector(2);
+  const std::string payload = EncodeMessage(msg);
+  for (auto _ : state) {
+    CrxChainPut out;
+    benchmark::DoNotOptimize(DecodeMessage(payload, &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodeChainPut)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_RingChainLookupCold(benchmark::State& state) {
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < static_cast<NodeId>(state.range(0)); ++n) {
+    nodes.push_back(n);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    // Fresh ring per batch to measure uncached lookups.
+    state.PauseTiming();
+    Ring ring(nodes, 16, 3);
+    state.ResumeTiming();
+    for (int j = 0; j < 64; ++j) {
+      benchmark::DoNotOptimize(ring.ChainFor(RecordKey(i++ % 4096)));
+    }
+  }
+}
+BENCHMARK(BM_RingChainLookupCold)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_RingChainLookupCached(benchmark::State& state) {
+  std::vector<NodeId> nodes;
+  for (NodeId n = 0; n < 64; ++n) {
+    nodes.push_back(n);
+  }
+  Ring ring(nodes, 16, 3);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.ChainFor(RecordKey(i++ % 1024)));
+  }
+}
+BENCHMARK(BM_RingChainLookupCached);
+
+void BM_StoreApply(benchmark::State& state) {
+  VersionedStore store;
+  uint64_t lamport = 1;
+  for (auto _ : state) {
+    Version v;
+    v.vv = VersionVector(1);
+    v.vv.Set(0, lamport);
+    v.lamport = lamport++;
+    store.Apply(RecordKey(lamport % 1024), "value-payload-128-bytes", v);
+    if ((lamport & 0xff) == 0) {
+      store.MarkStable(RecordKey(lamport % 1024), v);
+    }
+  }
+}
+BENCHMARK(BM_StoreApply);
+
+void BM_StoreLatest(benchmark::State& state) {
+  VersionedStore store;
+  for (uint64_t i = 0; i < 1024; ++i) {
+    Version v;
+    v.vv = VersionVector(1);
+    v.vv.Set(0, 1);
+    v.lamport = i + 1;
+    store.Apply(RecordKey(i), "value", v);
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Latest(RecordKey(i++ % 1024)));
+  }
+}
+BENCHMARK(BM_StoreLatest);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianChooser zipf(static_cast<uint64_t>(state.range(0)));
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext)->Arg(10000)->Arg(10000000);
+
+void BM_ScrambledZipfianNext(benchmark::State& state) {
+  ScrambledZipfianChooser zipf(1000000);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ScrambledZipfianNext);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  Histogram h;
+  Rng rng(1);
+  for (auto _ : state) {
+    h.Record(static_cast<int64_t>(rng.NextBelow(1000000)));
+  }
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_CausalCheckerRead(benchmark::State& state) {
+  CausalChecker checker;
+  Version v;
+  v.vv = VersionVector(2);
+  v.vv.Set(0, 1);
+  v.lamport = 1;
+  for (uint32_t s = 0; s < 16; ++s) {
+    checker.RecordWrite(s, RecordKey(s), v, {});
+  }
+  uint64_t i = 0;
+  for (auto _ : state) {
+    checker.RecordRead(static_cast<uint32_t>(i % 16), RecordKey(i % 16), true, v);
+    i++;
+  }
+}
+BENCHMARK(BM_CausalCheckerRead);
+
+}  // namespace
+}  // namespace chainreaction
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Shared helpers for the experiment binaries (bench_e1 ... bench_e10).
+//
+// Each binary regenerates one table/figure of the paper's evaluation: it
+// builds simulated clusters, drives YCSB workloads, and prints the rows the
+// paper reports. Absolute numbers come from the simulator's cost model; the
+// *shape* (system ranking, crossover points, scaling behaviour) is the
+// reproduction target — see EXPERIMENTS.md.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+
+namespace chainreaction {
+
+struct CellOptions {
+  SystemKind system = SystemKind::kChainReaction;
+  // The default cell saturates the servers with byte-weighted service
+  // costs (10us + 0.2us/B in each direction: a node spends ~215us
+  // receiving or sending a 1 KiB value, ~15us on a control message — a
+  // FAWN-class backend). That is the regime of the paper's evaluation:
+  // read capacity limits throughput, the zipfian hot keys pin their
+  // chains, and who may serve (and pay to return) a hot value decides the
+  // ranking, while small causality-control messages stay cheap.
+  uint32_t servers = 12;
+  uint32_t clients = 96;
+  uint32_t replication = 3;
+  uint32_t k_stability = 2;
+  uint16_t num_dcs = 1;
+  uint64_t seed = 7;
+  WorkloadSpec spec;
+  Duration warmup = 300 * kMillisecond;
+  Duration measure = 1 * kSecond;
+  Duration think_time = 0;
+  ServiceModel server_service{10, 0.2, 5, 0, 0.2};
+};
+
+struct CellResult {
+  RunResult run;
+  std::unique_ptr<Cluster> cluster;  // retained for post-run introspection
+};
+
+inline CellResult RunCell(const CellOptions& cell) {
+  ClusterOptions opts;
+  opts.system = cell.system;
+  opts.servers_per_dc = cell.servers;
+  opts.clients_per_dc = cell.clients / std::max<uint16_t>(1, cell.num_dcs);
+  opts.replication = cell.replication;
+  opts.k_stability = cell.k_stability;
+  opts.num_dcs = cell.num_dcs;
+  opts.seed = cell.seed;
+  opts.server_service = cell.server_service;
+
+  CellResult out;
+  out.cluster = std::make_unique<Cluster>(opts);
+  RunOptions run;
+  run.spec = cell.spec;
+  run.warmup = cell.warmup;
+  run.measure = cell.measure;
+  run.think_time = cell.think_time;
+  out.run = RunWorkload(out.cluster.get(), run);
+  return out;
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string FmtU(uint64_t v) { return std::to_string(v); }
+
+inline const std::vector<SystemKind>& AllSystems() {
+  static const std::vector<SystemKind> kSystems = {
+      SystemKind::kChainReaction, SystemKind::kCraq, SystemKind::kCr,
+      SystemKind::kEventualOne, SystemKind::kQuorum};
+  return kSystems;
+}
+
+}  // namespace chainreaction
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,199 @@
+// Interactive shell against a ChainReaction cluster running over loopback
+// TCP — a tiny "redis-cli" for the datastore. Commands:
+//
+//   put <key> <value>     write (shows assigned version + carried deps)
+//   mget <k1> <k2> ...    causally consistent snapshot read
+//   get <key>             read (shows version, chain position, stability)
+//   meta <key>            client metadata for the key
+//   session               accessed-set summary
+//   reset                 forget session state
+//   quit
+//
+//   $ ./build/examples/kv_shell [num_servers] [R] [k]
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/chainreaction_client.h"
+#include "src/core/chainreaction_node.h"
+#include "src/net/address_book.h"
+#include "src/net/sync_client.h"
+#include "src/net/tcp_runtime.h"
+#include "src/ring/ring.h"
+
+using namespace chainreaction;
+
+int main(int argc, char** argv) {
+  const uint32_t servers = argc > 1 ? static_cast<uint32_t>(std::stoul(argv[1])) : 6;
+  const uint32_t replication = argc > 2 ? static_cast<uint32_t>(std::stoul(argv[2])) : 3;
+  const uint32_t k = argc > 3 ? static_cast<uint32_t>(std::stoul(argv[3])) : 2;
+  if (replication > servers || k > replication || k == 0) {
+    std::fprintf(stderr, "need servers >= R >= k >= 1\n");
+    return 1;
+  }
+
+  AddressBook book;
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < servers; ++n) {
+    ids.push_back(n);
+  }
+  const Ring ring(ids, 16, replication, 1);
+
+  CrxConfig cfg;
+  cfg.replication = replication;
+  cfg.k_stability = k;
+  cfg.client_timeout = 2 * kSecond;
+
+  std::vector<std::unique_ptr<TcpRuntime>> runtimes;
+  std::vector<std::unique_ptr<ChainReactionNode>> nodes;
+  for (NodeId n = 0; n < servers; ++n) {
+    auto rt = std::make_unique<TcpRuntime>(&book);
+    auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
+    node->AttachEnv(rt->Register(n, node.get()));
+    nodes.push_back(std::move(node));
+    runtimes.push_back(std::move(rt));
+  }
+  auto client_rt = std::make_unique<TcpRuntime>(&book);
+  auto client = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 1);
+  client->AttachEnv(client_rt->Register(kClientAddressBase, client.get()));
+  for (auto& rt : runtimes) {
+    rt->Start();
+  }
+  client_rt->Start();
+  SyncClient kv(client.get(), client_rt.get());
+
+  std::printf("chainreaction shell — %u servers over loopback TCP, R=%u, k=%u\n", servers,
+              replication, k);
+  std::printf("type 'help' for commands\n");
+
+  std::string line;
+  while (true) {
+    std::printf("crx> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) {
+      break;
+    }
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd.empty()) {
+      continue;
+    }
+    if (cmd == "quit" || cmd == "exit") {
+      break;
+    }
+    if (cmd == "help") {
+      std::printf(
+          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | reset | quit\n");
+      continue;
+    }
+    if (cmd == "put") {
+      std::string key, value;
+      in >> key;
+      std::getline(in, value);
+      if (!value.empty() && value.front() == ' ') {
+        value.erase(0, 1);
+      }
+      if (key.empty()) {
+        std::printf("usage: put <key> <value>\n");
+        continue;
+      }
+      const auto r = kv.Put(key, value);
+      std::printf("OK version=%s deps_carried=%zu\n", r.version.ToString().c_str(),
+                  r.deps.size());
+      continue;
+    }
+    if (cmd == "get") {
+      std::string key;
+      in >> key;
+      if (key.empty()) {
+        std::printf("usage: get <key>\n");
+        continue;
+      }
+      const auto r = kv.Get(key);
+      if (!r.found) {
+        std::printf("(nil)\n");
+      } else {
+        std::printf("\"%s\"  version=%s position=%u\n", r.value.c_str(),
+                    r.version.ToString().c_str(), r.answered_by_position);
+      }
+      continue;
+    }
+    if (cmd == "mget") {
+      std::vector<Key> keys;
+      std::string k2;
+      while (in >> k2) {
+        keys.push_back(k2);
+      }
+      if (keys.empty()) {
+        std::printf("usage: mget <key> <key> ...\n");
+        continue;
+      }
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      ChainReactionClient::MultiGetResult result;
+      client_rt->Post([&]() {
+        client->MultiGet(keys, [&](const ChainReactionClient::MultiGetResult& r) {
+          std::lock_guard<std::mutex> lock(mu);
+          result = r;
+          done = true;
+          cv.notify_one();
+        });
+      });
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done; });
+      }
+      std::printf("snapshot in %u round%s:\n", result.rounds, result.rounds == 1 ? "" : "s");
+      for (size_t i = 0; i < keys.size(); ++i) {
+        const auto& r = result.results[i];
+        if (r.found) {
+          std::printf("  %s = \"%s\"  version=%s\n", keys[i].c_str(), r.value.c_str(),
+                      r.version.ToString().c_str());
+        } else {
+          std::printf("  %s = (nil)\n", keys[i].c_str());
+        }
+      }
+      continue;
+    }
+    if (cmd == "meta") {
+      std::string key;
+      in >> key;
+      Version v;
+      ChainIndex idx = 0;
+      if (client->LookupMetadata(key, &v, &idx)) {
+        std::printf("version=%s chain_index=%u (may read %u of %u nodes)\n",
+                    v.ToString().c_str(), idx, idx, replication);
+      } else {
+        std::printf("(no metadata — reads may go to any of the %u chain nodes)\n",
+                    replication);
+      }
+      continue;
+    }
+    if (cmd == "session") {
+      std::printf("accessed-set: %zu entr%s (~%zu bytes on next put), metadata for %zu keys\n",
+                  client->accessed_set_size(), client->accessed_set_size() == 1 ? "y" : "ies",
+                  client->AccessedSetBytes(), client->metadata_entries());
+      continue;
+    }
+    if (cmd == "reset") {
+      client->ResetSession();
+      std::printf("session state cleared\n");
+      continue;
+    }
+    std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+  }
+
+  client_rt->Stop();
+  for (auto& rt : runtimes) {
+    rt->Stop();
+  }
+  std::printf("bye\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: stand up a simulated ChainReaction datacenter, write and read
+// through the client library, and watch the paper's client metadata
+// (version, chain_index) evolve.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/harness/cluster.h"
+
+using namespace chainreaction;
+
+int main() {
+  // An 8-server datacenter with chains of length 3, acks after k=2 nodes.
+  ClusterOptions options;
+  options.system = SystemKind::kChainReaction;
+  options.servers_per_dc = 8;
+  options.clients_per_dc = 2;
+  options.replication = 3;
+  options.k_stability = 2;
+  Cluster cluster(options);
+
+  ChainReactionClient* alice = cluster.crx_client(0);
+  ChainReactionClient* bob = cluster.crx_client(1);
+
+  std::printf("== ChainReaction quickstart ==\n\n");
+
+  // 1. Alice writes. The ack arrives as soon as the first k=2 chain nodes
+  //    applied the write; metadata records (version, chain_index=2).
+  alice->Put("greeting", "hello causal world", [&](const ChainReactionClient::PutResult& r) {
+    std::printf("alice: put acked, version %s (t=%lldus)\n", r.version.ToString().c_str(),
+                static_cast<long long>(cluster.sim()->Now()));
+  });
+  cluster.sim()->Run();
+
+  Version v;
+  ChainIndex index = 0;
+  alice->LookupMetadata("greeting", &v, &index);
+  std::printf("alice: metadata after put  -> version=%s chain_index=%u (may read %u node%s)\n",
+              v.ToString().c_str(), index, index, index == 1 ? "" : "s");
+
+  // 2. Alice reads her own write. By now the write reached the tail
+  //    (DC-Write-Stable), so the reply lets her spread future reads over
+  //    the whole chain.
+  alice->Get("greeting", [&](const ChainReactionClient::GetResult& r) {
+    std::printf("alice: get -> '%s' from chain position %u\n", r.value.c_str(),
+                r.answered_by_position);
+  });
+  cluster.sim()->Run();
+  alice->LookupMetadata("greeting", &v, &index);
+  std::printf("alice: metadata after read -> chain_index=%u (stable: whole chain)\n\n", index);
+
+  // 3. Bob has no session history, so his first read may hit any replica —
+  //    safe, because writes only become visible after their causal
+  //    dependencies are stable on every replica.
+  for (int i = 0; i < 3; ++i) {
+    bob->Get("greeting", [&](const ChainReactionClient::GetResult& r) {
+      std::printf("bob:   get -> '%s' from chain position %u\n", r.value.c_str(),
+                  r.answered_by_position);
+    });
+    cluster.sim()->Run();
+  }
+
+  // 4. A causal chain across keys: Bob reacts to what he read.
+  bob->Put("reply", "hi alice!", [&](const ChainReactionClient::PutResult& r) {
+    std::printf("\nbob:   put 'reply' carried %zu dependency(ies) on the wire\n", r.deps.size());
+    for (const Dependency& d : r.deps) {
+      std::printf("       dep: key='%s' version=%s\n", d.key.c_str(),
+                  d.version.ToString().c_str());
+    }
+    if (r.deps.empty()) {
+      std::printf("       (bob read 'greeting' as already DC-Write-Stable, so the client\n"
+                  "        library dropped the dependency — the metadata optimization)\n");
+    }
+  });
+  cluster.sim()->Run();
+
+  std::printf("\nDone: %llu messages simulated, %llu bytes on the (simulated) wire.\n",
+              static_cast<unsigned long long>(cluster.net()->messages_delivered()),
+              static_cast<unsigned long long>(cluster.net()->bytes_sent()));
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Real-socket deployment: six ChainReaction server "processes" (one
+// TcpRuntime each) plus a client process, all exchanging length-prefixed
+// frames over loopback TCP. The exact same protocol code as the simulated
+// examples — only the Env implementation differs.
+//
+//   $ ./build/examples/tcp_cluster
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/chainreaction_client.h"
+#include "src/core/chainreaction_node.h"
+#include "src/net/address_book.h"
+#include "src/net/sync_client.h"
+#include "src/net/tcp_runtime.h"
+#include "src/ring/ring.h"
+
+using namespace chainreaction;
+
+int main() {
+  constexpr uint32_t kServers = 6;
+  AddressBook book;
+
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < kServers; ++n) {
+    ids.push_back(n);
+  }
+  const Ring ring(ids, 16, /*replication=*/3, 1);
+
+  CrxConfig cfg;
+  cfg.replication = 3;
+  cfg.k_stability = 2;
+  cfg.client_timeout = 2 * kSecond;
+
+  std::printf("== ChainReaction over loopback TCP ==\n\n");
+
+  std::vector<std::unique_ptr<TcpRuntime>> runtimes;
+  std::vector<std::unique_ptr<ChainReactionNode>> nodes;
+  for (NodeId n = 0; n < kServers; ++n) {
+    auto rt = std::make_unique<TcpRuntime>(&book);
+    auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
+    node->AttachEnv(rt->Register(n, node.get()));
+    std::printf("server %u listening on 127.0.0.1:%u\n", n, rt->port());
+    nodes.push_back(std::move(node));
+    runtimes.push_back(std::move(rt));
+  }
+
+  auto client_rt = std::make_unique<TcpRuntime>(&book);
+  auto client = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 7);
+  client->AttachEnv(client_rt->Register(kClientAddressBase, client.get()));
+  std::printf("client listening on 127.0.0.1:%u\n\n", client_rt->port());
+
+  for (auto& rt : runtimes) {
+    rt->Start();
+  }
+  client_rt->Start();
+
+  SyncClient kv(client.get(), client_rt.get());
+
+  const auto put = kv.Put("user:42:name", "Ada Lovelace");
+  std::printf("put user:42:name -> version %s\n", put.version.ToString().c_str());
+  const auto put2 = kv.Put("user:42:bio", "first programmer");
+  std::printf("put user:42:bio  -> version %s (carried %zu dep)\n",
+              put2.version.ToString().c_str(), put2.deps.size());
+
+  for (int i = 0; i < 4; ++i) {
+    const auto get = kv.Get("user:42:name");
+    std::printf("get user:42:name -> '%s' (chain position %u)\n", get.value.c_str(),
+                get.answered_by_position);
+  }
+
+  uint64_t frames = client_rt->frames_sent();
+  for (const auto& rt : runtimes) {
+    frames += rt->frames_sent();
+  }
+  std::printf("\n%llu TCP frames crossed loopback sockets.\n",
+              static_cast<unsigned long long>(frames));
+
+  client_rt->Stop();
+  for (auto& rt : runtimes) {
+    rt->Stop();
+  }
+  std::printf("clean shutdown.\n");
+  return 0;
+}

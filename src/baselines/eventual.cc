@@ -1,0 +1,359 @@
+#include "src/baselines/eventual.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace chainreaction {
+
+void EventualNode::OnMessage(Address from, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kEvPut: {
+      EvPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandlePut(m);
+      }
+      break;
+    }
+    case MsgType::kEvReplicate: {
+      EvReplicate m;
+      if (DecodeMessage(payload, &m)) {
+        HandleReplicate(m, from);
+      }
+      break;
+    }
+    case MsgType::kEvReplicateAck: {
+      EvReplicateAck m;
+      if (DecodeMessage(payload, &m)) {
+        HandleReplicateAck(m);
+      }
+      break;
+    }
+    case MsgType::kEvGet: {
+      EvGet m;
+      if (DecodeMessage(payload, &m)) {
+        HandleGet(m);
+      }
+      break;
+    }
+    case MsgType::kEvReadQuery: {
+      EvReadQuery m;
+      if (DecodeMessage(payload, &m)) {
+        HandleReadQuery(m, from);
+      }
+      break;
+    }
+    case MsgType::kEvReadReply: {
+      EvReadReply m;
+      if (DecodeMessage(payload, &m)) {
+        HandleReadReply(m, from);
+      }
+      break;
+    }
+    default:
+      LOG_WARN("eventual node %u: unexpected message", id_);
+  }
+}
+
+bool EventualNode::ApplyLocal(const Key& key, const Value& value, const Version& version) {
+  Entry& e = store_[key];
+  if (e.version.IsNull() || e.version.LwwLess(version)) {
+    e.value = value;
+    e.version = version;
+    return true;
+  }
+  return false;
+}
+
+void EventualNode::HandlePut(const EvPut& put) {
+  lamport_ = std::max(lamport_ + 1, static_cast<uint64_t>(env_->Now()));
+  Version version;
+  version.lamport = lamport_;
+  version.origin = static_cast<DcId>(id_ & 0xffff);
+
+  const std::vector<NodeId>& replicas = ring_.ChainFor(put.key);
+  const bool self_replica = std::find(replicas.begin(), replicas.end(), id_) != replicas.end();
+
+  uint32_t acks_needed = consistency_ == EvConsistency::kQuorum ? QuorumSize() : 1;
+  if (self_replica) {
+    ApplyLocal(put.key, put.value, version);
+    acks_needed = acks_needed > 0 ? acks_needed - 1 : 0;
+  }
+
+  uint64_t token = 0;
+  if (acks_needed > 0) {
+    token = next_token_++;
+    PendingWrite& pw = pending_writes_[token];
+    pw.req = put.req;
+    pw.client = put.client;
+    pw.key = put.key;
+    pw.version = version;
+    pw.acks_needed = acks_needed;
+  }
+
+  EvReplicate repl;
+  repl.key = put.key;
+  repl.value = put.value;
+  repl.version = version;
+  repl.token = token;
+  for (NodeId replica : replicas) {
+    if (replica != id_) {
+      env_->Send(replica, EncodeMessage(repl));
+    }
+  }
+
+  if (acks_needed == 0) {
+    EvPutAck ack;
+    ack.req = put.req;
+    ack.key = put.key;
+    ack.version = version;
+    env_->Send(put.client, EncodeMessage(ack));
+  }
+}
+
+void EventualNode::HandleReplicate(const EvReplicate& msg, Address from) {
+  ApplyLocal(msg.key, msg.value, msg.version);
+  lamport_ = std::max(lamport_, msg.version.lamport);
+  if (msg.token != 0) {
+    EvReplicateAck ack{msg.token};
+    env_->Send(from, EncodeMessage(ack));
+  }
+}
+
+void EventualNode::HandleReplicateAck(const EvReplicateAck& msg) {
+  auto it = pending_writes_.find(msg.token);
+  if (it == pending_writes_.end()) {
+    return;
+  }
+  if (--it->second.acks_needed > 0) {
+    return;
+  }
+  EvPutAck ack;
+  ack.req = it->second.req;
+  ack.key = it->second.key;
+  ack.version = it->second.version;
+  env_->Send(it->second.client, EncodeMessage(ack));
+  pending_writes_.erase(it);
+}
+
+void EventualNode::HandleGet(const EvGet& get) {
+  const std::vector<NodeId>& replicas = ring_.ChainFor(get.key);
+  const bool self_replica = std::find(replicas.begin(), replicas.end(), id_) != replicas.end();
+
+  if (consistency_ == EvConsistency::kOne) {
+    // Query a single random replica (ourselves if possible: Cassandra's
+    // coordinator answers locally when it owns the key).
+    if (self_replica) {
+      EvGetReply reply;
+      reply.req = get.req;
+      reply.key = get.key;
+      auto it = store_.find(get.key);
+      if (it != store_.end()) {
+        reply.found = true;
+        reply.value = it->second.value;
+        reply.version = it->second.version;
+      }
+      reads_served_++;
+      env_->Send(get.client, EncodeMessage(reply));
+      return;
+    }
+    const uint64_t token = next_token_++;
+    PendingRead& pr = pending_reads_[token];
+    pr.req = get.req;
+    pr.client = get.client;
+    pr.key = get.key;
+    pr.replies_needed = 1;
+    EvReadQuery q;
+    q.token = token;
+    q.key = get.key;
+    env_->Send(replicas[rng_.NextBelow(replicas.size())], EncodeMessage(q));
+    return;
+  }
+
+  // Quorum read: ask every replica, respond after a majority.
+  const uint64_t token = next_token_++;
+  PendingRead& pr = pending_reads_[token];
+  pr.req = get.req;
+  pr.client = get.client;
+  pr.key = get.key;
+  pr.replies_needed = QuorumSize();
+  if (self_replica) {
+    pr.replies_seen = 1;
+    auto it = store_.find(get.key);
+    if (it != store_.end()) {
+      pr.found = true;
+      pr.best_value = it->second.value;
+      pr.best_version = it->second.version;
+    }
+  }
+  EvReadQuery q;
+  q.token = token;
+  q.key = get.key;
+  for (NodeId replica : replicas) {
+    if (replica != id_) {
+      env_->Send(replica, EncodeMessage(q));
+    }
+  }
+}
+
+void EventualNode::HandleReadQuery(const EvReadQuery& q, Address from) {
+  EvReadReply reply;
+  reply.token = q.token;
+  reply.key = q.key;
+  auto it = store_.find(q.key);
+  if (it != store_.end()) {
+    reply.found = true;
+    reply.value = it->second.value;
+    reply.version = it->second.version;
+  }
+  reads_served_++;
+  env_->Send(from, EncodeMessage(reply));
+}
+
+void EventualNode::HandleReadReply(const EvReadReply& r, Address from) {
+  auto it = pending_reads_.find(r.token);
+  if (it == pending_reads_.end()) {
+    return;
+  }
+  PendingRead& pr = it->second;
+  pr.replies_seen++;
+  if (r.found) {
+    if (!pr.found || pr.best_version.LwwLess(r.version)) {
+      pr.found = true;
+      pr.best_value = r.value;
+      pr.best_version = r.version;
+    } else if (r.version.LwwLess(pr.best_version)) {
+      pr.stale_replicas.push_back(from);
+    }
+  } else if (pr.found) {
+    pr.stale_replicas.push_back(from);
+  }
+
+  if (!pr.responded && pr.replies_seen >= pr.replies_needed) {
+    pr.responded = true;
+    EvGetReply reply;
+    reply.req = pr.req;
+    reply.key = pr.key;
+    reply.found = pr.found;
+    reply.value = pr.best_value;
+    reply.version = pr.best_version;
+    env_->Send(pr.client, EncodeMessage(reply));
+  }
+
+  const uint32_t total_replicas = ring_.replication();
+  const bool all_in = pr.replies_seen >= total_replicas;
+  if (pr.responded && (consistency_ == EvConsistency::kOne || all_in)) {
+    // Read repair for replicas that returned stale data.
+    if (pr.found) {
+      EvReplicate repl;
+      repl.key = pr.key;
+      repl.value = pr.best_value;
+      repl.version = pr.best_version;
+      repl.token = 0;
+      for (Address stale : pr.stale_replicas) {
+        read_repairs_++;
+        env_->Send(stale, EncodeMessage(repl));
+      }
+    }
+    pending_reads_.erase(it);
+  }
+}
+
+void EventualClient::Put(const Key& key, Value value, PutCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = true;
+  op.key = key;
+  op.value = std::move(value);
+  op.put_cb = std::move(cb);
+  SendOp(req);
+}
+
+void EventualClient::Get(const Key& key, GetCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = false;
+  op.key = key;
+  op.get_cb = std::move(cb);
+  SendOp(req);
+}
+
+void EventualClient::SendOp(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingOp& op = it->second;
+  if (op.is_put) {
+    EvPut msg;
+    msg.req = req;
+    msg.client = address_;
+    msg.key = op.key;
+    msg.value = op.value;
+    env_->Send(RandomReplica(op.key), EncodeMessage(msg));
+  } else {
+    EvGet msg;
+    msg.req = req;
+    msg.client = address_;
+    msg.key = op.key;
+    env_->Send(RandomReplica(op.key), EncodeMessage(msg));
+  }
+  ArmTimer(req);
+}
+
+void EventualClient::ArmTimer(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timer = env_->Schedule(timeout_, [this, req]() {
+    if (pending_.contains(req)) {
+      retries_++;
+      SendOp(req);
+    }
+  });
+}
+
+void EventualClient::OnMessage(Address /*from*/, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kEvPutAck: {
+      EvPutAck m;
+      if (!DecodeMessage(payload, &m)) {
+        return;
+      }
+      auto it = pending_.find(m.req);
+      if (it == pending_.end() || !it->second.is_put) {
+        return;
+      }
+      env_->CancelTimer(it->second.timer);
+      PutCallback cb = std::move(it->second.put_cb);
+      pending_.erase(it);
+      if (cb) {
+        cb(Status::Ok());
+      }
+      break;
+    }
+    case MsgType::kEvGetReply: {
+      EvGetReply m;
+      if (!DecodeMessage(payload, &m)) {
+        return;
+      }
+      auto it = pending_.find(m.req);
+      if (it == pending_.end() || it->second.is_put) {
+        return;
+      }
+      env_->CancelTimer(it->second.timer);
+      GetCallback cb = std::move(it->second.get_cb);
+      pending_.erase(it);
+      if (cb) {
+        cb(Status::Ok(), m.found, m.value);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace chainreaction

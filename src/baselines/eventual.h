@@ -1,0 +1,167 @@
+// Dynamo/Cassandra-style replication baseline.
+//
+// Stands in for the Apache Cassandra configurations of the paper's
+// evaluation. The client sends each operation to a uniformly random node,
+// which acts as coordinator:
+//   * kOne    (R=1/W=1, "eventual"): a write is acknowledged as soon as one
+//     replica has it (the coordinator if it is a replica); a read queries a
+//     single random replica. Fast, no consistency guarantees.
+//   * kQuorum: writes wait for ceil((R+1)/2) replica acks; reads query all
+//     replicas, return the newest among the first ceil((R+1)/2) replies and
+//     repair stale replicas in the background.
+// Versions are LWW-ordered by (coordinator lamport clock, coordinator id).
+#ifndef SRC_BASELINES_EVENTUAL_H_
+#define SRC_BASELINES_EVENTUAL_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+#include "src/msg/message.h"
+#include "src/ring/ring.h"
+#include "src/sim/env.h"
+
+namespace chainreaction {
+
+enum class EvConsistency {
+  kOne,     // R=1 / W=1
+  kQuorum,  // majority reads and writes
+};
+
+class EventualNode : public Actor {
+ public:
+  EventualNode(NodeId id, Ring ring, EvConsistency consistency, uint64_t seed)
+      : id_(id), ring_(std::move(ring)), consistency_(consistency), rng_(seed) {}
+
+  void AttachEnv(Env* env) { env_ = env; }
+  void OnMessage(Address from, const std::string& payload) override;
+
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t read_repairs() const { return read_repairs_; }
+
+  // Test introspection: the node's current value/version for `key`, or
+  // nullptr if absent.
+  const Value* Lookup(const Key& key, Version* version) const {
+    auto it = store_.find(key);
+    if (it == store_.end()) {
+      return nullptr;
+    }
+    if (version != nullptr) {
+      *version = it->second.version;
+    }
+    return &it->second.value;
+  }
+
+  // True if this node replicates `key`.
+  bool IsReplicaOf(const Key& key) const {
+    const auto& chain = ring_.ChainFor(key);
+    return std::find(chain.begin(), chain.end(), id_) != chain.end();
+  }
+
+ private:
+  struct Entry {
+    Value value;
+    Version version;
+  };
+
+  struct PendingWrite {
+    RequestId req = 0;
+    Address client = 0;
+    Key key;
+    Version version;
+    uint32_t acks_needed = 0;
+  };
+
+  struct PendingRead {
+    RequestId req = 0;
+    Address client = 0;
+    Key key;
+    uint32_t replies_needed = 0;
+    uint32_t replies_seen = 0;
+    bool responded = false;
+    bool found = false;
+    Value best_value;
+    Version best_version;
+    std::vector<Address> stale_replicas;
+  };
+
+  uint32_t QuorumSize() const { return ring_.replication() / 2 + 1; }
+
+  void HandlePut(const EvPut& put);
+  void HandleReplicate(const EvReplicate& msg, Address from);
+  void HandleReplicateAck(const EvReplicateAck& msg);
+  void HandleGet(const EvGet& get);
+  void HandleReadQuery(const EvReadQuery& q, Address from);
+  void HandleReadReply(const EvReadReply& r, Address from);
+
+  bool ApplyLocal(const Key& key, const Value& value, const Version& version);
+
+  NodeId id_;
+  Ring ring_;
+  EvConsistency consistency_;
+  Rng rng_;
+  Env* env_ = nullptr;
+  std::unordered_map<Key, Entry> store_;
+  uint64_t lamport_ = 0;
+  uint64_t next_token_ = 1;
+  std::unordered_map<uint64_t, PendingWrite> pending_writes_;
+  std::unordered_map<uint64_t, PendingRead> pending_reads_;
+  uint64_t reads_served_ = 0;
+  uint64_t read_repairs_ = 0;
+};
+
+class EventualClient : public Actor {
+ public:
+  using PutCallback = std::function<void(const Status&)>;
+  using GetCallback = std::function<void(const Status&, bool found, const Value&)>;
+
+  EventualClient(Address address, Ring ring, Duration timeout, uint64_t seed)
+      : address_(address), ring_(std::move(ring)), timeout_(timeout), rng_(seed) {}
+
+  void AttachEnv(Env* env) { env_ = env; }
+
+  void Put(const Key& key, Value value, PutCallback cb);
+  void Get(const Key& key, GetCallback cb);
+
+  void OnMessage(Address from, const std::string& payload) override;
+
+  uint64_t retries() const { return retries_; }
+
+ private:
+  struct PendingOp {
+    bool is_put = false;
+    Key key;
+    Value value;
+    PutCallback put_cb;
+    GetCallback get_cb;
+    uint64_t timer = 0;
+  };
+
+  void SendOp(RequestId req);
+  void ArmTimer(RequestId req);
+  // Token-aware routing (as Cassandra drivers do): pick a random *replica*
+  // of the key as coordinator, so R1W1 reads are served in one hop.
+  Address RandomReplica(const Key& key) {
+    const std::vector<NodeId>& chain = ring_.ChainFor(key);
+    return chain[rng_.NextBelow(chain.size())];
+  }
+
+  Address address_;
+  Ring ring_;
+  Duration timeout_;
+  Rng rng_;
+  Env* env_ = nullptr;
+  RequestId next_req_ = 1;
+  std::unordered_map<RequestId, PendingOp> pending_;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_BASELINES_EVENTUAL_H_

@@ -1,0 +1,218 @@
+#include "src/chain/cr.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace chainreaction {
+
+void CrNode::OnMessage(Address /*from*/, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kCrPut: {
+      CrPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandlePut(m);
+      }
+      break;
+    }
+    case MsgType::kCrChainPut: {
+      CrChainPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandleChainPut(m);
+      }
+      break;
+    }
+    case MsgType::kCrChainAck: {
+      CrChainAck m;
+      if (DecodeMessage(payload, &m)) {
+        HandleChainAck(m);
+      }
+      break;
+    }
+    case MsgType::kCrGet: {
+      CrGet m;
+      if (DecodeMessage(payload, &m)) {
+        HandleGet(m);
+      }
+      break;
+    }
+    default:
+      LOG_WARN("cr node %u: unexpected message", id_);
+  }
+}
+
+void CrNode::Apply(const Key& key, const Value& value, uint64_t seq) {
+  Entry& e = store_[key];
+  if (seq > e.seq) {
+    e.value = value;
+    e.seq = seq;
+    writes_applied_++;
+  }
+}
+
+void CrNode::HandlePut(const CrPut& put) {
+  if (ring_.PositionOf(put.key, id_) != 1) {
+    env_->Send(ring_.HeadFor(put.key), EncodeMessage(put));
+    return;
+  }
+  const uint64_t seq = ++next_seq_[put.key];
+  Apply(put.key, put.value, seq);
+  if (ring_.replication() == 1) {
+    CrPutAck ack{put.req, put.key, seq};
+    env_->Send(put.client, EncodeMessage(ack));
+    return;
+  }
+  CrChainPut fwd;
+  fwd.key = put.key;
+  fwd.value = put.value;
+  fwd.seq = seq;
+  fwd.client = put.client;
+  fwd.req = put.req;
+  env_->Send(ring_.SuccessorFor(put.key, id_), EncodeMessage(fwd));
+}
+
+void CrNode::HandleChainPut(const CrChainPut& msg) {
+  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos == 0) {
+    return;
+  }
+  Apply(msg.key, msg.value, msg.seq);
+  if (pos == ring_.replication()) {
+    // FAWN-KV style: the ack travels back up the chain; the head replies.
+    CrChainAck ack{msg.key, msg.seq, msg.client, msg.req};
+    env_->Send(ring_.PredecessorFor(msg.key, id_), EncodeMessage(ack));
+  } else {
+    env_->Send(ring_.SuccessorFor(msg.key, id_), EncodeMessage(msg));
+  }
+}
+
+void CrNode::HandleChainAck(const CrChainAck& msg) {
+  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos == 0) {
+    return;
+  }
+  if (pos == 1) {
+    CrPutAck ack{msg.req, msg.key, msg.seq};
+    env_->Send(msg.client, EncodeMessage(ack));
+  } else {
+    env_->Send(ring_.PredecessorFor(msg.key, id_), EncodeMessage(msg));
+  }
+}
+
+void CrNode::HandleGet(const CrGet& get) {
+  // Only the tail answers reads; anything else forwards (a client normally
+  // addresses the tail directly, so this is just stale-ring insurance).
+  if (ring_.PositionOf(get.key, id_) != ring_.replication()) {
+    env_->Send(ring_.TailFor(get.key), EncodeMessage(get));
+    return;
+  }
+  CrGetReply reply;
+  reply.req = get.req;
+  reply.key = get.key;
+  auto it = store_.find(get.key);
+  if (it != store_.end()) {
+    reply.found = true;
+    reply.value = it->second.value;
+    reply.seq = it->second.seq;
+  }
+  reads_served_++;
+  env_->Send(get.client, EncodeMessage(reply));
+}
+
+void CrClient::Put(const Key& key, Value value, PutCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = true;
+  op.key = key;
+  op.value = std::move(value);
+  op.put_cb = std::move(cb);
+  SendOp(req);
+}
+
+void CrClient::Get(const Key& key, GetCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = false;
+  op.key = key;
+  op.get_cb = std::move(cb);
+  SendOp(req);
+}
+
+void CrClient::SendOp(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingOp& op = it->second;
+  if (op.is_put) {
+    CrPut msg;
+    msg.req = req;
+    msg.client = address_;
+    msg.key = op.key;
+    msg.value = op.value;
+    env_->Send(ring_.HeadFor(op.key), EncodeMessage(msg));
+  } else {
+    CrGet msg;
+    msg.req = req;
+    msg.client = address_;
+    msg.key = op.key;
+    env_->Send(ring_.TailFor(op.key), EncodeMessage(msg));
+  }
+  ArmTimer(req);
+}
+
+void CrClient::ArmTimer(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timer = env_->Schedule(timeout_, [this, req]() {
+    if (pending_.contains(req)) {
+      retries_++;
+      SendOp(req);
+    }
+  });
+}
+
+void CrClient::OnMessage(Address /*from*/, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kCrPutAck: {
+      CrPutAck m;
+      if (!DecodeMessage(payload, &m)) {
+        return;
+      }
+      auto it = pending_.find(m.req);
+      if (it == pending_.end() || !it->second.is_put) {
+        return;
+      }
+      env_->CancelTimer(it->second.timer);
+      PutCallback cb = std::move(it->second.put_cb);
+      pending_.erase(it);
+      if (cb) {
+        cb(Status::Ok(), m.seq);
+      }
+      break;
+    }
+    case MsgType::kCrGetReply: {
+      CrGetReply m;
+      if (!DecodeMessage(payload, &m)) {
+        return;
+      }
+      auto it = pending_.find(m.req);
+      if (it == pending_.end() || it->second.is_put) {
+        return;
+      }
+      env_->CancelTimer(it->second.timer);
+      GetCallback cb = std::move(it->second.get_cb);
+      pending_.erase(it);
+      if (cb) {
+        cb(Status::Ok(), m.found, m.value, m.seq);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace chainreaction

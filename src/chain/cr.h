@@ -1,0 +1,98 @@
+// Classic Chain Replication baseline (van Renesse & Schneider, OSDI'04), as
+// used by FAWN-KV — the linearizable comparison system of the paper.
+//
+// Writes enter at the head, propagate down the chain, and are acknowledged
+// by the tail; reads are served only by the tail. Per-key linearizability
+// follows from the single serialization point at the tail.
+//
+// This baseline runs with static membership: it exists for performance
+// comparisons (E2-E5), not for fault-tolerance experiments, which target
+// the ChainReaction implementation.
+#ifndef SRC_CHAIN_CR_H_
+#define SRC_CHAIN_CR_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/msg/message.h"
+#include "src/ring/ring.h"
+#include "src/sim/env.h"
+
+namespace chainreaction {
+
+class CrNode : public Actor {
+ public:
+  CrNode(NodeId id, Ring ring) : id_(id), ring_(std::move(ring)) {}
+
+  void AttachEnv(Env* env) { env_ = env; }
+  void OnMessage(Address from, const std::string& payload) override;
+
+  uint64_t reads_served() const { return reads_served_; }
+  uint64_t writes_applied() const { return writes_applied_; }
+
+ private:
+  struct Entry {
+    Value value;
+    uint64_t seq = 0;
+  };
+
+  void HandlePut(const CrPut& put);
+  void HandleChainPut(const CrChainPut& msg);
+  void HandleChainAck(const CrChainAck& msg);
+  void HandleGet(const CrGet& get);
+  void Apply(const Key& key, const Value& value, uint64_t seq);
+
+  NodeId id_;
+  Ring ring_;
+  Env* env_ = nullptr;
+  std::unordered_map<Key, Entry> store_;
+  std::unordered_map<Key, uint64_t> next_seq_;  // head only
+  uint64_t reads_served_ = 0;
+  uint64_t writes_applied_ = 0;
+};
+
+class CrClient : public Actor {
+ public:
+  using PutCallback = std::function<void(const Status&, uint64_t seq)>;
+  using GetCallback = std::function<void(const Status&, bool found, const Value&, uint64_t seq)>;
+
+  CrClient(Address address, Ring ring, Duration timeout)
+      : address_(address), ring_(std::move(ring)), timeout_(timeout) {}
+
+  void AttachEnv(Env* env) { env_ = env; }
+
+  void Put(const Key& key, Value value, PutCallback cb);
+  void Get(const Key& key, GetCallback cb);
+
+  void OnMessage(Address from, const std::string& payload) override;
+
+  uint64_t retries() const { return retries_; }
+
+ private:
+  struct PendingOp {
+    bool is_put = false;
+    Key key;
+    Value value;
+    PutCallback put_cb;
+    GetCallback get_cb;
+    uint64_t timer = 0;
+  };
+
+  void SendOp(RequestId req);
+  void ArmTimer(RequestId req);
+
+  Address address_;
+  Ring ring_;
+  Duration timeout_;
+  Env* env_ = nullptr;
+  RequestId next_req_ = 1;
+  std::unordered_map<RequestId, PendingOp> pending_;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_CHAIN_CR_H_

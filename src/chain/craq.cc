@@ -1,0 +1,296 @@
+#include "src/chain/craq.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace chainreaction {
+
+void CraqNode::OnMessage(Address from, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kCraqPut: {
+      CraqPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandlePut(m);
+      }
+      break;
+    }
+    case MsgType::kCraqChainPut: {
+      CraqChainPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandleChainPut(m);
+      }
+      break;
+    }
+    case MsgType::kCraqCommit: {
+      CraqCommit m;
+      if (DecodeMessage(payload, &m)) {
+        HandleCommit(m);
+      }
+      break;
+    }
+    case MsgType::kCraqGet: {
+      CraqGet m;
+      if (DecodeMessage(payload, &m)) {
+        HandleGet(m);
+      }
+      break;
+    }
+    case MsgType::kCraqVersionQuery: {
+      CraqVersionQuery m;
+      if (DecodeMessage(payload, &m)) {
+        HandleVersionQuery(m, from);
+      }
+      break;
+    }
+    case MsgType::kCraqVersionReply: {
+      CraqVersionReply m;
+      if (DecodeMessage(payload, &m)) {
+        HandleVersionReply(m);
+      }
+      break;
+    }
+    default:
+      LOG_WARN("craq node %u: unexpected message", id_);
+  }
+}
+
+void CraqNode::HandlePut(const CraqPut& put) {
+  if (ring_.PositionOf(put.key, id_) != 1) {
+    env_->Send(ring_.HeadFor(put.key), EncodeMessage(put));
+    return;
+  }
+  const uint64_t seq = ++next_seq_[put.key];
+  KeyState& ks = store_[put.key];
+  if (ring_.replication() == 1) {
+    ks.committed_seq = seq;
+    ks.committed_value = put.value;
+    CraqPutAck ack{put.req, put.key, seq};
+    env_->Send(put.client, EncodeMessage(ack));
+    return;
+  }
+  ks.dirty[seq] = put.value;
+  CraqChainPut fwd;
+  fwd.key = put.key;
+  fwd.value = put.value;
+  fwd.seq = seq;
+  fwd.client = put.client;
+  fwd.req = put.req;
+  env_->Send(ring_.SuccessorFor(put.key, id_), EncodeMessage(fwd));
+}
+
+void CraqNode::HandleChainPut(const CraqChainPut& msg) {
+  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos == 0) {
+    return;
+  }
+  KeyState& ks = store_[msg.key];
+  if (pos == ring_.replication()) {
+    // Tail: the version commits here.
+    if (msg.seq > ks.committed_seq) {
+      ks.committed_seq = msg.seq;
+      ks.committed_value = msg.value;
+    }
+    CraqPutAck ack{msg.req, msg.key, msg.seq};
+    env_->Send(msg.client, EncodeMessage(ack));
+    CraqCommit commit{msg.key, msg.seq};
+    env_->Send(ring_.PredecessorFor(msg.key, id_), EncodeMessage(commit));
+  } else {
+    ks.dirty[msg.seq] = msg.value;
+    env_->Send(ring_.SuccessorFor(msg.key, id_), EncodeMessage(msg));
+  }
+}
+
+void CraqNode::HandleCommit(const CraqCommit& msg) {
+  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos == 0) {
+    return;
+  }
+  KeyState& ks = store_[msg.key];
+  // Promote the committed version and drop obsolete dirty entries.
+  auto it = ks.dirty.find(msg.seq);
+  if (it != ks.dirty.end() && msg.seq > ks.committed_seq) {
+    ks.committed_seq = msg.seq;
+    ks.committed_value = it->second;
+  }
+  ks.dirty.erase(ks.dirty.begin(), ks.dirty.upper_bound(msg.seq));
+  if (pos > 1) {
+    env_->Send(ring_.PredecessorFor(msg.key, id_), EncodeMessage(msg));
+  }
+}
+
+void CraqNode::HandleGet(const CraqGet& get) {
+  const ChainIndex pos = ring_.PositionOf(get.key, id_);
+  if (pos == 0) {
+    env_->Send(ring_.TailFor(get.key), EncodeMessage(get));
+    return;
+  }
+  auto it = store_.find(get.key);
+  const bool dirty = it != store_.end() && !it->second.dirty.empty();
+  if (!dirty || pos == ring_.replication()) {
+    // Clean (or we are the tail, whose committed state is authoritative).
+    CraqGetReply reply;
+    reply.req = get.req;
+    reply.key = get.key;
+    if (it != store_.end() && it->second.committed_seq > 0) {
+      reply.found = true;
+      reply.value = it->second.committed_value;
+      reply.seq = it->second.committed_seq;
+    }
+    reads_served_++;
+    if (pos >= 1 && pos <= reads_by_position_.size()) {
+      reads_by_position_[pos - 1]++;
+    }
+    env_->Send(get.client, EncodeMessage(reply));
+    return;
+  }
+  // Dirty: apportioned query — ask the tail which seq is committed.
+  version_queries_++;
+  CraqVersionQuery q;
+  q.key = get.key;
+  q.req = get.req;
+  q.client = get.client;
+  env_->Send(ring_.TailFor(get.key), EncodeMessage(q));
+}
+
+void CraqNode::HandleVersionQuery(const CraqVersionQuery& q, Address from) {
+  CraqVersionReply reply;
+  reply.key = q.key;
+  reply.req = q.req;
+  reply.client = q.client;
+  auto it = store_.find(q.key);
+  reply.committed_seq = it == store_.end() ? 0 : it->second.committed_seq;
+  env_->Send(from, EncodeMessage(reply));
+}
+
+void CraqNode::ReplyWithCommitted(const Key& key, uint64_t committed_seq, RequestId req,
+                                  Address client) {
+  CraqGetReply reply;
+  reply.req = req;
+  reply.key = key;
+  auto it = store_.find(key);
+  if (it != store_.end() && committed_seq > 0) {
+    KeyState& ks = it->second;
+    if (committed_seq <= ks.committed_seq) {
+      reply.found = true;
+      reply.value = ks.committed_value;
+      reply.seq = ks.committed_seq;
+    } else if (auto dit = ks.dirty.find(committed_seq); dit != ks.dirty.end()) {
+      // The tail committed a version we still hold as dirty.
+      reply.found = true;
+      reply.value = dit->second;
+      reply.seq = committed_seq;
+    }
+  }
+  reads_served_++;
+  const ChainIndex pos = ring_.PositionOf(key, id_);
+  if (pos >= 1 && pos <= reads_by_position_.size()) {
+    reads_by_position_[pos - 1]++;
+  }
+  env_->Send(client, EncodeMessage(reply));
+}
+
+void CraqNode::HandleVersionReply(const CraqVersionReply& r) {
+  ReplyWithCommitted(r.key, r.committed_seq, r.req, r.client);
+}
+
+void CraqClient::Put(const Key& key, Value value, PutCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = true;
+  op.key = key;
+  op.value = std::move(value);
+  op.put_cb = std::move(cb);
+  SendOp(req);
+}
+
+void CraqClient::Get(const Key& key, GetCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = false;
+  op.key = key;
+  op.get_cb = std::move(cb);
+  SendOp(req);
+}
+
+void CraqClient::SendOp(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingOp& op = it->second;
+  if (op.is_put) {
+    CraqPut msg;
+    msg.req = req;
+    msg.client = address_;
+    msg.key = op.key;
+    msg.value = op.value;
+    env_->Send(ring_.HeadFor(op.key), EncodeMessage(msg));
+  } else {
+    CraqGet msg;
+    msg.req = req;
+    msg.client = address_;
+    msg.key = op.key;
+    // CRAQ reads go to a uniformly random chain member.
+    const std::vector<NodeId>& chain = ring_.ChainFor(op.key);
+    const NodeId target = chain[rng_.NextBelow(chain.size())];
+    env_->Send(target, EncodeMessage(msg));
+  }
+  ArmTimer(req);
+}
+
+void CraqClient::ArmTimer(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timer = env_->Schedule(timeout_, [this, req]() {
+    if (pending_.contains(req)) {
+      retries_++;
+      SendOp(req);
+    }
+  });
+}
+
+void CraqClient::OnMessage(Address /*from*/, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kCraqPutAck: {
+      CraqPutAck m;
+      if (!DecodeMessage(payload, &m)) {
+        return;
+      }
+      auto it = pending_.find(m.req);
+      if (it == pending_.end() || !it->second.is_put) {
+        return;
+      }
+      env_->CancelTimer(it->second.timer);
+      PutCallback cb = std::move(it->second.put_cb);
+      pending_.erase(it);
+      if (cb) {
+        cb(Status::Ok(), m.seq);
+      }
+      break;
+    }
+    case MsgType::kCraqGetReply: {
+      CraqGetReply m;
+      if (!DecodeMessage(payload, &m)) {
+        return;
+      }
+      auto it = pending_.find(m.req);
+      if (it == pending_.end() || it->second.is_put) {
+        return;
+      }
+      env_->CancelTimer(it->second.timer);
+      GetCallback cb = std::move(it->second.get_cb);
+      pending_.erase(it);
+      if (cb) {
+        cb(Status::Ok(), m.found, m.value, m.seq);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,114 @@
+#include "src/checker/causal_checker.h"
+
+#include <utility>
+
+#include "src/common/bytes.h"
+
+namespace chainreaction {
+
+void MaximalVvSet::Add(const VersionVector& vv) {
+  for (const VersionVector& member : set_) {
+    if (member.Dominates(vv)) {
+      return;  // dominated (or equal): nothing new
+    }
+  }
+  // Remove members the new vv dominates.
+  size_t out = 0;
+  for (size_t i = 0; i < set_.size(); ++i) {
+    if (!vv.Dominates(set_[i])) {
+      set_[out++] = set_[i];
+    }
+  }
+  set_.resize(out);
+  set_.push_back(vv);
+}
+
+bool MaximalVvSet::StrictlyDominates(const VersionVector& vv) const {
+  for (const VersionVector& member : set_) {
+    if (member.Dominates(vv) && !(member == vv)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string CausalChecker::VersionId(const Key& key, const Version& v) {
+  ByteWriter w;
+  w.PutString(key);
+  w.PutVarU64(v.lamport);
+  w.PutU16(v.origin);
+  return w.Take();
+}
+
+void CausalChecker::Violation(std::string message) {
+  violations_++;
+  if (diagnostics_.size() < 64) {
+    diagnostics_.push_back(std::move(message));
+  }
+}
+
+void CausalChecker::RecordWrite(uint32_t session, const Key& key, const Version& version,
+                                const std::vector<Dependency>& deps) {
+  writes_recorded_++;
+
+  // Build the closure: nearest deps plus their recorded closures.
+  auto closure = std::make_shared<Closure>();
+  for (const Dependency& dep : deps) {
+    if (dep.version.IsNull()) {
+      continue;
+    }
+    (*closure)[dep.key].Add(dep.version.vv);
+    auto it = closures_.find(VersionId(dep.key, dep.version));
+    if (it != closures_.end()) {
+      for (const auto& [k, vvset] : *it->second) {
+        for (const VersionVector& vv : vvset.members()) {
+          (*closure)[k].Add(vv);
+        }
+      }
+    }
+  }
+  closures_[VersionId(key, version)] = closure;
+
+  SessionState& state = sessions_[session];
+  state.causal_past[key].Add(version.vv);
+  MergeClosureIntoSession(&state, *closure);
+}
+
+void CausalChecker::MergeClosureIntoSession(SessionState* state, const Closure& closure) {
+  for (const auto& [k, vvset] : closure) {
+    for (const VersionVector& vv : vvset.members()) {
+      state->causal_past[k].Add(vv);
+    }
+  }
+}
+
+void CausalChecker::RecordRead(uint32_t session, const Key& key, bool found,
+                               const Version& version) {
+  reads_checked_++;
+  SessionState& state = sessions_[session];
+  auto past = state.causal_past.find(key);
+
+  if (!found) {
+    if (past != state.causal_past.end() && !past->second.empty()) {
+      Violation("session " + std::to_string(session) + ": read of '" + key +
+                "' returned not-found but a write to it is in the causal past");
+    }
+    return;
+  }
+
+  if (past != state.causal_past.end() && past->second.StrictlyDominates(version.vv)) {
+    Violation("session " + std::to_string(session) + ": read of '" + key +
+              "' returned causally stale version " + version.ToString());
+  }
+
+  state.causal_past[key].Add(version.vv);
+  auto it = closures_.find(VersionId(key, version));
+  if (it != closures_.end()) {
+    MergeClosureIntoSession(&state, *it->second);
+  }
+  // A version whose write completion we have not (yet) observed contributes
+  // no closure; this is sound (never a false violation), merely less strict
+  // for the brief ack-in-flight window.
+}
+
+}  // namespace chainreaction

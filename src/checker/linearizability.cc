@@ -1,0 +1,119 @@
+#include "src/checker/linearizability.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace chainreaction {
+
+void LinearizabilityChecker::RecordWrite(const Key& key, Time invoked, Time completed,
+                                         uint64_t seq) {
+  ops_[key].push_back(Op{true, invoked, completed, seq});
+}
+
+void LinearizabilityChecker::RecordRead(const Key& key, Time invoked, Time completed,
+                                        uint64_t seq_or_zero) {
+  ops_[key].push_back(Op{false, invoked, completed, seq_or_zero});
+}
+
+void LinearizabilityChecker::Violation(std::string message) {
+  violations_++;
+  if (diagnostics_.size() < 64) {
+    diagnostics_.push_back(std::move(message));
+  }
+}
+
+uint64_t LinearizabilityChecker::Check() {
+  violations_ = 0;
+  diagnostics_.clear();
+
+  for (auto& [key, ops] : ops_) {
+    std::sort(ops.begin(), ops.end(),
+              [](const Op& a, const Op& b) { return a.invoked < b.invoked; });
+
+    // W1: completed-before order of writes must agree with seq order.
+    // Scan with the max seq among writes completed so far.
+    {
+      // Sweep ops by invocation time, tracking the largest seq among writes
+      // already completed; no later-invoked op may observe/produce less.
+      std::vector<std::pair<Time, uint64_t>> completion_events;  // (completed, seq)
+      for (const Op& op : ops) {
+        if (op.is_write) {
+          completion_events.push_back({op.completed, op.seq});
+        }
+      }
+      std::sort(completion_events.begin(), completion_events.end());
+      size_t idx = 0;
+      uint64_t max_seq_completed = 0;
+      for (const Op& op : ops) {  // by invocation time
+        while (idx < completion_events.size() && completion_events[idx].first < op.invoked) {
+          max_seq_completed = std::max(max_seq_completed, completion_events[idx].second);
+          idx++;
+        }
+        if (op.is_write && op.seq < max_seq_completed) {
+          Violation("key '" + key + "': write seq " + std::to_string(op.seq) +
+                    " invoked after a completed write with larger seq " +
+                    std::to_string(max_seq_completed));
+        }
+        if (!op.is_write && op.seq < max_seq_completed) {
+          // R1: read is stale w.r.t. real time.
+          Violation("key '" + key + "': read returned seq " + std::to_string(op.seq) +
+                    " but a write with seq " + std::to_string(max_seq_completed) +
+                    " completed before the read was invoked");
+        }
+      }
+    }
+
+    // R2: a read's returned seq must come from a write invoked before the
+    // read completed.
+    {
+      std::unordered_map<uint64_t, Time> write_invocation;
+      for (const Op& op : ops) {
+        if (op.is_write) {
+          write_invocation[op.seq] = op.invoked;
+        }
+      }
+      for (const Op& op : ops) {
+        if (!op.is_write && op.seq != 0) {
+          auto it = write_invocation.find(op.seq);
+          if (it == write_invocation.end()) {
+            Violation("key '" + key + "': read returned seq " + std::to_string(op.seq) +
+                      " that no recorded write produced");
+          } else if (it->second > op.completed) {
+            Violation("key '" + key + "': read returned seq " + std::to_string(op.seq) +
+                      " from a write invoked after the read completed");
+          }
+        }
+      }
+    }
+
+    // R3: reads ordered in real time return non-decreasing seqs.
+    {
+      std::vector<const Op*> reads;
+      for (const Op& op : ops) {
+        if (!op.is_write) {
+          reads.push_back(&op);
+        }
+      }
+      std::sort(reads.begin(), reads.end(),
+                [](const Op* a, const Op* b) { return a->completed < b->completed; });
+      uint64_t max_read_seq = 0;
+      Time max_read_completed = -1;
+      for (const Op* r : reads) {
+        if (r->invoked > max_read_completed) {
+          // Strictly after the read that returned max_read_seq.
+          if (r->seq < max_read_seq) {
+            Violation("key '" + key + "': read seq regressed from " +
+                      std::to_string(max_read_seq) + " to " + std::to_string(r->seq));
+          }
+        }
+        if (r->seq >= max_read_seq) {
+          max_read_seq = r->seq;
+          max_read_completed = r->completed;
+        }
+      }
+    }
+  }
+  return violations_;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,128 @@
+// Byte-oriented serialization primitives.
+//
+// Every wire message in the system (simulated network and real TCP transport
+// alike) is encoded through ByteWriter and decoded through ByteReader, so the
+// exact same code path is exercised in deterministic simulation and on real
+// sockets. Integers are little-endian fixed width; strings and blobs are
+// length-prefixed with a u32.
+#ifndef SRC_COMMON_BYTES_H_
+#define SRC_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s);
+  }
+
+  // Varint (LEB128) used where values are usually small (version vectors).
+  void PutVarU64(uint64_t v) {
+    while (v >= 0x80) {
+      PutU8(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    PutU8(static_cast<uint8_t>(v));
+  }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    const char* c = static_cast<const char*>(p);
+    buf_.append(c, n);  // Little-endian hosts only (x86-64 / aarch64).
+  }
+
+  std::string buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data.data()), size_(data.size()) {}
+  ByteReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool GetU8(uint8_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetU16(uint16_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetU32(uint32_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetFixed(v, sizeof(*v)); }
+  bool GetI64(int64_t* v) { return GetFixed(v, sizeof(*v)); }
+
+  bool GetBool(bool* v) {
+    uint8_t b = 0;
+    if (!GetU8(&b)) {
+      return false;
+    }
+    *v = (b != 0);
+    return true;
+  }
+
+  bool GetString(std::string* s) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || n > remaining()) {
+      return false;
+    }
+    s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool GetVarU64(uint64_t* v) {
+    uint64_t result = 0;
+    int shift = 0;
+    while (shift < 64) {
+      uint8_t b = 0;
+      if (!GetU8(&b)) {
+        return false;
+      }
+      result |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if ((b & 0x80) == 0) {
+        *v = result;
+        return true;
+      }
+      shift += 7;
+    }
+    return false;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  bool GetFixed(void* p, size_t n) {
+    if (remaining() < n) {
+      return false;
+    }
+    std::memcpy(p, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_BYTES_H_

@@ -1,0 +1,86 @@
+// Minimal command-line flag parsing for the tools and benchmarks.
+//
+// Supports `--name value` and `--name=value`; unknown flags are reported.
+// Deliberately tiny — no registration globals, no help generation magic.
+#ifndef SRC_COMMON_FLAGS_H_
+#define SRC_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chainreaction {
+
+class Flags {
+ public:
+  // Parses argv. Returns false (after printing the offender) on malformed
+  // input; flags not in `known` are rejected so typos fail loudly.
+  bool Parse(int argc, char** argv, const std::vector<std::string>& known) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected positional argument '%s'\n", arg.c_str());
+        return false;
+      }
+      arg.erase(0, 2);
+      std::string value;
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        value = arg.substr(eq + 1);
+        arg.erase(eq);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";  // bare flag
+      }
+      bool ok = false;
+      for (const std::string& k : known) {
+        if (k == arg) {
+          ok = true;
+          break;
+        }
+      }
+      if (!ok) {
+        std::fprintf(stderr, "unknown flag --%s\n", arg.c_str());
+        return false;
+      }
+      values_[arg] = value;
+    }
+    return true;
+  }
+
+  std::string GetString(const std::string& name, const std::string& def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) {
+      return def;
+    }
+    return it->second == "true" || it->second == "1" || it->second == "yes";
+  }
+
+  bool Has(const std::string& name) const { return values_.contains(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_FLAGS_H_

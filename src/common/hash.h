@@ -1,0 +1,34 @@
+// Hash functions used for ring placement and YCSB key scrambling.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace chainreaction {
+
+// FNV-1a 64-bit. Stable across platforms; used to place keys and virtual
+// nodes on the consistent-hashing ring.
+inline uint64_t Fnv1a64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// 64-bit integer finalizer (Murmur3 fmix64). Used by the scrambled-zipfian
+// generator to spread hot keys over the key space, as YCSB does.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_HASH_H_

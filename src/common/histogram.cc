@@ -1,0 +1,108 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace chainreaction {
+
+namespace {
+// 64 powers of two, kSubBuckets sub-buckets each, is enough for any int64.
+constexpr size_t kMaxBuckets = 64 << 5;
+}  // namespace
+
+Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+
+size_t Histogram::BucketFor(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const uint64_t v = static_cast<uint64_t>(value);
+  if (v < kSubBuckets) {
+    return static_cast<size_t>(v);
+  }
+  const int msb = 63 - std::countl_zero(v);
+  const int shift = msb - kSubBucketBits;
+  const uint64_t sub = (v >> shift) - kSubBuckets;  // in [0, kSubBuckets)
+  return static_cast<size_t>((msb - kSubBucketBits + 1) * kSubBuckets + sub);
+}
+
+int64_t Histogram::BucketUpperBound(size_t index) {
+  if (index < kSubBuckets) {
+    return static_cast<int64_t>(index);
+  }
+  const size_t tier = index / kSubBuckets;    // >= 1
+  const size_t sub = index % kSubBuckets;     // [0, kSubBuckets)
+  const int shift = static_cast<int>(tier) - 1;
+  return static_cast<int64_t>(((static_cast<uint64_t>(kSubBuckets) + sub + 1) << shift) - 1);
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) {
+    value = 0;
+  }
+  const size_t idx = BucketFor(value);
+  buckets_[std::min(idx, buckets_.size() - 1)]++;
+  if (count_ == 0 || value < min_) {
+    min_ = value;
+  }
+  if (count_ == 0 || value > max_) {
+    max_ = value;
+  }
+  sum_ += static_cast<double>(value);
+  count_++;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ < min_) {
+      min_ = other.min_;
+    }
+    if (count_ == 0 || other.max_ > max_) {
+      max_ = other.max_;
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+double Histogram::Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+int64_t Histogram::Percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const uint64_t target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_ - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return std::min(BucketUpperBound(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "count=%llu mean=%.1f p50=%lld p95=%lld p99=%lld max=%lld",
+                static_cast<unsigned long long>(count_), Mean(), static_cast<long long>(P50()),
+                static_cast<long long>(P95()), static_cast<long long>(P99()),
+                static_cast<long long>(max()));
+  return buf;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,55 @@
+// Log-bucketed latency histogram (HdrHistogram-style, fixed precision).
+//
+// Records non-negative integer samples (microseconds in this codebase) into
+// buckets with bounded relative error, and reports count/mean/percentiles.
+// Used by the YCSB stats collector and the benchmark harness.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chainreaction {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  int64_t min() const { return count_ == 0 ? 0 : min_; }
+  int64_t max() const { return count_ == 0 ? 0 : max_; }
+  double Mean() const;
+
+  // p in [0, 100]. Returns an upper bound of the bucket containing the
+  // percentile (relative error <= 1/32).
+  int64_t Percentile(double p) const;
+
+  int64_t P50() const { return Percentile(50); }
+  int64_t P95() const { return Percentile(95); }
+  int64_t P99() const { return Percentile(99); }
+
+  // "count=N mean=X p50=... p99=... max=..." for logs and tables.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static size_t BucketFor(int64_t value);
+  static int64_t BucketUpperBound(size_t index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

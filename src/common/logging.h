@@ -1,0 +1,46 @@
+// Tiny leveled logger.
+//
+// Logging is off (kWarn) by default so that simulation-driven benchmarks are
+// not dominated by I/O; tests and examples can raise the level.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace chainreaction {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style log statement. Prefer the macros below so that argument
+// evaluation is skipped when the level is disabled.
+void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+#define CHAINRX_LOG(level, ...)                                            \
+  do {                                                                     \
+    if (static_cast<int>(level) >= static_cast<int>(::chainreaction::GetLogLevel())) { \
+      ::chainreaction::LogV(level, __FILE__, __LINE__, __VA_ARGS__);       \
+    }                                                                      \
+  } while (0)
+
+#define LOG_TRACE(...) CHAINRX_LOG(::chainreaction::LogLevel::kTrace, __VA_ARGS__)
+#define LOG_DEBUG(...) CHAINRX_LOG(::chainreaction::LogLevel::kDebug, __VA_ARGS__)
+#define LOG_INFO(...) CHAINRX_LOG(::chainreaction::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_WARN(...) CHAINRX_LOG(::chainreaction::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_ERROR(...) CHAINRX_LOG(::chainreaction::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_LOGGING_H_

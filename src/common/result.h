@@ -1,0 +1,145 @@
+// Minimal Status / Result<T> error-handling vocabulary.
+//
+// The codebase does not use exceptions for recoverable errors (network
+// failures, missing keys, decode errors); functions that can fail return a
+// Status or a Result<T>. Programming errors abort via CHECK.
+#ifndef SRC_COMMON_RESULT_H_
+#define SRC_COMMON_RESULT_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace chainreaction {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kInvalidArgument,
+  kTimeout,
+  kUnavailable,
+  kCorruption,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kInternal,
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// A Status is a code plus an optional human-readable message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string m = "") { return Status(StatusCode::kNotFound, std::move(m)); }
+  static Status InvalidArgument(std::string m = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status Timeout(std::string m = "") { return Status(StatusCode::kTimeout, std::move(m)); }
+  static Status Unavailable(std::string m = "") {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status Corruption(std::string m = "") {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status Internal(std::string m = "") { return Status(StatusCode::kInternal, std::move(m)); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) {
+      return "OK";
+    }
+    std::string s = StatusCodeName(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).ok()) {
+      std::fprintf(stderr, "Result constructed from OK status\n");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) {
+      return kOkStatus;
+    }
+    return std::get<Status>(rep_);
+  }
+
+  T& value() {
+    Check();
+    return std::get<T>(rep_);
+  }
+  const T& value() const {
+    Check();
+    return std::get<T>(rep_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  void Check() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n",
+                   std::get<Status>(rep_).ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+// CHECK aborts on violated invariants; used for programming errors only.
+#define CHAINRX_CHECK(cond)                                                            \
+  do {                                                                                 \
+    if (!(cond)) {                                                                     \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, #cond);  \
+      std::abort();                                                                    \
+    }                                                                                  \
+  } while (0)
+
+#define CHAINRX_CHECK_OK(status_expr)                                                 \
+  do {                                                                                \
+    const ::chainreaction::Status _s = (status_expr);                                 \
+    if (!_s.ok()) {                                                                   \
+      std::fprintf(stderr, "CHECK_OK failed at %s:%d: %s\n", __FILE__, __LINE__,      \
+                   _s.ToString().c_str());                                            \
+      std::abort();                                                                   \
+    }                                                                                 \
+  } while (0)
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_RESULT_H_

@@ -1,0 +1,16 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace chainreaction {
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  double u = NextDouble();
+  if (u < 1e-12) {
+    u = 1e-12;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace chainreaction

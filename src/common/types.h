@@ -1,0 +1,49 @@
+// Core scalar types shared across the ChainReaction codebase.
+#ifndef SRC_COMMON_TYPES_H_
+#define SRC_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace chainreaction {
+
+// Keys and values are opaque byte strings, as in the paper's key-value API.
+using Key = std::string;
+using Value = std::string;
+
+// Identifies one server process (chain node). Unique across all datacenters.
+using NodeId = uint32_t;
+
+// Identifies one client process. Clients and nodes live in disjoint id spaces
+// managed by the harness; a NodeId never equals a ClientId.
+using ClientId = uint32_t;
+
+// Identifies a datacenter. DCs are numbered densely from 0.
+using DcId = uint16_t;
+
+// Simulated (or wall-clock) time in microseconds.
+using Time = int64_t;
+using Duration = int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * 1000;
+
+// Per-request identifier, unique per client.
+using RequestId = uint64_t;
+
+// A network address. Nodes and clients live in one flat address space; the
+// harness allocates node ids from 0 and client ids from kClientAddressBase.
+using Address = uint32_t;
+inline constexpr Address kClientAddressBase = 1u << 20;
+inline constexpr Address kServiceAddressBase = 1u << 24;  // membership, geo replicators
+
+// Position of a node within a replication chain, 1-based as in the paper
+// (position 1 = head, position R = tail).
+using ChainIndex = uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_TYPES_H_

@@ -1,0 +1,109 @@
+#include "src/common/version.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chainreaction {
+
+void VersionVector::MergeMax(const VersionVector& other) {
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] = std::max(counts_[i], other.counts_[i]);
+  }
+}
+
+bool VersionVector::Dominates(const VersionVector& other) const {
+  const size_t n = std::max(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t mine = i < counts_.size() ? counts_[i] : 0;
+    const uint64_t theirs = i < other.counts_.size() ? other.counts_[i] : 0;
+    if (mine < theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool VersionVector::operator==(const VersionVector& other) const {
+  const size_t n = std::max(counts_.size(), other.counts_.size());
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t mine = i < counts_.size() ? counts_[i] : 0;
+    const uint64_t theirs = i < other.counts_.size() ? other.counts_[i] : 0;
+    if (mine != theirs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t VersionVector::Sum() const {
+  uint64_t s = 0;
+  for (uint64_t c : counts_) {
+    s += c;
+  }
+  return s;
+}
+
+void VersionVector::Encode(ByteWriter* w) const {
+  w->PutVarU64(counts_.size());
+  for (uint64_t c : counts_) {
+    w->PutVarU64(c);
+  }
+}
+
+bool VersionVector::Decode(ByteReader* r) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > 4096) {
+    return false;
+  }
+  counts_.assign(n, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!r->GetVarU64(&counts_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string VersionVector::ToString() const {
+  std::string s = "[";
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (i > 0) {
+      s += ",";
+    }
+    s += std::to_string(counts_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+void Version::Encode(ByteWriter* w) const {
+  vv.Encode(w);
+  w->PutVarU64(lamport);
+  w->PutU16(origin);
+}
+
+bool Version::Decode(ByteReader* r) {
+  return vv.Decode(r) && r->GetVarU64(&lamport) && r->GetU16(&origin);
+}
+
+std::string Version::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "@%llu/dc%u", static_cast<unsigned long long>(lamport),
+                static_cast<unsigned>(origin));
+  return vv.ToString() + buf;
+}
+
+void Dependency::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  version.Encode(w);
+  w->PutBool(local_stable);
+}
+
+bool Dependency::Decode(ByteReader* r) {
+  return r->GetString(&key) && version.Decode(r) && r->GetBool(&local_stable);
+}
+
+}  // namespace chainreaction

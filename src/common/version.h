@@ -1,0 +1,114 @@
+// Version identifiers for key-value updates.
+//
+// Within one datacenter the updates to a key form a total order decided by
+// the key's chain head. Across datacenters updates are only partially
+// ordered; each version therefore carries
+//   * a per-key version vector (one entry per DC) capturing the causal past
+//     of the key at the moment of the write,
+//   * a Lamport timestamp and the origin DC, which provide the convergent
+//     total order used for last-writer-wins conflict resolution (the "+"
+//     in causal+).
+#ifndef SRC_COMMON_VERSION_H_
+#define SRC_COMMON_VERSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+class VersionVector {
+ public:
+  VersionVector() = default;
+  explicit VersionVector(size_t num_dcs) : counts_(num_dcs, 0) {}
+
+  uint64_t Get(DcId dc) const { return dc < counts_.size() ? counts_[dc] : 0; }
+
+  void Set(DcId dc, uint64_t v) {
+    if (dc >= counts_.size()) {
+      counts_.resize(dc + 1, 0);
+    }
+    counts_[dc] = v;
+  }
+
+  void Increment(DcId dc) { Set(dc, Get(dc) + 1); }
+
+  // Componentwise maximum; grows to the larger dimension.
+  void MergeMax(const VersionVector& other);
+
+  // True if every component of this vector is >= other's.
+  bool Dominates(const VersionVector& other) const;
+
+  // Neither dominates the other and they differ.
+  bool ConcurrentWith(const VersionVector& other) const {
+    return !Dominates(other) && !other.Dominates(*this);
+  }
+
+  bool operator==(const VersionVector& other) const;
+
+  size_t size() const { return counts_.size(); }
+  uint64_t Sum() const;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<uint64_t> counts_;
+};
+
+struct Version {
+  VersionVector vv;
+  uint64_t lamport = 0;
+  DcId origin = 0;
+
+  // The null version precedes every real version; a key that was never
+  // written has the null version.
+  bool IsNull() const { return lamport == 0 && vv.Sum() == 0; }
+
+  // Convergent total order used for LWW conflict resolution and for storage
+  // ordering: by Lamport timestamp, ties broken by origin DC.
+  bool LwwLess(const Version& other) const {
+    if (lamport != other.lamport) {
+      return lamport < other.lamport;
+    }
+    return origin < other.origin;
+  }
+
+  // Causal dominance between two versions of the *same key*.
+  bool CausallyIncludes(const Version& other) const { return vv.Dominates(other.vv); }
+
+  bool operator==(const Version& other) const {
+    return lamport == other.lamport && origin == other.origin && vv == other.vv;
+  }
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+
+  std::string ToString() const;
+};
+
+// A causal dependency carried by writes: "key must have version >= version
+// (in the key's per-DC order) before this write may become visible".
+//
+// `local_stable` is the client-metadata optimization: the client learned
+// (from a read reply) that the version is already DC-Write-Stable in its
+// DC, so the head can skip the stability check. The dependency must still
+// be shipped with geo updates — stability here says nothing about remote
+// DCs. In single-DC deployments clients drop such deps entirely.
+struct Dependency {
+  Key key;
+  Version version;
+  bool local_stable = false;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_VERSION_H_

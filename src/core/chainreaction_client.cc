@@ -1,0 +1,350 @@
+#include "src/core/chainreaction_client.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace chainreaction {
+
+ChainReactionClient::ChainReactionClient(Address address, CrxConfig config, Ring ring,
+                                         uint64_t seed)
+    : address_(address), config_(config), ring_(std::move(ring)), rng_(seed) {}
+
+std::vector<Dependency> ChainReactionClient::BuildDeps() const {
+  std::vector<Dependency> deps;
+  deps.reserve(accessed_.size());
+  for (const auto& [key, entry] : accessed_) {
+    if (entry.stable && config_.num_dcs <= 1) {
+      // Already on every replica of its chain; with no remote DCs nobody
+      // ever needs this dependency again.
+      continue;
+    }
+    deps.push_back(Dependency{key, entry.version, entry.stable});
+  }
+  return deps;
+}
+
+size_t ChainReactionClient::AccessedSetBytes() const {
+  size_t bytes = 0;
+  for (const auto& [key, entry] : accessed_) {
+    ByteWriter w;
+    Dependency{key, entry.version, entry.stable}.Encode(&w);
+    bytes += w.size();
+  }
+  return bytes;
+}
+
+void ChainReactionClient::Put(const Key& key, Value value, PutCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = true;
+  op.key = key;
+  op.value = std::move(value);
+  op.put_cb = std::move(cb);
+  SendPut(req);
+}
+
+void ChainReactionClient::SendPut(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingOp& op = it->second;
+  if (op.attempts == 0) {
+    // Snapshot the dependency set once; retries must resend the same deps
+    // even if other (pipelined) operations changed the accessed-set since.
+    op.deps = BuildDeps();
+  }
+  op.attempts++;
+  CrxPut msg;
+  msg.req = req;
+  msg.client = address_;
+  msg.key = op.key;
+  msg.value = op.value;
+  msg.deps = op.deps;
+  env_->Send(ring_.HeadFor(op.key), EncodeMessage(msg));
+  ArmTimer(req);
+}
+
+ChainIndex ChainReactionClient::AllowedPrefix(const Key& key) const {
+  switch (config_.read_policy) {
+    case ReadPolicy::kHeadOnly:
+      return 1;
+    case ReadPolicy::kAnyNodeUnsafe:
+      return config_.replication;
+    case ReadPolicy::kUniformPrefix:
+      break;
+  }
+  auto it = metadata_.find(key);
+  if (it == metadata_.end()) {
+    // No constraint on this key: anything it could transitively depend on
+    // was made DC-Write-Stable by the write gating, so the whole chain is
+    // safe to read.
+    return config_.replication;
+  }
+  return it->second.chain_index;
+}
+
+void ChainReactionClient::Get(const Key& key, GetCallback cb) {
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = false;
+  op.key = key;
+  op.get_cb = std::move(cb);
+  SendGet(req);
+}
+
+void ChainReactionClient::SendGet(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  PendingOp& op = it->second;
+  op.attempts++;
+
+  CrxGet msg;
+  msg.req = req;
+  msg.client = address_;
+  msg.key = op.key;
+  msg.with_deps = op.with_deps;
+  if (op.has_min_override) {
+    msg.min_version = op.min_override;
+  } else if (config_.read_policy != ReadPolicy::kAnyNodeUnsafe) {
+    auto md = metadata_.find(op.key);
+    if (md != metadata_.end()) {
+      msg.min_version = md->second.version;
+    }
+  }
+
+  const ChainIndex allowed = std::max<ChainIndex>(1, AllowedPrefix(op.key));
+  const ChainIndex pos = 1 + static_cast<ChainIndex>(rng_.NextBelow(allowed));
+  const NodeId target = ring_.ChainFor(op.key)[pos - 1];
+  env_->Send(target, EncodeMessage(msg));
+  ArmTimer(req);
+}
+
+void ChainReactionClient::ArmTimer(RequestId req) {
+  auto it = pending_.find(req);
+  if (it == pending_.end()) {
+    return;
+  }
+  it->second.timer = env_->Schedule(config_.client_timeout, [this, req]() {
+    auto pit = pending_.find(req);
+    if (pit == pending_.end()) {
+      return;
+    }
+    retries_++;
+    if (pit->second.is_put) {
+      SendPut(req);
+    } else {
+      SendGet(req);
+    }
+  });
+}
+
+void ChainReactionClient::OnMessage(Address /*from*/, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kCrxPutAck: {
+      CrxPutAck m;
+      if (DecodeMessage(payload, &m)) {
+        HandlePutAck(m);
+      }
+      break;
+    }
+    case MsgType::kCrxGetReply: {
+      CrxGetReply m;
+      if (DecodeMessage(payload, &m)) {
+        HandleGetReply(m);
+      }
+      break;
+    }
+    case MsgType::kMemNewMembership: {
+      MemNewMembership m;
+      if (DecodeMessage(payload, &m) && m.epoch > ring_.epoch()) {
+        ring_ = Ring(m.nodes, config_.vnodes, config_.replication, m.epoch);
+      }
+      break;
+    }
+    default:
+      LOG_WARN("client %u: unexpected message type %u", address_,
+               static_cast<unsigned>(PeekType(payload)));
+  }
+}
+
+void ChainReactionClient::HandlePutAck(const CrxPutAck& ack) {
+  auto it = pending_.find(ack.req);
+  if (it == pending_.end() || !it->second.is_put) {
+    return;  // duplicate ack after retry
+  }
+  env_->CancelTimer(it->second.timer);
+
+  const bool stable = ack.acked_at >= config_.replication;
+  metadata_[ack.key] = KeyMetadata{ack.version, ack.acked_at};
+  // The new write causally subsumes everything accessed before it.
+  accessed_.clear();
+  accessed_[ack.key] = AccessedEntry{ack.version, stable};
+
+  PutCallback cb = std::move(it->second.put_cb);
+  std::vector<Dependency> deps = std::move(it->second.deps);
+  pending_.erase(it);
+  if (cb) {
+    cb(PutResult{Status::Ok(), ack.version, std::move(deps)});
+  }
+}
+
+void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
+  auto it = pending_.find(reply.req);
+  if (it == pending_.end() || it->second.is_put) {
+    return;
+  }
+  env_->CancelTimer(it->second.timer);
+
+  if (reply.found) {
+    const ChainIndex new_index = reply.stable ? config_.replication : reply.position;
+    auto md = metadata_.find(reply.key);
+    if (md == metadata_.end()) {
+      metadata_[reply.key] = KeyMetadata{reply.version, new_index};
+    } else if (md->second.version == reply.version) {
+      md->second.chain_index = std::max(md->second.chain_index, new_index);
+    } else if (md->second.version.LwwLess(reply.version)) {
+      md->second = KeyMetadata{reply.version, new_index};
+    }
+    // else: the node answered with an older version than our causal past —
+    // only possible in kAnyNodeUnsafe mode; keep the stronger metadata.
+
+    auto acc = accessed_.find(reply.key);
+    if (acc == accessed_.end() || acc->second.version.LwwLess(reply.version)) {
+      accessed_[reply.key] = AccessedEntry{reply.version, reply.stable};
+    } else if (acc->second.version == reply.version && reply.stable) {
+      acc->second.stable = true;
+    }
+  }
+
+  GetCallback cb = std::move(it->second.get_cb);
+  GetResult result;
+  result.status = Status::Ok();
+  result.found = reply.found;
+  result.value = reply.value;
+  result.version = reply.version;
+  result.answered_by_position = reply.position;
+  result.deps = reply.deps;
+  pending_.erase(it);
+  if (cb) {
+    cb(result);
+  }
+}
+
+void ChainReactionClient::MultiGet(std::vector<Key> keys, MultiGetCallback cb) {
+  const uint64_t txn_id = next_txn_id_++;
+  PendingMultiGet& txn = multigets_[txn_id];
+  txn.keys = std::move(keys);
+  txn.results.resize(txn.keys.size());
+  txn.outstanding = txn.keys.size();
+  txn.cb = std::move(cb);
+  if (txn.keys.empty()) {
+    MultiGetResult out;
+    out.status = Status::Ok();
+    MultiGetCallback done = std::move(txn.cb);
+    multigets_.erase(txn_id);
+    done(out);
+    return;
+  }
+  for (size_t i = 0; i < multigets_[txn_id].keys.size(); ++i) {
+    StartTxnGet(txn_id, i, /*has_min=*/false, Version{});
+  }
+}
+
+void ChainReactionClient::StartTxnGet(uint64_t txn_id, size_t index, bool has_min,
+                                      const Version& min) {
+  const Key key = multigets_[txn_id].keys[index];
+  const RequestId req = next_req_++;
+  PendingOp& op = pending_[req];
+  op.is_put = false;
+  op.key = key;
+  op.with_deps = true;
+  op.has_min_override = has_min;
+  op.min_override = min;
+  op.get_cb = [this, txn_id, index](const GetResult& r) {
+    auto it = multigets_.find(txn_id);
+    if (it == multigets_.end()) {
+      return;
+    }
+    it->second.results[index] = r;
+    if (--it->second.outstanding == 0) {
+      FinishMultiGetRound(txn_id);
+    }
+  };
+  SendGet(req);
+}
+
+void ChainReactionClient::FinishMultiGetRound(uint64_t txn_id) {
+  PendingMultiGet& txn = multigets_[txn_id];
+
+  if (txn.round == 1) {
+    // Collect, per requested key, the dependency versions that co-read
+    // results require of it.
+    std::unordered_map<size_t, std::vector<Version>> required;
+    for (const GetResult& r : txn.results) {
+      if (!r.found) {
+        continue;
+      }
+      for (const Dependency& dep : r.deps) {
+        for (size_t i = 0; i < txn.keys.size(); ++i) {
+          if (txn.keys[i] == dep.key) {
+            required[i].push_back(dep.version);
+          }
+        }
+      }
+    }
+
+    // A result violates the snapshot iff some *single* co-read dependency
+    // strictly causally dominates it. (Testing against a merged vector
+    // would over-flag: the componentwise max of concurrent dependencies
+    // corresponds to no real write, and concurrent LWW winners are
+    // acceptable under causal+ convergence.) The refetch floor merges
+    // exactly the dominating dependencies; any replica satisfies it once
+    // it has applied them all.
+    std::vector<std::pair<size_t, Version>> refetch;
+    for (const auto& [i, needs] : required) {
+      const GetResult& r = txn.results[i];
+      Version floor;
+      bool stale = false;
+      for (const Version& need : needs) {
+        const bool dominates =
+            need.vv.Dominates(r.version.vv) && !(need.vv == r.version.vv);
+        if (!r.found || dominates) {
+          stale = true;
+          floor.vv.MergeMax(need.vv);
+          if (floor.lamport < need.lamport) {
+            floor.lamport = need.lamport;
+            floor.origin = need.origin;
+          }
+        }
+      }
+      if (stale) {
+        refetch.push_back({i, floor});
+      }
+    }
+    if (!refetch.empty()) {
+      txn.round = 2;
+      multiget_second_rounds_++;
+      txn.outstanding = refetch.size();
+      for (const auto& [i, need] : refetch) {
+        StartTxnGet(txn_id, i, /*has_min=*/true, need);
+      }
+      return;
+    }
+  }
+
+  MultiGetResult out;
+  out.status = Status::Ok();
+  out.rounds = txn.round;
+  out.results = std::move(txn.results);
+  MultiGetCallback done = std::move(txn.cb);
+  multigets_.erase(txn_id);
+  if (done) {
+    done(out);
+  }
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,178 @@
+// ChainReaction client library.
+//
+// The client library is where half of the paper's protocol lives:
+//   * Per-key metadata (version, chain_index): the newest version of the key
+//     this session causally depends on, and how many chain-prefix nodes are
+//     known to have applied it. Reads are load-balanced uniformly over that
+//     prefix; a reply carrying a DC-Write-Stable version widens the prefix
+//     to the whole chain.
+//   * The accessed-set: COPS-style nearest dependencies — every key
+//     read/written since the session's last write. It is attached to the
+//     next put and collapses to {written key} once that put is acked
+//     (causal transitivity).
+//
+// The client is an Actor like everything else, so it runs unchanged on the
+// simulator and on the TCP transport. Operations are asynchronous with
+// completion callbacks; a session must keep operations sequential for
+// session guarantees to be meaningful (the YCSB driver does).
+#ifndef SRC_CORE_CHAINREACTION_CLIENT_H_
+#define SRC_CORE_CHAINREACTION_CLIENT_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+#include "src/core/config.h"
+#include "src/msg/message.h"
+#include "src/ring/ring.h"
+#include "src/sim/env.h"
+
+namespace chainreaction {
+
+class ChainReactionClient : public Actor {
+ public:
+  struct PutResult {
+    Status status;
+    Version version;
+    // The dependency set the write carried (for consistency checkers).
+    std::vector<Dependency> deps;
+  };
+  struct GetResult {
+    Status status;
+    bool found = false;
+    Value value;
+    Version version;
+    ChainIndex answered_by_position = 0;
+    // Write-time dependencies of the returned version (multi-get only).
+    std::vector<Dependency> deps;
+  };
+  // A causally consistent multi-key snapshot (COPS-GT-style read
+  // transaction, DESIGN.md §3.8): no returned version is causally older
+  // than a dependency of another returned version.
+  struct MultiGetResult {
+    Status status;
+    std::vector<GetResult> results;  // parallel to the requested keys
+    uint32_t rounds = 1;             // 1 if the first round was consistent
+  };
+  using PutCallback = std::function<void(const PutResult&)>;
+  using GetCallback = std::function<void(const GetResult&)>;
+  using MultiGetCallback = std::function<void(const MultiGetResult&)>;
+
+  ChainReactionClient(Address address, CrxConfig config, Ring ring, uint64_t seed);
+
+  void AttachEnv(Env* env) { env_ = env; }
+
+  void Put(const Key& key, Value value, PutCallback cb);
+  void Get(const Key& key, GetCallback cb);
+
+  // Reads a causally consistent snapshot of `keys` in at most two rounds:
+  // round one reads every key (with dependency lists); if some returned
+  // version is strictly dominated by a dependency of another, those keys
+  // are re-read constrained to the required minimum versions.
+  void MultiGet(std::vector<Key> keys, MultiGetCallback cb);
+
+  uint64_t multiget_second_rounds() const { return multiget_second_rounds_; }
+
+  void OnMessage(Address from, const std::string& payload) override;
+
+  // Introspection (E8 metadata experiment, tests) -------------------------
+  size_t metadata_entries() const { return metadata_.size(); }
+  size_t accessed_set_size() const { return accessed_.size(); }
+  // Approximate wire size of the dependency metadata the next put would
+  // carry (bytes).
+  size_t AccessedSetBytes() const;
+  uint64_t retries() const { return retries_; }
+  Address address() const { return address_; }
+
+  // Tests only: exposes the per-key metadata pair (version, chain_index).
+  bool LookupMetadata(const Key& key, Version* version, ChainIndex* index) const {
+    auto it = metadata_.find(key);
+    if (it == metadata_.end()) {
+      return false;
+    }
+    if (version != nullptr) {
+      *version = it->second.version;
+    }
+    if (index != nullptr) {
+      *index = it->second.chain_index;
+    }
+    return true;
+  }
+
+  // Tests only: forget all session state.
+  void ResetSession() {
+    metadata_.clear();
+    accessed_.clear();
+  }
+
+ private:
+  struct KeyMetadata {
+    Version version;
+    ChainIndex chain_index = 0;
+  };
+
+  struct PendingOp {
+    bool is_put = false;
+    Key key;
+    Value value;  // puts only
+    std::vector<Dependency> deps;  // puts only; echoed to the caller
+    PutCallback put_cb;
+    GetCallback get_cb;
+    uint64_t timer = 0;
+    uint32_t attempts = 0;
+    // Gets issued by a read transaction:
+    bool with_deps = false;
+    bool has_min_override = false;
+    Version min_override;
+  };
+
+  struct PendingMultiGet {
+    std::vector<Key> keys;
+    std::vector<GetResult> results;
+    size_t outstanding = 0;
+    uint32_t round = 1;
+    MultiGetCallback cb;
+  };
+
+  void SendPut(RequestId req);
+  void SendGet(RequestId req);
+  void StartTxnGet(uint64_t txn_id, size_t index, bool has_min, const Version& min);
+  void FinishMultiGetRound(uint64_t txn_id);
+  void ArmTimer(RequestId req);
+  void HandlePutAck(const CrxPutAck& ack);
+  void HandleGetReply(const CrxGetReply& reply);
+
+  ChainIndex AllowedPrefix(const Key& key) const;
+  std::vector<Dependency> BuildDeps() const;
+
+  Address address_;
+  CrxConfig config_;
+  Env* env_ = nullptr;
+  Ring ring_;
+  Rng rng_;
+
+  RequestId next_req_ = 1;
+  std::unordered_map<RequestId, PendingOp> pending_;
+  std::unordered_map<Key, KeyMetadata> metadata_;
+  // Nearest dependencies accumulated since the last write. `stable` marks
+  // versions the client knows to be DC-Write-Stable (read replies say so);
+  // those need no stability gating and, in single-DC deployments, are not
+  // sent at all.
+  struct AccessedEntry {
+    Version version;
+    bool stable = false;
+  };
+  std::unordered_map<Key, AccessedEntry> accessed_;
+  uint64_t next_txn_id_ = 1;
+  std::unordered_map<uint64_t, PendingMultiGet> multigets_;
+  uint64_t multiget_second_rounds_ = 0;
+  uint64_t retries_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_CORE_CHAINREACTION_CLIENT_H_

@@ -1,0 +1,752 @@
+#include "src/core/chainreaction_node.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/storage/checkpoint.h"
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+namespace {
+constexpr size_t kCompletedReqCap = 8192;
+}  // namespace
+
+ChainReactionNode::ChainReactionNode(NodeId id, CrxConfig config, Ring initial_ring)
+    : id_(id),
+      config_(config),
+      ring_(std::move(initial_ring)),
+      reads_by_position_(config.replication, 0) {
+  CHAINRX_CHECK(config_.k_stability >= 1 && config_.k_stability <= config_.replication);
+}
+
+Status ChainReactionNode::SaveStateCheckpoint(const std::string& path) const {
+  return SaveCheckpoint(store_, path);
+}
+
+Status ChainReactionNode::LoadStateCheckpoint(const std::string& path) {
+  const Status status = LoadCheckpoint(path, &store_);
+  if (!status.ok()) {
+    return status;
+  }
+  // Rebuild the stability cache and unstable-head tracking from the store.
+  store_.ForEachKey([this](const Key& key, const StoredVersion&) {
+    if (const StoredVersion* stable = store_.LatestStable(key)) {
+      stable_vv_[key].MergeMax(stable->version.vv);
+    }
+    if (!store_.UnstableVersions(key).empty() && ring_.PositionOf(key, id_) == 1) {
+      unstable_head_keys_.insert(key);
+    }
+    lamport_ = std::max(lamport_, store_.Latest(key)->version.lamport);
+  });
+  return Status::Ok();
+}
+
+void ChainReactionNode::AttachEnv(Env* env) {
+  env_ = env;
+  if (config_.membership != 0 && config_.heartbeat_interval > 0) {
+    SendHeartbeat();
+  }
+}
+
+void ChainReactionNode::SendHeartbeat() {
+  MemHeartbeat hb;
+  hb.node = id_;
+  env_->Send(config_.membership, EncodeMessage(hb));
+  env_->Schedule(config_.heartbeat_interval, [this]() { SendHeartbeat(); });
+}
+
+uint64_t ChainReactionNode::NextLamport() {
+  lamport_ = std::max(lamport_ + 1, static_cast<uint64_t>(env_->Now()));
+  return lamport_;
+}
+
+void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kCrxPut: {
+      CrxPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandlePut(std::move(m));
+      }
+      break;
+    }
+    case MsgType::kCrxChainPut: {
+      CrxChainPut m;
+      if (DecodeMessage(payload, &m)) {
+        HandleChainPut(m);
+      }
+      break;
+    }
+    case MsgType::kCrxGet: {
+      CrxGet m;
+      if (DecodeMessage(payload, &m)) {
+        HandleGet(std::move(m), from);
+      }
+      break;
+    }
+    case MsgType::kCrxStableNotify: {
+      CrxStableNotify m;
+      if (DecodeMessage(payload, &m)) {
+        HandleStableNotify(m);
+      }
+      break;
+    }
+    case MsgType::kCrxStabilityCheck: {
+      CrxStabilityCheck m;
+      if (DecodeMessage(payload, &m)) {
+        HandleStabilityCheck(m, from);
+      }
+      break;
+    }
+    case MsgType::kCrxStabilityConfirm: {
+      CrxStabilityConfirm m;
+      if (DecodeMessage(payload, &m)) {
+        HandleStabilityConfirm(m);
+      }
+      break;
+    }
+    case MsgType::kGeoRemotePut: {
+      GeoRemotePut m;
+      if (DecodeMessage(payload, &m)) {
+        HandleRemotePut(m);
+      }
+      break;
+    }
+    case MsgType::kGeoLocalStableAck: {
+      GeoLocalStableAck m;
+      if (DecodeMessage(payload, &m)) {
+        HandleGeoNotifyAck(m);
+      }
+      break;
+    }
+    case MsgType::kMemNewMembership: {
+      MemNewMembership m;
+      if (DecodeMessage(payload, &m)) {
+        HandleNewMembership(m);
+      }
+      break;
+    }
+    case MsgType::kMemSyncKey: {
+      MemSyncKey m;
+      if (DecodeMessage(payload, &m)) {
+        HandleSyncKey(m);
+      }
+      break;
+    }
+    default:
+      LOG_WARN("node %u: unexpected message type %u", id_,
+               static_cast<unsigned>(PeekType(payload)));
+  }
+}
+
+bool ChainReactionNode::DepTriviallyStable(const Key& write_key, const Dependency& dep) const {
+  if (dep.version.IsNull()) {
+    return true;
+  }
+  // The client library only marks a dependency local_stable after a node of
+  // the dependency's chain reported the version DC-Write-Stable; such deps
+  // are carried for geo shipping but need no gating here.
+  if (dep.local_stable) {
+    return true;
+  }
+  // A dependency on an older version of the same key needs no wait: the
+  // chain applies versions of one key in order, so any node holding the
+  // new version holds (or has superseded) the dependency. Note this must
+  // NOT be widened to "same chain": a reader of the new value may read a
+  // *different* key of that chain at any position once it reports stable,
+  // but the prefix property only covers positions up to the one read.
+  if (dep.key == write_key) {
+    return true;
+  }
+  auto it = stable_vv_.find(dep.key);
+  return it != stable_vv_.end() && it->second.Dominates(dep.version.vv);
+}
+
+bool ChainReactionNode::DepStableHere(const Key& key, const Version& v) const {
+  auto it = stable_vv_.find(key);
+  if (it != stable_vv_.end() && it->second.Dominates(v.vv)) {
+    return true;
+  }
+  const StoredVersion* latest_stable = store_.LatestStable(key);
+  return latest_stable != nullptr && v.LwwLess(latest_stable->version);
+}
+
+bool ChainReactionNode::ReadSatisfies(const Key& key, const Version& v) const {
+  if (v.IsNull() || store_.HasAtLeast(key, v)) {
+    return true;
+  }
+  const StoredVersion* latest = store_.Latest(key);
+  return latest != nullptr && v.LwwLess(latest->version);
+}
+
+void ChainReactionNode::HandlePut(CrxPut put) {
+  // A client with a stale ring may address the wrong node; route onward.
+  if (ring_.PositionOf(put.key, id_) != 1) {
+    env_->Send(ring_.HeadFor(put.key), EncodeMessage(put));
+    return;
+  }
+
+  // Retry dedup: the version was already assigned; re-propagate it so the
+  // ack (and stabilization) is regenerated, but do not assign a new version.
+  auto seen = completed_reqs_.find({put.client, put.req});
+  if (seen != completed_reqs_.end()) {
+    const StoredVersion* sv = store_.Find(put.key, seen->second);
+    if (sv != nullptr) {
+      ApplyVersion(put.key, sv->value, sv->version, put.client, put.req, config_.k_stability,
+                   put.deps);
+      return;
+    }
+  }
+
+  // A timed-out client may retry while the original is still parked:
+  // re-probe the unconfirmed dependencies (confirm messages may have been
+  // lost) instead of parking — or worse, applying — a second copy. This
+  // check must precede the gating shortcut below, or a retry whose deps
+  // have stabilized in the meantime would assign a second version and
+  // orphan the parked original.
+  if (auto dup = gated_reqs_.find({put.client, put.req}); dup != gated_reqs_.end()) {
+    auto parked_it = gated_puts_.find(dup->second);
+    if (parked_it != gated_puts_.end()) {
+      for (const Dependency& dep : parked_it->second.pending_deps) {
+        CrxStabilityCheck check;
+        check.key = dep.key;
+        check.version = dep.version;
+        check.token = dup->second;
+        dep_checks_sent_++;
+        env_->Send(ring_.TailFor(dep.key), EncodeMessage(check));
+      }
+    }
+    return;
+  }
+
+  // Gate on dependency stability (Section 3.2 of DESIGN.md): every
+  // dependency must be DC-Write-Stable before this write becomes visible.
+  std::vector<Dependency> pending;
+  if (!config_.disable_dependency_gating) {
+    for (const Dependency& dep : put.deps) {
+      if (!DepTriviallyStable(put.key, dep)) {
+        pending.push_back(dep);
+      }
+    }
+  }
+  if (pending.empty()) {
+    ApplyAndPropagate(put);
+    return;
+  }
+
+  const uint64_t token = next_token_++;
+  gated_reqs_[{put.client, put.req}] = token;
+  PendingPut& parked = gated_puts_[token];
+  parked.put = std::move(put);
+  parked.pending_deps = pending;
+  parked.parked_at = env_->Now();
+  dep_waits_++;
+  for (const Dependency& dep : pending) {
+    CrxStabilityCheck check;
+    check.key = dep.key;
+    check.version = dep.version;
+    check.token = token;
+    dep_checks_sent_++;
+    env_->Send(ring_.TailFor(dep.key), EncodeMessage(check));
+  }
+}
+
+void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
+  auto it = gated_puts_.find(msg.token);
+  if (it == gated_puts_.end()) {
+    return;
+  }
+  auto& pending = it->second.pending_deps;
+  const size_t before = pending.size();
+  std::erase_if(pending, [&msg](const Dependency& d) { return d.key == msg.key; });
+  if (pending.size() == before || !pending.empty()) {
+    return;  // duplicate confirm, or more dependencies outstanding
+  }
+  const Duration waited = env_->Now() - it->second.parked_at;
+  dep_wait_total_us_ += static_cast<uint64_t>(waited);
+  dep_wait_hist_.Record(waited);
+  CrxPut put = std::move(it->second.put);
+  gated_puts_.erase(it);
+  gated_reqs_.erase({put.client, put.req});
+  ApplyAndPropagate(put);
+}
+
+void ChainReactionNode::ApplyAndPropagate(const CrxPut& put) {
+  Version version;
+  if (const VersionVector* applied = store_.AppliedVv(put.key)) {
+    version.vv = *applied;
+  } else {
+    version.vv = VersionVector(config_.num_dcs);
+  }
+  version.vv.Increment(config_.local_dc);
+  version.lamport = NextLamport();
+  version.origin = config_.local_dc;
+
+  completed_reqs_[{put.client, put.req}] = version;
+  completed_order_.push_back({put.client, put.req});
+  while (completed_order_.size() > kCompletedReqCap) {
+    completed_reqs_.erase(completed_order_.front());
+    completed_order_.pop_front();
+  }
+
+  ApplyVersion(put.key, put.value, version, put.client, put.req, config_.k_stability, put.deps);
+}
+
+bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const Version& version,
+                                     Address client, RequestId req, ChainIndex ack_at,
+                                     const std::vector<Dependency>& deps) {
+  const bool applied = store_.Apply(key, value, version, deps);
+  if (applied) {
+    writes_applied_++;
+    lamport_ = std::max(lamport_, version.lamport);
+    ResolveDeferredGets(key);
+    ResolveWatchers(key);
+  }
+
+  const ChainIndex pos = ring_.PositionOf(key, id_);
+  if (pos == 0) {
+    return applied;  // no longer a replica of this key (stale traffic)
+  }
+
+  if (pos == 1 && config_.replication > 1 && applied) {
+    TrackUnstableHead(key);
+  }
+
+  if (ack_at != 0 && pos == ack_at && client != 0) {
+    CrxPutAck ack;
+    ack.req = req;
+    ack.key = key;
+    ack.version = version;
+    ack.acked_at = pos;
+    env_->Send(client, EncodeMessage(ack));
+  }
+
+  if (pos == config_.replication) {
+    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, value);
+  } else {
+    CrxChainPut fwd;
+    fwd.key = key;
+    fwd.value = value;
+    fwd.version = version;
+    fwd.client = client;
+    fwd.req = req;
+    fwd.ack_at = ack_at;
+    fwd.epoch = ring_.epoch();
+    // Every replica stores the dependency list: the tail ships it to the
+    // geo replicator, and any replica serves it to multi-get read
+    // transactions.
+    fwd.deps = deps;
+    env_->Send(ring_.SuccessorFor(key, id_), EncodeMessage(fwd));
+  }
+  return applied;
+}
+
+void ChainReactionNode::HandleChainPut(const CrxChainPut& msg) {
+  if (msg.epoch != ring_.epoch()) {
+    // A reconfiguration happened while this write was in flight; the new
+    // head re-propagates all unstable writes under the new epoch.
+    return;
+  }
+  if (ring_.PositionOf(msg.key, id_) == 0) {
+    return;
+  }
+  ApplyVersion(msg.key, msg.value, msg.version, msg.client, msg.req, msg.ack_at, msg.deps);
+}
+
+void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
+                                        const std::vector<Dependency>& deps,
+                                        bool has_local_payload, const Value& value) {
+  store_.MarkStable(key, version);
+  stable_vv_[key].MergeMax(version.vv);
+  ResolveWatchers(key);
+  ResolveUnstableHead(key);
+
+  if (config_.replication > 1) {
+    if (config_.stable_notify_delay <= 0) {
+      CrxStableNotify notify;
+      notify.key = key;
+      notify.version = version;
+      notify.epoch = ring_.epoch();
+      const NodeId pred = ring_.PredecessorFor(key, id_);
+      if (pred != kInvalidNode) {
+        env_->Send(pred, EncodeMessage(notify));
+      }
+    } else {
+      // Coalesce: remember the newest stable version per key and notify
+      // once per delay window. On hot keys this collapses a per-write
+      // backward wave into one message (stability is prefix-closed, so
+      // notifying the newest version covers all older ones).
+      // The merged (possibly synthetic) version dominates every version
+      // stabilized in the window — including mutually concurrent geo
+      // versions — so one message marks them all stable upstream.
+      auto [it, inserted] = pending_notify_.try_emplace(key, version);
+      if (!inserted) {
+        it->second.vv.MergeMax(version.vv);
+        it->second.lamport = std::max(it->second.lamport, version.lamport);
+      }
+      if (inserted) {
+        ScheduleStableNotify(key);
+      }
+    }
+  }
+
+  if (config_.geo_replicator != 0) {
+    GeoLocalStable msg;
+    msg.key = key;
+    msg.version = version;
+    msg.has_payload = has_local_payload;
+    if (has_local_payload) {
+      msg.value = value;
+      msg.deps = deps;
+    }
+    SendGeoNotify(msg);
+  }
+}
+
+void ChainReactionNode::SendGeoNotify(const GeoLocalStable& msg) {
+  ByteWriter w;
+  w.PutString(msg.key);
+  msg.version.Encode(&w);
+  pending_geo_notify_[w.Take()] = msg;
+  env_->Send(config_.geo_replicator, EncodeMessage(msg));
+  ArmGeoNotifyRetry();
+}
+
+void ChainReactionNode::HandleGeoNotifyAck(const GeoLocalStableAck& msg) {
+  ByteWriter w;
+  w.PutString(msg.key);
+  msg.version.Encode(&w);
+  pending_geo_notify_.erase(w.data());
+  if (pending_geo_notify_.empty() && geo_notify_timer_ != 0) {
+    env_->CancelTimer(geo_notify_timer_);
+    geo_notify_timer_ = 0;
+  }
+}
+
+void ChainReactionNode::ArmGeoNotifyRetry() {
+  if (geo_notify_timer_ != 0 || config_.anti_entropy_interval <= 0 ||
+      pending_geo_notify_.empty()) {
+    return;
+  }
+  geo_notify_timer_ = env_->Schedule(config_.anti_entropy_interval, [this]() {
+    geo_notify_timer_ = 0;
+    for (const auto& [vk, msg] : pending_geo_notify_) {
+      env_->Send(config_.geo_replicator, EncodeMessage(msg));
+    }
+    ArmGeoNotifyRetry();
+  });
+}
+
+void ChainReactionNode::ScheduleStableNotify(const Key& key) {
+  const Key key_copy = key;
+  env_->Schedule(config_.stable_notify_delay, [this, key_copy]() {
+        auto pit = pending_notify_.find(key_copy);
+        if (pit == pending_notify_.end()) {
+          return;
+        }
+        CrxStableNotify notify;
+        notify.key = key_copy;
+        notify.version = pit->second;
+        notify.epoch = ring_.epoch();
+        pending_notify_.erase(pit);
+        const NodeId pred = ring_.PredecessorFor(key_copy, id_);
+        if (pred != kInvalidNode) {
+          env_->Send(pred, EncodeMessage(notify));
+        }
+  });
+}
+
+void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg) {
+  store_.MarkStable(msg.key, msg.version);
+  stable_vv_[msg.key].MergeMax(msg.version.vv);
+  ResolveWatchers(msg.key);
+  ResolveUnstableHead(msg.key);
+
+  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos > 1) {
+    const NodeId pred = ring_.PredecessorFor(msg.key, id_);
+    if (pred != kInvalidNode) {
+      env_->Send(pred, EncodeMessage(msg));
+    }
+  }
+}
+
+void ChainReactionNode::HandleStabilityCheck(const CrxStabilityCheck& msg, Address from) {
+  if (DepStableHere(msg.key, msg.version)) {
+    CrxStabilityConfirm confirm;
+    confirm.token = msg.token;
+    confirm.key = msg.key;
+    env_->Send(from, EncodeMessage(confirm));
+    return;
+  }
+  watchers_[msg.key].push_back(StabilityWatcher{msg.version, msg.token, from});
+}
+
+void ChainReactionNode::ResolveWatchers(const Key& key) {
+  auto wit = watchers_.find(key);
+  if (wit == watchers_.end()) {
+    return;
+  }
+  auto& list = wit->second;
+  for (size_t i = 0; i < list.size();) {
+    if (DepStableHere(key, list[i].version)) {
+      CrxStabilityConfirm confirm;
+      confirm.token = list[i].token;
+      confirm.key = key;
+      env_->Send(list[i].reply_to, EncodeMessage(confirm));
+      list[i] = list.back();
+      list.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  if (list.empty()) {
+    watchers_.erase(wit);
+  }
+}
+
+void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
+  const ChainIndex pos = ring_.PositionOf(get.key, id_);
+  if (pos == 0) {
+    // Stale client ring: route to the current head.
+    gets_forwarded_++;
+    env_->Send(ring_.HeadFor(get.key), EncodeMessage(get));
+    return;
+  }
+
+  if (!ReadSatisfies(get.key, get.min_version)) {
+    if (pos > 1) {
+      // This replica is behind the client's causal past (possible briefly
+      // during chain repair); escalate toward the head, which applies
+      // writes first.
+      gets_forwarded_++;
+      env_->Send(ring_.PredecessorFor(get.key, id_), EncodeMessage(get));
+      return;
+    }
+    // Even the head is behind: the required version is still in flight
+    // (e.g. a remote update). Defer until it lands.
+    DeferredGet deferred;
+    deferred.get = get;
+    const Key key = get.key;
+    const RequestId req = get.req;
+    deferred.timeout_timer = env_->Schedule(config_.deferred_read_timeout, [this, key, req]() {
+      auto it = deferred_gets_.find(key);
+      if (it == deferred_gets_.end()) {
+        return;
+      }
+      auto& list = it->second;
+      for (size_t i = 0; i < list.size(); ++i) {
+        if (list[i].get.req == req) {
+          CrxGet g = list[i].get;
+          list[i] = list.back();
+          list.pop_back();
+          AnswerGet(g, ring_.PositionOf(g.key, id_));
+          break;
+        }
+      }
+      if (list.empty()) {
+        deferred_gets_.erase(key);
+      }
+    });
+    deferred_gets_[get.key].push_back(std::move(deferred));
+    return;
+  }
+
+  AnswerGet(get, pos);
+}
+
+void ChainReactionNode::AnswerGet(const CrxGet& get, ChainIndex position) {
+  CrxGetReply reply;
+  reply.req = get.req;
+  reply.key = get.key;
+  reply.position = position;
+  if (const StoredVersion* sv = store_.Latest(get.key)) {
+    reply.found = true;
+    reply.value = sv->value;
+    reply.version = sv->version;
+    reply.stable = sv->stable;
+    if (get.with_deps) {
+      reply.deps = sv->deps;
+    }
+  }
+  reads_served_++;
+  if (position >= 1 && position <= reads_by_position_.size()) {
+    reads_by_position_[position - 1]++;
+  }
+  env_->Send(get.client, EncodeMessage(reply));
+}
+
+void ChainReactionNode::ResolveDeferredGets(const Key& key) {
+  auto it = deferred_gets_.find(key);
+  if (it == deferred_gets_.end()) {
+    return;
+  }
+  auto& list = it->second;
+  for (size_t i = 0; i < list.size();) {
+    if (ReadSatisfies(key, list[i].get.min_version)) {
+      env_->CancelTimer(list[i].timeout_timer);
+      CrxGet g = list[i].get;
+      list[i] = list.back();
+      list.pop_back();
+      AnswerGet(g, ring_.PositionOf(g.key, id_));
+    } else {
+      ++i;
+    }
+  }
+  if (list.empty()) {
+    deferred_gets_.erase(it);
+  }
+}
+
+void ChainReactionNode::TrackUnstableHead(const Key& key) {
+  unstable_head_keys_.insert(key);
+  ArmAntiEntropy();
+}
+
+void ChainReactionNode::ResolveUnstableHead(const Key& key) {
+  auto it = unstable_head_keys_.find(key);
+  if (it == unstable_head_keys_.end()) {
+    return;
+  }
+  if (!store_.UnstableVersions(key).empty()) {
+    return;
+  }
+  unstable_head_keys_.erase(it);
+  if (unstable_head_keys_.empty() && anti_entropy_timer_ != 0) {
+    env_->CancelTimer(anti_entropy_timer_);
+    anti_entropy_timer_ = 0;
+  }
+}
+
+void ChainReactionNode::ArmAntiEntropy() {
+  if (anti_entropy_timer_ != 0 || config_.anti_entropy_interval <= 0 ||
+      unstable_head_keys_.empty()) {
+    return;
+  }
+  anti_entropy_timer_ = env_->Schedule(config_.anti_entropy_interval, [this]() {
+    anti_entropy_timer_ = 0;
+    RunAntiEntropy();
+    ArmAntiEntropy();
+  });
+}
+
+void ChainReactionNode::RunAntiEntropy() {
+  std::vector<Key> done;
+  for (const Key& key : unstable_head_keys_) {
+    if (ring_.PositionOf(key, id_) != 1) {
+      done.push_back(key);  // chain moved; the new head owns re-propagation
+      continue;
+    }
+    const std::vector<StoredVersion> unstable = store_.UnstableVersions(key);
+    if (unstable.empty()) {
+      done.push_back(key);
+      continue;
+    }
+    for (const StoredVersion& sv : unstable) {
+      CrxChainPut fwd;
+      fwd.key = key;
+      fwd.value = sv.value;
+      fwd.version = sv.version;
+      fwd.client = 0;
+      fwd.req = 0;
+      fwd.ack_at = 0;
+      fwd.epoch = ring_.epoch();
+      fwd.deps = sv.deps;
+      env_->Send(ring_.SuccessorFor(key, id_), EncodeMessage(fwd));
+    }
+  }
+  for (const Key& key : done) {
+    unstable_head_keys_.erase(key);
+  }
+}
+
+void ChainReactionNode::HandleRemotePut(const GeoRemotePut& msg) {
+  if (ring_.PositionOf(msg.key, id_) != 1) {
+    env_->Send(ring_.HeadFor(msg.key), EncodeMessage(msg));
+    return;
+  }
+  ApplyVersion(msg.key, msg.value, msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0,
+               msg.deps);
+}
+
+void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
+  if (msg.epoch <= ring_.epoch()) {
+    return;
+  }
+  const Ring old_ring = ring_;
+  ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch);
+  if (!ring_.Contains(id_)) {
+    return;  // this node was removed; it will receive no further traffic
+  }
+  RepairChains(old_ring);
+}
+
+void ChainReactionNode::RepairChains(const Ring& old_ring) {
+  // Collect keys first: repair sends messages but must not mutate the store.
+  std::vector<Key> keys;
+  keys.reserve(store_.KeyCount());
+  store_.ForEachKey([&keys](const Key& key, const StoredVersion&) { keys.push_back(key); });
+
+  for (const Key& key : keys) {
+    const std::vector<NodeId>& chain = ring_.ChainFor(key);
+    const ChainIndex pos = ring_.PositionOf(key, id_);
+    if (pos == 0) {
+      continue;
+    }
+
+    // New head re-propagates everything not yet DC-Write-Stable so that
+    // in-flight writes dropped by the epoch change reach the (new) tail.
+    if (pos == 1 && config_.replication > 1) {
+      for (const StoredVersion& sv : store_.UnstableVersions(key)) {
+        CrxChainPut fwd;
+        fwd.key = key;
+        fwd.value = sv.value;
+        fwd.version = sv.version;
+        fwd.client = 0;
+        fwd.req = 0;
+        fwd.ack_at = 0;
+        fwd.epoch = ring_.epoch();
+        fwd.deps = sv.deps;
+        env_->Send(chain[1], EncodeMessage(fwd));
+      }
+    }
+
+    // The predecessor of a freshly added chain member transfers the newest
+    // stable version (unstable ones flow through the head re-propagation).
+    const std::vector<NodeId>& old_chain = old_ring.ChainFor(key);
+    for (size_t i = 1; i < chain.size(); ++i) {
+      const NodeId member = chain[i];
+      const bool is_new =
+          std::find(old_chain.begin(), old_chain.end(), member) == old_chain.end();
+      if (is_new && chain[i - 1] == id_) {
+        if (const StoredVersion* stable = store_.LatestStable(key)) {
+          MemSyncKey sync;
+          sync.epoch = ring_.epoch();
+          sync.key = key;
+          sync.value = stable->value;
+          sync.version = stable->version;
+          sync.stable = true;
+          env_->Send(member, EncodeMessage(sync));
+        }
+      }
+    }
+  }
+}
+
+void ChainReactionNode::HandleSyncKey(const MemSyncKey& msg) {
+  if (msg.epoch < ring_.epoch()) {
+    return;
+  }
+  store_.Apply(msg.key, msg.value, msg.version);
+  lamport_ = std::max(lamport_, msg.version.lamport);
+  if (msg.stable) {
+    store_.MarkStable(msg.key, msg.version);
+    stable_vv_[msg.key].MergeMax(msg.version.vv);
+    ResolveWatchers(msg.key);
+    ResolveUnstableHead(msg.key);
+  }
+  ResolveDeferredGets(msg.key);
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,219 @@
+// ChainReaction server node.
+//
+// One node participates in many chains (one per key, derived from the ring).
+// Per chain role it implements:
+//   head  — assigns versions, gates writes on the DC-Write-Stability of
+//           their causal dependencies, starts down-chain propagation, and
+//           re-propagates unstable writes after chain reconfigurations;
+//   middle— applies and forwards; the node at position k acknowledges the
+//           client (k-stability);
+//   tail  — marks versions DC-Write-Stable, answers stability checks, sends
+//           backward stability notifications, and feeds the geo replicator.
+// Every node serves reads for the chains it belongs to (the paper's read
+// distribution), forwarding toward the head when it is behind the version
+// the client causally requires.
+#ifndef SRC_CORE_CHAINREACTION_NODE_H_
+#define SRC_CORE_CHAINREACTION_NODE_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+#include "src/core/config.h"
+#include "src/msg/message.h"
+#include "src/ring/ring.h"
+#include "src/sim/env.h"
+#include "src/storage/versioned_store.h"
+
+namespace chainreaction {
+
+class ChainReactionNode : public Actor {
+ public:
+  ChainReactionNode(NodeId id, CrxConfig config, Ring initial_ring);
+
+  // Attaches the runtime environment; starts the heartbeat loop when the
+  // config names a membership service.
+  void AttachEnv(Env* env);
+
+  void OnMessage(Address from, const std::string& payload) override;
+
+  // Recovery: persist / restore this node's store. Restore must happen
+  // before the node starts serving (typically right after construction);
+  // chain repair then re-propagates anything missed while down.
+  Status SaveStateCheckpoint(const std::string& path) const;
+  Status LoadStateCheckpoint(const std::string& path);
+
+  // Introspection for tests and benchmarks -------------------------------
+  const VersionedStore& store() const { return store_; }
+  NodeId id() const { return id_; }
+  uint64_t epoch() const { return ring_.epoch(); }
+  uint64_t reads_served() const { return reads_served_; }
+  // reads_by_position()[i] = reads this node answered while at chain
+  // position i+1 for the requested key (E5: read load distribution).
+  const std::vector<uint64_t>& reads_by_position() const { return reads_by_position_; }
+  uint64_t writes_applied() const { return writes_applied_; }
+  uint64_t dep_checks_sent() const { return dep_checks_sent_; }
+  uint64_t dep_wait_total_us() const { return dep_wait_total_us_; }
+  const Histogram& dep_wait_hist() const { return dep_wait_hist_; }
+  uint64_t dep_waits() const { return dep_waits_; }
+  uint64_t gets_forwarded() const { return gets_forwarded_; }
+  size_t gated_puts_pending() const { return gated_puts_.size(); }
+  // Debug/tests: (client, req, remaining dep keys) of each parked write.
+  std::vector<std::string> GatedPutsInfo() const {
+    std::vector<std::string> out;
+    for (const auto& [token, pp] : gated_puts_) {
+      std::string s = "req=" + std::to_string(pp.put.req) + " client=" +
+                      std::to_string(pp.put.client) + " key=" + pp.put.key + " deps:";
+      for (const auto& d : pp.pending_deps) {
+        s += " " + d.key + "@" + d.version.ToString();
+      }
+      out.push_back(s);
+    }
+    return out;
+  }
+  size_t deferred_gets_pending() const { return deferred_gets_.size(); }
+  size_t unstable_head_keys_count() const { return unstable_head_keys_.size(); }
+  std::string StableVvOf(const Key& key) const {
+    auto it = stable_vv_.find(key);
+    return it == stable_vv_.end() ? "(none)" : it->second.ToString();
+  }
+  size_t watchers_count() const { return watchers_.size(); }
+
+ private:
+  // A write parked at the head until its dependencies are DC-Write-Stable.
+  struct PendingPut {
+    CrxPut put;
+    std::vector<Dependency> pending_deps;  // not yet confirmed stable
+    Time parked_at = 0;
+  };
+
+  // A read parked because this node has not yet applied the version the
+  // client causally requires (possible transiently during chain repair).
+  struct DeferredGet {
+    CrxGet get;
+    uint64_t timeout_timer = 0;
+  };
+
+  // A stability watcher registered at this (tail) node by some head.
+  struct StabilityWatcher {
+    Version version;
+    uint64_t token = 0;
+    Address reply_to = 0;
+  };
+
+  void HandlePut(CrxPut put);
+  void HandleChainPut(const CrxChainPut& msg);
+  void HandleGet(CrxGet get, Address from);
+  void HandleStableNotify(const CrxStableNotify& msg);
+  void HandleStabilityCheck(const CrxStabilityCheck& msg, Address from);
+  void HandleStabilityConfirm(const CrxStabilityConfirm& msg);
+  void HandleRemotePut(const GeoRemotePut& msg);
+  void HandleNewMembership(const MemNewMembership& msg);
+  void HandleSyncKey(const MemSyncKey& msg);
+
+  // Assigns a version to a gated client write and starts propagation.
+  void ApplyAndPropagate(const CrxPut& put);
+
+  // Common apply path for a concrete (key, value, version); handles the
+  // single-node-chain and tail special cases. Returns true if newly applied.
+  bool ApplyVersion(const Key& key, const Value& value, const Version& version, Address client,
+                    RequestId req, ChainIndex ack_at, const std::vector<Dependency>& deps);
+
+  // Everything the tail must do when a version reaches it.
+  void StabilizeAtTail(const Key& key, const Version& version,
+                       const std::vector<Dependency>& deps, bool has_local_payload,
+                       const Value& value);
+
+  void ResolveWatchers(const Key& key);
+  void ScheduleStableNotify(const Key& key);
+  void TrackUnstableHead(const Key& key);
+  void ResolveUnstableHead(const Key& key);
+  void ArmAntiEntropy();
+  void RunAntiEntropy();
+  void SendGeoNotify(const GeoLocalStable& msg);
+  void SendHeartbeat();
+  void HandleGeoNotifyAck(const GeoLocalStableAck& msg);
+  void ArmGeoNotifyRetry();
+  void ResolveDeferredGets(const Key& key);
+  void AnswerGet(const CrxGet& get, ChainIndex position);
+
+  // True if the dependency does not need a remote stability confirmation:
+  // null versions, and dependencies living on this exact chain (the FIFO
+  // down-chain link already serializes them before the new write).
+  bool DepTriviallyStable(const Key& write_key, const Dependency& dep) const;
+
+  // Causal+ stability predicate: `v` is marked stable here, OR a stable
+  // LWW-newer version supersedes it (convergent conflict handling lets the
+  // LWW winner stand in for a concurrent loser, which may even have been
+  // garbage-collected).
+  bool DepStableHere(const Key& key, const Version& v) const;
+
+  // Read-freshness predicate: this node can answer a read that causally
+  // requires `v` (it applied v's causal past, or holds an LWW-newer
+  // version that convergence resolves to).
+  bool ReadSatisfies(const Key& key, const Version& v) const;
+
+  // Chain-repair duties after a membership change.
+  void RepairChains(const Ring& old_ring);
+
+  uint64_t NextLamport();
+
+  NodeId id_;
+  CrxConfig config_;
+  Env* env_ = nullptr;
+  Ring ring_;
+  VersionedStore store_;
+  uint64_t lamport_ = 0;
+
+  // Head state.
+  uint64_t next_token_ = 1;
+  std::unordered_map<uint64_t, PendingPut> gated_puts_;  // token -> parked put
+  // Requests already assigned a version (client retry dedup). Bounded FIFO.
+  std::map<std::pair<Address, RequestId>, Version> completed_reqs_;
+  std::deque<std::pair<Address, RequestId>> completed_order_;
+  // Requests currently parked behind dependency gating, mapped to their
+  // gating token so client retries can re-probe instead of re-parking.
+  std::map<std::pair<Address, RequestId>, uint64_t> gated_reqs_;
+  // Keys this node heads whose newest version is not yet DC-Write-Stable;
+  // re-propagated by the anti-entropy timer if stability stalls (lost
+  // chain messages). Timer is armed iff the set is non-empty.
+  std::unordered_set<Key> unstable_head_keys_;
+  uint64_t anti_entropy_timer_ = 0;
+
+  // Stability knowledge cache: key -> merged vv known DC-Write-Stable.
+  std::unordered_map<Key, VersionVector> stable_vv_;
+
+  // Tail state.
+  std::unordered_map<Key, std::vector<StabilityWatcher>> watchers_;
+  // Coalesced backward stability notifications: newest stable version per
+  // key whose notify timer is armed.
+  std::unordered_map<Key, Version> pending_notify_;
+  // Geo notifications not yet acknowledged by the local replicator,
+  // resent periodically — a lost notification would otherwise silently
+  // prevent an update from ever being shipped or acknowledged.
+  std::unordered_map<std::string, GeoLocalStable> pending_geo_notify_;
+  uint64_t geo_notify_timer_ = 0;
+
+  std::unordered_map<Key, std::vector<DeferredGet>> deferred_gets_;
+
+  // Stats.
+  uint64_t reads_served_ = 0;
+  std::vector<uint64_t> reads_by_position_;
+  uint64_t writes_applied_ = 0;
+  uint64_t dep_checks_sent_ = 0;
+  uint64_t dep_waits_ = 0;
+  uint64_t dep_wait_total_us_ = 0;
+  Histogram dep_wait_hist_;
+  uint64_t gets_forwarded_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_CORE_CHAINREACTION_NODE_H_

@@ -1,0 +1,65 @@
+// Configuration shared by ChainReaction nodes and clients.
+#ifndef SRC_CORE_CONFIG_H_
+#define SRC_CORE_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+// How a client picks the chain position of a read within its allowed
+// prefix. kUniformPrefix is the paper's policy and the default; the others
+// exist for ablations and for validating the consistency checker.
+enum class ReadPolicy {
+  kUniformPrefix,  // uniform over [1, chain_index] — the paper's policy
+  kHeadOnly,       // always position 1 (trivially causal, no distribution)
+  kAnyNodeUnsafe,  // uniform over [1, R] ignoring metadata — VIOLATES
+                   // causality; used only to prove the checker catches it
+};
+
+struct CrxConfig {
+  uint32_t replication = 3;  // chain length R
+  uint32_t k_stability = 2;  // ack after the first k nodes applied (1 <= k <= R)
+  uint32_t vnodes = 16;      // virtual nodes per server on the ring
+
+  DcId local_dc = 0;
+  uint16_t num_dcs = 1;
+
+  // Address of this DC's geo replicator; 0 disables geo shipping.
+  Address geo_replicator = 0;
+
+  // Heartbeat target and period for membership failure detection; 0
+  // disables heartbeats (oracle membership). NOTE: enabling this keeps a
+  // periodic timer alive forever — drive such clusters with RunUntil.
+  Address membership = 0;
+  Duration heartbeat_interval = 0;
+
+  // Retry timeout for client requests.
+  Duration client_timeout = 500 * kMillisecond;
+
+  // Tails coalesce backward stability notifications per key for this long
+  // (hot keys stabilize many versions per notification instead of one
+  // message each). 0 sends immediately.
+  Duration stable_notify_delay = 100;  // microseconds
+
+  ReadPolicy read_policy = ReadPolicy::kUniformPrefix;
+
+  // Safety valve for reads deferred at the head waiting for a version that
+  // never arrives (should not happen in correct configurations).
+  Duration deferred_read_timeout = 1 * kSecond;
+
+  // Heads re-propagate versions that have not become DC-Write-Stable after
+  // this long — the anti-entropy that restores chain liveness when chain
+  // messages are lost. The timer only runs while unstable head versions
+  // exist, so quiescent clusters stay quiescent.
+  Duration anti_entropy_interval = 500 * kMillisecond;
+
+  // TESTING ONLY: disable the dependency-stability gating at the head. With
+  // this off, the causal+ checker must detect violations (see tests).
+  bool disable_dependency_gating = false;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_CORE_CONFIG_H_

@@ -1,0 +1,375 @@
+#include "src/harness/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/common/result.h"
+#include "src/ycsb/workload.h"
+
+namespace chainreaction {
+
+namespace {
+// Server ids: dc * kDcStride + idx. Keeps server addresses below the client
+// address base for any sane cluster size.
+constexpr Address kDcStride = 4096;
+constexpr Address kGeoBase = kServiceAddressBase;          // + dc
+constexpr Address kMembershipBase = kServiceAddressBase + 1024;  // + dc
+}  // namespace
+
+const char* SystemKindName(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kChainReaction:
+      return "CHAINREACTION";
+    case SystemKind::kCr:
+      return "CR(FAWN-KV)";
+    case SystemKind::kCraq:
+      return "CRAQ";
+    case SystemKind::kEventualOne:
+      return "EVENTUAL-R1W1";
+    case SystemKind::kQuorum:
+      return "QUORUM";
+  }
+  return "?";
+}
+
+NodeId Cluster::ServerAddress(DcId dc, uint32_t idx) const { return dc * kDcStride + idx; }
+
+Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
+  CHAINRX_CHECK(options_.num_dcs >= 1);
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction || options_.num_dcs == 1);
+  net_ = std::make_unique<SimNetwork>(&sim_, options_.net, options_.seed ^ 0x6e657400);
+  if (options_.system == SystemKind::kChainReaction) {
+    BuildChainReaction();
+  } else {
+    BuildBaseline();
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::BuildChainReaction() {
+  const uint16_t dcs = options_.num_dcs;
+  membership_.resize(dcs);
+  geo_.resize(dcs);
+  crx_nodes_.resize(dcs);
+
+  for (DcId dc = 0; dc < dcs; ++dc) {
+    std::vector<NodeId> node_ids;
+    for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
+      node_ids.push_back(ServerAddress(dc, i));
+    }
+    membership_[dc] = std::make_unique<MembershipService>(node_ids, options_.vnodes,
+                                                          options_.replication);
+    Env* menv = net_->Register(kMembershipBase + dc, membership_[dc].get(), dc);
+    membership_[dc]->AttachEnv(menv);
+    if (options_.heartbeat_interval > 0) {
+      membership_[dc]->EnableFailureDetection(options_.heartbeat_interval,
+                                              4 * options_.heartbeat_interval);
+    }
+    const Ring& ring = membership_[dc]->ring();
+
+    CrxConfig cfg;
+    cfg.replication = options_.replication;
+    cfg.k_stability = options_.k_stability;
+    cfg.vnodes = options_.vnodes;
+    cfg.local_dc = dc;
+    cfg.num_dcs = dcs;
+    cfg.geo_replicator = dcs > 1 ? kGeoBase + dc : 0;
+    cfg.client_timeout = options_.client_timeout;
+    if (options_.heartbeat_interval > 0) {
+      cfg.membership = kMembershipBase + dc;
+      cfg.heartbeat_interval = options_.heartbeat_interval;
+    }
+    cfg.read_policy = options_.read_policy;
+    cfg.disable_dependency_gating = options_.disable_dependency_gating;
+
+    for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
+      auto node = std::make_unique<ChainReactionNode>(node_ids[i], cfg, ring);
+      Env* env = net_->Register(node_ids[i], node.get(), dc, options_.server_service);
+      node->AttachEnv(env);
+      crx_nodes_[dc].push_back(std::move(node));
+    }
+
+    if (dcs > 1) {
+      geo_[dc] = std::make_unique<GeoReplicator>(dc, cfg, ring);
+      Env* genv = net_->Register(kGeoBase + dc, geo_[dc].get(), dc, ServiceModel{2, 0.0, 0});
+      geo_[dc]->AttachEnv(genv);
+      membership_[dc]->AddListener(kGeoBase + dc);
+    }
+
+    for (uint32_t c = 0; c < options_.clients_per_dc; ++c) {
+      const Address addr = kClientAddressBase + dc * options_.clients_per_dc + c;
+      auto client = std::make_unique<ChainReactionClient>(
+          addr, cfg, ring, options_.seed * 7919 + addr);
+      Env* cenv = net_->Register(addr, client.get(), dc, options_.client_service);
+      client->AttachEnv(cenv);
+      membership_[dc]->AddListener(addr);
+      kv_clients_.push_back(std::make_unique<CrxKvClient>(client.get()));
+      client_envs_.push_back(cenv);
+      crx_clients_.push_back(std::move(client));
+    }
+  }
+
+  if (dcs > 1) {
+    std::vector<Address> peers(dcs, 0);
+    for (DcId dc = 0; dc < dcs; ++dc) {
+      peers[dc] = kGeoBase + dc;
+    }
+    for (DcId dc = 0; dc < dcs; ++dc) {
+      geo_[dc]->SetPeers(peers);
+    }
+  }
+}
+
+void Cluster::BuildBaseline() {
+  std::vector<NodeId> node_ids;
+  for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
+    node_ids.push_back(ServerAddress(0, i));
+  }
+  const Ring ring(node_ids, options_.vnodes, options_.replication, /*epoch=*/1);
+
+  for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
+    switch (options_.system) {
+      case SystemKind::kCr: {
+        auto node = std::make_unique<CrNode>(node_ids[i], ring);
+        node->AttachEnv(net_->Register(node_ids[i], node.get(), 0, options_.server_service));
+        cr_nodes_.push_back(std::move(node));
+        break;
+      }
+      case SystemKind::kCraq: {
+        auto node = std::make_unique<CraqNode>(node_ids[i], ring);
+        node->AttachEnv(net_->Register(node_ids[i], node.get(), 0, options_.server_service));
+        craq_nodes_.push_back(std::move(node));
+        break;
+      }
+      case SystemKind::kEventualOne:
+      case SystemKind::kQuorum: {
+        const EvConsistency mode = options_.system == SystemKind::kQuorum
+                                       ? EvConsistency::kQuorum
+                                       : EvConsistency::kOne;
+        auto node = std::make_unique<EventualNode>(node_ids[i], ring, mode,
+                                                   options_.seed * 31 + i);
+        node->AttachEnv(net_->Register(node_ids[i], node.get(), 0, options_.server_service));
+        ev_nodes_.push_back(std::move(node));
+        break;
+      }
+      case SystemKind::kChainReaction:
+        CHAINRX_CHECK(false);
+    }
+  }
+
+  for (uint32_t c = 0; c < options_.clients_per_dc; ++c) {
+    const Address addr = kClientAddressBase + c;
+    Env* cenv = nullptr;
+    switch (options_.system) {
+      case SystemKind::kCr: {
+        auto client = std::make_unique<CrClient>(addr, ring, options_.client_timeout);
+        cenv = net_->Register(addr, client.get(), 0, options_.client_service);
+        client->AttachEnv(cenv);
+        kv_clients_.push_back(std::make_unique<CrKvClient>(client.get(), addr));
+        cr_clients_.push_back(std::move(client));
+        break;
+      }
+      case SystemKind::kCraq: {
+        auto client = std::make_unique<CraqClient>(addr, ring, options_.client_timeout,
+                                                   options_.seed * 7919 + addr);
+        cenv = net_->Register(addr, client.get(), 0, options_.client_service);
+        client->AttachEnv(cenv);
+        kv_clients_.push_back(std::make_unique<CraqKvClient>(client.get(), addr));
+        craq_clients_.push_back(std::move(client));
+        break;
+      }
+      case SystemKind::kEventualOne:
+      case SystemKind::kQuorum: {
+        auto client = std::make_unique<EventualClient>(addr, ring, options_.client_timeout,
+                                                       options_.seed * 7919 + addr);
+        cenv = net_->Register(addr, client.get(), 0, options_.client_service);
+        client->AttachEnv(cenv);
+        kv_clients_.push_back(std::make_unique<EventualKvClient>(client.get(), addr));
+        ev_clients_.push_back(std::move(client));
+        break;
+      }
+      case SystemKind::kChainReaction:
+        CHAINRX_CHECK(false);
+    }
+    client_envs_.push_back(cenv);
+  }
+}
+
+ChainReactionClient* Cluster::crx_client(size_t i) {
+  return i < crx_clients_.size() ? crx_clients_[i].get() : nullptr;
+}
+
+ChainReactionNode* Cluster::crx_node(DcId dc, uint32_t idx) {
+  if (dc < crx_nodes_.size() && idx < crx_nodes_[dc].size()) {
+    return crx_nodes_[dc][idx].get();
+  }
+  return nullptr;
+}
+
+GeoReplicator* Cluster::geo(DcId dc) { return dc < geo_.size() ? geo_[dc].get() : nullptr; }
+
+MembershipService* Cluster::membership(DcId dc) {
+  return dc < membership_.size() ? membership_[dc].get() : nullptr;
+}
+
+void Cluster::Preload(uint64_t records, size_t value_size) {
+  // Load through the DC-0 clients, keys striped round-robin, each client
+  // loading sequentially; then run to quiescence (stabilization + geo).
+  const size_t loaders = std::min<size_t>(options_.clients_per_dc, kv_clients_.size());
+  CHAINRX_CHECK(loaders > 0);
+  uint64_t outstanding = 0;
+
+  struct Loader {
+    Cluster* cluster;
+    size_t client_idx;
+    uint64_t next;
+    uint64_t records;
+    size_t stride;
+    size_t value_size;
+    uint64_t* outstanding;
+
+    void LoadOne() {
+      if (next >= records) {
+        return;
+      }
+      const uint64_t idx = next;
+      next += stride;
+      (*outstanding)++;
+      cluster->client(client_idx)
+          ->Put(RecordKey(idx), MakeValue(0, idx, value_size), [this](const KvPutResult&) {
+            (*outstanding)--;
+            LoadOne();
+          });
+    }
+  };
+
+  std::vector<Loader> tasks(loaders);
+  for (size_t i = 0; i < loaders; ++i) {
+    tasks[i] = Loader{this, i, static_cast<uint64_t>(i), records, loaders, value_size,
+                      &outstanding};
+    tasks[i].LoadOne();
+  }
+  if (options_.heartbeat_interval > 0) {
+    // Heartbeat timers keep the queue non-empty forever; drain in bounded
+    // windows until the load completes, then let stabilization settle.
+    while (outstanding > 0) {
+      sim_.RunUntil(sim_.Now() + 100 * kMillisecond);
+    }
+    sim_.RunUntil(sim_.Now() + 500 * kMillisecond);
+  } else {
+    // Loaders chain their own continuation, so running the simulator until
+    // the event queue is empty completes the load and stabilization.
+    sim_.Run();
+  }
+  CHAINRX_CHECK(outstanding == 0);
+}
+
+void Cluster::KillServer(DcId dc, uint32_t idx) {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  const NodeId node = ServerAddress(dc, idx);
+  net_->Crash(node);
+  membership_[dc]->RemoveNode(node);
+}
+
+std::vector<uint64_t> Cluster::ReadsByPosition() const {
+  std::vector<uint64_t> sums;
+  for (const auto& dc_nodes : crx_nodes_) {
+    for (const auto& node : dc_nodes) {
+      const auto& per = node->reads_by_position();
+      if (sums.size() < per.size()) {
+        sums.resize(per.size(), 0);
+      }
+      for (size_t i = 0; i < per.size(); ++i) {
+        sums[i] += per[i];
+      }
+    }
+  }
+  for (const auto& node : craq_nodes_) {
+    const auto& per = node->reads_by_position();
+    if (sums.size() < per.size()) {
+      sums.resize(per.size(), 0);
+    }
+    for (size_t i = 0; i < per.size(); ++i) {
+      sums[i] += per[i];
+    }
+  }
+  // Trim trailing zero positions beyond R.
+  while (sums.size() > options_.replication && sums.back() == 0) {
+    sums.pop_back();
+  }
+  return sums;
+}
+
+uint64_t Cluster::TotalDepWaitMicros() const {
+  uint64_t total = 0;
+  for (const auto& dc_nodes : crx_nodes_) {
+    for (const auto& node : dc_nodes) {
+      total += node->dep_wait_total_us();
+    }
+  }
+  return total;
+}
+
+Histogram Cluster::MergedDepWaitHist() const {
+  Histogram merged;
+  for (const auto& dc_nodes : crx_nodes_) {
+    for (const auto& node : dc_nodes) {
+      merged.Merge(node->dep_wait_hist());
+    }
+  }
+  return merged;
+}
+
+uint64_t Cluster::TotalDepWaits() const {
+  uint64_t total = 0;
+  for (const auto& dc_nodes : crx_nodes_) {
+    for (const auto& node : dc_nodes) {
+      total += node->dep_waits();
+    }
+  }
+  return total;
+}
+
+uint64_t Cluster::TotalWritesApplied() const {
+  uint64_t total = 0;
+  for (const auto& dc_nodes : crx_nodes_) {
+    for (const auto& node : dc_nodes) {
+      total += node->writes_applied();
+    }
+  }
+  return total;
+}
+
+bool Cluster::CheckConvergence(std::string* diagnostic) const {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  // key -> set of distinct latest versions observed across all replicas
+  // everywhere. Converged iff exactly one per key.
+  std::map<Key, std::set<std::string>> latest_by_key;
+  for (const auto& dc_nodes : crx_nodes_) {
+    for (const auto& node : dc_nodes) {
+      if (net_->IsCrashed(node->id())) {
+        continue;
+      }
+      node->store().ForEachKey([&](const Key& key, const StoredVersion& latest) {
+        latest_by_key[key].insert(latest.version.ToString() + "=" +
+                                  latest.value.substr(0, 24));
+      });
+    }
+  }
+  for (const auto& [key, versions] : latest_by_key) {
+    if (versions.size() != 1) {
+      if (diagnostic != nullptr) {
+        *diagnostic = "key '" + key + "' diverged: " + std::to_string(versions.size()) +
+                      " distinct latest versions";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,147 @@
+// Simulated cluster harness.
+//
+// Builds a complete deployment of one of the five systems under test on the
+// deterministic simulator: servers placed on per-DC consistent-hashing
+// rings, a membership service and geo replicator per DC, and a set of
+// closed-loop clients. Provides preloading, failure injection, convergence
+// checking, and aggregated introspection for the experiments.
+#ifndef SRC_HARNESS_CLUSTER_H_
+#define SRC_HARNESS_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/baselines/eventual.h"
+#include "src/common/histogram.h"
+#include "src/chain/cr.h"
+#include "src/chain/craq.h"
+#include "src/common/types.h"
+#include "src/core/chainreaction_client.h"
+#include "src/core/chainreaction_node.h"
+#include "src/geo/geo_replicator.h"
+#include "src/ring/membership.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/ycsb/kv_client.h"
+
+namespace chainreaction {
+
+enum class SystemKind {
+  kChainReaction,
+  kCr,            // classic chain replication (FAWN-KV baseline)
+  kCraq,          // CRAQ baseline
+  kEventualOne,   // Cassandra R=1/W=1 stand-in
+  kQuorum,        // Cassandra quorum stand-in
+};
+
+const char* SystemKindName(SystemKind kind);
+
+struct ClusterOptions {
+  SystemKind system = SystemKind::kChainReaction;
+  uint32_t servers_per_dc = 16;
+  uint32_t clients_per_dc = 32;
+  uint32_t replication = 3;   // R
+  uint32_t k_stability = 2;   // k (ChainReaction only)
+  uint32_t vnodes = 16;
+  uint16_t num_dcs = 1;       // >1 supported for ChainReaction only
+
+  NetworkConfig net{LinkModel{100, 20}, LinkModel{80 * kMillisecond, 2 * kMillisecond}, 0.0};
+  // Per-message server cost: ~10us + 10ns/byte saturates a node around
+  // 10^5 small messages/sec, in the ballpark of a FAWN-KV backend.
+  ServiceModel server_service{10, 0.01, 2};
+  ServiceModel client_service{1, 0.0, 0};
+
+  ReadPolicy read_policy = ReadPolicy::kUniformPrefix;
+  bool disable_dependency_gating = false;  // testing only
+  Duration client_timeout = 500 * kMillisecond;
+  // >0 enables heartbeat failure detection (ChainReaction only): nodes
+  // heartbeat at this period; the membership service removes nodes silent
+  // for 4 periods. Keeps timers alive forever — drive with RunUntil.
+  Duration heartbeat_interval = 0;
+  uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Simulator* sim() { return &sim_; }
+  SimNetwork* net() { return net_.get(); }
+  const ClusterOptions& options() const { return options_; }
+
+  // Clients are numbered 0..num_dcs*clients_per_dc-1, DC-major.
+  size_t num_clients() const { return kv_clients_.size(); }
+  KvClient* client(size_t i) { return kv_clients_[i].get(); }
+  Env* client_env(size_t i) { return client_envs_[i]; }
+  DcId client_dc(size_t i) const { return static_cast<DcId>(i / options_.clients_per_dc); }
+
+  // ChainReaction-specific access (null / empty for baselines).
+  ChainReactionClient* crx_client(size_t i);
+  ChainReactionNode* crx_node(DcId dc, uint32_t idx);
+  GeoReplicator* geo(DcId dc);
+  MembershipService* membership(DcId dc);
+
+  // Baseline node access (null when a different system is running).
+  CrNode* cr_node(uint32_t idx) { return idx < cr_nodes_.size() ? cr_nodes_[idx].get() : nullptr; }
+  CraqNode* craq_node(uint32_t idx) {
+    return idx < craq_nodes_.size() ? craq_nodes_[idx].get() : nullptr;
+  }
+  EventualNode* ev_node(uint32_t idx) {
+    return idx < ev_nodes_.size() ? ev_nodes_[idx].get() : nullptr;
+  }
+
+  // Synchronously (in simulated time) loads keys 0..records-1 with
+  // `value_size`-byte values, then runs the simulation to quiescence.
+  void Preload(uint64_t records, size_t value_size);
+
+  // Crashes a server and tells the membership service (ChainReaction only;
+  // baselines run with static membership).
+  void KillServer(DcId dc, uint32_t idx);
+
+  // Aggregations ------------------------------------------------------------
+  // Sum of reads answered per chain position across all servers
+  // (ChainReaction and CRAQ expose this; others return empty).
+  std::vector<uint64_t> ReadsByPosition() const;
+  uint64_t TotalDepWaitMicros() const;
+  Histogram MergedDepWaitHist() const;
+  uint64_t TotalDepWaits() const;
+  uint64_t TotalWritesApplied() const;
+
+  // After quiescence, verifies that every replica of every key agrees on the
+  // newest version, within and across DCs (ChainReaction only).
+  bool CheckConvergence(std::string* diagnostic) const;
+
+  NodeId ServerAddress(DcId dc, uint32_t idx) const;
+
+ private:
+  void BuildChainReaction();
+  void BuildBaseline();
+
+  ClusterOptions options_;
+  Simulator sim_;
+  std::unique_ptr<SimNetwork> net_;
+
+  // Per-DC state (ChainReaction); baselines use index 0 only.
+  std::vector<std::unique_ptr<MembershipService>> membership_;
+  std::vector<std::unique_ptr<GeoReplicator>> geo_;
+  std::vector<std::vector<std::unique_ptr<ChainReactionNode>>> crx_nodes_;
+  std::vector<std::unique_ptr<CrNode>> cr_nodes_;
+  std::vector<std::unique_ptr<CraqNode>> craq_nodes_;
+  std::vector<std::unique_ptr<EventualNode>> ev_nodes_;
+
+  std::vector<std::unique_ptr<ChainReactionClient>> crx_clients_;
+  std::vector<std::unique_ptr<CrClient>> cr_clients_;
+  std::vector<std::unique_ptr<CraqClient>> craq_clients_;
+  std::vector<std::unique_ptr<EventualClient>> ev_clients_;
+
+  std::vector<std::unique_ptr<KvClient>> kv_clients_;
+  std::vector<Env*> client_envs_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_HARNESS_CLUSTER_H_

@@ -1,0 +1,94 @@
+#include "src/harness/experiment.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+RunResult RunWorkload(Cluster* cluster, const RunOptions& options) {
+  Simulator* sim = cluster->sim();
+
+  if (options.preload && options.spec.record_count > 0) {
+    cluster->Preload(options.spec.record_count, options.spec.value_size);
+  }
+
+  RunResult result;
+  CausalChecker checker;
+  uint64_t insert_counter = options.spec.record_count;
+
+  std::vector<std::unique_ptr<WorkloadDriver>> drivers;
+  drivers.reserve(cluster->num_clients());
+  for (size_t i = 0; i < cluster->num_clients(); ++i) {
+    auto driver = std::make_unique<WorkloadDriver>(
+        cluster->client(i), cluster->client_env(i), options.spec,
+        cluster->options().seed * 104729 + i, &insert_counter, &result.stats);
+    driver->set_think_time(options.think_time);
+    if (options.attach_checker) {
+      const uint32_t session = cluster->client(i)->address();
+      driver->on_write_complete = [&checker, session](const Key& key, const KvPutResult& r) {
+        checker.RecordWrite(session, key, r.version, r.deps);
+      };
+      driver->on_read_complete = [&checker, session](const Key& key, const KvGetResult& r) {
+        checker.RecordRead(session, key, r.found, r.version);
+      };
+    }
+    drivers.push_back(std::move(driver));
+  }
+
+  const Time start = sim->Now();
+  for (auto& driver : drivers) {
+    driver->Start();
+  }
+  sim->RunUntil(start + options.warmup);
+  result.stats.Reset(sim->Now());
+
+  sim->RunUntil(sim->Now() + options.measure);
+  const Time measure_end = sim->Now();
+  for (auto& driver : drivers) {
+    driver->Stop();
+  }
+  // Drain in-flight operations (their completions are recorded too; the
+  // window division below slightly underestimates throughput, uniformly
+  // across systems).
+  sim->Run();
+
+  result.throughput_ops_sec = static_cast<double>(result.stats.TotalOps()) * 1e6 /
+                              static_cast<double>(measure_end - result.stats.window_start);
+  result.checker_violations = checker.violations();
+  result.checker_diagnostics = checker.diagnostics();
+  result.insert_counter = insert_counter;
+  return result;
+}
+
+std::string FormatMicros(int64_t us) {
+  char buf[32];
+  if (us >= 10 * kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(us) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+void PrintTableHeader(const std::string& title, const std::vector<std::string>& columns) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  for (const std::string& c : columns) {
+    std::printf("%-16s", c.c_str());
+  }
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%-16s", "----------------");
+  }
+  std::printf("\n");
+}
+
+void PrintTableRow(const std::vector<std::string>& cells) {
+  for (const std::string& c : cells) {
+    std::printf("%-16s", c.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,48 @@
+// Workload-running helpers shared by integration tests and benchmarks.
+#ifndef SRC_HARNESS_EXPERIMENT_H_
+#define SRC_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/checker/causal_checker.h"
+#include "src/harness/cluster.h"
+#include "src/ycsb/driver.h"
+#include "src/ycsb/stats.h"
+#include "src/ycsb/workload.h"
+
+namespace chainreaction {
+
+struct RunOptions {
+  WorkloadSpec spec;
+  Duration warmup = 1 * kSecond;
+  Duration measure = 5 * kSecond;
+  Duration think_time = 0;
+  // Attach the causal+ checker to every session (meaningful for
+  // ChainReaction, whose clients expose versions and dependencies).
+  bool attach_checker = false;
+  // Preload spec.record_count keys before driving (skips if 0 records).
+  bool preload = true;
+};
+
+struct RunResult {
+  StatsCollector stats;           // aggregated over all sessions
+  double throughput_ops_sec = 0;  // over the measurement window
+  uint64_t checker_violations = 0;
+  std::vector<std::string> checker_diagnostics;
+  uint64_t insert_counter = 0;    // final key-space size (workload D)
+};
+
+// Preloads (optionally), starts one driver per client, warms up, measures,
+// stops, and drains. Deterministic for a fixed (cluster seed, options).
+RunResult RunWorkload(Cluster* cluster, const RunOptions& options);
+
+// Formatting helpers for the benchmark tables.
+std::string FormatMicros(int64_t us);
+void PrintTableHeader(const std::string& title, const std::vector<std::string>& columns);
+void PrintTableRow(const std::vector<std::string>& cells);
+
+}  // namespace chainreaction
+
+#endif  // SRC_HARNESS_EXPERIMENT_H_

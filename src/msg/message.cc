@@ -1,0 +1,437 @@
+#include "src/msg/message.h"
+
+namespace chainreaction {
+
+MsgType PeekType(const std::string& payload) {
+  ByteReader r(payload);
+  uint16_t type = 0;
+  if (!r.GetU16(&type)) {
+    return MsgType::kInvalid;
+  }
+  return static_cast<MsgType>(type);
+}
+
+void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w) {
+  w->PutVarU64(deps.size());
+  for (const Dependency& d : deps) {
+    d.Encode(w);
+  }
+}
+
+bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  deps->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(*deps)[i].Decode(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --------------------------- ChainReaction ---------------------------------
+
+void CrxPut::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+  w->PutString(value);
+  EncodeDeps(deps, w);
+}
+bool CrxPut::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && r->GetString(&value) &&
+         DecodeDeps(r, &deps);
+}
+
+void CrxPutAck::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  version.Encode(w);
+  w->PutU32(acked_at);
+}
+bool CrxPutAck::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && version.Decode(r) && r->GetU32(&acked_at);
+}
+
+void CrxGet::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+  min_version.Encode(w);
+  w->PutBool(with_deps);
+}
+bool CrxGet::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && min_version.Decode(r) &&
+         r->GetBool(&with_deps);
+}
+
+void CrxGetReply::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  w->PutBool(found);
+  w->PutString(value);
+  version.Encode(w);
+  w->PutU32(position);
+  w->PutBool(stable);
+  EncodeDeps(deps, w);
+}
+bool CrxGetReply::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && r->GetBool(&found) && r->GetString(&value) &&
+         version.Decode(r) && r->GetU32(&position) && r->GetBool(&stable) && DecodeDeps(r, &deps);
+}
+
+void CrxChainPut::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutString(value);
+  version.Encode(w);
+  w->PutU32(client);
+  w->PutU64(req);
+  w->PutU32(ack_at);
+  w->PutU64(epoch);
+  EncodeDeps(deps, w);
+}
+bool CrxChainPut::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetString(&value) && version.Decode(r) && r->GetU32(&client) &&
+         r->GetU64(&req) && r->GetU32(&ack_at) && r->GetU64(&epoch) && DecodeDeps(r, &deps);
+}
+
+void CrxStableNotify::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  version.Encode(w);
+  w->PutU64(epoch);
+}
+bool CrxStableNotify::Decode(ByteReader* r) {
+  return r->GetString(&key) && version.Decode(r) && r->GetU64(&epoch);
+}
+
+void CrxStabilityCheck::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  version.Encode(w);
+  w->PutU64(token);
+}
+bool CrxStabilityCheck::Decode(ByteReader* r) {
+  return r->GetString(&key) && version.Decode(r) && r->GetU64(&token);
+}
+
+void CrxStabilityConfirm::Encode(ByteWriter* w) const {
+  w->PutU64(token);
+  w->PutString(key);
+}
+bool CrxStabilityConfirm::Decode(ByteReader* r) {
+  return r->GetU64(&token) && r->GetString(&key);
+}
+
+// ------------------------ classic chain replication ------------------------
+
+void CrPut::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+  w->PutString(value);
+}
+bool CrPut::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && r->GetString(&value);
+}
+
+void CrChainPut::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutString(value);
+  w->PutU64(seq);
+  w->PutU32(client);
+  w->PutU64(req);
+}
+bool CrChainPut::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetString(&value) && r->GetU64(&seq) && r->GetU32(&client) &&
+         r->GetU64(&req);
+}
+
+void CrPutAck::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  w->PutU64(seq);
+}
+bool CrPutAck::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && r->GetU64(&seq);
+}
+
+void CrChainAck::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutU64(seq);
+  w->PutU32(client);
+  w->PutU64(req);
+}
+bool CrChainAck::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetU64(&seq) && r->GetU32(&client) && r->GetU64(&req);
+}
+
+void CrGet::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+}
+bool CrGet::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key);
+}
+
+void CrGetReply::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  w->PutBool(found);
+  w->PutString(value);
+  w->PutU64(seq);
+}
+bool CrGetReply::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && r->GetBool(&found) && r->GetString(&value) &&
+         r->GetU64(&seq);
+}
+
+// --------------------------------- CRAQ ------------------------------------
+
+void CraqPut::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+  w->PutString(value);
+}
+bool CraqPut::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && r->GetString(&value);
+}
+
+void CraqChainPut::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutString(value);
+  w->PutU64(seq);
+  w->PutU32(client);
+  w->PutU64(req);
+}
+bool CraqChainPut::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetString(&value) && r->GetU64(&seq) && r->GetU32(&client) &&
+         r->GetU64(&req);
+}
+
+void CraqCommit::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutU64(seq);
+}
+bool CraqCommit::Decode(ByteReader* r) { return r->GetString(&key) && r->GetU64(&seq); }
+
+void CraqPutAck::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  w->PutU64(seq);
+}
+bool CraqPutAck::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && r->GetU64(&seq);
+}
+
+void CraqGet::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+}
+bool CraqGet::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key);
+}
+
+void CraqGetReply::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  w->PutBool(found);
+  w->PutString(value);
+  w->PutU64(seq);
+}
+bool CraqGetReply::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && r->GetBool(&found) && r->GetString(&value) &&
+         r->GetU64(&seq);
+}
+
+void CraqVersionQuery::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutU64(req);
+  w->PutU32(client);
+}
+bool CraqVersionQuery::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetU64(&req) && r->GetU32(&client);
+}
+
+void CraqVersionReply::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutU64(committed_seq);
+  w->PutU64(req);
+  w->PutU32(client);
+}
+bool CraqVersionReply::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetU64(&committed_seq) && r->GetU64(&req) && r->GetU32(&client);
+}
+
+// ------------------------- eventual / quorum --------------------------------
+
+void EvPut::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+  w->PutString(value);
+}
+bool EvPut::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && r->GetString(&value);
+}
+
+void EvReplicate::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutString(value);
+  version.Encode(w);
+  w->PutU64(token);
+}
+bool EvReplicate::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetString(&value) && version.Decode(r) && r->GetU64(&token);
+}
+
+void EvReplicateAck::Encode(ByteWriter* w) const { w->PutU64(token); }
+bool EvReplicateAck::Decode(ByteReader* r) { return r->GetU64(&token); }
+
+void EvPutAck::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  version.Encode(w);
+}
+bool EvPutAck::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && version.Decode(r);
+}
+
+void EvGet::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutString(key);
+}
+bool EvGet::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key);
+}
+
+void EvGetReply::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutString(key);
+  w->PutBool(found);
+  w->PutString(value);
+  version.Encode(w);
+}
+bool EvGetReply::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetString(&key) && r->GetBool(&found) && r->GetString(&value) &&
+         version.Decode(r);
+}
+
+void EvReadQuery::Encode(ByteWriter* w) const {
+  w->PutU64(token);
+  w->PutString(key);
+}
+bool EvReadQuery::Decode(ByteReader* r) { return r->GetU64(&token) && r->GetString(&key); }
+
+void EvReadReply::Encode(ByteWriter* w) const {
+  w->PutU64(token);
+  w->PutString(key);
+  w->PutBool(found);
+  w->PutString(value);
+  version.Encode(w);
+}
+bool EvReadReply::Decode(ByteReader* r) {
+  return r->GetU64(&token) && r->GetString(&key) && r->GetBool(&found) && r->GetString(&value) &&
+         version.Decode(r);
+}
+
+// ------------------------------ geo ----------------------------------------
+
+void GeoLocalStable::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  version.Encode(w);
+  w->PutBool(has_payload);
+  w->PutString(value);
+  EncodeDeps(deps, w);
+}
+bool GeoLocalStable::Decode(ByteReader* r) {
+  return r->GetString(&key) && version.Decode(r) && r->GetBool(&has_payload) &&
+         r->GetString(&value) && DecodeDeps(r, &deps);
+}
+
+void GeoLocalStableAck::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  version.Encode(w);
+}
+bool GeoLocalStableAck::Decode(ByteReader* r) {
+  return r->GetString(&key) && version.Decode(r);
+}
+
+void GeoShip::Encode(ByteWriter* w) const {
+  w->PutU16(origin_dc);
+  w->PutU64(channel_seq);
+  w->PutString(key);
+  w->PutString(value);
+  version.Encode(w);
+  EncodeDeps(deps, w);
+}
+bool GeoShip::Decode(ByteReader* r) {
+  return r->GetU16(&origin_dc) && r->GetU64(&channel_seq) && r->GetString(&key) &&
+         r->GetString(&value) && version.Decode(r) && DecodeDeps(r, &deps);
+}
+
+void GeoApplied::Encode(ByteWriter* w) const {
+  w->PutU16(dest_dc);
+  w->PutU64(channel_seq);
+}
+bool GeoApplied::Decode(ByteReader* r) {
+  return r->GetU16(&dest_dc) && r->GetU64(&channel_seq);
+}
+
+void GeoRemotePut::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutString(value);
+  version.Encode(w);
+  EncodeDeps(deps, w);
+}
+bool GeoRemotePut::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetString(&value) && version.Decode(r) && DecodeDeps(r, &deps);
+}
+
+// --------------------------- membership -------------------------------------
+
+void MemNewMembership::Encode(ByteWriter* w) const {
+  w->PutU64(epoch);
+  w->PutVarU64(nodes.size());
+  for (NodeId n : nodes) {
+    w->PutU32(n);
+  }
+}
+bool MemNewMembership::Decode(ByteReader* r) {
+  if (!r->GetU64(&epoch)) {
+    return false;
+  }
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  nodes.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!r->GetU32(&nodes[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MemHeartbeat::Encode(ByteWriter* w) const { w->PutU32(node); }
+bool MemHeartbeat::Decode(ByteReader* r) { return r->GetU32(&node); }
+
+void MemSyncKey::Encode(ByteWriter* w) const {
+  w->PutU64(epoch);
+  w->PutString(key);
+  w->PutString(value);
+  version.Encode(w);
+  w->PutBool(stable);
+}
+bool MemSyncKey::Decode(ByteReader* r) {
+  return r->GetU64(&epoch) && r->GetString(&key) && r->GetString(&value) && version.Decode(r) &&
+         r->GetBool(&stable);
+}
+
+}  // namespace chainreaction

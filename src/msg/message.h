@@ -1,0 +1,580 @@
+// Wire messages for every protocol in the repository.
+//
+// Each message is a plain struct with Encode/Decode methods and a static
+// kType tag. A serialized message is `u16 type` followed by the body; the
+// same bytes flow through the simulated network and the TCP transport.
+//
+// Naming convention by protocol:
+//   Crx*   — ChainReaction (the paper's system)
+//   Cr*    — classic Chain Replication baseline (FAWN-KV-style)
+//   Craq*  — CRAQ baseline
+//   Ev*    — eventual/quorum baseline (Cassandra stand-in)
+//   Geo*   — inter-datacenter replication
+//   Mem*   — membership / chain repair
+#ifndef SRC_MSG_MESSAGE_H_
+#define SRC_MSG_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+
+namespace chainreaction {
+
+enum class MsgType : uint16_t {
+  kInvalid = 0,
+
+  // ChainReaction client <-> node.
+  kCrxPut = 10,
+  kCrxPutAck = 11,
+  kCrxGet = 12,
+  kCrxGetReply = 13,
+
+  // ChainReaction intra-chain.
+  kCrxChainPut = 20,
+  kCrxStableNotify = 21,
+  kCrxStabilityCheck = 22,
+  kCrxStabilityConfirm = 23,
+
+  // Classic chain replication baseline.
+  kCrPut = 30,
+  kCrChainPut = 31,
+  kCrPutAck = 32,
+  kCrGet = 33,
+  kCrGetReply = 34,
+  kCrChainAck = 35,
+
+  // CRAQ baseline.
+  kCraqPut = 40,
+  kCraqChainPut = 41,
+  kCraqCommit = 42,
+  kCraqPutAck = 43,
+  kCraqGet = 44,
+  kCraqGetReply = 45,
+  kCraqVersionQuery = 46,
+  kCraqVersionReply = 47,
+
+  // Eventual / quorum baseline.
+  kEvPut = 50,
+  kEvReplicate = 51,
+  kEvReplicateAck = 52,
+  kEvPutAck = 53,
+  kEvGet = 54,
+  kEvGetReply = 55,
+  kEvReadQuery = 56,
+  kEvReadReply = 57,
+
+  // Geo-replication.
+  kGeoLocalStable = 60,
+  kGeoShip = 61,
+  kGeoApplied = 62,
+  kGeoRemotePut = 63,
+  kGeoLocalStableAck = 64,
+
+  // Membership / chain repair.
+  kMemNewMembership = 70,
+  kMemSyncKey = 71,
+  kMemHeartbeat = 72,
+};
+
+// Returns the type tag of a serialized message (kInvalid if too short).
+MsgType PeekType(const std::string& payload);
+
+template <typename M>
+std::string EncodeMessage(const M& m) {
+  ByteWriter w;
+  w.PutU16(static_cast<uint16_t>(M::kType));
+  m.Encode(&w);
+  return w.Take();
+}
+
+// Decodes `payload` into `out`; fails on type mismatch or truncation.
+template <typename M>
+bool DecodeMessage(const std::string& payload, M* out) {
+  ByteReader r(payload);
+  uint16_t type = 0;
+  if (!r.GetU16(&type) || type != static_cast<uint16_t>(M::kType)) {
+    return false;
+  }
+  return out->Decode(&r);
+}
+
+void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w);
+bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps);
+
+// ---------------------------------------------------------------------------
+// ChainReaction
+// ---------------------------------------------------------------------------
+
+// Client -> head: write request with the client's causal dependencies
+// (COPS-style nearest dependencies: everything accessed since its last
+// write). The head defers the write until all deps are DC-Write-Stable.
+struct CrxPut {
+  static constexpr MsgType kType = MsgType::kCrxPut;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+  Value value;
+  std::vector<Dependency> deps;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Node at position k -> client: the write is k-stable.
+struct CrxPutAck {
+  static constexpr MsgType kType = MsgType::kCrxPutAck;
+  RequestId req = 0;
+  Key key;
+  Version version;
+  ChainIndex acked_at = 0;  // chain position that acknowledged (== k)
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Client -> any node in its allowed chain prefix.
+struct CrxGet {
+  static constexpr MsgType kType = MsgType::kCrxGet;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+  // The newest version of `key` the client causally depends on (null if
+  // none). Nodes that are behind it forward the request toward the head.
+  Version min_version;
+  // Multi-get read transactions ask for the returned version's write-time
+  // dependency list (to compute the causal snapshot; DESIGN.md §3.8).
+  bool with_deps = false;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CrxGetReply {
+  static constexpr MsgType kType = MsgType::kCrxGetReply;
+  RequestId req = 0;
+  Key key;
+  bool found = false;
+  Value value;
+  Version version;
+  ChainIndex position = 0;  // chain position of the answering node
+  bool stable = false;      // version is DC-Write-Stable
+  std::vector<Dependency> deps;  // filled iff the get asked with_deps
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Head -> successor -> ...: down-chain propagation of one write. The node at
+// position == ack_at replies to the client; the tail marks the version
+// DC-Write-Stable and starts the backward stability notification.
+struct CrxChainPut {
+  static constexpr MsgType kType = MsgType::kCrxChainPut;
+  Key key;
+  Value value;
+  Version version;
+  Address client = 0;     // 0 for remote (geo) updates: no client ack needed
+  RequestId req = 0;
+  ChainIndex ack_at = 0;  // k; 0 = never ack (remote update)
+  uint64_t epoch = 0;     // membership epoch the sender believed in
+  std::vector<Dependency> deps;  // shipped to the geo replicator at the tail
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Tail -> predecessor -> ... -> head: version became DC-Write-Stable.
+struct CrxStableNotify {
+  static constexpr MsgType kType = MsgType::kCrxStableNotify;
+  Key key;
+  Version version;
+  uint64_t epoch = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Head of a writing chain -> tail of a dependency's chain: "tell me when
+// `key` reaches `version` (DC-Write-Stable)".
+struct CrxStabilityCheck {
+  static constexpr MsgType kType = MsgType::kCrxStabilityCheck;
+  Key key;
+  Version version;
+  uint64_t token = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CrxStabilityConfirm {
+  static constexpr MsgType kType = MsgType::kCrxStabilityConfirm;
+  uint64_t token = 0;
+  Key key;  // which dependency this confirms (idempotent per-dep tracking)
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Classic chain replication (linearizable; FAWN-KV baseline)
+// ---------------------------------------------------------------------------
+
+struct CrPut {
+  static constexpr MsgType kType = MsgType::kCrPut;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+  Value value;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CrChainPut {
+  static constexpr MsgType kType = MsgType::kCrChainPut;
+  Key key;
+  Value value;
+  uint64_t seq = 0;
+  Address client = 0;
+  RequestId req = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CrPutAck {
+  static constexpr MsgType kType = MsgType::kCrPutAck;
+  RequestId req = 0;
+  Key key;
+  uint64_t seq = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Tail -> ... -> head: FAWN-KV propagates write acks back up the chain (the
+// head answers the client), which is the extra write latency the paper's
+// baseline pays.
+struct CrChainAck {
+  static constexpr MsgType kType = MsgType::kCrChainAck;
+  Key key;
+  uint64_t seq = 0;
+  Address client = 0;
+  RequestId req = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CrGet {
+  static constexpr MsgType kType = MsgType::kCrGet;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CrGetReply {
+  static constexpr MsgType kType = MsgType::kCrGetReply;
+  RequestId req = 0;
+  Key key;
+  bool found = false;
+  Value value;
+  uint64_t seq = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// CRAQ
+// ---------------------------------------------------------------------------
+
+struct CraqPut {
+  static constexpr MsgType kType = MsgType::kCraqPut;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+  Value value;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CraqChainPut {
+  static constexpr MsgType kType = MsgType::kCraqChainPut;
+  Key key;
+  Value value;
+  uint64_t seq = 0;
+  Address client = 0;
+  RequestId req = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Tail -> ... -> head after commit so nodes can mark the version clean.
+struct CraqCommit {
+  static constexpr MsgType kType = MsgType::kCraqCommit;
+  Key key;
+  uint64_t seq = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CraqPutAck {
+  static constexpr MsgType kType = MsgType::kCraqPutAck;
+  RequestId req = 0;
+  Key key;
+  uint64_t seq = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CraqGet {
+  static constexpr MsgType kType = MsgType::kCraqGet;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CraqGetReply {
+  static constexpr MsgType kType = MsgType::kCraqGetReply;
+  RequestId req = 0;
+  Key key;
+  bool found = false;
+  Value value;
+  uint64_t seq = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Non-tail node with a dirty version -> tail: which seq is committed?
+struct CraqVersionQuery {
+  static constexpr MsgType kType = MsgType::kCraqVersionQuery;
+  Key key;
+  RequestId req = 0;    // original client request, echoed in the reply
+  Address client = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct CraqVersionReply {
+  static constexpr MsgType kType = MsgType::kCraqVersionReply;
+  Key key;
+  uint64_t committed_seq = 0;
+  RequestId req = 0;
+  Address client = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Eventual / quorum baseline (Cassandra stand-in)
+// ---------------------------------------------------------------------------
+
+struct EvPut {
+  static constexpr MsgType kType = MsgType::kEvPut;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+  Value value;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvReplicate {
+  static constexpr MsgType kType = MsgType::kEvReplicate;
+  Key key;
+  Value value;
+  Version version;
+  uint64_t token = 0;  // nonzero when the coordinator counts acks (quorum)
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvReplicateAck {
+  static constexpr MsgType kType = MsgType::kEvReplicateAck;
+  uint64_t token = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvPutAck {
+  static constexpr MsgType kType = MsgType::kEvPutAck;
+  RequestId req = 0;
+  Key key;
+  Version version;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvGet {
+  static constexpr MsgType kType = MsgType::kEvGet;
+  RequestId req = 0;
+  Address client = 0;
+  Key key;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvGetReply {
+  static constexpr MsgType kType = MsgType::kEvGetReply;
+  RequestId req = 0;
+  Key key;
+  bool found = false;
+  Value value;
+  Version version;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvReadQuery {
+  static constexpr MsgType kType = MsgType::kEvReadQuery;
+  uint64_t token = 0;
+  Key key;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+struct EvReadReply {
+  static constexpr MsgType kType = MsgType::kEvReadReply;
+  uint64_t token = 0;
+  Key key;
+  bool found = false;
+  Value value;
+  Version version;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Geo-replication
+// ---------------------------------------------------------------------------
+
+// Tail -> local geo replicator: a version became DC-Write-Stable here.
+// Carries the value and deps only for locally-originated writes (those must
+// be shipped to peers); remote-origin notifications resolve dependency waits
+// and produce GeoApplied acks.
+struct GeoLocalStable {
+  static constexpr MsgType kType = MsgType::kGeoLocalStable;
+  Key key;
+  Version version;
+  bool has_payload = false;
+  Value value;
+  std::vector<Dependency> deps;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Replicator -> tail: the GeoLocalStable notification for (key, version)
+// was processed; the tail stops resending it.
+struct GeoLocalStableAck {
+  static constexpr MsgType kType = MsgType::kGeoLocalStableAck;
+  Key key;
+  Version version;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Origin replicator -> peer replicator, FIFO per channel.
+struct GeoShip {
+  static constexpr MsgType kType = MsgType::kGeoShip;
+  DcId origin_dc = 0;
+  uint64_t channel_seq = 0;
+  Key key;
+  Value value;
+  Version version;
+  std::vector<Dependency> deps;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Peer replicator -> origin replicator: the update is applied (and locally
+// stable) at dest_dc. Origin marks Global-Write-Stable when all peers acked.
+struct GeoApplied {
+  static constexpr MsgType kType = MsgType::kGeoApplied;
+  DcId dest_dc = 0;
+  uint64_t channel_seq = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Remote replicator -> local chain head: inject a dependency-cleared remote
+// update into the local chain.
+struct GeoRemotePut {
+  static constexpr MsgType kType = MsgType::kGeoRemotePut;
+  Key key;
+  Value value;
+  Version version;
+  std::vector<Dependency> deps;  // preserved for multi-get snapshots
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Membership / chain repair
+// ---------------------------------------------------------------------------
+
+// Membership service -> every node: the ring changed.
+struct MemNewMembership {
+  static constexpr MsgType kType = MsgType::kMemNewMembership;
+  uint64_t epoch = 0;
+  std::vector<NodeId> nodes;  // live nodes, ring placement derived from ids
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Node -> membership service: liveness heartbeat (when failure detection
+// is enabled; by default the membership service is an oracle).
+struct MemHeartbeat {
+  static constexpr MsgType kType = MsgType::kMemHeartbeat;
+  NodeId node = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Chain predecessor -> newly added chain member: state transfer of one key.
+struct MemSyncKey {
+  static constexpr MsgType kType = MsgType::kMemSyncKey;
+  uint64_t epoch = 0;
+  Key key;
+  Value value;
+  Version version;
+  bool stable = false;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_MSG_MESSAGE_H_

@@ -1,0 +1,38 @@
+// Maps actor addresses to TCP endpoints (localhost ports).
+//
+// Every TcpRuntime registers its actors here so that peer runtimes — which
+// model separate server/client processes — can route frames to them. The
+// book is shared and thread-safe.
+#ifndef SRC_NET_ADDRESS_BOOK_H_
+#define SRC_NET_ADDRESS_BOOK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+class AddressBook {
+ public:
+  void Bind(Address addr, uint16_t port) {
+    std::lock_guard<std::mutex> lock(mu_);
+    map_[addr] = port;
+  }
+
+  // Returns 0 if unknown.
+  uint16_t PortOf(Address addr) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(addr);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<Address, uint16_t> map_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_NET_ADDRESS_BOOK_H_

@@ -1,0 +1,66 @@
+// Blocking facade over the asynchronous ChainReaction client for use from
+// ordinary application threads when the client runs on a TcpRuntime.
+//
+// Every call posts the operation to the client's loop thread and waits for
+// the completion callback. One SyncClient may be shared by one application
+// thread at a time (operations are sequential — a session).
+#ifndef SRC_NET_SYNC_CLIENT_H_
+#define SRC_NET_SYNC_CLIENT_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/core/chainreaction_client.h"
+#include "src/net/tcp_runtime.h"
+
+namespace chainreaction {
+
+class SyncClient {
+ public:
+  SyncClient(ChainReactionClient* client, TcpRuntime* runtime)
+      : client_(client), runtime_(runtime) {}
+
+  ChainReactionClient::PutResult Put(const Key& key, Value value) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ChainReactionClient::PutResult result;
+    runtime_->Post([&, key]() mutable {
+      client_->Put(key, std::move(value), [&](const ChainReactionClient::PutResult& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = r;
+        done = true;
+        cv.notify_one();
+      });
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return result;
+  }
+
+  ChainReactionClient::GetResult Get(const Key& key) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ChainReactionClient::GetResult result;
+    runtime_->Post([&, key]() {
+      client_->Get(key, [&](const ChainReactionClient::GetResult& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        result = r;
+        done = true;
+        cv.notify_one();
+      });
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return result;
+  }
+
+ private:
+  ChainReactionClient* client_;
+  TcpRuntime* runtime_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_NET_SYNC_CLIENT_H_

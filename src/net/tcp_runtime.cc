@@ -1,0 +1,370 @@
+#include "src/net/tcp_runtime.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "src/common/logging.h"
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+namespace {
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  CHAINRX_CHECK(flags >= 0);
+  CHAINRX_CHECK(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+constexpr size_t kFrameHeader = 12;  // u32 length | u32 src | u32 dst
+
+}  // namespace
+
+// Env implementation bound to one actor of this runtime.
+class TcpRuntime::TcpEnv : public Env {
+ public:
+  TcpEnv(TcpRuntime* rt, Address self) : rt_(rt), self_(self) {}
+
+  Time Now() override { return NowMicros(); }
+
+  void Send(Address dst, std::string payload) override {
+    rt_->SendFrame(self_, dst, payload);
+  }
+
+  uint64_t Schedule(Duration delay, std::function<void()> fn) override {
+    const uint64_t id = rt_->next_timer_id_++;
+    rt_->timers_.push(Timer{NowMicros() + delay, id, std::move(fn)});
+    return id;
+  }
+
+  void CancelTimer(uint64_t timer_id) override { rt_->cancelled_timers_.insert(timer_id); }
+
+ private:
+  TcpRuntime* rt_;
+  Address self_;
+};
+
+Time TcpRuntime::NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+TcpRuntime::TcpRuntime(AddressBook* book) : book_(book) {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  CHAINRX_CHECK(listen_fd_ >= 0);
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  CHAINRX_CHECK(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
+  CHAINRX_CHECK(listen(listen_fd_, 128) == 0);
+  socklen_t len = sizeof(addr);
+  CHAINRX_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+  port_ = ntohs(addr.sin_port);
+  SetNonBlocking(listen_fd_);
+
+  int pipe_fds[2];
+  CHAINRX_CHECK(pipe(pipe_fds) == 0);
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  SetNonBlocking(wake_read_fd_);
+  SetNonBlocking(wake_write_fd_);
+}
+
+TcpRuntime::~TcpRuntime() {
+  Stop();
+  CloseAll();
+}
+
+Env* TcpRuntime::Register(Address addr, Actor* actor) {
+  CHAINRX_CHECK(!running_.load());
+  actors_[addr] = actor;
+  book_->Bind(addr, port_);
+  envs_.push_back(std::make_unique<TcpEnv>(this, addr));
+  return envs_.back().get();
+}
+
+void TcpRuntime::Start() {
+  CHAINRX_CHECK(!running_.load());
+  running_.store(true);
+  thread_ = std::thread([this]() { Loop(); });
+}
+
+void TcpRuntime::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  Wakeup();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void TcpRuntime::Post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    posted_.push_back(std::move(fn));
+  }
+  Wakeup();
+}
+
+void TcpRuntime::Wakeup() {
+  const char byte = 1;
+  ssize_t ignored = write(wake_write_fd_, &byte, 1);
+  (void)ignored;
+}
+
+void TcpRuntime::Loop() {
+  while (running_.load()) {
+    DrainPosted();
+    RunTimers();
+
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    for (const auto& conn : conns_) {
+      short events = POLLIN;
+      if (!conn->outbox.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back({conn->fd, events, 0});
+    }
+
+    int timeout_ms = 50;
+    if (!timers_.empty()) {
+      const Time delta = timers_.top().at - NowMicros();
+      timeout_ms = delta <= 0 ? 0 : static_cast<int>(std::min<Time>(delta / 1000 + 1, 50));
+    }
+    const int n = poll(fds.data(), fds.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      LOG_ERROR("poll failed: %s", std::strerror(errno));
+      return;
+    }
+
+    if ((fds[1].revents & POLLIN) != 0) {
+      char buf[256];
+      while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    if ((fds[0].revents & POLLIN) != 0) {
+      AcceptNew();
+    }
+    // conns_ may grow during handling (new outgoing connections); only the
+    // prefix snapshotted into fds is touched here.
+    const size_t snapshot = fds.size() - 2;
+    for (size_t i = 0; i < snapshot; ++i) {
+      const short revents = fds[i + 2].revents;
+      if ((revents & POLLOUT) != 0) {
+        FlushOutbox(conns_[i].get());
+      }
+      if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        ReadFrom(i);
+      }
+    }
+  }
+}
+
+void TcpRuntime::DrainPosted() {
+  std::deque<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(posted_mu_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) {
+    fn();
+  }
+}
+
+void TcpRuntime::RunTimers() {
+  const Time now = NowMicros();
+  while (!timers_.empty() && timers_.top().at <= now) {
+    Timer t = timers_.top();
+    timers_.pop();
+    if (auto it = cancelled_timers_.find(t.id); it != cancelled_timers_.end()) {
+      cancelled_timers_.erase(it);
+      continue;
+    }
+    t.fn();
+  }
+}
+
+void TcpRuntime::AcceptNew() {
+  while (true) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      return;
+    }
+    SetNonBlocking(fd);
+    SetNoDelay(fd);
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpRuntime::ReadFrom(size_t conn_index) {
+  Connection* conn = conns_[conn_index].get();
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn->inbox.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      break;
+    }
+    // Peer closed (or error): frames already buffered still get parsed.
+    break;
+  }
+  ParseFrames(conn);
+}
+
+void TcpRuntime::ParseFrames(Connection* conn) {
+  size_t offset = 0;
+  while (conn->inbox.size() - offset >= kFrameHeader) {
+    uint32_t length = 0, src = 0, dst = 0;
+    std::memcpy(&length, conn->inbox.data() + offset, 4);
+    std::memcpy(&src, conn->inbox.data() + offset + 4, 4);
+    std::memcpy(&dst, conn->inbox.data() + offset + 8, 4);
+    if (length > (64u << 20)) {
+      LOG_ERROR("oversized frame (%u bytes); dropping connection buffer", length);
+      conn->inbox.clear();
+      return;
+    }
+    if (conn->inbox.size() - offset - kFrameHeader < length) {
+      break;  // incomplete
+    }
+    std::string payload = conn->inbox.substr(offset + kFrameHeader, length);
+    offset += kFrameHeader + length;
+    frames_received_.fetch_add(1);
+    Deliver(src, dst, std::move(payload));
+  }
+  if (offset > 0) {
+    conn->inbox.erase(0, offset);
+  }
+}
+
+void TcpRuntime::Deliver(Address src, Address dst, std::string payload) {
+  auto it = actors_.find(dst);
+  if (it == actors_.end()) {
+    LOG_WARN("runtime on port %u: no actor %u", port_, dst);
+    return;
+  }
+  it->second->OnMessage(src, payload);
+}
+
+void TcpRuntime::SendFrame(Address src, Address dst, const std::string& payload) {
+  // Local recipients skip the wire, like colocated processes sharing a bus.
+  if (actors_.contains(dst)) {
+    // Defer via the posted queue to keep Send() non-reentrant.
+    std::string copy = payload;
+    Post([this, src, dst, copy = std::move(copy)]() mutable {
+      Deliver(src, dst, std::move(copy));
+    });
+    return;
+  }
+  const uint16_t target_port = book_->PortOf(dst);
+  if (target_port == 0) {
+    LOG_WARN("no route to address %u", dst);
+    return;
+  }
+  const int conn_index = ConnectionTo(target_port);
+  if (conn_index < 0) {
+    return;
+  }
+  Connection* conn = conns_[static_cast<size_t>(conn_index)].get();
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  char header[kFrameHeader];
+  std::memcpy(header, &length, 4);
+  std::memcpy(header + 4, &src, 4);
+  std::memcpy(header + 8, &dst, 4);
+  conn->outbox.append(header, kFrameHeader);
+  conn->outbox.append(payload);
+  frames_sent_.fetch_add(1);
+  FlushOutbox(conn);
+}
+
+void TcpRuntime::FlushOutbox(Connection* conn) {
+  while (!conn->outbox.empty()) {
+    const ssize_t n = write(conn->fd, conn->outbox.data(), conn->outbox.size());
+    if (n > 0) {
+      conn->outbox.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return;  // poll will retry with POLLOUT
+    }
+    LOG_WARN("write failed: %s", std::strerror(errno));
+    conn->outbox.clear();
+    return;
+  }
+}
+
+int TcpRuntime::ConnectionTo(uint16_t target_port) {
+  auto it = port_to_conn_.find(target_port);
+  if (it != port_to_conn_.end()) {
+    return it->second;
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(target_port);
+  // Blocking connect to localhost completes immediately in practice.
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    LOG_WARN("connect to port %u failed: %s", target_port, std::strerror(errno));
+    close(fd);
+    return -1;
+  }
+  SetNonBlocking(fd);
+  SetNoDelay(fd);
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conns_.push_back(std::move(conn));
+  const int index = static_cast<int>(conns_.size() - 1);
+  port_to_conn_[target_port] = index;
+  return index;
+}
+
+void TcpRuntime::CloseAll() {
+  for (auto& conn : conns_) {
+    if (conn->fd >= 0) {
+      close(conn->fd);
+    }
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (wake_read_fd_ >= 0) {
+    close(wake_read_fd_);
+    close(wake_write_fd_);
+    wake_read_fd_ = wake_write_fd_ = -1;
+  }
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,118 @@
+// Real-socket runtime for protocol actors.
+//
+// A TcpRuntime models one OS process: it hosts a set of actors behind a
+// single listening TCP socket (127.0.0.1, ephemeral port) and runs one
+// event-loop thread that
+//   * accepts peer connections and parses length-prefixed frames
+//     (u32 length | u32 src | u32 dst | payload),
+//   * delivers frames to local actors,
+//   * sends outgoing frames — locally addressed ones are dispatched
+//     in-process, remote ones over a lazily established TCP connection to
+//     the owning runtime (found through the shared AddressBook),
+//   * drives an Env-compatible timer heap.
+//
+// All actor callbacks run on the loop thread, matching the simulator's
+// single-threaded execution model, so the exact same protocol code runs on
+// both transports. External threads inject work with Post().
+#ifndef SRC_NET_TCP_RUNTIME_H_
+#define SRC_NET_TCP_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/net/address_book.h"
+#include "src/sim/env.h"
+
+namespace chainreaction {
+
+class TcpRuntime {
+ public:
+  // All runtimes that must talk to each other share one AddressBook.
+  explicit TcpRuntime(AddressBook* book);
+  ~TcpRuntime();
+  TcpRuntime(const TcpRuntime&) = delete;
+  TcpRuntime& operator=(const TcpRuntime&) = delete;
+
+  // Must be called before Start(). The returned Env is owned by the
+  // runtime and valid until destruction.
+  Env* Register(Address addr, Actor* actor);
+
+  void Start();
+  void Stop();
+
+  // Runs `fn` on the loop thread (thread-safe, returns immediately).
+  void Post(std::function<void()> fn);
+
+  uint16_t port() const { return port_; }
+  uint64_t frames_sent() const { return frames_sent_.load(); }
+  uint64_t frames_received() const { return frames_received_.load(); }
+
+ private:
+  class TcpEnv;
+  struct Connection {
+    int fd = -1;
+    std::string inbox;    // partially read frames
+    std::string outbox;   // partially written frames
+  };
+  struct Timer {
+    Time at;
+    uint64_t id;
+    std::function<void()> fn;
+    bool operator>(const Timer& other) const { return at > other.at; }
+  };
+
+  static Time NowMicros();
+
+  void Loop();
+  void AcceptNew();
+  void ReadFrom(size_t conn_index);
+  void ParseFrames(Connection* conn);
+  void Deliver(Address src, Address dst, std::string payload);
+  void SendFrame(Address src, Address dst, const std::string& payload);
+  void FlushOutbox(Connection* conn);
+  int ConnectionTo(uint16_t target_port);
+  void Wakeup();
+  void RunTimers();
+  void DrainPosted();
+  void CloseAll();
+
+  AddressBook* book_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+
+  std::unordered_map<Address, Actor*> actors_;
+  std::vector<std::unique_ptr<Env>> envs_;
+
+  std::vector<std::unique_ptr<Connection>> conns_;   // accepted + outgoing
+  std::unordered_map<uint16_t, int> port_to_conn_;   // outgoing by port
+
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
+  std::unordered_set<uint64_t> cancelled_timers_;
+  uint64_t next_timer_id_ = 1;
+
+  std::mutex posted_mu_;
+  std::deque<std::function<void()>> posted_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> frames_received_{0};
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_NET_TCP_RUNTIME_H_

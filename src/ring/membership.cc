@@ -1,0 +1,97 @@
+#include "src/ring/membership.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+MembershipService::MembershipService(std::vector<NodeId> initial_nodes, uint32_t vnodes,
+                                     uint32_t replication)
+    : nodes_(std::move(initial_nodes)),
+      vnodes_(vnodes),
+      replication_(replication),
+      ring_(nodes_, vnodes_, replication_, epoch_) {}
+
+void MembershipService::RemoveNode(NodeId node) {
+  auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end()) {
+    return;
+  }
+  nodes_.erase(it);
+  CHAINRX_CHECK(nodes_.size() >= replication_);
+  epoch_++;
+  ring_ = Ring(nodes_, vnodes_, replication_, epoch_);
+  LOG_INFO("membership: removed node %u, epoch %llu", node,
+           static_cast<unsigned long long>(epoch_));
+  Broadcast();
+}
+
+void MembershipService::AddNode(NodeId node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) {
+    return;
+  }
+  nodes_.push_back(node);
+  epoch_++;
+  ring_ = Ring(nodes_, vnodes_, replication_, epoch_);
+  LOG_INFO("membership: added node %u, epoch %llu", node,
+           static_cast<unsigned long long>(epoch_));
+  Broadcast();
+}
+
+void MembershipService::Broadcast() {
+  CHAINRX_CHECK(env_ != nullptr);
+  MemNewMembership msg;
+  msg.epoch = epoch_;
+  msg.nodes = nodes_;
+  const std::string payload = EncodeMessage(msg);
+  for (NodeId node : nodes_) {
+    env_->Send(node, payload);
+  }
+  for (Address listener : listeners_) {
+    env_->Send(listener, payload);
+  }
+}
+
+void MembershipService::EnableFailureDetection(Duration sweep_interval, Duration timeout) {
+  CHAINRX_CHECK(env_ != nullptr);
+  CHAINRX_CHECK(sweep_interval > 0 && timeout > 0);
+  sweep_interval_ = sweep_interval;
+  heartbeat_timeout_ = timeout;
+  const Time now = env_->Now();
+  for (NodeId node : nodes_) {
+    last_seen_[node] = now;  // grace period: everyone starts alive
+  }
+  env_->Schedule(sweep_interval_, [this]() { Sweep(); });
+}
+
+void MembershipService::Sweep() {
+  const Time now = env_->Now();
+  std::vector<NodeId> dead;
+  for (NodeId node : nodes_) {
+    auto it = last_seen_.find(node);
+    if (it == last_seen_.end() || now - it->second > heartbeat_timeout_) {
+      dead.push_back(node);
+    }
+  }
+  for (NodeId node : dead) {
+    if (nodes_.size() <= replication_) {
+      LOG_WARN("membership: node %u silent but removal would break R=%u", node, replication_);
+      break;
+    }
+    failures_detected_++;
+    LOG_INFO("membership: node %u missed heartbeats, removing", node);
+    RemoveNode(node);
+  }
+  env_->Schedule(sweep_interval_, [this]() { Sweep(); });
+}
+
+void MembershipService::OnMessage(Address /*from*/, const std::string& payload) {
+  MemHeartbeat hb;
+  if (DecodeMessage(payload, &hb)) {
+    last_seen_[hb.node] = env_->Now();
+  }
+}
+
+}  // namespace chainreaction

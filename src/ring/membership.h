@@ -1,0 +1,72 @@
+// Membership service.
+//
+// The ChainReaction paper (like FAWN-KV) assumes an external coordination
+// service that detects failures and disseminates the new chain layout. Here
+// the membership service is a simulated actor holding the authoritative node
+// list. Two modes:
+//   * oracle (default): the failure injector calls RemoveNode/AddNode;
+//   * heartbeat failure detection (EnableFailureDetection): nodes send
+//     periodic MemHeartbeat messages and the service removes nodes that
+//     miss the timeout, then broadcasts the new epoch to every live node
+//     and registered listener (clients, geo replicators).
+#ifndef SRC_RING_MEMBERSHIP_H_
+#define SRC_RING_MEMBERSHIP_H_
+
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/msg/message.h"
+#include "src/ring/ring.h"
+#include "src/sim/env.h"
+
+namespace chainreaction {
+
+class MembershipService : public Actor {
+ public:
+  MembershipService(std::vector<NodeId> initial_nodes, uint32_t vnodes, uint32_t replication);
+
+  void AttachEnv(Env* env) { env_ = env; }
+
+  // Extra addresses (clients, geo replicators) that want membership updates.
+  void AddListener(Address addr) { listeners_.push_back(addr); }
+
+  // Fault-injection entry points. Each broadcasts a new epoch.
+  void RemoveNode(NodeId node);
+  void AddNode(NodeId node);
+
+  // Turns on heartbeat-based failure detection: nodes missing heartbeats
+  // for `timeout` are removed at the next sweep (every `sweep_interval`).
+  // NOTE: the sweep timer keeps the simulator's event queue non-empty
+  // forever; tests must use RunUntil, not Run-to-drain.
+  void EnableFailureDetection(Duration sweep_interval, Duration timeout);
+
+  uint64_t failures_detected() const { return failures_detected_; }
+
+  const Ring& ring() const { return ring_; }
+  uint64_t epoch() const { return epoch_; }
+
+  void OnMessage(Address from, const std::string& payload) override;
+
+ private:
+  void Broadcast();
+  void Sweep();
+
+  Env* env_ = nullptr;
+  std::vector<NodeId> nodes_;
+  std::vector<Address> listeners_;
+  uint32_t vnodes_;
+  uint32_t replication_;
+  uint64_t epoch_ = 1;
+  Ring ring_;
+
+  // Failure detection state (inactive unless enabled).
+  Duration sweep_interval_ = 0;
+  Duration heartbeat_timeout_ = 0;
+  std::map<NodeId, Time> last_seen_;
+  uint64_t failures_detected_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_RING_MEMBERSHIP_H_

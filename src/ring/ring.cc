@@ -1,0 +1,92 @@
+#include "src/ring/ring.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+Ring::Ring(std::vector<NodeId> nodes, uint32_t vnodes_per_node, uint32_t replication,
+           uint64_t epoch)
+    : nodes_(std::move(nodes)), replication_(replication), epoch_(epoch) {
+  CHAINRX_CHECK(replication_ >= 1);
+  CHAINRX_CHECK(nodes_.size() >= replication_);
+  CHAINRX_CHECK(vnodes_per_node >= 1);
+  points_.reserve(nodes_.size() * vnodes_per_node);
+  for (NodeId node : nodes_) {
+    for (uint32_t v = 0; v < vnodes_per_node; ++v) {
+      // Vnode placement must be a pure function of (node, v) so that all
+      // parties, and all epochs containing the node, agree on it.
+      const uint64_t h = Mix64((static_cast<uint64_t>(node) << 20) | v);
+      points_.push_back(Point{h, node});
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<NodeId> Ring::ComputeChain(const Key& key) const {
+  std::vector<NodeId> chain;
+  chain.reserve(replication_);
+  // FNV-1a alone under-avalanches its high bits for keys that differ only
+  // in trailing characters (e.g. sequential YCSB record keys), which would
+  // collapse consecutive keys onto one chain; the 64-bit finalizer fixes
+  // the spread.
+  const uint64_t h = Mix64(Fnv1a64(key));
+  // First vnode with hash >= h, wrapping.
+  auto it = std::lower_bound(points_.begin(), points_.end(), Point{h, 0});
+  size_t idx = static_cast<size_t>(it - points_.begin());
+  for (size_t steps = 0; steps < points_.size() && chain.size() < replication_; ++steps) {
+    const NodeId candidate = points_[(idx + steps) % points_.size()].node;
+    if (std::find(chain.begin(), chain.end(), candidate) == chain.end()) {
+      chain.push_back(candidate);
+    }
+  }
+  CHAINRX_CHECK(chain.size() == replication_);
+  return chain;
+}
+
+const std::vector<NodeId>& Ring::ChainFor(const Key& key) const {
+  auto it = chain_cache_.find(key);
+  if (it != chain_cache_.end()) {
+    return it->second;
+  }
+  auto [inserted, _] = chain_cache_.emplace(key, ComputeChain(key));
+  return inserted->second;
+}
+
+ChainIndex Ring::PositionOf(const Key& key, NodeId node) const {
+  const std::vector<NodeId>& chain = ChainFor(key);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (chain[i] == node) {
+      return static_cast<ChainIndex>(i + 1);
+    }
+  }
+  return 0;
+}
+
+NodeId Ring::SuccessorFor(const Key& key, NodeId node) const {
+  const std::vector<NodeId>& chain = ChainFor(key);
+  for (size_t i = 0; i + 1 < chain.size(); ++i) {
+    if (chain[i] == node) {
+      return chain[i + 1];
+    }
+  }
+  return kInvalidNode;
+}
+
+NodeId Ring::PredecessorFor(const Key& key, NodeId node) const {
+  const std::vector<NodeId>& chain = ChainFor(key);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    if (chain[i] == node) {
+      return chain[i - 1];
+    }
+  }
+  return kInvalidNode;
+}
+
+bool Ring::Contains(NodeId node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,72 @@
+// Consistent-hashing ring and chain composition (FAWN-KV style).
+//
+// Every node owns `vnodes` positions on a 64-bit hash ring. The replication
+// chain of a key is the sequence of R *distinct physical* nodes found
+// clockwise from the key's hash; the first is the chain head, the last the
+// tail. All sides (clients, nodes, membership service) compute chains
+// locally from the same membership list, so no directory service is needed.
+#ifndef SRC_RING_RING_H_
+#define SRC_RING_RING_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+class Ring {
+ public:
+  Ring() = default;
+
+  // `nodes` lists live node ids; `replication` is the chain length R.
+  // Requires nodes.size() >= replication >= 1.
+  Ring(std::vector<NodeId> nodes, uint32_t vnodes_per_node, uint32_t replication,
+       uint64_t epoch = 0);
+
+  // The chain (head first) for `key`. Stable for a given membership.
+  const std::vector<NodeId>& ChainFor(const Key& key) const;
+
+  NodeId HeadFor(const Key& key) const { return ChainFor(key).front(); }
+  NodeId TailFor(const Key& key) const { return ChainFor(key).back(); }
+
+  // 1-based position of `node` in key's chain; 0 if not a replica.
+  ChainIndex PositionOf(const Key& key, NodeId node) const;
+
+  // Successor of `node` in key's chain, kInvalidNode for the tail.
+  NodeId SuccessorFor(const Key& key, NodeId node) const;
+  // Predecessor of `node` in key's chain, kInvalidNode for the head.
+  NodeId PredecessorFor(const Key& key, NodeId node) const;
+
+  bool Contains(NodeId node) const;
+
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  uint32_t replication() const { return replication_; }
+  uint64_t epoch() const { return epoch_; }
+  bool empty() const { return points_.empty(); }
+
+ private:
+  struct Point {
+    uint64_t hash;
+    NodeId node;
+    bool operator<(const Point& other) const {
+      return hash != other.hash ? hash < other.hash : node < other.node;
+    }
+  };
+
+  std::vector<NodeId> ComputeChain(const Key& key) const;
+
+  std::vector<NodeId> nodes_;
+  std::vector<Point> points_;  // sorted
+  uint32_t replication_ = 1;
+  uint64_t epoch_ = 0;
+
+  // Chain lookups are on the hot path of every simulated op; memoize per
+  // key. The Ring is immutable after construction, so entries never go
+  // stale. Not thread-safe: each actor owns its Ring copy.
+  mutable std::unordered_map<Key, std::vector<NodeId>> chain_cache_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_RING_RING_H_

@@ -1,0 +1,42 @@
+// Runtime environment seen by protocol actors.
+//
+// All protocol logic (chain nodes, clients, geo replicators) is written
+// against this narrow interface so the exact same code runs on
+//   * the deterministic discrete-event simulator (src/sim), and
+//   * the real TCP transport (src/net).
+#ifndef SRC_SIM_ENV_H_
+#define SRC_SIM_ENV_H_
+
+#include <functional>
+#include <string>
+
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  // Current time in microseconds (simulated or wall clock).
+  virtual Time Now() = 0;
+
+  // Asynchronously delivers `payload` to `dst`. Links are reliable and FIFO
+  // per (src, dst) pair unless the simulation injects faults.
+  virtual void Send(Address dst, std::string payload) = 0;
+
+  // Runs `fn` after `delay`. Returns a timer id usable with CancelTimer.
+  virtual uint64_t Schedule(Duration delay, std::function<void()> fn) = 0;
+  virtual void CancelTimer(uint64_t timer_id) = 0;
+};
+
+// An actor receives messages addressed to it. Implementations must not block.
+class Actor {
+ public:
+  virtual ~Actor() = default;
+  virtual void OnMessage(Address from, const std::string& payload) = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_SIM_ENV_H_

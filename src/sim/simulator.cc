@@ -1,0 +1,56 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+uint64_t Simulator::Schedule(Duration delay, std::function<void()> fn) {
+  CHAINRX_CHECK(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+uint64_t Simulator::ScheduleAt(Time at, std::function<void()> fn) {
+  CHAINRX_CHECK(at >= now_);
+  const uint64_t id = next_id_++;
+  queue_.push(Event{at, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+void Simulator::Cancel(uint64_t event_id) { cancelled_.insert(event_id); }
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.at;
+    events_executed_++;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Run(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (!Step()) {
+      return;
+    }
+  }
+}
+
+void Simulator::RunUntil(Time deadline) {
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Step();
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace chainreaction

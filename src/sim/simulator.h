@@ -1,0 +1,71 @@
+// Deterministic discrete-event simulation kernel.
+//
+// A Simulator owns a virtual clock and an event queue. Events scheduled for
+// the same instant fire in insertion order, which (together with Rng-driven
+// randomness) makes every run a pure function of its seed.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time Now() const { return now_; }
+
+  // Schedules `fn` at now + delay (delay >= 0). Returns a cancellable id.
+  uint64_t Schedule(Duration delay, std::function<void()> fn);
+  uint64_t ScheduleAt(Time at, std::function<void()> fn);
+  void Cancel(uint64_t event_id);
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool Step();
+
+  // Runs until the queue drains or `max_events` fire.
+  void Run(uint64_t max_events = UINT64_MAX);
+
+  // Runs events with timestamp <= deadline (inclusive); the clock ends at
+  // exactly `deadline` even if the queue drained earlier.
+  void RunUntil(Time deadline);
+
+  uint64_t events_executed() const { return events_executed_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    Time at;
+    uint64_t seq;
+    uint64_t id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;  // min-heap on time
+      }
+      return a.seq > b.seq;  // FIFO among simultaneous events
+    }
+  };
+
+  Time now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_SIM_SIMULATOR_H_

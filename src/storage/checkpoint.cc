@@ -1,0 +1,101 @@
+#include "src/storage/checkpoint.h"
+
+#include <cstdio>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/msg/message.h"
+
+namespace chainreaction {
+
+namespace {
+constexpr uint32_t kMagic = 0x43525843;  // "CXRC"
+constexpr uint32_t kFormatVersion = 1;
+}  // namespace
+
+Status SaveCheckpoint(const VersionedStore& store, const std::string& path) {
+  ByteWriter payload;
+  uint64_t entries = 0;
+  store.ForEachVersion([&payload, &entries](const Key& key, const StoredVersion& sv) {
+    payload.PutString(key);
+    payload.PutString(sv.value);
+    sv.version.Encode(&payload);
+    payload.PutBool(sv.stable);
+    EncodeDeps(sv.deps, &payload);
+    entries++;
+  });
+
+  ByteWriter file;
+  file.PutU32(kMagic);
+  file.PutU32(kFormatVersion);
+  file.PutU64(entries);
+  file.PutU64(Fnv1a64(payload.data()));
+  const std::string& body = payload.data();
+
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open checkpoint for writing: " + path);
+  }
+  bool ok = std::fwrite(file.data().data(), 1, file.size(), f) == file.size();
+  ok = ok && std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    return Status::Internal("short write to checkpoint: " + path);
+  }
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(const std::string& path, VersionedStore* store) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  std::string contents;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  ByteReader header(contents);
+  uint32_t magic = 0, format = 0;
+  uint64_t entries = 0, checksum = 0;
+  if (!header.GetU32(&magic) || !header.GetU32(&format) || !header.GetU64(&entries) ||
+      !header.GetU64(&checksum)) {
+    return Status::Corruption("checkpoint header truncated");
+  }
+  if (magic != kMagic) {
+    return Status::Corruption("bad checkpoint magic");
+  }
+  if (format != kFormatVersion) {
+    return Status::Corruption("unsupported checkpoint format " + std::to_string(format));
+  }
+  const std::string payload = contents.substr(24);
+  if (Fnv1a64(payload) != checksum) {
+    return Status::Corruption("checkpoint checksum mismatch");
+  }
+
+  ByteReader r(payload);
+  for (uint64_t i = 0; i < entries; ++i) {
+    Key key;
+    Value value;
+    Version version;
+    bool stable = false;
+    std::vector<Dependency> deps;
+    if (!r.GetString(&key) || !r.GetString(&value) || !version.Decode(&r) ||
+        !r.GetBool(&stable) || !DecodeDeps(&r, &deps)) {
+      return Status::Corruption("checkpoint entry " + std::to_string(i) + " truncated");
+    }
+    store->Apply(key, std::move(value), version, std::move(deps));
+    if (stable) {
+      store->MarkStable(key, version);
+    }
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("trailing bytes after last checkpoint entry");
+  }
+  return Status::Ok();
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,33 @@
+// Durable checkpoints of a node's versioned store.
+//
+// A checkpoint is a single file: a magic/format header, every retained
+// version (key, value, version, stability, dependency list), and a trailing
+// FNV-1a checksum over the payload. Loading verifies the checksum and
+// replays versions through the normal Apply/MarkStable path, so a restored
+// store is behaviourally identical (including causal bookkeeping) to the
+// one that was saved.
+//
+// This is the recovery building block for restarting a crashed node from
+// local state instead of a full chain resync; the chain-repair machinery
+// then only re-propagates what the node missed while it was down.
+#ifndef SRC_STORAGE_CHECKPOINT_H_
+#define SRC_STORAGE_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/storage/versioned_store.h"
+
+namespace chainreaction {
+
+// Writes `store` to `path` (overwriting). Returns kInternal on I/O failure.
+Status SaveCheckpoint(const VersionedStore& store, const std::string& path);
+
+// Replays the checkpoint at `path` into `store` (which should be empty).
+// Returns kNotFound if the file does not exist, kCorruption on checksum or
+// format mismatch.
+Status LoadCheckpoint(const std::string& path, VersionedStore* store);
+
+}  // namespace chainreaction
+
+#endif  // SRC_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,148 @@
+#include "src/storage/versioned_store.h"
+
+#include <algorithm>
+
+namespace chainreaction {
+
+bool VersionedStore::Apply(const Key& key, Value value, const Version& version,
+                           std::vector<Dependency> deps) {
+  KeyState& ks = table_[key];
+  // Insertion point in ascending LWW order.
+  auto it = std::lower_bound(
+      ks.versions.begin(), ks.versions.end(), version,
+      [](const StoredVersion& sv, const Version& v) { return sv.version.LwwLess(v); });
+  if (it != ks.versions.end() && it->version == version) {
+    return false;  // duplicate (e.g. repair re-propagation)
+  }
+  ks.versions.insert(it, StoredVersion{std::move(value), version, false, std::move(deps)});
+  ks.applied_vv.MergeMax(version.vv);
+  total_versions_++;
+  Trim(&ks);
+  return true;
+}
+
+bool VersionedStore::MarkStable(const Key& key, const Version& version) {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return false;
+  }
+  bool found = false;
+  for (StoredVersion& sv : it->second.versions) {
+    if (sv.version == version || version.CausallyIncludes(sv.version)) {
+      // Stability is prefix-closed along the chain: everything the stable
+      // version causally includes is stable too.
+      sv.stable = true;
+      found = found || sv.version == version;
+    }
+  }
+  if (found) {
+    Trim(&it->second);
+  }
+  return found;
+}
+
+const StoredVersion* VersionedStore::Latest(const Key& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end() || it->second.versions.empty()) {
+    return nullptr;
+  }
+  return &it->second.versions.back();
+}
+
+const StoredVersion* VersionedStore::Find(const Key& key, const Version& version) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return nullptr;
+  }
+  for (const StoredVersion& sv : it->second.versions) {
+    if (sv.version == version) {
+      return &sv;
+    }
+  }
+  return nullptr;
+}
+
+const StoredVersion* VersionedStore::LatestStable(const Key& key) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return nullptr;
+  }
+  const auto& versions = it->second.versions;
+  for (auto rit = versions.rbegin(); rit != versions.rend(); ++rit) {
+    if (rit->stable) {
+      return &*rit;
+    }
+  }
+  return nullptr;
+}
+
+bool VersionedStore::HasAtLeast(const Key& key, const Version& min) const {
+  if (min.IsNull()) {
+    return true;
+  }
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return false;
+  }
+  return it->second.applied_vv.Dominates(min.vv);
+}
+
+const VersionVector* VersionedStore::AppliedVv(const Key& key) const {
+  auto it = table_.find(key);
+  return it == table_.end() ? nullptr : &it->second.applied_vv;
+}
+
+size_t VersionedStore::VersionCount(const Key& key) const {
+  auto it = table_.find(key);
+  return it == table_.end() ? 0 : it->second.versions.size();
+}
+
+void VersionedStore::ForEachKey(
+    const std::function<void(const Key&, const StoredVersion&)>& fn) const {
+  for (const auto& [key, ks] : table_) {
+    if (!ks.versions.empty()) {
+      fn(key, ks.versions.back());
+    }
+  }
+}
+
+void VersionedStore::ForEachVersion(
+    const std::function<void(const Key&, const StoredVersion&)>& fn) const {
+  for (const auto& [key, ks] : table_) {
+    for (const StoredVersion& sv : ks.versions) {
+      fn(key, sv);
+    }
+  }
+}
+
+std::vector<StoredVersion> VersionedStore::UnstableVersions(const Key& key) const {
+  std::vector<StoredVersion> out;
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    return out;
+  }
+  for (const StoredVersion& sv : it->second.versions) {
+    if (!sv.stable) {
+      out.push_back(sv);
+    }
+  }
+  return out;
+}
+
+void VersionedStore::Trim(KeyState* ks) {
+  // Drop everything older than the newest stable version.
+  auto& versions = ks->versions;
+  size_t newest_stable = versions.size();
+  for (size_t i = versions.size(); i-- > 0;) {
+    if (versions[i].stable) {
+      newest_stable = i;
+      break;
+    }
+  }
+  if (newest_stable != versions.size() && newest_stable > 0) {
+    total_versions_ -= newest_stable;
+    versions.erase(versions.begin(), versions.begin() + static_cast<long>(newest_stable));
+  }
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,88 @@
+// Per-node in-memory multi-version key-value store.
+//
+// Each key holds a small list of versions ordered by the convergent LWW
+// order (lamport, origin). Nodes apply versions idempotently (duplicates
+// from chain-repair re-propagation are absorbed), track which versions are
+// DC-Write-Stable, and keep the componentwise-max version vector of all
+// applied versions per key — the predicate used for causal dependency
+// checks ("has this node applied at least version v of key k?").
+//
+// Version garbage collection keeps the newest stable version and anything
+// newer, bounding per-key memory.
+#ifndef SRC_STORAGE_VERSIONED_STORE_H_
+#define SRC_STORAGE_VERSIONED_STORE_H_
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/common/version.h"
+
+namespace chainreaction {
+
+struct StoredVersion {
+  Value value;
+  Version version;
+  bool stable = false;
+  // Write-time dependency list (served to multi-get read transactions).
+  std::vector<Dependency> deps;
+};
+
+class VersionedStore {
+ public:
+  // Inserts (value, version) for key. Returns true if newly applied, false
+  // if this exact version was already present.
+  bool Apply(const Key& key, Value value, const Version& version,
+             std::vector<Dependency> deps = {});
+
+  // Marks `version` (and every older version of the key) stable. Returns
+  // true if the key/version exists.
+  bool MarkStable(const Key& key, const Version& version);
+
+  // Newest version in LWW order, or nullptr if the key is absent.
+  const StoredVersion* Latest(const Key& key) const;
+
+  // Exact version lookup, or nullptr.
+  const StoredVersion* Find(const Key& key, const Version& version) const;
+
+  // Newest stable version, or nullptr.
+  const StoredVersion* LatestStable(const Key& key) const;
+
+  // True iff this node has applied versions of `key` whose merged version
+  // vector dominates `min.vv` — i.e. it has the causal past `min` denotes.
+  bool HasAtLeast(const Key& key, const Version& min) const;
+
+  // Merged version vector of all versions of `key` ever applied here.
+  const VersionVector* AppliedVv(const Key& key) const;
+
+  size_t KeyCount() const { return table_.size(); }
+  size_t VersionCount(const Key& key) const;
+  uint64_t total_versions() const { return total_versions_; }
+
+  // Iterates all keys (used for chain-repair state transfer).
+  void ForEachKey(const std::function<void(const Key&, const StoredVersion& latest)>& fn) const;
+
+  // Iterates every retained version of every key (checkpointing).
+  void ForEachVersion(const std::function<void(const Key&, const StoredVersion&)>& fn) const;
+
+  // Versions of `key` that are not yet stable (oldest first); used by chain
+  // heads to re-propagate after a reconfiguration.
+  std::vector<StoredVersion> UnstableVersions(const Key& key) const;
+
+ private:
+  struct KeyState {
+    std::vector<StoredVersion> versions;  // ascending LWW order
+    VersionVector applied_vv;
+  };
+
+  void Trim(KeyState* ks);
+
+  std::unordered_map<Key, KeyState> table_;
+  uint64_t total_versions_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_STORAGE_VERSIONED_STORE_H_

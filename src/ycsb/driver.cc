@@ -1,0 +1,84 @@
+#include "src/ycsb/driver.h"
+
+#include <utility>
+
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+WorkloadDriver::WorkloadDriver(KvClient* client, Env* env, WorkloadSpec spec, uint64_t seed,
+                               uint64_t* insert_counter, StatsCollector* stats)
+    : client_(client),
+      env_(env),
+      spec_(std::move(spec)),
+      rng_(seed),
+      insert_counter_(insert_counter),
+      stats_(stats) {
+  chooser_ = MakeChooser(spec_, insert_counter_);
+  CHAINRX_CHECK(chooser_ != nullptr);
+}
+
+void WorkloadDriver::Start() {
+  CHAINRX_CHECK(!running_);
+  running_ = true;
+  IssueNext();
+}
+
+void WorkloadDriver::IssueNext() {
+  if (!running_) {
+    return;
+  }
+  ops_issued_++;
+  const Time started = env_->Now();
+  const double dice = rng_.NextDouble();
+
+  if (dice < spec_.read_proportion) {
+    const Key key = RecordKey(chooser_->Next(&rng_));
+    client_->Get(key, [this, key, started](const KvGetResult& r) {
+      if (on_read_complete) {
+        on_read_complete(key, r);
+      }
+      OpDone(/*was_read=*/true, started, r.found);
+    });
+    return;
+  }
+
+  Key key;
+  if (dice < spec_.read_proportion + spec_.update_proportion) {
+    key = RecordKey(chooser_->Next(&rng_));
+  } else {
+    // Insert: extend the key space (workload D).
+    key = RecordKey((*insert_counter_)++);
+  }
+  Value value = MakeValue(client_->address(), ++value_seq_, spec_.value_size);
+  client_->Put(key, std::move(value), [this, key, started](const KvPutResult& r) {
+    if (on_write_complete) {
+      on_write_complete(key, r);
+    }
+    OpDone(/*was_read=*/false, started, true);
+  });
+}
+
+void WorkloadDriver::OpDone(bool was_read, Time started, bool found) {
+  const Time now = env_->Now();
+  if (was_read) {
+    stats_->reads++;
+    stats_->read_latency.Record(now - started);
+    if (!found) {
+      stats_->not_found++;
+    }
+  } else {
+    stats_->writes++;
+    stats_->write_latency.Record(now - started);
+  }
+  if (!running_) {
+    return;
+  }
+  if (think_time_ > 0) {
+    env_->Schedule(think_time_, [this]() { IssueNext(); });
+  } else {
+    IssueNext();
+  }
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,62 @@
+// Closed-loop YCSB workload driver.
+//
+// One driver drives one client session: it issues an operation, waits for
+// completion, records the latency, optionally thinks, and issues the next —
+// the client model of the paper's evaluation. All randomness is seeded, so
+// a (seed, spec) pair replays identically.
+#ifndef SRC_YCSB_DRIVER_H_
+#define SRC_YCSB_DRIVER_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/env.h"
+#include "src/ycsb/kv_client.h"
+#include "src/ycsb/stats.h"
+#include "src/ycsb/workload.h"
+
+namespace chainreaction {
+
+class WorkloadDriver {
+ public:
+  // `insert_counter` is shared by all drivers of an experiment (workload D
+  // inserts grow the key space globally); it must outlive the driver.
+  WorkloadDriver(KvClient* client, Env* env, WorkloadSpec spec, uint64_t seed,
+                 uint64_t* insert_counter, StatsCollector* stats);
+
+  // Issues operations until Stop(); optional think time between ops.
+  void Start();
+  void Stop() { running_ = false; }
+  bool running() const { return running_; }
+
+  void set_think_time(Duration d) { think_time_ = d; }
+
+  uint64_t ops_issued() const { return ops_issued_; }
+
+  // Completion hooks for the consistency checkers (called with the driver's
+  // session id = client address).
+  std::function<void(const Key&, const KvPutResult&)> on_write_complete;
+  std::function<void(const Key&, const KvGetResult&)> on_read_complete;
+
+ private:
+  void IssueNext();
+  void OpDone(bool was_read, Time started, bool found);
+
+  KvClient* client_;
+  Env* env_;
+  WorkloadSpec spec_;
+  Rng rng_;
+  uint64_t* insert_counter_;
+  StatsCollector* stats_;
+  std::unique_ptr<KeyChooser> chooser_;
+  bool running_ = false;
+  uint64_t ops_issued_ = 0;
+  uint64_t value_seq_ = 0;
+  Duration think_time_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_YCSB_DRIVER_H_

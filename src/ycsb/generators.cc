@@ -1,0 +1,58 @@
+#include "src/ycsb/generators.h"
+
+#include <cmath>
+
+#include "src/common/hash.h"
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+ZipfianChooser::ZipfianChooser(uint64_t items, double theta) : items_(items), theta_(theta) {
+  CHAINRX_CHECK(items_ >= 1);
+  zeta_n_ = ComputeZeta(items_, theta_);
+  zeta2_ = ComputeZeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zeta_n_);
+}
+
+double ZipfianChooser::ComputeZeta(uint64_t n, double theta) {
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianChooser::Next(Rng* rng) {
+  // Gray et al. rejection-free inversion.
+  const double u = rng->NextDouble();
+  const double uz = u * zeta_n_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const uint64_t idx = static_cast<uint64_t>(
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return idx >= items_ ? items_ - 1 : idx;
+}
+
+uint64_t ScrambledZipfianChooser::Next(Rng* rng) {
+  return Mix64(zipf_.Next(rng)) % items_;
+}
+
+uint64_t LatestChooser::Next(Rng* rng) {
+  const uint64_t max = *max_index_ == 0 ? 1 : *max_index_;
+  if (max != last_max_) {
+    // YCSB grows its zeta incrementally; rebuilding on change is equivalent
+    // and cheap at the scales simulated here.
+    zipf_ = ZipfianChooser(max, 0.99);
+    last_max_ = max;
+  }
+  const uint64_t offset = zipf_.Next(rng);  // 0 = most popular = most recent
+  return max - 1 - offset;
+}
+
+}  // namespace chainreaction

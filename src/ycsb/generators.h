@@ -1,0 +1,87 @@
+// YCSB key-choosing distributions (reimplementation of the generators in
+// Cooper et al., SoCC'10, which the paper uses for its evaluation).
+#ifndef SRC_YCSB_GENERATORS_H_
+#define SRC_YCSB_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/rng.h"
+
+namespace chainreaction {
+
+class KeyChooser {
+ public:
+  virtual ~KeyChooser() = default;
+  // Returns an index in [0, item_count()).
+  virtual uint64_t Next(Rng* rng) = 0;
+  virtual uint64_t item_count() const = 0;
+};
+
+class UniformChooser : public KeyChooser {
+ public:
+  explicit UniformChooser(uint64_t items) : items_(items) {}
+  uint64_t Next(Rng* rng) override { return rng->NextBelow(items_); }
+  uint64_t item_count() const override { return items_; }
+
+ private:
+  uint64_t items_;
+};
+
+// Gray et al. zipfian generator ("Quickly generating billion-record
+// synthetic databases"), as used by YCSB. Item 0 is the most popular.
+class ZipfianChooser : public KeyChooser {
+ public:
+  explicit ZipfianChooser(uint64_t items, double theta = 0.99);
+
+  uint64_t Next(Rng* rng) override;
+  uint64_t item_count() const override { return items_; }
+
+ private:
+  static double ComputeZeta(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  double zeta_n_;
+  double alpha_;
+  double eta_;
+  double zeta2_;
+};
+
+// Zipfian popularity spread uniformly over the key space by hashing, so hot
+// keys are not clustered on the ring (YCSB's "scrambled zipfian").
+class ScrambledZipfianChooser : public KeyChooser {
+ public:
+  explicit ScrambledZipfianChooser(uint64_t items, double theta = 0.99)
+      : items_(items), zipf_(items, theta) {}
+
+  uint64_t Next(Rng* rng) override;
+  uint64_t item_count() const override { return items_; }
+
+ private:
+  uint64_t items_;
+  ZipfianChooser zipf_;
+};
+
+// YCSB's "latest" distribution: popularity is zipfian over recency, so the
+// most recently inserted items are the hottest (workload D). The driver
+// advances *max_index as it inserts.
+class LatestChooser : public KeyChooser {
+ public:
+  // max_index must outlive the chooser and starts at the preloaded record
+  // count; Next() returns indices in [0, *max_index).
+  explicit LatestChooser(const uint64_t* max_index, double theta = 0.99)
+      : max_index_(max_index), zipf_(1, theta) {}
+
+  uint64_t Next(Rng* rng) override;
+  uint64_t item_count() const override { return *max_index_; }
+
+ private:
+  const uint64_t* max_index_;
+  ZipfianChooser zipf_;
+  uint64_t last_max_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_YCSB_GENERATORS_H_

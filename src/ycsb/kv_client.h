@@ -1,0 +1,148 @@
+// Protocol-agnostic key-value client interface plus adapters.
+//
+// The YCSB workload driver runs against KvClient; one thin adapter per
+// replication protocol maps the protocol-specific client into it, so every
+// experiment compares the systems under an identical driver.
+#ifndef SRC_YCSB_KV_CLIENT_H_
+#define SRC_YCSB_KV_CLIENT_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/baselines/eventual.h"
+#include "src/chain/cr.h"
+#include "src/chain/craq.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+#include "src/core/chainreaction_client.h"
+
+namespace chainreaction {
+
+struct KvPutResult {
+  bool ok = false;
+  Version version;                // null when the protocol exposes none
+  std::vector<Dependency> deps;   // ChainReaction only
+};
+
+struct KvGetResult {
+  bool ok = false;
+  bool found = false;
+  Value value;
+  Version version;  // null when the protocol exposes none
+};
+
+class KvClient {
+ public:
+  virtual ~KvClient() = default;
+  using PutCb = std::function<void(const KvPutResult&)>;
+  using GetCb = std::function<void(const KvGetResult&)>;
+
+  virtual void Put(const Key& key, Value value, PutCb cb) = 0;
+  virtual void Get(const Key& key, GetCb cb) = 0;
+  virtual Address address() const = 0;
+};
+
+class CrxKvClient : public KvClient {
+ public:
+  explicit CrxKvClient(ChainReactionClient* client) : client_(client) {}
+
+  void Put(const Key& key, Value value, PutCb cb) override {
+    client_->Put(key, std::move(value),
+                 [cb = std::move(cb)](const ChainReactionClient::PutResult& r) {
+                   cb(KvPutResult{r.status.ok(), r.version, r.deps});
+                 });
+  }
+
+  void Get(const Key& key, GetCb cb) override {
+    client_->Get(key, [cb = std::move(cb)](const ChainReactionClient::GetResult& r) {
+      cb(KvGetResult{r.status.ok(), r.found, r.value, r.version});
+    });
+  }
+
+  Address address() const override { return client_->address(); }
+
+ private:
+  ChainReactionClient* client_;
+};
+
+class CrKvClient : public KvClient {
+ public:
+  CrKvClient(CrClient* client, Address address) : client_(client), address_(address) {}
+
+  void Put(const Key& key, Value value, PutCb cb) override {
+    client_->Put(key, std::move(value), [cb = std::move(cb)](const Status& s, uint64_t seq) {
+      Version v;
+      v.lamport = seq;
+      cb(KvPutResult{s.ok(), v, {}});
+    });
+  }
+
+  void Get(const Key& key, GetCb cb) override {
+    client_->Get(key, [cb = std::move(cb)](const Status& s, bool found, const Value& value,
+                                           uint64_t seq) {
+      Version v;
+      v.lamport = seq;
+      cb(KvGetResult{s.ok(), found, value, v});
+    });
+  }
+
+  Address address() const override { return address_; }
+
+ private:
+  CrClient* client_;
+  Address address_;
+};
+
+class CraqKvClient : public KvClient {
+ public:
+  CraqKvClient(CraqClient* client, Address address) : client_(client), address_(address) {}
+
+  void Put(const Key& key, Value value, PutCb cb) override {
+    client_->Put(key, std::move(value), [cb = std::move(cb)](const Status& s, uint64_t seq) {
+      Version v;
+      v.lamport = seq;
+      cb(KvPutResult{s.ok(), v, {}});
+    });
+  }
+
+  void Get(const Key& key, GetCb cb) override {
+    client_->Get(key, [cb = std::move(cb)](const Status& s, bool found, const Value& value,
+                                           uint64_t seq) {
+      Version v;
+      v.lamport = seq;
+      cb(KvGetResult{s.ok(), found, value, v});
+    });
+  }
+
+  Address address() const override { return address_; }
+
+ private:
+  CraqClient* client_;
+  Address address_;
+};
+
+class EventualKvClient : public KvClient {
+ public:
+  EventualKvClient(EventualClient* client, Address address) : client_(client), address_(address) {}
+
+  void Put(const Key& key, Value value, PutCb cb) override {
+    client_->Put(key, std::move(value),
+                 [cb = std::move(cb)](const Status& s) { cb(KvPutResult{s.ok(), {}, {}}); });
+  }
+
+  void Get(const Key& key, GetCb cb) override {
+    client_->Get(key, [cb = std::move(cb)](const Status& s, bool found, const Value& value) {
+      cb(KvGetResult{s.ok(), found, value, {}});
+    });
+  }
+
+  Address address() const override { return address_; }
+
+ private:
+  EventualClient* client_;
+  Address address_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_YCSB_KV_CLIENT_H_

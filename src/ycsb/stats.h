@@ -1,0 +1,40 @@
+// Operation statistics collected by the workload driver.
+#ifndef SRC_YCSB_STATS_H_
+#define SRC_YCSB_STATS_H_
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+struct StatsCollector {
+  Histogram read_latency;   // microseconds
+  Histogram write_latency;  // microseconds
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t not_found = 0;
+  Time window_start = 0;
+
+  void Reset(Time now) {
+    read_latency.Reset();
+    write_latency.Reset();
+    reads = 0;
+    writes = 0;
+    not_found = 0;
+    window_start = now;
+  }
+
+  uint64_t TotalOps() const { return reads + writes; }
+
+  double ThroughputOpsPerSec(Time now) const {
+    const Time elapsed = now - window_start;
+    if (elapsed <= 0) {
+      return 0;
+    }
+    return static_cast<double>(TotalOps()) * 1e6 / static_cast<double>(elapsed);
+  }
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_YCSB_STATS_H_

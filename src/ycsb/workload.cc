@@ -1,0 +1,79 @@
+#include "src/ycsb/workload.h"
+
+#include <cstdio>
+
+namespace chainreaction {
+
+WorkloadSpec WorkloadSpec::A(uint64_t records, size_t value_size) {
+  WorkloadSpec s;
+  s.name = "A";
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.5;
+  s.distribution = Distribution::kZipfian;
+  s.record_count = records;
+  s.value_size = value_size;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::B(uint64_t records, size_t value_size) {
+  WorkloadSpec s;
+  s.name = "B";
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.05;
+  s.distribution = Distribution::kZipfian;
+  s.record_count = records;
+  s.value_size = value_size;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::C(uint64_t records, size_t value_size) {
+  WorkloadSpec s;
+  s.name = "C";
+  s.read_proportion = 1.0;
+  s.distribution = Distribution::kZipfian;
+  s.record_count = records;
+  s.value_size = value_size;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::D(uint64_t records, size_t value_size) {
+  WorkloadSpec s;
+  s.name = "D";
+  s.read_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  s.distribution = Distribution::kLatest;
+  s.record_count = records;
+  s.value_size = value_size;
+  return s;
+}
+
+Key RecordKey(uint64_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%012llu", static_cast<unsigned long long>(index));
+  return buf;
+}
+
+Value MakeValue(Address client, uint64_t seq, size_t size) {
+  char buf[40];
+  const int n = std::snprintf(buf, sizeof(buf), "c%u-%llu|", client,
+                              static_cast<unsigned long long>(seq));
+  Value v(buf, static_cast<size_t>(n));
+  if (v.size() < size) {
+    v.append(size - v.size(), 'x');
+  }
+  return v;
+}
+
+std::unique_ptr<KeyChooser> MakeChooser(const WorkloadSpec& spec, const uint64_t* max_index) {
+  switch (spec.distribution) {
+    case Distribution::kUniform:
+      return std::make_unique<UniformChooser>(spec.record_count);
+    case Distribution::kZipfian:
+      return std::make_unique<ScrambledZipfianChooser>(spec.record_count);
+    case Distribution::kLatest:
+      return std::make_unique<LatestChooser>(max_index);
+  }
+  return nullptr;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,49 @@
+// YCSB core workload definitions (A-D), the workloads of the paper's
+// evaluation, plus helpers to build key choosers and format keys/values.
+#ifndef SRC_YCSB_WORKLOAD_H_
+#define SRC_YCSB_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/types.h"
+#include "src/ycsb/generators.h"
+
+namespace chainreaction {
+
+enum class Distribution {
+  kUniform,
+  kZipfian,   // scrambled zipfian, theta = 0.99 (YCSB default)
+  kLatest,
+};
+
+struct WorkloadSpec {
+  std::string name;
+  double read_proportion = 0;
+  double update_proportion = 0;
+  double insert_proportion = 0;
+  Distribution distribution = Distribution::kZipfian;
+  uint64_t record_count = 10000;
+  size_t value_size = 128;
+
+  static WorkloadSpec A(uint64_t records = 10000, size_t value_size = 128);  // 50r/50u zipf
+  static WorkloadSpec B(uint64_t records = 10000, size_t value_size = 128);  // 95r/5u zipf
+  static WorkloadSpec C(uint64_t records = 10000, size_t value_size = 128);  // 100r zipf
+  static WorkloadSpec D(uint64_t records = 10000, size_t value_size = 128);  // 95r/5i latest
+};
+
+// "user000000000042"-style record keys.
+Key RecordKey(uint64_t index);
+
+// A value of exactly `size` bytes whose prefix uniquely identifies the
+// writing (client, sequence) pair — unique values let the consistency
+// checkers map any read back to its originating write.
+Value MakeValue(Address client, uint64_t seq, size_t size);
+
+// Builds the chooser for a spec. `max_index` must point at the driver's
+// shared insert counter (used only by kLatest).
+std::unique_ptr<KeyChooser> MakeChooser(const WorkloadSpec& spec, const uint64_t* max_index);
+
+}  // namespace chainreaction
+
+#endif  // SRC_YCSB_WORKLOAD_H_

@@ -1,0 +1,225 @@
+// Tests for the consistency checkers themselves: they must accept legal
+// histories and reject crafted violations of each class.
+#include <gtest/gtest.h>
+
+#include "src/checker/causal_checker.h"
+#include "src/checker/linearizability.h"
+
+namespace chainreaction {
+namespace {
+
+Version V(uint64_t lamport, DcId origin, std::initializer_list<uint64_t> vv) {
+  Version v;
+  v.lamport = lamport;
+  v.origin = origin;
+  v.vv = VersionVector(vv.size());
+  size_t i = 0;
+  for (uint64_t c : vv) {
+    v.vv.Set(static_cast<DcId>(i++), c);
+  }
+  return v;
+}
+
+VersionVector Vv(std::initializer_list<uint64_t> vv) {
+  VersionVector out(vv.size());
+  size_t i = 0;
+  for (uint64_t c : vv) {
+    out.Set(static_cast<DcId>(i++), c);
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- MaximalVvSet --
+
+TEST(MaximalVvSet, KeepsOnlyMaximal) {
+  MaximalVvSet set;
+  set.Add(Vv({1, 0}));
+  set.Add(Vv({2, 0}));  // dominates previous
+  EXPECT_EQ(set.size(), 1u);
+  set.Add(Vv({0, 3}));  // concurrent
+  EXPECT_EQ(set.size(), 2u);
+  set.Add(Vv({2, 3}));  // dominates both
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(MaximalVvSet, AddDominatedIsNoop) {
+  MaximalVvSet set;
+  set.Add(Vv({5, 5}));
+  set.Add(Vv({1, 1}));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(MaximalVvSet, StrictDominance) {
+  MaximalVvSet set;
+  set.Add(Vv({2, 1}));
+  EXPECT_TRUE(set.StrictlyDominates(Vv({1, 1})));
+  EXPECT_FALSE(set.StrictlyDominates(Vv({2, 1})));  // equal, not strict
+  EXPECT_FALSE(set.StrictlyDominates(Vv({3, 0})));  // concurrent
+  EXPECT_FALSE(set.StrictlyDominates(Vv({9, 9})));  // dominates us
+}
+
+// ----------------------------------------------------------- CausalChecker --
+
+TEST(CausalChecker, CleanSessionHistoryPasses) {
+  CausalChecker c;
+  c.RecordWrite(1, "k", V(1, 0, {1}), {});
+  c.RecordRead(1, "k", true, V(1, 0, {1}));
+  c.RecordWrite(1, "k", V(2, 0, {2}), {});
+  c.RecordRead(1, "k", true, V(2, 0, {2}));
+  c.RecordRead(1, "k", true, V(3, 0, {3}));  // newer than known: fine
+  EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(CausalChecker, DetectsReadYourWritesViolation) {
+  CausalChecker c;
+  c.RecordWrite(1, "k", V(2, 0, {2}), {});
+  c.RecordRead(1, "k", true, V(1, 0, {1}));  // older than own write
+  EXPECT_EQ(c.violations(), 1u);
+  ASSERT_FALSE(c.diagnostics().empty());
+}
+
+TEST(CausalChecker, DetectsMonotonicReadsViolation) {
+  CausalChecker c;
+  c.RecordRead(1, "k", true, V(5, 0, {5}));
+  c.RecordRead(1, "k", true, V(3, 0, {3}));  // goes backwards
+  EXPECT_EQ(c.violations(), 1u);
+}
+
+TEST(CausalChecker, ConcurrentVersionsNotFlagged) {
+  CausalChecker c;
+  c.RecordRead(1, "k", true, V(5, 0, {1, 0}));
+  c.RecordRead(1, "k", true, V(6, 1, {0, 1}));  // concurrent, LWW winner
+  EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(CausalChecker, DetectsCrossKeyViolation) {
+  CausalChecker c;
+  // Session 1 writes k1, then writes k2 depending on k1.
+  const Version k1v = V(1, 0, {1});
+  const Version k2v = V(2, 0, {1});
+  c.RecordWrite(1, "k1", k1v, {});
+  c.RecordWrite(1, "k2", k2v, {{"k1", k1v}});
+  // Session 2 reads k2 (pulling in the dependency on k1), then reads a
+  // pre-dependency version of k1: violation.
+  c.RecordRead(2, "k2", true, k2v);
+  c.RecordRead(2, "k1", true, V(0, 0, {0}));
+  EXPECT_GE(c.violations(), 1u);
+}
+
+TEST(CausalChecker, CrossKeySatisfiedPasses) {
+  CausalChecker c;
+  const Version k1v = V(1, 0, {1});
+  const Version k2v = V(2, 0, {1});
+  c.RecordWrite(1, "k1", k1v, {});
+  c.RecordWrite(1, "k2", k2v, {{"k1", k1v}});
+  c.RecordRead(2, "k2", true, k2v);
+  c.RecordRead(2, "k1", true, k1v);
+  EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(CausalChecker, TransitiveDependencyClosure) {
+  CausalChecker c;
+  // k0 <- k1 <- k2 dependency chain by session 1.
+  const Version k0v = V(1, 0, {1});
+  const Version k1v = V(2, 0, {1});
+  const Version k2v = V(3, 0, {1});
+  c.RecordWrite(1, "k0", k0v, {});
+  c.RecordWrite(1, "k1", k1v, {{"k0", k0v}});
+  c.RecordWrite(1, "k2", k2v, {{"k1", k1v}});
+  // Session 2 reads the end of the chain, then violates the *transitive*
+  // dependency (k0), never having read k1.
+  c.RecordRead(2, "k2", true, k2v);
+  c.RecordRead(2, "k0", true, V(0, 0, {0}));
+  EXPECT_GE(c.violations(), 1u);
+}
+
+TEST(CausalChecker, NotFoundAfterKnownWriteIsViolation) {
+  CausalChecker c;
+  c.RecordWrite(1, "k", V(1, 0, {1}), {});
+  c.RecordRead(1, "k", false, Version{});
+  EXPECT_EQ(c.violations(), 1u);
+}
+
+TEST(CausalChecker, NotFoundOnUnknownKeyFine) {
+  CausalChecker c;
+  c.RecordRead(1, "nope", false, Version{});
+  EXPECT_EQ(c.violations(), 0u);
+}
+
+TEST(CausalChecker, SessionsAreIndependent) {
+  CausalChecker c;
+  c.RecordWrite(1, "k", V(5, 0, {5}), {});
+  // A different session reading an older version is legal (it has no
+  // causal relation to session 1's write).
+  c.RecordRead(2, "k", true, V(1, 0, {1}));
+  EXPECT_EQ(c.violations(), 0u);
+}
+
+// ----------------------------------------------- LinearizabilityChecker ----
+
+TEST(LinearizabilityChecker, CleanHistoryPasses) {
+  LinearizabilityChecker c;
+  c.RecordWrite("k", 0, 10, 1);
+  c.RecordRead("k", 20, 30, 1);
+  c.RecordWrite("k", 40, 50, 2);
+  c.RecordRead("k", 60, 70, 2);
+  EXPECT_EQ(c.Check(), 0u);
+}
+
+TEST(LinearizabilityChecker, OverlappingOpsFlexible) {
+  LinearizabilityChecker c;
+  // Read overlaps the write; may return old or new value.
+  c.RecordWrite("k", 0, 10, 1);
+  c.RecordWrite("k", 20, 40, 2);
+  c.RecordRead("k", 25, 35, 1);  // overlapping: old value OK
+  c.RecordRead("k", 26, 36, 2);  // overlapping: new value OK
+  EXPECT_EQ(c.Check(), 0u);
+}
+
+TEST(LinearizabilityChecker, DetectsStaleRead) {
+  LinearizabilityChecker c;
+  c.RecordWrite("k", 0, 10, 1);
+  c.RecordWrite("k", 20, 30, 2);
+  c.RecordRead("k", 40, 50, 1);  // write 2 completed before read started
+  EXPECT_GE(c.Check(), 1u);
+}
+
+TEST(LinearizabilityChecker, DetectsFutureRead) {
+  LinearizabilityChecker c;
+  c.RecordWrite("k", 100, 110, 1);
+  c.RecordRead("k", 0, 10, 1);  // read returned a value written later
+  EXPECT_GE(c.Check(), 1u);
+}
+
+TEST(LinearizabilityChecker, DetectsPhantomRead) {
+  LinearizabilityChecker c;
+  c.RecordWrite("k", 0, 10, 1);
+  c.RecordRead("k", 20, 30, 7);  // seq 7 never written
+  EXPECT_GE(c.Check(), 1u);
+}
+
+TEST(LinearizabilityChecker, DetectsReadRegression) {
+  LinearizabilityChecker c;
+  c.RecordWrite("k", 0, 10, 1);
+  c.RecordWrite("k", 0, 12, 2);
+  c.RecordRead("k", 20, 30, 2);
+  c.RecordRead("k", 40, 50, 1);  // non-overlapping reads went backwards
+  EXPECT_GE(c.Check(), 1u);
+}
+
+TEST(LinearizabilityChecker, DetectsWriteOrderInversion) {
+  LinearizabilityChecker c;
+  c.RecordWrite("k", 0, 10, 5);   // completed with seq 5
+  c.RecordWrite("k", 20, 30, 3);  // later write got smaller seq
+  EXPECT_GE(c.Check(), 1u);
+}
+
+TEST(LinearizabilityChecker, KeysIndependent) {
+  LinearizabilityChecker c;
+  c.RecordWrite("a", 0, 10, 5);
+  c.RecordWrite("b", 20, 30, 1);  // smaller seq on a different key: fine
+  EXPECT_EQ(c.Check(), 0u);
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,165 @@
+// Checkpoint save/load round trips, corruption detection, and the recovery
+// semantics (a restored store behaves identically, including causal
+// bookkeeping and GC state).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/storage/checkpoint.h"
+
+namespace chainreaction {
+namespace {
+
+Version V(uint64_t lamport, DcId origin, std::initializer_list<uint64_t> vv) {
+  Version v;
+  v.lamport = lamport;
+  v.origin = origin;
+  v.vv = VersionVector(vv.size());
+  size_t i = 0;
+  for (uint64_t c : vv) {
+    v.vv.Set(static_cast<DcId>(i++), c);
+  }
+  return v;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  CheckpointTest() {
+    path_ = ::testing::TempDir() + "crx_checkpoint_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".bin";
+  }
+  ~CheckpointTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(CheckpointTest, RoundTripPreservesEverything) {
+  VersionedStore store;
+  store.Apply("a", "a1", V(1, 0, {1, 0}), {Dependency{"z", V(9, 1, {0, 3}), true}});
+  store.Apply("a", "a2", V(2, 0, {2, 0}));
+  store.MarkStable("a", V(1, 0, {1, 0}));
+  store.Apply("b", "b-geo", V(5, 1, {0, 1}));
+  store.MarkStable("b", V(5, 1, {0, 1}));
+
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  VersionedStore restored;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored).ok());
+
+  EXPECT_EQ(restored.KeyCount(), store.KeyCount());
+  EXPECT_EQ(restored.total_versions(), store.total_versions());
+
+  const StoredVersion* a = restored.Latest("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->value, "a2");
+  EXPECT_FALSE(a->stable);
+  const StoredVersion* a_stable = restored.LatestStable("a");
+  ASSERT_NE(a_stable, nullptr);
+  EXPECT_EQ(a_stable->value, "a1");
+  ASSERT_EQ(a_stable->deps.size(), 1u);
+  EXPECT_EQ(a_stable->deps[0].key, "z");
+  EXPECT_TRUE(a_stable->deps[0].local_stable);
+
+  const StoredVersion* b = restored.Latest("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->stable);
+
+  // Causal bookkeeping restored too.
+  EXPECT_TRUE(restored.HasAtLeast("a", V(2, 0, {2, 0})));
+  EXPECT_FALSE(restored.HasAtLeast("a", V(3, 0, {3, 0})));
+  EXPECT_EQ(restored.UnstableVersions("a").size(), 1u);
+}
+
+TEST_F(CheckpointTest, EmptyStoreRoundTrips) {
+  VersionedStore store;
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+  VersionedStore restored;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored).ok());
+  EXPECT_EQ(restored.KeyCount(), 0u);
+}
+
+TEST_F(CheckpointTest, MissingFileIsNotFound) {
+  VersionedStore restored;
+  const Status s = LoadCheckpoint(path_ + ".nope", &restored);
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, CorruptionDetected) {
+  VersionedStore store;
+  for (int i = 0; i < 20; ++i) {
+    store.Apply("key-" + std::to_string(i), "value-" + std::to_string(i),
+                V(static_cast<uint64_t>(i + 1), 0, {static_cast<uint64_t>(i + 1)}));
+  }
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  // Flip one payload byte.
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 64, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, 64, SEEK_SET);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+
+  VersionedStore restored;
+  const Status s = LoadCheckpoint(path_, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST_F(CheckpointTest, TruncationDetected) {
+  VersionedStore store;
+  store.Apply("k", "v", V(1, 0, {1}));
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  // Truncate the file to half.
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size / 2), 0);
+
+  VersionedStore restored;
+  const Status s = LoadCheckpoint(path_, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+TEST_F(CheckpointTest, GarbageFileRejected) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a checkpoint", f);
+  std::fclose(f);
+  VersionedStore restored;
+  const Status s = LoadCheckpoint(path_, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointTest, LargeStoreRoundTrip) {
+  VersionedStore store;
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const Key key = "bulk-" + std::to_string(i % 500);
+    Version v = V(i + 1, 0, {i + 1});
+    store.Apply(key, std::string(200, static_cast<char>('a' + i % 26)), v);
+    if (i % 3 == 0) {
+      store.MarkStable(key, v);
+    }
+  }
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+  VersionedStore restored;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored).ok());
+  EXPECT_EQ(restored.KeyCount(), store.KeyCount());
+  EXPECT_EQ(restored.total_versions(), store.total_versions());
+  for (uint64_t i = 0; i < 500; ++i) {
+    const Key key = "bulk-" + std::to_string(i);
+    const StoredVersion* a = store.Latest(key);
+    const StoredVersion* b = restored.Latest(key);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(a->value, b->value);
+    EXPECT_TRUE(a->version == b->version);
+    EXPECT_EQ(a->stable, b->stable);
+  }
+}
+
+}  // namespace
+}  // namespace chainreaction

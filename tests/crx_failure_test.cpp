@@ -1,0 +1,171 @@
+// Failure-injection tests: node crashes with chain repair must never lose
+// acknowledged writes or violate causal+ consistency.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+
+namespace chainreaction {
+namespace {
+
+ClusterOptions FailureOpts(uint64_t seed = 1) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 10;
+  opts.clients_per_dc = 4;
+  opts.replication = 3;
+  opts.k_stability = 2;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(CrxFailure, AckedWritesSurviveOneCrash) {
+  Cluster cluster(FailureOpts());
+  ChainReactionClient* writer = cluster.crx_client(0);
+
+  // Write 50 keys and remember their acknowledged versions.
+  std::map<Key, Version> acked;
+  for (int i = 0; i < 50; ++i) {
+    const Key key = "surv-" + std::to_string(i);
+    writer->Put(key, "value-" + std::to_string(i),
+                [&acked, key](const ChainReactionClient::PutResult& r) {
+                  ASSERT_TRUE(r.status.ok());
+                  acked[key] = r.version;
+                });
+    cluster.sim()->Run();
+  }
+  ASSERT_EQ(acked.size(), 50u);
+
+  // Crash one server; membership reconfigures and repairs chains.
+  cluster.KillServer(0, 3);
+  cluster.sim()->Run();
+
+  // Every acknowledged write must still be readable at (at least) its
+  // acknowledged version, from a fresh session.
+  ChainReactionClient* reader = cluster.crx_client(1);
+  for (const auto& [key, version] : acked) {
+    bool done = false;
+    reader->Get(key, [&, key_copy = key](const ChainReactionClient::GetResult& r) {
+      EXPECT_TRUE(r.found) << "lost acked key " << key_copy;
+      if (r.found) {
+        EXPECT_FALSE(acked[key_copy].vv.Dominates(r.version.vv) &&
+                     !(acked[key_copy].vv == r.version.vv))
+            << "read version older than acked for " << key_copy;
+      }
+      done = true;
+    });
+    cluster.sim()->Run();
+    ASSERT_TRUE(done);
+  }
+}
+
+TEST(CrxFailure, WorkloadAcrossCrashStaysCausal) {
+  Cluster cluster(FailureOpts(7));
+  cluster.Preload(300, 64);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(300, 64);
+  run.preload = false;
+  run.warmup = 200 * kMillisecond;
+  run.measure = 2 * kSecond;
+  run.attach_checker = true;
+
+  // Interleave the crash with the measurement window.
+  cluster.sim()->Schedule(1 * kSecond, [&cluster]() { cluster.KillServer(0, 5); });
+  const RunResult result = RunWorkload(&cluster, run);
+
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  EXPECT_GT(result.stats.TotalOps(), 500u);
+
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+
+  // No write may stay parked at a head forever.
+  for (uint32_t i = 0; i < cluster.options().servers_per_dc; ++i) {
+    if (cluster.net()->IsCrashed(cluster.ServerAddress(0, i))) {
+      continue;
+    }
+    EXPECT_EQ(cluster.crx_node(0, i)->gated_puts_pending(), 0u) << "node " << i;
+  }
+}
+
+TEST(CrxFailure, SequentialCrashesSurvivable) {
+  ClusterOptions opts = FailureOpts(11);
+  opts.servers_per_dc = 12;
+  Cluster cluster(opts);
+  cluster.Preload(200, 64);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::B(200, 64);
+  run.preload = false;
+  run.warmup = 200 * kMillisecond;
+  run.measure = 3 * kSecond;
+  run.attach_checker = true;
+
+  // Crash three different servers, spaced out so repair completes between.
+  cluster.sim()->Schedule(800 * kMillisecond, [&] { cluster.KillServer(0, 2); });
+  cluster.sim()->Schedule(1600 * kMillisecond, [&] { cluster.KillServer(0, 7); });
+  cluster.sim()->Schedule(2400 * kMillisecond, [&] { cluster.KillServer(0, 11); });
+
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+TEST(CrxFailure, CrashDuringGeoReplication) {
+  ClusterOptions opts = FailureOpts(13);
+  opts.num_dcs = 2;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 2;
+  Cluster cluster(opts);
+  cluster.Preload(100, 64);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(100, 64);
+  run.preload = false;
+  run.warmup = 200 * kMillisecond;
+  run.measure = 2 * kSecond;
+  run.attach_checker = true;
+
+  cluster.sim()->Schedule(1 * kSecond, [&] { cluster.KillServer(1, 4); });
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+TEST(CrxFailure, NewChainMemberServesAfterSync) {
+  Cluster cluster(FailureOpts(17));
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  // Establish stable data.
+  for (int i = 0; i < 30; ++i) {
+    bool done = false;
+    client->Put("sync-" + std::to_string(i), "v", [&](const auto&) { done = true; });
+    cluster.sim()->Run();
+    ASSERT_TRUE(done);
+  }
+
+  cluster.KillServer(0, 1);
+  cluster.sim()->Run();  // repair completes
+
+  // A fresh session (no metadata) reads every key from arbitrary chain
+  // positions — including freshly synced members — and must find them all.
+  ChainReactionClient* reader = cluster.crx_client(2);
+  for (int i = 0; i < 30; ++i) {
+    bool found = false;
+    reader->Get("sync-" + std::to_string(i),
+                [&](const ChainReactionClient::GetResult& r) { found = r.found; });
+    cluster.sim()->Run();
+    EXPECT_TRUE(found) << "key sync-" << i << " unreadable after repair";
+  }
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,374 @@
+// Protocol-level tests of the ChainReaction node and client library:
+// k-stability acks, chain-index metadata evolution, read distribution,
+// dependency gating, retry dedup, and the unsafe modes the checker must
+// catch.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+#include "src/msg/message.h"
+#include "src/sim/network.h"
+
+namespace chainreaction {
+namespace {
+
+ClusterOptions SmallCrx(uint32_t servers = 8, uint32_t clients = 2) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = servers;
+  opts.clients_per_dc = clients;
+  return opts;
+}
+
+TEST(CrxProtocol, AckArrivesFromPositionK) {
+  for (uint32_t k = 1; k <= 3; ++k) {
+    ClusterOptions opts = SmallCrx();
+    opts.replication = 3;
+    opts.k_stability = k;
+    Cluster cluster(opts);
+    ChainIndex acked_at = 0;
+    cluster.crx_client(0)->Put("key", "v", [&](const ChainReactionClient::PutResult& r) {
+      ASSERT_TRUE(r.status.ok());
+      acked_at = 0;
+      ChainIndex idx = 0;
+      ASSERT_TRUE(cluster.crx_client(0)->LookupMetadata("key", nullptr, &idx));
+      acked_at = idx;
+    });
+    cluster.sim()->Run();
+    EXPECT_EQ(acked_at, k) << "k=" << k;
+  }
+}
+
+TEST(CrxProtocol, StableReadExtendsChainIndexToR) {
+  ClusterOptions opts = SmallCrx();
+  opts.replication = 3;
+  opts.k_stability = 1;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  bool put_done = false;
+  client->Put("key", "v", [&](const auto&) { put_done = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(put_done);
+
+  // The simulator drained: the write reached the tail and became stable.
+  // The next read (from position 1, the only allowed one) reports
+  // stability and the client may use the whole chain afterwards.
+  ChainIndex idx = 0;
+  ASSERT_TRUE(client->LookupMetadata("key", nullptr, &idx));
+  EXPECT_EQ(idx, 1u);
+
+  bool read_done = false;
+  client->Get("key", [&](const ChainReactionClient::GetResult& r) {
+    EXPECT_TRUE(r.found);
+    read_done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(read_done);
+  ASSERT_TRUE(client->LookupMetadata("key", nullptr, &idx));
+  EXPECT_EQ(idx, 3u);
+}
+
+TEST(CrxProtocol, ReadsSpreadOverWholeChainForStableData) {
+  ClusterOptions opts = SmallCrx(8, 1);
+  opts.replication = 3;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  bool done = false;
+  client->Put("key", "v", [&](const auto&) { done = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+
+  // First read marks the key stable at the client; subsequent reads pick
+  // uniformly among all three positions.
+  std::set<ChainIndex> positions;
+  for (int i = 0; i < 100; ++i) {
+    client->Get("key", [&](const ChainReactionClient::GetResult& r) {
+      positions.insert(r.answered_by_position);
+    });
+    cluster.sim()->Run();
+  }
+  EXPECT_EQ(positions.size(), 3u) << "reads were not distributed";
+  const auto by_pos = cluster.ReadsByPosition();
+  uint64_t total = 0;
+  for (uint64_t c : by_pos) {
+    total += c;
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(CrxProtocol, HeadOnlyPolicyNeverLeavesPositionOne) {
+  ClusterOptions opts = SmallCrx(8, 1);
+  opts.read_policy = ReadPolicy::kHeadOnly;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+  bool done = false;
+  client->Put("key", "v", [&](const auto&) { done = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+  for (int i = 0; i < 20; ++i) {
+    client->Get("key", [&](const ChainReactionClient::GetResult& r) {
+      EXPECT_EQ(r.answered_by_position, 1u);
+    });
+    cluster.sim()->Run();
+  }
+}
+
+TEST(CrxProtocol, VersionsGrowPerKey) {
+  Cluster cluster(SmallCrx());
+  ChainReactionClient* client = cluster.crx_client(0);
+  Version v1, v2;
+  client->Put("key", "a", [&](const auto& r) { v1 = r.version; });
+  cluster.sim()->Run();
+  client->Put("key", "b", [&](const auto& r) { v2 = r.version; });
+  cluster.sim()->Run();
+  EXPECT_EQ(v1.vv.Get(0), 1u);
+  EXPECT_EQ(v2.vv.Get(0), 2u);
+  EXPECT_TRUE(v1.LwwLess(v2));
+  EXPECT_TRUE(v2.CausallyIncludes(v1));
+}
+
+TEST(CrxProtocol, AccessedSetCollapsesAfterWrite) {
+  Cluster cluster(SmallCrx());
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  // Prepare three keys.
+  for (const char* key : {"a", "b", "c"}) {
+    bool done = false;
+    client->Put(key, "v", [&](const auto&) { done = true; });
+    cluster.sim()->Run();
+    ASSERT_TRUE(done);
+  }
+  // After the last write the accessed set is just that key.
+  EXPECT_EQ(client->accessed_set_size(), 1u);
+
+  // Reads accumulate dependencies...
+  for (const char* key : {"a", "b"}) {
+    client->Get(key, [](const auto&) {});
+    cluster.sim()->Run();
+  }
+  EXPECT_EQ(client->accessed_set_size(), 3u);  // c (written) + a + b
+
+  // ...and the next write collapses them. In a single-DC deployment the
+  // client omits dependencies it knows to be DC-Write-Stable (a and b were
+  // read as stable after the simulator drained), so only the unread-since-
+  // write entry for c is carried.
+  std::vector<Dependency> carried;
+  client->Put("d", "v", [&](const ChainReactionClient::PutResult& r) { carried = r.deps; });
+  cluster.sim()->Run();
+  ASSERT_EQ(carried.size(), 1u);
+  EXPECT_EQ(carried[0].key, "c");
+  EXPECT_EQ(client->accessed_set_size(), 1u);
+}
+
+TEST(CrxProtocol, GeoModeCarriesStableDepsWithFlag) {
+  ClusterOptions opts = SmallCrx(6, 1);
+  opts.num_dcs = 2;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  bool done = false;
+  client->Put("a", "v", [&](const auto&) { done = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+  client->Get("a", [](const auto&) {});  // learns stability
+  cluster.sim()->Run();
+
+  std::vector<Dependency> carried;
+  client->Put("b", "v", [&](const ChainReactionClient::PutResult& r) { carried = r.deps; });
+  cluster.sim()->Run();
+  // With remote DCs the stable dependency must still travel (remote DCs
+  // check it), but flagged so the local head skips the stability wait.
+  ASSERT_EQ(carried.size(), 1u);
+  EXPECT_EQ(carried[0].key, "a");
+  EXPECT_TRUE(carried[0].local_stable);
+}
+
+TEST(CrxProtocol, DependencyGatingWaitsForSlowTail) {
+  // Manual topology: find two keys with disjoint chains, make the dep
+  // key's tail slow, and verify the dependent write waits for stability.
+  ClusterOptions opts = SmallCrx(8, 1);
+  opts.replication = 3;
+  opts.k_stability = 1;  // ack as soon as the head applies
+  // Slow down everything uniformly so the tail hop dominates.
+  opts.server_service = ServiceModel{2000, 0.0, 0};  // 2ms per message
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  // Write the dependency key, then immediately write a second key. With
+  // k=1 the ack for key1 arrives long before key1 reaches its tail, so the
+  // write of key2 (which depends on key1) must be gated at key2's head.
+  Time t_ack2 = 0;
+  bool done2 = false;
+  client->Put("key-one", "v1", [&](const auto&) {
+    client->Put("key-two", "v2", [&](const auto&) {
+      t_ack2 = cluster.sim()->Now();
+      done2 = true;
+    });
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done2);
+
+  // key-two depends on key-one, which cannot be DC-Write-Stable yet when
+  // the put arrives (its chain needs several 2ms hops): the head must wait.
+  EXPECT_GE(cluster.TotalDepWaits(), 1u);
+  EXPECT_GT(cluster.TotalDepWaitMicros(), 0u);
+  // Nothing may remain parked.
+  for (uint32_t i = 0; i < opts.servers_per_dc; ++i) {
+    EXPECT_EQ(cluster.crx_node(0, i)->gated_puts_pending(), 0u);
+  }
+}
+
+TEST(CrxProtocol, SameKeyWriteBurstNotGated) {
+  ClusterOptions opts = SmallCrx(8, 1);
+  opts.k_stability = 1;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+
+  int remaining = 10;
+  std::function<void()> next = [&]() {
+    if (remaining-- == 0) {
+      return;
+    }
+    client->Put("hot", "v", [&](const auto&) { next(); });
+  };
+  next();
+  cluster.sim()->Run();
+  // Same-chain dependencies never require a stability round trip.
+  EXPECT_EQ(cluster.TotalDepWaits(), 0u);
+}
+
+TEST(CrxProtocol, RetriedPutIsDeduplicated) {
+  // A raw actor impersonates a client that sends the same request twice
+  // (as a timeout-retry would); the head must assign one version only.
+  ClusterOptions opts = SmallCrx(8, 1);
+  Cluster cluster(opts);
+
+  class RawClient : public Actor {
+   public:
+    void OnMessage(Address, const std::string& payload) override {
+      CrxPutAck ack;
+      if (DecodeMessage(payload, &ack)) {
+        acks.push_back(ack.version);
+      }
+    }
+    std::vector<Version> acks;
+  } raw;
+  Env* env = cluster.net()->Register(kClientAddressBase + 999, &raw, 0);
+
+  CrxPut put;
+  put.req = 1;
+  put.client = kClientAddressBase + 999;
+  put.key = "dup-key";
+  put.value = "v";
+  // The head of dup-key's chain:
+  const Ring& ring = cluster.membership(0)->ring();
+  const NodeId head = ring.HeadFor("dup-key");
+  env->Send(head, EncodeMessage(put));
+  cluster.sim()->Run();
+  env->Send(head, EncodeMessage(put));  // retry
+  cluster.sim()->Run();
+
+  ASSERT_EQ(raw.acks.size(), 2u);
+  EXPECT_TRUE(raw.acks[0] == raw.acks[1]) << "retry produced a second version";
+  // The store holds exactly one version.
+  uint32_t idx = 0;
+  for (; idx < opts.servers_per_dc; ++idx) {
+    if (cluster.crx_node(0, idx)->id() == head) {
+      break;
+    }
+  }
+  EXPECT_EQ(cluster.crx_node(0, idx)->store().VersionCount("dup-key"), 1u);
+}
+
+TEST(CrxProtocol, UnsafeReadPolicyCaughtByChecker) {
+  ClusterOptions opts = SmallCrx(8, 8);
+  opts.read_policy = ReadPolicy::kAnyNodeUnsafe;
+  // Long chains, slow links, and a hot key space widen the window between
+  // a write's ack (position k=1) and its arrival at the tail, so unsafe
+  // whole-chain reads observe causally stale data.
+  opts.replication = 5;
+  opts.k_stability = 1;
+  opts.net.intra_site = LinkModel{800, 400};
+  opts.server_service = ServiceModel{200, 0.1, 50};
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(/*records=*/20, /*value_size=*/64);  // hot keys
+  run.warmup = 100 * kMillisecond;
+  run.measure = 3 * kSecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_GT(result.checker_violations, 0u)
+      << "the unsafe read policy should produce detectable violations";
+}
+
+TEST(CrxProtocol, SafePolicyCleanUnderSameConditions) {
+  ClusterOptions opts = SmallCrx(8, 8);
+  opts.net.intra_site = LinkModel{400, 200};
+  opts.server_service = ServiceModel{50, 0.1, 10};
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(/*records=*/50, /*value_size=*/64);
+  run.warmup = 100 * kMillisecond;
+  run.measure = 3 * kSecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+}
+
+TEST(CrxProtocol, ReplicationOneChain) {
+  ClusterOptions opts = SmallCrx(4, 1);
+  opts.replication = 1;
+  opts.k_stability = 1;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+  bool done = false;
+  client->Put("solo", "v", [&](const auto& r) {
+    EXPECT_TRUE(r.status.ok());
+    done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+  bool read = false;
+  client->Get("solo", [&](const ChainReactionClient::GetResult& r) {
+    EXPECT_TRUE(r.found);
+    EXPECT_TRUE(r.version.IsNull() == false);
+    read = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(read);
+}
+
+TEST(CrxProtocol, InterleavedSessionsSeeEachOther) {
+  Cluster cluster(SmallCrx(8, 2));
+  ChainReactionClient* a = cluster.crx_client(0);
+  ChainReactionClient* b = cluster.crx_client(1);
+
+  bool done = false;
+  a->Put("shared", "from-a", [&](const auto&) { done = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+
+  Value seen;
+  b->Get("shared", [&](const ChainReactionClient::GetResult& r) { seen = r.value; });
+  cluster.sim()->Run();
+  EXPECT_EQ(seen, "from-a");
+
+  done = false;
+  b->Put("shared", "from-b", [&](const auto&) { done = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+
+  a->Get("shared", [&](const ChainReactionClient::GetResult& r) { seen = r.value; });
+  cluster.sim()->Run();
+  EXPECT_EQ(seen, "from-b");
+}
+
+}  // namespace
+}  // namespace chainreaction

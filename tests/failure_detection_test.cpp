@@ -1,0 +1,134 @@
+// Heartbeat-based failure detection: nodes crash silently (no oracle call)
+// and the membership service must notice, reconfigure, and keep the store
+// correct. These clusters run permanent timers, so every test drives the
+// simulator with bounded RunUntil windows.
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+#include "src/ycsb/driver.h"
+
+namespace chainreaction {
+namespace {
+
+ClusterOptions DetectOpts(uint64_t seed = 1) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 10;
+  opts.clients_per_dc = 3;
+  opts.heartbeat_interval = 50 * kMillisecond;  // removal after ~200-250ms silence
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(FailureDetection, SilentCrashIsDetectedAndRepaired) {
+  Cluster cluster(DetectOpts());
+
+  // Write some data first.
+  ChainReactionClient* client = cluster.crx_client(0);
+  int writes = 0;
+  for (int i = 0; i < 30; ++i) {
+    client->Put("fd-" + std::to_string(i), "v", [&](const auto&) { writes++; });
+    cluster.sim()->RunUntil(cluster.sim()->Now() + 20 * kMillisecond);
+  }
+  ASSERT_EQ(writes, 30);
+  const uint64_t epoch_before = cluster.membership(0)->epoch();
+
+  // Crash a node *silently* — only the network knows.
+  cluster.net()->Crash(cluster.ServerAddress(0, 4));
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 500 * kMillisecond);
+
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 1u);
+  EXPECT_GT(cluster.membership(0)->epoch(), epoch_before);
+  EXPECT_FALSE(cluster.membership(0)->ring().Contains(cluster.ServerAddress(0, 4)));
+
+  // Every key must still be readable after the automatic repair.
+  ChainReactionClient* reader = cluster.crx_client(1);
+  for (int i = 0; i < 30; ++i) {
+    bool found = false;
+    reader->Get("fd-" + std::to_string(i),
+                [&](const ChainReactionClient::GetResult& r) { found = r.found; });
+    cluster.sim()->RunUntil(cluster.sim()->Now() + 50 * kMillisecond);
+    EXPECT_TRUE(found) << "key fd-" << i;
+  }
+}
+
+TEST(FailureDetection, HealthyClusterNeverEvicts) {
+  Cluster cluster(DetectOpts(3));
+  RunOptions unused;  // silence lint about unused include helpers
+  (void)unused;
+
+  // Light traffic for two simulated seconds.
+  ChainReactionClient* client = cluster.crx_client(0);
+  int ops = 0;
+  std::function<void()> loop = [&]() {
+    if (ops >= 100) {
+      return;
+    }
+    client->Put("hk-" + std::to_string(ops % 7), "v", [&](const auto&) {
+      ops++;
+      loop();
+    });
+  };
+  loop();
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 2 * kSecond);
+
+  EXPECT_EQ(ops, 100);
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 0u);
+  EXPECT_EQ(cluster.membership(0)->epoch(), 1u);
+}
+
+TEST(FailureDetection, WorkloadStaysCausalAcrossSilentCrash) {
+  Cluster cluster(DetectOpts(7));
+  cluster.Preload(100, 64);
+
+  StatsCollector stats;
+  uint64_t insert_counter = 100;
+  CausalChecker checker;
+  std::vector<std::unique_ptr<WorkloadDriver>> drivers;
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    auto driver = std::make_unique<WorkloadDriver>(cluster.client(i), cluster.client_env(i),
+                                                   WorkloadSpec::A(100, 64), 900 + i,
+                                                   &insert_counter, &stats);
+    const uint32_t session = cluster.client(i)->address();
+    driver->on_write_complete = [&checker, session](const Key& key, const KvPutResult& r) {
+      checker.RecordWrite(session, key, r.version, r.deps);
+    };
+    driver->on_read_complete = [&checker, session](const Key& key, const KvGetResult& r) {
+      checker.RecordRead(session, key, r.found, r.version);
+    };
+    driver->Start();
+    drivers.push_back(std::move(driver));
+  }
+
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 500 * kMillisecond);
+  cluster.net()->Crash(cluster.ServerAddress(0, 2));  // silent
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 2 * kSecond);
+  for (auto& d : drivers) {
+    d->Stop();
+  }
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 1 * kSecond);  // drain in-flight ops
+
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 1u);
+  EXPECT_GT(stats.TotalOps(), 500u);
+  EXPECT_EQ(checker.violations(), 0u)
+      << (checker.diagnostics().empty() ? "" : checker.diagnostics()[0]);
+}
+
+TEST(FailureDetection, FloorProtectsReplication) {
+  // With servers == R the service must refuse to evict (a removal would
+  // make chains impossible), even if a node goes silent.
+  ClusterOptions opts = DetectOpts(9);
+  opts.servers_per_dc = 3;
+  opts.replication = 3;
+  opts.clients_per_dc = 1;
+  Cluster cluster(opts);
+
+  cluster.net()->Crash(cluster.ServerAddress(0, 1));
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 1 * kSecond);
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 0u);
+  EXPECT_TRUE(cluster.membership(0)->ring().Contains(cluster.ServerAddress(0, 1)));
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,296 @@
+// Unit tests for the geo replicator in isolation: a replicator wired to
+// scripted fake peers/heads/tails on the simulator, covering dedup,
+// same-key dependency self-satisfaction, parking/unparking, retransmission,
+// and dependency probing.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/geo/geo_replicator.h"
+#include "src/msg/message.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace chainreaction {
+namespace {
+
+Version V(uint64_t lamport, DcId origin, std::initializer_list<uint64_t> vv) {
+  Version v;
+  v.lamport = lamport;
+  v.origin = origin;
+  v.vv = VersionVector(vv.size());
+  size_t i = 0;
+  for (uint64_t c : vv) {
+    v.vv.Set(static_cast<DcId>(i++), c);
+  }
+  return v;
+}
+
+// Records every message it receives, optionally auto-confirming stability
+// checks (playing a tail whose data is stable).
+class ScriptedActor : public Actor {
+ public:
+  void OnMessage(Address from, const std::string& payload) override {
+    from_addresses.push_back(from);
+    payloads.push_back(payload);
+    const MsgType type = PeekType(payload);
+    counts[type]++;
+    if (type == MsgType::kCrxStabilityCheck && auto_confirm_checks && env != nullptr) {
+      CrxStabilityCheck check;
+      ASSERT_TRUE(DecodeMessage(payload, &check));
+      CrxStabilityConfirm confirm;
+      confirm.token = check.token;
+      confirm.key = check.key;
+      env->Send(from, EncodeMessage(confirm));
+    }
+  }
+
+  size_t CountOf(MsgType t) const {
+    auto it = counts.find(t);
+    return it == counts.end() ? 0 : it->second;
+  }
+
+  Env* env = nullptr;
+  bool auto_confirm_checks = false;
+  std::vector<Address> from_addresses;
+  std::vector<std::string> payloads;
+  std::map<MsgType, size_t> counts;
+};
+
+// Test fixture: replicator for DC 1 with a 3-node local ring, a scripted
+// peer replicator (DC 0), and scripted local nodes.
+class GeoReplicatorUnit : public ::testing::Test {
+ protected:
+  static constexpr Address kPeer = 900;
+  static constexpr Address kSelf = 901;
+
+  GeoReplicatorUnit() : net_(&sim_, NetworkConfig{{50, 0}, {1000, 0}, 0.0}, 1) {
+    CrxConfig cfg;
+    cfg.replication = 3;
+    cfg.num_dcs = 2;
+    const Ring local_ring({1, 2, 3}, 8, 3, 1);
+    replicator_ = std::make_unique<GeoReplicator>(/*dc=*/1, cfg, local_ring);
+    replicator_->AttachEnv(net_.Register(kSelf, replicator_.get(), 1));
+    replicator_->SetPeers({kPeer, kSelf});
+
+    peer_.env = net_.Register(kPeer, &peer_, 0);
+    for (NodeId n = 1; n <= 3; ++n) {
+      nodes_[n - 1].env = net_.Register(n, &nodes_[n - 1], 1);
+    }
+    ring_ = local_ring;
+  }
+
+  // Sends a message to the replicator as if from `from`, then runs the
+  // simulation for a bounded window (the replicator's retransmission timer
+  // keeps the event queue non-empty while shipments are unacknowledged, so
+  // draining the queue would never return).
+  template <typename M>
+  void Tell(Address from, const M& msg) {
+    if (from == kPeer) {
+      peer_.env->Send(kSelf, EncodeMessage(msg));
+    } else {
+      nodes_[from - 1].env->Send(kSelf, EncodeMessage(msg));
+    }
+    sim_.RunUntil(sim_.Now() + 50 * kMillisecond);
+  }
+
+  ScriptedActor* NodeActor(NodeId n) { return &nodes_[n - 1]; }
+
+  Simulator sim_;
+  SimNetwork net_;
+  std::unique_ptr<GeoReplicator> replicator_;
+  ScriptedActor peer_;
+  ScriptedActor nodes_[3];
+  Ring ring_;
+};
+
+TEST_F(GeoReplicatorUnit, LocalStableWithPayloadShipsOnce) {
+  GeoLocalStable stable;
+  stable.key = "k";
+  stable.version = V(10, 1, {0, 1});
+  stable.has_payload = true;
+  stable.value = "v";
+  Tell(1, stable);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoShip), 1u);
+  EXPECT_EQ(replicator_->updates_shipped(), 1u);
+
+  // Duplicate notification (tail retry): no second shipment.
+  Tell(1, stable);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoShip), 1u);
+  // Both notifications acked back to the tail.
+  EXPECT_EQ(NodeActor(1)->CountOf(MsgType::kGeoLocalStableAck), 2u);
+}
+
+TEST_F(GeoReplicatorUnit, RemoteOriginNotificationNotShipped) {
+  GeoLocalStable stable;
+  stable.key = "k";
+  stable.version = V(10, 0, {1, 0});  // origin DC 0, not ours
+  stable.has_payload = false;
+  Tell(1, stable);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoShip), 0u);
+}
+
+TEST_F(GeoReplicatorUnit, ShipWithoutDepsInjectsAtHead) {
+  GeoShip ship;
+  ship.origin_dc = 0;
+  ship.channel_seq = 1;
+  ship.key = "k";
+  ship.value = "v";
+  ship.version = V(5, 0, {1, 0});
+  Tell(kPeer, ship);
+  const NodeId head = ring_.HeadFor("k");
+  EXPECT_EQ(NodeActor(head)->CountOf(MsgType::kGeoRemotePut), 1u);
+  EXPECT_EQ(replicator_->waiting_now(), 0u);
+}
+
+TEST_F(GeoReplicatorUnit, SameKeyOlderDepSelfSatisfied) {
+  GeoShip ship;
+  ship.origin_dc = 0;
+  ship.channel_seq = 1;
+  ship.key = "k";
+  ship.value = "v2";
+  ship.version = V(6, 0, {2, 0});
+  ship.deps = {Dependency{"k", V(5, 0, {1, 0}), false}};  // carried by itself
+  Tell(kPeer, ship);
+  EXPECT_EQ(NodeActor(ring_.HeadFor("k"))->CountOf(MsgType::kGeoRemotePut), 1u);
+  EXPECT_EQ(replicator_->updates_parked(), 0u);
+}
+
+TEST_F(GeoReplicatorUnit, UnmetDepParksAndProbesThenUnparks) {
+  GeoShip ship;
+  ship.origin_dc = 0;
+  ship.channel_seq = 1;
+  ship.key = "b";
+  ship.value = "v";
+  ship.version = V(6, 0, {1, 0});
+  ship.deps = {Dependency{"a", V(5, 0, {1, 0}), false}};
+  Tell(kPeer, ship);
+  EXPECT_EQ(replicator_->updates_parked(), 1u);
+  EXPECT_EQ(replicator_->waiting_now(), 1u);
+  // A stability probe went to a's local tail.
+  const NodeId a_tail = ring_.TailFor("a");
+  EXPECT_EQ(NodeActor(a_tail)->CountOf(MsgType::kCrxStabilityCheck), 1u);
+
+  // The dependency becomes locally stable (fast path notification).
+  GeoLocalStable stable;
+  stable.key = "a";
+  stable.version = V(5, 0, {1, 0});
+  stable.has_payload = false;
+  Tell(1, stable);
+  EXPECT_EQ(replicator_->waiting_now(), 0u);
+  EXPECT_EQ(NodeActor(ring_.HeadFor("b"))->CountOf(MsgType::kGeoRemotePut), 1u);
+}
+
+TEST_F(GeoReplicatorUnit, ProbeConfirmAloneUnparks) {
+  // No GeoLocalStable ever arrives (lost); the tail's confirm must suffice.
+  NodeActor(ring_.TailFor("a"))->auto_confirm_checks = true;
+  GeoShip ship;
+  ship.origin_dc = 0;
+  ship.channel_seq = 1;
+  ship.key = "b";
+  ship.value = "v";
+  ship.version = V(6, 0, {1, 0});
+  ship.deps = {Dependency{"a", V(5, 0, {1, 0}), false}};
+  Tell(kPeer, ship);
+  EXPECT_EQ(replicator_->waiting_now(), 0u);
+  EXPECT_EQ(NodeActor(ring_.HeadFor("b"))->CountOf(MsgType::kGeoRemotePut), 1u);
+}
+
+TEST_F(GeoReplicatorUnit, AppliedUpdateAckedToOrigin) {
+  GeoShip ship;
+  ship.origin_dc = 0;
+  ship.channel_seq = 7;
+  ship.key = "k";
+  ship.value = "v";
+  ship.version = V(5, 0, {1, 0});
+  Tell(kPeer, ship);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoApplied), 0u);  // not yet stable locally
+
+  GeoLocalStable stable;
+  stable.key = "k";
+  stable.version = ship.version;
+  stable.has_payload = false;
+  Tell(2, stable);
+  ASSERT_EQ(peer_.CountOf(MsgType::kGeoApplied), 1u);
+  GeoApplied applied;
+  for (const std::string& p : peer_.payloads) {
+    if (PeekType(p) == MsgType::kGeoApplied) {
+      ASSERT_TRUE(DecodeMessage(p, &applied));
+    }
+  }
+  EXPECT_EQ(applied.channel_seq, 7u);
+  EXPECT_EQ(applied.dest_dc, 1u);
+}
+
+TEST_F(GeoReplicatorUnit, DuplicateShipOfAppliedUpdateAckedImmediately) {
+  GeoShip ship;
+  ship.origin_dc = 0;
+  ship.channel_seq = 7;
+  ship.key = "k";
+  ship.value = "v";
+  ship.version = V(5, 0, {1, 0});
+  Tell(kPeer, ship);
+  GeoLocalStable stable;
+  stable.key = "k";
+  stable.version = ship.version;
+  stable.has_payload = false;
+  Tell(2, stable);
+  ASSERT_EQ(peer_.CountOf(MsgType::kGeoApplied), 1u);
+
+  // Retransmission of the same (already applied) update: immediate ack, no
+  // second injection.
+  const size_t injections = NodeActor(ring_.HeadFor("k"))->CountOf(MsgType::kGeoRemotePut);
+  Tell(kPeer, ship);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoApplied), 2u);
+  EXPECT_EQ(NodeActor(ring_.HeadFor("k"))->CountOf(MsgType::kGeoRemotePut), injections);
+}
+
+TEST_F(GeoReplicatorUnit, RetransmitsUnackedShipments) {
+  GeoLocalStable stable;
+  stable.key = "k";
+  stable.version = V(10, 1, {0, 1});
+  stable.has_payload = true;
+  stable.value = "v";
+  Tell(1, stable);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoShip), 1u);
+
+  // No GeoApplied comes back; the retransmit timer must re-send.
+  sim_.RunUntil(sim_.Now() + 600 * kMillisecond);
+  EXPECT_GE(peer_.CountOf(MsgType::kGeoShip), 2u);
+  EXPECT_GT(replicator_->retransmissions(), 0u);
+
+  // Ack stops the retransmissions.
+  GeoApplied applied;
+  applied.dest_dc = 0;
+  applied.channel_seq = 1;
+  Tell(kPeer, applied);
+  const size_t after_ack = peer_.CountOf(MsgType::kGeoShip);
+  sim_.RunUntil(sim_.Now() + 1 * kSecond);
+  EXPECT_EQ(peer_.CountOf(MsgType::kGeoShip), after_ack);
+  EXPECT_EQ(replicator_->unacked_shipments(), 0u);
+}
+
+TEST_F(GeoReplicatorUnit, GlobalStableHookFires) {
+  bool fired = false;
+  replicator_->on_global_stable = [&](const Key& key, const Version&, Time shipped,
+                                      Time now) {
+    EXPECT_EQ(key, "k");
+    EXPECT_GE(now, shipped);
+    fired = true;
+  };
+  GeoLocalStable stable;
+  stable.key = "k";
+  stable.version = V(10, 1, {0, 1});
+  stable.has_payload = true;
+  stable.value = "v";
+  Tell(1, stable);
+  GeoApplied applied;
+  applied.dest_dc = 0;
+  applied.channel_seq = 1;
+  Tell(kPeer, applied);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(replicator_->global_stable_delay().count(), 1u);
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,225 @@
+// Geo-replication tests: remote visibility, dependency parking, conflict
+// convergence (causal+'s "+"), global stability, and partitions.
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+
+namespace chainreaction {
+namespace {
+
+ClusterOptions GeoOpts(uint16_t dcs, uint64_t seed = 1) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 6;
+  opts.clients_per_dc = 2;
+  opts.num_dcs = dcs;
+  opts.seed = seed;
+  return opts;
+}
+
+TEST(Geo, RemoteVisibilityTakesAtLeastWanLatency) {
+  ClusterOptions opts = GeoOpts(2);
+  opts.net.default_inter_site = LinkModel{80 * kMillisecond, 0};
+  Cluster cluster(opts);
+
+  Time visible_at = -1;
+  cluster.geo(1)->on_remote_visible = [&](const Key& key, const Version&, Time now) {
+    if (key == "geo-k") {
+      visible_at = now;
+    }
+  };
+
+  Time acked_at = -1;
+  cluster.crx_client(0)->Put("geo-k", "v", [&](const auto&) {
+    acked_at = cluster.sim()->Now();
+  });
+  cluster.sim()->Run();
+
+  ASSERT_GE(acked_at, 0);
+  ASSERT_GE(visible_at, 0) << "update never became visible in DC 1";
+  // Local ack is fast; remote visibility pays (at least) one WAN crossing.
+  EXPECT_LT(acked_at, 20 * kMillisecond);
+  EXPECT_GE(visible_at - acked_at, 70 * kMillisecond);
+}
+
+TEST(Geo, GlobalWriteStabilityTracked) {
+  Cluster cluster(GeoOpts(3));
+  int global_stable = 0;
+  for (DcId dc = 0; dc < 3; ++dc) {
+    cluster.geo(dc)->on_global_stable = [&](const Key&, const Version&, Time shipped, Time now) {
+      EXPECT_GE(now, shipped);
+      global_stable++;
+    };
+  }
+  for (int i = 0; i < 10; ++i) {
+    bool done = false;
+    cluster.crx_client(0)->Put("g-" + std::to_string(i), "v", [&](const auto&) { done = true; });
+    cluster.sim()->Run();
+    ASSERT_TRUE(done);
+  }
+  EXPECT_EQ(global_stable, 10);
+  EXPECT_EQ(cluster.geo(0)->global_stable_delay().count(), 10u);
+  // Global stability requires at least a WAN round trip.
+  EXPECT_GE(cluster.geo(0)->global_stable_delay().min(),
+            2 * cluster.options().net.default_inter_site.base - 1 * kMillisecond);
+}
+
+TEST(Geo, ConcurrentConflictConvergesLww) {
+  Cluster cluster(GeoOpts(2, 5));
+
+  // Issue conflicting writes in both DCs without running the simulator in
+  // between: they are genuinely concurrent.
+  bool done0 = false, done1 = false;
+  cluster.crx_client(0)->Put("conflict", "from-dc0", [&](const auto&) { done0 = true; });
+  cluster.crx_client(2)->Put("conflict", "from-dc1", [&](const auto&) { done1 = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done0 && done1);
+
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+
+  // Both DCs read the same winner.
+  Value v0, v1;
+  cluster.crx_client(1)->Get("conflict",
+                             [&](const ChainReactionClient::GetResult& r) { v0 = r.value; });
+  cluster.crx_client(3)->Get("conflict",
+                             [&](const ChainReactionClient::GetResult& r) { v1 = r.value; });
+  cluster.sim()->Run();
+  EXPECT_EQ(v0, v1);
+  EXPECT_TRUE(v0 == "from-dc0" || v0 == "from-dc1");
+}
+
+TEST(Geo, DependencyParkingWithAsymmetricLatencies) {
+  // Three DCs. dc0 -> dc2 is much slower than dc0 -> dc1 -> dc2, so a
+  // dependent update written in dc1 overtakes its dependency from dc0 on
+  // the way to dc2 and must be parked there.
+  ClusterOptions opts = GeoOpts(3, 3);
+  Cluster cluster(opts);
+  cluster.net()->SetInterSiteLatency(0, 1, LinkModel{10 * kMillisecond, 0});
+  cluster.net()->SetInterSiteLatency(1, 2, LinkModel{10 * kMillisecond, 0});
+  cluster.net()->SetInterSiteLatency(0, 2, LinkModel{150 * kMillisecond, 0});
+
+  // dc0 writes k1.
+  bool done = false;
+  cluster.crx_client(0)->Put("k1", "base", [&](const auto&) { done = true; });
+  // Let it reach dc1 (10ms) but NOT dc2 (150ms).
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 40 * kMillisecond);
+  ASSERT_TRUE(done);
+
+  // dc1 reads k1 (creating the causal dependency) and writes k2.
+  ChainReactionClient* b = cluster.crx_client(2);  // dc1 client
+  bool read_ok = false;
+  b->Get("k1", [&](const ChainReactionClient::GetResult& r) {
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, "base");
+    read_ok = true;
+    b->Put("k2", "depends-on-k1", [](const auto&) {});
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(read_ok);
+
+  // k2 must have been parked at dc2 until k1 arrived.
+  EXPECT_GT(cluster.geo(2)->updates_parked(), 0u);
+  EXPECT_EQ(cluster.geo(2)->waiting_now(), 0u) << "updates stuck parked";
+
+  // And a dc2 session that reads k2 then k1 must see causal order.
+  ChainReactionClient* c = cluster.crx_client(4);  // dc2 client
+  bool got_k2 = false;
+  Value k1_value;
+  c->Get("k2", [&](const ChainReactionClient::GetResult& r2) {
+    if (r2.found) {
+      got_k2 = true;
+      c->Get("k1", [&](const ChainReactionClient::GetResult& r1) {
+        ASSERT_TRUE(r1.found);
+        k1_value = r1.value;
+      });
+    }
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(got_k2);
+  EXPECT_EQ(k1_value, "base");
+}
+
+TEST(Geo, PartitionParksShipmentsUntilHeal) {
+  ClusterOptions opts = GeoOpts(2, 9);
+  Cluster cluster(opts);
+
+  cluster.net()->PartitionSites(0, 1);
+  bool done = false;
+  cluster.crx_client(0)->Put("partitioned", "v", [&](const auto&) { done = true; });
+  // Run for bounded simulated time: the retransmission timer keeps the
+  // event queue non-empty while the shipment is unacknowledged.
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 600 * kMillisecond);
+  ASSERT_TRUE(done) << "local writes must complete during a WAN partition";
+  EXPECT_EQ(cluster.geo(1)->updates_received(), 0u);
+
+  int visible = 0;
+  cluster.geo(1)->on_remote_visible = [&](const Key&, const Version&, Time) { visible++; };
+  cluster.net()->HealSites(0, 1);
+
+  // The replicator implements reliable channels over the lossy network by
+  // retransmitting unacknowledged shipments; after the heal the parked
+  // update is re-shipped and becomes visible, and a follow-up write flows
+  // normally.
+  cluster.crx_client(0)->Put("partitioned", "v2", [](const auto&) {});
+  cluster.sim()->Run();
+  EXPECT_GE(visible, 1);
+  EXPECT_GE(cluster.geo(1)->updates_received(), 2u);
+  EXPECT_GT(cluster.geo(0)->retransmissions(), 0u);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+TEST(Geo, WorkloadWithCheckerCleanTwoDcs) {
+  ClusterOptions opts = GeoOpts(2, 21);
+  opts.clients_per_dc = 4;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(200, 64);
+  run.warmup = 300 * kMillisecond;
+  run.measure = 2 * kSecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+
+  EXPECT_GT(result.stats.TotalOps(), 500u);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+TEST(Geo, ThreeDcWorkloadConverges) {
+  ClusterOptions opts = GeoOpts(3, 23);
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(100, 64);
+  run.warmup = 300 * kMillisecond;
+  run.measure = 2 * kSecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+TEST(Geo, RemoteUpdatesCountedOncePerPeer) {
+  Cluster cluster(GeoOpts(2, 31));
+  for (int i = 0; i < 5; ++i) {
+    bool done = false;
+    cluster.crx_client(0)->Put("once-" + std::to_string(i), "v",
+                               [&](const auto&) { done = true; });
+    cluster.sim()->Run();
+    ASSERT_TRUE(done);
+  }
+  EXPECT_EQ(cluster.geo(0)->updates_shipped(), 5u);
+  EXPECT_EQ(cluster.geo(1)->updates_received(), 5u);
+  EXPECT_EQ(cluster.geo(1)->updates_applied(), 5u);
+  EXPECT_EQ(cluster.geo(1)->updates_shipped(), 0u);
+}
+
+}  // namespace
+}  // namespace chainreaction

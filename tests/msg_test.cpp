@@ -1,0 +1,310 @@
+// Serialization round-trip and robustness tests for every wire message.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/msg/message.h"
+
+namespace chainreaction {
+namespace {
+
+Version SampleVersion() {
+  Version v;
+  v.vv = VersionVector(2);
+  v.vv.Set(0, 3);
+  v.vv.Set(1, 1);
+  v.lamport = 123456;
+  v.origin = 1;
+  return v;
+}
+
+std::vector<Dependency> SampleDeps() {
+  Dependency d1{"dep-key-1", SampleVersion()};
+  Dependency d2{"dep-key-2", Version{}};
+  return {d1, d2};
+}
+
+TEST(Message, PeekType) {
+  CrxPut put;
+  put.key = "k";
+  const std::string payload = EncodeMessage(put);
+  EXPECT_EQ(PeekType(payload), MsgType::kCrxPut);
+  EXPECT_EQ(PeekType(""), MsgType::kInvalid);
+  EXPECT_EQ(PeekType("x"), MsgType::kInvalid);
+}
+
+TEST(Message, TypeMismatchRejected) {
+  CrxPut put;
+  put.key = "k";
+  const std::string payload = EncodeMessage(put);
+  CrxGet get;
+  EXPECT_FALSE(DecodeMessage(payload, &get));
+}
+
+TEST(Message, CrxPutRoundTrip) {
+  CrxPut m;
+  m.req = 77;
+  m.client = 1234;
+  m.key = "the-key";
+  m.value = std::string(300, 'v');
+  m.deps = SampleDeps();
+  CrxPut out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out));
+  EXPECT_EQ(out.req, m.req);
+  EXPECT_EQ(out.client, m.client);
+  EXPECT_EQ(out.key, m.key);
+  EXPECT_EQ(out.value, m.value);
+  ASSERT_EQ(out.deps.size(), 2u);
+  EXPECT_EQ(out.deps[0].key, "dep-key-1");
+  EXPECT_TRUE(out.deps[0].version == SampleVersion());
+  EXPECT_TRUE(out.deps[1].version.IsNull());
+}
+
+TEST(Message, CrxPutAckRoundTrip) {
+  CrxPutAck m;
+  m.req = 9;
+  m.key = "k";
+  m.version = SampleVersion();
+  m.acked_at = 2;
+  CrxPutAck out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out));
+  EXPECT_EQ(out.acked_at, 2u);
+  EXPECT_TRUE(out.version == m.version);
+}
+
+TEST(Message, CrxGetAndReplyRoundTrip) {
+  CrxGet g;
+  g.req = 5;
+  g.client = 42;
+  g.key = "k";
+  g.min_version = SampleVersion();
+  CrxGet gout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(g), &gout));
+  EXPECT_TRUE(gout.min_version == g.min_version);
+
+  CrxGetReply r;
+  r.req = 5;
+  r.key = "k";
+  r.found = true;
+  r.value = "val";
+  r.version = SampleVersion();
+  r.position = 3;
+  r.stable = true;
+  CrxGetReply rout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(r), &rout));
+  EXPECT_TRUE(rout.found);
+  EXPECT_TRUE(rout.stable);
+  EXPECT_EQ(rout.position, 3u);
+}
+
+TEST(Message, CrxChainPutRoundTrip) {
+  CrxChainPut m;
+  m.key = "k";
+  m.value = "v";
+  m.version = SampleVersion();
+  m.client = 17;
+  m.req = 3;
+  m.ack_at = 2;
+  m.epoch = 8;
+  m.deps = SampleDeps();
+  CrxChainPut out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out));
+  EXPECT_EQ(out.epoch, 8u);
+  EXPECT_EQ(out.ack_at, 2u);
+  EXPECT_EQ(out.deps.size(), 2u);
+}
+
+TEST(Message, StabilityMessagesRoundTrip) {
+  CrxStableNotify n;
+  n.key = "k";
+  n.version = SampleVersion();
+  n.epoch = 2;
+  CrxStableNotify nout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(n), &nout));
+  EXPECT_EQ(nout.key, "k");
+
+  CrxStabilityCheck c;
+  c.key = "k";
+  c.version = SampleVersion();
+  c.token = 99;
+  CrxStabilityCheck cout_;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(c), &cout_));
+  EXPECT_EQ(cout_.token, 99u);
+
+  CrxStabilityConfirm f;
+  f.token = 99;
+  CrxStabilityConfirm fout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(f), &fout));
+  EXPECT_EQ(fout.token, 99u);
+}
+
+TEST(Message, CrMessagesRoundTrip) {
+  CrPut p;
+  p.req = 1;
+  p.client = 2;
+  p.key = "k";
+  p.value = "v";
+  CrPut pout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(p), &pout));
+  EXPECT_EQ(pout.value, "v");
+
+  CrChainPut cp;
+  cp.key = "k";
+  cp.value = "v";
+  cp.seq = 12;
+  cp.client = 2;
+  cp.req = 1;
+  CrChainPut cpout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(cp), &cpout));
+  EXPECT_EQ(cpout.seq, 12u);
+
+  CrGetReply gr;
+  gr.req = 1;
+  gr.key = "k";
+  gr.found = true;
+  gr.value = "v";
+  gr.seq = 12;
+  CrGetReply grout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(gr), &grout));
+  EXPECT_EQ(grout.seq, 12u);
+}
+
+TEST(Message, CraqMessagesRoundTrip) {
+  CraqVersionQuery q;
+  q.key = "k";
+  q.req = 4;
+  q.client = 5;
+  CraqVersionQuery qout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(q), &qout));
+  EXPECT_EQ(qout.client, 5u);
+
+  CraqVersionReply r;
+  r.key = "k";
+  r.committed_seq = 10;
+  r.req = 4;
+  r.client = 5;
+  CraqVersionReply rout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(r), &rout));
+  EXPECT_EQ(rout.committed_seq, 10u);
+
+  CraqCommit c;
+  c.key = "k";
+  c.seq = 10;
+  CraqCommit cout_;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(c), &cout_));
+  EXPECT_EQ(cout_.seq, 10u);
+}
+
+TEST(Message, EventualMessagesRoundTrip) {
+  EvReplicate m;
+  m.key = "k";
+  m.value = "v";
+  m.version = SampleVersion();
+  m.token = 6;
+  EvReplicate out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out));
+  EXPECT_EQ(out.token, 6u);
+
+  EvReadReply rr;
+  rr.token = 6;
+  rr.key = "k";
+  rr.found = true;
+  rr.value = "v";
+  rr.version = SampleVersion();
+  EvReadReply rrout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(rr), &rrout));
+  EXPECT_TRUE(rrout.found);
+}
+
+TEST(Message, GeoMessagesRoundTrip) {
+  GeoShip s;
+  s.origin_dc = 1;
+  s.channel_seq = 44;
+  s.key = "k";
+  s.value = "v";
+  s.version = SampleVersion();
+  s.deps = SampleDeps();
+  GeoShip sout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(s), &sout));
+  EXPECT_EQ(sout.origin_dc, 1u);
+  EXPECT_EQ(sout.channel_seq, 44u);
+  EXPECT_EQ(sout.deps.size(), 2u);
+
+  GeoLocalStable ls;
+  ls.key = "k";
+  ls.version = SampleVersion();
+  ls.has_payload = true;
+  ls.value = "v";
+  ls.deps = SampleDeps();
+  GeoLocalStable lsout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(ls), &lsout));
+  EXPECT_TRUE(lsout.has_payload);
+
+  GeoApplied a;
+  a.dest_dc = 2;
+  a.channel_seq = 44;
+  GeoApplied aout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(a), &aout));
+  EXPECT_EQ(aout.dest_dc, 2u);
+
+  GeoRemotePut rp;
+  rp.key = "k";
+  rp.value = "v";
+  rp.version = SampleVersion();
+  GeoRemotePut rpout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(rp), &rpout));
+  EXPECT_EQ(rpout.key, "k");
+}
+
+TEST(Message, MembershipMessagesRoundTrip) {
+  MemNewMembership m;
+  m.epoch = 3;
+  m.nodes = {1, 2, 3, 99};
+  MemNewMembership out;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(m), &out));
+  EXPECT_EQ(out.nodes, m.nodes);
+
+  MemSyncKey s;
+  s.epoch = 3;
+  s.key = "k";
+  s.value = "v";
+  s.version = SampleVersion();
+  s.stable = true;
+  MemSyncKey sout;
+  ASSERT_TRUE(DecodeMessage(EncodeMessage(s), &sout));
+  EXPECT_TRUE(sout.stable);
+}
+
+TEST(Message, TruncationNeverCrashes) {
+  CrxChainPut m;
+  m.key = "some-key";
+  m.value = "some-value";
+  m.version = SampleVersion();
+  m.deps = SampleDeps();
+  const std::string payload = EncodeMessage(m);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    CrxChainPut out;
+    const std::string truncated = payload.substr(0, cut);
+    EXPECT_FALSE(DecodeMessage(truncated, &out)) << "cut=" << cut;
+  }
+}
+
+TEST(Message, GarbageNeverCrashes) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    const size_t len = rng.NextBelow(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    CrxPut p;
+    CrxChainPut cp;
+    GeoShip gs;
+    (void)DecodeMessage(garbage, &p);
+    (void)DecodeMessage(garbage, &cp);
+    (void)DecodeMessage(garbage, &gs);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace chainreaction

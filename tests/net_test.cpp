@@ -1,0 +1,157 @@
+// TCP transport tests: the same ChainReaction actors that run on the
+// simulator are deployed across several TcpRuntimes (one per modeled
+// process) on loopback sockets, and must behave identically.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/chainreaction_client.h"
+#include "src/core/chainreaction_node.h"
+#include "src/net/address_book.h"
+#include "src/net/sync_client.h"
+#include "src/net/tcp_runtime.h"
+#include "src/ring/ring.h"
+
+namespace chainreaction {
+namespace {
+
+// A little TCP deployment: N single-node server "processes" + 1 client
+// process, all over loopback.
+class TcpClusterFixture {
+ public:
+  explicit TcpClusterFixture(uint32_t num_nodes, uint32_t replication = 3) {
+    std::vector<NodeId> ids;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      ids.push_back(n);
+    }
+    const Ring ring(ids, 16, replication, 1);
+
+    CrxConfig cfg;
+    cfg.replication = replication;
+    cfg.k_stability = 2 <= replication ? 2 : 1;
+    cfg.num_dcs = 1;
+    cfg.client_timeout = 2 * kSecond;
+
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      auto runtime = std::make_unique<TcpRuntime>(&book_);
+      auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
+      node->AttachEnv(runtime->Register(n, node.get()));
+      nodes_.push_back(std::move(node));
+      runtimes_.push_back(std::move(runtime));
+    }
+
+    client_runtime_ = std::make_unique<TcpRuntime>(&book_);
+    client_ = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 42);
+    client_->AttachEnv(client_runtime_->Register(kClientAddressBase, client_.get()));
+
+    for (auto& rt : runtimes_) {
+      rt->Start();
+    }
+    client_runtime_->Start();
+  }
+
+  ~TcpClusterFixture() {
+    client_runtime_->Stop();
+    for (auto& rt : runtimes_) {
+      rt->Stop();
+    }
+  }
+
+  SyncClient MakeSyncClient() { return SyncClient(client_.get(), client_runtime_.get()); }
+
+  uint64_t TotalFrames() const {
+    uint64_t total = client_runtime_->frames_sent();
+    for (const auto& rt : runtimes_) {
+      total += rt->frames_sent();
+    }
+    return total;
+  }
+
+ private:
+  AddressBook book_;
+  std::vector<std::unique_ptr<TcpRuntime>> runtimes_;
+  std::vector<std::unique_ptr<ChainReactionNode>> nodes_;
+  std::unique_ptr<TcpRuntime> client_runtime_;
+  std::unique_ptr<ChainReactionClient> client_;
+};
+
+TEST(TcpTransport, PutGetRoundTrip) {
+  TcpClusterFixture cluster(5);
+  SyncClient client = cluster.MakeSyncClient();
+
+  const auto put = client.Put("tcp-key", "tcp-value");
+  ASSERT_TRUE(put.status.ok());
+  EXPECT_EQ(put.version.vv.Get(0), 1u);
+
+  const auto get = client.Get("tcp-key");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(get.value, "tcp-value");
+  EXPECT_TRUE(get.version == put.version);
+
+  EXPECT_GT(cluster.TotalFrames(), 0u) << "operations must traverse real sockets";
+}
+
+TEST(TcpTransport, MissingKey) {
+  TcpClusterFixture cluster(4);
+  SyncClient client = cluster.MakeSyncClient();
+  const auto get = client.Get("never-written");
+  ASSERT_TRUE(get.status.ok());
+  EXPECT_FALSE(get.found);
+}
+
+TEST(TcpTransport, ManySequentialOps) {
+  TcpClusterFixture cluster(5);
+  SyncClient client = cluster.MakeSyncClient();
+  for (int i = 0; i < 60; ++i) {
+    const Key key = "k-" + std::to_string(i % 7);
+    const Value value = "v-" + std::to_string(i);
+    ASSERT_TRUE(client.Put(key, value).status.ok());
+    const auto get = client.Get(key);
+    ASSERT_TRUE(get.found);
+    EXPECT_EQ(get.value, value);
+  }
+}
+
+TEST(TcpTransport, LargeValueFraming) {
+  TcpClusterFixture cluster(4);
+  SyncClient client = cluster.MakeSyncClient();
+  // Large enough to exercise partial reads/writes through the 16 KiB
+  // socket buffers and the outbox path.
+  Value big(512 * 1024, 'x');
+  for (size_t i = 0; i < big.size(); i += 4096) {
+    big[i] = static_cast<char>('a' + (i / 4096) % 26);
+  }
+  ASSERT_TRUE(client.Put("big", big).status.ok());
+  const auto get = client.Get("big");
+  ASSERT_TRUE(get.found);
+  EXPECT_EQ(get.value, big);
+}
+
+TEST(TcpTransport, VersionsMonotonePerKey) {
+  TcpClusterFixture cluster(5);
+  SyncClient client = cluster.MakeSyncClient();
+  Version last;
+  for (int i = 0; i < 10; ++i) {
+    const auto put = client.Put("mono", "v" + std::to_string(i));
+    ASSERT_TRUE(put.status.ok());
+    if (i > 0) {
+      EXPECT_TRUE(last.LwwLess(put.version));
+      EXPECT_TRUE(put.version.CausallyIncludes(last));
+    }
+    last = put.version;
+  }
+}
+
+TEST(TcpTransport, ReplicationOneSingleProcess) {
+  TcpClusterFixture cluster(2, /*replication=*/1);
+  SyncClient client = cluster.MakeSyncClient();
+  ASSERT_TRUE(client.Put("solo", "v").status.ok());
+  const auto get = client.Get("solo");
+  EXPECT_TRUE(get.found);
+  EXPECT_EQ(get.value, "v");
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,185 @@
+// Property-based sweeps (parameterized gtest): the causal+ guarantee and
+// convergence must hold across chain lengths, k values, client counts,
+// datacenter counts, and seeds.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+
+namespace chainreaction {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Sweep 1: single-DC causal+ across (R, k, seed).
+// ---------------------------------------------------------------------------
+
+class CausalSweep : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, uint64_t>> {};
+
+TEST_P(CausalSweep, CausalPlusHoldsAndConverges) {
+  const auto [replication, k, seed] = GetParam();
+  if (k > replication) {
+    GTEST_SKIP() << "k must be <= R";
+  }
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 6;
+  opts.replication = replication;
+  opts.k_stability = k;
+  opts.seed = seed;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(/*records=*/100, /*value_size=*/48);
+  run.warmup = 200 * kMillisecond;
+  run.measure = 1 * kSecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+
+  EXPECT_GT(result.stats.TotalOps(), 200u);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << "R=" << replication << " k=" << k << " seed=" << seed << ": "
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RkSeeds, CausalSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 5u),   // R
+                       ::testing::Values(1u, 2u, 3u),       // k
+                       ::testing::Values(101u, 202u)),      // seed
+    [](const ::testing::TestParamInfo<CausalSweep::ParamType>& info) {
+      return "R" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 2: geo causal+ across (num_dcs, workload, seed).
+// ---------------------------------------------------------------------------
+
+class GeoSweep : public ::testing::TestWithParam<std::tuple<uint16_t, char, uint64_t>> {};
+
+TEST_P(GeoSweep, CausalPlusHoldsAcrossDcs) {
+  const auto [dcs, workload, seed] = GetParam();
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 6;
+  opts.clients_per_dc = 3;
+  opts.num_dcs = dcs;
+  opts.seed = seed;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = workload == 'A' ? WorkloadSpec::A(80, 48) : WorkloadSpec::B(80, 48);
+  run.warmup = 300 * kMillisecond;
+  run.measure = 1500 * kMillisecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+
+  EXPECT_EQ(result.checker_violations, 0u)
+      << "dcs=" << dcs << " wl=" << workload << " seed=" << seed << ": "
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DcsWorkloadSeeds, GeoSweep,
+    ::testing::Combine(::testing::Values(static_cast<uint16_t>(2), static_cast<uint16_t>(3)),
+                       ::testing::Values('A', 'B'),
+                       ::testing::Values(11u, 12u)),
+    [](const ::testing::TestParamInfo<GeoSweep::ParamType>& info) {
+      return "dc" + std::to_string(std::get<0>(info.param)) + "_" +
+             std::string(1, std::get<1>(info.param)) + "_s" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Sweep 3: failure injection across seeds and victim counts.
+// ---------------------------------------------------------------------------
+
+class FailureSweep : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(FailureSweep, SurvivesCrashes) {
+  const auto [victims, seed] = GetParam();
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 12;
+  opts.clients_per_dc = 4;
+  opts.seed = seed;
+  Cluster cluster(opts);
+  cluster.Preload(150, 48);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(150, 48);
+  run.preload = false;
+  run.warmup = 200 * kMillisecond;
+  run.measure = 2 * kSecond;
+  run.attach_checker = true;
+  for (uint32_t v = 0; v < victims; ++v) {
+    cluster.sim()->Schedule((600 + 600 * v) * kMillisecond,
+                            [&cluster, v]() { cluster.KillServer(0, 1 + 3 * v); });
+  }
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << "victims=" << victims << " seed=" << seed << ": "
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(VictimsSeeds, FailureSweep,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(41u, 42u)),
+                         [](const ::testing::TestParamInfo<FailureSweep::ParamType>& info) {
+                           return "kill" + std::to_string(std::get<0>(info.param)) + "_s" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+// ---------------------------------------------------------------------------
+// Sweep 4: the ack position always equals k.
+// ---------------------------------------------------------------------------
+
+class AckSweep : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(AckSweep, AckPositionEqualsK) {
+  const auto [replication, k] = GetParam();
+  if (k > replication) {
+    GTEST_SKIP();
+  }
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 1;
+  opts.replication = replication;
+  opts.k_stability = k;
+  Cluster cluster(opts);
+  ChainReactionClient* client = cluster.crx_client(0);
+  for (int i = 0; i < 20; ++i) {
+    const Key key = "ack-" + std::to_string(i);
+    bool done = false;
+    client->Put(key, "v", [&](const auto&) {
+      ChainIndex idx = 0;
+      ASSERT_TRUE(client->LookupMetadata(key, nullptr, &idx));
+      EXPECT_EQ(idx, k);
+      done = true;
+    });
+    cluster.sim()->Run();
+    ASSERT_TRUE(done);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RTimesK, AckSweep,
+                         ::testing::Combine(::testing::Values(2u, 3u, 4u),
+                                            ::testing::Values(1u, 2u, 3u, 4u)),
+                         [](const ::testing::TestParamInfo<AckSweep::ParamType>& info) {
+                           return "R" + std::to_string(std::get<0>(info.param)) + "_k" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+}  // namespace
+}  // namespace chainreaction

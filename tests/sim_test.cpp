@@ -1,0 +1,294 @@
+// Unit tests for the discrete-event simulator and the simulated network:
+// event ordering, cancellation, latency model, FIFO links, service-time
+// queueing, crashes, and partitions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace chainreaction {
+namespace {
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(300, [&] { order.push_back(3); });
+  sim.Schedule(100, [&] { order.push_back(1); });
+  sim.Schedule(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<Time> fired;
+  sim.Schedule(10, [&] {
+    fired.push_back(sim.Now());
+    sim.Schedule(5, [&] { fired.push_back(sim.Now()); });
+  });
+  sim.Run();
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], 10);
+  EXPECT_EQ(fired[1], 15);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const uint64_t id = sim.Schedule(10, [&] { fired = true; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelOneOfMany) {
+  Simulator sim;
+  int count = 0;
+  sim.Schedule(10, [&] { count++; });
+  const uint64_t id = sim.Schedule(10, [&] { count += 100; });
+  sim.Schedule(10, [&] { count++; });
+  sim.Cancel(id);
+  sim.Run();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToDeadline) {
+  Simulator sim;
+  bool late_fired = false;
+  sim.Schedule(1000, [&] { late_fired = true; });
+  sim.RunUntil(500);
+  EXPECT_EQ(sim.Now(), 500);
+  EXPECT_FALSE(late_fired);
+  sim.RunUntil(1500);
+  EXPECT_TRUE(late_fired);
+  EXPECT_EQ(sim.Now(), 1500);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Step());
+  sim.Schedule(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+// A test actor that records everything it receives.
+class RecordingActor : public Actor {
+ public:
+  void OnMessage(Address from, const std::string& payload) override {
+    received.push_back({from, payload});
+  }
+  std::vector<std::pair<Address, std::string>> received;
+};
+
+NetworkConfig FastNet() {
+  NetworkConfig cfg;
+  cfg.intra_site = LinkModel{100, 0};
+  return cfg;
+}
+
+TEST(SimNetwork, DeliversWithLatency) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 0);
+  ea->Send(2, "hello");
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(b.received[0].first, 1u);
+  EXPECT_EQ(b.received[0].second, "hello");
+  EXPECT_EQ(sim.Now(), 100);  // one-way latency, no jitter, no service time
+}
+
+TEST(SimNetwork, FifoPerLinkDespiteJitter) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.intra_site = LinkModel{100, 500};  // jitter far larger than spacing
+  SimNetwork net(&sim, cfg, 7);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 0);
+  for (int i = 0; i < 50; ++i) {
+    ea->Send(2, std::to_string(i));
+  }
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(b.received[i].second, std::to_string(i));
+  }
+}
+
+TEST(SimNetwork, ServiceTimeSerializesProcessing) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a;
+  std::vector<Time> times;
+  class TimedActor : public Actor {
+   public:
+    explicit TimedActor(Simulator* sim, std::vector<Time>* times) : sim_(sim), times_(times) {}
+    void OnMessage(Address, const std::string&) override { times_->push_back(sim_->Now()); }
+
+   private:
+    Simulator* sim_;
+    std::vector<Time>* times_;
+  } server(&sim, &times);
+
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &server, 0, ServiceModel{50, 0.0, 0});
+  // Three messages sent back to back arrive together (same latency) but
+  // must be processed 50us apart.
+  ea->Send(2, "x");
+  ea->Send(2, "y");
+  ea->Send(2, "z");
+  sim.Run();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_EQ(times[1] - times[0], 50);
+  EXPECT_EQ(times[2] - times[1], 50);
+}
+
+TEST(SimNetwork, PerByteServiceCost) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 0, ServiceModel{0, 1.0, 0});  // 1us per byte
+  ea->Send(2, std::string(64, 'q'));
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 100 + 64);
+}
+
+TEST(SimNetwork, CrashDropsTraffic) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 0);
+  net.Crash(2);
+  ea->Send(2, "lost");
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+  EXPECT_EQ(net.messages_dropped(), 1u);
+
+  net.Restore(2);
+  ea->Send(2, "arrives");
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetwork, CrashedNodeTimersDoNotFire) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a;
+  Env* ea = net.Register(1, &a, 0);
+  bool fired = false;
+  ea->Schedule(100, [&] { fired = true; });
+  net.Crash(1);
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimNetwork, InterSiteLatencyMatrix) {
+  Simulator sim;
+  NetworkConfig cfg;
+  cfg.intra_site = LinkModel{100, 0};
+  cfg.default_inter_site = LinkModel{5000, 0};
+  SimNetwork net(&sim, cfg, 1);
+  RecordingActor a, b, c;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 1);
+  net.Register(3, &c, 2);
+  net.SetInterSiteLatency(0, 2, LinkModel{9000, 0});
+
+  ea->Send(2, "wan-default");
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 5000);
+
+  ea->Send(3, "wan-custom");
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 5000 + 9000);
+}
+
+TEST(SimNetwork, SitePartitionBlocksAndHeals) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 1);
+  net.PartitionSites(0, 1);
+  ea->Send(2, "dropped");
+  sim.Run();
+  EXPECT_TRUE(b.received.empty());
+
+  net.HealSites(0, 1);
+  ea->Send(2, "delivered");
+  sim.Run();
+  ASSERT_EQ(b.received.size(), 1u);
+}
+
+TEST(SimNetwork, DropProbabilityDropsRoughlyThatFraction) {
+  Simulator sim;
+  NetworkConfig cfg = FastNet();
+  cfg.drop_probability = 0.3;
+  SimNetwork net(&sim, cfg, 99);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 0);
+  for (int i = 0; i < 2000; ++i) {
+    ea->Send(2, "m");
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(b.received.size()), 1400.0, 120.0);
+}
+
+TEST(SimNetwork, StatsCounters) {
+  Simulator sim;
+  SimNetwork net(&sim, FastNet(), 1);
+  RecordingActor a, b;
+  Env* ea = net.Register(1, &a, 0);
+  net.Register(2, &b, 0);
+  ea->Send(2, "12345");
+  sim.Run();
+  EXPECT_EQ(net.messages_delivered(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 5u);
+  EXPECT_EQ(net.MessagesProcessedBy(2), 1u);
+  EXPECT_EQ(net.MessagesProcessedBy(1), 0u);
+}
+
+TEST(SimNetwork, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim;
+    NetworkConfig cfg;
+    cfg.intra_site = LinkModel{100, 80};
+    SimNetwork net(&sim, cfg, seed);
+    RecordingActor a, b;
+    Env* ea = net.Register(1, &a, 0);
+    net.Register(2, &b, 0);
+    for (int i = 0; i < 20; ++i) {
+      ea->Send(2, std::to_string(i));
+    }
+    sim.Run();
+    return sim.Now();
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,187 @@
+// End-to-end smoke tests: one put/get round trip on every system, plus the
+// basic ChainReaction client-metadata behaviour.
+#include <gtest/gtest.h>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+
+namespace chainreaction {
+namespace {
+
+TEST(Smoke, ChainReactionPutGet) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 2;
+  Cluster cluster(opts);
+
+  bool put_done = false;
+  Version put_version;
+  cluster.crx_client(0)->Put("alpha", "value-1",
+                             [&](const ChainReactionClient::PutResult& r) {
+                               ASSERT_TRUE(r.status.ok());
+                               put_version = r.version;
+                               put_done = true;
+                             });
+  cluster.sim()->Run();
+  ASSERT_TRUE(put_done);
+  EXPECT_EQ(put_version.vv.Get(0), 1u);
+
+  // After the ack the client may read from the first k positions.
+  EXPECT_EQ(cluster.crx_client(0)->metadata_entries(), 1u);
+
+  bool get_done = false;
+  cluster.crx_client(0)->Get("alpha", [&](const ChainReactionClient::GetResult& r) {
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, "value-1");
+    EXPECT_TRUE(r.version == put_version);
+    get_done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(get_done);
+
+  // A second client (no metadata) reads from anywhere and sees the value.
+  bool get2_done = false;
+  cluster.crx_client(1)->Get("alpha", [&](const ChainReactionClient::GetResult& r) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, "value-1");
+    get2_done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(get2_done);
+}
+
+TEST(Smoke, ChainReactionMissingKey) {
+  ClusterOptions opts;
+  opts.servers_per_dc = 4;
+  opts.clients_per_dc = 1;
+  Cluster cluster(opts);
+
+  bool done = false;
+  cluster.crx_client(0)->Get("nope", [&](const ChainReactionClient::GetResult& r) {
+    EXPECT_TRUE(r.status.ok());
+    EXPECT_FALSE(r.found);
+    done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(done);
+}
+
+template <typename MakeOpts>
+void PutGetRoundTrip(MakeOpts make_opts) {
+  ClusterOptions opts = make_opts();
+  Cluster cluster(opts);
+  bool put_done = false;
+  bool get_done = false;
+  cluster.client(0)->Put("k", "v", [&](const KvPutResult& r) {
+    EXPECT_TRUE(r.ok);
+    put_done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(put_done);
+  cluster.client(0)->Get("k", [&](const KvGetResult& r) {
+    EXPECT_TRUE(r.ok);
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, "v");
+    get_done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(get_done);
+}
+
+TEST(Smoke, CrPutGet) {
+  PutGetRoundTrip([] {
+    ClusterOptions o;
+    o.system = SystemKind::kCr;
+    o.servers_per_dc = 6;
+    o.clients_per_dc = 1;
+    return o;
+  });
+}
+
+TEST(Smoke, CraqPutGet) {
+  PutGetRoundTrip([] {
+    ClusterOptions o;
+    o.system = SystemKind::kCraq;
+    o.servers_per_dc = 6;
+    o.clients_per_dc = 1;
+    return o;
+  });
+}
+
+TEST(Smoke, EventualPutGet) {
+  PutGetRoundTrip([] {
+    ClusterOptions o;
+    o.system = SystemKind::kEventualOne;
+    o.servers_per_dc = 6;
+    o.clients_per_dc = 1;
+    return o;
+  });
+}
+
+TEST(Smoke, QuorumPutGet) {
+  PutGetRoundTrip([] {
+    ClusterOptions o;
+    o.system = SystemKind::kQuorum;
+    o.servers_per_dc = 6;
+    o.clients_per_dc = 1;
+    return o;
+  });
+}
+
+TEST(Smoke, GeoTwoDcsPropagates) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 6;
+  opts.clients_per_dc = 1;
+  opts.num_dcs = 2;
+  Cluster cluster(opts);
+
+  bool put_done = false;
+  cluster.crx_client(0)->Put("geo-key", "from-dc0",
+                             [&](const ChainReactionClient::PutResult& r) {
+                               EXPECT_TRUE(r.status.ok());
+                               put_done = true;
+                             });
+  cluster.sim()->Run();
+  ASSERT_TRUE(put_done);
+
+  // Client 1 lives in DC 1; the update must have arrived there.
+  bool get_done = false;
+  cluster.crx_client(1)->Get("geo-key", [&](const ChainReactionClient::GetResult& r) {
+    EXPECT_TRUE(r.found);
+    EXPECT_EQ(r.value, "from-dc0");
+    get_done = true;
+  });
+  cluster.sim()->Run();
+  ASSERT_TRUE(get_done);
+
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+TEST(Smoke, SmallWorkloadRunsClean) {
+  ClusterOptions opts;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 4;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(/*records=*/200, /*value_size=*/64);
+  run.warmup = 200 * kMillisecond;
+  run.measure = 1 * kSecond;
+  run.attach_checker = true;
+  RunResult result = RunWorkload(&cluster, run);
+
+  EXPECT_GT(result.stats.TotalOps(), 100u);
+  EXPECT_EQ(result.checker_violations, 0u)
+      << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
+  EXPECT_GT(result.throughput_ops_sec, 0.0);
+
+  std::string diag;
+  EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -1,0 +1,221 @@
+// Tests for the YCSB reimplementation: distribution shapes, workload
+// definitions, key/value helpers, and driver behaviour.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+#include "src/ycsb/generators.h"
+#include "src/ycsb/workload.h"
+
+namespace chainreaction {
+namespace {
+
+TEST(Generators, UniformCoversRange) {
+  UniformChooser gen(100);
+  Rng rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, 100u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(Generators, ZipfianIsSkewed) {
+  ZipfianChooser gen(1000, 0.99);
+  Rng rng(2);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.Next(&rng)]++;
+  }
+  // Item 0 is by far the most popular; top-10 items carry a large share.
+  int top10 = 0;
+  for (uint64_t i = 0; i < 10; ++i) {
+    top10 += counts[i];
+  }
+  EXPECT_GT(counts[0], n / 20);              // >5% on the hottest item
+  EXPECT_GT(top10, n / 4);                   // >25% on the top 10
+  EXPECT_GT(counts[0], counts[100] * 5);     // strong rank decay
+}
+
+TEST(Generators, ZipfianStaysInRange) {
+  ZipfianChooser gen(37, 0.99);
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_LT(gen.Next(&rng), 37u);
+  }
+}
+
+TEST(Generators, ScrambledZipfianSpreadsHotKeys) {
+  ScrambledZipfianChooser gen(1000);
+  Rng rng(4);
+  std::map<uint64_t, int> counts;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.Next(&rng)]++;
+  }
+  // Still skewed: some key is hot...
+  int max_count = 0;
+  for (auto& [k, c] : counts) {
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, n / 20);
+  // ...but the hottest keys are not consecutive small indices.
+  std::vector<uint64_t> hot;
+  for (auto& [k, c] : counts) {
+    if (c > n / 50) {
+      hot.push_back(k);
+    }
+  }
+  ASSERT_GE(hot.size(), 2u);
+  bool all_small = true;
+  for (uint64_t k : hot) {
+    if (k > 10) {
+      all_small = false;
+    }
+  }
+  EXPECT_FALSE(all_small);
+}
+
+TEST(Generators, LatestPrefersRecent) {
+  uint64_t max_index = 1000;
+  LatestChooser gen(&max_index);
+  Rng rng(5);
+  int recent = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = gen.Next(&rng);
+    ASSERT_LT(v, max_index);
+    if (v >= 900) {
+      recent++;
+    }
+  }
+  EXPECT_GT(recent, n / 3);  // newest 10% of keys get a large share
+
+  // Growing the key space shifts popularity to the new keys.
+  max_index = 2000;
+  int new_keys = 0;
+  for (int i = 0; i < n; ++i) {
+    if (gen.Next(&rng) >= 1000) {
+      new_keys++;
+    }
+  }
+  EXPECT_GT(new_keys, n / 2);
+}
+
+TEST(Workload, SpecProportions) {
+  const WorkloadSpec a = WorkloadSpec::A();
+  EXPECT_DOUBLE_EQ(a.read_proportion + a.update_proportion + a.insert_proportion, 1.0);
+  EXPECT_DOUBLE_EQ(a.read_proportion, 0.5);
+
+  const WorkloadSpec b = WorkloadSpec::B();
+  EXPECT_DOUBLE_EQ(b.read_proportion, 0.95);
+
+  const WorkloadSpec c = WorkloadSpec::C();
+  EXPECT_DOUBLE_EQ(c.read_proportion, 1.0);
+
+  const WorkloadSpec d = WorkloadSpec::D();
+  EXPECT_DOUBLE_EQ(d.insert_proportion, 0.05);
+  EXPECT_EQ(d.distribution, Distribution::kLatest);
+}
+
+TEST(Workload, RecordKeyFormat) {
+  EXPECT_EQ(RecordKey(0), "user000000000000");
+  EXPECT_EQ(RecordKey(42), "user000000000042");
+  EXPECT_NE(RecordKey(1), RecordKey(2));
+}
+
+TEST(Workload, MakeValueSizedAndUnique) {
+  const Value v1 = MakeValue(7, 1, 64);
+  const Value v2 = MakeValue(7, 2, 64);
+  const Value v3 = MakeValue(8, 1, 64);
+  EXPECT_EQ(v1.size(), 64u);
+  EXPECT_NE(v1, v2);
+  EXPECT_NE(v1, v3);
+  // Large ids still fit.
+  EXPECT_GE(MakeValue(UINT32_MAX, UINT64_MAX, 8).size(), 8u);
+}
+
+TEST(Driver, WorkloadProportionsObserved) {
+  ClusterOptions opts;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 4;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::B(/*records=*/500, /*value_size=*/32);
+  run.warmup = 100 * kMillisecond;
+  run.measure = 2 * kSecond;
+  const RunResult result = RunWorkload(&cluster, run);
+
+  const double total = static_cast<double>(result.stats.TotalOps());
+  ASSERT_GT(total, 500.0);
+  EXPECT_NEAR(static_cast<double>(result.stats.reads) / total, 0.95, 0.03);
+  EXPECT_NEAR(static_cast<double>(result.stats.writes) / total, 0.05, 0.03);
+}
+
+TEST(Driver, DeterministicForSeed) {
+  auto run_once = [] {
+    ClusterOptions opts;
+    opts.servers_per_dc = 6;
+    opts.clients_per_dc = 3;
+    opts.seed = 77;
+    Cluster cluster(opts);
+    RunOptions run;
+    run.spec = WorkloadSpec::A(/*records=*/200, /*value_size=*/32);
+    run.warmup = 100 * kMillisecond;
+    run.measure = 1 * kSecond;
+    const RunResult r = RunWorkload(&cluster, run);
+    return std::make_pair(r.stats.TotalOps(), r.stats.read_latency.max());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+}
+
+TEST(Driver, InsertsGrowKeySpace) {
+  ClusterOptions opts;
+  opts.servers_per_dc = 6;
+  opts.clients_per_dc = 2;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::D(/*records=*/300, /*value_size=*/32);
+  run.warmup = 100 * kMillisecond;
+  run.measure = 2 * kSecond;
+  const RunResult result = RunWorkload(&cluster, run);
+  EXPECT_GT(result.insert_counter, 300u);
+  // D has no not-found reads: latest-distribution reads stay within the
+  // grown key space, which was fully loaded/inserted.
+  EXPECT_LT(static_cast<double>(result.stats.not_found),
+            0.02 * static_cast<double>(result.stats.reads));
+}
+
+TEST(Driver, ThinkTimeReducesThroughput) {
+  auto run_with_think = [](Duration think) {
+    ClusterOptions opts;
+    opts.servers_per_dc = 6;
+    opts.clients_per_dc = 2;
+    Cluster cluster(opts);
+    RunOptions run;
+    run.spec = WorkloadSpec::C(/*records=*/100, /*value_size=*/32);
+    run.warmup = 100 * kMillisecond;
+    run.measure = 1 * kSecond;
+    run.think_time = think;
+    return RunWorkload(&cluster, run).throughput_ops_sec;
+  };
+  const double fast = run_with_think(0);
+  const double slow = run_with_think(10 * kMillisecond);
+  EXPECT_GT(fast, slow * 2);
+  // With 10ms think time, 2 clients do at most ~200 ops/s.
+  EXPECT_LT(slow, 220.0);
+}
+
+}  // namespace
+}  // namespace chainreaction
