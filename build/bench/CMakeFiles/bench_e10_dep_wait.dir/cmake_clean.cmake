@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_dep_wait.dir/bench_e10_dep_wait.cpp.o"
+  "CMakeFiles/bench_e10_dep_wait.dir/bench_e10_dep_wait.cpp.o.d"
+  "bench_e10_dep_wait"
+  "bench_e10_dep_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dep_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

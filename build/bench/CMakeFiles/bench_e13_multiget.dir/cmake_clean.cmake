@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_multiget.dir/bench_e13_multiget.cpp.o"
+  "CMakeFiles/bench_e13_multiget.dir/bench_e13_multiget.cpp.o.d"
+  "bench_e13_multiget"
+  "bench_e13_multiget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_multiget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_config.dir/bench_e1_config.cpp.o"
+  "CMakeFiles/bench_e1_config.dir/bench_e1_config.cpp.o.d"
+  "bench_e1_config"
+  "bench_e1_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

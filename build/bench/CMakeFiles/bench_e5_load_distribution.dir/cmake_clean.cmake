@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_load_distribution.dir/bench_e5_load_distribution.cpp.o"
+  "CMakeFiles/bench_e5_load_distribution.dir/bench_e5_load_distribution.cpp.o.d"
+  "bench_e5_load_distribution"
+  "bench_e5_load_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_load_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_visibility.dir/bench_e7_visibility.cpp.o"
+  "CMakeFiles/bench_e7_visibility.dir/bench_e7_visibility.cpp.o.d"
+  "bench_e7_visibility"
+  "bench_e7_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_metadata.dir/bench_e8_metadata.cpp.o"
+  "CMakeFiles/bench_e8_metadata.dir/bench_e8_metadata.cpp.o.d"
+  "bench_e8_metadata"
+  "bench_e8_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

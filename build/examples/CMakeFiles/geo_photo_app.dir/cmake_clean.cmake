@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_photo_app.dir/geo_photo_app.cpp.o"
+  "CMakeFiles/geo_photo_app.dir/geo_photo_app.cpp.o.d"
+  "geo_photo_app"
+  "geo_photo_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_photo_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/kv_shell.cpp" "examples/CMakeFiles/kv_shell.dir/kv_shell.cpp.o" "gcc" "examples/CMakeFiles/kv_shell.dir/kv_shell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/chainrx_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chainrx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/chainrx_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chainrx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/chainrx_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chainrx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chainrx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_timeline.dir/social_timeline.cpp.o"
+  "CMakeFiles/social_timeline.dir/social_timeline.cpp.o.d"
+  "social_timeline"
+  "social_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

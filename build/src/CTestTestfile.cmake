@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("msg")
+subdirs("net")
+subdirs("ring")
+subdirs("storage")
+subdirs("chain")
+subdirs("core")
+subdirs("geo")
+subdirs("baselines")
+subdirs("ycsb")
+subdirs("checker")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_baselines.dir/eventual.cc.o"
+  "CMakeFiles/chainrx_baselines.dir/eventual.cc.o.d"
+  "libchainrx_baselines.a"
+  "libchainrx_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

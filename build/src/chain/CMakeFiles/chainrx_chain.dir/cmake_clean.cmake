@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_chain.dir/cr.cc.o"
+  "CMakeFiles/chainrx_chain.dir/cr.cc.o.d"
+  "CMakeFiles/chainrx_chain.dir/craq.cc.o"
+  "CMakeFiles/chainrx_chain.dir/craq.cc.o.d"
+  "libchainrx_chain.a"
+  "libchainrx_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_checker.dir/causal_checker.cc.o"
+  "CMakeFiles/chainrx_checker.dir/causal_checker.cc.o.d"
+  "CMakeFiles/chainrx_checker.dir/linearizability.cc.o"
+  "CMakeFiles/chainrx_checker.dir/linearizability.cc.o.d"
+  "libchainrx_checker.a"
+  "libchainrx_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

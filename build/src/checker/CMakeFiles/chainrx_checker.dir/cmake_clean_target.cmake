@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchainrx_checker.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_common.dir/histogram.cc.o"
+  "CMakeFiles/chainrx_common.dir/histogram.cc.o.d"
+  "CMakeFiles/chainrx_common.dir/logging.cc.o"
+  "CMakeFiles/chainrx_common.dir/logging.cc.o.d"
+  "CMakeFiles/chainrx_common.dir/result.cc.o"
+  "CMakeFiles/chainrx_common.dir/result.cc.o.d"
+  "CMakeFiles/chainrx_common.dir/rng.cc.o"
+  "CMakeFiles/chainrx_common.dir/rng.cc.o.d"
+  "CMakeFiles/chainrx_common.dir/version.cc.o"
+  "CMakeFiles/chainrx_common.dir/version.cc.o.d"
+  "libchainrx_common.a"
+  "libchainrx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

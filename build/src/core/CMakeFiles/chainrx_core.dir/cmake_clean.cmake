@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_core.dir/chainreaction_client.cc.o"
+  "CMakeFiles/chainrx_core.dir/chainreaction_client.cc.o.d"
+  "CMakeFiles/chainrx_core.dir/chainreaction_node.cc.o"
+  "CMakeFiles/chainrx_core.dir/chainreaction_node.cc.o.d"
+  "libchainrx_core.a"
+  "libchainrx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

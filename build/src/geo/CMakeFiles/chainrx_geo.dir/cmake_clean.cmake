@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_geo.dir/geo_replicator.cc.o"
+  "CMakeFiles/chainrx_geo.dir/geo_replicator.cc.o.d"
+  "libchainrx_geo.a"
+  "libchainrx_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

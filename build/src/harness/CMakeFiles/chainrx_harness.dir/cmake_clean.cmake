@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_harness.dir/cluster.cc.o"
+  "CMakeFiles/chainrx_harness.dir/cluster.cc.o.d"
+  "CMakeFiles/chainrx_harness.dir/experiment.cc.o"
+  "CMakeFiles/chainrx_harness.dir/experiment.cc.o.d"
+  "libchainrx_harness.a"
+  "libchainrx_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_msg.dir/message.cc.o"
+  "CMakeFiles/chainrx_msg.dir/message.cc.o.d"
+  "libchainrx_msg.a"
+  "libchainrx_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

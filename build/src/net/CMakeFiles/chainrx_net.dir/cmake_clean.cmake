@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_net.dir/tcp_runtime.cc.o"
+  "CMakeFiles/chainrx_net.dir/tcp_runtime.cc.o.d"
+  "libchainrx_net.a"
+  "libchainrx_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

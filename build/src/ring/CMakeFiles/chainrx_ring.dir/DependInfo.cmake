@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ring/membership.cc" "src/ring/CMakeFiles/chainrx_ring.dir/membership.cc.o" "gcc" "src/ring/CMakeFiles/chainrx_ring.dir/membership.cc.o.d"
+  "/root/repo/src/ring/ring.cc" "src/ring/CMakeFiles/chainrx_ring.dir/ring.cc.o" "gcc" "src/ring/CMakeFiles/chainrx_ring.dir/ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/chainrx_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/chainrx_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chainrx_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

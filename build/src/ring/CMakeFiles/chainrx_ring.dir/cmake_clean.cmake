@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_ring.dir/membership.cc.o"
+  "CMakeFiles/chainrx_ring.dir/membership.cc.o.d"
+  "CMakeFiles/chainrx_ring.dir/ring.cc.o"
+  "CMakeFiles/chainrx_ring.dir/ring.cc.o.d"
+  "libchainrx_ring.a"
+  "libchainrx_ring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_sim.dir/network.cc.o"
+  "CMakeFiles/chainrx_sim.dir/network.cc.o.d"
+  "CMakeFiles/chainrx_sim.dir/simulator.cc.o"
+  "CMakeFiles/chainrx_sim.dir/simulator.cc.o.d"
+  "libchainrx_sim.a"
+  "libchainrx_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_storage.dir/checkpoint.cc.o"
+  "CMakeFiles/chainrx_storage.dir/checkpoint.cc.o.d"
+  "CMakeFiles/chainrx_storage.dir/versioned_store.cc.o"
+  "CMakeFiles/chainrx_storage.dir/versioned_store.cc.o.d"
+  "libchainrx_storage.a"
+  "libchainrx_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chainrx_ycsb.dir/driver.cc.o"
+  "CMakeFiles/chainrx_ycsb.dir/driver.cc.o.d"
+  "CMakeFiles/chainrx_ycsb.dir/generators.cc.o"
+  "CMakeFiles/chainrx_ycsb.dir/generators.cc.o.d"
+  "CMakeFiles/chainrx_ycsb.dir/workload.cc.o"
+  "CMakeFiles/chainrx_ycsb.dir/workload.cc.o.d"
+  "libchainrx_ycsb.a"
+  "libchainrx_ycsb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chainrx_ycsb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/client_session_test.dir/client_session_test.cpp.o"
+  "CMakeFiles/client_session_test.dir/client_session_test.cpp.o.d"
+  "client_session_test"
+  "client_session_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/client_session_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crx_failure_test.dir/crx_failure_test.cpp.o"
+  "CMakeFiles/crx_failure_test.dir/crx_failure_test.cpp.o.d"
+  "crx_failure_test"
+  "crx_failure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crx_failure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

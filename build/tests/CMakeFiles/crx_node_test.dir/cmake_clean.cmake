@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crx_node_test.dir/crx_node_test.cpp.o"
+  "CMakeFiles/crx_node_test.dir/crx_node_test.cpp.o.d"
+  "crx_node_test"
+  "crx_node_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crx_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_detection_test.dir/failure_detection_test.cpp.o"
+  "CMakeFiles/failure_detection_test.dir/failure_detection_test.cpp.o.d"
+  "failure_detection_test"
+  "failure_detection_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_detection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

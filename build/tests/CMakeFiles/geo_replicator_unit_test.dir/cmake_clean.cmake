@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_replicator_unit_test.dir/geo_replicator_unit_test.cpp.o"
+  "CMakeFiles/geo_replicator_unit_test.dir/geo_replicator_unit_test.cpp.o.d"
+  "geo_replicator_unit_test"
+  "geo_replicator_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_replicator_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_tolerance_test.dir/loss_tolerance_test.cpp.o"
+  "CMakeFiles/loss_tolerance_test.dir/loss_tolerance_test.cpp.o.d"
+  "loss_tolerance_test"
+  "loss_tolerance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_tolerance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiget_test.dir/multiget_test.cpp.o"
+  "CMakeFiles/multiget_test.dir/multiget_test.cpp.o.d"
+  "multiget_test"
+  "multiget_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/chainrx_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/checker/CMakeFiles/chainrx_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/chainrx_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ycsb/CMakeFiles/chainrx_ycsb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chainrx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/chainrx_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/chainrx_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/chainrx_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ring/CMakeFiles/chainrx_ring.dir/DependInfo.cmake"
+  "/root/repo/build/src/msg/CMakeFiles/chainrx_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/chainrx_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/chainrx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crx_loadgen.dir/crx_loadgen.cpp.o"
+  "CMakeFiles/crx_loadgen.dir/crx_loadgen.cpp.o.d"
+  "crx_loadgen"
+  "crx_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crx_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
