@@ -38,6 +38,23 @@ void DistributionRow(const char* label, SystemKind system, uint32_t replication,
     row.push_back("-");
   }
   PrintTableRow(row);
+  if (system == SystemKind::kChainReaction) {
+    // Same data at node granularity, straight from the metrics registry:
+    // the position spread above should come from all nodes, not a few hot
+    // ones picking up the slack.
+    const MetricsSnapshot snap = result.cluster->metrics()->Snapshot();
+    const ClusterOptions& opts = result.cluster->options();
+    std::printf("    per-node reads:");
+    for (uint16_t dc = 0; dc < opts.num_dcs; ++dc) {
+      for (uint32_t i = 0; i < opts.servers_per_dc; ++i) {
+        const NodeId node = result.cluster->ServerAddress(dc, i);
+        const int64_t reads = snap.SumCounters("crx_node_reads_served",
+                                               "node=" + std::to_string(node) + ",");
+        std::printf(" n%u=%lld", node, static_cast<long long>(reads));
+      }
+    }
+    std::printf("\n");
+  }
   std::fflush(stdout);
 }
 

@@ -38,6 +38,9 @@ struct CellOptions {
   Duration measure = 1 * kSecond;
   Duration think_time = 0;
   ServiceModel server_service{10, 0.2, 5, 0, 0.2};
+  // >0: trace every Nth put (ChainReaction only); traces land in
+  // cluster->traces() for post-run inspection.
+  uint32_t trace_sample_every = 0;
 };
 
 struct CellResult {
@@ -55,6 +58,7 @@ inline CellResult RunCell(const CellOptions& cell) {
   opts.num_dcs = cell.num_dcs;
   opts.seed = cell.seed;
   opts.server_service = cell.server_service;
+  opts.trace_sample_every = cell.trace_sample_every;
 
   CellResult out;
   out.cluster = std::make_unique<Cluster>(opts);
@@ -65,6 +69,30 @@ inline CellResult RunCell(const CellOptions& cell) {
   run.think_time = cell.think_time;
   out.run = RunWorkload(out.cluster.get(), run);
   return out;
+}
+
+// Dumps the cluster's metrics registry — every instrument, or only those
+// whose "name{labels}" line contains `filter`. Benchmarks call this after a
+// cell to show protocol-level counters next to the reported rows.
+inline void PrintMetrics(const Cluster& cluster, const std::string& filter = "") {
+  const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+  if (filter.empty()) {
+    std::printf("%s", snap.RenderText().c_str());
+    return;
+  }
+  std::string text = snap.RenderText();
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    const std::string line = text.substr(start, end - start);
+    if (line.find(filter) != std::string::npos) {
+      std::printf("%s\n", line.c_str());
+    }
+    start = end + 1;
+  }
 }
 
 inline std::string Fmt(const char* fmt, double v) {

@@ -6,6 +6,8 @@
 //   get <key>             read (shows version, chain position, stability)
 //   meta <key>            client metadata for the key
 //   session               accessed-set summary
+//   stats                 dump the metrics registry (all nodes + transports)
+//   trace                 render the last put's end-to-end trace
 //   reset                 forget session state
 //   quit
 //
@@ -24,6 +26,8 @@
 #include "src/net/address_book.h"
 #include "src/net/sync_client.h"
 #include "src/net/tcp_runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ring/ring.h"
 
 using namespace chainreaction;
@@ -48,6 +52,12 @@ int main(int argc, char** argv) {
   cfg.replication = replication;
   cfg.k_stability = k;
   cfg.client_timeout = 2 * kSecond;
+  cfg.trace_sample_every = 1;  // trace every put; 'trace' renders the last one
+
+  // One registry + trace collector shared by every runtime in this process;
+  // 'stats' snapshots it while the loop threads keep updating.
+  MetricsRegistry metrics;
+  TraceCollector traces;
 
   std::vector<std::unique_ptr<TcpRuntime>> runtimes;
   std::vector<std::unique_ptr<ChainReactionNode>> nodes;
@@ -55,12 +65,16 @@ int main(int argc, char** argv) {
     auto rt = std::make_unique<TcpRuntime>(&book);
     auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
     node->AttachEnv(rt->Register(n, node.get()));
+    node->AttachObs(&metrics, &traces);
+    rt->AttachMetrics(&metrics);
     nodes.push_back(std::move(node));
     runtimes.push_back(std::move(rt));
   }
   auto client_rt = std::make_unique<TcpRuntime>(&book);
   auto client = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 1);
   client->AttachEnv(client_rt->Register(kClientAddressBase, client.get()));
+  client->AttachObs(&metrics, &traces);
+  client_rt->AttachMetrics(&metrics);
   for (auto& rt : runtimes) {
     rt->Start();
   }
@@ -89,7 +103,21 @@ int main(int argc, char** argv) {
     }
     if (cmd == "help") {
       std::printf(
-          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | reset | quit\n");
+          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | stats | trace | "
+          "reset | quit\n");
+      continue;
+    }
+    if (cmd == "stats") {
+      std::printf("%s", metrics.RenderText().c_str());
+      continue;
+    }
+    if (cmd == "trace") {
+      TraceCollector::Trace t;
+      if (traces.Latest(&t)) {
+        std::printf("%s", TraceCollector::Render(t).c_str());
+      } else {
+        std::printf("(no traces yet — do a put first)\n");
+      }
       continue;
     }
     if (cmd == "put") {

@@ -10,6 +10,19 @@ ChainReactionClient::ChainReactionClient(Address address, CrxConfig config, Ring
                                          uint64_t seed)
     : address_(address), config_(config), ring_(std::move(ring)), rng_(seed) {}
 
+void ChainReactionClient::AttachObs(MetricsRegistry* metrics, TraceCollector* traces) {
+  trace_sink_ = traces;
+  if (metrics == nullptr) {
+    return;
+  }
+  const MetricLabels labels = {{"client", std::to_string(address_)}};
+  m_put_latency_ = metrics->GetLatency("crx_client_put_latency_us", labels);
+  m_get_latency_ = metrics->GetLatency("crx_client_get_latency_us", labels);
+  m_deps_bytes_ = metrics->GetGauge("crx_client_deps_bytes", labels);
+  m_accessed_keys_ = metrics->GetGauge("crx_client_accessed_keys", labels);
+  m_retries_ = metrics->GetCounter("crx_client_retries", labels);
+}
+
 std::vector<Dependency> ChainReactionClient::BuildDeps() const {
   std::vector<Dependency> deps;
   deps.reserve(accessed_.size());
@@ -54,6 +67,17 @@ void ChainReactionClient::SendPut(RequestId req) {
     // Snapshot the dependency set once; retries must resend the same deps
     // even if other (pipelined) operations changed the accessed-set since.
     op.deps = BuildDeps();
+    op.started_at = env_->Now();
+    if (m_deps_bytes_ != nullptr) {
+      m_deps_bytes_->Set(static_cast<int64_t>(AccessedSetBytes()));
+      m_accessed_keys_->Set(static_cast<int64_t>(accessed_.size()));
+    }
+    if (config_.trace_sample_every > 0 &&
+        (puts_started_++ % config_.trace_sample_every) == 0) {
+      op.trace.id = MakeTraceId(address_, req);
+      TraceHopAndReport(&op.trace, trace_sink_, HopKind::kClientPut, address_, config_.local_dc,
+                        static_cast<uint32_t>(op.deps.size()), env_->Now());
+    }
   }
   op.attempts++;
   CrxPut msg;
@@ -62,6 +86,7 @@ void ChainReactionClient::SendPut(RequestId req) {
   msg.key = op.key;
   msg.value = op.value;
   msg.deps = op.deps;
+  msg.trace = op.trace;
   env_->Send(ring_.HeadFor(op.key), EncodeMessage(msg));
   ArmTimer(req);
 }
@@ -100,6 +125,9 @@ void ChainReactionClient::SendGet(RequestId req) {
     return;
   }
   PendingOp& op = it->second;
+  if (op.attempts == 0) {
+    op.started_at = env_->Now();
+  }
   op.attempts++;
 
   CrxGet msg;
@@ -134,6 +162,9 @@ void ChainReactionClient::ArmTimer(RequestId req) {
       return;
     }
     retries_++;
+    if (m_retries_ != nullptr) {
+      m_retries_->Inc();
+    }
     if (pit->second.is_put) {
       SendPut(req);
     } else {
@@ -177,6 +208,14 @@ void ChainReactionClient::HandlePutAck(const CrxPutAck& ack) {
     return;  // duplicate ack after retry
   }
   env_->CancelTimer(it->second.timer);
+  if (m_put_latency_ != nullptr) {
+    m_put_latency_->Record(env_->Now() - it->second.started_at);
+  }
+  if (ack.trace.active()) {
+    TraceContext done = ack.trace;
+    TraceHopAndReport(&done, trace_sink_, HopKind::kClientAck, address_, config_.local_dc,
+                      ack.acked_at, env_->Now());
+  }
 
   const bool stable = ack.acked_at >= config_.replication;
   metadata_[ack.key] = KeyMetadata{ack.version, ack.acked_at};
@@ -198,6 +237,9 @@ void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
     return;
   }
   env_->CancelTimer(it->second.timer);
+  if (m_get_latency_ != nullptr) {
+    m_get_latency_->Record(env_->Now() - it->second.started_at);
+  }
 
   if (reply.found) {
     const ChainIndex new_index = reply.stable ? config_.replication : reply.position;

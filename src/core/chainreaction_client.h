@@ -28,6 +28,8 @@
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ring/ring.h"
 #include "src/sim/env.h"
 
@@ -65,6 +67,11 @@ class ChainReactionClient : public Actor {
   ChainReactionClient(Address address, CrxConfig config, Ring ring, uint64_t seed);
 
   void AttachEnv(Env* env) { env_ = env; }
+
+  // Optional observability: op latency histograms, metadata-size gauges, and
+  // the sink traced puts report their client-side hops to. The client starts
+  // a trace on every config.trace_sample_every-th put (0 = never).
+  void AttachObs(MetricsRegistry* metrics, TraceCollector* traces);
 
   void Put(const Key& key, Value value, PutCallback cb);
   void Get(const Key& key, GetCallback cb);
@@ -124,6 +131,8 @@ class ChainReactionClient : public Actor {
     GetCallback get_cb;
     uint64_t timer = 0;
     uint32_t attempts = 0;
+    Time started_at = 0;
+    TraceContext trace;  // active iff this put was sampled for tracing
     // Gets issued by a read transaction:
     bool with_deps = false;
     bool has_min_override = false;
@@ -171,6 +180,15 @@ class ChainReactionClient : public Actor {
   std::unordered_map<uint64_t, PendingMultiGet> multigets_;
   uint64_t multiget_second_rounds_ = 0;
   uint64_t retries_ = 0;
+
+  // Observability (all null until AttachObs).
+  TraceCollector* trace_sink_ = nullptr;
+  LatencyMetric* m_put_latency_ = nullptr;
+  LatencyMetric* m_get_latency_ = nullptr;
+  Gauge* m_deps_bytes_ = nullptr;
+  Gauge* m_accessed_keys_ = nullptr;
+  Counter* m_retries_ = nullptr;
+  uint64_t puts_started_ = 0;  // trace sampling counter
 };
 
 }  // namespace chainreaction

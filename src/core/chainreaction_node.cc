@@ -50,6 +50,28 @@ void ChainReactionNode::AttachEnv(Env* env) {
   }
 }
 
+void ChainReactionNode::AttachObs(MetricsRegistry* metrics, TraceCollector* traces) {
+  trace_sink_ = traces;
+  if (metrics == nullptr) {
+    return;
+  }
+  const std::string node = std::to_string(id_);
+  const MetricLabels node_label = {{"node", node}};
+  m_puts_head_ = metrics->GetCounter("crx_node_puts_applied", {{"node", node}, {"role", "head"}});
+  m_puts_middle_ =
+      metrics->GetCounter("crx_node_puts_applied", {{"node", node}, {"role", "middle"}});
+  m_puts_tail_ = metrics->GetCounter("crx_node_puts_applied", {{"node", node}, {"role", "tail"}});
+  m_reads_by_position_.assign(config_.replication, nullptr);
+  for (uint32_t i = 0; i < config_.replication; ++i) {
+    m_reads_by_position_[i] = metrics->GetCounter(
+        "crx_node_reads_served", {{"node", node}, {"position", std::to_string(i + 1)}});
+  }
+  m_dep_checks_ = metrics->GetCounter("crx_node_dep_checks_sent", node_label);
+  m_gets_forwarded_ = metrics->GetCounter("crx_node_gets_forwarded", node_label);
+  m_gated_depth_ = metrics->GetGauge("crx_node_gated_puts", node_label);
+  m_dep_wait_ = metrics->GetLatency("crx_node_dep_wait_us", node_label);
+}
+
 void ChainReactionNode::SendHeartbeat() {
   MemHeartbeat hb;
   hb.node = id_;
@@ -194,7 +216,7 @@ void ChainReactionNode::HandlePut(CrxPut put) {
     const StoredVersion* sv = store_.Find(put.key, seen->second);
     if (sv != nullptr) {
       ApplyVersion(put.key, sv->value, sv->version, put.client, put.req, config_.k_stability,
-                   put.deps);
+                   put.deps, put.trace);
       return;
     }
   }
@@ -214,6 +236,9 @@ void ChainReactionNode::HandlePut(CrxPut put) {
         check.version = dep.version;
         check.token = dup->second;
         dep_checks_sent_++;
+        if (m_dep_checks_ != nullptr) {
+          m_dep_checks_->Inc();
+        }
         env_->Send(ring_.TailFor(dep.key), EncodeMessage(check));
       }
     }
@@ -242,12 +267,20 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   parked.pending_deps = pending;
   parked.parked_at = env_->Now();
   dep_waits_++;
+  TraceHopAndReport(&parked.put.trace, trace_sink_, HopKind::kHeadGated, id_, config_.local_dc,
+                    static_cast<uint32_t>(pending.size()), env_->Now());
+  if (m_gated_depth_ != nullptr) {
+    m_gated_depth_->Set(static_cast<int64_t>(gated_puts_.size()));
+  }
   for (const Dependency& dep : pending) {
     CrxStabilityCheck check;
     check.key = dep.key;
     check.version = dep.version;
     check.token = token;
     dep_checks_sent_++;
+    if (m_dep_checks_ != nullptr) {
+      m_dep_checks_->Inc();
+    }
     env_->Send(ring_.TailFor(dep.key), EncodeMessage(check));
   }
 }
@@ -266,9 +299,15 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
   const Duration waited = env_->Now() - it->second.parked_at;
   dep_wait_total_us_ += static_cast<uint64_t>(waited);
   dep_wait_hist_.Record(waited);
+  if (m_dep_wait_ != nullptr) {
+    m_dep_wait_->Record(waited);
+  }
   CrxPut put = std::move(it->second.put);
   gated_puts_.erase(it);
   gated_reqs_.erase({put.client, put.req});
+  if (m_gated_depth_ != nullptr) {
+    m_gated_depth_->Set(static_cast<int64_t>(gated_puts_.size()));
+  }
   ApplyAndPropagate(put);
 }
 
@@ -290,12 +329,13 @@ void ChainReactionNode::ApplyAndPropagate(const CrxPut& put) {
     completed_order_.pop_front();
   }
 
-  ApplyVersion(put.key, put.value, version, put.client, put.req, config_.k_stability, put.deps);
+  ApplyVersion(put.key, put.value, version, put.client, put.req, config_.k_stability, put.deps,
+               put.trace);
 }
 
 bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const Version& version,
                                      Address client, RequestId req, ChainIndex ack_at,
-                                     const std::vector<Dependency>& deps) {
+                                     const std::vector<Dependency>& deps, TraceContext trace) {
   const bool applied = store_.Apply(key, value, version, deps);
   if (applied) {
     writes_applied_++;
@@ -309,6 +349,22 @@ bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const V
     return applied;  // no longer a replica of this key (stale traffic)
   }
 
+  // Annotate only newly applied versions so retries and anti-entropy
+  // re-propagation do not duplicate hops (the collector dedups exact
+  // re-reports anyway, but a retry would carry a distinct timestamp).
+  if (applied && trace.active()) {
+    TraceHopAndReport(&trace, trace_sink_,
+                      pos == 1 ? HopKind::kHeadApply : HopKind::kChainApply, id_,
+                      config_.local_dc, pos, env_->Now());
+  }
+  if (applied) {
+    Counter* role = pos == 1 ? m_puts_head_
+                             : (pos == config_.replication ? m_puts_tail_ : m_puts_middle_);
+    if (role != nullptr) {
+      role->Inc();
+    }
+  }
+
   if (pos == 1 && config_.replication > 1 && applied) {
     TrackUnstableHead(key);
   }
@@ -319,11 +375,15 @@ bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const V
     ack.key = key;
     ack.version = version;
     ack.acked_at = pos;
+    ack.trace = trace;
+    TraceHopAndReport(&ack.trace, trace_sink_, HopKind::kKAck, id_, config_.local_dc, pos,
+                      env_->Now());
     env_->Send(client, EncodeMessage(ack));
   }
 
   if (pos == config_.replication) {
-    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, value);
+    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, value,
+                    std::move(trace));
   } else {
     CrxChainPut fwd;
     fwd.key = key;
@@ -337,6 +397,7 @@ bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const V
     // geo replicator, and any replica serves it to multi-get read
     // transactions.
     fwd.deps = deps;
+    fwd.trace = std::move(trace);
     env_->Send(ring_.SuccessorFor(key, id_), EncodeMessage(fwd));
   }
   return applied;
@@ -351,16 +412,20 @@ void ChainReactionNode::HandleChainPut(const CrxChainPut& msg) {
   if (ring_.PositionOf(msg.key, id_) == 0) {
     return;
   }
-  ApplyVersion(msg.key, msg.value, msg.version, msg.client, msg.req, msg.ack_at, msg.deps);
+  ApplyVersion(msg.key, msg.value, msg.version, msg.client, msg.req, msg.ack_at, msg.deps,
+               msg.trace);
 }
 
 void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
                                         const std::vector<Dependency>& deps,
-                                        bool has_local_payload, const Value& value) {
+                                        bool has_local_payload, const Value& value,
+                                        TraceContext trace) {
   store_.MarkStable(key, version);
   stable_vv_[key].MergeMax(version.vv);
   ResolveWatchers(key);
   ResolveUnstableHead(key);
+  TraceHopAndReport(&trace, trace_sink_, HopKind::kTailStable, id_, config_.local_dc,
+                    config_.replication, env_->Now());
 
   if (config_.replication > 1) {
     if (config_.stable_notify_delay <= 0) {
@@ -400,6 +465,7 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
       msg.value = value;
       msg.deps = deps;
     }
+    msg.trace = std::move(trace);
     SendGeoNotify(msg);
   }
 }
@@ -511,6 +577,9 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
   if (pos == 0) {
     // Stale client ring: route to the current head.
     gets_forwarded_++;
+    if (m_gets_forwarded_ != nullptr) {
+      m_gets_forwarded_->Inc();
+    }
     env_->Send(ring_.HeadFor(get.key), EncodeMessage(get));
     return;
   }
@@ -521,6 +590,9 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       // during chain repair); escalate toward the head, which applies
       // writes first.
       gets_forwarded_++;
+      if (m_gets_forwarded_ != nullptr) {
+        m_gets_forwarded_->Inc();
+      }
       env_->Send(ring_.PredecessorFor(get.key, id_), EncodeMessage(get));
       return;
     }
@@ -573,6 +645,9 @@ void ChainReactionNode::AnswerGet(const CrxGet& get, ChainIndex position) {
   reads_served_++;
   if (position >= 1 && position <= reads_by_position_.size()) {
     reads_by_position_[position - 1]++;
+    if (position <= m_reads_by_position_.size() && m_reads_by_position_[position - 1] != nullptr) {
+      m_reads_by_position_[position - 1]->Inc();
+    }
   }
   env_->Send(get.client, EncodeMessage(reply));
 }
@@ -666,8 +741,8 @@ void ChainReactionNode::HandleRemotePut(const GeoRemotePut& msg) {
     env_->Send(ring_.HeadFor(msg.key), EncodeMessage(msg));
     return;
   }
-  ApplyVersion(msg.key, msg.value, msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0,
-               msg.deps);
+  ApplyVersion(msg.key, msg.value, msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0, msg.deps,
+               msg.trace);
 }
 
 void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {

@@ -28,6 +28,8 @@
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ring/ring.h"
 #include "src/sim/env.h"
 #include "src/storage/versioned_store.h"
@@ -41,6 +43,11 @@ class ChainReactionNode : public Actor {
   // Attaches the runtime environment; starts the heartbeat loop when the
   // config names a membership service.
   void AttachEnv(Env* env);
+
+  // Optional observability: registers this node's instruments (labeled by
+  // node id / chain role / position) and the sink for trace-hop reports.
+  // Either argument may be null. Call before the node starts serving.
+  void AttachObs(MetricsRegistry* metrics, TraceCollector* traces);
 
   void OnMessage(Address from, const std::string& payload) override;
 
@@ -123,13 +130,16 @@ class ChainReactionNode : public Actor {
 
   // Common apply path for a concrete (key, value, version); handles the
   // single-node-chain and tail special cases. Returns true if newly applied.
+  // `trace` (taken by value: each hop extends its own copy) accumulates the
+  // per-hop annotations of a traced put as it moves down the chain.
   bool ApplyVersion(const Key& key, const Value& value, const Version& version, Address client,
-                    RequestId req, ChainIndex ack_at, const std::vector<Dependency>& deps);
+                    RequestId req, ChainIndex ack_at, const std::vector<Dependency>& deps,
+                    TraceContext trace);
 
   // Everything the tail must do when a version reaches it.
   void StabilizeAtTail(const Key& key, const Version& version,
                        const std::vector<Dependency>& deps, bool has_local_payload,
-                       const Value& value);
+                       const Value& value, TraceContext trace);
 
   void ResolveWatchers(const Key& key);
   void ScheduleStableNotify(const Key& key);
@@ -212,6 +222,17 @@ class ChainReactionNode : public Actor {
   uint64_t dep_wait_total_us_ = 0;
   Histogram dep_wait_hist_;
   uint64_t gets_forwarded_ = 0;
+
+  // Observability (all null until AttachObs; hot paths test one pointer).
+  TraceCollector* trace_sink_ = nullptr;
+  Counter* m_puts_head_ = nullptr;
+  Counter* m_puts_middle_ = nullptr;
+  Counter* m_puts_tail_ = nullptr;
+  std::vector<Counter*> m_reads_by_position_;
+  Counter* m_dep_checks_ = nullptr;
+  Counter* m_gets_forwarded_ = nullptr;
+  Gauge* m_gated_depth_ = nullptr;
+  LatencyMetric* m_dep_wait_ = nullptr;
 };
 
 }  // namespace chainreaction

@@ -58,6 +58,10 @@ struct CrxConfig {
   // TESTING ONLY: disable the dependency-stability gating at the head. With
   // this off, the causal+ checker must detect violations (see tests).
   bool disable_dependency_gating = false;
+
+  // Clients attach a trace header to every Nth put (0 disables tracing).
+  // Traced puts accumulate per-hop annotations end-to-end; see src/obs/.
+  uint32_t trace_sample_every = 0;
 };
 
 }  // namespace chainreaction

@@ -14,6 +14,21 @@ void GeoReplicator::SetPeers(std::vector<Address> peer_by_dc) {
   peer_by_dc_ = std::move(peer_by_dc);
 }
 
+void GeoReplicator::AttachObs(MetricsRegistry* metrics, TraceCollector* traces) {
+  trace_sink_ = traces;
+  if (metrics == nullptr) {
+    return;
+  }
+  const MetricLabels labels = {{"dc", std::to_string(dc_)}};
+  m_shipped_ = metrics->GetCounter("crx_geo_updates_shipped", labels);
+  m_received_ = metrics->GetCounter("crx_geo_updates_received", labels);
+  m_applied_ = metrics->GetCounter("crx_geo_updates_applied", labels);
+  m_retransmissions_ = metrics->GetCounter("crx_geo_retransmissions", labels);
+  m_parked_depth_ = metrics->GetGauge("crx_geo_parked_updates", labels);
+  m_replication_lag_ = metrics->GetLatency("crx_geo_replication_lag_us", labels);
+  m_visibility_delay_ = metrics->GetLatency("crx_geo_visibility_delay_us", labels);
+}
+
 std::string GeoReplicator::VersionKey(const Key& key, const Version& v) {
   ByteWriter w;
   w.PutString(key);
@@ -82,8 +97,19 @@ void GeoReplicator::HandleLocalStable(const GeoLocalStable& msg) {
   if (ack_it != pending_acks_.end()) {
     const DcId origin = ack_it->second.origin;
     const uint64_t seq = ack_it->second.channel_seq;
+    if (m_visibility_delay_ != nullptr && ack_it->second.received_at != 0) {
+      m_visibility_delay_->Record(env_->Now() - ack_it->second.received_at);
+    }
+    if (msg.trace.active()) {
+      TraceContext visible = msg.trace;
+      TraceHopAndReport(&visible, trace_sink_, HopKind::kRemoteVisible, dc_, dc_, origin,
+                        env_->Now());
+    }
     pending_acks_.erase(ack_it);
     updates_applied_++;
+    if (m_applied_ != nullptr) {
+      m_applied_->Inc();
+    }
     GeoApplied applied;
     applied.dest_dc = dc_;
     applied.channel_seq = seq;
@@ -106,6 +132,15 @@ void GeoReplicator::HandleLocalStable(const GeoLocalStable& msg) {
     ship.value = msg.value;
     ship.version = msg.version;
     ship.deps = msg.deps;
+    ship.trace = msg.trace;
+    uint32_t peer_count = 0;
+    for (DcId d = 0; d < peer_by_dc_.size(); ++d) {
+      if (d != dc_ && peer_by_dc_[d] != 0) {
+        peer_count++;
+      }
+    }
+    TraceHopAndReport(&ship.trace, trace_sink_, HopKind::kGeoShip, dc_, dc_, peer_count,
+                      env_->Now());
     std::vector<DcId> peers;
     for (DcId d = 0; d < peer_by_dc_.size(); ++d) {
       if (d != dc_ && peer_by_dc_[d] != 0) {
@@ -115,6 +150,9 @@ void GeoReplicator::HandleLocalStable(const GeoLocalStable& msg) {
     }
     if (!peers.empty()) {
       updates_shipped_++;
+      if (m_shipped_ != nullptr) {
+        m_shipped_->Inc();
+      }
       PendingGlobal& pg = pending_global_[ship.channel_seq];
       pg.ship = std::move(ship);
       pg.unacked = std::move(peers);
@@ -138,6 +176,9 @@ bool GeoReplicator::DepSatisfied(const Dependency& dep) const {
 
 void GeoReplicator::HandleShip(GeoShip msg) {
   updates_received_++;
+  if (m_received_ != nullptr) {
+    m_received_->Inc();
+  }
   const std::string vk = VersionKey(msg.key, msg.version);
 
   // Duplicate or already-applied update: ack immediately.
@@ -163,7 +204,7 @@ void GeoReplicator::HandleShip(GeoShip msg) {
     }
     return;
   }
-  pending_acks_[vk] = PendingAck{msg.origin_dc, msg.channel_seq, false};
+  pending_acks_[vk] = PendingAck{msg.origin_dc, msg.channel_seq, false, env_->Now()};
 
   // A dependency on an older version of the same key is carried by the
   // update itself (its version vector causally includes it); drop such
@@ -185,6 +226,9 @@ void GeoReplicator::HandleShip(GeoShip msg) {
 
   updates_parked_++;
   pending_acks_[vk].parked = true;
+  if (m_parked_depth_ != nullptr) {
+    m_parked_depth_->Add(1);
+  }
   size_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
@@ -265,6 +309,9 @@ void GeoReplicator::Inject(const GeoShip& ship) {
   put.value = ship.value;
   put.version = ship.version;
   put.deps = ship.deps;
+  put.trace = ship.trace;
+  TraceHopAndReport(&put.trace, trace_sink_, HopKind::kGeoInject, dc_, dc_, ship.origin_dc,
+                    env_->Now());
   env_->Send(local_ring_.HeadFor(ship.key), EncodeMessage(put));
 }
 
@@ -296,6 +343,9 @@ void GeoReplicator::RecheckWaiters(const Key& key) {
     if (--pr.unmet_deps == 0) {
       pr.live = false;
       free_slots_.push_back(slot);
+      if (m_parked_depth_ != nullptr) {
+        m_parked_depth_->Add(-1);
+      }
       Inject(pr.ship);
       pr.ship = GeoShip{};  // release memory
     }
@@ -318,6 +368,9 @@ void GeoReplicator::HandleApplied(const GeoApplied& msg) {
   }
   const Time now = env_->Now();
   global_stable_delay_.Record(now - it->second.shipped_at);
+  if (m_replication_lag_ != nullptr) {
+    m_replication_lag_->Record(now - it->second.shipped_at);
+  }
   if (on_global_stable) {
     on_global_stable(it->second.ship.key, it->second.ship.version, it->second.shipped_at, now);
   }
@@ -343,6 +396,9 @@ void GeoReplicator::RetransmitUnacked() {
     for (DcId d : pg.unacked) {
       if (d < peer_by_dc_.size() && peer_by_dc_[d] != 0) {
         retransmissions_++;
+        if (m_retransmissions_ != nullptr) {
+          m_retransmissions_->Inc();
+        }
         env_->Send(peer_by_dc_[d], EncodeMessage(pg.ship));
       }
     }

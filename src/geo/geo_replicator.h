@@ -28,6 +28,8 @@
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ring/ring.h"
 #include "src/sim/env.h"
 
@@ -38,6 +40,11 @@ class GeoReplicator : public Actor {
   GeoReplicator(DcId dc, CrxConfig config, Ring local_ring);
 
   void AttachEnv(Env* env) { env_ = env; }
+
+  // Optional observability: replication-lag / visibility-delay histograms
+  // and ship/receive counters, labeled by DC; traced updates report their
+  // geo hops (ship, inject, remote visibility) to `traces`.
+  void AttachObs(MetricsRegistry* metrics, TraceCollector* traces);
 
   // peer_by_dc[d] = address of DC d's replicator; the local slot is ignored.
   void SetPeers(std::vector<Address> peer_by_dc);
@@ -124,6 +131,8 @@ class GeoReplicator : public Actor {
     DcId origin = 0;
     uint64_t channel_seq = 0;
     bool parked = false;
+    // When the shipment arrived here; visibility delay = stable time - this.
+    Time received_at = 0;
   };
   std::unordered_map<std::string, PendingAck> pending_acks_;
 
@@ -142,6 +151,16 @@ class GeoReplicator : public Actor {
   uint64_t updates_applied_ = 0;
   uint64_t updates_parked_ = 0;
   Histogram global_stable_delay_;
+
+  // Observability (all null until AttachObs).
+  TraceCollector* trace_sink_ = nullptr;
+  Counter* m_shipped_ = nullptr;
+  Counter* m_received_ = nullptr;
+  Counter* m_applied_ = nullptr;
+  Counter* m_retransmissions_ = nullptr;
+  Gauge* m_parked_depth_ = nullptr;
+  LatencyMetric* m_replication_lag_ = nullptr;
+  LatencyMetric* m_visibility_delay_ = nullptr;
 };
 
 }  // namespace chainreaction

@@ -41,6 +41,7 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   CHAINRX_CHECK(options_.num_dcs >= 1);
   CHAINRX_CHECK(options_.system == SystemKind::kChainReaction || options_.num_dcs == 1);
   net_ = std::make_unique<SimNetwork>(&sim_, options_.net, options_.seed ^ 0x6e657400);
+  net_->AttachMetrics(&metrics_);
   if (options_.system == SystemKind::kChainReaction) {
     BuildChainReaction();
   } else {
@@ -85,11 +86,13 @@ void Cluster::BuildChainReaction() {
     }
     cfg.read_policy = options_.read_policy;
     cfg.disable_dependency_gating = options_.disable_dependency_gating;
+    cfg.trace_sample_every = options_.trace_sample_every;
 
     for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
       auto node = std::make_unique<ChainReactionNode>(node_ids[i], cfg, ring);
       Env* env = net_->Register(node_ids[i], node.get(), dc, options_.server_service);
       node->AttachEnv(env);
+      node->AttachObs(&metrics_, &traces_);
       crx_nodes_[dc].push_back(std::move(node));
     }
 
@@ -97,6 +100,7 @@ void Cluster::BuildChainReaction() {
       geo_[dc] = std::make_unique<GeoReplicator>(dc, cfg, ring);
       Env* genv = net_->Register(kGeoBase + dc, geo_[dc].get(), dc, ServiceModel{2, 0.0, 0});
       geo_[dc]->AttachEnv(genv);
+      geo_[dc]->AttachObs(&metrics_, &traces_);
       membership_[dc]->AddListener(kGeoBase + dc);
     }
 
@@ -106,6 +110,7 @@ void Cluster::BuildChainReaction() {
           addr, cfg, ring, options_.seed * 7919 + addr);
       Env* cenv = net_->Register(addr, client.get(), dc, options_.client_service);
       client->AttachEnv(cenv);
+      client->AttachObs(&metrics_, &traces_);
       membership_[dc]->AddListener(addr);
       kv_clients_.push_back(std::make_unique<CrxKvClient>(client.get()));
       client_envs_.push_back(cenv);

@@ -20,6 +20,8 @@
 #include "src/core/chainreaction_client.h"
 #include "src/core/chainreaction_node.h"
 #include "src/geo/geo_replicator.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ring/membership.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -59,6 +61,9 @@ struct ClusterOptions {
   // heartbeat at this period; the membership service removes nodes silent
   // for 4 periods. Keeps timers alive forever — drive with RunUntil.
   Duration heartbeat_interval = 0;
+  // >0: clients trace every Nth put end-to-end (ChainReaction only); hops
+  // land in Cluster::traces().
+  uint32_t trace_sample_every = 0;
   uint64_t seed = 1;
 };
 
@@ -72,6 +77,13 @@ class Cluster {
   Simulator* sim() { return &sim_; }
   SimNetwork* net() { return net_.get(); }
   const ClusterOptions& options() const { return options_; }
+
+  // Shared observability: one registry + trace collector for the whole
+  // deployment (the simulator is one process). Always non-null; every
+  // ChainReaction actor and the network have their instruments attached.
+  MetricsRegistry* metrics() { return &metrics_; }
+  const MetricsRegistry* metrics() const { return &metrics_; }
+  TraceCollector* traces() { return &traces_; }
 
   // Clients are numbered 0..num_dcs*clients_per_dc-1, DC-major.
   size_t num_clients() const { return kv_clients_.size(); }
@@ -124,6 +136,8 @@ class Cluster {
   ClusterOptions options_;
   Simulator sim_;
   std::unique_ptr<SimNetwork> net_;
+  MetricsRegistry metrics_;
+  TraceCollector traces_;
 
   // Per-DC state (ChainReaction); baselines use index 0 only.
   std::vector<std::unique_ptr<MembershipService>> membership_;

@@ -40,10 +40,11 @@ void CrxPut::Encode(ByteWriter* w) const {
   w->PutString(key);
   w->PutString(value);
   EncodeDeps(deps, w);
+  trace.Encode(w);
 }
 bool CrxPut::Decode(ByteReader* r) {
   return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && r->GetString(&value) &&
-         DecodeDeps(r, &deps);
+         DecodeDeps(r, &deps) && trace.Decode(r);
 }
 
 void CrxPutAck::Encode(ByteWriter* w) const {
@@ -51,9 +52,11 @@ void CrxPutAck::Encode(ByteWriter* w) const {
   w->PutString(key);
   version.Encode(w);
   w->PutU32(acked_at);
+  trace.Encode(w);
 }
 bool CrxPutAck::Decode(ByteReader* r) {
-  return r->GetU64(&req) && r->GetString(&key) && version.Decode(r) && r->GetU32(&acked_at);
+  return r->GetU64(&req) && r->GetString(&key) && version.Decode(r) && r->GetU32(&acked_at) &&
+         trace.Decode(r);
 }
 
 void CrxGet::Encode(ByteWriter* w) const {
@@ -92,10 +95,12 @@ void CrxChainPut::Encode(ByteWriter* w) const {
   w->PutU32(ack_at);
   w->PutU64(epoch);
   EncodeDeps(deps, w);
+  trace.Encode(w);
 }
 bool CrxChainPut::Decode(ByteReader* r) {
   return r->GetString(&key) && r->GetString(&value) && version.Decode(r) && r->GetU32(&client) &&
-         r->GetU64(&req) && r->GetU32(&ack_at) && r->GetU64(&epoch) && DecodeDeps(r, &deps);
+         r->GetU64(&req) && r->GetU32(&ack_at) && r->GetU64(&epoch) && DecodeDeps(r, &deps) &&
+         trace.Decode(r);
 }
 
 void CrxStableNotify::Encode(ByteWriter* w) const {
@@ -348,10 +353,11 @@ void GeoLocalStable::Encode(ByteWriter* w) const {
   w->PutBool(has_payload);
   w->PutString(value);
   EncodeDeps(deps, w);
+  trace.Encode(w);
 }
 bool GeoLocalStable::Decode(ByteReader* r) {
   return r->GetString(&key) && version.Decode(r) && r->GetBool(&has_payload) &&
-         r->GetString(&value) && DecodeDeps(r, &deps);
+         r->GetString(&value) && DecodeDeps(r, &deps) && trace.Decode(r);
 }
 
 void GeoLocalStableAck::Encode(ByteWriter* w) const {
@@ -369,10 +375,11 @@ void GeoShip::Encode(ByteWriter* w) const {
   w->PutString(value);
   version.Encode(w);
   EncodeDeps(deps, w);
+  trace.Encode(w);
 }
 bool GeoShip::Decode(ByteReader* r) {
   return r->GetU16(&origin_dc) && r->GetU64(&channel_seq) && r->GetString(&key) &&
-         r->GetString(&value) && version.Decode(r) && DecodeDeps(r, &deps);
+         r->GetString(&value) && version.Decode(r) && DecodeDeps(r, &deps) && trace.Decode(r);
 }
 
 void GeoApplied::Encode(ByteWriter* w) const {
@@ -388,9 +395,11 @@ void GeoRemotePut::Encode(ByteWriter* w) const {
   w->PutString(value);
   version.Encode(w);
   EncodeDeps(deps, w);
+  trace.Encode(w);
 }
 bool GeoRemotePut::Decode(ByteReader* r) {
-  return r->GetString(&key) && r->GetString(&value) && version.Decode(r) && DecodeDeps(r, &deps);
+  return r->GetString(&key) && r->GetString(&value) && version.Decode(r) &&
+         DecodeDeps(r, &deps) && trace.Decode(r);
 }
 
 // --------------------------- membership -------------------------------------

@@ -21,6 +21,7 @@
 #include "src/common/bytes.h"
 #include "src/common/types.h"
 #include "src/common/version.h"
+#include "src/obs/trace.h"
 
 namespace chainreaction {
 
@@ -119,6 +120,9 @@ struct CrxPut {
   Key key;
   Value value;
   std::vector<Dependency> deps;
+  // Observability header: nonzero id marks a sampled request; hops
+  // accumulate along the write path (src/obs/trace.h).
+  TraceContext trace;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
@@ -131,6 +135,7 @@ struct CrxPutAck {
   Key key;
   Version version;
   ChainIndex acked_at = 0;  // chain position that acknowledged (== k)
+  TraceContext trace;       // hops up to (and including) the acking node
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
@@ -181,6 +186,7 @@ struct CrxChainPut {
   ChainIndex ack_at = 0;  // k; 0 = never ack (remote update)
   uint64_t epoch = 0;     // membership epoch the sender believed in
   std::vector<Dependency> deps;  // shipped to the geo replicator at the tail
+  TraceContext trace;     // per-hop annotations of the traced write
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
@@ -484,6 +490,7 @@ struct GeoLocalStable {
   bool has_payload = false;
   Value value;
   std::vector<Dependency> deps;
+  TraceContext trace;  // carried so geo shipping extends the put's trace
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
@@ -509,6 +516,7 @@ struct GeoShip {
   Value value;
   Version version;
   std::vector<Dependency> deps;
+  TraceContext trace;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
@@ -533,6 +541,7 @@ struct GeoRemotePut {
   Value value;
   Version version;
   std::vector<Dependency> deps;  // preserved for multi-get snapshots
+  TraceContext trace;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);

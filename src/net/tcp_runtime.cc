@@ -100,6 +100,30 @@ Env* TcpRuntime::Register(Address addr, Actor* actor) {
   return envs_.back().get();
 }
 
+void TcpRuntime::AttachMetrics(MetricsRegistry* metrics) {
+  CHAINRX_CHECK(!running_.load());
+  if (metrics == nullptr) {
+    return;
+  }
+  const MetricLabels labels = {{"transport", "tcp"}, {"port", std::to_string(port_)}};
+  m_frames_sent_ = metrics->GetCounter("crx_net_frames_sent", labels);
+  m_frames_received_ = metrics->GetCounter("crx_net_frames_received", labels);
+  m_bytes_sent_ = metrics->GetCounter("crx_net_bytes_sent", labels);
+  m_bytes_received_ = metrics->GetCounter("crx_net_bytes_received", labels);
+  m_outbox_bytes_ = metrics->GetGauge("crx_net_outbox_bytes", labels);
+}
+
+void TcpRuntime::UpdateQueueGauge() {
+  if (m_outbox_bytes_ == nullptr) {
+    return;
+  }
+  uint64_t pending = 0;
+  for (const auto& conn : conns_) {
+    pending += conn->outbox.size();
+  }
+  m_outbox_bytes_->Set(static_cast<int64_t>(pending));
+}
+
 void TcpRuntime::Start() {
   CHAINRX_CHECK(!running_.load());
   running_.store(true);
@@ -180,6 +204,7 @@ void TcpRuntime::Loop() {
         ReadFrom(i);
       }
     }
+    UpdateQueueGauge();
   }
 }
 
@@ -257,6 +282,10 @@ void TcpRuntime::ParseFrames(Connection* conn) {
     std::string payload = conn->inbox.substr(offset + kFrameHeader, length);
     offset += kFrameHeader + length;
     frames_received_.fetch_add(1);
+    if (m_frames_received_ != nullptr) {
+      m_frames_received_->Inc();
+      m_bytes_received_->Inc(kFrameHeader + length);
+    }
     Deliver(src, dst, std::move(payload));
   }
   if (offset > 0) {
@@ -301,7 +330,12 @@ void TcpRuntime::SendFrame(Address src, Address dst, const std::string& payload)
   conn->outbox.append(header, kFrameHeader);
   conn->outbox.append(payload);
   frames_sent_.fetch_add(1);
+  if (m_frames_sent_ != nullptr) {
+    m_frames_sent_->Inc();
+    m_bytes_sent_->Inc(kFrameHeader + payload.size());
+  }
   FlushOutbox(conn);
+  UpdateQueueGauge();
 }
 
 void TcpRuntime::FlushOutbox(Connection* conn) {

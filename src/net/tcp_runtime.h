@@ -33,6 +33,7 @@
 
 #include "src/common/types.h"
 #include "src/net/address_book.h"
+#include "src/obs/metrics.h"
 #include "src/sim/env.h"
 
 namespace chainreaction {
@@ -48,6 +49,11 @@ class TcpRuntime {
   // Must be called before Start(). The returned Env is owned by the
   // runtime and valid until destruction.
   Env* Register(Address addr, Actor* actor);
+
+  // Optional observability: frame/byte counters and the outbound queue
+  // depth (bytes buffered across connections), labeled by this runtime's
+  // port. Must be called before Start().
+  void AttachMetrics(MetricsRegistry* metrics);
 
   void Start();
   void Stop();
@@ -87,6 +93,7 @@ class TcpRuntime {
   void RunTimers();
   void DrainPosted();
   void CloseAll();
+  void UpdateQueueGauge();
 
   AddressBook* book_;
   int listen_fd_ = -1;
@@ -111,6 +118,13 @@ class TcpRuntime {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> frames_received_{0};
+
+  // Observability (null until AttachMetrics).
+  Counter* m_frames_sent_ = nullptr;
+  Counter* m_frames_received_ = nullptr;
+  Counter* m_bytes_sent_ = nullptr;
+  Counter* m_bytes_received_ = nullptr;
+  Gauge* m_outbox_bytes_ = nullptr;
 };
 
 }  // namespace chainreaction

@@ -1,0 +1,203 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+std::string RenderLabels(const MetricLabels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) {
+      out += ',';
+    }
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, const MetricLabels& labels) {
+  const InstrumentKey key{name, RenderLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  CHAINRX_CHECK(!gauges_.contains(key) && !latencies_.contains(key));
+  auto& slot = counters_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, const MetricLabels& labels) {
+  const InstrumentKey key{name, RenderLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  CHAINRX_CHECK(!counters_.contains(key) && !latencies_.contains(key));
+  auto& slot = gauges_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+LatencyMetric* MetricsRegistry::GetLatency(const std::string& name, const MetricLabels& labels) {
+  const InstrumentKey key{name, RenderLabels(labels)};
+  std::lock_guard<std::mutex> lock(mu_);
+  CHAINRX_CHECK(!counters_.contains(key) && !gauges_.contains(key));
+  auto& slot = latencies_[key];
+  if (slot == nullptr) {
+    slot = std::make_unique<LatencyMetric>();
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  snap.points.reserve(counters_.size() + gauges_.size() + latencies_.size());
+  for (const auto& [key, c] : counters_) {
+    MetricPoint p;
+    p.name = key.first;
+    p.labels = key.second;
+    p.kind = MetricKind::kCounter;
+    p.value = static_cast<int64_t>(c->Value());
+    snap.points.push_back(std::move(p));
+  }
+  for (const auto& [key, g] : gauges_) {
+    MetricPoint p;
+    p.name = key.first;
+    p.labels = key.second;
+    p.kind = MetricKind::kGauge;
+    p.value = g->Value();
+    snap.points.push_back(std::move(p));
+  }
+  for (const auto& [key, h] : latencies_) {
+    MetricPoint p;
+    p.name = key.first;
+    p.labels = key.second;
+    p.kind = MetricKind::kHistogram;
+    p.hist = h->Snapshot();
+    snap.points.push_back(std::move(p));
+  }
+  std::sort(snap.points.begin(), snap.points.end(),
+            [](const MetricPoint& a, const MetricPoint& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  return snap;
+}
+
+const MetricPoint* MetricsSnapshot::Find(const std::string& name,
+                                         const std::string& labels) const {
+  for (const MetricPoint& p : points) {
+    if (p.name == name && p.labels == labels) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+int64_t MetricsSnapshot::Value(const std::string& name, const std::string& labels) const {
+  const MetricPoint* p = Find(name, labels);
+  return p == nullptr ? 0 : p->value;
+}
+
+int64_t MetricsSnapshot::SumCounters(const std::string& name, const std::string& needle) const {
+  int64_t sum = 0;
+  for (const MetricPoint& p : points) {
+    if (p.name != name || p.kind == MetricKind::kHistogram) {
+      continue;
+    }
+    if (needle.empty() || p.labels.find(needle) != std::string::npos) {
+      sum += p.value;
+    }
+  }
+  return sum;
+}
+
+std::string MetricsSnapshot::RenderText() const {
+  std::string out;
+  for (const MetricPoint& p : points) {
+    out += p.name;
+    if (!p.labels.empty()) {
+      out += '{';
+      out += p.labels;
+      out += '}';
+    }
+    out += ' ';
+    if (p.kind == MetricKind::kHistogram) {
+      out += p.hist.Summary();
+    } else {
+      out += std::to_string(p.value);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+namespace {
+// Minimal JSON string escaping; metric names/labels are ASCII identifiers,
+// but keys may carry arbitrary bytes via labels.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+}  // namespace
+
+std::string MetricsSnapshot::RenderJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const MetricPoint& p : points) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, p.name);
+    out += ",\"labels\":";
+    AppendJsonString(&out, p.labels);
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        out += ",\"kind\":\"counter\",\"value\":" + std::to_string(p.value);
+        break;
+      case MetricKind::kGauge:
+        out += ",\"kind\":\"gauge\",\"value\":" + std::to_string(p.value);
+        break;
+      case MetricKind::kHistogram:
+        out += ",\"kind\":\"histogram\",\"count\":" + std::to_string(p.hist.count()) +
+               ",\"mean\":" + std::to_string(p.hist.Mean()) +
+               ",\"p50\":" + std::to_string(p.hist.P50()) +
+               ",\"p95\":" + std::to_string(p.hist.P95()) +
+               ",\"p99\":" + std::to_string(p.hist.P99()) +
+               ",\"min\":" + std::to_string(p.hist.min()) +
+               ",\"max\":" + std::to_string(p.hist.max());
+        break;
+    }
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace chainreaction

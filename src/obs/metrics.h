@@ -1,0 +1,127 @@
+// Metrics registry: the server-side observability layer.
+//
+// Every subsystem (chain nodes, clients, geo replicators, both transports)
+// registers named instruments here, labeled by node id / chain role / DC:
+//   * Counter   — monotonically increasing event count (atomic),
+//   * Gauge     — instantaneous level, e.g. queue depth (atomic),
+//   * LatencyMetric — mergeable log-bucketed histogram (common/histogram)
+//     with count/mean/percentiles.
+//
+// Instruments are created once (GetCounter et al. return stable pointers for
+// the registry's lifetime) and updated lock-free on the hot path; Snapshot()
+// produces a consistent point-in-time copy with text and JSON renderings.
+// The registry is thread-safe: the simulator uses it single-threaded, the
+// TCP runtime updates it from its loop threads while a shell or bench
+// thread snapshots concurrently.
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace chainreaction {
+
+// Ordered label set, rendered canonically as "k1=v1,k2=v2".
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+std::string RenderLabels(const MetricLabels& labels);
+
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Histogram instrument. Record() takes a short lock; snapshots copy.
+class LatencyMetric {
+ public:
+  void Record(int64_t value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    hist_.Record(value);
+  }
+  Histogram Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hist_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Histogram hist_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+struct MetricPoint {
+  std::string name;
+  std::string labels;  // canonical "k=v,..." rendering ("" if unlabeled)
+  MetricKind kind = MetricKind::kCounter;
+  int64_t value = 0;   // counter / gauge value
+  Histogram hist;      // histogram points only
+};
+
+// Point-in-time copy of every instrument, sorted by (name, labels).
+struct MetricsSnapshot {
+  std::vector<MetricPoint> points;
+
+  const MetricPoint* Find(const std::string& name, const std::string& labels = "") const;
+  // Counter/gauge value; 0 when absent.
+  int64_t Value(const std::string& name, const std::string& labels = "") const;
+  // Sum of a counter over all label sets whose rendering contains `needle`
+  // ("" sums every label set of `name`).
+  int64_t SumCounters(const std::string& name, const std::string& needle = "") const;
+
+  // One "name{labels} value" line per instrument; histograms render their
+  // Summary() string.
+  std::string RenderText() const;
+  std::string RenderJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Instruments are created on first use; repeated calls with the same
+  // (name, labels) return the same pointer, valid for the registry's
+  // lifetime. A name must keep one kind (checked).
+  Counter* GetCounter(const std::string& name, const MetricLabels& labels = {});
+  Gauge* GetGauge(const std::string& name, const MetricLabels& labels = {});
+  LatencyMetric* GetLatency(const std::string& name, const MetricLabels& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+  std::string RenderText() const { return Snapshot().RenderText(); }
+  std::string RenderJson() const { return Snapshot().RenderJson(); }
+
+ private:
+  using InstrumentKey = std::pair<std::string, std::string>;  // (name, labels)
+
+  mutable std::mutex mu_;
+  std::map<InstrumentKey, std::unique_ptr<Counter>> counters_;
+  std::map<InstrumentKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<InstrumentKey, std::unique_ptr<LatencyMetric>> latencies_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_METRICS_H_

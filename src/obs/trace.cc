@@ -1,0 +1,169 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chainreaction {
+
+const char* HopKindName(HopKind kind) {
+  switch (kind) {
+    case HopKind::kInvalid:
+      return "invalid";
+    case HopKind::kClientPut:
+      return "client_put";
+    case HopKind::kHeadGated:
+      return "head_gated";
+    case HopKind::kHeadApply:
+      return "head_apply";
+    case HopKind::kChainApply:
+      return "chain_apply";
+    case HopKind::kKAck:
+      return "k_ack";
+    case HopKind::kClientAck:
+      return "client_ack";
+    case HopKind::kTailStable:
+      return "tail_stable";
+    case HopKind::kGeoShip:
+      return "geo_ship";
+    case HopKind::kGeoInject:
+      return "geo_inject";
+    case HopKind::kRemoteVisible:
+      return "remote_visible";
+  }
+  return "?";
+}
+
+void TraceContext::Encode(ByteWriter* w) const {
+  w->PutVarU64(id);
+  if (id == 0) {
+    return;  // untraced: one byte on the wire
+  }
+  w->PutVarU64(hops.size());
+  for (const TraceHop& h : hops) {
+    w->PutU8(static_cast<uint8_t>(h.kind));
+    w->PutU32(h.node);
+    w->PutU16(h.dc);
+    w->PutU32(h.detail);
+    w->PutI64(h.at);
+  }
+}
+
+bool TraceContext::Decode(ByteReader* r) {
+  hops.clear();
+  if (!r->GetVarU64(&id)) {
+    return false;
+  }
+  if (id == 0) {
+    return true;
+  }
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > 4096) {
+    return false;
+  }
+  hops.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t kind = 0;
+    TraceHop& h = hops[i];
+    if (!r->GetU8(&kind) || !r->GetU32(&h.node) || !r->GetU16(&h.dc) ||
+        !r->GetU32(&h.detail) || !r->GetI64(&h.at)) {
+      return false;
+    }
+    h.kind = static_cast<HopKind>(kind);
+  }
+  return true;
+}
+
+void TraceCollector::Report(const TraceContext& trace) {
+  if (!trace.active()) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = traces_.try_emplace(trace.id);
+  if (inserted) {
+    order_.push_back(trace.id);
+    if (order_.size() > kMaxTraces) {
+      traces_.erase(order_.front());
+      order_.erase(order_.begin());
+    }
+  }
+  std::vector<TraceHop>& merged = it->second;
+  for (const TraceHop& hop : trace.hops) {
+    if (merged.size() >= kMaxHopsPerTrace) {
+      break;
+    }
+    if (std::find(merged.begin(), merged.end(), hop) == merged.end()) {
+      merged.push_back(hop);
+    }
+  }
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+std::vector<uint64_t> TraceCollector::TraceIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return order_;
+}
+
+namespace {
+void SortHops(std::vector<TraceHop>* hops) {
+  std::sort(hops->begin(), hops->end(), [](const TraceHop& a, const TraceHop& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
+    }
+    if (a.kind != b.kind) {
+      return static_cast<uint8_t>(a.kind) < static_cast<uint8_t>(b.kind);
+    }
+    return a.detail < b.detail;
+  });
+}
+}  // namespace
+
+bool TraceCollector::Find(uint64_t id, Trace* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = traces_.find(id);
+  if (it == traces_.end()) {
+    return false;
+  }
+  out->id = id;
+  out->hops = it->second;
+  SortHops(&out->hops);
+  return true;
+}
+
+bool TraceCollector::Latest(Trace* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (order_.empty()) {
+    return false;
+  }
+  const uint64_t id = order_.back();
+  out->id = id;
+  out->hops = traces_.at(id);
+  SortHops(&out->hops);
+  return true;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  order_.clear();
+}
+
+std::string TraceCollector::Render(const Trace& trace) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "trace %016llx (%zu hops)\n",
+                static_cast<unsigned long long>(trace.id), trace.hops.size());
+  std::string out = buf;
+  const Time t0 = trace.hops.empty() ? 0 : trace.hops.front().at;
+  for (const TraceHop& h : trace.hops) {
+    std::snprintf(buf, sizeof(buf), "  +%-8lld %-14s node=%u dc=%u detail=%u\n",
+                  static_cast<long long>(h.at - t0), HopKindName(h.kind), h.node, h.dc,
+                  h.detail);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace chainreaction

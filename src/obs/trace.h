@@ -1,0 +1,124 @@
+// Per-request distributed tracing.
+//
+// A traced put carries a TraceContext in its message header: a nonzero
+// trace id plus the hop annotations accumulated so far. Every instrumented
+// component appends a timestamped hop (from Env::Now(), so traces are
+// deterministic under the simulator) and reports the context to a
+// TraceCollector, which union-merges partial reports into one record per
+// trace id. A single put is thereby reconstructible end-to-end:
+//
+//   client put -> head apply -> down-chain applies -> k-stability ack ->
+//   client ack, tail DC-Write-Stable -> geo ship -> remote inject ->
+//   remote chain applies -> remote tail stable -> remote visibility.
+//
+// Untraced messages (trace id 0) pay one byte on the wire and no hops.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/bytes.h"
+#include "src/common/types.h"
+
+namespace chainreaction {
+
+enum class HopKind : uint8_t {
+  kInvalid = 0,
+  kClientPut = 1,      // client sent the put           (node=client addr)
+  kHeadGated = 2,      // head parked the write          (detail=unmet deps)
+  kHeadApply = 3,      // head applied + started chain   (detail=1)
+  kChainApply = 4,     // non-head replica applied       (detail=position)
+  kKAck = 5,           // position-k replica acked       (detail=k)
+  kClientAck = 6,      // client received the ack        (detail=acked_at)
+  kTailStable = 7,     // tail marked DC-Write-Stable    (detail=R)
+  kGeoShip = 8,        // origin replicator shipped      (detail=#peers)
+  kGeoInject = 9,      // remote replicator injected     (detail=origin dc)
+  kRemoteVisible = 10, // applied + stable in remote DC  (detail=origin dc)
+};
+
+const char* HopKindName(HopKind kind);
+
+struct TraceHop {
+  HopKind kind = HopKind::kInvalid;
+  uint32_t node = 0;   // NodeId / client address / replicator DC
+  uint16_t dc = 0;     // datacenter of the annotating component
+  uint32_t detail = 0; // kind-specific (chain position, dep count, ...)
+  Time at = 0;         // Env::Now() at annotation
+
+  bool operator==(const TraceHop& other) const {
+    return kind == other.kind && node == other.node && dc == other.dc &&
+           detail == other.detail && at == other.at;
+  }
+};
+
+struct TraceContext {
+  uint64_t id = 0;  // 0 = not traced
+  std::vector<TraceHop> hops;
+
+  bool active() const { return id != 0; }
+
+  void Annotate(HopKind kind, uint32_t node, uint16_t dc, uint32_t detail, Time at) {
+    hops.push_back(TraceHop{kind, node, dc, detail, at});
+  }
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Deterministic trace id for a client operation; nonzero for any real
+// (address, req) pair since client addresses start at kClientAddressBase.
+inline uint64_t MakeTraceId(Address client, RequestId req) {
+  return (static_cast<uint64_t>(client) << 32) | (req & 0xffffffffULL);
+}
+
+// Merges partial trace reports into one hop set per trace id. Thread-safe;
+// reports are union-merged (exact-duplicate hops collapse, so re-reports
+// along the message path are idempotent) and returned sorted by timestamp.
+class TraceCollector {
+ public:
+  struct Trace {
+    uint64_t id = 0;
+    std::vector<TraceHop> hops;  // sorted by (at, kind, detail)
+  };
+
+  void Report(const TraceContext& trace);
+
+  size_t size() const;
+  std::vector<uint64_t> TraceIds() const;  // insertion-ordered
+  bool Find(uint64_t id, Trace* out) const;
+  bool Latest(Trace* out) const;  // most recently first-reported trace
+  void Clear();
+
+  // "hop  +12us  chain_apply node=3 dc=0 pos=2" style multi-line rendering.
+  static std::string Render(const Trace& trace);
+
+ private:
+  static constexpr size_t kMaxTraces = 4096;   // oldest evicted beyond this
+  static constexpr size_t kMaxHopsPerTrace = 512;
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::vector<TraceHop>> traces_;
+  std::vector<uint64_t> order_;  // insertion order, for eviction + Latest()
+};
+
+// Appends a hop and reports the running context to `sink` (if any), so the
+// collector holds a usable partial trace even if a downstream message is
+// lost. No-op for untraced contexts.
+inline void TraceHopAndReport(TraceContext* trace, TraceCollector* sink, HopKind kind,
+                              uint32_t node, uint16_t dc, uint32_t detail, Time at) {
+  if (trace == nullptr || !trace->active()) {
+    return;
+  }
+  trace->Annotate(kind, node, dc, detail, at);
+  if (sink != nullptr) {
+    sink->Report(*trace);
+  }
+}
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_TRACE_H_

@@ -60,6 +60,16 @@ SimNetwork::SimNetwork(Simulator* sim, NetworkConfig config, uint64_t seed)
 
 SimNetwork::~SimNetwork() = default;
 
+void SimNetwork::AttachMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  const MetricLabels labels = {{"transport", "sim"}};
+  m_delivered_ = metrics->GetCounter("crx_net_messages_delivered", labels);
+  m_dropped_ = metrics->GetCounter("crx_net_messages_dropped", labels);
+  m_bytes_ = metrics->GetCounter("crx_net_bytes_sent", labels);
+}
+
 Env* SimNetwork::Register(Address addr, Actor* actor, SiteId site, ServiceModel service) {
   CHAINRX_CHECK(!endpoints_.contains(addr));
   auto ep = std::make_unique<Endpoint>();
@@ -96,25 +106,28 @@ void SimNetwork::Send(Address src, Address dst, std::string payload) {
   auto src_it = endpoints_.find(src);
   auto dst_it = endpoints_.find(dst);
   if (src_it == endpoints_.end() || dst_it == endpoints_.end()) {
-    messages_dropped_++;
+    CountDrop();
     return;
   }
   if (crashed_.contains(src) || crashed_.contains(dst)) {
-    messages_dropped_++;
+    CountDrop();
     return;
   }
   const SiteId s_from = src_it->second->site;
   const SiteId s_to = dst_it->second->site;
   if (s_from != s_to && partitioned_site_pairs_.contains(SitePairKey(s_from, s_to))) {
-    messages_dropped_++;
+    CountDrop();
     return;
   }
   if (config_.drop_probability > 0 && rng_.NextBool(config_.drop_probability)) {
-    messages_dropped_++;
+    CountDrop();
     return;
   }
 
   bytes_sent_ += payload.size();
+  if (m_bytes_ != nullptr) {
+    m_bytes_->Inc(payload.size());
+  }
 
   // Egress cost: the message departs once the sender finished serializing
   // it (serially with its other work).
@@ -144,7 +157,7 @@ void SimNetwork::Send(Address src, Address dst, std::string payload) {
 void SimNetwork::Deliver(Address src, Address dst, std::string payload) {
   auto it = endpoints_.find(dst);
   if (it == endpoints_.end() || crashed_.contains(dst)) {
-    messages_dropped_++;
+    CountDrop();
     return;
   }
   Endpoint* ep = it->second.get();
@@ -165,10 +178,13 @@ void SimNetwork::Deliver(Address src, Address dst, std::string payload) {
   sim_->ScheduleAt(done, [this, src, dst, payload = std::move(payload)]() {
     auto it2 = endpoints_.find(dst);
     if (it2 == endpoints_.end() || crashed_.contains(dst)) {
-      messages_dropped_++;
+      CountDrop();
       return;
     }
     messages_delivered_++;
+    if (m_delivered_ != nullptr) {
+      m_delivered_->Inc();
+    }
     it2->second->processed++;
     it2->second->actor->OnMessage(src, payload);
   });

@@ -29,6 +29,7 @@
 
 #include "src/common/rng.h"
 #include "src/common/types.h"
+#include "src/obs/metrics.h"
 #include "src/sim/env.h"
 #include "src/sim/simulator.h"
 
@@ -81,6 +82,10 @@ class SimNetwork {
   void PartitionSites(SiteId a, SiteId b);   // drop all a<->b traffic
   void HealSites(SiteId a, SiteId b);
 
+  // Optional observability: mirrors delivered/dropped/bytes into transport
+  // counters so network totals appear alongside protocol metrics.
+  void AttachMetrics(MetricsRegistry* metrics);
+
   // Introspection ----------------------------------------------------------
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
@@ -95,6 +100,12 @@ class SimNetwork {
 
   Duration SampleLatency(SiteId from, SiteId to);
   void Deliver(Address src, Address dst, std::string payload);
+  void CountDrop() {
+    messages_dropped_++;
+    if (m_dropped_ != nullptr) {
+      m_dropped_->Inc();
+    }
+  }
 
   Simulator* sim_;
   NetworkConfig config_;
@@ -107,6 +118,11 @@ class SimNetwork {
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+
+  // Observability (null until AttachMetrics).
+  Counter* m_delivered_ = nullptr;
+  Counter* m_dropped_ = nullptr;
+  Counter* m_bytes_ = nullptr;
 };
 
 }  // namespace chainreaction

@@ -1,0 +1,208 @@
+// End-to-end tracing on the simulated cluster: a traced put must reconstruct
+// the full pipeline — client -> head -> down-chain -> k-ack -> client ack,
+// tail DC-Write-Stable -> geo ship -> remote inject -> remote visibility —
+// with hops matching the ring's chain for the key and timestamps that never
+// go backwards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
+
+namespace chainreaction {
+namespace {
+
+ClusterOptions TracingOpts(uint16_t dcs) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 6;
+  opts.clients_per_dc = 2;
+  opts.num_dcs = dcs;
+  opts.trace_sample_every = 1;
+  opts.seed = 11;
+  return opts;
+}
+
+const TraceHop* FindHop(const TraceCollector::Trace& trace, HopKind kind) {
+  for (const TraceHop& hop : trace.hops) {
+    if (hop.kind == kind) {
+      return &hop;
+    }
+  }
+  return nullptr;
+}
+
+void ExpectMonotoneTimestamps(const TraceCollector::Trace& trace) {
+  for (size_t i = 1; i < trace.hops.size(); ++i) {
+    EXPECT_LE(trace.hops[i - 1].at, trace.hops[i].at)
+        << "hop " << i << " (" << HopKindName(trace.hops[i].kind)
+        << ") is earlier than its predecessor";
+  }
+}
+
+TEST(Tracing, PutHopSequenceMatchesChainTopology) {
+  Cluster cluster(TracingOpts(1));
+  const Key key = "traced-key";
+  const std::vector<NodeId>& chain = cluster.membership(0)->ring().ChainFor(key);
+  const uint32_t replication = cluster.options().replication;
+  const uint32_t k = cluster.options().k_stability;
+  ASSERT_EQ(chain.size(), replication);
+
+  bool acked = false;
+  cluster.crx_client(0)->Put(key, "v", [&](const auto&) { acked = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(acked);
+
+  TraceCollector::Trace trace;
+  ASSERT_TRUE(cluster.traces()->Latest(&trace));
+  ExpectMonotoneTimestamps(trace);
+
+  ASSERT_FALSE(trace.hops.empty());
+  EXPECT_EQ(trace.hops.front().kind, HopKind::kClientPut);
+
+  // The head applied first, at position 1, on the ring's head for this key.
+  const TraceHop* head = FindHop(trace, HopKind::kHeadApply);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->node, chain[0]);
+  EXPECT_EQ(head->detail, 1u);
+
+  // Every non-head replica applied, each at its chain position on the node
+  // the ring assigns to that position.
+  std::set<uint32_t> positions_applied;
+  for (const TraceHop& hop : trace.hops) {
+    if (hop.kind == HopKind::kChainApply) {
+      ASSERT_GE(hop.detail, 2u);
+      ASSERT_LE(hop.detail, replication);
+      EXPECT_EQ(hop.node, chain[hop.detail - 1])
+          << "position " << hop.detail << " applied on the wrong node";
+      positions_applied.insert(hop.detail);
+    }
+  }
+  EXPECT_EQ(positions_applied.size(), replication - 1);
+
+  // The k-stability ack came from position k, and the client saw it after.
+  const TraceHop* kack = FindHop(trace, HopKind::kKAck);
+  ASSERT_NE(kack, nullptr);
+  EXPECT_EQ(kack->detail, k);
+  EXPECT_EQ(kack->node, chain[k - 1]);
+  const TraceHop* client_ack = FindHop(trace, HopKind::kClientAck);
+  ASSERT_NE(client_ack, nullptr);
+  EXPECT_GE(client_ack->at, kack->at);
+
+  // The tail declared DC-Write-Stable strictly after the head applied.
+  const TraceHop* stable = FindHop(trace, HopKind::kTailStable);
+  ASSERT_NE(stable, nullptr);
+  EXPECT_EQ(stable->node, chain[replication - 1]);
+  EXPECT_GE(stable->at, head->at);
+}
+
+TEST(Tracing, GeoReplicatedPutTracedToRemoteVisibility) {
+  ClusterOptions opts = TracingOpts(2);
+  opts.net.default_inter_site = LinkModel{80 * kMillisecond, 0};
+  Cluster cluster(opts);
+  const Key key = "geo-traced";
+
+  bool acked = false;
+  cluster.crx_client(0)->Put(key, "v", [&](const auto&) { acked = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(acked);
+
+  TraceCollector::Trace trace;
+  ASSERT_TRUE(cluster.traces()->Latest(&trace));
+  ExpectMonotoneTimestamps(trace);
+
+  const TraceHop* stable = FindHop(trace, HopKind::kTailStable);
+  const TraceHop* ship = FindHop(trace, HopKind::kGeoShip);
+  const TraceHop* inject = FindHop(trace, HopKind::kGeoInject);
+  const TraceHop* visible = FindHop(trace, HopKind::kRemoteVisible);
+  ASSERT_NE(stable, nullptr);
+  ASSERT_NE(ship, nullptr) << TraceCollector::Render(trace);
+  ASSERT_NE(inject, nullptr);
+  ASSERT_NE(visible, nullptr);
+
+  // Origin replicator shipped to one peer after the tail stabilized; the
+  // remote replicator injected and eventually reported visibility, one WAN
+  // crossing later, all in DC 1.
+  EXPECT_EQ(ship->dc, 0);
+  EXPECT_EQ(ship->detail, 1u);  // one peer DC
+  EXPECT_GE(ship->at, stable->at);
+  EXPECT_EQ(inject->dc, 1);
+  EXPECT_EQ(inject->detail, 0u);  // origin DC
+  EXPECT_GE(inject->at, ship->at + 70 * kMillisecond);
+  EXPECT_EQ(visible->dc, 1);
+  EXPECT_GE(visible->at, inject->at);
+
+  // The remote chain re-applied the update: chain-apply hops exist in DC 1
+  // on the remote ring's chain for the key.
+  const std::vector<NodeId>& remote_chain = cluster.membership(1)->ring().ChainFor(key);
+  bool remote_applied = false;
+  for (const TraceHop& hop : trace.hops) {
+    if ((hop.kind == HopKind::kHeadApply || hop.kind == HopKind::kChainApply) && hop.dc == 1) {
+      remote_applied = true;
+      EXPECT_EQ(hop.node, remote_chain[hop.detail - 1]);
+    }
+  }
+  EXPECT_TRUE(remote_applied) << TraceCollector::Render(trace);
+}
+
+TEST(Tracing, SamplingTracesEveryNthPut) {
+  ClusterOptions opts = TracingOpts(1);
+  opts.trace_sample_every = 2;
+  Cluster cluster(opts);
+
+  for (int i = 0; i < 4; ++i) {
+    bool acked = false;
+    cluster.crx_client(0)->Put("s-" + std::to_string(i), "v", [&](const auto&) { acked = true; });
+    cluster.sim()->Run();
+    ASSERT_TRUE(acked);
+  }
+  // Puts 0 and 2 traced, 1 and 3 not.
+  EXPECT_EQ(cluster.traces()->size(), 2u);
+}
+
+TEST(Tracing, DisabledByDefault) {
+  ClusterOptions opts = TracingOpts(1);
+  opts.trace_sample_every = 0;
+  Cluster cluster(opts);
+
+  bool acked = false;
+  cluster.crx_client(0)->Put("untraced", "v", [&](const auto&) { acked = true; });
+  cluster.sim()->Run();
+  ASSERT_TRUE(acked);
+  EXPECT_EQ(cluster.traces()->size(), 0u);
+}
+
+TEST(Tracing, WorkloadTracesStayConsistentWithMetrics) {
+  ClusterOptions opts = TracingOpts(1);
+  opts.clients_per_dc = 4;
+  opts.trace_sample_every = 10;
+  Cluster cluster(opts);
+
+  RunOptions run;
+  run.spec = WorkloadSpec::A(200, 64);
+  run.warmup = 100 * kMillisecond;
+  run.measure = 1 * kSecond;
+  (void)RunWorkload(&cluster, run);
+
+  ASSERT_GT(cluster.traces()->size(), 0u);
+  // Every collected trace individually keeps time order, and the metrics
+  // registry saw at least as many applied puts as traces (each traced put
+  // applies at every chain position).
+  for (uint64_t id : cluster.traces()->TraceIds()) {
+    TraceCollector::Trace trace;
+    ASSERT_TRUE(cluster.traces()->Find(id, &trace));
+    ExpectMonotoneTimestamps(trace);
+    EXPECT_FALSE(trace.hops.empty());
+    EXPECT_EQ(trace.hops.front().kind, HopKind::kClientPut);
+  }
+  const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+  EXPECT_GE(snap.SumCounters("crx_node_puts_applied"),
+            static_cast<int64_t>(cluster.traces()->size()));
+}
+
+}  // namespace
+}  // namespace chainreaction

@@ -37,6 +37,9 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --kill-at-ms T   crash one server T ms into the measurement      [off]
   --seed N         RNG seed                                        [7]
   --check          attach the causal+ checker (chainreaction)
+  --stats-every-ms N  print a metrics line every N simulated ms    [off]
+  --trace-every N  trace every Nth put; print the last trace       [off]
+  --metrics        dump the full metrics registry after the run
   --help
 )";
 
@@ -84,7 +87,8 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv,
                    {"system", "workload", "servers", "clients", "records", "value-size",
                     "replication", "k", "dcs", "wan-ms", "measure-ms", "warmup-ms",
-                    "think-us", "drop", "kill-at-ms", "seed", "check", "help"})) {
+                    "think-us", "drop", "kill-at-ms", "seed", "check", "stats-every-ms",
+                    "trace-every", "metrics", "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
   if (opts.net.drop_probability > 0) {
     opts.client_timeout = 50 * kMillisecond;
   }
+  opts.trace_sample_every = static_cast<uint32_t>(flags.GetInt("trace-every", 0));
 
   const uint64_t records = static_cast<uint64_t>(flags.GetInt("records", 1000));
   const size_t value_size = static_cast<size_t>(flags.GetInt("value-size", 1024));
@@ -123,6 +128,13 @@ int main(int argc, char** argv) {
   run.attach_checker =
       flags.GetBool("check", false) && opts.system == SystemKind::kChainReaction;
 
+  // Preload up front (RunWorkload would otherwise do it) so the timers below
+  // are offsets into the warmup+measure window, not into the preload.
+  if (records > 0) {
+    cluster.Preload(records, value_size);
+    run.preload = false;
+  }
+
   if (flags.Has("kill-at-ms")) {
     if (opts.system != SystemKind::kChainReaction) {
       std::fprintf(stderr, "--kill-at-ms requires --system chainreaction\n");
@@ -132,6 +144,29 @@ int main(int argc, char** argv) {
     cluster.sim()->Schedule(run.warmup + at, [&cluster]() {
       cluster.KillServer(0, cluster.options().servers_per_dc / 2);
     });
+  }
+
+  // Periodic metric dumps ride on a bounded set of pre-scheduled timers:
+  // a self-rescheduling timer would keep the simulator's event queue
+  // non-empty forever and hang the post-measurement drain.
+  const int64_t stats_every_ms = flags.GetInt("stats-every-ms", 0);
+  if (stats_every_ms > 0) {
+    const Duration interval = stats_every_ms * kMillisecond;
+    const Duration horizon = run.warmup + run.measure;
+    for (Duration t = interval; t <= horizon; t += interval) {
+      cluster.sim()->Schedule(t, [&cluster]() {
+        const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+        std::printf("[t=%6lldms] delivered=%lld dropped=%lld puts=%lld reads=%lld gated=%lld\n",
+                    static_cast<long long>(cluster.sim()->Now() / kMillisecond),
+                    static_cast<long long>(snap.Value("crx_net_messages_delivered",
+                                                      "transport=sim")),
+                    static_cast<long long>(snap.Value("crx_net_messages_dropped",
+                                                      "transport=sim")),
+                    static_cast<long long>(snap.SumCounters("crx_node_puts_applied")),
+                    static_cast<long long>(snap.SumCounters("crx_node_reads_served")),
+                    static_cast<long long>(snap.SumCounters("crx_node_gated_puts")));
+      });
+    }
   }
 
   const RunResult result = RunWorkload(&cluster, run);
@@ -147,6 +182,10 @@ int main(int argc, char** argv) {
   std::printf("reads         %s\n", result.stats.read_latency.Summary().c_str());
   std::printf("writes        %s\n", result.stats.write_latency.Summary().c_str());
   std::printf("not-found     %llu\n", static_cast<unsigned long long>(result.stats.not_found));
+  std::printf("network       delivered=%llu dropped=%llu bytes=%llu\n",
+              static_cast<unsigned long long>(cluster.net()->messages_delivered()),
+              static_cast<unsigned long long>(cluster.net()->messages_dropped()),
+              static_cast<unsigned long long>(cluster.net()->bytes_sent()));
 
   if (opts.system == SystemKind::kChainReaction) {
     const auto by_pos = cluster.ReadsByPosition();
@@ -161,11 +200,23 @@ int main(int argc, char** argv) {
                                          static_cast<double>(total));
     }
     std::printf("\n");
-    std::printf("gated writes  %llu (mean wait %.0fus)\n",
-                static_cast<unsigned long long>(cluster.TotalDepWaits()),
-                cluster.MergedDepWaitHist().Mean());
+    const Histogram dep_wait = cluster.MergedDepWaitHist();
+    std::printf("gated writes  %llu (wait us: mean=%.0f p50=%lld p95=%lld p99=%lld)\n",
+                static_cast<unsigned long long>(cluster.TotalDepWaits()), dep_wait.Mean(),
+                static_cast<long long>(dep_wait.P50()), static_cast<long long>(dep_wait.P95()),
+                static_cast<long long>(dep_wait.P99()));
     std::string diag;
     std::printf("convergence   %s\n", cluster.CheckConvergence(&diag) ? "OK" : diag.c_str());
+    if (opts.trace_sample_every > 0) {
+      TraceCollector::Trace trace;
+      if (cluster.traces()->Latest(&trace)) {
+        std::printf("traces        %zu collected; latest:\n%s",
+                    cluster.traces()->size(), TraceCollector::Render(trace).c_str());
+      }
+    }
+  }
+  if (flags.GetBool("metrics", false)) {
+    std::printf("== metrics ==\n%s", cluster.metrics()->RenderText().c_str());
   }
   if (run.attach_checker) {
     std::printf("causal+       %llu violation(s)%s\n",

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Tier-1 gate: configure, build everything with -Wall -Wextra, run the full
+# test suite. Run from anywhere; builds into <repo>/build.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${repo}/build"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -S "${repo}" -B "${build}" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra"
+cmake --build "${build}" -j "${jobs}"
+ctest --test-dir "${build}" --output-on-failure -j "${jobs}"
