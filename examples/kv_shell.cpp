@@ -7,11 +7,17 @@
 //   meta <key>            client metadata for the key
 //   session               accessed-set summary
 //   stats                 dump the metrics registry (all nodes + transports)
+//   wal                   per-node WAL counters + recovery stats (durability)
 //   trace                 render the last put's end-to-end trace
 //   reset                 forget session state
 //   quit
 //
-//   $ ./build/examples/kv_shell [num_servers] [R] [k]
+//   $ ./build/examples/kv_shell [--servers N] [--replication R] [--k K]
+//                               [--data-dir DIR] [--fsync-mode always|batch|none]
+//
+// With --data-dir every node write-ahead-logs to DIR/n<id>/ and recovers
+// from it on startup, so a killed shell restarted on the same DIR comes
+// back with its data.
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -21,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/flags.h"
 #include "src/core/chainreaction_client.h"
 #include "src/core/chainreaction_node.h"
 #include "src/net/address_book.h"
@@ -29,13 +36,36 @@
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ring/ring.h"
+#include "src/wal/wal.h"
 
 using namespace chainreaction;
 
+namespace {
+const char* kUsage =
+    "usage: kv_shell [--servers N] [--replication R] [--k K]\n"
+    "                [--data-dir DIR] [--fsync-mode always|batch|none]\n";
+}  // namespace
+
 int main(int argc, char** argv) {
-  const uint32_t servers = argc > 1 ? static_cast<uint32_t>(std::stoul(argv[1])) : 6;
-  const uint32_t replication = argc > 2 ? static_cast<uint32_t>(std::stoul(argv[2])) : 3;
-  const uint32_t k = argc > 3 ? static_cast<uint32_t>(std::stoul(argv[3])) : 2;
+  Flags flags;
+  if (!flags.Parse(argc, argv,
+                   {"servers", "replication", "k", "data-dir", "fsync-mode", "help"})) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  if (flags.Has("help")) {
+    std::printf("%s", kUsage);
+    return 0;
+  }
+  const uint32_t servers = static_cast<uint32_t>(flags.GetInt("servers", 6));
+  const uint32_t replication = static_cast<uint32_t>(flags.GetInt("replication", 3));
+  const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 2));
+  const std::string data_dir = flags.GetString("data-dir", "");
+  WalOptions wal_options;
+  if (!ParseFsyncPolicy(flags.GetString("fsync-mode", "batch"), &wal_options.policy)) {
+    std::fprintf(stderr, "bad --fsync-mode (want always|batch|none)\n%s", kUsage);
+    return 2;
+  }
   if (replication > servers || k > replication || k == 0) {
     std::fprintf(stderr, "need servers >= R >= k >= 1\n");
     return 1;
@@ -64,6 +94,32 @@ int main(int argc, char** argv) {
   for (NodeId n = 0; n < servers; ++n) {
     auto rt = std::make_unique<TcpRuntime>(&book);
     auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
+    if (!data_dir.empty()) {
+      const std::string node_dir = data_dir + "/n" + std::to_string(n);
+      // Recover first (torn-tail repair needs the newest segment), then
+      // open the WAL for new writes.
+      Status st = node->RecoverFrom(node_dir);
+      if (!st.ok()) {
+        std::fprintf(stderr, "node %llu: recovery failed: %s\n",
+                     static_cast<unsigned long long>(n), st.ToString().c_str());
+        return 1;
+      }
+      st = node->EnableDurability(node_dir, wal_options);
+      if (!st.ok()) {
+        std::fprintf(stderr, "node %llu: cannot open wal: %s\n",
+                     static_cast<unsigned long long>(n), st.ToString().c_str());
+        return 1;
+      }
+      const WalReplayStats& rs = node->last_recovery_stats();
+      if (rs.records > 0 || rs.segments_replayed > 0) {
+        std::printf("node %llu: recovered %llu record(s) from %llu segment(s) in %lld us%s\n",
+                    static_cast<unsigned long long>(n),
+                    static_cast<unsigned long long>(rs.records),
+                    static_cast<unsigned long long>(rs.segments_replayed),
+                    static_cast<long long>(node->last_recovery_replay_us()),
+                    rs.tail_truncated ? " (torn tail truncated)" : "");
+      }
+    }
     node->AttachEnv(rt->Register(n, node.get()));
     node->AttachObs(&metrics, &traces);
     rt->AttachMetrics(&metrics);
@@ -83,6 +139,10 @@ int main(int argc, char** argv) {
 
   std::printf("chainreaction shell — %u servers over loopback TCP, R=%u, k=%u\n", servers,
               replication, k);
+  if (!data_dir.empty()) {
+    std::printf("durability on — data dir %s, fsync=%s\n", data_dir.c_str(),
+                FsyncPolicyName(wal_options.policy));
+  }
   std::printf("type 'help' for commands\n");
 
   std::string line;
@@ -103,8 +163,27 @@ int main(int argc, char** argv) {
     }
     if (cmd == "help") {
       std::printf(
-          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | stats | trace | "
-          "reset | quit\n");
+          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | stats | wal | "
+          "trace | reset | quit\n");
+      continue;
+    }
+    if (cmd == "wal") {
+      if (data_dir.empty()) {
+        std::printf("(durability off — start with --data-dir)\n");
+        continue;
+      }
+      for (const auto& node : nodes) {
+        const Wal* wal = node->wal();
+        const WalReplayStats& rs = node->last_recovery_stats();
+        std::printf("node %llu: appends=%llu fsyncs=%llu bytes=%llu active_seg=%llu "
+                    "recovered=%llu\n",
+                    static_cast<unsigned long long>(node->id()),
+                    static_cast<unsigned long long>(wal->appends()),
+                    static_cast<unsigned long long>(wal->fsyncs()),
+                    static_cast<unsigned long long>(wal->bytes_written()),
+                    static_cast<unsigned long long>(wal->active_seq()),
+                    static_cast<unsigned long long>(rs.records));
+      }
       continue;
     }
     if (cmd == "stats") {

@@ -97,8 +97,18 @@ void CausalChecker::RecordRead(uint32_t session, const Key& key, bool found,
   }
 
   if (past != state.causal_past.end() && past->second.StrictlyDominates(version.vv)) {
+    std::string dominators;
+    for (const VersionVector& vv : past->second.members()) {
+      if (vv.Dominates(version.vv)) {
+        if (!dominators.empty()) {
+          dominators += ",";
+        }
+        dominators += vv.ToString();
+      }
+    }
     Violation("session " + std::to_string(session) + ": read of '" + key +
-              "' returned causally stale version " + version.ToString());
+              "' returned causally stale version " + version.ToString() +
+              " (causal past holds " + dominators + ")");
   }
 
   state.causal_past[key].Add(version.vv);

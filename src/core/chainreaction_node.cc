@@ -1,6 +1,7 @@
 #include "src/core/chainreaction_node.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -11,6 +12,14 @@ namespace chainreaction {
 
 namespace {
 constexpr size_t kCompletedReqCap = 8192;
+
+// Recovery replay is a real I/O cost, measured on the wall clock (the node
+// may not even have an Env attached yet when it recovers).
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 }  // namespace
 
 ChainReactionNode::ChainReactionNode(NodeId id, CrxConfig config, Ring initial_ring)
@@ -30,6 +39,11 @@ Status ChainReactionNode::LoadStateCheckpoint(const std::string& path) {
   if (!status.ok()) {
     return status;
   }
+  RebuildRecoveredState();
+  return Status::Ok();
+}
+
+void ChainReactionNode::RebuildRecoveredState() {
   // Rebuild the stability cache and unstable-head tracking from the store.
   store_.ForEachKey([this](const Key& key, const StoredVersion&) {
     if (const StoredVersion* stable = store_.LatestStable(key)) {
@@ -40,7 +54,95 @@ Status ChainReactionNode::LoadStateCheckpoint(const std::string& path) {
     }
     lamport_ = std::max(lamport_, store_.Latest(key)->version.lamport);
   });
+}
+
+Status ChainReactionNode::EnableDurability(const std::string& data_dir,
+                                           const WalOptions& options) {
+  data_dir_ = data_dir;
+  const Status status = Wal::Open(data_dir, options, &wal_);
+  if (status.ok() && metrics_ != nullptr) {
+    wal_->AttachObs(metrics_, std::to_string(id_));
+  }
+  return status;
+}
+
+Status ChainReactionNode::RecoverFrom(const std::string& data_dir) {
+  const int64_t start = WallMicros();
+  uint64_t wal_floor = 0;
+  const Status ckpt = LoadCheckpoint(CheckpointPath(data_dir), &store_, &wal_floor);
+  if (!ckpt.ok() && ckpt.code() != StatusCode::kNotFound) {
+    return ckpt;
+  }
+  // Replay writes to the store directly: records are idempotent (exact
+  // duplicate versions are absorbed), so overlap with the checkpoint or
+  // with segments below the truncation floor is harmless.
+  const Status replay = Wal::Replay(
+      data_dir, wal_floor,
+      [this](const WalRecord& record) {
+        switch (record.type) {
+          case WalRecordType::kApply:
+            store_.Apply(record.key, record.value, record.version, record.deps);
+            break;
+          case WalRecordType::kStable:
+            store_.MarkStable(record.key, record.version);
+            break;
+        }
+      },
+      &recovery_stats_);
+  if (!replay.ok() && replay.code() != StatusCode::kNotFound) {
+    return replay;
+  }
+  RebuildRecoveredState();
+  recovery_replay_us_ = WallMicros() - start;
+  if (metrics_ != nullptr) {
+    const MetricLabels labels = {{"node", std::to_string(id_)}};
+    metrics_->GetLatency("crx_wal_recovery_replay_us", labels)->Record(recovery_replay_us_);
+    metrics_->GetCounter("crx_wal_recovery_records", labels)->Inc(recovery_stats_.records);
+  }
   return Status::Ok();
+}
+
+Status ChainReactionNode::CheckpointAndTruncate() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability not enabled");
+  }
+  // Rotate first: everything in segments below the new active one is
+  // already applied, so the checkpoint taken now covers them. No messages
+  // are processed between these steps (single-threaded actor).
+  const uint64_t floor_seq = wal_->Rotate();
+  const Status saved = SaveCheckpoint(store_, CheckpointPath(data_dir_), floor_seq);
+  if (!saved.ok()) {
+    return saved;
+  }
+  wal_->DeleteSegmentsBelow(floor_seq);
+  return Status::Ok();
+}
+
+void ChainReactionNode::CrashDurability() {
+  if (wal_ != nullptr) {
+    wal_->AbandonPending();
+  }
+}
+
+bool ChainReactionNode::DurableApply(const Key& key, const Value& value,
+                                     const Version& version,
+                                     const std::vector<Dependency>& deps) {
+  // Write-ahead: the record hits the log before the store. Versions already
+  // present (retries, repair re-propagation) are already logged.
+  if (wal_ != nullptr && store_.Find(key, version) == nullptr) {
+    wal_->Append(WalRecord::Apply(key, value, version, deps));
+  }
+  return store_.Apply(key, value, version, deps);
+}
+
+void ChainReactionNode::DurableMarkStable(const Key& key, const Version& version) {
+  if (wal_ != nullptr) {
+    const StoredVersion* sv = store_.Find(key, version);
+    if (sv == nullptr || !sv->stable) {
+      wal_->Append(WalRecord::Stable(key, version));
+    }
+  }
+  store_.MarkStable(key, version);
 }
 
 void ChainReactionNode::AttachEnv(Env* env) {
@@ -52,10 +154,14 @@ void ChainReactionNode::AttachEnv(Env* env) {
 
 void ChainReactionNode::AttachObs(MetricsRegistry* metrics, TraceCollector* traces) {
   trace_sink_ = traces;
+  metrics_ = metrics;
   if (metrics == nullptr) {
     return;
   }
   const std::string node = std::to_string(id_);
+  if (wal_ != nullptr) {
+    wal_->AttachObs(metrics, node);
+  }
   const MetricLabels node_label = {{"node", node}};
   m_puts_head_ = metrics->GetCounter("crx_node_puts_applied", {{"node", node}, {"role", "head"}});
   m_puts_middle_ =
@@ -156,6 +262,13 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
       }
       break;
     }
+    case MsgType::kMemSyncDone: {
+      MemSyncDone m;
+      if (DecodeMessage(payload, &m)) {
+        HandleSyncDone(m);
+      }
+      break;
+    }
     default:
       LOG_WARN("node %u: unexpected message type %u", id_,
                static_cast<unsigned>(PeekType(payload)));
@@ -206,6 +319,17 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   // A client with a stale ring may address the wrong node; route onward.
   if (ring_.PositionOf(put.key, id_) != 1) {
     env_->Send(ring_.HeadFor(put.key), EncodeMessage(put));
+    return;
+  }
+
+  // This node's store may be missing the newest versions of the key: it
+  // either just rejoined after a crash-restart (rejoin_until_), or it just
+  // became the key's head at an epoch change (IsJoinGuarded — e.g. the ring
+  // successor absorbing a crashed head's slot). Assigning from a stale
+  // per-key vv would fork the version order, so park puts until the repair
+  // syncs land.
+  if (env_->Now() < rejoin_until_ || IsJoinGuarded(put.key)) {
+    rejoin_buffered_puts_.push_back(std::move(put));
     return;
   }
 
@@ -308,6 +432,15 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
   if (m_gated_depth_ != nullptr) {
     m_gated_depth_->Set(static_cast<int64_t>(gated_puts_.size()));
   }
+  if (ring_.PositionOf(put.key, id_) != 1 || env_->Now() < rejoin_until_ ||
+      IsJoinGuarded(put.key)) {
+    // An epoch change while the put was gated moved the key's head away from
+    // this node (or guarded it): minting here would assign a version the new
+    // head never sees and propagate it past the chain prefix. Re-dispatch so
+    // the put is forwarded (or parked) like any fresh arrival.
+    HandlePut(std::move(put));
+    return;
+  }
   ApplyAndPropagate(put);
 }
 
@@ -336,7 +469,7 @@ void ChainReactionNode::ApplyAndPropagate(const CrxPut& put) {
 bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const Version& version,
                                      Address client, RequestId req, ChainIndex ack_at,
                                      const std::vector<Dependency>& deps, TraceContext trace) {
-  const bool applied = store_.Apply(key, value, version, deps);
+  const bool applied = DurableApply(key, value, version, deps);
   if (applied) {
     writes_applied_++;
     lamport_ = std::max(lamport_, version.lamport);
@@ -420,7 +553,7 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
                                         const std::vector<Dependency>& deps,
                                         bool has_local_payload, const Value& value,
                                         TraceContext trace) {
-  store_.MarkStable(key, version);
+  DurableMarkStable(key, version);
   stable_vv_[key].MergeMax(version.vv);
   ResolveWatchers(key);
   ResolveUnstableHead(key);
@@ -524,7 +657,7 @@ void ChainReactionNode::ScheduleStableNotify(const Key& key) {
 }
 
 void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg) {
-  store_.MarkStable(msg.key, msg.version);
+  DurableMarkStable(msg.key, msg.version);
   stable_vv_[msg.key].MergeMax(msg.version.vv);
   ResolveWatchers(msg.key);
   ResolveUnstableHead(msg.key);
@@ -581,6 +714,27 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       m_gets_forwarded_->Inc();
     }
     env_->Send(ring_.HeadFor(get.key), EncodeMessage(get));
+    return;
+  }
+
+  // This node just joined the key's chain (crash-recovery rejoin, or the
+  // ring successor absorbing a failed node's chain slot): its store may
+  // miss versions that are causally visible through *other* keys — the
+  // all-replica stability invariant is broken until the repair sync lands,
+  // and the client's per-key min_version cannot express such transitive
+  // dependencies. Serve from an established replica instead: escalate
+  // toward the predecessor, or — at the head — park the read until the
+  // guard window closes.
+  if (IsJoinGuarded(get.key)) {
+    if (pos > 1) {
+      gets_forwarded_++;
+      if (m_gets_forwarded_ != nullptr) {
+        m_gets_forwarded_->Inc();
+      }
+      env_->Send(ring_.PredecessorFor(get.key, id_), EncodeMessage(get));
+    } else {
+      join_guarded_gets_.push_back(std::move(get));
+    }
     return;
   }
 
@@ -754,7 +908,86 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
   if (!ring_.Contains(id_)) {
     return;  // this node was removed; it will receive no further traffic
   }
+  if (config_.rejoin_grace > 0) {
+    // Guard reads of keys whose chain we just joined until repair syncs
+    // have had time to land (see IsJoinGuarded).
+    join_guards_.push_back({old_ring, env_->Now() + config_.rejoin_grace});
+    env_->Schedule(config_.rejoin_grace, [this]() { DrainGuardedGets(); });
+  }
+  if (!old_ring.Contains(id_) && config_.rejoin_grace > 0) {
+    // This epoch re-adds us after a crash-restart: hold client puts (and
+    // guarded reads) until every established peer signals that its repair
+    // pushes for this epoch are complete (MemSyncDone; links are FIFO, so
+    // the marker arrives after the pushes). Under load the repair storm can
+    // far outlast any fixed window, so the timer below is only a fallback
+    // against lost markers, not the primary drain trigger.
+    rejoin_until_ = env_->Now() + config_.rejoin_grace;
+    rejoin_pending_peers_ = static_cast<uint32_t>(ring_.nodes().size()) - 1;
+    auto early = sync_done_early_.find(ring_.epoch());
+    if (early != sync_done_early_.end()) {
+      rejoin_pending_peers_ -= std::min(rejoin_pending_peers_, early->second);
+      sync_done_early_.erase(early);
+    }
+    env_->Schedule(config_.rejoin_grace, [this]() {
+      if (env_->Now() < rejoin_until_) {
+        return;  // a later epoch extended the window; its timer will drain
+      }
+      if (rejoin_pending_peers_ > 0) {
+        DrainRejoin();
+      }
+    });
+    if (rejoin_pending_peers_ == 0) {
+      DrainRejoin();  // every peer's marker beat our membership notification
+    }
+  }
   RepairChains(old_ring);
+  // Tell nodes added in this epoch that our repair pushes are all sent.
+  for (NodeId n : ring_.nodes()) {
+    if (n != id_ && !old_ring.Contains(n)) {
+      MemSyncDone done_msg;
+      done_msg.epoch = ring_.epoch();
+      done_msg.from = id_;
+      env_->Send(n, EncodeMessage(done_msg));
+    }
+  }
+}
+
+bool ChainReactionNode::IsJoinGuarded(const Key& key) const {
+  const Time now = env_->Now();
+  const ChainIndex pos = ring_.PositionOf(key, id_);
+  for (const ChainJoinGuard& guard : join_guards_) {
+    if (now >= guard.until) {
+      continue;
+    }
+    // Guarded if this node's chain position improved at that epoch change:
+    // it joined the chain (old position 0 — every key, for a node rejoining
+    // after crash-recovery), or it moved toward the head (a chain-prefix
+    // position now claims data the node may only receive via repair —
+    // e.g. the old tail promoted to the middle when a peer crashed).
+    const ChainIndex old_pos = guard.old_ring.PositionOf(key, id_);
+    if (old_pos == 0 || pos < old_pos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ChainReactionNode::DrainGuardedGets() {
+  const Time now = env_->Now();
+  join_guards_.erase(
+      std::remove_if(join_guards_.begin(), join_guards_.end(),
+                     [now](const ChainJoinGuard& g) { return now >= g.until; }),
+      join_guards_.end());
+  std::vector<CrxPut> parked_puts = std::move(rejoin_buffered_puts_);
+  rejoin_buffered_puts_.clear();
+  for (CrxPut& put : parked_puts) {
+    HandlePut(std::move(put));  // re-parks if still guarded
+  }
+  std::vector<CrxGet> parked = std::move(join_guarded_gets_);
+  join_guarded_gets_.clear();
+  for (CrxGet& get : parked) {
+    HandleGet(std::move(get), /*from=*/0);  // re-parks if still guarded
+  }
 }
 
 void ChainReactionNode::RepairChains(const Ring& old_ring) {
@@ -806,6 +1039,38 @@ void ChainReactionNode::RepairChains(const Ring& old_ring) {
         }
       }
     }
+
+    // A freshly added HEAD (a node rejoining after a crash-restart) has no
+    // predecessor to pull from, and it is also the re-propagation point for
+    // writes the epoch change dropped — but its own store is the stale one.
+    // Its successor was the head while it was down, so it holds everything:
+    // it transfers the newest stable version and re-drives its unstable
+    // versions as chain puts through the new head, which propagates them
+    // down the chain (idempotently) until the tail stabilizes them.
+    if (chain.size() > 1 && chain[1] == id_ &&
+        std::find(old_chain.begin(), old_chain.end(), chain[0]) == old_chain.end()) {
+      if (const StoredVersion* stable = store_.LatestStable(key)) {
+        MemSyncKey sync;
+        sync.epoch = ring_.epoch();
+        sync.key = key;
+        sync.value = stable->value;
+        sync.version = stable->version;
+        sync.stable = true;
+        env_->Send(chain[0], EncodeMessage(sync));
+      }
+      for (const StoredVersion& sv : store_.UnstableVersions(key)) {
+        CrxChainPut fwd;
+        fwd.key = key;
+        fwd.value = sv.value;
+        fwd.version = sv.version;
+        fwd.client = 0;
+        fwd.req = 0;
+        fwd.ack_at = 0;
+        fwd.epoch = ring_.epoch();
+        fwd.deps = sv.deps;
+        env_->Send(chain[0], EncodeMessage(fwd));
+      }
+    }
   }
 }
 
@@ -813,15 +1078,49 @@ void ChainReactionNode::HandleSyncKey(const MemSyncKey& msg) {
   if (msg.epoch < ring_.epoch()) {
     return;
   }
-  store_.Apply(msg.key, msg.value, msg.version);
+  DurableApply(msg.key, msg.value, msg.version, {});
   lamport_ = std::max(lamport_, msg.version.lamport);
   if (msg.stable) {
-    store_.MarkStable(msg.key, msg.version);
+    DurableMarkStable(msg.key, msg.version);
     stable_vv_[msg.key].MergeMax(msg.version.vv);
     ResolveWatchers(msg.key);
     ResolveUnstableHead(msg.key);
   }
   ResolveDeferredGets(msg.key);
+}
+
+void ChainReactionNode::HandleSyncDone(const MemSyncDone& msg) {
+  if (msg.epoch > ring_.epoch()) {
+    // A peer processed the membership change before our own notification
+    // arrived (markers and membership travel on different links); remember
+    // the marker so the rejoin branch can credit it.
+    sync_done_early_[msg.epoch]++;
+    return;
+  }
+  if (msg.epoch < ring_.epoch() || rejoin_pending_peers_ == 0) {
+    return;
+  }
+  if (--rejoin_pending_peers_ == 0) {
+    DrainRejoin();
+  }
+}
+
+void ChainReactionNode::DrainRejoin() {
+  rejoin_pending_peers_ = 0;
+  rejoin_until_ = env_->Now();  // expire the fallback window
+  // The rejoin guards are the ones whose old ring lacked this node; repair
+  // is complete for them, so reads no longer need escalation.
+  join_guards_.erase(std::remove_if(join_guards_.begin(), join_guards_.end(),
+                                    [this](const ChainJoinGuard& g) {
+                                      return !g.old_ring.Contains(id_);
+                                    }),
+                     join_guards_.end());
+  std::vector<CrxPut> parked = std::move(rejoin_buffered_puts_);
+  rejoin_buffered_puts_.clear();
+  for (CrxPut& put : parked) {
+    HandlePut(std::move(put));
+  }
+  DrainGuardedGets();
 }
 
 }  // namespace chainreaction

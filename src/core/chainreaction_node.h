@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "src/ring/ring.h"
 #include "src/sim/env.h"
 #include "src/storage/versioned_store.h"
+#include "src/wal/wal.h"
 
 namespace chainreaction {
 
@@ -56,6 +58,38 @@ class ChainReactionNode : public Actor {
   // chain repair then re-propagates anything missed while down.
   Status SaveStateCheckpoint(const std::string& path) const;
   Status LoadStateCheckpoint(const std::string& path);
+
+  // Durability -----------------------------------------------------------
+  // Opens (creating) the write-ahead log in `data_dir`. From then on every
+  // version and stability mark is logged before it mutates the store, so a
+  // crashed node can be rebuilt from local state via RecoverFrom. Call
+  // before the node starts serving; order relative to AttachObs does not
+  // matter (whichever runs second hooks the WAL's instruments up).
+  Status EnableDurability(const std::string& data_dir, const WalOptions& options = {});
+
+  // Crash recovery: loads the newest valid checkpoint in `data_dir` (if
+  // any) and replays the WAL tail over it — a torn final record is
+  // truncated, not fatal — then rebuilds the causal bookkeeping. Call
+  // BEFORE EnableDurability (torn-tail repair applies to the newest
+  // segment; opening the WAL creates a fresh one) and before the node
+  // starts serving; chain repair re-propagates only the delta the node
+  // missed while down.
+  Status RecoverFrom(const std::string& data_dir);
+
+  // Atomically checkpoints the store and deletes the WAL segments the
+  // checkpoint covers, bounding future recovery replay work. Requires
+  // EnableDurability.
+  Status CheckpointAndTruncate();
+
+  // Crash simulation (harness): drops WAL records still in the group-commit
+  // buffer, exactly as a process crash would, and closes the log files so a
+  // successor node can recover from them.
+  void CrashDurability();
+
+  Wal* wal() { return wal_.get(); }
+  const WalReplayStats& last_recovery_stats() const { return recovery_stats_; }
+  // Wall-clock replay cost of the last RecoverFrom (real microseconds).
+  int64_t last_recovery_replay_us() const { return recovery_replay_us_; }
 
   // Introspection for tests and benchmarks -------------------------------
   const VersionedStore& store() const { return store_; }
@@ -124,6 +158,7 @@ class ChainReactionNode : public Actor {
   void HandleRemotePut(const GeoRemotePut& msg);
   void HandleNewMembership(const MemNewMembership& msg);
   void HandleSyncKey(const MemSyncKey& msg);
+  void HandleSyncDone(const MemSyncDone& msg);
 
   // Assigns a version to a gated client write and starts propagation.
   void ApplyAndPropagate(const CrxPut& put);
@@ -173,6 +208,21 @@ class ChainReactionNode : public Actor {
   // Chain-repair duties after a membership change.
   void RepairChains(const Ring& old_ring);
 
+  // Write-ahead wrappers around the store: log the mutation (when it is not
+  // already durable) before applying it. All protocol-path mutations go
+  // through these; recovery replays write to store_ directly.
+  bool DurableApply(const Key& key, const Value& value, const Version& version,
+                    const std::vector<Dependency>& deps);
+  void DurableMarkStable(const Key& key, const Version& version);
+
+  // Rebuilds stability cache, unstable-head tracking, and the lamport clock
+  // from a freshly restored store (checkpoint load or WAL replay).
+  void RebuildRecoveredState();
+
+  static std::string CheckpointPath(const std::string& data_dir) {
+    return data_dir + "/checkpoint.crx";
+  }
+
   uint64_t NextLamport();
 
   NodeId id_;
@@ -181,6 +231,12 @@ class ChainReactionNode : public Actor {
   Ring ring_;
   VersionedStore store_;
   uint64_t lamport_ = 0;
+
+  // Durability (null/empty until EnableDurability).
+  std::string data_dir_;
+  std::unique_ptr<Wal> wal_;
+  WalReplayStats recovery_stats_;
+  int64_t recovery_replay_us_ = 0;
 
   // Head state.
   uint64_t next_token_ = 1;
@@ -196,6 +252,31 @@ class ChainReactionNode : public Actor {
   // chain messages). Timer is armed iff the set is non-empty.
   std::unordered_set<Key> unstable_head_keys_;
   uint64_t anti_entropy_timer_ = 0;
+  // Rejoin barrier: after an epoch re-adds this node, client puts are
+  // buffered until every established peer's MemSyncDone marker arrives
+  // (repair pushes complete — links are FIFO), so chain-repair syncs can
+  // catch the recovered store up before it assigns versions again. The
+  // time window (see CrxConfig::rejoin_grace) is only a fallback against
+  // lost markers.
+  Time rejoin_until_ = 0;
+  uint32_t rejoin_pending_peers_ = 0;
+  // Markers that arrived before our own membership notification, by epoch.
+  std::unordered_map<uint64_t, uint32_t> sync_done_early_;
+  std::vector<CrxPut> rejoin_buffered_puts_;
+  void DrainRejoin();
+  // Chain-join read guard: for `rejoin_grace` after an epoch change, reads
+  // of keys whose chain this node just joined (old position 0 — including
+  // every key, for a node rejoining after crash-recovery) are escalated to
+  // an established replica or parked: until the repair sync lands this node
+  // would answer stale or not-found.
+  struct ChainJoinGuard {
+    Ring old_ring;
+    Time until;
+  };
+  std::vector<ChainJoinGuard> join_guards_;
+  std::vector<CrxGet> join_guarded_gets_;
+  bool IsJoinGuarded(const Key& key) const;
+  void DrainGuardedGets();
 
   // Stability knowledge cache: key -> merged vv known DC-Write-Stable.
   std::unordered_map<Key, VersionVector> stable_vv_;
@@ -224,6 +305,7 @@ class ChainReactionNode : public Actor {
   uint64_t gets_forwarded_ = 0;
 
   // Observability (all null until AttachObs; hot paths test one pointer).
+  MetricsRegistry* metrics_ = nullptr;
   TraceCollector* trace_sink_ = nullptr;
   Counter* m_puts_head_ = nullptr;
   Counter* m_puts_middle_ = nullptr;

@@ -55,6 +55,16 @@ struct CrxConfig {
   // exist, so quiescent clusters stay quiescent.
   Duration anti_entropy_interval = 500 * kMillisecond;
 
+  // A node rejoining after a crash-restart buffers client puts (and guards
+  // reads of chains it just joined) after the epoch that re-adds it: its
+  // recovered store may be behind, and assigning versions from a stale
+  // per-key version vector would fork the version order. The primary drain
+  // trigger is completion-based — one MemSyncDone marker per established
+  // peer, sent after that peer's repair pushes — because under load the
+  // repair storm can take hundreds of milliseconds. This duration is the
+  // fallback window against lost markers; 0 disables the barrier entirely.
+  Duration rejoin_grace = 250 * kMillisecond;
+
   // TESTING ONLY: disable the dependency-stability gating at the head. With
   // this off, the causal+ checker must detect violations (see tests).
   bool disable_dependency_gating = false;

@@ -51,6 +51,37 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
 
 Cluster::~Cluster() = default;
 
+CrxConfig Cluster::MakeCrxConfig(DcId dc) const {
+  CrxConfig cfg;
+  cfg.replication = options_.replication;
+  cfg.k_stability = options_.k_stability;
+  cfg.vnodes = options_.vnodes;
+  cfg.local_dc = dc;
+  cfg.num_dcs = options_.num_dcs;
+  cfg.geo_replicator = options_.num_dcs > 1 ? kGeoBase + dc : 0;
+  cfg.client_timeout = options_.client_timeout;
+  if (options_.heartbeat_interval > 0) {
+    cfg.membership = kMembershipBase + dc;
+    cfg.heartbeat_interval = options_.heartbeat_interval;
+  }
+  cfg.read_policy = options_.read_policy;
+  cfg.disable_dependency_gating = options_.disable_dependency_gating;
+  cfg.trace_sample_every = options_.trace_sample_every;
+  return cfg;
+}
+
+WalOptions Cluster::MakeWalOptions() const {
+  WalOptions wal;
+  wal.policy = options_.fsync_policy;
+  wal.batch_max_records = options_.wal_batch_records;
+  wal.start_flusher_thread = false;  // deterministic under the simulator
+  return wal;
+}
+
+std::string Cluster::NodeDataDir(DcId dc, uint32_t idx) const {
+  return options_.data_root + "/dc" + std::to_string(dc) + "-n" + std::to_string(idx);
+}
+
 void Cluster::BuildChainReaction() {
   const uint16_t dcs = options_.num_dcs;
   membership_.resize(dcs);
@@ -71,25 +102,14 @@ void Cluster::BuildChainReaction() {
                                               4 * options_.heartbeat_interval);
     }
     const Ring& ring = membership_[dc]->ring();
-
-    CrxConfig cfg;
-    cfg.replication = options_.replication;
-    cfg.k_stability = options_.k_stability;
-    cfg.vnodes = options_.vnodes;
-    cfg.local_dc = dc;
-    cfg.num_dcs = dcs;
-    cfg.geo_replicator = dcs > 1 ? kGeoBase + dc : 0;
-    cfg.client_timeout = options_.client_timeout;
-    if (options_.heartbeat_interval > 0) {
-      cfg.membership = kMembershipBase + dc;
-      cfg.heartbeat_interval = options_.heartbeat_interval;
-    }
-    cfg.read_policy = options_.read_policy;
-    cfg.disable_dependency_gating = options_.disable_dependency_gating;
-    cfg.trace_sample_every = options_.trace_sample_every;
+    const CrxConfig cfg = MakeCrxConfig(dc);
 
     for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
       auto node = std::make_unique<ChainReactionNode>(node_ids[i], cfg, ring);
+      if (!options_.data_root.empty()) {
+        const Status st = node->EnableDurability(NodeDataDir(dc, i), MakeWalOptions());
+        CHAINRX_CHECK(st.ok());
+      }
       Env* env = net_->Register(node_ids[i], node.get(), dc, options_.server_service);
       node->AttachEnv(env);
       node->AttachObs(&metrics_, &traces_);
@@ -280,6 +300,48 @@ void Cluster::KillServer(DcId dc, uint32_t idx) {
   membership_[dc]->RemoveNode(node);
 }
 
+void Cluster::CrashServer(DcId dc, uint32_t idx) {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  CHAINRX_CHECK(!options_.data_root.empty());
+  const NodeId node = ServerAddress(dc, idx);
+  // Drop the un-flushed group-commit batch, as a real process crash would;
+  // everything already written through to the OS stays in the data dir.
+  crx_nodes_[dc][idx]->CrashDurability();
+  net_->Crash(node);
+  membership_[dc]->RemoveNode(node);
+}
+
+Status Cluster::RestartServer(DcId dc, uint32_t idx) {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  CHAINRX_CHECK(!options_.data_root.empty());
+  const NodeId node_id = ServerAddress(dc, idx);
+
+  // The crashed actor is gone; a restarted process is a fresh node that
+  // rebuilds its store from the data dir before rejoining.
+  net_->Unregister(node_id);
+  net_->Restore(node_id);
+  auto node = std::make_unique<ChainReactionNode>(node_id, MakeCrxConfig(dc),
+                                                  membership_[dc]->ring());
+  // Recover before re-opening the WAL: torn-tail truncation only applies to
+  // the newest segment, and opening the WAL first would create a fresh one.
+  Status status = node->RecoverFrom(NodeDataDir(dc, idx));
+  if (!status.ok()) {
+    return status;
+  }
+  status = node->EnableDurability(NodeDataDir(dc, idx), MakeWalOptions());
+  if (!status.ok()) {
+    return status;
+  }
+  Env* env = net_->Register(node_id, node.get(), dc, options_.server_service);
+  node->AttachEnv(env);
+  node->AttachObs(&metrics_, &traces_);
+  crx_nodes_[dc][idx] = std::move(node);
+  // Announce the rejoin only once recovery is complete: the epoch broadcast
+  // triggers chain repair, which syncs the node the delta it missed.
+  membership_[dc]->AddNode(node_id);
+  return Status::Ok();
+}
+
 std::vector<uint64_t> Cluster::ReadsByPosition() const {
   std::vector<uint64_t> sums;
   for (const auto& dc_nodes : crx_nodes_) {
@@ -353,15 +415,22 @@ bool Cluster::CheckConvergence(std::string* diagnostic) const {
   CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
   // key -> set of distinct latest versions observed across all replicas
   // everywhere. Converged iff exactly one per key.
-  std::map<Key, std::set<std::string>> latest_by_key;
-  for (const auto& dc_nodes : crx_nodes_) {
-    for (const auto& node : dc_nodes) {
+  std::map<Key, std::map<std::string, std::vector<NodeId>>> latest_by_key;
+  for (DcId dc = 0; dc < crx_nodes_.size(); ++dc) {
+    const Ring& ring = membership_[dc]->ring();
+    for (const auto& node : crx_nodes_[dc]) {
       if (net_->IsCrashed(node->id())) {
         continue;
       }
       node->store().ForEachKey([&](const Key& key, const StoredVersion& latest) {
-        latest_by_key[key].insert(latest.version.ToString() + "=" +
-                                  latest.value.substr(0, 24));
+        // A node that dropped out of a key's chain (e.g. the chain shrank
+        // back when a crashed server rejoined) keeps a leftover copy that
+        // serves no reads; only current chain members count.
+        if (ring.PositionOf(key, node->id()) == 0) {
+          return;
+        }
+        latest_by_key[key][latest.version.ToString() + "=" + latest.value.substr(0, 24)]
+            .push_back(node->id());
       });
     }
   }
@@ -369,7 +438,14 @@ bool Cluster::CheckConvergence(std::string* diagnostic) const {
     if (versions.size() != 1) {
       if (diagnostic != nullptr) {
         *diagnostic = "key '" + key + "' diverged: " + std::to_string(versions.size()) +
-                      " distinct latest versions";
+                      " distinct latest versions:";
+        for (const auto& [version, nodes] : versions) {
+          *diagnostic += " [" + version + " @ nodes";
+          for (NodeId n : nodes) {
+            *diagnostic += " " + std::to_string(n);
+          }
+          *diagnostic += "]";
+        }
       }
       return false;
     }

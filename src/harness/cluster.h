@@ -25,6 +25,7 @@
 #include "src/ring/membership.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
+#include "src/wal/wal.h"
 #include "src/ycsb/kv_client.h"
 
 namespace chainreaction {
@@ -65,6 +66,17 @@ struct ClusterOptions {
   // land in Cluster::traces().
   uint32_t trace_sample_every = 0;
   uint64_t seed = 1;
+
+  // Non-empty: every ChainReaction server runs with durability enabled,
+  // node idx of DC dc logging to `<data_root>/dc<dc>-n<idx>/`, and the
+  // crash-restart-with-recovery failure mode (CrashServer/RestartServer)
+  // becomes available alongside the lose-everything KillServer. The WALs
+  // run without the background flusher — the simulator is single-threaded
+  // and deterministic, so batch-mode flushes happen at batch-size
+  // boundaries and on crash/shutdown instead of on a wall-clock timer.
+  std::string data_root;
+  FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
+  uint32_t wal_batch_records = 64;
 };
 
 class Cluster {
@@ -111,8 +123,19 @@ class Cluster {
   void Preload(uint64_t records, size_t value_size);
 
   // Crashes a server and tells the membership service (ChainReaction only;
-  // baselines run with static membership).
+  // baselines run with static membership). The node's in-memory state is
+  // gone for good — recovery is a full resync from its chain peers.
   void KillServer(DcId dc, uint32_t idx);
+
+  // Crash-restart with recovery (requires options().data_root). CrashServer
+  // drops the server off the network exactly as a process crash would: the
+  // un-flushed WAL batch is lost, everything already handed to the OS
+  // survives in its data dir. RestartServer later rebuilds the node from
+  // that data dir (newest checkpoint + WAL tail replay) and rejoins it;
+  // chain repair then re-propagates only what it missed while down.
+  void CrashServer(DcId dc, uint32_t idx);
+  Status RestartServer(DcId dc, uint32_t idx);
+  std::string NodeDataDir(DcId dc, uint32_t idx) const;
 
   // Aggregations ------------------------------------------------------------
   // Sum of reads answered per chain position across all servers
@@ -132,6 +155,8 @@ class Cluster {
  private:
   void BuildChainReaction();
   void BuildBaseline();
+  CrxConfig MakeCrxConfig(DcId dc) const;
+  WalOptions MakeWalOptions() const;
 
   ClusterOptions options_;
   Simulator sim_;

@@ -443,4 +443,10 @@ bool MemSyncKey::Decode(ByteReader* r) {
          r->GetBool(&stable);
 }
 
+void MemSyncDone::Encode(ByteWriter* w) const {
+  w->PutU64(epoch);
+  w->PutU32(from);
+}
+bool MemSyncDone::Decode(ByteReader* r) { return r->GetU64(&epoch) && r->GetU32(&from); }
+
 }  // namespace chainreaction

@@ -79,6 +79,7 @@ enum class MsgType : uint16_t {
   kMemNewMembership = 70,
   kMemSyncKey = 71,
   kMemHeartbeat = 72,
+  kMemSyncDone = 73,
 };
 
 // Returns the type tag of a serialized message (kInvalid if too short).
@@ -579,6 +580,20 @@ struct MemSyncKey {
   Value value;
   Version version;
   bool stable = false;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Established node -> node added in `epoch`: all repair pushes for that
+// epoch have been sent (links are FIFO, so this arrives after them). A
+// rejoining node holds client traffic until every established peer's marker
+// arrives — completion-based, because under load the repair sync storm can
+// far outlast any fixed grace window.
+struct MemSyncDone {
+  static constexpr MsgType kType = MsgType::kMemSyncDone;
+  uint64_t epoch = 0;
+  NodeId from = 0;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);

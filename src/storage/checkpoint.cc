@@ -1,5 +1,8 @@
 #include "src/storage/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
 
 #include "src/common/bytes.h"
@@ -10,10 +13,26 @@ namespace chainreaction {
 
 namespace {
 constexpr uint32_t kMagic = 0x43525843;  // "CXRC"
-constexpr uint32_t kFormatVersion = 1;
+// v1: magic, format, entries, checksum, payload.
+// v2: magic, format, wal_seq, entries, checksum, payload — wal_seq is the
+// WAL segment active when the checkpoint was taken (truncation floor).
+constexpr uint32_t kFormatVersion = 2;
+constexpr uint32_t kOldestSupportedFormat = 1;
+
+// fsyncs the directory containing `path` so a rename into it is durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
 }  // namespace
 
-Status SaveCheckpoint(const VersionedStore& store, const std::string& path) {
+Status SaveCheckpoint(const VersionedStore& store, const std::string& path,
+                      uint64_t wal_seq) {
   ByteWriter payload;
   uint64_t entries = 0;
   store.ForEachVersion([&payload, &entries](const Key& key, const StoredVersion& sv) {
@@ -28,24 +47,39 @@ Status SaveCheckpoint(const VersionedStore& store, const std::string& path) {
   ByteWriter file;
   file.PutU32(kMagic);
   file.PutU32(kFormatVersion);
+  file.PutU64(wal_seq);
   file.PutU64(entries);
   file.PutU64(Fnv1a64(payload.data()));
   const std::string& body = payload.data();
 
-  FILE* f = std::fopen(path.c_str(), "wb");
+  // Atomic save: a crash anywhere before the rename leaves the previous
+  // checkpoint file untouched.
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::Internal("cannot open checkpoint for writing: " + path);
+    return Status::Internal("cannot open checkpoint for writing: " + tmp);
   }
   bool ok = std::fwrite(file.data().data(), 1, file.size(), f) == file.size();
   ok = ok && std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  ok = ok && std::fflush(f) == 0;
+  ok = ok && ::fsync(fileno(f)) == 0;
   ok = std::fclose(f) == 0 && ok;
   if (!ok) {
-    return Status::Internal("short write to checkpoint: " + path);
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to checkpoint: " + tmp);
   }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("cannot rename checkpoint into place: " + path);
+  }
+  SyncParentDir(path);
   return Status::Ok();
 }
 
-Status LoadCheckpoint(const std::string& path, VersionedStore* store) {
+Status LoadCheckpoint(const std::string& path, VersionedStore* store, uint64_t* wal_seq) {
+  if (wal_seq != nullptr) {
+    *wal_seq = 0;
+  }
   FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("no checkpoint at " + path);
@@ -60,20 +94,29 @@ Status LoadCheckpoint(const std::string& path, VersionedStore* store) {
 
   ByteReader header(contents);
   uint32_t magic = 0, format = 0;
-  uint64_t entries = 0, checksum = 0;
-  if (!header.GetU32(&magic) || !header.GetU32(&format) || !header.GetU64(&entries) ||
-      !header.GetU64(&checksum)) {
+  uint64_t seq = 0, entries = 0, checksum = 0;
+  if (!header.GetU32(&magic) || !header.GetU32(&format)) {
     return Status::Corruption("checkpoint header truncated");
   }
   if (magic != kMagic) {
     return Status::Corruption("bad checkpoint magic");
   }
-  if (format != kFormatVersion) {
+  if (format < kOldestSupportedFormat || format > kFormatVersion) {
     return Status::Corruption("unsupported checkpoint format " + std::to_string(format));
   }
-  const std::string payload = contents.substr(24);
+  if (format >= 2 && !header.GetU64(&seq)) {
+    return Status::Corruption("checkpoint header truncated");
+  }
+  if (!header.GetU64(&entries) || !header.GetU64(&checksum)) {
+    return Status::Corruption("checkpoint header truncated");
+  }
+  const size_t header_bytes = format >= 2 ? 32 : 24;
+  const std::string payload = contents.substr(header_bytes);
   if (Fnv1a64(payload) != checksum) {
     return Status::Corruption("checkpoint checksum mismatch");
+  }
+  if (wal_seq != nullptr) {
+    *wal_seq = seq;
   }
 
   ByteReader r(payload);

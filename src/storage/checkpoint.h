@@ -7,9 +7,20 @@
 // store is behaviourally identical (including causal bookkeeping) to the
 // one that was saved.
 //
-// This is the recovery building block for restarting a crashed node from
-// local state instead of a full chain resync; the chain-repair machinery
-// then only re-propagates what the node missed while it was down.
+// Saving is atomic: the checkpoint is written to `<path>.tmp`, fsynced, and
+// renamed over `path`, so a crash mid-save leaves the previous checkpoint
+// intact — the invariant the WAL's truncation protocol depends on (segments
+// are deleted only once a checkpoint covering them is durably in place).
+//
+// Format versions: v1 files carry no WAL coordination; v2 adds the sequence
+// number of the WAL segment that was active when the checkpoint was taken,
+// letting recovery skip segments the checkpoint fully covers. Loading
+// accepts both; unknown future versions are rejected with kCorruption.
+//
+// Together with the WAL (src/wal/) this is the recovery path for restarting
+// a crashed node from local state instead of a full chain resync; the
+// chain-repair machinery then only re-propagates what the node missed while
+// it was down.
 #ifndef SRC_STORAGE_CHECKPOINT_H_
 #define SRC_STORAGE_CHECKPOINT_H_
 
@@ -20,13 +31,19 @@
 
 namespace chainreaction {
 
-// Writes `store` to `path` (overwriting). Returns kInternal on I/O failure.
-Status SaveCheckpoint(const VersionedStore& store, const std::string& path);
+// Writes `store` to `path` atomically (tmp + fsync + rename). `wal_seq` is
+// the WAL truncation floor recorded in the header: replaying segments with
+// sequence >= wal_seq over this checkpoint reconstructs the saved node's
+// state (0 = no WAL coordination). Returns kInternal on I/O failure.
+Status SaveCheckpoint(const VersionedStore& store, const std::string& path,
+                      uint64_t wal_seq = 0);
 
 // Replays the checkpoint at `path` into `store` (which should be empty).
-// Returns kNotFound if the file does not exist, kCorruption on checksum or
-// format mismatch.
-Status LoadCheckpoint(const std::string& path, VersionedStore* store);
+// `wal_seq` (may be null) receives the header's WAL truncation floor, 0 for
+// v1 files. Returns kNotFound if the file does not exist, kCorruption on
+// checksum mismatch or an unknown format version.
+Status LoadCheckpoint(const std::string& path, VersionedStore* store,
+                      uint64_t* wal_seq = nullptr);
 
 }  // namespace chainreaction
 

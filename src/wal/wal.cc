@@ -1,0 +1,462 @@
+#include "src/wal/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/msg/message.h"
+
+namespace chainreaction {
+
+namespace {
+
+constexpr uint32_t kSegmentMagic = 0x4C575843;  // "CXWL"
+constexpr uint32_t kSegmentFormat = 1;
+constexpr size_t kSegmentHeaderBytes = 16;      // magic + format + seq
+constexpr size_t kRecordHeaderBytes = 12;       // u32 length + u64 checksum
+
+// Monotonic wall clock for fsync timing and the batch window (real I/O cost,
+// independent of any simulated clock).
+int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Parses "wal-<seq>.log"; returns false for other directory entries.
+bool ParseSegmentName(const std::string& name, uint64_t* seq) {
+  if (name.rfind("wal-", 0) != 0 || name.size() <= 8 ||
+      name.substr(name.size() - 4) != ".log") {
+    return false;
+  }
+  const std::string digits = name.substr(4, name.size() - 8);
+  if (digits.empty()) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+std::vector<std::pair<uint64_t, std::string>> ListSegments(const std::string& dir) {
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    uint64_t seq = 0;
+    if (ParseSegmentName(entry.path().filename().string(), &seq)) {
+      segments.emplace_back(seq, entry.path().string());
+    }
+  }
+  std::sort(segments.begin(), segments.end());
+  return segments;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kAlways:
+      return "always";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+bool ParseFsyncPolicy(const std::string& s, FsyncPolicy* out) {
+  if (s == "always") {
+    *out = FsyncPolicy::kAlways;
+  } else if (s == "batch") {
+    *out = FsyncPolicy::kBatch;
+  } else if (s == "none") {
+    *out = FsyncPolicy::kNone;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+WalRecord WalRecord::Apply(Key key, Value value, const Version& version,
+                           std::vector<Dependency> deps) {
+  WalRecord r;
+  r.type = WalRecordType::kApply;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  r.version = version;
+  r.deps = std::move(deps);
+  return r;
+}
+
+WalRecord WalRecord::Stable(Key key, const Version& version) {
+  WalRecord r;
+  r.type = WalRecordType::kStable;
+  r.key = std::move(key);
+  r.version = version;
+  return r;
+}
+
+void WalRecord::EncodePayload(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type));
+  w->PutString(key);
+  version.Encode(w);
+  if (type == WalRecordType::kApply) {
+    w->PutString(value);
+    EncodeDeps(deps, w);
+  }
+}
+
+bool WalRecord::DecodePayload(ByteReader* r) {
+  uint8_t t = 0;
+  if (!r->GetU8(&t) || !r->GetString(&key) || !version.Decode(r)) {
+    return false;
+  }
+  type = static_cast<WalRecordType>(t);
+  switch (type) {
+    case WalRecordType::kApply:
+      return r->GetString(&value) && DecodeDeps(r, &deps);
+    case WalRecordType::kStable:
+      return true;
+  }
+  return false;
+}
+
+std::string Wal::SegmentFileName(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "wal-%08llu.log", static_cast<unsigned long long>(seq));
+  return buf;
+}
+
+uint64_t Wal::NewestSegmentSeq(const std::string& dir) {
+  uint64_t newest = 0;
+  for (const auto& [seq, path] : ListSegments(dir)) {
+    newest = std::max(newest, seq);
+  }
+  return newest;
+}
+
+Wal::Wal(std::string dir, WalOptions options) : dir_(std::move(dir)), options_(options) {}
+
+Status Wal::Open(const std::string& dir, const WalOptions& options,
+                 std::unique_ptr<Wal>* out) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create wal dir " + dir + ": " + ec.message());
+  }
+  std::unique_ptr<Wal> wal(new Wal(dir, options));
+  {
+    std::lock_guard<std::mutex> lock(wal->mu_);
+    const Status s = wal->OpenSegmentLocked(NewestSegmentSeq(dir) + 1);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  if (options.policy == FsyncPolicy::kBatch && options.start_flusher_thread) {
+    wal->flusher_ = std::thread([w = wal.get()]() { w->FlusherLoop(); });
+  }
+  *out = std::move(wal);
+  return Status::Ok();
+}
+
+Wal::~Wal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) {
+    flusher_.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!abandoned_ && fd_ >= 0) {
+    FlushLocked();
+    if (options_.policy != FsyncPolicy::kNone) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Wal::OpenSegmentLocked(uint64_t seq) {
+  const std::string path = dir_ + "/" + SegmentFileName(seq);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("cannot open wal segment " + path);
+  }
+  ByteWriter header;
+  header.PutU32(kSegmentMagic);
+  header.PutU32(kSegmentFormat);
+  header.PutU64(seq);
+  const std::string& bytes = header.data();
+  if (::write(fd_, bytes.data(), bytes.size()) != static_cast<ssize_t>(bytes.size())) {
+    ::close(fd_);
+    fd_ = -1;
+    return Status::Internal("short write of wal segment header " + path);
+  }
+  active_seq_ = seq;
+  active_bytes_ = kSegmentHeaderBytes;
+  return Status::Ok();
+}
+
+Status Wal::Append(const WalRecord& record) {
+  ByteWriter payload;
+  record.EncodePayload(&payload);
+  ByteWriter framed;
+  framed.PutU32(static_cast<uint32_t>(payload.size()));
+  framed.PutU64(Fnv1a64(payload.data()));
+  const std::string encoded = framed.Take() + payload.data();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abandoned_) {
+    return Status::FailedPrecondition("wal abandoned");
+  }
+  appends_++;
+  if (m_appends_ != nullptr) {
+    m_appends_->Inc();
+  }
+  switch (options_.policy) {
+    case FsyncPolicy::kAlways:
+      return WriteLocked(encoded, /*sync=*/true);
+    case FsyncPolicy::kNone:
+      return WriteLocked(encoded, /*sync=*/false);
+    case FsyncPolicy::kBatch:
+      pending_ += encoded;
+      pending_records_++;
+      if (pending_records_ >= options_.batch_max_records) {
+        return FlushLocked();
+      }
+      return Status::Ok();
+  }
+  return Status::Ok();
+}
+
+Status Wal::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FlushLocked();
+}
+
+Status Wal::FlushLocked() {
+  if (pending_records_ == 0 || abandoned_) {
+    return Status::Ok();
+  }
+  std::string batch = std::move(pending_);
+  const size_t records = pending_records_;
+  pending_.clear();
+  pending_records_ = 0;
+  if (m_batch_records_ != nullptr) {
+    m_batch_records_->Record(static_cast<int64_t>(records));
+  }
+  return WriteLocked(batch, options_.policy != FsyncPolicy::kNone);
+}
+
+Status Wal::WriteLocked(const std::string& bytes, bool sync) {
+  if (fd_ < 0) {
+    return Status::Internal("wal segment not open");
+  }
+  if (::write(fd_, bytes.data(), bytes.size()) != static_cast<ssize_t>(bytes.size())) {
+    return Status::Internal("short write to wal segment in " + dir_);
+  }
+  active_bytes_ += bytes.size();
+  bytes_written_ += bytes.size();
+  if (m_bytes_ != nullptr) {
+    m_bytes_->Inc(bytes.size());
+  }
+  if (sync) {
+    const int64_t start = MonotonicMicros();
+    if (::fsync(fd_) != 0) {
+      return Status::Internal("fsync failed in " + dir_);
+    }
+    fsyncs_++;
+    if (m_fsyncs_ != nullptr) {
+      m_fsyncs_->Inc();
+    }
+    if (m_fsync_us_ != nullptr) {
+      m_fsync_us_->Record(MonotonicMicros() - start);
+    }
+  }
+  if (active_bytes_ >= options_.segment_bytes) {
+    if (options_.policy != FsyncPolicy::kNone) {
+      ::fsync(fd_);
+    }
+    ::close(fd_);
+    return OpenSegmentLocked(active_seq_ + 1);
+  }
+  return Status::Ok();
+}
+
+uint64_t Wal::Rotate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (abandoned_ || fd_ < 0) {
+    return active_seq_;
+  }
+  FlushLocked();
+  if (options_.policy != FsyncPolicy::kNone) {
+    ::fsync(fd_);
+  }
+  ::close(fd_);
+  OpenSegmentLocked(active_seq_ + 1);
+  return active_seq_;
+}
+
+void Wal::DeleteSegmentsBelow(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [s, path] : ListSegments(dir_)) {
+    if (s < seq && s != active_seq_) {
+      std::error_code ec;
+      std::filesystem::remove(path, ec);
+    }
+  }
+}
+
+void Wal::AbandonPending() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+    pending_records_ = 0;
+    abandoned_ = true;
+    stop_ = true;
+    if (fd_ >= 0) {
+      ::close(fd_);  // no flush, no fsync: whatever reached the OS survives
+      fd_ = -1;
+    }
+  }
+  cv_.notify_all();
+}
+
+void Wal::AttachObs(MetricsRegistry* metrics, const std::string& node) {
+  if (metrics == nullptr) {
+    return;
+  }
+  const MetricLabels labels = {{"node", node}};
+  m_appends_ = metrics->GetCounter("crx_wal_appends", labels);
+  m_fsyncs_ = metrics->GetCounter("crx_wal_fsyncs", labels);
+  m_bytes_ = metrics->GetCounter("crx_wal_bytes", labels);
+  m_fsync_us_ = metrics->GetLatency("crx_wal_fsync_us", labels);
+  m_batch_records_ = metrics->GetLatency("crx_wal_batch_records", labels);
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::microseconds(options_.batch_window_us));
+    if (stop_) {
+      break;
+    }
+    if (pending_records_ > 0) {
+      FlushLocked();
+    }
+  }
+}
+
+Status Wal::Replay(const std::string& dir, uint64_t min_seq,
+                   const std::function<void(const WalRecord&)>& fn, WalReplayStats* stats) {
+  WalReplayStats local;
+  WalReplayStats* st = stats != nullptr ? stats : &local;
+  *st = WalReplayStats{};
+
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) {
+    return Status::NotFound("no wal dir at " + dir);
+  }
+  const auto segments = ListSegments(dir);
+  for (size_t seg = 0; seg < segments.size(); ++seg) {
+    const auto& [seq, path] = segments[seg];
+    if (seq < min_seq) {
+      st->segments_skipped++;
+      continue;
+    }
+    const bool last_segment = seg + 1 == segments.size();
+
+    std::string contents;
+    {
+      FILE* f = std::fopen(path.c_str(), "rb");
+      if (f == nullptr) {
+        return Status::Internal("cannot open wal segment " + path);
+      }
+      char buf[64 * 1024];
+      size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        contents.append(buf, n);
+      }
+      std::fclose(f);
+    }
+
+    if (contents.size() < kSegmentHeaderBytes) {
+      if (last_segment) {
+        // A crash can leave a segment with a partial header; cut it away.
+        ::truncate(path.c_str(), 0);
+        st->tail_truncated = true;
+        break;
+      }
+      return Status::Corruption("wal segment header truncated: " + path);
+    }
+    ByteReader header(contents.data(), kSegmentHeaderBytes);
+    uint32_t magic = 0, format = 0;
+    uint64_t header_seq = 0;
+    header.GetU32(&magic);
+    header.GetU32(&format);
+    header.GetU64(&header_seq);
+    if (magic != kSegmentMagic || format != kSegmentFormat || header_seq != seq) {
+      return Status::Corruption("bad wal segment header: " + path);
+    }
+
+    size_t pos = kSegmentHeaderBytes;
+    while (pos < contents.size()) {
+      const size_t remaining = contents.size() - pos;
+      uint32_t length = 0;
+      uint64_t checksum = 0;
+      if (remaining >= kRecordHeaderBytes) {
+        ByteReader rh(contents.data() + pos, kRecordHeaderBytes);
+        rh.GetU32(&length);
+        rh.GetU64(&checksum);
+      }
+      if (remaining < kRecordHeaderBytes ||
+          remaining - kRecordHeaderBytes < static_cast<size_t>(length)) {
+        // Record cut short on disk. At the very end of the log this is a
+        // torn write from a crash mid-append: truncate it away and recover.
+        // Anywhere else the log lost bytes in the middle — corruption.
+        if (last_segment) {
+          ::truncate(path.c_str(), static_cast<off_t>(pos));
+          st->tail_truncated = true;
+          break;
+        }
+        return Status::Corruption("wal record truncated mid-log: " + path);
+      }
+      const std::string_view payload(contents.data() + pos + kRecordHeaderBytes, length);
+      if (Fnv1a64(payload) != checksum) {
+        return Status::Corruption("wal record checksum mismatch at offset " +
+                                  std::to_string(pos) + " in " + path);
+      }
+      WalRecord record;
+      ByteReader pr(payload.data(), payload.size());
+      if (!record.DecodePayload(&pr) || !pr.AtEnd()) {
+        return Status::Corruption("wal record undecodable at offset " + std::to_string(pos) +
+                                  " in " + path);
+      }
+      fn(record);
+      st->records++;
+      st->bytes += kRecordHeaderBytes + length;
+      pos += kRecordHeaderBytes + length;
+    }
+    st->segments_replayed++;
+  }
+  return Status::Ok();
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,192 @@
+// Segmented write-ahead log with group commit — the durability layer under
+// each chain node.
+//
+// The log is a directory of segment files `wal-<seq>.log`, each a fixed
+// header (magic, format version, segment sequence number) followed by
+// length-prefixed records carrying a per-record FNV-1a checksum. Appends go
+// to the newest (active) segment; when it exceeds `segment_bytes` the log
+// rotates to a fresh segment. Checkpoint-coordinated truncation
+// (`DeleteSegmentsBelow`) drops segments fully covered by a durable
+// checkpoint, bounding recovery replay work.
+//
+// Durability cost is governed by the fsync policy:
+//   * kAlways — every append is written and fsynced before returning
+//     (one syscall pair per record; the slow, maximally durable mode);
+//   * kBatch  — appends are buffered and a background flusher writes and
+//     fsyncs the whole batch once per window (or earlier when
+//     `batch_max_records` accumulate): group commit, one fsync per batch;
+//   * kNone   — appends are written to the OS immediately but never
+//     fsynced (survives process crash, not power loss).
+//
+// Replay walks segments in sequence order, verifies each record's checksum,
+// and hands decoded records to a callback. A final record cut short by a
+// crash (fewer bytes on disk than its length prefix claims, at the tail of
+// the last segment) is truncated away and replay succeeds; a checksum
+// mismatch on a fully present record is kCorruption.
+//
+// Thread safety: Append/Flush/Rotate may be called concurrently with the
+// internal flusher thread; all file state is mutex-guarded. The recovery
+// path (Replay) is static and touches no live Wal state.
+#ifndef SRC_WAL_WAL_H_
+#define SRC_WAL_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+#include "src/obs/metrics.h"
+
+namespace chainreaction {
+
+enum class FsyncPolicy {
+  kAlways,  // fsync per append
+  kBatch,   // group commit: one fsync per batch window
+  kNone,    // write-through to the OS, never fsync
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+// Parses "always" | "batch" | "none" (as used by --fsync-mode flags).
+bool ParseFsyncPolicy(const std::string& s, FsyncPolicy* out);
+
+struct WalOptions {
+  FsyncPolicy policy = FsyncPolicy::kBatch;
+  // Group-commit batch bounds (kBatch only): a batch is flushed when it
+  // holds this many records, or when the window elapses, whichever first.
+  uint32_t batch_max_records = 64;
+  Duration batch_window_us = 2000;  // real time, not simulated
+  // Start a background flusher thread for kBatch. Tests that want
+  // deterministic batch boundaries disable it and call Flush() directly.
+  bool start_flusher_thread = true;
+  uint64_t segment_bytes = 8u << 20;
+};
+
+enum class WalRecordType : uint8_t {
+  kApply = 1,   // a version applied to the store (key, value, version, deps)
+  kStable = 2,  // a version marked DC-Write-Stable (key, version)
+};
+
+struct WalRecord {
+  WalRecordType type = WalRecordType::kApply;
+  Key key;
+  Value value;                    // kApply only
+  Version version;
+  std::vector<Dependency> deps;   // kApply only
+
+  static WalRecord Apply(Key key, Value value, const Version& version,
+                         std::vector<Dependency> deps);
+  static WalRecord Stable(Key key, const Version& version);
+
+  void EncodePayload(ByteWriter* w) const;
+  bool DecodePayload(ByteReader* r);
+};
+
+struct WalReplayStats {
+  uint64_t segments_replayed = 0;
+  uint64_t segments_skipped = 0;  // below the checkpoint's sequence floor
+  uint64_t records = 0;
+  uint64_t bytes = 0;
+  bool tail_truncated = false;    // a torn final record was cut away
+};
+
+class Wal {
+ public:
+  // Opens (creating if needed) the log in `dir` and starts a fresh active
+  // segment numbered one past the newest on disk. Returns kInternal if the
+  // directory or segment cannot be created.
+  static Status Open(const std::string& dir, const WalOptions& options,
+                     std::unique_ptr<Wal>* out);
+
+  ~Wal();  // clean shutdown: flushes pending records, stops the flusher
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Appends one record. Durability on return depends on the policy (see
+  // file comment); the record is always in the in-process batch, so a clean
+  // shutdown never loses it — only a crash can.
+  Status Append(const WalRecord& record);
+
+  // Writes and (policy != kNone) fsyncs everything pending.
+  Status Flush();
+
+  // Closes the active segment (flushing it) and opens the next one.
+  // Returns the new active sequence number — the truncation floor a
+  // checkpoint taken *after* this call may safely use.
+  uint64_t Rotate();
+
+  // Deletes segments with sequence < `seq` (those fully covered by a
+  // durable checkpoint taken after Rotate() returned `seq`).
+  void DeleteSegmentsBelow(uint64_t seq);
+
+  // Crash simulation: discards records still in the group-commit buffer,
+  // as a real process crash would, and closes the file without flushing.
+  // The Wal is unusable afterwards except for destruction.
+  void AbandonPending();
+
+  // Registers this log's instruments, labeled {node=<node>}.
+  void AttachObs(MetricsRegistry* metrics, const std::string& node);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t active_seq() const { return active_seq_; }
+  uint64_t appends() const { return appends_; }
+  uint64_t fsyncs() const { return fsyncs_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+
+  // Replays every segment in `dir` with sequence >= `min_seq` through `fn`,
+  // in append order. Returns kNotFound if the directory does not exist,
+  // kCorruption on a bad header or a checksum mismatch; a torn final record
+  // in the last segment is truncated off the file and reported via `stats`,
+  // not an error. `stats` may be null.
+  static Status Replay(const std::string& dir, uint64_t min_seq,
+                       const std::function<void(const WalRecord&)>& fn, WalReplayStats* stats);
+
+  // Newest segment sequence present in `dir`, 0 if none.
+  static uint64_t NewestSegmentSeq(const std::string& dir);
+
+  static std::string SegmentFileName(uint64_t seq);
+
+ private:
+  Wal(std::string dir, WalOptions options);
+
+  Status OpenSegmentLocked(uint64_t seq);
+  Status WriteLocked(const std::string& bytes, bool sync);
+  Status FlushLocked();
+  void FlusherLoop();
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int fd_ = -1;
+  uint64_t active_seq_ = 0;
+  uint64_t active_bytes_ = 0;
+  std::string pending_;        // encoded records awaiting group commit
+  size_t pending_records_ = 0;
+  bool stop_ = false;
+  bool abandoned_ = false;
+  std::thread flusher_;
+
+  // Stats (mu_-guarded writes; readers are test/bench introspection).
+  uint64_t appends_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t bytes_written_ = 0;
+
+  // Observability (null until AttachObs).
+  Counter* m_appends_ = nullptr;
+  Counter* m_fsyncs_ = nullptr;
+  Counter* m_bytes_ = nullptr;
+  LatencyMetric* m_fsync_us_ = nullptr;
+  LatencyMetric* m_batch_records_ = nullptr;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_WAL_WAL_H_

@@ -6,6 +6,9 @@
 #include <cstdio>
 #include <string>
 
+#include "src/common/bytes.h"
+#include "src/common/hash.h"
+#include "src/msg/message.h"
 #include "src/storage/checkpoint.h"
 
 namespace chainreaction {
@@ -133,6 +136,85 @@ TEST_F(CheckpointTest, GarbageFileRejected) {
   VersionedStore restored;
   const Status s = LoadCheckpoint(path_, &restored);
   EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST_F(CheckpointTest, SaveIsAtomic) {
+  VersionedStore store;
+  store.Apply("k", "old", V(1, 0, {1}));
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  store.Apply("k", "new", V(2, 0, {2}));
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  // The temp file never survives a successful save, and the final file is
+  // the complete new checkpoint.
+  FILE* tmp = std::fopen((path_ + ".tmp").c_str(), "rb");
+  EXPECT_EQ(tmp, nullptr);
+  if (tmp != nullptr) {
+    std::fclose(tmp);
+  }
+  VersionedStore restored;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored).ok());
+  EXPECT_EQ(restored.Latest("k")->value, "new");
+}
+
+TEST_F(CheckpointTest, WalSeqRoundTrips) {
+  VersionedStore store;
+  store.Apply("k", "v", V(1, 0, {1}));
+  ASSERT_TRUE(SaveCheckpoint(store, path_, /*wal_seq=*/42).ok());
+
+  VersionedStore restored;
+  uint64_t wal_seq = 0;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored, &wal_seq).ok());
+  EXPECT_EQ(wal_seq, 42u);
+}
+
+TEST_F(CheckpointTest, UnknownFormatVersionRejected) {
+  VersionedStore store;
+  store.Apply("k", "v", V(1, 0, {1}));
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  // Bump the format field (bytes 4..7) to a future version.
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 4, SEEK_SET);
+  const uint32_t future = 99;
+  std::fwrite(&future, sizeof(future), 1, f);
+  std::fclose(f);
+
+  VersionedStore restored;
+  const Status s = LoadCheckpoint(path_, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  EXPECT_NE(s.ToString().find("unsupported checkpoint format"), std::string::npos);
+}
+
+TEST_F(CheckpointTest, LoadsFormatV1Files) {
+  // Hand-build a v1 checkpoint (no wal_seq field): one entry for key "k".
+  ByteWriter payload;
+  payload.PutString("k");
+  payload.PutString("v1-value");
+  V(3, 0, {3}).Encode(&payload);
+  payload.PutBool(true);
+  EncodeDeps({}, &payload);
+
+  ByteWriter file;
+  file.PutU32(0x43525843);  // magic
+  file.PutU32(1);           // v1
+  file.PutU64(1);           // entries
+  file.PutU64(Fnv1a64(payload.data()));
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(file.data().data(), 1, file.size(), f);
+  std::fwrite(payload.data().data(), 1, payload.size(), f);
+  std::fclose(f);
+
+  VersionedStore restored;
+  uint64_t wal_seq = 77;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored, &wal_seq).ok());
+  EXPECT_EQ(wal_seq, 0u);  // v1 carries no WAL coordination
+  ASSERT_NE(restored.Latest("k"), nullptr);
+  EXPECT_EQ(restored.Latest("k")->value, "v1-value");
+  EXPECT_TRUE(restored.Latest("k")->stable);
 }
 
 TEST_F(CheckpointTest, LargeStoreRoundTrip) {

@@ -35,6 +35,10 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --think-us N     client think time, us                           [0]
   --drop P         message drop probability                        [0]
   --kill-at-ms T   crash one server T ms into the measurement      [off]
+  --data-dir DIR   per-node WALs under DIR (chainreaction only)    [off]
+  --fsync-mode M   always | batch | none                           [batch]
+  --crash-at-ms T  crash-with-durability one server at T ms        [off]
+  --restart-at-ms T  restart it with recovery at T ms              [off]
   --seed N         RNG seed                                        [7]
   --check          attach the causal+ checker (chainreaction)
   --stats-every-ms N  print a metrics line every N simulated ms    [off]
@@ -87,7 +91,8 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv,
                    {"system", "workload", "servers", "clients", "records", "value-size",
                     "replication", "k", "dcs", "wan-ms", "measure-ms", "warmup-ms",
-                    "think-us", "drop", "kill-at-ms", "seed", "check", "stats-every-ms",
+                    "think-us", "drop", "kill-at-ms", "data-dir", "fsync-mode",
+                    "crash-at-ms", "restart-at-ms", "seed", "check", "stats-every-ms",
                     "trace-every", "metrics", "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
@@ -114,6 +119,15 @@ int main(int argc, char** argv) {
     opts.client_timeout = 50 * kMillisecond;
   }
   opts.trace_sample_every = static_cast<uint32_t>(flags.GetInt("trace-every", 0));
+  opts.data_root = flags.GetString("data-dir", "");
+  if (!ParseFsyncPolicy(flags.GetString("fsync-mode", "batch"), &opts.fsync_policy)) {
+    std::fprintf(stderr, "bad --fsync-mode (want always|batch|none)\n%s", kUsage);
+    return 2;
+  }
+  if (!opts.data_root.empty() && opts.system != SystemKind::kChainReaction) {
+    std::fprintf(stderr, "--data-dir requires --system chainreaction\n");
+    return 2;
+  }
 
   const uint64_t records = static_cast<uint64_t>(flags.GetInt("records", 1000));
   const size_t value_size = static_cast<size_t>(flags.GetInt("value-size", 1024));
@@ -143,6 +157,33 @@ int main(int argc, char** argv) {
     const Duration at = flags.GetInt("kill-at-ms", 1000) * kMillisecond;
     cluster.sim()->Schedule(run.warmup + at, [&cluster]() {
       cluster.KillServer(0, cluster.options().servers_per_dc / 2);
+    });
+  }
+
+  // Crash-restart-with-recovery: the victim keeps its WAL, so the restart
+  // replays local state and chain repair only sends the delta.
+  const uint32_t victim = opts.servers_per_dc / 2;
+  if (flags.Has("crash-at-ms")) {
+    if (opts.data_root.empty()) {
+      std::fprintf(stderr, "--crash-at-ms requires --data-dir\n");
+      return 2;
+    }
+    const Duration at = flags.GetInt("crash-at-ms", 1000) * kMillisecond;
+    cluster.sim()->Schedule(run.warmup + at, [&cluster, victim]() {
+      cluster.CrashServer(0, victim);
+    });
+  }
+  if (flags.Has("restart-at-ms")) {
+    if (!flags.Has("crash-at-ms")) {
+      std::fprintf(stderr, "--restart-at-ms requires --crash-at-ms\n");
+      return 2;
+    }
+    const Duration at = flags.GetInt("restart-at-ms", 2000) * kMillisecond;
+    cluster.sim()->Schedule(run.warmup + at, [&cluster, victim]() {
+      const Status st = cluster.RestartServer(0, victim);
+      if (!st.ok()) {
+        std::fprintf(stderr, "restart failed: %s\n", st.ToString().c_str());
+      }
     });
   }
 
@@ -205,6 +246,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cluster.TotalDepWaits()), dep_wait.Mean(),
                 static_cast<long long>(dep_wait.P50()), static_cast<long long>(dep_wait.P95()),
                 static_cast<long long>(dep_wait.P99()));
+    if (!opts.data_root.empty()) {
+      const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+      std::printf("wal           appends=%lld fsyncs=%lld bytes=%lld (fsync=%s)\n",
+                  static_cast<long long>(snap.SumCounters("crx_wal_appends")),
+                  static_cast<long long>(snap.SumCounters("crx_wal_fsyncs")),
+                  static_cast<long long>(snap.SumCounters("crx_wal_bytes")),
+                  FsyncPolicyName(opts.fsync_policy));
+      if (flags.Has("restart-at-ms")) {
+        const ChainReactionNode* node = cluster.crx_node(0, victim);
+        const WalReplayStats& rs = node->last_recovery_stats();
+        std::printf("recovery      %llu record(s), %llu segment(s), %lld us replay%s\n",
+                    static_cast<unsigned long long>(rs.records),
+                    static_cast<unsigned long long>(rs.segments_replayed),
+                    static_cast<long long>(node->last_recovery_replay_us()),
+                    rs.tail_truncated ? " (torn tail truncated)" : "");
+      }
+    }
     std::string diag;
     std::printf("convergence   %s\n", cluster.CheckConvergence(&diag) ? "OK" : diag.c_str());
     if (opts.trace_sample_every > 0) {
