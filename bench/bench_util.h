@@ -41,6 +41,10 @@ struct CellOptions {
   // >0: trace every Nth put (ChainReaction only); traces land in
   // cluster->traces() for post-run inspection.
   uint32_t trace_sample_every = 0;
+  // Probabilistic head sampling / tail-based slow-trace capture (see
+  // ClusterOptions; ChainReaction only).
+  double trace_probability = 0.0;
+  int64_t slow_trace_us = 0;
 };
 
 struct CellResult {
@@ -59,6 +63,8 @@ inline CellResult RunCell(const CellOptions& cell) {
   opts.seed = cell.seed;
   opts.server_service = cell.server_service;
   opts.trace_sample_every = cell.trace_sample_every;
+  opts.trace_probability = cell.trace_probability;
+  opts.slow_trace_us = cell.slow_trace_us;
 
   CellResult out;
   out.cluster = std::make_unique<Cluster>(opts);
@@ -75,24 +81,7 @@ inline CellResult RunCell(const CellOptions& cell) {
 // whose "name{labels}" line contains `filter`. Benchmarks call this after a
 // cell to show protocol-level counters next to the reported rows.
 inline void PrintMetrics(const Cluster& cluster, const std::string& filter = "") {
-  const MetricsSnapshot snap = cluster.metrics()->Snapshot();
-  if (filter.empty()) {
-    std::printf("%s", snap.RenderText().c_str());
-    return;
-  }
-  std::string text = snap.RenderText();
-  size_t start = 0;
-  while (start < text.size()) {
-    size_t end = text.find('\n', start);
-    if (end == std::string::npos) {
-      end = text.size();
-    }
-    const std::string line = text.substr(start, end - start);
-    if (line.find(filter) != std::string::npos) {
-      std::printf("%s\n", line.c_str());
-    }
-    start = end + 1;
-  }
+  std::printf("%s", RenderTextFiltered(cluster.metrics()->Snapshot(), filter).c_str());
 }
 
 inline std::string Fmt(const char* fmt, double v) {

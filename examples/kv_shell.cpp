@@ -6,7 +6,9 @@
 //   get <key>             read (shows version, chain position, stability)
 //   meta <key>            client metadata for the key
 //   session               accessed-set summary
-//   stats                 dump the metrics registry (all nodes + transports)
+//   stats [filter]        windowed metrics since the last 'stats' call
+//   stats --cumulative [filter]   full cumulative registry dump
+//   stats reset           forget the window baseline
 //   wal                   per-node WAL counters + recovery stats (durability)
 //   trace                 render the last put's end-to-end trace
 //   reset                 forget session state
@@ -14,6 +16,11 @@
 //
 //   $ ./build/examples/kv_shell [--servers N] [--replication R] [--k K]
 //                               [--data-dir DIR] [--fsync-mode always|batch|none]
+//                               [--http-port P]
+//
+// With --http-port the process serves the telemetry endpoints (/metrics,
+// /metrics.json, /metrics/window, /traces, /events, /status) on loopback
+// port P, aggregated over every in-process node.
 //
 // With --data-dir every node write-ahead-logs to DIR/n<id>/ and recovers
 // from it on startup, so a killed shell restarted on the same DIR comes
@@ -34,7 +41,9 @@
 #include "src/net/sync_client.h"
 #include "src/net/tcp_runtime.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
+#include "src/obs/window.h"
 #include "src/ring/ring.h"
 #include "src/wal/wal.h"
 
@@ -43,13 +52,15 @@ using namespace chainreaction;
 namespace {
 const char* kUsage =
     "usage: kv_shell [--servers N] [--replication R] [--k K]\n"
-    "                [--data-dir DIR] [--fsync-mode always|batch|none]\n";
+    "                [--data-dir DIR] [--fsync-mode always|batch|none]\n"
+    "                [--http-port P]\n";
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   if (!flags.Parse(argc, argv,
-                   {"servers", "replication", "k", "data-dir", "fsync-mode", "help"})) {
+                   {"servers", "replication", "k", "data-dir", "fsync-mode", "http-port",
+                    "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
@@ -61,6 +72,7 @@ int main(int argc, char** argv) {
   const uint32_t replication = static_cast<uint32_t>(flags.GetInt("replication", 3));
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 2));
   const std::string data_dir = flags.GetString("data-dir", "");
+  const uint16_t http_port = static_cast<uint16_t>(flags.GetInt("http-port", 0));
   WalOptions wal_options;
   if (!ParseFsyncPolicy(flags.GetString("fsync-mode", "batch"), &wal_options.policy)) {
     std::fprintf(stderr, "bad --fsync-mode (want always|batch|none)\n%s", kUsage);
@@ -137,6 +149,54 @@ int main(int argc, char** argv) {
   client_rt->Start();
   SyncClient kv(client.get(), client_rt.get());
 
+  // Optional HTTP telemetry: one aggregated endpoint for every in-process
+  // node. /status posts into each node's loop thread because node state is
+  // loop-owned.
+  std::unique_ptr<TelemetryServer> telemetry;
+  if (http_port != 0) {
+    telemetry = std::make_unique<TelemetryServer>(http_port);
+    if (!telemetry->ok()) {
+      std::fprintf(stderr, "cannot bind --http-port %u\n", http_port);
+      return 1;
+    }
+    telemetry->AttachMetrics(&metrics);
+    telemetry->AttachTraces(&traces);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      telemetry->AddRecorder("n" + std::to_string(i), nodes[i]->events());
+    }
+    telemetry->SetStatusProvider([&runtimes, &nodes]() {
+      std::string out = "{\"nodes\":[";
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        std::mutex mu;
+        std::condition_variable cv;
+        bool done = false;
+        std::string status;
+        runtimes[i]->Post([&]() {
+          status = nodes[i]->StatusJson();
+          std::lock_guard<std::mutex> lock(mu);
+          done = true;
+          cv.notify_one();
+        });
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return done; });
+        if (i > 0) {
+          out += ',';
+        }
+        out += status;
+      }
+      out += "]}";
+      return out;
+    });
+    telemetry->Start();
+    std::printf("telemetry on http://127.0.0.1:%u/ (/metrics /status /events /traces)\n",
+                telemetry->port());
+  }
+
+  // Windowed `stats`: diffs the cumulative registry against the last call.
+  // Times are relative to shell start so the first window reads sensibly.
+  WindowedAggregator stats_window;
+  const int64_t stats_t0 = TelemetryServer::WallMicros();
+
   std::printf("chainreaction shell — %u servers over loopback TCP, R=%u, k=%u\n", servers,
               replication, k);
   if (!data_dir.empty()) {
@@ -163,8 +223,8 @@ int main(int argc, char** argv) {
     }
     if (cmd == "help") {
       std::printf(
-          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | stats | wal | "
-          "trace | reset | quit\n");
+          "put <key> <value> | get <key> | mget <k>... | meta <key> | session | "
+          "stats [--cumulative] [filter] | stats reset | wal | trace | reset | quit\n");
       continue;
     }
     if (cmd == "wal") {
@@ -187,7 +247,35 @@ int main(int argc, char** argv) {
       continue;
     }
     if (cmd == "stats") {
-      std::printf("%s", metrics.RenderText().c_str());
+      std::string arg;
+      in >> arg;
+      if (arg == "reset") {
+        stats_window.Reset();
+        std::printf("stats window reset — next 'stats' reports since now\n");
+        continue;
+      }
+      if (arg == "--cumulative") {
+        std::string filter;
+        in >> filter;
+        std::printf("%s", RenderTextFiltered(metrics.Snapshot(), filter).c_str());
+        continue;
+      }
+      // Default: windowed view since the previous 'stats' (or 'stats reset').
+      const std::string filter = arg;  // optional substring filter
+      const WindowedView view =
+          stats_window.Advance(metrics.Snapshot(), TelemetryServer::WallMicros() - stats_t0);
+      const std::string text = view.RenderText();
+      if (filter.empty()) {
+        std::printf("%s", text.c_str());
+      } else {
+        std::istringstream lines(text);
+        std::string ln;
+        while (std::getline(lines, ln)) {
+          if (ln.find(filter) != std::string::npos || ln.rfind("window", 0) == 0) {
+            std::printf("%s\n", ln.c_str());
+          }
+        }
+      }
       continue;
     }
     if (cmd == "trace") {
@@ -297,6 +385,9 @@ int main(int argc, char** argv) {
     std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
   }
 
+  if (telemetry) {
+    telemetry->Stop();  // before the loops: /status posts into them
+  }
   client_rt->Stop();
   for (auto& rt : runtimes) {
     rt->Stop();

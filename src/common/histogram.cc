@@ -6,12 +6,7 @@
 
 namespace chainreaction {
 
-namespace {
-// 64 powers of two, kSubBuckets sub-buckets each, is enough for any int64.
-constexpr size_t kMaxBuckets = 64 << 5;
-}  // namespace
-
-Histogram::Histogram() : buckets_(kMaxBuckets, 0) {}
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
 
 size_t Histogram::BucketFor(int64_t value) {
   if (value < 0) {
@@ -77,6 +72,65 @@ void Histogram::Reset() {
   max_ = 0;
 }
 
+Histogram Histogram::FromBuckets(const uint64_t* counts, size_t n, uint64_t count, double sum,
+                                 int64_t min, int64_t max) {
+  Histogram h;
+  const size_t limit = std::min(n, h.buckets_.size());
+  for (size_t i = 0; i < limit; ++i) {
+    h.buckets_[i] = counts[i];
+  }
+  h.count_ = count;
+  h.sum_ = sum;
+  h.min_ = min;
+  h.max_ = max;
+  return h;
+}
+
+Histogram Histogram::Diff(const Histogram& earlier) const {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] < earlier.buckets_[i]) {
+      return *this;  // reset detected: the earlier snapshot is not a prefix
+    }
+  }
+  Histogram d;
+  uint64_t count = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    d.buckets_[i] = buckets_[i] - earlier.buckets_[i];
+    count += d.buckets_[i];
+  }
+  d.count_ = count;
+  d.sum_ = std::max(0.0, sum_ - earlier.sum_);
+  // Exact interval min/max are not recoverable from cumulative snapshots;
+  // bound them by the non-empty interval buckets.
+  if (count > 0) {
+    for (size_t i = 0; i < d.buckets_.size(); ++i) {
+      if (d.buckets_[i] != 0) {
+        d.min_ = BucketUpperBound(i);
+        break;
+      }
+    }
+    for (size_t i = d.buckets_.size(); i-- > 0;) {
+      if (d.buckets_[i] != 0) {
+        d.max_ = BucketUpperBound(i);
+        break;
+      }
+    }
+  }
+  return d;
+}
+
+void Histogram::ForEachCumulativeBucket(
+    const std::function<void(int64_t, uint64_t)>& fn) const {
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    cumulative += buckets_[i];
+    fn(BucketUpperBound(i), cumulative);
+  }
+}
+
 double Histogram::Mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
 
 int64_t Histogram::Percentile(double p) const {
@@ -89,10 +143,10 @@ int64_t Histogram::Percentile(double p) const {
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target) {
-      return std::min(BucketUpperBound(i), max_);
+      return std::min(BucketUpperBound(i), max());
     }
   }
-  return max_;
+  return max();
 }
 
 std::string Histogram::Summary() const {

@@ -2,11 +2,14 @@
 //
 // Records non-negative integer samples (microseconds in this codebase) into
 // buckets with bounded relative error, and reports count/mean/percentiles.
-// Used by the YCSB stats collector and the benchmark harness.
+// Used by the YCSB stats collector, the benchmark harness, and the metrics
+// registry (which keeps the buckets in atomics and rebuilds a Histogram via
+// FromBuckets at snapshot time).
 #ifndef SRC_COMMON_HISTOGRAM_H_
 #define SRC_COMMON_HISTOGRAM_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -14,16 +17,38 @@ namespace chainreaction {
 
 class Histogram {
  public:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two.
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  // 64 powers of two, kSubBuckets sub-buckets each, is enough for any int64.
+  static constexpr size_t kNumBuckets = 64 << kSubBucketBits;
+
   Histogram();
 
   void Record(int64_t value);
   void Merge(const Histogram& other);
   void Reset();
 
+  // Rebuilds a histogram from externally maintained bucket counts (the
+  // lock-free LatencyMetric snapshot path). `counts` holds `n` buckets laid
+  // out as BucketFor; the mean is reconstructed from `sum`.
+  static Histogram FromBuckets(const uint64_t* counts, size_t n, uint64_t count, double sum,
+                               int64_t min, int64_t max);
+
+  // Interval histogram: this minus `earlier` bucket-wise. If `earlier` is
+  // not a prefix of this histogram's history (any bucket shrank — a counter
+  // reset), returns *this unchanged, treating the interval as starting from
+  // zero.
+  Histogram Diff(const Histogram& earlier) const;
+
+  // Calls fn(upper_bound, cumulative_count) for every non-empty bucket in
+  // ascending order (Prometheus-style cumulative "le" buckets).
+  void ForEachCumulativeBucket(const std::function<void(int64_t, uint64_t)>& fn) const;
+
   uint64_t count() const { return count_; }
   int64_t min() const { return count_ == 0 ? 0 : min_; }
   int64_t max() const { return count_ == 0 ? 0 : max_; }
   double Mean() const;
+  double sum() const { return sum_; }
 
   // p in [0, 100]. Returns an upper bound of the bucket containing the
   // percentile (relative error <= 1/32).
@@ -36,13 +61,11 @@ class Histogram {
   // "count=N mean=X p50=... p99=... max=..." for logs and tables.
   std::string Summary() const;
 
- private:
-  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per power of two.
-  static constexpr int kSubBuckets = 1 << kSubBucketBits;
-
+  // Bucket layout, shared with the lock-free metric implementation.
   static size_t BucketFor(int64_t value);
   static int64_t BucketUpperBound(size_t index);
 
+ private:
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0;

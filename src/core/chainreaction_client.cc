@@ -8,7 +8,12 @@ namespace chainreaction {
 
 ChainReactionClient::ChainReactionClient(Address address, CrxConfig config, Ring ring,
                                          uint64_t seed)
-    : address_(address), config_(config), ring_(std::move(ring)), rng_(seed) {}
+    : address_(address), config_(config), ring_(std::move(ring)), rng_(seed) {
+  sampling_.sample_every = config_.trace_sample_every;
+  sampling_.probability = config_.trace_probability;
+  sampling_.slow_trace_us = config_.slow_trace_us;
+  trace_rng_ = (seed ^ (static_cast<uint64_t>(address) << 32)) | 1;
+}
 
 void ChainReactionClient::AttachObs(MetricsRegistry* metrics, TraceCollector* traces) {
   trace_sink_ = traces;
@@ -21,6 +26,7 @@ void ChainReactionClient::AttachObs(MetricsRegistry* metrics, TraceCollector* tr
   m_deps_bytes_ = metrics->GetGauge("crx_client_deps_bytes", labels);
   m_accessed_keys_ = metrics->GetGauge("crx_client_accessed_keys", labels);
   m_retries_ = metrics->GetCounter("crx_client_retries", labels);
+  m_slow_traces_ = metrics->GetCounter("crx_client_slow_traces", labels);
 }
 
 std::vector<Dependency> ChainReactionClient::BuildDeps() const {
@@ -72,8 +78,10 @@ void ChainReactionClient::SendPut(RequestId req) {
       m_deps_bytes_->Set(static_cast<int64_t>(AccessedSetBytes()));
       m_accessed_keys_->Set(static_cast<int64_t>(accessed_.size()));
     }
-    if (config_.trace_sample_every > 0 &&
-        (puts_started_++ % config_.trace_sample_every) == 0) {
+    // Head sampling decides up front; with tail capture on, every put is
+    // traced and the keep/drop decision happens at ack time.
+    op.head_sampled = sampling_.HeadSample(puts_started_++, &trace_rng_);
+    if (op.head_sampled || sampling_.capture_all()) {
       op.trace.id = MakeTraceId(address_, req);
       TraceHopAndReport(&op.trace, trace_sink_, HopKind::kClientPut, address_, config_.local_dc,
                         static_cast<uint32_t>(op.deps.size()), env_->Now());
@@ -208,13 +216,28 @@ void ChainReactionClient::HandlePutAck(const CrxPutAck& ack) {
     return;  // duplicate ack after retry
   }
   env_->CancelTimer(it->second.timer);
+  const int64_t latency = env_->Now() - it->second.started_at;
   if (m_put_latency_ != nullptr) {
-    m_put_latency_->Record(env_->Now() - it->second.started_at);
+    // Traced puts attach their id as a histogram exemplar, linking the
+    // latency bucket to the retained trace.
+    m_put_latency_->RecordWithExemplar(latency, ack.trace.id);
   }
   if (ack.trace.active()) {
     TraceContext done = ack.trace;
     TraceHopAndReport(&done, trace_sink_, HopKind::kClientAck, address_, config_.local_dc,
                       ack.acked_at, env_->Now());
+    // Tail decision: slow puts are always retained (never lost to the
+    // sampler); fast ones survive only if head-sampled.
+    if (sampling_.capture_all() && trace_sink_ != nullptr) {
+      if (latency >= sampling_.slow_trace_us) {
+        trace_sink_->Retain(done.id);
+        if (m_slow_traces_ != nullptr) {
+          m_slow_traces_->Inc();
+        }
+      } else if (!it->second.head_sampled) {
+        trace_sink_->Discard(done.id);
+      }
+    }
   }
 
   const bool stable = ack.acked_at >= config_.replication;

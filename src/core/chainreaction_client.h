@@ -29,6 +29,7 @@
 #include "src/core/config.h"
 #include "src/msg/message.h"
 #include "src/obs/metrics.h"
+#include "src/obs/sampling.h"
 #include "src/obs/trace.h"
 #include "src/ring/ring.h"
 #include "src/sim/env.h"
@@ -132,7 +133,8 @@ class ChainReactionClient : public Actor {
     uint64_t timer = 0;
     uint32_t attempts = 0;
     Time started_at = 0;
-    TraceContext trace;  // active iff this put was sampled for tracing
+    TraceContext trace;  // active iff this put carries a trace context
+    bool head_sampled = false;  // head decision; tail capture may still retain
     // Gets issued by a read transaction:
     bool with_deps = false;
     bool has_min_override = false;
@@ -188,7 +190,10 @@ class ChainReactionClient : public Actor {
   Gauge* m_deps_bytes_ = nullptr;
   Gauge* m_accessed_keys_ = nullptr;
   Counter* m_retries_ = nullptr;
+  Counter* m_slow_traces_ = nullptr;  // tail-retained slow puts
+  TraceSamplingPolicy sampling_;      // derived from config in the ctor
   uint64_t puts_started_ = 0;  // trace sampling counter
+  uint64_t trace_rng_ = 1;     // xorshift state for probabilistic sampling
 };
 
 }  // namespace chainreaction

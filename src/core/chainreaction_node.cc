@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/storage/checkpoint.h"
 #include "src/common/result.h"
@@ -60,8 +61,11 @@ Status ChainReactionNode::EnableDurability(const std::string& data_dir,
                                            const WalOptions& options) {
   data_dir_ = data_dir;
   const Status status = Wal::Open(data_dir, options, &wal_);
-  if (status.ok() && metrics_ != nullptr) {
-    wal_->AttachObs(metrics_, std::to_string(id_));
+  if (status.ok()) {
+    wal_->SetRecorder(&events_);
+    if (metrics_ != nullptr) {
+      wal_->AttachObs(metrics_, std::to_string(id_));
+    }
   }
   return status;
 }
@@ -94,6 +98,9 @@ Status ChainReactionNode::RecoverFrom(const std::string& data_dir) {
   }
   RebuildRecoveredState();
   recovery_replay_us_ = WallMicros() - start;
+  events_.Emit(EventKind::kWalRecovery, WallMicros(),
+               static_cast<int64_t>(recovery_stats_.records),
+               static_cast<int64_t>(recovery_stats_.segments_replayed));
   if (metrics_ != nullptr) {
     const MetricLabels labels = {{"node", std::to_string(id_)}};
     metrics_->GetLatency("crx_wal_recovery_replay_us", labels)->Record(recovery_replay_us_);
@@ -330,6 +337,9 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   // syncs land.
   if (env_->Now() < rejoin_until_ || IsJoinGuarded(put.key)) {
     rejoin_buffered_puts_.push_back(std::move(put));
+    events_.Emit(EventKind::kPutParked, env_->Now(),
+                 static_cast<int64_t>(Fnv1a64(rejoin_buffered_puts_.back().key)),
+                 static_cast<int64_t>(rejoin_buffered_puts_.size()));
     return;
   }
 
@@ -438,6 +448,9 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
     // this node (or guarded it): minting here would assign a version the new
     // head never sees and propagate it past the chain prefix. Re-dispatch so
     // the put is forwarded (or parked) like any fresh arrival.
+    events_.Emit(EventKind::kGatedRedispatch, env_->Now(),
+                 static_cast<int64_t>(Fnv1a64(put.key)),
+                 static_cast<int64_t>(ring_.epoch()));
     HandlePut(std::move(put));
     return;
   }
@@ -734,6 +747,9 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       env_->Send(ring_.PredecessorFor(get.key, id_), EncodeMessage(get));
     } else {
       join_guarded_gets_.push_back(std::move(get));
+      events_.Emit(EventKind::kGetParked, env_->Now(),
+                   static_cast<int64_t>(Fnv1a64(join_guarded_gets_.back().key)),
+                   static_cast<int64_t>(join_guarded_gets_.size()));
     }
     return;
   }
@@ -905,6 +921,8 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
   }
   const Ring old_ring = ring_;
   ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch);
+  events_.Emit(EventKind::kEpochChange, env_->Now(), static_cast<int64_t>(msg.epoch),
+               static_cast<int64_t>(msg.nodes.size()));
   if (!ring_.Contains(id_)) {
     return;  // this node was removed; it will receive no further traffic
   }
@@ -995,13 +1013,17 @@ void ChainReactionNode::RepairChains(const Ring& old_ring) {
   std::vector<Key> keys;
   keys.reserve(store_.KeyCount());
   store_.ForEachKey([&keys](const Key& key, const StoredVersion&) { keys.push_back(key); });
+  events_.Emit(EventKind::kRepairStart, env_->Now(), static_cast<int64_t>(ring_.epoch()),
+               static_cast<int64_t>(keys.size()));
 
+  uint64_t chains_touched = 0;
   for (const Key& key : keys) {
     const std::vector<NodeId>& chain = ring_.ChainFor(key);
     const ChainIndex pos = ring_.PositionOf(key, id_);
     if (pos == 0) {
       continue;
     }
+    chains_touched++;
 
     // New head re-propagates everything not yet DC-Write-Stable so that
     // in-flight writes dropped by the epoch change reach the (new) tail.
@@ -1072,6 +1094,8 @@ void ChainReactionNode::RepairChains(const Ring& old_ring) {
       }
     }
   }
+  events_.Emit(EventKind::kRepairDone, env_->Now(), static_cast<int64_t>(ring_.epoch()),
+               static_cast<int64_t>(chains_touched));
 }
 
 void ChainReactionNode::HandleSyncKey(const MemSyncKey& msg) {
@@ -1100,6 +1124,8 @@ void ChainReactionNode::HandleSyncDone(const MemSyncDone& msg) {
   if (msg.epoch < ring_.epoch() || rejoin_pending_peers_ == 0) {
     return;
   }
+  events_.Emit(EventKind::kSyncDone, env_->Now(), static_cast<int64_t>(msg.epoch),
+               static_cast<int64_t>(rejoin_pending_peers_ - 1));
   if (--rejoin_pending_peers_ == 0) {
     DrainRejoin();
   }
@@ -1108,6 +1134,9 @@ void ChainReactionNode::HandleSyncDone(const MemSyncDone& msg) {
 void ChainReactionNode::DrainRejoin() {
   rejoin_pending_peers_ = 0;
   rejoin_until_ = env_->Now();  // expire the fallback window
+  events_.Emit(EventKind::kGuardDrain, env_->Now(),
+               static_cast<int64_t>(rejoin_buffered_puts_.size() + join_guarded_gets_.size()),
+               static_cast<int64_t>(ring_.epoch()));
   // The rejoin guards are the ones whose old ring lacked this node; repair
   // is complete for them, so reads no longer need escalation.
   join_guards_.erase(std::remove_if(join_guards_.begin(), join_guards_.end(),
@@ -1121,6 +1150,43 @@ void ChainReactionNode::DrainRejoin() {
     HandlePut(std::move(put));
   }
   DrainGuardedGets();
+}
+
+std::string ChainReactionNode::StatusJson() const {
+  // Chain role across the ring: how many segments this node heads, serves
+  // as middle for, or tails — the /status summary of "who am I right now".
+  uint64_t head = 0, middle = 0, tail = 0;
+  for (const std::vector<NodeId>& chain : ring_.SegmentChains()) {
+    if (chain.empty()) {
+      continue;
+    }
+    if (chain.front() == id_) {
+      head++;
+    } else if (chain.back() == id_) {
+      tail++;
+    } else if (std::find(chain.begin(), chain.end(), id_) != chain.end()) {
+      middle++;
+    }
+  }
+  char buf[640];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"node\":%u,\"dc\":%u,\"epoch\":%llu,"
+      "\"segments\":{\"head\":%llu,\"middle\":%llu,\"tail\":%llu},"
+      "\"wal\":{\"enabled\":%s,\"active_seq\":%llu,\"appends\":%llu},"
+      "\"rejoin\":{\"pending_peers\":%u,\"buffered_puts\":%zu,"
+      "\"guarded_gets\":%zu,\"join_guards\":%zu},"
+      "\"store_keys\":%zu,\"gated_puts\":%zu,\"deferred_gets\":%zu,"
+      "\"events_emitted\":%llu}",
+      id_, config_.local_dc, static_cast<unsigned long long>(ring_.epoch()),
+      static_cast<unsigned long long>(head), static_cast<unsigned long long>(middle),
+      static_cast<unsigned long long>(tail), wal_ != nullptr ? "true" : "false",
+      static_cast<unsigned long long>(wal_ != nullptr ? wal_->active_seq() : 0),
+      static_cast<unsigned long long>(wal_ != nullptr ? wal_->appends() : 0),
+      rejoin_pending_peers_, rejoin_buffered_puts_.size(), join_guarded_gets_.size(),
+      join_guards_.size(), store_.KeyCount(), gated_puts_.size(), deferred_gets_.size(),
+      static_cast<unsigned long long>(events_.emitted()));
+  return buf;
 }
 
 }  // namespace chainreaction

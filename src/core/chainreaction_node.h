@@ -29,6 +29,7 @@
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ring/ring.h"
@@ -126,6 +127,19 @@ class ChainReactionNode : public Actor {
     return it == stable_vv_.end() ? "(none)" : it->second.ToString();
   }
   size_t watchers_count() const { return watchers_.size(); }
+
+  // Telemetry ------------------------------------------------------------
+  // The node's flight recorder: a ring of recent control-plane events
+  // (epoch changes, repairs, guard parks/drains, WAL rotations). Always
+  // live — Emit is lock-free and cheap enough to leave on.
+  FlightRecorder* events() { return &events_; }
+  const FlightRecorder* events() const { return &events_; }
+
+  // Node status as a JSON object: id, epoch, chain role per ring segment,
+  // WAL seq / checkpoint floor, rejoin/guard state, store size. Reads
+  // loop-thread-owned state: call on the actor's thread (the TCP runtime
+  // posts to the loop; the simulator is single-threaded).
+  std::string StatusJson() const;
 
  private:
   // A write parked at the head until its dependencies are DC-Write-Stable.
@@ -315,6 +329,7 @@ class ChainReactionNode : public Actor {
   Counter* m_gets_forwarded_ = nullptr;
   Gauge* m_gated_depth_ = nullptr;
   LatencyMetric* m_dep_wait_ = nullptr;
+  FlightRecorder events_;
 };
 
 }  // namespace chainreaction

@@ -72,6 +72,16 @@ struct CrxConfig {
   // Clients attach a trace header to every Nth put (0 disables tracing).
   // Traced puts accumulate per-hop annotations end-to-end; see src/obs/.
   uint32_t trace_sample_every = 0;
+
+  // Probabilistic head sampling: additionally trace each put with this
+  // probability (0 disables). Combines with trace_sample_every.
+  double trace_probability = 0.0;
+
+  // Tail-based capture: when > 0, EVERY put carries a trace context, and on
+  // ack the client retains the trace iff the observed latency was >= this
+  // many microseconds (or the put was head-sampled anyway); other traces
+  // are discarded. Slow requests thus always keep their full hop trace.
+  int64_t slow_trace_us = 0;
 };
 
 }  // namespace chainreaction

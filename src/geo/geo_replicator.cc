@@ -153,6 +153,8 @@ void GeoReplicator::HandleLocalStable(const GeoLocalStable& msg) {
       if (m_shipped_ != nullptr) {
         m_shipped_->Inc();
       }
+      events_.Emit(EventKind::kGeoShip, env_->Now(), static_cast<int64_t>(peers.size()),
+                   static_cast<int64_t>(dc_));
       PendingGlobal& pg = pending_global_[ship.channel_seq];
       pg.ship = std::move(ship);
       pg.unacked = std::move(peers);
@@ -312,6 +314,7 @@ void GeoReplicator::Inject(const GeoShip& ship) {
   put.trace = ship.trace;
   TraceHopAndReport(&put.trace, trace_sink_, HopKind::kGeoInject, dc_, dc_, ship.origin_dc,
                     env_->Now());
+  events_.Emit(EventKind::kGeoInject, env_->Now(), 1, static_cast<int64_t>(ship.origin_dc));
   env_->Send(local_ring_.HeadFor(ship.key), EncodeMessage(put));
 }
 

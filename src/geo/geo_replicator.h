@@ -28,6 +28,7 @@
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ring/ring.h"
@@ -67,6 +68,10 @@ class GeoReplicator : public Actor {
   size_t unacked_shipments() const { return pending_global_.size(); }
   size_t pending_acks() const { return pending_acks_.size(); }
   const Histogram& global_stable_delay() const { return global_stable_delay_; }
+
+  // Flight recorder of this replicator's ship/inject activity.
+  FlightRecorder* events() { return &events_; }
+  const FlightRecorder* events() const { return &events_; }
 
  private:
   struct PendingRemote {
@@ -161,6 +166,7 @@ class GeoReplicator : public Actor {
   Gauge* m_parked_depth_ = nullptr;
   LatencyMetric* m_replication_lag_ = nullptr;
   LatencyMetric* m_visibility_delay_ = nullptr;
+  FlightRecorder events_;
 };
 
 }  // namespace chainreaction

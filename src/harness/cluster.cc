@@ -67,6 +67,8 @@ CrxConfig Cluster::MakeCrxConfig(DcId dc) const {
   cfg.read_policy = options_.read_policy;
   cfg.disable_dependency_gating = options_.disable_dependency_gating;
   cfg.trace_sample_every = options_.trace_sample_every;
+  cfg.trace_probability = options_.trace_probability;
+  cfg.slow_trace_us = options_.slow_trace_us;
   return cfg;
 }
 
@@ -304,6 +306,11 @@ void Cluster::CrashServer(DcId dc, uint32_t idx) {
   CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
   CHAINRX_CHECK(!options_.data_root.empty());
   const NodeId node = ServerAddress(dc, idx);
+  // Dump the victim's flight recorder to its data dir first — the post-crash
+  // artifact an operator (or the crash-restart property test) reads to see
+  // what the node was doing when it died.
+  crx_nodes_[dc][idx]->events()->DumpToFile(NodeDataDir(dc, idx) + "/flight.log",
+                                            sim_.Now());
   // Drop the un-flushed group-commit batch, as a real process crash would;
   // everything already written through to the OS stays in the data dir.
   crx_nodes_[dc][idx]->CrashDurability();
@@ -335,11 +342,48 @@ Status Cluster::RestartServer(DcId dc, uint32_t idx) {
   Env* env = net_->Register(node_id, node.get(), dc, options_.server_service);
   node->AttachEnv(env);
   node->AttachObs(&metrics_, &traces_);
+  retired_nodes_.push_back(std::move(crx_nodes_[dc][idx]));
   crx_nodes_[dc][idx] = std::move(node);
   // Announce the rejoin only once recovery is complete: the epoch broadcast
   // triggers chain repair, which syncs the node the delta it missed.
   membership_[dc]->AddNode(node_id);
   return Status::Ok();
+}
+
+std::unique_ptr<TelemetryServer> Cluster::ServeTelemetry(uint16_t port) {
+  auto server = std::make_unique<TelemetryServer>(port);
+  if (!server->ok()) {
+    return nullptr;
+  }
+  server->AttachMetrics(&metrics_);
+  server->AttachTraces(&traces_);
+  for (DcId dc = 0; dc < crx_nodes_.size(); ++dc) {
+    for (uint32_t idx = 0; idx < crx_nodes_[dc].size(); ++idx) {
+      server->AddRecorder(
+          "dc" + std::to_string(dc) + "-n" + std::to_string(idx),
+          crx_nodes_[dc][idx]->events());
+    }
+  }
+  for (DcId dc = 0; dc < geo_.size(); ++dc) {
+    if (geo_[dc] != nullptr) {
+      server->AddRecorder("geo-dc" + std::to_string(dc), geo_[dc]->events());
+    }
+  }
+  // Static topology only: dynamic node state is owned by the sim thread.
+  const ClusterOptions& opt = options_;
+  server->SetStatusProvider([opt] {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"system\":\"%s\",\"dcs\":%u,\"servers_per_dc\":%u,"
+                  "\"clients_per_dc\":%u,\"replication\":%u,\"k_stability\":%u,"
+                  "\"durability\":%s}",
+                  SystemKindName(opt.system), opt.num_dcs, opt.servers_per_dc,
+                  opt.clients_per_dc, opt.replication, opt.k_stability,
+                  opt.data_root.empty() ? "false" : "true");
+    return std::string(buf);
+  });
+  server->Start();
+  return server;
 }
 
 std::vector<uint64_t> Cluster::ReadsByPosition() const {

@@ -21,6 +21,7 @@
 #include "src/core/chainreaction_node.h"
 #include "src/geo/geo_replicator.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/ring/membership.h"
 #include "src/sim/network.h"
@@ -65,6 +66,11 @@ struct ClusterOptions {
   // >0: clients trace every Nth put end-to-end (ChainReaction only); hops
   // land in Cluster::traces().
   uint32_t trace_sample_every = 0;
+  // Probabilistic head sampling (combines with trace_sample_every).
+  double trace_probability = 0.0;
+  // >0: tail-based capture — every put is traced; traces whose observed
+  // latency is >= this threshold are always retained (see CrxConfig).
+  int64_t slow_trace_us = 0;
   uint64_t seed = 1;
 
   // Non-empty: every ChainReaction server runs with durability enabled,
@@ -152,6 +158,15 @@ class Cluster {
 
   NodeId ServerAddress(DcId dc, uint32_t idx) const;
 
+  // Starts one aggregated HTTP telemetry endpoint for the whole simulated
+  // deployment: the shared metrics registry and trace collector (both
+  // thread-safe to scrape while the simulation runs), every node's and
+  // replicator's flight recorder under /events, and a static-topology
+  // /status (dynamic per-node state is loop-owned and not exposed here —
+  // use the per-node endpoints of the TCP runtime for that). Returns null
+  // if `port` cannot be bound. The cluster must outlive the server.
+  std::unique_ptr<TelemetryServer> ServeTelemetry(uint16_t port);
+
  private:
   void BuildChainReaction();
   void BuildBaseline();
@@ -168,6 +183,9 @@ class Cluster {
   std::vector<std::unique_ptr<MembershipService>> membership_;
   std::vector<std::unique_ptr<GeoReplicator>> geo_;
   std::vector<std::vector<std::unique_ptr<ChainReactionNode>>> crx_nodes_;
+  // Crashed-then-replaced nodes, parked until teardown so flight-recorder
+  // pointers handed to a TelemetryServer can never dangle across restarts.
+  std::vector<std::unique_ptr<ChainReactionNode>> retired_nodes_;
   std::vector<std::unique_ptr<CrNode>> cr_nodes_;
   std::vector<std::unique_ptr<CraqNode>> craq_nodes_;
   std::vector<std::unique_ptr<EventualNode>> ev_nodes_;

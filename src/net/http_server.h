@@ -1,0 +1,82 @@
+// Minimal embedded HTTP/1.1 server for telemetry exposition.
+//
+// Serves GET requests only, one poll-loop thread, loopback-bound, built on
+// the same non-blocking socket plumbing as TcpRuntime. Handlers are
+// registered as (path prefix -> callback); the longest matching prefix
+// wins. Responses are buffered whole (metrics pages are small) and sent
+// with Content-Length + Connection: close, which keeps the state machine
+// trivial: read until blank line, dispatch, write, close.
+//
+// Deliberately NOT a general web server: no keep-alive, no TLS, no chunked
+// bodies, no request bodies. It exists so every node (TCP runtime) and the
+// harness (sim runs) can expose /metrics, /status, /traces, /events to
+// curl and Prometheus without any dependency beyond POSIX sockets.
+//
+// Lives in its own chainrx_http library (links only chainrx_common) so
+// chainrx_obs can layer telemetry on top of it without pulling the actor
+// runtime — chainrx_net depends on chainrx_core which depends on
+// chainrx_obs, and an obs -> net edge would cycle.
+#ifndef SRC_NET_HTTP_SERVER_H_
+#define SRC_NET_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace chainreaction {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// `path` is the request path with the query string stripped; `query` is the
+// raw text after '?' ("" if none). Handlers run on the server thread and
+// must be thread-safe with respect to the state they read.
+using HttpHandler = std::function<HttpResponse(const std::string& path, const std::string& query)>;
+
+class HttpServer {
+ public:
+  // Binds a loopback listener on `port` (0 = ephemeral). Check ok() before
+  // Start(); construction failure (port in use) is reported, not fatal.
+  explicit HttpServer(uint16_t port);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  bool ok() const { return listen_fd_ >= 0; }
+  uint16_t port() const { return port_; }
+
+  // Longest-prefix dispatch: Handle("/traces", fn) serves /traces and
+  // /traces/abc123. Register all handlers before Start().
+  void Handle(const std::string& prefix, HttpHandler handler);
+
+  void Start();
+  void Stop();
+
+  static HttpResponse NotFound();
+
+ private:
+  void Loop();
+  void ServeConnection(int fd);
+  HttpResponse Dispatch(const std::string& path, const std::string& query) const;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::vector<std::pair<std::string, HttpHandler>> handlers_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_NET_HTTP_SERVER_H_

@@ -1,0 +1,133 @@
+#include "src/obs/events.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace chainreaction {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kNone:
+      return "none";
+    case EventKind::kEpochChange:
+      return "epoch_change";
+    case EventKind::kRepairStart:
+      return "repair_start";
+    case EventKind::kRepairDone:
+      return "repair_done";
+    case EventKind::kSyncDone:
+      return "sync_done";
+    case EventKind::kPutParked:
+      return "put_parked";
+    case EventKind::kGetParked:
+      return "get_parked";
+    case EventKind::kGuardDrain:
+      return "guard_drain";
+    case EventKind::kGatedRedispatch:
+      return "gated_redispatch";
+    case EventKind::kWalRotate:
+      return "wal_rotate";
+    case EventKind::kWalTruncate:
+      return "wal_truncate";
+    case EventKind::kWalRecovery:
+      return "wal_recovery";
+    case EventKind::kGeoShip:
+      return "geo_ship";
+    case EventKind::kGeoInject:
+      return "geo_inject";
+    case EventKind::kCrashDump:
+      return "crash_dump";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::Emit(EventKind kind, int64_t time_us, int64_t a, int64_t b) {
+  const uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq & (kSlots - 1)];
+  // Invalidate first so a concurrent reader never pairs the new payload with
+  // the old sequence number; release on the final store pairs with the
+  // reader's acquire re-check.
+  slot.seq.store(0, std::memory_order_relaxed);
+  slot.time_us.store(time_us, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  out.reserve(kSlots);
+  for (const Slot& slot : slots_) {
+    const uint64_t tag = slot.seq.load(std::memory_order_acquire);
+    if (tag == 0) {
+      continue;  // empty or mid-write
+    }
+    FlightEvent e;
+    e.time_us = slot.time_us.load(std::memory_order_relaxed);
+    e.kind = static_cast<EventKind>(slot.kind.load(std::memory_order_relaxed));
+    e.a = slot.a.load(std::memory_order_relaxed);
+    e.b = slot.b.load(std::memory_order_relaxed);
+    // Re-check: if the slot was reclaimed while we copied the payload, the
+    // fields may mix two events — drop it. The fence keeps the payload
+    // loads from sinking past the validation load.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != tag) {
+      continue;
+    }
+    e.seq = tag - 1;
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) { return x.seq < y.seq; });
+  return out;
+}
+
+std::string FlightRecorder::RenderText(const std::vector<FlightEvent>& events) {
+  std::string out;
+  char buf[160];
+  for (const FlightEvent& e : events) {
+    std::snprintf(buf, sizeof(buf), "%llu %lld %s a=%lld b=%lld\n",
+                  static_cast<unsigned long long>(e.seq), static_cast<long long>(e.time_us),
+                  EventKindName(e.kind), static_cast<long long>(e.a),
+                  static_cast<long long>(e.b));
+    out += buf;
+  }
+  return out;
+}
+
+std::string FlightRecorder::RenderJson(const std::vector<FlightEvent>& events) {
+  std::string out = "[";
+  bool first = true;
+  for (const FlightEvent& e : events) {
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"seq\":%llu,\"time_us\":%lld,\"kind\":\"%s\",\"a\":%lld,\"b\":%lld}",
+                  first ? "" : ",", static_cast<unsigned long long>(e.seq),
+                  static_cast<long long>(e.time_us), EventKindName(e.kind),
+                  static_cast<long long>(e.a), static_cast<long long>(e.b));
+    out += buf;
+    first = false;
+  }
+  out += ']';
+  return out;
+}
+
+bool FlightRecorder::DumpToFile(const std::string& path, int64_t time_us) const {
+  std::vector<FlightEvent> events = Snapshot();
+  FlightEvent header;
+  header.seq = emitted();
+  header.time_us = time_us;
+  header.kind = EventKind::kCrashDump;
+  header.a = static_cast<int64_t>(events.size());
+  events.insert(events.begin(), header);
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string text = RenderText(events);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,98 @@
+// Flight recorder: a fixed-size, lock-light ring buffer of structured
+// control-plane events per node.
+//
+// Metrics answer "how much/how fast"; traces answer "where did THIS request
+// go"; the flight recorder answers "what did the node DO lately" — the last
+// N epoch changes, chain repairs, guard parks/drains, WAL rotations, geo
+// ships. It is the first artifact to read after a crash: the harness dumps
+// the victim's recorder to its data dir (flight.log) before tearing the
+// node down, and live nodes expose it at /events.
+//
+// Concurrency: writers claim a slot with one fetch_add and then fill the
+// slot's fields, each of which is individually atomic (relaxed). A reader
+// snapshots slots and validates the per-slot sequence number afterwards; a
+// slot being overwritten mid-read is detected (seq changed / ahead of the
+// claimed range) and skipped. There are no plain-field data races, so the
+// structure is clean under ThreadSanitizer, and writers never take a lock.
+// In the simulator everything is single-threaded and these details are
+// inert.
+#ifndef SRC_OBS_EVENTS_H_
+#define SRC_OBS_EVENTS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace chainreaction {
+
+enum class EventKind : uint8_t {
+  kNone = 0,
+  kEpochChange,      // a=new epoch, b=ring version
+  kRepairStart,      // a=epoch, b=segment count
+  kRepairDone,       // a=epoch, b=chains touched
+  kSyncDone,         // a=epoch, b=entries synced (MemSyncDone applied)
+  kPutParked,        // a=key hash, b=parked depth (dependency/rejoin guard)
+  kGetParked,        // a=key hash, b=parked depth (rejoin read guard)
+  kGuardDrain,       // a=drained count, b=0 (rejoin guard lifted)
+  kGatedRedispatch,  // a=key hash, b=re-dispatched ops (DC-Write-Stable)
+  kWalRotate,        // a=new segment seq, b=old segment bytes
+  kWalTruncate,      // a=checkpoint floor seq, b=segments deleted
+  kWalRecovery,      // a=entries replayed, b=last seq
+  kGeoShip,          // a=ops shipped, b=destination dc
+  kGeoInject,        // a=ops injected, b=source dc
+  kCrashDump,        // a=events captured, b=0 (written as the dump header)
+};
+
+const char* EventKindName(EventKind kind);
+
+// One recorded event. `seq` is a global (per recorder) monotonically
+// increasing id; `time_us` is whatever clock the emitter passed (sim time
+// in the simulator, wall-clock microseconds in the TCP runtime).
+struct FlightEvent {
+  uint64_t seq = 0;
+  int64_t time_us = 0;
+  EventKind kind = EventKind::kNone;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kSlots = 256;  // power of two
+
+  // Lock-free; safe from any thread. Arguments are numeric by design
+  // (key hashes, counts, epochs) — no allocation on the emit path.
+  void Emit(EventKind kind, int64_t time_us, int64_t a = 0, int64_t b = 0);
+
+  // Events currently in the ring, oldest first. Slots overwritten while the
+  // snapshot is being taken are dropped (see file comment).
+  std::vector<FlightEvent> Snapshot() const;
+
+  uint64_t emitted() const { return next_.load(std::memory_order_relaxed); }
+
+  // One "seq time kind a b" line per event.
+  static std::string RenderText(const std::vector<FlightEvent>& events);
+  static std::string RenderJson(const std::vector<FlightEvent>& events);
+
+  // Writes RenderText(Snapshot()) to `path` with a kCrashDump header line.
+  // Returns false on I/O failure. Used by the harness crash path.
+  bool DumpToFile(const std::string& path, int64_t time_us) const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = empty; else event seq + 1
+    std::atomic<int64_t> time_us{0};
+    std::atomic<uint8_t> kind{0};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+  };
+
+  std::atomic<uint64_t> next_{0};
+  std::array<Slot, kSlots> slots_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_EVENTS_H_

@@ -1,6 +1,8 @@
 #include "src/obs/metrics.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdio>
 
 #include "src/common/result.h"
 
@@ -15,6 +17,72 @@ std::string RenderLabels(const MetricLabels& labels) {
     out += k;
     out += '=';
     out += v;
+  }
+  return out;
+}
+
+size_t LatencyMetric::TierFor(int64_t value) {
+  const uint64_t v = value <= 0 ? 1 : static_cast<uint64_t>(value);
+  return static_cast<size_t>(63 - std::countl_zero(v));
+}
+
+void LatencyMetric::RecordWithExemplar(int64_t value, uint64_t trace_id) {
+  if (value < 0) {
+    value = 0;
+  }
+  const size_t idx = std::min(Histogram::BucketFor(value), Histogram::kNumBuckets - 1);
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<uint64_t>(value), std::memory_order_relaxed);
+  // First sample seeds min/max (count_ orders nothing; a tie during the
+  // first concurrent samples may briefly leave min=0 — relaxed semantics).
+  if (count_.fetch_add(1, std::memory_order_relaxed) == 0) {
+    min_.store(value, std::memory_order_relaxed);
+    max_.store(value, std::memory_order_relaxed);
+  } else {
+    int64_t seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+    }
+  }
+  if (trace_id != 0) {
+    const size_t tier = TierFor(value);
+    exemplar_val_[tier].store(value, std::memory_order_relaxed);
+    exemplar_id_[tier].store(trace_id, std::memory_order_relaxed);
+  }
+}
+
+Histogram LatencyMetric::Snapshot() const {
+  uint64_t counts[Histogram::kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  // Derive the count from the copied buckets so percentiles are internally
+  // consistent; sum/min/max may trail by in-flight samples (relaxed).
+  const double sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  const int64_t min = min_.load(std::memory_order_relaxed);
+  const int64_t max = max_.load(std::memory_order_relaxed);
+  return Histogram::FromBuckets(counts, Histogram::kNumBuckets, total, sum, min, max);
+}
+
+std::vector<LatencyExemplar> LatencyMetric::Exemplars() const {
+  std::vector<LatencyExemplar> out;
+  for (size_t tier = 0; tier < kExemplarTiers; ++tier) {
+    const uint64_t id = exemplar_id_[tier].load(std::memory_order_relaxed);
+    if (id == 0) {
+      continue;
+    }
+    LatencyExemplar e;
+    e.trace_id = id;
+    e.value = exemplar_val_[tier].load(std::memory_order_relaxed);
+    e.bucket_upper =
+        tier >= 62 ? INT64_MAX : static_cast<int64_t>((uint64_t{2} << tier) - 1);
+    out.push_back(e);
   }
   return out;
 }
@@ -78,6 +146,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     p.labels = key.second;
     p.kind = MetricKind::kHistogram;
     p.hist = h->Snapshot();
+    p.exemplars = h->Exemplars();
     snap.points.push_back(std::move(p));
   }
   std::sort(snap.points.begin(), snap.points.end(),
@@ -135,9 +204,27 @@ std::string MetricsSnapshot::RenderText() const {
   return out;
 }
 
-namespace {
-// Minimal JSON string escaping; metric names/labels are ASCII identifiers,
-// but keys may carry arbitrary bytes via labels.
+std::string RenderTextFiltered(const MetricsSnapshot& snap, const std::string& filter) {
+  const std::string text = snap.RenderText();
+  if (filter.empty()) {
+    return text;
+  }
+  std::string out;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      end = text.size();
+    }
+    if (text.substr(start, end - start).find(filter) != std::string::npos) {
+      out.append(text, start, end - start);
+      out += '\n';
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
 void AppendJsonString(std::string* out, const std::string& s) {
   out->push_back('"');
   for (char c : s) {
@@ -163,7 +250,6 @@ void AppendJsonString(std::string* out, const std::string& s) {
   }
   out->push_back('"');
 }
-}  // namespace
 
 std::string MetricsSnapshot::RenderJson() const {
   std::string out = "[";
@@ -197,6 +283,116 @@ std::string MetricsSnapshot::RenderJson() const {
     out += '}';
   }
   out += ']';
+  return out;
+}
+
+namespace {
+
+// "k1=v1,k2=v2" -> {k1="v1",k2="v2"} (Prometheus label syntax). Label
+// values in this codebase are ids/roles/ports, so splitting on ,/= is safe.
+std::string PrometheusLabels(const std::string& canonical) {
+  if (canonical.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  size_t start = 0;
+  bool first = true;
+  while (start < canonical.size()) {
+    size_t end = canonical.find(',', start);
+    if (end == std::string::npos) {
+      end = canonical.size();
+    }
+    const std::string pair = canonical.substr(start, end - start);
+    const size_t eq = pair.find('=');
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    if (eq == std::string::npos) {
+      out += pair + "=\"\"";
+    } else {
+      out += pair.substr(0, eq) + "=\"" + pair.substr(eq + 1) + "\"";
+    }
+    start = end + 1;
+  }
+  out += '}';
+  return out;
+}
+
+// Same, but with one extra label appended (for le/quantile series).
+std::string PrometheusLabelsPlus(const std::string& canonical, const std::string& extra_key,
+                                 const std::string& extra_value) {
+  std::string labels = PrometheusLabels(canonical);
+  const std::string extra = extra_key + "=\"" + extra_value + "\"";
+  if (labels.empty()) {
+    return "{" + extra + "}";
+  }
+  labels.insert(labels.size() - 1, (labels.size() > 2 ? "," : "") + extra);
+  return labels;
+}
+
+std::string FormatLe(int64_t upper) {
+  return upper == INT64_MAX ? "+Inf" : std::to_string(upper);
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::RenderPrometheus() const {
+  std::string out;
+  std::string last_name;
+  for (const MetricPoint& p : points) {
+    if (p.name != last_name) {
+      last_name = p.name;
+      out += "# TYPE " + p.name + ' ';
+      switch (p.kind) {
+        case MetricKind::kCounter:
+          out += "counter";
+          break;
+        case MetricKind::kGauge:
+          out += "gauge";
+          break;
+        case MetricKind::kHistogram:
+          out += "histogram";
+          break;
+      }
+      out += '\n';
+    }
+    switch (p.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += p.name + PrometheusLabels(p.labels) + ' ' + std::to_string(p.value) + '\n';
+        break;
+      case MetricKind::kHistogram: {
+        // Cumulative le-buckets over the non-empty log buckets, with an
+        // exemplar annotation on the first bucket covering its value.
+        std::vector<LatencyExemplar> exemplars = p.exemplars;
+        p.hist.ForEachCumulativeBucket([&](int64_t upper, uint64_t cumulative) {
+          out += p.name + "_bucket" + PrometheusLabelsPlus(p.labels, "le", FormatLe(upper)) +
+                 ' ' + std::to_string(cumulative);
+          for (auto it = exemplars.begin(); it != exemplars.end(); ++it) {
+            if (it->value <= upper) {
+              char buf[96];
+              std::snprintf(buf, sizeof(buf), " # {trace_id=\"%016llx\"} %lld",
+                            static_cast<unsigned long long>(it->trace_id),
+                            static_cast<long long>(it->value));
+              out += buf;
+              exemplars.erase(it);
+              break;
+            }
+          }
+          out += '\n';
+        });
+        out += p.name + "_bucket" + PrometheusLabelsPlus(p.labels, "le", "+Inf") + ' ' +
+               std::to_string(p.hist.count()) + '\n';
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f", p.hist.sum());
+        out += p.name + "_sum" + PrometheusLabels(p.labels) + ' ' + buf + '\n';
+        out += p.name + "_count" + PrometheusLabels(p.labels) + ' ' +
+               std::to_string(p.hist.count()) + '\n';
+        break;
+      }
+    }
+  }
   return out;
 }
 

@@ -4,18 +4,28 @@
 // registers named instruments here, labeled by node id / chain role / DC:
 //   * Counter   — monotonically increasing event count (atomic),
 //   * Gauge     — instantaneous level, e.g. queue depth (atomic),
-//   * LatencyMetric — mergeable log-bucketed histogram (common/histogram)
-//     with count/mean/percentiles.
+//   * LatencyMetric — log-bucketed histogram with count/mean/percentiles and
+//     optional per-bucket exemplars linking a latency range to a trace id.
 //
 // Instruments are created once (GetCounter et al. return stable pointers for
-// the registry's lifetime) and updated lock-free on the hot path; Snapshot()
-// produces a consistent point-in-time copy with text and JSON renderings.
+// the registry's lifetime) and updated lock-free on the hot path — including
+// LatencyMetric::Record, which bumps atomic bucket counters; Snapshot()
+// produces a point-in-time copy with text, JSON, and Prometheus renderings.
 // The registry is thread-safe: the simulator uses it single-threaded, the
-// TCP runtime updates it from its loop threads while a shell or bench
-// thread snapshots concurrently.
+// TCP runtime updates it from its loop threads while a shell, bench, or
+// telemetry-scrape thread snapshots concurrently.
+//
+// Relaxed snapshot semantics: all instrument updates use relaxed atomics.
+// A snapshot taken concurrently with updates sees each bucket/counter at
+// *some* recent value, but not necessarily a single globally consistent
+// instant — a histogram's count/sum/min/max may be off by the handful of
+// samples in flight while the snapshot copies buckets. Every value is exact
+// once writers quiesce. This is the standard trade for a zero-lock hot path
+// and is documented behavior, not a bug.
 #ifndef SRC_OBS_METRICS_H_
 #define SRC_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -52,21 +62,42 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-// Histogram instrument. Record() takes a short lock; snapshots copy.
+// A per-bucket exemplar: one concrete sample (and the trace that produced
+// it) representative of a latency range — the Prometheus "exemplar" notion,
+// here used to jump from a histogram bucket to a retained slow trace.
+struct LatencyExemplar {
+  int64_t bucket_upper = 0;  // upper bound of the power-of-two tier
+  int64_t value = 0;
+  uint64_t trace_id = 0;
+};
+
+// Histogram instrument. Record() is lock-free (atomic bucket counters with
+// relaxed ordering); Snapshot() rebuilds a Histogram from the buckets under
+// the relaxed semantics documented in the file comment.
 class LatencyMetric {
  public:
-  void Record(int64_t value) {
-    std::lock_guard<std::mutex> lock(mu_);
-    hist_.Record(value);
-  }
-  Histogram Snapshot() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hist_;
-  }
+  void Record(int64_t value) { RecordWithExemplar(value, 0); }
+
+  // Records the sample and, when `trace_id` != 0, publishes it as the
+  // exemplar for the sample's power-of-two tier (last writer wins).
+  void RecordWithExemplar(int64_t value, uint64_t trace_id);
+
+  Histogram Snapshot() const;
+  std::vector<LatencyExemplar> Exemplars() const;
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
+  // One exemplar slot per power-of-two tier keeps the footprint small while
+  // still covering the latency range end to end.
+  static constexpr size_t kExemplarTiers = 64;
+  static size_t TierFor(int64_t value);
+
+  std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<int64_t> min_{0};
+  std::atomic<int64_t> max_{0};
+  std::atomic<uint64_t> count_{0};  // only used to seed min/max on first sample
+  std::array<std::atomic<uint64_t>, kExemplarTiers> exemplar_id_{};
+  std::array<std::atomic<int64_t>, kExemplarTiers> exemplar_val_{};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };
@@ -77,6 +108,7 @@ struct MetricPoint {
   MetricKind kind = MetricKind::kCounter;
   int64_t value = 0;   // counter / gauge value
   Histogram hist;      // histogram points only
+  std::vector<LatencyExemplar> exemplars;  // histogram points only
 };
 
 // Point-in-time copy of every instrument, sorted by (name, labels).
@@ -94,7 +126,19 @@ struct MetricsSnapshot {
   // Summary() string.
   std::string RenderText() const;
   std::string RenderJson() const;
+  // Prometheus text exposition format: # TYPE headers, name{k="v"} value
+  // lines, histograms as cumulative _bucket{le=...}/_sum/_count series with
+  // OpenMetrics-style exemplar annotations on buckets that have one.
+  std::string RenderPrometheus() const;
 };
+
+// RenderText() restricted to lines containing `filter` ("" keeps all) —
+// the one renderer behind `kv_shell stats`, bench PrintMetrics, and the
+// /metrics endpoint's ?filter= parameter.
+std::string RenderTextFiltered(const MetricsSnapshot& snap, const std::string& filter);
+
+// Minimal JSON string escaping shared by the obs renderers.
+void AppendJsonString(std::string* out, const std::string& s);
 
 class MetricsRegistry {
  public:

@@ -1,0 +1,62 @@
+// Trace sampling policy: which requests carry a TraceContext, and which
+// completed traces are worth keeping.
+//
+// Two cooperating mechanisms:
+//   * Head sampling decides AT SEND TIME whether a request is traced at all
+//     (stride and/or probabilistic). Cheap, but blind to outcome.
+//   * Tail-based capture decides AT COMPLETION whether a trace is retained:
+//     when `slow_trace_us` > 0 the client traces every request, and on the
+//     ack keeps the trace (TraceCollector::Retain) iff the client-observed
+//     latency crossed the threshold or the request was head-sampled anyway;
+//     everything else is discarded immediately. Slow requests are therefore
+//     never lost to the sampler — the property E15 asserts.
+//
+// The policy object is a plain value; the client owns one and a tiny xorshift
+// state for the probabilistic draw (deterministic per client seed, so sim
+// runs stay reproducible).
+#ifndef SRC_OBS_SAMPLING_H_
+#define SRC_OBS_SAMPLING_H_
+
+#include <cstdint>
+
+namespace chainreaction {
+
+struct TraceSamplingPolicy {
+  // Head sampling: trace every Nth request (0 = no stride sampling).
+  uint32_t sample_every = 0;
+  // Head sampling: additionally trace with this probability (0 = off).
+  double probability = 0.0;
+  // Tail capture: retain any trace whose client-observed latency is >= this
+  // many microseconds (0 = tail capture off).
+  int64_t slow_trace_us = 0;
+
+  // True when every request must carry a trace context so the tail decision
+  // can be made at ack time.
+  bool capture_all() const { return slow_trace_us > 0; }
+
+  // Head-sampling decision for the `index`-th operation (0-based).
+  // `rng` is caller-owned xorshift64 state (never 0).
+  bool HeadSample(uint64_t index, uint64_t* rng) const {
+    if (sample_every > 0 && index % sample_every == 0) {
+      return true;
+    }
+    if (probability > 0.0) {
+      uint64_t x = *rng;
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      *rng = x;
+      // Top 53 bits -> uniform double in [0, 1).
+      const double u = static_cast<double>(x >> 11) * 0x1.0p-53;
+      return u < probability;
+    }
+    return false;
+  }
+
+  // Whether any tracing machinery is active at all.
+  bool enabled() const { return sample_every > 0 || probability > 0.0 || capture_all(); }
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_SAMPLING_H_

@@ -1,0 +1,176 @@
+#include "src/obs/telemetry.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+namespace chainreaction {
+
+namespace {
+
+// Pulls "key=value" out of a raw query string ("" when absent).
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t start = 0;
+  while (start < query.size()) {
+    size_t end = query.find('&', start);
+    if (end == std::string::npos) {
+      end = query.size();
+    }
+    const std::string pair = query.substr(start, end - start);
+    const size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.compare(0, eq, key) == 0) {
+      return pair.substr(eq + 1);
+    }
+    start = end + 1;
+  }
+  return "";
+}
+
+HttpResponse TextResponse(std::string body) {
+  HttpResponse resp;
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse JsonResponse(std::string body) {
+  HttpResponse resp;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+}  // namespace
+
+int64_t TelemetryServer::WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+TelemetryServer::TelemetryServer(uint16_t port) : server_(port) {
+  server_.Handle("/metrics.json", [this](const std::string&, const std::string&) {
+    return ServeMetricsJson();
+  });
+  server_.Handle("/metrics/window", [this](const std::string&, const std::string& query) {
+    return ServeWindow(query);
+  });
+  server_.Handle("/metrics", [this](const std::string&, const std::string& query) {
+    return ServeMetrics(query);
+  });
+  server_.Handle("/traces", [this](const std::string& path, const std::string& query) {
+    return ServeTraces(path, query);
+  });
+  server_.Handle("/events", [this](const std::string&, const std::string& query) {
+    return ServeEvents(query);
+  });
+  server_.Handle("/status", [this](const std::string&, const std::string&) {
+    return ServeStatus();
+  });
+}
+
+void TelemetryServer::AddRecorder(const std::string& name, const FlightRecorder* recorder) {
+  recorders_.emplace_back(name, recorder);
+}
+
+void TelemetryServer::SetStatusProvider(std::function<std::string()> provider) {
+  status_provider_ = std::move(provider);
+}
+
+HttpResponse TelemetryServer::ServeMetrics(const std::string& query) const {
+  if (metrics_ == nullptr) {
+    return TextResponse("");
+  }
+  const MetricsSnapshot snap = metrics_->Snapshot();
+  if (QueryParam(query, "format") == "text" || !QueryParam(query, "filter").empty()) {
+    return TextResponse(RenderTextFiltered(snap, QueryParam(query, "filter")));
+  }
+  return TextResponse(snap.RenderPrometheus());
+}
+
+HttpResponse TelemetryServer::ServeMetricsJson() const {
+  return JsonResponse(metrics_ == nullptr ? "[]" : metrics_->Snapshot().RenderJson());
+}
+
+HttpResponse TelemetryServer::ServeWindow(const std::string& query) {
+  if (metrics_ == nullptr) {
+    return TextResponse("");
+  }
+  WindowedView view;
+  {
+    // Times are relative to server construction so the first scrape's
+    // interval is "since the server came up", not since the epoch.
+    std::lock_guard<std::mutex> lock(window_mu_);
+    view = window_.Advance(metrics_->Snapshot(), WallMicros() - window_t0_us_);
+  }
+  if (QueryParam(query, "format") == "json") {
+    return JsonResponse(view.RenderJson());
+  }
+  return TextResponse(view.RenderText());
+}
+
+HttpResponse TelemetryServer::ServeTraces(const std::string& path,
+                                          const std::string& query) const {
+  if (traces_ == nullptr) {
+    return TextResponse("");
+  }
+  // /traces/<16-hex-id>
+  if (path.size() > 8 && path.compare(0, 8, "/traces/") == 0) {
+    const std::string id_text = path.substr(8);
+    char* end = nullptr;
+    const uint64_t id = std::strtoull(id_text.c_str(), &end, 16);
+    TraceCollector::Trace trace;
+    if (end == nullptr || *end != '\0' || id == 0 || !traces_->Find(id, &trace)) {
+      return HttpServer::NotFound();
+    }
+    if (QueryParam(query, "format") == "json") {
+      return JsonResponse(TraceCollector::RenderJson(trace));
+    }
+    return TextResponse(TraceCollector::Render(trace));
+  }
+  // /traces: the id index, retained (tail-sampled slow) traces marked.
+  std::string out;
+  char buf[64];
+  for (uint64_t id : traces_->TraceIds()) {
+    std::snprintf(buf, sizeof(buf), "%016llx%s\n", static_cast<unsigned long long>(id),
+                  traces_->IsRetained(id) ? " retained" : "");
+    out += buf;
+  }
+  return TextResponse(out);
+}
+
+HttpResponse TelemetryServer::ServeEvents(const std::string& query) const {
+  const bool json = QueryParam(query, "format") == "json";
+  std::string out;
+  if (json) {
+    out += '{';
+  }
+  bool first = true;
+  for (const auto& [name, recorder] : recorders_) {
+    const std::vector<FlightEvent> events = recorder->Snapshot();
+    if (json) {
+      if (!first) {
+        out += ',';
+      }
+      AppendJsonString(&out, name);
+      out += ':';
+      out += FlightRecorder::RenderJson(events);
+    } else {
+      out += "# " + name + "\n" + FlightRecorder::RenderText(events);
+    }
+    first = false;
+  }
+  if (json) {
+    out += '}';
+    return JsonResponse(std::move(out));
+  }
+  return TextResponse(std::move(out));
+}
+
+HttpResponse TelemetryServer::ServeStatus() const {
+  if (status_provider_) {
+    return JsonResponse(status_provider_());
+  }
+  return JsonResponse("{}");
+}
+
+}  // namespace chainreaction

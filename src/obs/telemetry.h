@@ -1,0 +1,82 @@
+// TelemetryServer: the HTTP face of the observability layer.
+//
+// Wraps an HttpServer and routes:
+//   /metrics          Prometheus text exposition (?filter= substring,
+//                     ?format=text for the plain "name value" rendering)
+//   /metrics.json     JSON snapshot of every instrument
+//   /metrics/window   per-interval rates and percentiles since the previous
+//                     scrape of this endpoint (?format=json)
+//   /traces           retained + recent trace ids, one per line
+//   /traces/<id>      one trace, hop by hop (?format=json); <id> is the
+//                     16-hex-digit form printed everywhere else
+//   /events           flight-recorder contents of every attached recorder
+//                     (?format=json)
+//   /status           node/harness status JSON from the attached provider
+//
+// One TelemetryServer is attached per node in the TCP runtime (each on its
+// own port) and one per harness in sim runs (aggregating the shared
+// registry/collector of the whole simulated cluster). MetricsRegistry,
+// TraceCollector, and FlightRecorder are all thread-safe to read while the
+// system runs, so handlers read them directly; /status goes through a
+// provider callback because node state is loop-thread-owned.
+#ifndef SRC_OBS_TELEMETRY_H_
+#define SRC_OBS_TELEMETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/net/http_server.h"
+#include "src/obs/events.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/obs/window.h"
+
+namespace chainreaction {
+
+class TelemetryServer {
+ public:
+  // `port` 0 picks an ephemeral port (see port() after construction).
+  explicit TelemetryServer(uint16_t port);
+
+  bool ok() const { return server_.ok(); }
+  uint16_t port() const { return server_.port(); }
+
+  // Attach before Start(). All pointers must outlive the server.
+  void AttachMetrics(const MetricsRegistry* metrics) { metrics_ = metrics; }
+  void AttachTraces(const TraceCollector* traces) { traces_ = traces; }
+  void AddRecorder(const std::string& name, const FlightRecorder* recorder);
+  // Returns the /status body (JSON). Runs on the server thread.
+  void SetStatusProvider(std::function<std::string()> provider);
+
+  void Start() { server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  static int64_t WallMicros();
+
+ private:
+  HttpResponse ServeMetrics(const std::string& query) const;
+  HttpResponse ServeMetricsJson() const;
+  HttpResponse ServeWindow(const std::string& query);
+  HttpResponse ServeTraces(const std::string& path, const std::string& query) const;
+  HttpResponse ServeEvents(const std::string& query) const;
+  HttpResponse ServeStatus() const;
+
+  HttpServer server_;
+  const MetricsRegistry* metrics_ = nullptr;
+  const TraceCollector* traces_ = nullptr;
+  std::vector<std::pair<std::string, const FlightRecorder*>> recorders_;
+  std::function<std::string()> status_provider_;
+
+  // Scrape-to-scrape state for /metrics/window.
+  std::mutex window_mu_;
+  WindowedAggregator window_;
+  const int64_t window_t0_us_ = WallMicros();
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_TELEMETRY_H_

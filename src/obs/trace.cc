@@ -82,8 +82,7 @@ void TraceCollector::Report(const TraceContext& trace) {
   if (inserted) {
     order_.push_back(trace.id);
     if (order_.size() > kMaxTraces) {
-      traces_.erase(order_.front());
-      order_.erase(order_.begin());
+      EvictOneLocked();
     }
   }
   std::vector<TraceHop>& merged = it->second;
@@ -95,6 +94,60 @@ void TraceCollector::Report(const TraceContext& trace) {
       merged.push_back(hop);
     }
   }
+}
+
+void TraceCollector::EvictOneLocked() {
+  // Prefer the oldest unretained trace; fall back to the oldest retained
+  // one only when everything is pinned.
+  for (auto it = order_.begin(); it != order_.end(); ++it) {
+    if (!retained_.contains(*it)) {
+      traces_.erase(*it);
+      order_.erase(it);
+      return;
+    }
+  }
+  if (!order_.empty()) {
+    retained_.erase(order_.front());
+    traces_.erase(order_.front());
+    order_.erase(order_.begin());
+  }
+}
+
+void TraceCollector::Retain(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.contains(id)) {
+    retained_.insert(id);
+  }
+}
+
+void TraceCollector::Discard(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (traces_.erase(id) > 0) {
+    retained_.erase(id);
+    order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
+  }
+}
+
+bool TraceCollector::IsRetained(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_.contains(id);
+}
+
+size_t TraceCollector::retained_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_.size();
+}
+
+std::vector<uint64_t> TraceCollector::RetainedIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(retained_.size());
+  for (uint64_t id : order_) {
+    if (retained_.contains(id)) {
+      out.push_back(id);
+    }
+  }
+  return out;
 }
 
 size_t TraceCollector::size() const {
@@ -149,6 +202,7 @@ void TraceCollector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   traces_.clear();
   order_.clear();
+  retained_.clear();
 }
 
 std::string TraceCollector::Render(const Trace& trace) {
@@ -163,6 +217,24 @@ std::string TraceCollector::Render(const Trace& trace) {
                   h.detail);
     out += buf;
   }
+  return out;
+}
+
+std::string TraceCollector::RenderJson(const Trace& trace) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "{\"id\":\"%016llx\",\"hops\":[",
+                static_cast<unsigned long long>(trace.id));
+  std::string out = buf;
+  bool first = true;
+  for (const TraceHop& h : trace.hops) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"kind\":\"%s\",\"node\":%u,\"dc\":%u,\"detail\":%u,\"at\":%lld}",
+                  first ? "" : ",", HopKindName(h.kind), h.node, h.dc, h.detail,
+                  static_cast<long long>(h.at));
+    out += buf;
+    first = false;
+  }
+  out += "]}";
   return out;
 }
 

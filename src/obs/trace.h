@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,16 @@ class TraceCollector {
 
   void Report(const TraceContext& trace);
 
+  // Tail-based capture support. Retain(id) pins a trace: eviction under
+  // kMaxTraces pressure prefers unretained traces, so retained slow traces
+  // survive high-throughput runs. Discard(id) drops a trace immediately
+  // (the tail sampler rejecting a fast, unsampled request).
+  void Retain(uint64_t id);
+  void Discard(uint64_t id);
+  bool IsRetained(uint64_t id) const;
+  size_t retained_count() const;
+  std::vector<uint64_t> RetainedIds() const;  // insertion-ordered
+
   size_t size() const;
   std::vector<uint64_t> TraceIds() const;  // insertion-ordered
   bool Find(uint64_t id, Trace* out) const;
@@ -95,14 +106,18 @@ class TraceCollector {
 
   // "hop  +12us  chain_apply node=3 dc=0 pos=2" style multi-line rendering.
   static std::string Render(const Trace& trace);
+  static std::string RenderJson(const Trace& trace);
 
  private:
   static constexpr size_t kMaxTraces = 4096;   // oldest evicted beyond this
   static constexpr size_t kMaxHopsPerTrace = 512;
 
+  void EvictOneLocked();
+
   mutable std::mutex mu_;
   std::map<uint64_t, std::vector<TraceHop>> traces_;
   std::vector<uint64_t> order_;  // insertion order, for eviction + Latest()
+  std::set<uint64_t> retained_;  // ids pinned by the tail sampler
 };
 
 // Appends a hop and reports the running context to `sink` (if any), so the

@@ -1,0 +1,136 @@
+#include "src/obs/window.h"
+
+#include <cstdio>
+
+namespace chainreaction {
+
+const WindowedPoint* WindowedView::Find(const std::string& name,
+                                        const std::string& labels) const {
+  for (const WindowedPoint& p : points) {
+    if (p.name == name && p.labels == labels) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+std::string WindowedView::RenderText() const {
+  std::string out;
+  char buf[64];
+  if (interval_us > 0) {
+    std::snprintf(buf, sizeof(buf), "window %.3fs\n",
+                  static_cast<double>(interval_us) / 1e6);
+    out += buf;
+  } else {
+    out += "window cumulative (no baseline yet)\n";
+  }
+  for (const WindowedPoint& p : points) {
+    out += p.name;
+    if (!p.labels.empty()) {
+      out += '{';
+      out += p.labels;
+      out += '}';
+    }
+    out += ' ';
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "delta=%lld rate=%.1f/s",
+                      static_cast<long long>(p.delta), p.rate);
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += std::to_string(p.delta);
+        break;
+      case MetricKind::kHistogram:
+        out += p.interval.Summary();
+        break;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string WindowedView::RenderJson() const {
+  std::string out = "{\"interval_us\":" + std::to_string(interval_us) + ",\"points\":[";
+  bool first = true;
+  for (const WindowedPoint& p : points) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"name\":";
+    AppendJsonString(&out, p.name);
+    out += ",\"labels\":";
+    AppendJsonString(&out, p.labels);
+    out += ',';
+    char buf[64];
+    switch (p.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"rate\":%.3f", p.rate);
+        out += "\"kind\":\"counter\",\"delta\":" + std::to_string(p.delta) + buf;
+        break;
+      case MetricKind::kGauge:
+        out += "\"kind\":\"gauge\",\"value\":" + std::to_string(p.delta);
+        break;
+      case MetricKind::kHistogram:
+        out += "\"kind\":\"histogram\",\"count\":" + std::to_string(p.interval.count()) +
+               ",\"mean\":" + std::to_string(p.interval.Mean()) +
+               ",\"p50\":" + std::to_string(p.interval.P50()) +
+               ",\"p95\":" + std::to_string(p.interval.P95()) +
+               ",\"p99\":" + std::to_string(p.interval.P99());
+        break;
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+WindowedView WindowedAggregator::Advance(const MetricsSnapshot& now, int64_t now_us) {
+  WindowedView view;
+  // Without a baseline (first call ever / first call after Reset()) the view
+  // covers everything since the caller's time origin — callers pass a clock
+  // that starts at 0 (sim time, or wall time minus process start).
+  view.interval_us = has_prev_ ? now_us - prev_us_ : now_us;
+  if (view.interval_us < 0) {
+    view.interval_us = 0;
+  }
+  const double seconds = static_cast<double>(view.interval_us) / 1e6;
+  view.points.reserve(now.points.size());
+  for (const MetricPoint& cur : now.points) {
+    const MetricPoint* prev = has_prev_ ? prev_.Find(cur.name, cur.labels) : nullptr;
+    WindowedPoint wp;
+    wp.name = cur.name;
+    wp.labels = cur.labels;
+    wp.kind = cur.kind;
+    switch (cur.kind) {
+      case MetricKind::kCounter: {
+        // A shrinking cumulative counter means a reset; start the interval
+        // from zero rather than reporting a negative delta.
+        const int64_t base = (prev != nullptr && prev->value <= cur.value) ? prev->value : 0;
+        wp.delta = cur.value - base;
+        wp.rate = seconds > 0 ? static_cast<double>(wp.delta) / seconds : 0.0;
+        break;
+      }
+      case MetricKind::kGauge:
+        wp.delta = cur.value;
+        break;
+      case MetricKind::kHistogram:
+        wp.interval = prev != nullptr ? cur.hist.Diff(prev->hist) : cur.hist;
+        break;
+    }
+    view.points.push_back(std::move(wp));
+  }
+  prev_ = now;
+  prev_us_ = now_us;
+  has_prev_ = true;
+  return view;
+}
+
+void WindowedAggregator::Reset() {
+  has_prev_ = false;
+  prev_ = MetricsSnapshot{};
+  prev_us_ = 0;
+}
+
+}  // namespace chainreaction

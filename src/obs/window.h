@@ -1,0 +1,66 @@
+// Windowed aggregation over the metrics registry.
+//
+// The registry's instruments are cumulative: counters only grow and
+// histograms accumulate forever. For live views ("ops/s over the last
+// second", "interval p99") a consumer wants per-interval numbers. The
+// WindowedAggregator keeps the previous MetricsSnapshot and diffs each new
+// one against it:
+//   * counters  -> delta over the interval and a rate (delta / seconds),
+//   * gauges    -> current value (levels are already instantaneous),
+//   * histograms -> Histogram::Diff interval percentiles.
+// Counter resets (a restarted node re-registering an instrument, or the
+// shell's `stats reset`) are handled by treating a shrinking cumulative
+// value as a fresh start: delta = current value.
+//
+// Used by the /metrics/window endpoint, `kv_shell stats` (windowed by
+// default), and `crx_loadgen --stats-every-ms`.
+#ifndef SRC_OBS_WINDOW_H_
+#define SRC_OBS_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+
+namespace chainreaction {
+
+struct WindowedPoint {
+  std::string name;
+  std::string labels;
+  MetricKind kind = MetricKind::kCounter;
+  int64_t delta = 0;       // counter: interval delta; gauge: current value
+  double rate = 0.0;       // counter only: delta / interval seconds
+  Histogram interval;      // histogram only: interval histogram
+};
+
+struct WindowedView {
+  int64_t interval_us = 0;
+  std::vector<WindowedPoint> points;
+
+  const WindowedPoint* Find(const std::string& name, const std::string& labels = "") const;
+
+  // "name{labels} delta=N rate=R/s" / histogram interval summaries.
+  std::string RenderText() const;
+  std::string RenderJson() const;
+};
+
+class WindowedAggregator {
+ public:
+  // Diffs `now` (taken at `now_us`) against the previous call's snapshot.
+  // The first call reports the whole cumulative history as one interval.
+  WindowedView Advance(const MetricsSnapshot& now, int64_t now_us);
+
+  // Forgets the baseline: the next Advance() reports cumulative-since-start
+  // again (used by `kv_shell stats reset`).
+  void Reset();
+
+ private:
+  bool has_prev_ = false;
+  int64_t prev_us_ = 0;
+  MetricsSnapshot prev_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_WINDOW_H_

@@ -89,4 +89,21 @@ bool Ring::Contains(NodeId node) const {
   return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
 }
 
+std::vector<std::vector<NodeId>> Ring::SegmentChains() const {
+  std::vector<std::vector<NodeId>> out;
+  out.reserve(points_.size());
+  for (size_t idx = 0; idx < points_.size(); ++idx) {
+    std::vector<NodeId> chain;
+    chain.reserve(replication_);
+    for (size_t steps = 0; steps < points_.size() && chain.size() < replication_; ++steps) {
+      const NodeId candidate = points_[(idx + steps) % points_.size()].node;
+      if (std::find(chain.begin(), chain.end(), candidate) == chain.end()) {
+        chain.push_back(candidate);
+      }
+    }
+    out.push_back(std::move(chain));
+  }
+  return out;
+}
+
 }  // namespace chainreaction

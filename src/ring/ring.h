@@ -40,6 +40,11 @@ class Ring {
 
   bool Contains(NodeId node) const;
 
+  // One replication chain per ring segment (the arc owned by each vnode
+  // point), head first, in ring order. Telemetry/status only — O(points*R),
+  // not for the request path.
+  std::vector<std::vector<NodeId>> SegmentChains() const;
+
   const std::vector<NodeId>& nodes() const { return nodes_; }
   uint32_t replication() const { return replication_; }
   uint64_t epoch() const { return epoch_; }

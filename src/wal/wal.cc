@@ -295,7 +295,13 @@ Status Wal::WriteLocked(const std::string& bytes, bool sync) {
       ::fsync(fd_);
     }
     ::close(fd_);
-    return OpenSegmentLocked(active_seq_ + 1);
+    const uint64_t full_bytes = active_bytes_;
+    const Status opened = OpenSegmentLocked(active_seq_ + 1);
+    if (recorder_ != nullptr) {
+      recorder_->Emit(EventKind::kWalRotate, MonotonicMicros(),
+                      static_cast<int64_t>(active_seq_), static_cast<int64_t>(full_bytes));
+    }
+    return opened;
   }
   return Status::Ok();
 }
@@ -310,17 +316,29 @@ uint64_t Wal::Rotate() {
     ::fsync(fd_);
   }
   ::close(fd_);
+  const uint64_t old_bytes = active_bytes_;
   OpenSegmentLocked(active_seq_ + 1);
+  if (recorder_ != nullptr) {
+    recorder_->Emit(EventKind::kWalRotate, MonotonicMicros(),
+                    static_cast<int64_t>(active_seq_), static_cast<int64_t>(old_bytes));
+  }
   return active_seq_;
 }
 
 void Wal::DeleteSegmentsBelow(uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
+  uint64_t deleted = 0;
   for (const auto& [s, path] : ListSegments(dir_)) {
     if (s < seq && s != active_seq_) {
       std::error_code ec;
-      std::filesystem::remove(path, ec);
+      if (std::filesystem::remove(path, ec)) {
+        deleted++;
+      }
     }
+  }
+  if (recorder_ != nullptr) {
+    recorder_->Emit(EventKind::kWalTruncate, MonotonicMicros(), static_cast<int64_t>(seq),
+                    static_cast<int64_t>(deleted));
   }
 }
 

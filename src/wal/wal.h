@@ -42,6 +42,7 @@
 #include "src/common/result.h"
 #include "src/common/types.h"
 #include "src/common/version.h"
+#include "src/obs/events.h"
 #include "src/obs/metrics.h"
 
 namespace chainreaction {
@@ -133,6 +134,10 @@ class Wal {
   // Registers this log's instruments, labeled {node=<node>}.
   void AttachObs(MetricsRegistry* metrics, const std::string& node);
 
+  // Flight-recorder sink for rotation/truncation events (may be null).
+  // Internal rotations happen on WAL threads, so timestamps are wall-clock.
+  void SetRecorder(FlightRecorder* recorder) { recorder_ = recorder; }
+
   const std::string& dir() const { return dir_; }
   uint64_t active_seq() const { return active_seq_; }
   uint64_t appends() const { return appends_; }
@@ -179,7 +184,8 @@ class Wal {
   uint64_t fsyncs_ = 0;
   uint64_t bytes_written_ = 0;
 
-  // Observability (null until AttachObs).
+  // Observability (null until AttachObs/SetRecorder).
+  FlightRecorder* recorder_ = nullptr;
   Counter* m_appends_ = nullptr;
   Counter* m_fsyncs_ = nullptr;
   Counter* m_bytes_ = nullptr;

@@ -41,6 +41,31 @@ class ScratchDir {
   std::string path_;
 };
 
+std::string ReadFileOrEmpty(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return "";
+  }
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+// True when the recorder currently holds an event of `kind`.
+bool RecorderHas(const FlightRecorder* recorder, EventKind kind) {
+  for (const FlightEvent& e : recorder->Snapshot()) {
+    if (e.kind == kind) {
+      return true;
+    }
+  }
+  return false;
+}
+
 TEST(CrxFailure, AckedWritesSurviveOneCrash) {
   Cluster cluster(FailureOpts());
   ChainReactionClient* writer = cluster.crx_client(0);
@@ -250,9 +275,19 @@ TEST(CrxCrashRestart, AckedWritesSurviveCrashRestart) {
 
   cluster.CrashServer(0, 3);
   cluster.sim()->Run();
+
+  // The crash path dumped the victim's flight recorder to its data dir:
+  // a crash_dump header plus the control-plane events leading up to death.
+  const std::string flight = ReadFileOrEmpty(cluster.NodeDataDir(0, 3) + "/flight.log");
+  ASSERT_FALSE(flight.empty()) << "no flight.log written on crash";
+  EXPECT_NE(flight.find("crash_dump"), std::string::npos) << flight;
+
   ASSERT_TRUE(cluster.RestartServer(0, 3).ok());
   cluster.sim()->Run();  // rejoin repair completes
   EXPECT_GT(cluster.crx_node(0, 3)->last_recovery_stats().records, 0u);
+  // The restarted node's fresh recorder must show the recovery replay and
+  // the rejoin guard lifting once chain repair caught it up.
+  EXPECT_TRUE(RecorderHas(cluster.crx_node(0, 3)->events(), EventKind::kWalRecovery));
 
   // Every acknowledged write must still be readable at (at least) its
   // acknowledged version from a fresh session, with the restarted node
@@ -303,6 +338,13 @@ TEST(CrxCrashRestart, WorkloadAcrossCrashRestartStaysCausal) {
       << (result.checker_diagnostics.empty() ? "" : result.checker_diagnostics[0]);
   EXPECT_GT(result.stats.TotalOps(), 500u);
   EXPECT_GT(cluster.crx_node(0, 5)->last_recovery_stats().records, 0u);
+
+  // The mid-run crash left a readable flight dump with the crash header and
+  // real pre-crash activity; the restarted node recorded its WAL replay.
+  const std::string flight = ReadFileOrEmpty(cluster.NodeDataDir(0, 5) + "/flight.log");
+  ASSERT_FALSE(flight.empty()) << "no flight.log written on crash";
+  EXPECT_NE(flight.find("crash_dump"), std::string::npos);
+  EXPECT_TRUE(RecorderHas(cluster.crx_node(0, 5)->events(), EventKind::kWalRecovery));
 
   std::string diag;
   EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;

@@ -13,6 +13,7 @@
 #include "src/common/flags.h"
 #include "src/harness/cluster.h"
 #include "src/harness/experiment.h"
+#include "src/obs/window.h"
 
 using namespace chainreaction;
 
@@ -41,8 +42,11 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --restart-at-ms T  restart it with recovery at T ms              [off]
   --seed N         RNG seed                                        [7]
   --check          attach the causal+ checker (chainreaction)
-  --stats-every-ms N  print a metrics line every N simulated ms    [off]
+  --stats-every-ms N  print a windowed stats line every N sim ms   [off]
   --trace-every N  trace every Nth put; print the last trace       [off]
+  --trace-prob P   probabilistic head sampling of puts             [0]
+  --slow-trace-us N  tail sampling: always retain traces >= N us   [off]
+  --http-port P    serve /metrics /status /events /traces on P     [off]
   --metrics        dump the full metrics registry after the run
   --help
 )";
@@ -93,7 +97,8 @@ int main(int argc, char** argv) {
                     "replication", "k", "dcs", "wan-ms", "measure-ms", "warmup-ms",
                     "think-us", "drop", "kill-at-ms", "data-dir", "fsync-mode",
                     "crash-at-ms", "restart-at-ms", "seed", "check", "stats-every-ms",
-                    "trace-every", "metrics", "help"})) {
+                    "trace-every", "trace-prob", "slow-trace-us", "http-port", "metrics",
+                    "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
@@ -119,6 +124,8 @@ int main(int argc, char** argv) {
     opts.client_timeout = 50 * kMillisecond;
   }
   opts.trace_sample_every = static_cast<uint32_t>(flags.GetInt("trace-every", 0));
+  opts.trace_probability = flags.GetDouble("trace-prob", 0.0);
+  opts.slow_trace_us = flags.GetInt("slow-trace-us", 0);
   opts.data_root = flags.GetString("data-dir", "");
   if (!ParseFsyncPolicy(flags.GetString("fsync-mode", "batch"), &opts.fsync_policy)) {
     std::fprintf(stderr, "bad --fsync-mode (want always|batch|none)\n%s", kUsage);
@@ -189,25 +196,63 @@ int main(int argc, char** argv) {
 
   // Periodic metric dumps ride on a bounded set of pre-scheduled timers:
   // a self-rescheduling timer would keep the simulator's event queue
-  // non-empty forever and hang the post-measurement drain.
+  // non-empty forever and hang the post-measurement drain. Each line is
+  // windowed — per-interval deltas/rates from WindowedAggregator, not
+  // cumulative totals.
   const int64_t stats_every_ms = flags.GetInt("stats-every-ms", 0);
+  WindowedAggregator stats_window;
   if (stats_every_ms > 0) {
     const Duration interval = stats_every_ms * kMillisecond;
     const Duration horizon = run.warmup + run.measure;
     for (Duration t = interval; t <= horizon; t += interval) {
-      cluster.sim()->Schedule(t, [&cluster]() {
-        const MetricsSnapshot snap = cluster.metrics()->Snapshot();
-        std::printf("[t=%6lldms] delivered=%lld dropped=%lld puts=%lld reads=%lld gated=%lld\n",
+      cluster.sim()->Schedule(t, [&cluster, &stats_window]() {
+        const WindowedView view =
+            stats_window.Advance(cluster.metrics()->Snapshot(), cluster.sim()->Now());
+        auto sum_delta = [&view](const char* name) {
+          int64_t d = 0;
+          for (const WindowedPoint& p : view.points) {
+            if (p.name == name) {
+              d += p.delta;
+            }
+          }
+          return d;
+        };
+        Histogram put_lat;
+        for (const WindowedPoint& p : view.points) {
+          if (p.name == "crx_client_put_latency_us") {
+            put_lat.Merge(p.interval);
+          }
+        }
+        const double secs = static_cast<double>(view.interval_us) / 1e6;
+        const int64_t puts = sum_delta("crx_node_puts_applied");
+        std::printf("[t=%6lldms] puts=%lld (%.0f/s) reads=%lld gated=%lld "
+                    "delivered=%lld dropped=%lld put_us{p50=%lld p99=%lld}\n",
                     static_cast<long long>(cluster.sim()->Now() / kMillisecond),
-                    static_cast<long long>(snap.Value("crx_net_messages_delivered",
-                                                      "transport=sim")),
-                    static_cast<long long>(snap.Value("crx_net_messages_dropped",
-                                                      "transport=sim")),
-                    static_cast<long long>(snap.SumCounters("crx_node_puts_applied")),
-                    static_cast<long long>(snap.SumCounters("crx_node_reads_served")),
-                    static_cast<long long>(snap.SumCounters("crx_node_gated_puts")));
+                    static_cast<long long>(puts),
+                    secs > 0 ? static_cast<double>(puts) / secs : 0.0,
+                    static_cast<long long>(sum_delta("crx_node_reads_served")),
+                    static_cast<long long>(sum_delta("crx_node_gated_puts")),
+                    static_cast<long long>(sum_delta("crx_net_messages_delivered")),
+                    static_cast<long long>(sum_delta("crx_net_messages_dropped")),
+                    static_cast<long long>(put_lat.P50()),
+                    static_cast<long long>(put_lat.P99()));
       });
     }
+  }
+
+  // Aggregated telemetry endpoint for the whole simulated deployment —
+  // scrapeable from another terminal while the (single-threaded) simulation
+  // runs, since the registry/collector/recorders are thread-safe to read.
+  std::unique_ptr<TelemetryServer> telemetry;
+  const uint16_t http_port = static_cast<uint16_t>(flags.GetInt("http-port", 0));
+  if (http_port != 0) {
+    telemetry = cluster.ServeTelemetry(http_port);
+    if (!telemetry) {
+      std::fprintf(stderr, "cannot bind --http-port %u\n", http_port);
+      return 2;
+    }
+    std::printf("telemetry on http://127.0.0.1:%u/ (/metrics /status /events /traces)\n",
+                telemetry->port());
   }
 
   const RunResult result = RunWorkload(&cluster, run);
@@ -270,6 +315,15 @@ int main(int argc, char** argv) {
       if (cluster.traces()->Latest(&trace)) {
         std::printf("traces        %zu collected; latest:\n%s",
                     cluster.traces()->size(), TraceCollector::Render(trace).c_str());
+      }
+    }
+    if (opts.slow_trace_us > 0) {
+      const std::vector<uint64_t> slow = cluster.traces()->RetainedIds();
+      std::printf("slow traces   %zu retained (latency >= %lld us)\n", slow.size(),
+                  static_cast<long long>(opts.slow_trace_us));
+      TraceCollector::Trace trace;
+      if (!slow.empty() && cluster.traces()->Find(slow.back(), &trace)) {
+        std::printf("slowest-retained hop-by-hop:\n%s", TraceCollector::Render(trace).c_str());
       }
     }
   }

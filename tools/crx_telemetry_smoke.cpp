@@ -1,0 +1,233 @@
+// crx_telemetry_smoke — CI smoke test for the live telemetry endpoints.
+//
+// Boots a small ChainReaction cluster over loopback TCP (the kv_shell
+// topology), runs a handful of puts/gets with tail-based slow-trace capture
+// armed, then scrapes the TelemetryServer like a monitoring agent would:
+//   /metrics       must expose Prometheus # TYPE headers and le-buckets
+//   /metrics.json  must be non-empty JSON
+//   /status        must report every node with its chain-role segment counts
+//   /events        must contain flight-recorder entries
+//   /traces        must list retained slow-put traces; one is fetched by id
+//                  and must show the full client->head->chain->ack hop path
+// Exits nonzero (with a message) on the first check that fails.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/core/chainreaction_client.h"
+#include "src/core/chainreaction_node.h"
+#include "src/net/address_book.h"
+#include "src/net/sync_client.h"
+#include "src/net/tcp_runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
+#include "src/ring/ring.h"
+
+using namespace chainreaction;
+
+namespace {
+
+int g_failures = 0;
+
+void Check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: %s\n", what);
+    ++g_failures;
+  } else {
+    std::printf("ok: %s\n", what);
+  }
+}
+
+// Minimal blocking HTTP GET against loopback; returns the response body, or
+// empty on any error (callers Check() the content).
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return "";
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: smoke\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::write(fd, req.data() + sent, req.size() - sent);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  if (resp.find("200") == std::string::npos) {
+    std::fprintf(stderr, "GET %s -> %s\n", path.c_str(),
+                 resp.substr(0, resp.find("\r\n")).c_str());
+    return "";
+  }
+  const size_t split = resp.find("\r\n\r\n");
+  return split == std::string::npos ? "" : resp.substr(split + 4);
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t servers = 4;
+  AddressBook book;
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < servers; ++n) {
+    ids.push_back(n);
+  }
+  const Ring ring(ids, 16, 3, 1);
+
+  CrxConfig cfg;
+  cfg.replication = 3;
+  cfg.k_stability = 2;
+  cfg.client_timeout = 2 * kSecond;
+  cfg.slow_trace_us = 1;  // tail capture: every completed put is "slow"
+
+  MetricsRegistry metrics;
+  TraceCollector traces;
+
+  std::vector<std::unique_ptr<TcpRuntime>> runtimes;
+  std::vector<std::unique_ptr<ChainReactionNode>> nodes;
+  for (NodeId n = 0; n < servers; ++n) {
+    auto rt = std::make_unique<TcpRuntime>(&book);
+    auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
+    node->AttachEnv(rt->Register(n, node.get()));
+    node->AttachObs(&metrics, &traces);
+    rt->AttachMetrics(&metrics);
+    nodes.push_back(std::move(node));
+    runtimes.push_back(std::move(rt));
+  }
+  auto client_rt = std::make_unique<TcpRuntime>(&book);
+  auto client = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 1);
+  client->AttachEnv(client_rt->Register(kClientAddressBase, client.get()));
+  client->AttachObs(&metrics, &traces);
+  client_rt->AttachMetrics(&metrics);
+  for (auto& rt : runtimes) {
+    rt->Start();
+  }
+  client_rt->Start();
+
+  TelemetryServer telemetry(0);  // ephemeral port
+  Check(telemetry.ok(), "telemetry server binds");
+  telemetry.AttachMetrics(&metrics);
+  telemetry.AttachTraces(&traces);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    telemetry.AddRecorder("n" + std::to_string(i), nodes[i]->events());
+  }
+  telemetry.SetStatusProvider([&runtimes, &nodes]() {
+    std::string out = "{\"nodes\":[";
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      std::string status;
+      runtimes[i]->Post([&]() {
+        status = nodes[i]->StatusJson();
+        std::lock_guard<std::mutex> lock(mu);
+        done = true;
+        cv.notify_one();
+      });
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+      if (i > 0) {
+        out += ',';
+      }
+      out += status;
+    }
+    out += "]}";
+    return out;
+  });
+  telemetry.Start();
+  const uint16_t port = telemetry.port();
+  std::printf("telemetry on 127.0.0.1:%u\n", port);
+
+  {
+    SyncClient kv(client.get(), client_rt.get());
+    for (int i = 0; i < 16; ++i) {
+      kv.Put("smoke-key-" + std::to_string(i), "value-" + std::to_string(i));
+    }
+    for (int i = 0; i < 16; ++i) {
+      const auto r = kv.Get("smoke-key-" + std::to_string(i));
+      Check(r.found, "get finds a put key");
+      if (!r.found) {
+        break;
+      }
+    }
+  }
+
+  const std::string prom = HttpGet(port, "/metrics");
+  Check(prom.find("# TYPE crx_client_put_latency_us histogram") != std::string::npos,
+        "/metrics has the put-latency histogram TYPE header");
+  Check(prom.find("_bucket{") != std::string::npos, "/metrics has le-buckets");
+  Check(prom.find("crx_node_puts_applied") != std::string::npos,
+        "/metrics has node counters");
+
+  const std::string mjson = HttpGet(port, "/metrics.json");
+  Check(!mjson.empty() && mjson.front() == '[' && mjson.find("\"name\"") != std::string::npos,
+        "/metrics.json looks like a JSON instrument array");
+
+  const std::string status = HttpGet(port, "/status");
+  Check(status.find("\"nodes\":[") != std::string::npos, "/status lists nodes");
+  size_t node_entries = 0;
+  for (size_t at = 0; (at = status.find("\"node\":", at)) != std::string::npos; ++at) {
+    ++node_entries;
+  }
+  Check(node_entries == servers, "/status has one entry per node");
+  Check(status.find("\"segments\":") != std::string::npos,
+        "/status reports chain-role segment counts");
+
+  const std::string events = HttpGet(port, "/events");
+  Check(events.find("# n0") != std::string::npos, "/events names each recorder");
+
+  const std::string trace_list = HttpGet(port, "/traces");
+  Check(!trace_list.empty(), "/traces lists trace ids");
+  const size_t eol = trace_list.find('\n');
+  std::string first_id = trace_list.substr(0, eol);
+  // Lines are "<16-hex-id> ..." — take the leading token.
+  const size_t sp = first_id.find(' ');
+  if (sp != std::string::npos) {
+    first_id = first_id.substr(0, sp);
+  }
+  Check(first_id.size() == 16, "/traces ids are 16 hex digits");
+
+  const std::string trace = HttpGet(port, "/traces/" + first_id);
+  Check(trace.find("client_put") != std::string::npos, "trace has the client_put hop");
+  Check(trace.find("chain_apply") != std::string::npos, "trace has chain_apply hops");
+  Check(trace.find("client_ack") != std::string::npos, "trace has the client_ack hop");
+  Check(traces.retained_count() > 0, "slow puts were retained by the tail sampler");
+
+  telemetry.Stop();
+  client_rt->Stop();
+  for (auto& rt : runtimes) {
+    rt->Stop();
+  }
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d telemetry smoke check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("telemetry smoke: all checks passed\n");
+  return 0;
+}
