@@ -1,0 +1,195 @@
+// E16 — Hot-path throughput on real sockets: multi-loop runtime + batching.
+//
+// Unlike E1-E15 (simulated time, cost models), this experiment measures
+// wall-clock throughput of the actual TCP deployment: 8 ChainReaction
+// nodes in one process, 16 pipelined client sessions, loopback sockets.
+// Cells:
+//   baseline_1loop_per_node — the seed deployment: one single-loop runtime
+//       per node, per-frame write(), every post via mutex + wake pipe
+//   overhaul_1loop_batched  — consolidated runtime, coalesced writev
+//       flushes, cumulative-ack windows, one loop
+//   overhaul_4loops_batched — same plus 4 event loops with ring-segment
+//       sharding (`kv_shell --loop-threads=4`); needs cores to win
+// The headline speedup compares the baseline against the overhaul cell
+// sized for the machine's core count.
+// Reported: put throughput, p50/p99 completion latency, allocations per op
+// (global operator-new hook), and the runtime's writev coalescing counters.
+//
+// Usage: bench_e16_hotpath [--smoke] [json_path]
+//   --smoke: short cells + sanity assertions, no JSON (CI gate).
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/net/tcp_cluster.h"
+
+// Allocation accounting: every global allocation in the process (all loop
+// threads included) bumps one relaxed counter. Benchmarks divide the delta
+// by completed ops.
+static std::atomic<uint64_t> g_allocs{0};
+
+static void* CountedAlloc(size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
+namespace chainreaction {
+namespace {
+
+struct CellSpec {
+  std::string name;
+  uint32_t loop_threads = 1;
+  Duration ack_batch_window = 0;
+  bool per_node_runtimes = false;  // seed deployment: 1 single-loop runtime/node
+  bool coalesced_io = true;        // false = pre-overhaul per-frame write()
+};
+
+struct CellOutcome {
+  uint64_t ops = 0;
+  uint64_t failures = 0;
+  double ops_per_sec = 0;
+  int64_t p50_us = 0;
+  int64_t p99_us = 0;
+  double allocs_per_op = 0;
+  double frames_per_writev = 0;
+};
+
+CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
+  TcpCluster::Options opts;
+  opts.num_nodes = 8;
+  opts.loop_threads = spec.loop_threads;
+  opts.num_clients = 16;
+  opts.client_loop_threads = 4;
+  opts.seed = 7;
+  opts.config.replication = 3;
+  opts.config.k_stability = 2;
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  opts.config.ack_batch_window = spec.ack_batch_window;
+  opts.per_node_runtimes = spec.per_node_runtimes;
+  opts.coalesced_io = spec.coalesced_io;
+  TcpCluster cluster(opts);
+
+  TcpCluster::LoadOptions load;
+  load.duration = duration;
+  load.value_size = 128;
+  load.key_space = 4096;
+  load.get_fraction = 0.0;  // pure puts: the chain hot path
+  load.pipeline = 8;
+
+  const uint64_t allocs_before = g_allocs.load();
+  const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
+  const uint64_t allocs = g_allocs.load() - allocs_before;
+
+  CellOutcome out;
+  out.ops = result.ops;
+  out.failures = result.failures;
+  out.ops_per_sec = result.ops_per_sec;
+  out.p50_us = result.latency_us.P50();
+  out.p99_us = result.latency_us.P99();
+  out.allocs_per_op = result.ops > 0 ? static_cast<double>(allocs) / result.ops : 0;
+  const uint64_t calls = cluster.server_writev_calls();
+  out.frames_per_writev =
+      calls > 0 ? static_cast<double>(cluster.server_writev_frames()) / calls : 0;
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_e16.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  const Duration duration = smoke ? 300 * kMillisecond : 3 * kSecond;
+
+  // Baseline reproduces the seed deployment exactly: one single-loop
+  // runtime per node (kv_shell's old topology), per-frame write(), every
+  // post through the mutex + wake pipe. The overhaul cell is what
+  // `kv_shell --loop-threads=4` now runs: all nodes consolidated into one
+  // 4-loop runtime with ring-segment affinity, coalesced writev flushes,
+  // and cumulative-ack windows. The middle cell isolates consolidation
+  // from loop-count scaling (which needs cores to show up).
+  const CellSpec cells[] = {
+      {"baseline_1loop_per_node", 1, 0, /*per_node=*/true, /*coalesced=*/false},
+      {"overhaul_1loop_batched", 1, 100, false, true},
+      {"overhaul_4loops_batched", 4, 100 /*us*/, false, true},
+  };
+  // Loop-count scaling needs cores; the headline number compares the
+  // baseline against the overhaul cell sized for this machine.
+  const uint32_t hw = std::max(1u, std::thread::hardware_concurrency());
+  const size_t headline = hw >= 2 ? 2 : 1;
+
+  PrintTableHeader("E16: TCP hot path, 8 nodes, 16 pipelined sessions, pure puts",
+                   {"cell", "ops/s", "p50", "p99", "alloc/op", "frames/writev"});
+  std::vector<CellOutcome> outcomes;
+  for (const CellSpec& spec : cells) {
+    const CellOutcome out = RunHotpathCell(spec, duration);
+    outcomes.push_back(out);
+    PrintTableRow({spec.name, Fmt("%.0f", out.ops_per_sec), FormatMicros(out.p50_us),
+                   FormatMicros(out.p99_us), Fmt("%.1f", out.allocs_per_op),
+                   Fmt("%.2f", out.frames_per_writev)});
+  }
+  const double speedup =
+      outcomes[0].ops_per_sec > 0 ? outcomes[headline].ops_per_sec / outcomes[0].ops_per_sec
+                                  : 0;
+  std::printf("\nput throughput speedup (%s vs baseline, %u hw threads): %.2fx\n\n",
+              cells[headline].name.c_str(), hw, speedup);
+
+  if (smoke) {
+    // CI sanity gate: both cells must complete real work without failures.
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+      if (outcomes[i].ops == 0 || outcomes[i].failures > 0) {
+        std::fprintf(stderr, "smoke FAILED: cell %zu ops=%llu failures=%llu\n", i,
+                     static_cast<unsigned long long>(outcomes[i].ops),
+                     static_cast<unsigned long long>(outcomes[i].failures));
+        return 1;
+      }
+    }
+    std::printf("smoke OK\n");
+    return 0;
+  }
+
+  std::vector<BenchJsonRow> rows;
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    rows.push_back(BenchJsonRow{cells[i].name,
+                                {{"loop_threads", static_cast<double>(cells[i].loop_threads)},
+                                 {"ops_per_sec", outcomes[i].ops_per_sec},
+                                 {"p50_us", static_cast<double>(outcomes[i].p50_us)},
+                                 {"p99_us", static_cast<double>(outcomes[i].p99_us)},
+                                 {"allocs_per_op", outcomes[i].allocs_per_op},
+                                 {"frames_per_writev", outcomes[i].frames_per_writev}}});
+  }
+  rows.push_back(BenchJsonRow{
+      "summary", {{"put_speedup", speedup}, {"hw_threads", static_cast<double>(hw)}}});
+  if (WriteBenchJson(json_path, "e16", rows)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace chainreaction
+
+int main(int argc, char** argv) { return chainreaction::Main(argc, argv); }

@@ -5,34 +5,54 @@
 // reads); on read-heavy workloads ChainReaction approaches the eventual
 // (R1W1) store's throughput while giving causal+ guarantees; the quorum
 // configuration pays fan-out on every operation.
+//
+// Besides the table, writes BENCH_e2.json (ops/s and read/write latency
+// percentiles per cell) for the perf-trajectory diff in ROADMAP.md.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
 
 using namespace chainreaction;
 
-int main() {
-  const WorkloadSpec specs[] = {
-      WorkloadSpec::A(1000, 1024),
-      WorkloadSpec::B(1000, 1024),
-      WorkloadSpec::C(1000, 1024),
-      WorkloadSpec::D(1000, 1024),
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_e2.json";
+  const struct {
+    const char* name;
+    WorkloadSpec spec;
+  } workloads[] = {
+      {"A", WorkloadSpec::A(1000, 1024)},
+      {"B", WorkloadSpec::B(1000, 1024)},
+      {"C", WorkloadSpec::C(1000, 1024)},
+      {"D", WorkloadSpec::D(1000, 1024)},
   };
 
+  std::vector<BenchJsonRow> json_rows;
   PrintTableHeader("E2: throughput (ops/s), 12 servers, 96 closed-loop clients",
                    {"system", "YCSB-A", "YCSB-B", "YCSB-C", "YCSB-D"});
   for (SystemKind system : AllSystems()) {
     std::vector<std::string> row = {SystemKindName(system)};
-    for (const WorkloadSpec& spec : specs) {
+    for (const auto& workload : workloads) {
       CellOptions cell;
       cell.system = system;
-      cell.spec = spec;
+      cell.spec = workload.spec;
       CellResult result = RunCell(cell);
       row.push_back(Fmt("%.0f", result.run.throughput_ops_sec));
+      const StatsCollector& stats = result.run.stats;
+      json_rows.push_back(BenchJsonRow{
+          std::string(SystemKindName(system)) + "/" + workload.name,
+          {{"ops_per_sec", result.run.throughput_ops_sec},
+           {"read_p50_us", static_cast<double>(stats.read_latency.P50())},
+           {"read_p99_us", static_cast<double>(stats.read_latency.P99())},
+           {"write_p50_us", static_cast<double>(stats.write_latency.P50())},
+           {"write_p99_us", static_cast<double>(stats.write_latency.P99())}}});
       std::fflush(stdout);
     }
     PrintTableRow(row);
   }
   std::printf("\n");
+  if (WriteBenchJson(json_path, "e2", json_rows)) {
+    std::printf("wrote %s\n", json_path.c_str());
+  }
   return 0;
 }

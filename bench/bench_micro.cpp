@@ -1,7 +1,15 @@
 // M1-M5 — google-benchmark micro-benchmarks for the hot substrate paths:
 // message serialization, ring chain lookup, versioned-store operations,
 // zipfian generation, histogram recording, and the causal checker.
+//
+// Every benchmark also reports "allocs/op" (heap allocations per iteration,
+// via a global operator-new hook) — the target the allocation-light
+// encoding work optimizes.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "src/checker/causal_checker.h"
 #include "src/common/histogram.h"
@@ -12,8 +20,43 @@
 #include "src/ycsb/generators.h"
 #include "src/ycsb/workload.h"
 
+static std::atomic<uint64_t> g_allocs{0};
+
+static void* CountedAlloc(size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(size_t size) { return CountedAlloc(size); }
+void* operator new[](size_t size) { return CountedAlloc(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, size_t) noexcept { std::free(p); }
+void operator delete[](void* p, size_t) noexcept { std::free(p); }
+
 namespace chainreaction {
 namespace {
+
+// Wraps a benchmark loop body: counts heap allocations across the timed
+// region and reports them per iteration.
+class AllocCounter {
+ public:
+  explicit AllocCounter(benchmark::State& state)
+      : state_(state), start_(g_allocs.load(std::memory_order_relaxed)) {}
+  ~AllocCounter() {
+    const uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - start_;
+    state_.counters["allocs/op"] = benchmark::Counter(
+        static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+  }
+
+ private:
+  benchmark::State& state_;
+  uint64_t start_;
+};
 
 void BM_EncodeChainPut(benchmark::State& state) {
   CrxChainPut msg;
@@ -23,6 +66,7 @@ void BM_EncodeChainPut(benchmark::State& state) {
   msg.version.vv.Set(0, 123);
   msg.version.lamport = 123456789;
   msg.deps.push_back(Dependency{"user000000000007", msg.version});
+  AllocCounter alloc(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(EncodeMessage(msg));
   }
@@ -36,6 +80,7 @@ void BM_DecodeChainPut(benchmark::State& state) {
   msg.value = std::string(static_cast<size_t>(state.range(0)), 'v');
   msg.version.vv = VersionVector(2);
   const std::string payload = EncodeMessage(msg);
+  AllocCounter alloc(state);
   for (auto _ : state) {
     CrxChainPut out;
     benchmark::DoNotOptimize(DecodeMessage(payload, &out));
@@ -50,6 +95,7 @@ void BM_RingChainLookupCold(benchmark::State& state) {
     nodes.push_back(n);
   }
   uint64_t i = 0;
+  AllocCounter alloc(state);
   for (auto _ : state) {
     // Fresh ring per batch to measure uncached lookups.
     state.PauseTiming();
@@ -69,6 +115,7 @@ void BM_RingChainLookupCached(benchmark::State& state) {
   }
   Ring ring(nodes, 16, 3);
   uint64_t i = 0;
+  AllocCounter alloc(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ring.ChainFor(RecordKey(i++ % 1024)));
   }
@@ -78,6 +125,7 @@ BENCHMARK(BM_RingChainLookupCached);
 void BM_StoreApply(benchmark::State& state) {
   VersionedStore store;
   uint64_t lamport = 1;
+  AllocCounter alloc(state);
   for (auto _ : state) {
     Version v;
     v.vv = VersionVector(1);
@@ -101,6 +149,7 @@ void BM_StoreLatest(benchmark::State& state) {
     store.Apply(RecordKey(i), "value", v);
   }
   uint64_t i = 0;
+  AllocCounter alloc(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(store.Latest(RecordKey(i++ % 1024)));
   }
@@ -110,6 +159,7 @@ BENCHMARK(BM_StoreLatest);
 void BM_ZipfianNext(benchmark::State& state) {
   ZipfianChooser zipf(static_cast<uint64_t>(state.range(0)));
   Rng rng(1);
+  AllocCounter alloc(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(zipf.Next(&rng));
   }
@@ -119,6 +169,7 @@ BENCHMARK(BM_ZipfianNext)->Arg(10000)->Arg(10000000);
 void BM_ScrambledZipfianNext(benchmark::State& state) {
   ScrambledZipfianChooser zipf(1000000);
   Rng rng(1);
+  AllocCounter alloc(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(zipf.Next(&rng));
   }
@@ -128,6 +179,7 @@ BENCHMARK(BM_ScrambledZipfianNext);
 void BM_HistogramRecord(benchmark::State& state) {
   Histogram h;
   Rng rng(1);
+  AllocCounter alloc(state);
   for (auto _ : state) {
     h.Record(static_cast<int64_t>(rng.NextBelow(1000000)));
   }
@@ -144,6 +196,7 @@ void BM_CausalCheckerRead(benchmark::State& state) {
     checker.RecordWrite(s, RecordKey(s), v, {});
   }
   uint64_t i = 0;
+  AllocCounter alloc(state);
   for (auto _ : state) {
     checker.RecordRead(static_cast<uint32_t>(i % 16), RecordKey(i % 16), true, v);
     i++;

@@ -92,6 +92,35 @@ inline std::string Fmt(const char* fmt, double v) {
 
 inline std::string FmtU(uint64_t v) { return std::to_string(v); }
 
+// Machine-readable results ---------------------------------------------
+//
+// Benchmarks that feed the perf trajectory (E2, E16) also emit a flat JSON
+// file of named rows so regressions can be diffed across commits without
+// scraping the human tables. Values are numeric only.
+struct BenchJsonRow {
+  std::string name;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+inline bool WriteBenchJson(const std::string& path, const std::string& bench,
+                           const std::vector<BenchJsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\"", rows[i].name.c_str());
+    for (const auto& [key, value] : rows[i].values) {
+      std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 inline const std::vector<SystemKind>& AllSystems() {
   static const std::vector<SystemKind> kSystems = {
       SystemKind::kChainReaction, SystemKind::kCraq, SystemKind::kCr,

@@ -15,8 +15,13 @@
 //   quit
 //
 //   $ ./build/examples/kv_shell [--servers N] [--replication R] [--k K]
+//                               [--loop-threads L]
 //                               [--data-dir DIR] [--fsync-mode always|batch|none]
 //                               [--http-port P]
+//
+// All server nodes live in ONE consolidated TcpRuntime whose --loop-threads
+// event loops host them with ring-segment affinity (ring neighbors share a
+// loop, so most down-chain hops stay on one thread).
 //
 // With --http-port the process serves the telemetry endpoints (/metrics,
 // /metrics.json, /metrics/window, /traces, /events, /status) on loopback
@@ -39,6 +44,7 @@
 #include "src/core/chainreaction_node.h"
 #include "src/net/address_book.h"
 #include "src/net/sync_client.h"
+#include "src/net/tcp_cluster.h"
 #include "src/net/tcp_runtime.h"
 #include "src/obs/metrics.h"
 #include "src/obs/telemetry.h"
@@ -51,7 +57,7 @@ using namespace chainreaction;
 
 namespace {
 const char* kUsage =
-    "usage: kv_shell [--servers N] [--replication R] [--k K]\n"
+    "usage: kv_shell [--servers N] [--replication R] [--k K] [--loop-threads L]\n"
     "                [--data-dir DIR] [--fsync-mode always|batch|none]\n"
     "                [--http-port P]\n";
 }  // namespace
@@ -59,8 +65,8 @@ const char* kUsage =
 int main(int argc, char** argv) {
   Flags flags;
   if (!flags.Parse(argc, argv,
-                   {"servers", "replication", "k", "data-dir", "fsync-mode", "http-port",
-                    "help"})) {
+                   {"servers", "replication", "k", "loop-threads", "data-dir", "fsync-mode",
+                    "http-port", "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
@@ -71,6 +77,12 @@ int main(int argc, char** argv) {
   const uint32_t servers = static_cast<uint32_t>(flags.GetInt("servers", 6));
   const uint32_t replication = static_cast<uint32_t>(flags.GetInt("replication", 3));
   const uint32_t k = static_cast<uint32_t>(flags.GetInt("k", 2));
+  const uint32_t loop_threads =
+      static_cast<uint32_t>(flags.GetInt("loop-threads", 1));
+  if (loop_threads == 0 || loop_threads > servers) {
+    std::fprintf(stderr, "need 1 <= loop-threads <= servers\n");
+    return 1;
+  }
   const std::string data_dir = flags.GetString("data-dir", "");
   const uint16_t http_port = static_cast<uint16_t>(flags.GetInt("http-port", 0));
   WalOptions wal_options;
@@ -101,10 +113,13 @@ int main(int argc, char** argv) {
   MetricsRegistry metrics;
   TraceCollector traces;
 
-  std::vector<std::unique_ptr<TcpRuntime>> runtimes;
+  // One consolidated server runtime; node actors are sharded across its
+  // event loops by ring position.
+  const std::vector<uint32_t> shard_of =
+      TcpCluster::AssignShardsByRingOrder(ring, servers, loop_threads);
+  auto server_rt = std::make_unique<TcpRuntime>(&book, loop_threads);
   std::vector<std::unique_ptr<ChainReactionNode>> nodes;
   for (NodeId n = 0; n < servers; ++n) {
-    auto rt = std::make_unique<TcpRuntime>(&book);
     auto node = std::make_unique<ChainReactionNode>(n, cfg, ring);
     if (!data_dir.empty()) {
       const std::string node_dir = data_dir + "/n" + std::to_string(n);
@@ -132,20 +147,17 @@ int main(int argc, char** argv) {
                     rs.tail_truncated ? " (torn tail truncated)" : "");
       }
     }
-    node->AttachEnv(rt->Register(n, node.get()));
+    node->AttachEnv(server_rt->Register(n, node.get(), shard_of[n]));
     node->AttachObs(&metrics, &traces);
-    rt->AttachMetrics(&metrics);
     nodes.push_back(std::move(node));
-    runtimes.push_back(std::move(rt));
   }
+  server_rt->AttachMetrics(&metrics);
   auto client_rt = std::make_unique<TcpRuntime>(&book);
   auto client = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 1);
   client->AttachEnv(client_rt->Register(kClientAddressBase, client.get()));
   client->AttachObs(&metrics, &traces);
   client_rt->AttachMetrics(&metrics);
-  for (auto& rt : runtimes) {
-    rt->Start();
-  }
+  server_rt->Start();
   client_rt->Start();
   SyncClient kv(client.get(), client_rt.get());
 
@@ -164,14 +176,15 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < nodes.size(); ++i) {
       telemetry->AddRecorder("n" + std::to_string(i), nodes[i]->events());
     }
-    telemetry->SetStatusProvider([&runtimes, &nodes]() {
+    telemetry->SetStatusProvider([&server_rt, &nodes]() {
       std::string out = "{\"nodes\":[";
       for (size_t i = 0; i < nodes.size(); ++i) {
         std::mutex mu;
         std::condition_variable cv;
         bool done = false;
         std::string status;
-        runtimes[i]->Post([&]() {
+        // Node state is loop-owned; post into the node's own event loop.
+        server_rt->PostTo(static_cast<Address>(i), [&]() {
           status = nodes[i]->StatusJson();
           std::lock_guard<std::mutex> lock(mu);
           done = true;
@@ -197,8 +210,9 @@ int main(int argc, char** argv) {
   WindowedAggregator stats_window;
   const int64_t stats_t0 = TelemetryServer::WallMicros();
 
-  std::printf("chainreaction shell — %u servers over loopback TCP, R=%u, k=%u\n", servers,
-              replication, k);
+  std::printf(
+      "chainreaction shell — %u servers over loopback TCP (%u event loop%s), R=%u, k=%u\n",
+      servers, loop_threads, loop_threads == 1 ? "" : "s", replication, k);
   if (!data_dir.empty()) {
     std::printf("durability on — data dir %s, fsync=%s\n", data_dir.c_str(),
                 FsyncPolicyName(wal_options.policy));
@@ -389,9 +403,7 @@ int main(int argc, char** argv) {
     telemetry->Stop();  // before the loops: /status posts into them
   }
   client_rt->Stop();
-  for (auto& rt : runtimes) {
-    rt->Stop();
-  }
+  server_rt->Stop();
   std::printf("bye\n");
   return 0;
 }

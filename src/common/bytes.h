@@ -11,15 +11,35 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
 
 namespace chainreaction {
 
+// Exact wire size of PutVarU64(v); used by EncodedSize() precomputes so a
+// message can be encoded into a single exact-sized allocation.
+inline size_t VarU64Size(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
 class ByteWriter {
  public:
   ByteWriter() = default;
+
+  // Pre-sizes the buffer (hot encode paths reserve the exact message size
+  // up front so appending never reallocates).
+  void Reserve(size_t n) { buf_.reserve(buf_.size() + n); }
+
+  // Drops the contents but keeps the capacity, so one writer can be reused
+  // across messages without churning the allocator.
+  void Clear() { buf_.clear(); }
 
   void PutU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
 
@@ -33,6 +53,11 @@ class ByteWriter {
   void PutString(const std::string& s) {
     PutU32(static_cast<uint32_t>(s.size()));
     buf_.append(s);
+  }
+
+  void PutStringView(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
   }
 
   // Varint (LEB128) used where values are usually small (version vectors).
@@ -83,6 +108,19 @@ class ByteReader {
       return false;
     }
     s->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  // Zero-copy variant: the view aliases the reader's underlying buffer and
+  // is only valid while that buffer is alive and unmodified. Callers copy
+  // on apply (e.g. when a value is actually installed in a store).
+  bool GetStringView(std::string_view* s) {
+    uint32_t n = 0;
+    if (!GetU32(&n) || n > remaining()) {
+      return false;
+    }
+    *s = std::string_view(data_ + pos_, n);
     pos_ += n;
     return true;
   }

@@ -67,6 +67,14 @@ bool VersionVector::Decode(ByteReader* r) {
   return true;
 }
 
+size_t VersionVector::EncodedSize() const {
+  size_t n = VarU64Size(counts_.size());
+  for (uint64_t c : counts_) {
+    n += VarU64Size(c);
+  }
+  return n;
+}
+
 std::string VersionVector::ToString() const {
   std::string s = "[";
   for (size_t i = 0; i < counts_.size(); ++i) {

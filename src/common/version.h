@@ -55,6 +55,9 @@ class VersionVector {
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
 
+  // Exact number of bytes Encode() appends (for writer pre-sizing).
+  size_t EncodedSize() const;
+
   std::string ToString() const;
 
  private:
@@ -88,6 +91,7 @@ struct Version {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const { return vv.EncodedSize() + VarU64Size(lamport) + 2; }
 
   std::string ToString() const;
 };
@@ -107,6 +111,7 @@ struct Dependency {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const { return 4 + key.size() + version.EncodedSize() + 1; }
 };
 
 }  // namespace chainreaction

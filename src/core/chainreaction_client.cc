@@ -190,6 +190,17 @@ void ChainReactionClient::OnMessage(Address /*from*/, const std::string& payload
       }
       break;
     }
+    case MsgType::kCrxPutAckBatch: {
+      // Cumulative ack: entries are in ack order, so processing them
+      // sequentially is identical to receiving individual CrxPutAcks.
+      CrxPutAckBatch m;
+      if (DecodeMessage(payload, &m)) {
+        for (const CrxPutAck& ack : m.acks) {
+          HandlePutAck(ack);
+        }
+      }
+      break;
+    }
     case MsgType::kCrxGetReply: {
       CrxGetReply m;
       if (DecodeMessage(payload, &m)) {

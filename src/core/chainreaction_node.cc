@@ -131,15 +131,14 @@ void ChainReactionNode::CrashDurability() {
   }
 }
 
-bool ChainReactionNode::DurableApply(const Key& key, const Value& value,
-                                     const Version& version,
+bool ChainReactionNode::DurableApply(const Key& key, Value value, const Version& version,
                                      const std::vector<Dependency>& deps) {
   // Write-ahead: the record hits the log before the store. Versions already
   // present (retries, repair re-propagation) are already logged.
   if (wal_ != nullptr && store_.Find(key, version) == nullptr) {
     wal_->Append(WalRecord::Apply(key, value, version, deps));
   }
-  return store_.Apply(key, value, version, deps);
+  return store_.Apply(key, std::move(value), version, deps);
 }
 
 void ChainReactionNode::DurableMarkStable(const Key& key, const Version& version) {
@@ -183,6 +182,7 @@ void ChainReactionNode::AttachObs(MetricsRegistry* metrics, TraceCollector* trac
   m_gets_forwarded_ = metrics->GetCounter("crx_node_gets_forwarded", node_label);
   m_gated_depth_ = metrics->GetGauge("crx_node_gated_puts", node_label);
   m_dep_wait_ = metrics->GetLatency("crx_node_dep_wait_us", node_label);
+  m_ack_batched_ = metrics->GetCounter("crx_ack_batched", node_label);
 }
 
 void ChainReactionNode::SendHeartbeat() {
@@ -209,7 +209,7 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
     case MsgType::kCrxChainPut: {
       CrxChainPut m;
       if (DecodeMessage(payload, &m)) {
-        HandleChainPut(m);
+        HandleChainPut(std::move(m));
       }
       break;
     }
@@ -244,7 +244,7 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
     case MsgType::kGeoRemotePut: {
       GeoRemotePut m;
       if (DecodeMessage(payload, &m)) {
-        HandleRemotePut(m);
+        HandleRemotePut(std::move(m));
       }
       break;
     }
@@ -349,8 +349,8 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   if (seen != completed_reqs_.end()) {
     const StoredVersion* sv = store_.Find(put.key, seen->second);
     if (sv != nullptr) {
-      ApplyVersion(put.key, sv->value, sv->version, put.client, put.req, config_.k_stability,
-                   put.deps, put.trace);
+      ApplyVersion(put.key, Value(sv->value), sv->version, put.client, put.req,
+                   config_.k_stability, put.deps, /*chain_seq=*/0, put.trace);
       return;
     }
   }
@@ -457,7 +457,7 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
   ApplyAndPropagate(put);
 }
 
-void ChainReactionNode::ApplyAndPropagate(const CrxPut& put) {
+void ChainReactionNode::ApplyAndPropagate(CrxPut put) {
   Version version;
   if (const VersionVector* applied = store_.AppliedVv(put.key)) {
     version.vv = *applied;
@@ -475,14 +475,15 @@ void ChainReactionNode::ApplyAndPropagate(const CrxPut& put) {
     completed_order_.pop_front();
   }
 
-  ApplyVersion(put.key, put.value, version, put.client, put.req, config_.k_stability, put.deps,
-               put.trace);
+  ApplyVersion(put.key, std::move(put.value), version, put.client, put.req, config_.k_stability,
+               put.deps, /*chain_seq=*/0, std::move(put.trace));
 }
 
-bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const Version& version,
+bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version& version,
                                      Address client, RequestId req, ChainIndex ack_at,
-                                     const std::vector<Dependency>& deps, TraceContext trace) {
-  const bool applied = DurableApply(key, value, version, deps);
+                                     const std::vector<Dependency>& deps, uint64_t chain_seq,
+                                     TraceContext trace) {
+  const bool applied = DurableApply(key, value, version, deps);  // store keeps its own copy
   if (applied) {
     writes_applied_++;
     lamport_ = std::max(lamport_, version.lamport);
@@ -524,32 +525,62 @@ bool ChainReactionNode::ApplyVersion(const Key& key, const Value& value, const V
     ack.trace = trace;
     TraceHopAndReport(&ack.trace, trace_sink_, HopKind::kKAck, id_, config_.local_dc, pos,
                       env_->Now());
-    env_->Send(client, EncodeMessage(ack));
+    SendClientAck(std::move(ack), client, chain_seq);
   }
 
   if (pos == config_.replication) {
-    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, value,
+    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, std::move(value),
                     std::move(trace));
   } else {
+    const NodeId succ = ring_.SuccessorFor(key, id_);
     CrxChainPut fwd;
     fwd.key = key;
-    fwd.value = value;
+    fwd.value = std::move(value);
     fwd.version = version;
     fwd.client = client;
     fwd.req = req;
     fwd.ack_at = ack_at;
     fwd.epoch = ring_.epoch();
+    fwd.chain_seq = ++next_chain_seq_[succ];
     // Every replica stores the dependency list: the tail ships it to the
     // geo replicator, and any replica serves it to multi-get read
     // transactions.
     fwd.deps = deps;
     fwd.trace = std::move(trace);
-    env_->Send(ring_.SuccessorFor(key, id_), EncodeMessage(fwd));
+    env_->Send(succ, EncodeMessage(fwd));
   }
   return applied;
 }
 
-void ChainReactionNode::HandleChainPut(const CrxChainPut& msg) {
+void ChainReactionNode::SendClientAck(CrxPutAck ack, Address client, uint64_t chain_seq) {
+  if (config_.ack_batch_window <= 0) {
+    env_->Send(client, EncodeMessage(ack));
+    return;
+  }
+  auto [it, first] = pending_client_acks_.try_emplace(client);
+  CrxPutAckBatch& batch = it->second;
+  batch.up_to_seq = std::max(batch.up_to_seq, chain_seq);
+  batch.acks.push_back(std::move(ack));
+  if (m_ack_batched_ != nullptr) {
+    m_ack_batched_->Inc();
+  }
+  if (first) {
+    env_->Schedule(config_.ack_batch_window, [this, client]() { FlushClientAcks(client); });
+  }
+}
+
+void ChainReactionNode::FlushClientAcks(Address client) {
+  auto it = pending_client_acks_.find(client);
+  if (it == pending_client_acks_.end() || it->second.acks.empty()) {
+    pending_client_acks_.erase(client);
+    return;
+  }
+  CrxPutAckBatch batch = std::move(it->second);
+  pending_client_acks_.erase(it);
+  env_->Send(client, EncodeMessage(batch));
+}
+
+void ChainReactionNode::HandleChainPut(CrxChainPut msg) {
   if (msg.epoch != ring_.epoch()) {
     // A reconfiguration happened while this write was in flight; the new
     // head re-propagates all unstable writes under the new epoch.
@@ -558,13 +589,13 @@ void ChainReactionNode::HandleChainPut(const CrxChainPut& msg) {
   if (ring_.PositionOf(msg.key, id_) == 0) {
     return;
   }
-  ApplyVersion(msg.key, msg.value, msg.version, msg.client, msg.req, msg.ack_at, msg.deps,
-               msg.trace);
+  ApplyVersion(msg.key, std::move(msg.value), msg.version, msg.client, msg.req, msg.ack_at,
+               msg.deps, msg.chain_seq, std::move(msg.trace));
 }
 
 void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
                                         const std::vector<Dependency>& deps,
-                                        bool has_local_payload, const Value& value,
+                                        bool has_local_payload, Value value,
                                         TraceContext trace) {
   DurableMarkStable(key, version);
   stable_vv_[key].MergeMax(version.vv);
@@ -608,7 +639,7 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
     msg.version = version;
     msg.has_payload = has_local_payload;
     if (has_local_payload) {
-      msg.value = value;
+      msg.value = std::move(value);
       msg.deps = deps;
     }
     msg.trace = std::move(trace);
@@ -906,13 +937,13 @@ void ChainReactionNode::RunAntiEntropy() {
   }
 }
 
-void ChainReactionNode::HandleRemotePut(const GeoRemotePut& msg) {
+void ChainReactionNode::HandleRemotePut(GeoRemotePut msg) {
   if (ring_.PositionOf(msg.key, id_) != 1) {
     env_->Send(ring_.HeadFor(msg.key), EncodeMessage(msg));
     return;
   }
-  ApplyVersion(msg.key, msg.value, msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0, msg.deps,
-               msg.trace);
+  ApplyVersion(msg.key, std::move(msg.value), msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0,
+               msg.deps, /*chain_seq=*/0, std::move(msg.trace));
 }
 
 void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {

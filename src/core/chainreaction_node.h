@@ -164,31 +164,40 @@ class ChainReactionNode : public Actor {
   };
 
   void HandlePut(CrxPut put);
-  void HandleChainPut(const CrxChainPut& msg);
+  void HandleChainPut(CrxChainPut msg);
   void HandleGet(CrxGet get, Address from);
   void HandleStableNotify(const CrxStableNotify& msg);
   void HandleStabilityCheck(const CrxStabilityCheck& msg, Address from);
   void HandleStabilityConfirm(const CrxStabilityConfirm& msg);
-  void HandleRemotePut(const GeoRemotePut& msg);
+  void HandleRemotePut(GeoRemotePut msg);
   void HandleNewMembership(const MemNewMembership& msg);
   void HandleSyncKey(const MemSyncKey& msg);
   void HandleSyncDone(const MemSyncDone& msg);
 
   // Assigns a version to a gated client write and starts propagation.
-  void ApplyAndPropagate(const CrxPut& put);
+  void ApplyAndPropagate(CrxPut put);
 
   // Common apply path for a concrete (key, value, version); handles the
   // single-node-chain and tail special cases. Returns true if newly applied.
-  // `trace` (taken by value: each hop extends its own copy) accumulates the
-  // per-hop annotations of a traced put as it moves down the chain.
-  bool ApplyVersion(const Key& key, const Value& value, const Version& version, Address client,
+  // `value` and `trace` are taken by value and moved through (the store
+  // keeps the only extra copy of the payload; the down-chain forward or the
+  // tail's geo notification consumes the original). `chain_seq` is the
+  // pipeline sequence the write arrived with (0 at the head and for
+  // out-of-band re-propagation) and feeds the cumulative ack batch.
+  bool ApplyVersion(const Key& key, Value value, const Version& version, Address client,
                     RequestId req, ChainIndex ack_at, const std::vector<Dependency>& deps,
-                    TraceContext trace);
+                    uint64_t chain_seq, TraceContext trace);
 
   // Everything the tail must do when a version reaches it.
   void StabilizeAtTail(const Key& key, const Version& version,
                        const std::vector<Dependency>& deps, bool has_local_payload,
-                       const Value& value, TraceContext trace);
+                       Value value, TraceContext trace);
+
+  // Client ack path: with ack_batch_window > 0 acks are coalesced per
+  // client into one cumulative CrxPutAckBatch per window; otherwise each
+  // ack is sent immediately (legacy wire behavior).
+  void SendClientAck(CrxPutAck ack, Address client, uint64_t chain_seq);
+  void FlushClientAcks(Address client);
 
   void ResolveWatchers(const Key& key);
   void ScheduleStableNotify(const Key& key);
@@ -225,7 +234,7 @@ class ChainReactionNode : public Actor {
   // Write-ahead wrappers around the store: log the mutation (when it is not
   // already durable) before applying it. All protocol-path mutations go
   // through these; recovery replays write to store_ directly.
-  bool DurableApply(const Key& key, const Value& value, const Version& version,
+  bool DurableApply(const Key& key, Value value, const Version& version,
                     const std::vector<Dependency>& deps);
   void DurableMarkStable(const Key& key, const Version& version);
 
@@ -308,6 +317,15 @@ class ChainReactionNode : public Actor {
 
   std::unordered_map<Key, std::vector<DeferredGet>> deferred_gets_;
 
+  // Chain pipelining: next sequence number per down-chain successor link.
+  // Stamped on every in-band CrxChainPut forward; 0 marks out-of-band
+  // re-propagation (anti-entropy, repair).
+  std::unordered_map<NodeId, uint64_t> next_chain_seq_;
+
+  // Cumulative client acks awaiting their flush timer (only populated when
+  // config_.ack_batch_window > 0).
+  std::unordered_map<Address, CrxPutAckBatch> pending_client_acks_;
+
   // Stats.
   uint64_t reads_served_ = 0;
   std::vector<uint64_t> reads_by_position_;
@@ -329,6 +347,7 @@ class ChainReactionNode : public Actor {
   Counter* m_gets_forwarded_ = nullptr;
   Gauge* m_gated_depth_ = nullptr;
   LatencyMetric* m_dep_wait_ = nullptr;
+  Counter* m_ack_batched_ = nullptr;
   FlightRecorder events_;
 };
 

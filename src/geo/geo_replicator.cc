@@ -21,6 +21,7 @@ void GeoReplicator::AttachObs(MetricsRegistry* metrics, TraceCollector* traces) 
   }
   const MetricLabels labels = {{"dc", std::to_string(dc_)}};
   m_shipped_ = metrics->GetCounter("crx_geo_updates_shipped", labels);
+  m_ship_batched_ = metrics->GetCounter("crx_geo_ship_batched", labels);
   m_received_ = metrics->GetCounter("crx_geo_updates_received", labels);
   m_applied_ = metrics->GetCounter("crx_geo_updates_applied", labels);
   m_retransmissions_ = metrics->GetCounter("crx_geo_retransmissions", labels);
@@ -52,6 +53,17 @@ void GeoReplicator::OnMessage(Address from, const std::string& payload) {
       GeoShip m;
       if (DecodeMessage(payload, &m)) {
         HandleShip(std::move(m));
+      }
+      break;
+    }
+    case MsgType::kGeoShipBatch: {
+      // Entries are in channel order; processing them sequentially is
+      // identical to receiving the individual GeoShip frames.
+      GeoShipBatch m;
+      if (DecodeMessage(payload, &m)) {
+        for (GeoShip& s : m.ships) {
+          HandleShip(std::move(s));
+        }
       }
       break;
     }
@@ -144,7 +156,7 @@ void GeoReplicator::HandleLocalStable(const GeoLocalStable& msg) {
     std::vector<DcId> peers;
     for (DcId d = 0; d < peer_by_dc_.size(); ++d) {
       if (d != dc_ && peer_by_dc_[d] != 0) {
-        env_->Send(peer_by_dc_[d], EncodeMessage(ship));
+        SendShip(d, ship);
         peers.push_back(d);
       }
     }
@@ -166,6 +178,34 @@ void GeoReplicator::HandleLocalStable(const GeoLocalStable& msg) {
   }
 
   RecheckWaiters(msg.key);
+}
+
+void GeoReplicator::SendShip(DcId peer, const GeoShip& ship) {
+  if (config_.geo_ship_batch_window <= 0) {
+    env_->Send(peer_by_dc_[peer], EncodeMessage(ship));
+    return;
+  }
+  auto [it, first] = pending_ship_batch_.try_emplace(peer);
+  it->second.ships.push_back(ship);
+  if (m_ship_batched_ != nullptr) {
+    m_ship_batched_->Inc();
+  }
+  if (first) {
+    env_->Schedule(config_.geo_ship_batch_window, [this, peer]() { FlushShipBatch(peer); });
+  }
+}
+
+void GeoReplicator::FlushShipBatch(DcId peer) {
+  auto it = pending_ship_batch_.find(peer);
+  if (it == pending_ship_batch_.end() || it->second.ships.empty()) {
+    pending_ship_batch_.erase(peer);
+    return;
+  }
+  GeoShipBatch batch = std::move(it->second);
+  pending_ship_batch_.erase(it);
+  if (peer < peer_by_dc_.size() && peer_by_dc_[peer] != 0) {
+    env_->Send(peer_by_dc_[peer], EncodeMessage(batch));
+  }
 }
 
 bool GeoReplicator::DepSatisfied(const Dependency& dep) const {

@@ -101,6 +101,12 @@ class GeoReplicator : public Actor {
   void ArmRetransmitTimer();
   void RetransmitUnacked();
 
+  // Outbound ship path: with geo_ship_batch_window > 0 first shipments are
+  // coalesced per peer into one GeoShipBatch per window (channel FIFO order
+  // is preserved; retransmissions stay per-entry). 0 sends immediately.
+  void SendShip(DcId peer, const GeoShip& ship);
+  void FlushShipBatch(DcId peer);
+
   // Reliable dependency resolution: GeoLocalStable notifications are the
   // fast path, but they can be lost; for every unmet dependency of a parked
   // update the replicator also registers a stability check at the local
@@ -123,6 +129,9 @@ class GeoReplicator : public Actor {
   uint64_t next_channel_seq_ = 1;
   std::unordered_set<std::string> shipped_;  // dedup by (key, version)
   std::unordered_map<uint64_t, PendingGlobal> pending_global_;
+  // Ships awaiting their per-peer batch flush timer (only populated when
+  // config_.geo_ship_batch_window > 0).
+  std::unordered_map<DcId, GeoShipBatch> pending_ship_batch_;
 
   // Inbound.
   std::vector<PendingRemote> waiting_;
@@ -160,6 +169,7 @@ class GeoReplicator : public Actor {
   // Observability (all null until AttachObs).
   TraceCollector* trace_sink_ = nullptr;
   Counter* m_shipped_ = nullptr;
+  Counter* m_ship_batched_ = nullptr;
   Counter* m_received_ = nullptr;
   Counter* m_applied_ = nullptr;
   Counter* m_retransmissions_ = nullptr;

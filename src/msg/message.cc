@@ -32,6 +32,14 @@ bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps) {
   return true;
 }
 
+size_t EncodedDepsSize(const std::vector<Dependency>& deps) {
+  size_t n = VarU64Size(deps.size());
+  for (const Dependency& d : deps) {
+    n += d.EncodedSize();
+  }
+  return n;
+}
+
 // --------------------------- ChainReaction ---------------------------------
 
 void CrxPut::Encode(ByteWriter* w) const {
@@ -46,6 +54,9 @@ bool CrxPut::Decode(ByteReader* r) {
   return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && r->GetString(&value) &&
          DecodeDeps(r, &deps) && trace.Decode(r);
 }
+size_t CrxPut::EncodedSize() const {
+  return 8 + 4 + 4 + key.size() + 4 + value.size() + EncodedDepsSize(deps) + trace.EncodedSize();
+}
 
 void CrxPutAck::Encode(ByteWriter* w) const {
   w->PutU64(req);
@@ -57,6 +68,37 @@ void CrxPutAck::Encode(ByteWriter* w) const {
 bool CrxPutAck::Decode(ByteReader* r) {
   return r->GetU64(&req) && r->GetString(&key) && version.Decode(r) && r->GetU32(&acked_at) &&
          trace.Decode(r);
+}
+size_t CrxPutAck::EncodedSize() const {
+  return 8 + 4 + key.size() + version.EncodedSize() + 4 + trace.EncodedSize();
+}
+
+void CrxPutAckBatch::Encode(ByteWriter* w) const {
+  w->PutVarU64(up_to_seq);
+  w->PutVarU64(acks.size());
+  for (const CrxPutAck& a : acks) {
+    a.Encode(w);
+  }
+}
+bool CrxPutAckBatch::Decode(ByteReader* r) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&up_to_seq) || !r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  acks.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!acks[i].Decode(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+size_t CrxPutAckBatch::EncodedSize() const {
+  size_t n = VarU64Size(up_to_seq) + VarU64Size(acks.size());
+  for (const CrxPutAck& a : acks) {
+    n += a.EncodedSize();
+  }
+  return n;
 }
 
 void CrxGet::Encode(ByteWriter* w) const {
@@ -85,6 +127,10 @@ bool CrxGetReply::Decode(ByteReader* r) {
   return r->GetU64(&req) && r->GetString(&key) && r->GetBool(&found) && r->GetString(&value) &&
          version.Decode(r) && r->GetU32(&position) && r->GetBool(&stable) && DecodeDeps(r, &deps);
 }
+size_t CrxGetReply::EncodedSize() const {
+  return 8 + 4 + key.size() + 1 + 4 + value.size() + version.EncodedSize() + 4 + 1 +
+         EncodedDepsSize(deps);
+}
 
 void CrxChainPut::Encode(ByteWriter* w) const {
   w->PutString(key);
@@ -94,13 +140,18 @@ void CrxChainPut::Encode(ByteWriter* w) const {
   w->PutU64(req);
   w->PutU32(ack_at);
   w->PutU64(epoch);
+  w->PutVarU64(chain_seq);
   EncodeDeps(deps, w);
   trace.Encode(w);
 }
 bool CrxChainPut::Decode(ByteReader* r) {
   return r->GetString(&key) && r->GetString(&value) && version.Decode(r) && r->GetU32(&client) &&
-         r->GetU64(&req) && r->GetU32(&ack_at) && r->GetU64(&epoch) && DecodeDeps(r, &deps) &&
-         trace.Decode(r);
+         r->GetU64(&req) && r->GetU32(&ack_at) && r->GetU64(&epoch) && r->GetVarU64(&chain_seq) &&
+         DecodeDeps(r, &deps) && trace.Decode(r);
+}
+size_t CrxChainPut::EncodedSize() const {
+  return 4 + key.size() + 4 + value.size() + version.EncodedSize() + 4 + 8 + 4 + 8 +
+         VarU64Size(chain_seq) + EncodedDepsSize(deps) + trace.EncodedSize();
 }
 
 void CrxStableNotify::Encode(ByteWriter* w) const {
@@ -359,6 +410,10 @@ bool GeoLocalStable::Decode(ByteReader* r) {
   return r->GetString(&key) && version.Decode(r) && r->GetBool(&has_payload) &&
          r->GetString(&value) && DecodeDeps(r, &deps) && trace.Decode(r);
 }
+size_t GeoLocalStable::EncodedSize() const {
+  return 4 + key.size() + version.EncodedSize() + 1 + 4 + value.size() + EncodedDepsSize(deps) +
+         trace.EncodedSize();
+}
 
 void GeoLocalStableAck::Encode(ByteWriter* w) const {
   w->PutString(key);
@@ -381,6 +436,37 @@ bool GeoShip::Decode(ByteReader* r) {
   return r->GetU16(&origin_dc) && r->GetU64(&channel_seq) && r->GetString(&key) &&
          r->GetString(&value) && version.Decode(r) && DecodeDeps(r, &deps) && trace.Decode(r);
 }
+size_t GeoShip::EncodedSize() const {
+  return 2 + 8 + 4 + key.size() + 4 + value.size() + version.EncodedSize() +
+         EncodedDepsSize(deps) + trace.EncodedSize();
+}
+
+void GeoShipBatch::Encode(ByteWriter* w) const {
+  w->PutVarU64(ships.size());
+  for (const GeoShip& s : ships) {
+    s.Encode(w);
+  }
+}
+bool GeoShipBatch::Decode(ByteReader* r) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  ships.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!ships[i].Decode(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+size_t GeoShipBatch::EncodedSize() const {
+  size_t n = VarU64Size(ships.size());
+  for (const GeoShip& s : ships) {
+    n += s.EncodedSize();
+  }
+  return n;
+}
 
 void GeoApplied::Encode(ByteWriter* w) const {
   w->PutU16(dest_dc);
@@ -400,6 +486,10 @@ void GeoRemotePut::Encode(ByteWriter* w) const {
 bool GeoRemotePut::Decode(ByteReader* r) {
   return r->GetString(&key) && r->GetString(&value) && version.Decode(r) &&
          DecodeDeps(r, &deps) && trace.Decode(r);
+}
+size_t GeoRemotePut::EncodedSize() const {
+  return 4 + key.size() + 4 + value.size() + version.EncodedSize() + EncodedDepsSize(deps) +
+         trace.EncodedSize();
 }
 
 // --------------------------- membership -------------------------------------

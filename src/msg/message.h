@@ -33,6 +33,7 @@ enum class MsgType : uint16_t {
   kCrxPutAck = 11,
   kCrxGet = 12,
   kCrxGetReply = 13,
+  kCrxPutAckBatch = 14,
 
   // ChainReaction intra-chain.
   kCrxChainPut = 20,
@@ -74,6 +75,7 @@ enum class MsgType : uint16_t {
   kGeoApplied = 62,
   kGeoRemotePut = 63,
   kGeoLocalStableAck = 64,
+  kGeoShipBatch = 65,
 
   // Membership / chain repair.
   kMemNewMembership = 70,
@@ -85,9 +87,14 @@ enum class MsgType : uint16_t {
 // Returns the type tag of a serialized message (kInvalid if too short).
 MsgType PeekType(const std::string& payload);
 
+// Hot-path messages implement EncodedSize() so the writer can allocate the
+// final buffer in one shot (no growth reallocations mid-encode).
 template <typename M>
 std::string EncodeMessage(const M& m) {
   ByteWriter w;
+  if constexpr (requires { m.EncodedSize(); }) {
+    w.Reserve(2 + m.EncodedSize());
+  }
   w.PutU16(static_cast<uint16_t>(M::kType));
   m.Encode(&w);
   return w.Take();
@@ -106,6 +113,7 @@ bool DecodeMessage(const std::string& payload, M* out) {
 
 void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w);
 bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps);
+size_t EncodedDepsSize(const std::vector<Dependency>& deps);
 
 // ---------------------------------------------------------------------------
 // ChainReaction
@@ -127,6 +135,7 @@ struct CrxPut {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // Node at position k -> client: the write is k-stable.
@@ -140,6 +149,25 @@ struct CrxPutAck {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
+};
+
+// Node at position k -> client: cumulative acknowledgement. With ack
+// batching on (CrxConfig::ack_batch_window > 0), the acking node coalesces
+// the per-put acks destined for one client over a short window into a
+// single frame, collapsing the k-stability ack storm. `up_to_seq` is the
+// highest chain-pipeline sequence number (CrxChainPut::chain_seq) among the
+// batched puts on the incoming link; every put with a lower sequence on
+// that link is covered by an entry in `acks`. Entries are in ack order, so
+// processing them sequentially is identical to receiving individual acks.
+struct CrxPutAckBatch {
+  static constexpr MsgType kType = MsgType::kCrxPutAckBatch;
+  uint64_t up_to_seq = 0;
+  std::vector<CrxPutAck> acks;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // Client -> any node in its allowed chain prefix.
@@ -172,6 +200,7 @@ struct CrxGetReply {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // Head -> successor -> ...: down-chain propagation of one write. The node at
@@ -186,11 +215,16 @@ struct CrxChainPut {
   RequestId req = 0;
   ChainIndex ack_at = 0;  // k; 0 = never ack (remote update)
   uint64_t epoch = 0;     // membership epoch the sender believed in
+  // Pipelining sequence number, monotone per (sender, successor) link; 0
+  // for out-of-band re-propagation (anti-entropy, chain repair). Receivers
+  // use it for cumulative acking (CrxPutAckBatch::up_to_seq).
+  uint64_t chain_seq = 0;
   std::vector<Dependency> deps;  // shipped to the geo replicator at the tail
   TraceContext trace;     // per-hop annotations of the traced write
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // Tail -> predecessor -> ... -> head: version became DC-Write-Stable.
@@ -495,6 +529,7 @@ struct GeoLocalStable {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // Replicator -> tail: the GeoLocalStable notification for (key, version)
@@ -521,6 +556,22 @@ struct GeoShip {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
+};
+
+// Origin replicator -> peer replicator: several stable versions shipped in
+// one frame. With CrxConfig::geo_ship_batch_window > 0, outgoing GeoShips
+// for one peer are coalesced over a short window; the receiver processes
+// the entries in order, exactly as if they had arrived as individual
+// GeoShip frames (channel FIFO order is preserved, retransmission remains
+// per-entry).
+struct GeoShipBatch {
+  static constexpr MsgType kType = MsgType::kGeoShipBatch;
+  std::vector<GeoShip> ships;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // Peer replicator -> origin replicator: the update is applied (and locally
@@ -546,6 +597,7 @@ struct GeoRemotePut {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
 };
 
 // ---------------------------------------------------------------------------

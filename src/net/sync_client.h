@@ -25,7 +25,7 @@ class SyncClient {
     std::condition_variable cv;
     bool done = false;
     ChainReactionClient::PutResult result;
-    runtime_->Post([&, key]() mutable {
+    runtime_->PostTo(client_->address(), [&, key]() mutable {
       client_->Put(key, std::move(value), [&](const ChainReactionClient::PutResult& r) {
         std::lock_guard<std::mutex> lock(mu);
         result = r;
@@ -43,7 +43,7 @@ class SyncClient {
     std::condition_variable cv;
     bool done = false;
     ChainReactionClient::GetResult result;
-    runtime_->Post([&, key]() {
+    runtime_->PostTo(client_->address(), [&, key]() {
       client_->Get(key, [&](const ChainReactionClient::GetResult& r) {
         std::lock_guard<std::mutex> lock(mu);
         result = r;

@@ -1,0 +1,231 @@
+#include "src/net/tcp_cluster.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace chainreaction {
+
+namespace {
+
+Time WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::vector<uint32_t> TcpCluster::AssignShardsByRingOrder(const Ring& ring, uint32_t num_nodes,
+                                                          uint32_t loops) {
+  std::vector<uint32_t> shard_of(num_nodes, 0);
+  if (loops <= 1) {
+    return shard_of;
+  }
+  // Walk the ring's segments in order; a node's first appearance (as a
+  // segment head, then as any replica) fixes its ring position.
+  std::vector<NodeId> order;
+  std::unordered_set<NodeId> seen;
+  for (const auto& chain : ring.SegmentChains()) {
+    for (NodeId n : chain) {
+      if (n < num_nodes && seen.insert(n).second) {
+        order.push_back(n);
+      }
+    }
+  }
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (seen.insert(n).second) {
+      order.push_back(n);
+    }
+  }
+  // Contiguous blocks: ring neighbors (and hence most chain links) share a
+  // loop; only chains spanning a block boundary cross threads.
+  for (size_t i = 0; i < order.size(); ++i) {
+    shard_of[order[i]] =
+        static_cast<uint32_t>(i * loops / order.size());
+  }
+  return shard_of;
+}
+
+TcpCluster::TcpCluster(Options opts) : opts_(opts) {
+  CHAINRX_CHECK(opts_.num_nodes >= opts_.config.replication);
+  CHAINRX_CHECK(opts_.loop_threads >= 1);
+  CHAINRX_CHECK(opts_.client_loop_threads >= 1);
+  CHAINRX_CHECK(opts_.num_clients >= 1);
+
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    ids.push_back(n);
+  }
+  ring_ = Ring(ids, 16, opts_.config.replication, 1);
+  node_shard_ = AssignShardsByRingOrder(ring_, opts_.num_nodes, opts_.loop_threads);
+
+  if (opts_.per_node_runtimes) {
+    for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+      server_runtimes_.push_back(
+          std::make_unique<TcpRuntime>(&book_, 1, opts_.coalesced_io));
+    }
+  } else {
+    server_runtimes_.push_back(
+        std::make_unique<TcpRuntime>(&book_, opts_.loop_threads, opts_.coalesced_io));
+  }
+  for (NodeId n = 0; n < opts_.num_nodes; ++n) {
+    auto node = std::make_unique<ChainReactionNode>(n, opts_.config, ring_);
+    if (opts_.metrics != nullptr) {
+      node->AttachObs(opts_.metrics, nullptr);
+    }
+    if (opts_.per_node_runtimes) {
+      node->AttachEnv(server_runtimes_[n]->Register(n, node.get()));
+    } else {
+      node->AttachEnv(server_runtimes_[0]->Register(n, node.get(), node_shard_[n]));
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  client_runtime_ = std::make_unique<TcpRuntime>(&book_, opts_.client_loop_threads);
+  for (uint32_t c = 0; c < opts_.num_clients; ++c) {
+    const Address addr = kClientAddressBase + c;
+    auto client = std::make_unique<ChainReactionClient>(addr, opts_.config, ring_,
+                                                        opts_.seed + 1000 * (c + 1));
+    client->AttachEnv(
+        client_runtime_->Register(addr, client.get(), c % opts_.client_loop_threads));
+    clients_.push_back(std::move(client));
+  }
+
+  if (opts_.metrics != nullptr) {
+    for (auto& rt : server_runtimes_) {
+      rt->AttachMetrics(opts_.metrics);
+    }
+    client_runtime_->AttachMetrics(opts_.metrics);
+  }
+  for (auto& rt : server_runtimes_) {
+    rt->Start();
+  }
+  client_runtime_->Start();
+}
+
+TcpCluster::~TcpCluster() {
+  client_runtime_->Stop();
+  for (auto& rt : server_runtimes_) {
+    rt->Stop();
+  }
+}
+
+uint64_t TcpCluster::server_writev_calls() const {
+  uint64_t total = 0;
+  for (const auto& rt : server_runtimes_) {
+    total += rt->writev_calls();
+  }
+  return total;
+}
+
+uint64_t TcpCluster::server_writev_frames() const {
+  uint64_t total = 0;
+  for (const auto& rt : server_runtimes_) {
+    total += rt->writev_frames();
+  }
+  return total;
+}
+
+uint64_t TcpCluster::server_frames_sent() const {
+  uint64_t total = 0;
+  for (const auto& rt : server_runtimes_) {
+    total += rt->frames_sent();
+  }
+  return total;
+}
+
+// All LoadSession state except mu/cv/remaining is touched only on the
+// session's client loop thread.
+struct TcpCluster::LoadSession {
+  ChainReactionClient* client = nullptr;
+  Rng rng{0};
+  Histogram hist;
+  uint64_t ops = 0;
+  uint64_t failures = 0;
+  Time deadline = 0;
+  LoadOptions load;
+
+  std::mutex* mu = nullptr;
+  std::condition_variable* cv = nullptr;
+  size_t* remaining = nullptr;
+};
+
+void TcpCluster::StepLoadSession(LoadSession* s) {
+  const Time now = WallMicros();
+  if (now >= s->deadline) {
+    std::lock_guard<std::mutex> lock(*s->mu);
+    --*s->remaining;
+    s->cv->notify_one();
+    return;
+  }
+  const Key key = "lk-" + std::to_string(s->rng.NextBelow(s->load.key_space));
+  const bool is_get =
+      s->load.get_fraction > 0.0 && s->rng.NextDouble() < s->load.get_fraction;
+  if (is_get) {
+    s->client->Get(key, [this, s, now](const ChainReactionClient::GetResult& r) {
+      r.status.ok() ? ++s->ops : ++s->failures;
+      s->hist.Record(WallMicros() - now);
+      StepLoadSession(s);
+    });
+  } else {
+    Value value(s->load.value_size, 'v');
+    s->client->Put(key, std::move(value),
+                   [this, s, now](const ChainReactionClient::PutResult& r) {
+                     r.status.ok() ? ++s->ops : ++s->failures;
+                     s->hist.Record(WallMicros() - now);
+                     StepLoadSession(s);
+                   });
+  }
+}
+
+TcpCluster::LoadResult TcpCluster::RunClosedLoop(const LoadOptions& load) {
+  std::mutex mu;
+  std::condition_variable cv;
+  const uint32_t pipeline = std::max<uint32_t>(1, load.pipeline);
+  // Each session runs `pipeline` independent op chains; every chain
+  // retires at the deadline.
+  size_t remaining = clients_.size() * pipeline;
+
+  const Time start = WallMicros();
+  std::vector<std::unique_ptr<LoadSession>> sessions;
+  for (size_t c = 0; c < clients_.size(); ++c) {
+    auto s = std::make_unique<LoadSession>();
+    s->client = clients_[c].get();
+    s->rng = Rng(opts_.seed + 77 * (c + 1));
+    s->deadline = start + load.duration;
+    s->load = load;
+    s->mu = &mu;
+    s->cv = &cv;
+    s->remaining = &remaining;
+    sessions.push_back(std::move(s));
+  }
+  for (size_t c = 0; c < sessions.size(); ++c) {
+    LoadSession* s = sessions[c].get();
+    for (uint32_t p = 0; p < pipeline; ++p) {
+      client_runtime_->PostTo(s->client->address(), [this, s]() { StepLoadSession(s); });
+    }
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return remaining == 0; });
+  }
+  const Time elapsed = WallMicros() - start;
+
+  LoadResult result;
+  for (const auto& s : sessions) {
+    result.ops += s->ops;
+    result.failures += s->failures;
+    result.latency_us.Merge(s->hist);
+  }
+  result.ops_per_sec = elapsed > 0 ? result.ops * 1e6 / static_cast<double>(elapsed) : 0.0;
+  return result;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,113 @@
+// One-process TCP deployment harness.
+//
+// Stands up a full ChainReaction cluster over loopback sockets inside one
+// process: a single server TcpRuntime whose `loop_threads` event loops host
+// all node actors, plus a client TcpRuntime hosting N client sessions.
+// Nodes are sharded across the server loops by *ring position* — contiguous
+// ring segments map to the same loop, so the chain neighbors of most keys
+// colocate and down-chain hops stay in-process on one thread.
+//
+// The harness also bundles a closed-loop load driver (each client issues
+// its next operation from the previous one's completion callback) used by
+// bench_e16_hotpath, crx_loadgen --loop-threads, and the multi-loop tests.
+#ifndef SRC_NET_TCP_CLUSTER_H_
+#define SRC_NET_TCP_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/core/chainreaction_client.h"
+#include "src/core/chainreaction_node.h"
+#include "src/core/config.h"
+#include "src/net/address_book.h"
+#include "src/net/tcp_runtime.h"
+#include "src/obs/metrics.h"
+#include "src/ring/ring.h"
+
+namespace chainreaction {
+
+class TcpCluster {
+ public:
+  struct Options {
+    uint32_t num_nodes = 8;
+    uint32_t loop_threads = 1;         // server event loops
+    uint32_t num_clients = 1;          // independent client sessions
+    uint32_t client_loop_threads = 1;  // client-side event loops
+    uint64_t seed = 42;
+    // config.replication governs chain length; batching windows and
+    // timeouts are taken as-is.
+    CrxConfig config;
+    MetricsRegistry* metrics = nullptr;  // optional
+    // Seed-style deployment: one single-loop runtime per node, every chain
+    // hop over a socket (ignores loop_threads). Benchmarks use it as the
+    // pre-overhaul baseline.
+    bool per_node_runtimes = false;
+    // False restores pre-overhaul per-frame write()/post behavior in all
+    // server runtimes (see TcpRuntime).
+    bool coalesced_io = true;
+  };
+
+  struct LoadOptions {
+    Duration duration = 2 * kSecond;  // wall-clock run length
+    uint32_t value_size = 128;        // bytes per put value
+    uint32_t key_space = 1024;        // distinct keys
+    double get_fraction = 0.0;        // remainder are puts
+    // Outstanding operations per client session. 1 = strictly sequential
+    // (session guarantees); >1 pipelines puts down the chain, which is what
+    // the cumulative-ack batching coalesces.
+    uint32_t pipeline = 1;
+  };
+
+  struct LoadResult {
+    uint64_t ops = 0;
+    uint64_t failures = 0;
+    double ops_per_sec = 0.0;
+    Histogram latency_us;  // per-op completion latency
+  };
+
+  explicit TcpCluster(Options opts);
+  ~TcpCluster();
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  // Runs every client session closed-loop until the deadline and merges
+  // their stats. Call from an ordinary (non-loop) thread.
+  LoadResult RunClosedLoop(const LoadOptions& load);
+
+  // The consolidated server runtime (first one in per-node mode).
+  TcpRuntime* server_runtime() { return server_runtimes_[0].get(); }
+  TcpRuntime* client_runtime() { return client_runtime_.get(); }
+  // Aggregated over all server runtimes (1 unless per_node_runtimes).
+  uint64_t server_writev_calls() const;
+  uint64_t server_writev_frames() const;
+  uint64_t server_frames_sent() const;
+  ChainReactionClient* client(size_t i) { return clients_[i].get(); }
+  size_t num_clients() const { return clients_.size(); }
+  ChainReactionNode* node(NodeId n) { return nodes_[n].get(); }
+  const Ring& ring() const { return ring_; }
+  uint32_t shard_of_node(NodeId n) const { return node_shard_[n]; }
+
+  // Ring-segment affinity: nodes in ring order, split into `loops`
+  // contiguous blocks. Exposed for tests.
+  static std::vector<uint32_t> AssignShardsByRingOrder(const Ring& ring, uint32_t num_nodes,
+                                                       uint32_t loops);
+
+ private:
+  struct LoadSession;
+  void StepLoadSession(LoadSession* s);
+
+  Options opts_;
+  Ring ring_;
+  AddressBook book_;
+  std::vector<uint32_t> node_shard_;
+  std::vector<std::unique_ptr<TcpRuntime>> server_runtimes_;
+  std::unique_ptr<TcpRuntime> client_runtime_;
+  std::vector<std::unique_ptr<ChainReactionNode>> nodes_;
+  std::vector<std::unique_ptr<ChainReactionClient>> clients_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_NET_TCP_CLUSTER_H_

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -31,29 +32,42 @@ void SetNoDelay(int fd) {
 
 constexpr size_t kFrameHeader = 12;  // u32 length | u32 src | u32 dst
 
+// Max iovec entries gathered into one writev (each frame contributes up to
+// two: header + payload). Kept well under IOV_MAX.
+constexpr size_t kMaxIov = 64;
+
+// The Shard whose loop is running on the current thread (null on ordinary
+// application threads). Lets PostToLoop detect same-shard posts, which need
+// neither the mutex nor a wake byte.
+thread_local void* g_loop_shard = nullptr;
+
 }  // namespace
 
-// Env implementation bound to one actor of this runtime.
+// Env implementation bound to one actor of this runtime. Schedule and
+// CancelTimer touch only the owning shard's timer heap, and they are only
+// called from that shard's loop thread (the single-threaded-actor contract).
 class TcpRuntime::TcpEnv : public Env {
  public:
-  TcpEnv(TcpRuntime* rt, Address self) : rt_(rt), self_(self) {}
+  TcpEnv(TcpRuntime* rt, Shard* shard, Address self)
+      : rt_(rt), shard_(shard), self_(self) {}
 
   Time Now() override { return NowMicros(); }
 
   void Send(Address dst, std::string payload) override {
-    rt_->SendFrame(self_, dst, payload);
+    rt_->SendFrame(shard_, self_, dst, std::move(payload));
   }
 
   uint64_t Schedule(Duration delay, std::function<void()> fn) override {
-    const uint64_t id = rt_->next_timer_id_++;
-    rt_->timers_.push(Timer{NowMicros() + delay, id, std::move(fn)});
+    const uint64_t id = shard_->next_timer_id++;
+    shard_->timers.push(Timer{NowMicros() + delay, id, std::move(fn)});
     return id;
   }
 
-  void CancelTimer(uint64_t timer_id) override { rt_->cancelled_timers_.insert(timer_id); }
+  void CancelTimer(uint64_t timer_id) override { shard_->cancelled_timers.insert(timer_id); }
 
  private:
   TcpRuntime* rt_;
+  Shard* shard_;
   Address self_;
 };
 
@@ -63,28 +77,37 @@ Time TcpRuntime::NowMicros() {
       .count();
 }
 
-TcpRuntime::TcpRuntime(AddressBook* book) : book_(book) {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
-  CHAINRX_CHECK(listen_fd_ >= 0);
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;  // ephemeral
-  CHAINRX_CHECK(bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
-  CHAINRX_CHECK(listen(listen_fd_, 128) == 0);
-  socklen_t len = sizeof(addr);
-  CHAINRX_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
-  port_ = ntohs(addr.sin_port);
-  SetNonBlocking(listen_fd_);
+TcpRuntime::TcpRuntime(AddressBook* book, uint32_t loop_threads, bool coalesced_io)
+    : book_(book), coalesced_io_(coalesced_io) {
+  CHAINRX_CHECK(loop_threads >= 1);
+  for (uint32_t i = 0; i < loop_threads; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
 
-  int pipe_fds[2];
-  CHAINRX_CHECK(pipe(pipe_fds) == 0);
-  wake_read_fd_ = pipe_fds[0];
-  wake_write_fd_ = pipe_fds[1];
-  SetNonBlocking(wake_read_fd_);
-  SetNonBlocking(wake_write_fd_);
+    shard->listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+    CHAINRX_CHECK(shard->listen_fd >= 0);
+    int one = 1;
+    setsockopt(shard->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;  // ephemeral
+    CHAINRX_CHECK(bind(shard->listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0);
+    CHAINRX_CHECK(listen(shard->listen_fd, 128) == 0);
+    socklen_t len = sizeof(addr);
+    CHAINRX_CHECK(getsockname(shard->listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0);
+    shard->port = ntohs(addr.sin_port);
+    SetNonBlocking(shard->listen_fd);
+
+    int pipe_fds[2];
+    CHAINRX_CHECK(pipe(pipe_fds) == 0);
+    shard->wake_read_fd = pipe_fds[0];
+    shard->wake_write_fd = pipe_fds[1];
+    SetNonBlocking(shard->wake_read_fd);
+    SetNonBlocking(shard->wake_write_fd);
+
+    shards_.push_back(std::move(shard));
+  }
 }
 
 TcpRuntime::~TcpRuntime() {
@@ -92,11 +115,12 @@ TcpRuntime::~TcpRuntime() {
   CloseAll();
 }
 
-Env* TcpRuntime::Register(Address addr, Actor* actor) {
+Env* TcpRuntime::Register(Address addr, Actor* actor, uint32_t loop) {
   CHAINRX_CHECK(!running_.load());
-  actors_[addr] = actor;
-  book_->Bind(addr, port_);
-  envs_.push_back(std::make_unique<TcpEnv>(this, addr));
+  CHAINRX_CHECK(loop < shards_.size());
+  actors_[addr] = ActorEntry{actor, loop};
+  book_->Bind(addr, shards_[loop]->port);
+  envs_.push_back(std::make_unique<TcpEnv>(this, shards_[loop].get(), addr));
   return envs_.back().get();
 }
 
@@ -105,11 +129,13 @@ void TcpRuntime::AttachMetrics(MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     return;
   }
-  const MetricLabels labels = {{"transport", "tcp"}, {"port", std::to_string(port_)}};
+  const MetricLabels labels = {{"transport", "tcp"}, {"port", std::to_string(port())}};
   m_frames_sent_ = metrics->GetCounter("crx_net_frames_sent", labels);
   m_frames_received_ = metrics->GetCounter("crx_net_frames_received", labels);
   m_bytes_sent_ = metrics->GetCounter("crx_net_bytes_sent", labels);
   m_bytes_received_ = metrics->GetCounter("crx_net_bytes_received", labels);
+  m_writev_calls_ = metrics->GetCounter("crx_net_writev_calls", labels);
+  m_writev_frames_ = metrics->GetCounter("crx_net_writev_frames", labels);
   m_outbox_bytes_ = metrics->GetGauge("crx_net_outbox_bytes", labels);
 }
 
@@ -118,8 +144,8 @@ void TcpRuntime::UpdateQueueGauge() {
     return;
   }
   uint64_t pending = 0;
-  for (const auto& conn : conns_) {
-    pending += conn->outbox.size();
+  for (const auto& shard : shards_) {
+    pending += shard->outbox_bytes.load(std::memory_order_relaxed);
   }
   m_outbox_bytes_->Set(static_cast<int64_t>(pending));
 }
@@ -127,42 +153,70 @@ void TcpRuntime::UpdateQueueGauge() {
 void TcpRuntime::Start() {
   CHAINRX_CHECK(!running_.load());
   running_.store(true);
-  thread_ = std::thread([this]() { Loop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s]() { Loop(s); });
+  }
 }
 
 void TcpRuntime::Stop() {
   if (!running_.exchange(false)) {
     return;
   }
-  Wakeup();
-  if (thread_.joinable()) {
-    thread_.join();
+  for (auto& shard : shards_) {
+    Wakeup(shard.get());
+  }
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) {
+      shard->thread.join();
+    }
   }
 }
 
-void TcpRuntime::Post(std::function<void()> fn) {
+void TcpRuntime::Post(std::function<void()> fn) { PostToLoop(0, std::move(fn)); }
+
+void TcpRuntime::PostTo(Address addr, std::function<void()> fn) {
+  auto it = actors_.find(addr);
+  PostToLoop(it == actors_.end() ? 0 : it->second.shard, std::move(fn));
+}
+
+void TcpRuntime::PostToLoop(uint32_t loop, std::function<void()> fn) {
+  Shard* shard = shards_[loop].get();
+  if (coalesced_io_ && g_loop_shard == shard) {
+    // Same-shard fast path: the queue is loop-thread-private and the loop
+    // drains it before sleeping, so no synchronization is needed. Queueing
+    // (instead of calling fn now) keeps actor callbacks non-reentrant.
+    shard->local_posted.push_back(std::move(fn));
+    return;
+  }
   {
-    std::lock_guard<std::mutex> lock(posted_mu_);
-    posted_.push_back(std::move(fn));
+    std::lock_guard<std::mutex> lock(shard->posted_mu);
+    shard->posted.push_back(std::move(fn));
   }
-  Wakeup();
+  if (!shard->wake_armed.exchange(true)) {
+    Wakeup(shard);
+  }
 }
 
-void TcpRuntime::Wakeup() {
+void TcpRuntime::Wakeup(Shard* shard) {
   const char byte = 1;
-  ssize_t ignored = write(wake_write_fd_, &byte, 1);
+  ssize_t ignored = write(shard->wake_write_fd, &byte, 1);
   (void)ignored;
 }
 
-void TcpRuntime::Loop() {
+void TcpRuntime::Loop(Shard* shard) {
+  g_loop_shard = shard;
   while (running_.load()) {
-    DrainPosted();
-    RunTimers();
+    DrainPosted(shard);
+    RunTimers(shard);
+    // One coalesced writev per dirty connection for everything the drained
+    // work produced, before going to sleep.
+    FlushAll(shard);
 
     std::vector<pollfd> fds;
-    fds.push_back({listen_fd_, POLLIN, 0});
-    fds.push_back({wake_read_fd_, POLLIN, 0});
-    for (const auto& conn : conns_) {
+    fds.push_back({shard->listen_fd, POLLIN, 0});
+    fds.push_back({shard->wake_read_fd, POLLIN, 0});
+    for (const auto& conn : shard->conns) {
       short events = POLLIN;
       if (!conn->outbox.empty()) {
         events |= POLLOUT;
@@ -171,9 +225,18 @@ void TcpRuntime::Loop() {
     }
 
     int timeout_ms = 50;
-    if (!timers_.empty()) {
-      const Time delta = timers_.top().at - NowMicros();
+    if (!shard->timers.empty()) {
+      const Time delta = shard->timers.top().at - NowMicros();
       timeout_ms = delta <= 0 ? 0 : static_cast<int>(std::min<Time>(delta / 1000 + 1, 50));
+    }
+    if (!shard->local_posted.empty()) {
+      timeout_ms = 0;  // timer callbacks may have posted follow-up work
+    } else {
+      // Don't sleep on work posted cross-thread between drain and poll.
+      std::lock_guard<std::mutex> lock(shard->posted_mu);
+      if (!shard->posted.empty()) {
+        timeout_ms = 0;
+      }
     }
     const int n = poll(fds.data(), fds.size(), timeout_ms);
     if (n < 0) {
@@ -186,55 +249,63 @@ void TcpRuntime::Loop() {
 
     if ((fds[1].revents & POLLIN) != 0) {
       char buf[256];
-      while (read(wake_read_fd_, buf, sizeof(buf)) > 0) {
+      while (read(shard->wake_read_fd, buf, sizeof(buf)) > 0) {
       }
     }
     if ((fds[0].revents & POLLIN) != 0) {
-      AcceptNew();
+      AcceptNew(shard);
     }
-    // conns_ may grow during handling (new outgoing connections); only the
+    // conns may grow during handling (new outgoing connections); only the
     // prefix snapshotted into fds is touched here.
     const size_t snapshot = fds.size() - 2;
     for (size_t i = 0; i < snapshot; ++i) {
       const short revents = fds[i + 2].revents;
       if ((revents & POLLOUT) != 0) {
-        FlushOutbox(conns_[i].get());
+        FlushOutbox(shard, shard->conns[i].get());
       }
       if ((revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
-        ReadFrom(i);
+        ReadFrom(shard, i);
       }
     }
     UpdateQueueGauge();
   }
 }
 
-void TcpRuntime::DrainPosted() {
+void TcpRuntime::DrainPosted(Shard* shard) {
+  shard->wake_armed.store(false);
   std::deque<std::function<void()>> batch;
   {
-    std::lock_guard<std::mutex> lock(posted_mu_);
-    batch.swap(posted_);
+    std::lock_guard<std::mutex> lock(shard->posted_mu);
+    batch.swap(shard->posted);
   }
   for (auto& fn : batch) {
     fn();
   }
+  // Run same-shard work (and the work it spawns) to quiescence; socket
+  // backpressure bounds how much can accumulate per cycle.
+  while (!shard->local_posted.empty()) {
+    auto fn = std::move(shard->local_posted.front());
+    shard->local_posted.pop_front();
+    fn();
+  }
 }
 
-void TcpRuntime::RunTimers() {
+void TcpRuntime::RunTimers(Shard* shard) {
   const Time now = NowMicros();
-  while (!timers_.empty() && timers_.top().at <= now) {
-    Timer t = timers_.top();
-    timers_.pop();
-    if (auto it = cancelled_timers_.find(t.id); it != cancelled_timers_.end()) {
-      cancelled_timers_.erase(it);
+  while (!shard->timers.empty() && shard->timers.top().at <= now) {
+    Timer t = shard->timers.top();
+    shard->timers.pop();
+    if (auto it = shard->cancelled_timers.find(t.id); it != shard->cancelled_timers.end()) {
+      shard->cancelled_timers.erase(it);
       continue;
     }
     t.fn();
   }
 }
 
-void TcpRuntime::AcceptNew() {
+void TcpRuntime::AcceptNew(Shard* shard) {
   while (true) {
-    const int fd = accept(listen_fd_, nullptr, nullptr);
+    const int fd = accept(shard->listen_fd, nullptr, nullptr);
     if (fd < 0) {
       return;
     }
@@ -242,17 +313,20 @@ void TcpRuntime::AcceptNew() {
     SetNoDelay(fd);
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
-    conns_.push_back(std::move(conn));
+    shard->conns.push_back(std::move(conn));
   }
 }
 
-void TcpRuntime::ReadFrom(size_t conn_index) {
-  Connection* conn = conns_[conn_index].get();
+void TcpRuntime::ReadFrom(Shard* shard, size_t conn_index) {
+  Connection* conn = shard->conns[conn_index].get();
   char buf[16 * 1024];
   while (true) {
     const ssize_t n = read(conn->fd, buf, sizeof(buf));
     if (n > 0) {
       conn->inbox.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -261,10 +335,10 @@ void TcpRuntime::ReadFrom(size_t conn_index) {
     // Peer closed (or error): frames already buffered still get parsed.
     break;
   }
-  ParseFrames(conn);
+  ParseFrames(shard, conn);
 }
 
-void TcpRuntime::ParseFrames(Connection* conn) {
+void TcpRuntime::ParseFrames(Shard* shard, Connection* conn) {
   size_t offset = 0;
   while (conn->inbox.size() - offset >= kFrameHeader) {
     uint32_t length = 0, src = 0, dst = 0;
@@ -286,77 +360,185 @@ void TcpRuntime::ParseFrames(Connection* conn) {
       m_frames_received_->Inc();
       m_bytes_received_->Inc(kFrameHeader + length);
     }
-    Deliver(src, dst, std::move(payload));
+    Deliver(shard, src, dst, std::move(payload));
   }
   if (offset > 0) {
     conn->inbox.erase(0, offset);
   }
 }
 
-void TcpRuntime::Deliver(Address src, Address dst, std::string payload) {
+void TcpRuntime::Deliver(Shard* shard, Address src, Address dst, std::string payload) {
   auto it = actors_.find(dst);
   if (it == actors_.end()) {
-    LOG_WARN("runtime on port %u: no actor %u", port_, dst);
+    LOG_WARN("runtime on port %u: no actor %u", shard->port, dst);
     return;
   }
-  it->second->OnMessage(src, payload);
+  if (it->second.shard != shard->index) {
+    // A frame for an actor homed on another shard (e.g. sent to a stale
+    // port binding): bounce it to the owning loop so the actor's
+    // single-threaded contract holds.
+    PostToLoop(it->second.shard,
+               [this, src, dst, payload = std::move(payload)]() mutable {
+                 auto entry = actors_.find(dst);
+                 if (entry != actors_.end()) {
+                   entry->second.actor->OnMessage(src, payload);
+                 }
+               });
+    return;
+  }
+  it->second.actor->OnMessage(src, payload);
 }
 
-void TcpRuntime::SendFrame(Address src, Address dst, const std::string& payload) {
+void TcpRuntime::SendFrame(Shard* shard, Address src, Address dst, std::string payload) {
   // Local recipients skip the wire, like colocated processes sharing a bus.
-  if (actors_.contains(dst)) {
-    // Defer via the posted queue to keep Send() non-reentrant.
-    std::string copy = payload;
-    Post([this, src, dst, copy = std::move(copy)]() mutable {
-      Deliver(src, dst, std::move(copy));
-    });
+  if (auto it = actors_.find(dst); it != actors_.end()) {
+    // Defer via the owning shard's posted queue: keeps Send() non-reentrant
+    // on the same shard and hops threads for cross-shard destinations.
+    PostToLoop(it->second.shard,
+               [this, src, dst, payload = std::move(payload)]() mutable {
+                 auto entry = actors_.find(dst);
+                 if (entry != actors_.end()) {
+                   entry->second.actor->OnMessage(src, payload);
+                 }
+               });
     return;
   }
-  const uint16_t target_port = book_->PortOf(dst);
+  uint16_t target_port = 0;
+  if (auto cached = shard->port_cache.find(dst); cached != shard->port_cache.end()) {
+    target_port = cached->second;
+  } else {
+    target_port = book_->PortOf(dst);
+    if (target_port != 0) {
+      shard->port_cache.emplace(dst, target_port);
+    }
+  }
   if (target_port == 0) {
     LOG_WARN("no route to address %u", dst);
     return;
   }
-  const int conn_index = ConnectionTo(target_port);
+  const int conn_index = ConnectionTo(shard, target_port);
   if (conn_index < 0) {
     return;
   }
-  Connection* conn = conns_[static_cast<size_t>(conn_index)].get();
+  Connection* conn = shard->conns[static_cast<size_t>(conn_index)].get();
+  OutFrame frame;
   const uint32_t length = static_cast<uint32_t>(payload.size());
-  char header[kFrameHeader];
-  std::memcpy(header, &length, 4);
-  std::memcpy(header + 4, &src, 4);
-  std::memcpy(header + 8, &dst, 4);
-  conn->outbox.append(header, kFrameHeader);
-  conn->outbox.append(payload);
+  std::memcpy(frame.header, &length, 4);
+  std::memcpy(frame.header + 4, &src, 4);
+  std::memcpy(frame.header + 8, &dst, 4);
+  frame.payload = std::move(payload);
+  conn->outbox_bytes += kFrameHeader + frame.payload.size();
+  conn->outbox.push_back(std::move(frame));
   frames_sent_.fetch_add(1);
   if (m_frames_sent_ != nullptr) {
     m_frames_sent_->Inc();
-    m_bytes_sent_->Inc(kFrameHeader + payload.size());
+    m_bytes_sent_->Inc(kFrameHeader + length);
   }
-  FlushOutbox(conn);
+  if (coalesced_io_) {
+    // Not flushed here: the loop flushes all dirty connections once per
+    // cycle, so frames queued by one batch of work share a writev.
+    return;
+  }
+  FlushOutbox(shard, conn);
   UpdateQueueGauge();
 }
 
-void TcpRuntime::FlushOutbox(Connection* conn) {
-  while (!conn->outbox.empty()) {
-    const ssize_t n = write(conn->fd, conn->outbox.data(), conn->outbox.size());
-    if (n > 0) {
-      conn->outbox.erase(0, static_cast<size_t>(n));
-      continue;
+void TcpRuntime::FlushAll(Shard* shard) {
+  for (const auto& conn : shard->conns) {
+    if (!conn->outbox.empty()) {
+      FlushOutbox(shard, conn.get());
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      return;  // poll will retry with POLLOUT
-    }
-    LOG_WARN("write failed: %s", std::strerror(errno));
-    conn->outbox.clear();
-    return;
   }
+  UpdateQueueGauge();
 }
 
-int TcpRuntime::ConnectionTo(uint16_t target_port) {
-  auto it = port_to_conn_.find(target_port);
-  if (it != port_to_conn_.end()) {
+// Gathers as many queued frames as fit into one writev and resumes
+// correctly on partial writes: the front frame's written prefix is tracked
+// in Connection::front_written, EINTR retries, EAGAIN defers to POLLOUT.
+// Only a real socket error (broken connection) drops the queue.
+void TcpRuntime::FlushOutbox(Shard* shard, Connection* conn) {
+  while (!conn->outbox.empty()) {
+    iovec iov[kMaxIov];
+    size_t niov = 0;
+    size_t skip = conn->front_written;
+    for (const OutFrame& f : conn->outbox) {
+      if (niov + 2 > kMaxIov) {
+        break;
+      }
+      if (skip < kFrameHeader) {
+        iov[niov].iov_base = const_cast<char*>(f.header + skip);
+        iov[niov].iov_len = kFrameHeader - skip;
+        ++niov;
+        if (!f.payload.empty()) {
+          iov[niov].iov_base = const_cast<char*>(f.payload.data());
+          iov[niov].iov_len = f.payload.size();
+          ++niov;
+        }
+      } else {
+        const size_t payload_off = skip - kFrameHeader;
+        iov[niov].iov_base = const_cast<char*>(f.payload.data() + payload_off);
+        iov[niov].iov_len = f.payload.size() - payload_off;
+        ++niov;
+      }
+      skip = 0;
+    }
+
+    const ssize_t n = writev(conn->fd, iov, static_cast<int>(niov));
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;  // interrupted before any byte moved; retry
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;  // poll will retry with POLLOUT
+      }
+      // Broken connection: the queued frames can never be delivered.
+      LOG_WARN("writev failed: %s; dropping %zu buffered bytes", std::strerror(errno),
+               conn->outbox_bytes);
+      conn->outbox.clear();
+      conn->front_written = 0;
+      conn->outbox_bytes = 0;
+      break;
+    }
+    writev_calls_.fetch_add(1);
+    if (m_writev_calls_ != nullptr) {
+      m_writev_calls_->Inc();
+    }
+
+    // Consume n bytes across the queued frames.
+    size_t left = static_cast<size_t>(n);
+    conn->outbox_bytes -= left;
+    uint64_t completed = 0;
+    while (left > 0) {
+      OutFrame& f = conn->outbox.front();
+      const size_t total = kFrameHeader + f.payload.size();
+      const size_t rem = total - conn->front_written;
+      if (left >= rem) {
+        left -= rem;
+        conn->outbox.pop_front();
+        conn->front_written = 0;
+        ++completed;
+      } else {
+        conn->front_written += left;
+        left = 0;
+      }
+    }
+    if (completed > 0) {
+      writev_frames_.fetch_add(completed);
+      if (m_writev_frames_ != nullptr) {
+        m_writev_frames_->Inc(completed);
+      }
+    }
+  }
+  size_t pending = 0;
+  for (const auto& c : shard->conns) {
+    pending += c->outbox_bytes;
+  }
+  shard->outbox_bytes.store(pending, std::memory_order_relaxed);
+}
+
+int TcpRuntime::ConnectionTo(Shard* shard, uint16_t target_port) {
+  auto it = shard->port_to_conn.find(target_port);
+  if (it != shard->port_to_conn.end()) {
     return it->second;
   }
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
@@ -377,27 +559,29 @@ int TcpRuntime::ConnectionTo(uint16_t target_port) {
   SetNoDelay(fd);
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
-  conns_.push_back(std::move(conn));
-  const int index = static_cast<int>(conns_.size() - 1);
-  port_to_conn_[target_port] = index;
+  shard->conns.push_back(std::move(conn));
+  const int index = static_cast<int>(shard->conns.size() - 1);
+  shard->port_to_conn[target_port] = index;
   return index;
 }
 
 void TcpRuntime::CloseAll() {
-  for (auto& conn : conns_) {
-    if (conn->fd >= 0) {
-      close(conn->fd);
+  for (auto& shard : shards_) {
+    for (auto& conn : shard->conns) {
+      if (conn->fd >= 0) {
+        close(conn->fd);
+      }
     }
-  }
-  conns_.clear();
-  if (listen_fd_ >= 0) {
-    close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  if (wake_read_fd_ >= 0) {
-    close(wake_read_fd_);
-    close(wake_write_fd_);
-    wake_read_fd_ = wake_write_fd_ = -1;
+    shard->conns.clear();
+    if (shard->listen_fd >= 0) {
+      close(shard->listen_fd);
+      shard->listen_fd = -1;
+    }
+    if (shard->wake_read_fd >= 0) {
+      close(shard->wake_read_fd);
+      close(shard->wake_write_fd);
+      shard->wake_read_fd = shard->wake_write_fd = -1;
+    }
   }
 }
 

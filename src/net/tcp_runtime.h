@@ -1,19 +1,24 @@
 // Real-socket runtime for protocol actors.
 //
-// A TcpRuntime models one OS process: it hosts a set of actors behind a
-// single listening TCP socket (127.0.0.1, ephemeral port) and runs one
-// event-loop thread that
+// A TcpRuntime models one OS process hosting N event-loop threads
+// ("shards"). Each shard owns a listening TCP socket (127.0.0.1, ephemeral
+// port), its own connection table, timer heap, and posted-work queue, and
 //   * accepts peer connections and parses length-prefixed frames
 //     (u32 length | u32 src | u32 dst | payload),
-//   * delivers frames to local actors,
+//   * delivers frames to the actors registered on that shard,
 //   * sends outgoing frames — locally addressed ones are dispatched
-//     in-process, remote ones over a lazily established TCP connection to
-//     the owning runtime (found through the shared AddressBook),
-//   * drives an Env-compatible timer heap.
+//     in-process to the owning shard's queue, remote ones over a lazily
+//     established TCP connection to the owning shard of the destination
+//     runtime (found through the shared AddressBook),
+//   * coalesces queued frames into one writev() per flush, resuming
+//     correctly after partial writes / EINTR / EAGAIN.
 //
-// All actor callbacks run on the loop thread, matching the simulator's
-// single-threaded execution model, so the exact same protocol code runs on
-// both transports. External threads inject work with Post().
+// Every actor is registered on exactly one shard and all of its callbacks
+// (messages and timers) run on that shard's thread, preserving the
+// simulator's single-threaded-actor execution model — the exact same
+// protocol code runs on both transports. Callers shard node actors by ring
+// position so a key's chain neighbors colocate when possible. External
+// threads inject work with Post()/PostTo().
 #ifndef SRC_NET_TCP_RUNTIME_H_
 #define SRC_NET_TCP_RUNTIME_H_
 
@@ -41,37 +46,63 @@ namespace chainreaction {
 class TcpRuntime {
  public:
   // All runtimes that must talk to each other share one AddressBook.
-  explicit TcpRuntime(AddressBook* book);
+  // `loop_threads` is the number of event-loop shards (>= 1).
+  // `coalesced_io` selects the batched hot path (deferred once-per-cycle
+  // writev flushes, lock-free same-shard posting); false restores the
+  // pre-overhaul behavior — one write() per frame, every post through the
+  // mutex + wake pipe — and exists so bench_e16 can measure the overhaul
+  // against the old runtime inside one binary.
+  explicit TcpRuntime(AddressBook* book, uint32_t loop_threads = 1, bool coalesced_io = true);
   ~TcpRuntime();
   TcpRuntime(const TcpRuntime&) = delete;
   TcpRuntime& operator=(const TcpRuntime&) = delete;
 
-  // Must be called before Start(). The returned Env is owned by the
-  // runtime and valid until destruction.
-  Env* Register(Address addr, Actor* actor);
+  // Must be called before Start(). The actor lives on shard `loop` (all of
+  // its callbacks run on that shard's thread). The returned Env is owned by
+  // the runtime and valid until destruction.
+  Env* Register(Address addr, Actor* actor, uint32_t loop = 0);
 
-  // Optional observability: frame/byte counters and the outbound queue
-  // depth (bytes buffered across connections), labeled by this runtime's
-  // port. Must be called before Start().
+  // Optional observability: frame/byte/writev counters and the outbound
+  // queue depth (bytes buffered across connections), labeled by this
+  // runtime's primary port. Must be called before Start().
   void AttachMetrics(MetricsRegistry* metrics);
 
   void Start();
   void Stop();
 
-  // Runs `fn` on the loop thread (thread-safe, returns immediately).
+  // Runs `fn` on shard 0's loop thread (thread-safe, returns immediately).
   void Post(std::function<void()> fn);
+  // Runs `fn` on the loop thread owning `addr` (shard 0 if unregistered).
+  void PostTo(Address addr, std::function<void()> fn);
+  // Runs `fn` on a specific shard's loop thread.
+  void PostToLoop(uint32_t loop, std::function<void()> fn);
 
-  uint16_t port() const { return port_; }
+  uint32_t loop_threads() const { return static_cast<uint32_t>(shards_.size()); }
+  uint16_t port() const { return shards_[0]->port; }
+  uint16_t port_of_loop(uint32_t loop) const { return shards_[loop]->port; }
   uint64_t frames_sent() const { return frames_sent_.load(); }
   uint64_t frames_received() const { return frames_received_.load(); }
+  uint64_t writev_calls() const { return writev_calls_.load(); }
+  uint64_t writev_frames() const { return writev_frames_.load(); }
 
  private:
   class TcpEnv;
+
+  // One queued wire frame; the payload string is moved in from Env::Send
+  // and owned here until fully written.
+  struct OutFrame {
+    char header[12];  // u32 length | u32 src | u32 dst
+    std::string payload;
+  };
+
   struct Connection {
     int fd = -1;
-    std::string inbox;    // partially read frames
-    std::string outbox;   // partially written frames
+    std::string inbox;              // partially read frames
+    std::deque<OutFrame> outbox;    // queued frames, oldest first
+    size_t front_written = 0;       // bytes of outbox.front() already on the wire
+    size_t outbox_bytes = 0;        // total unwritten bytes across the queue
   };
+
   struct Timer {
     Time at;
     uint64_t id;
@@ -79,51 +110,84 @@ class TcpRuntime {
     bool operator>(const Timer& other) const { return at > other.at; }
   };
 
+  // Everything one event-loop thread owns. Only `posted` (mutex) and the
+  // wake pipe are touched cross-thread; the rest is loop-thread-private.
+  struct Shard {
+    uint32_t index = 0;
+    int listen_fd = -1;
+    int wake_read_fd = -1;
+    int wake_write_fd = -1;
+    uint16_t port = 0;
+
+    std::vector<std::unique_ptr<Connection>> conns;   // accepted + outgoing
+    std::unordered_map<uint16_t, int> port_to_conn;   // outgoing by port
+    // Address routes resolved from the shared AddressBook, cached here so
+    // the steady-state send path never takes the book's global mutex.
+    // Safe because bindings are made before Start() and never change.
+    std::unordered_map<Address, uint16_t> port_cache;
+
+    std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers;
+    std::unordered_set<uint64_t> cancelled_timers;
+    uint64_t next_timer_id = 1;
+
+    std::mutex posted_mu;
+    std::deque<std::function<void()>> posted;
+    // True while a wake byte is pending in the pipe: cross-thread posters
+    // skip the write() when one is already in flight.
+    std::atomic<bool> wake_armed{false};
+    // Work posted from this shard's own loop thread (actor-to-actor sends):
+    // no lock, no wake — drained before the next poll.
+    std::deque<std::function<void()>> local_posted;
+
+    std::atomic<uint64_t> outbox_bytes{0};  // mirror for the queue gauge
+    std::thread thread;
+  };
+
+  struct ActorEntry {
+    Actor* actor = nullptr;
+    uint32_t shard = 0;
+  };
+
   static Time NowMicros();
 
-  void Loop();
-  void AcceptNew();
-  void ReadFrom(size_t conn_index);
-  void ParseFrames(Connection* conn);
-  void Deliver(Address src, Address dst, std::string payload);
-  void SendFrame(Address src, Address dst, const std::string& payload);
-  void FlushOutbox(Connection* conn);
-  int ConnectionTo(uint16_t target_port);
-  void Wakeup();
-  void RunTimers();
-  void DrainPosted();
+  void Loop(Shard* shard);
+  void AcceptNew(Shard* shard);
+  void ReadFrom(Shard* shard, size_t conn_index);
+  void ParseFrames(Shard* shard, Connection* conn);
+  void Deliver(Shard* shard, Address src, Address dst, std::string payload);
+  void SendFrame(Shard* shard, Address src, Address dst, std::string payload);
+  void FlushOutbox(Shard* shard, Connection* conn);
+  // Flushes every connection with queued frames (one writev each); called
+  // once per loop iteration so frames generated in a cycle coalesce.
+  void FlushAll(Shard* shard);
+  int ConnectionTo(Shard* shard, uint16_t target_port);
+  void Wakeup(Shard* shard);
+  void RunTimers(Shard* shard);
+  void DrainPosted(Shard* shard);
   void CloseAll();
   void UpdateQueueGauge();
 
   AddressBook* book_;
-  int listen_fd_ = -1;
-  int wake_read_fd_ = -1;
-  int wake_write_fd_ = -1;
-  uint16_t port_ = 0;
+  const bool coalesced_io_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
-  std::unordered_map<Address, Actor*> actors_;
+  // Immutable after Start() (registered before the threads run).
+  std::unordered_map<Address, ActorEntry> actors_;
   std::vector<std::unique_ptr<Env>> envs_;
 
-  std::vector<std::unique_ptr<Connection>> conns_;   // accepted + outgoing
-  std::unordered_map<uint16_t, int> port_to_conn_;   // outgoing by port
-
-  std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers_;
-  std::unordered_set<uint64_t> cancelled_timers_;
-  uint64_t next_timer_id_ = 1;
-
-  std::mutex posted_mu_;
-  std::deque<std::function<void()>> posted_;
-
-  std::thread thread_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> frames_sent_{0};
   std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> writev_calls_{0};
+  std::atomic<uint64_t> writev_frames_{0};
 
   // Observability (null until AttachMetrics).
   Counter* m_frames_sent_ = nullptr;
   Counter* m_frames_received_ = nullptr;
   Counter* m_bytes_sent_ = nullptr;
   Counter* m_bytes_received_ = nullptr;
+  Counter* m_writev_calls_ = nullptr;
+  Counter* m_writev_frames_ = nullptr;
   Gauge* m_outbox_bytes_ = nullptr;
 };
 

@@ -68,6 +68,13 @@ struct TraceContext {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+
+  size_t EncodedSize() const {
+    if (id == 0) {
+      return 1;
+    }
+    return VarU64Size(id) + VarU64Size(hops.size()) + hops.size() * 19;
+  }
 };
 
 // Deterministic trace id for a client operation; nonzero for any real

@@ -288,20 +288,416 @@ TEST(Message, TruncationNeverCrashes) {
   }
 }
 
-TEST(Message, GarbageNeverCrashes) {
+// ---------------------------------------------------------------------------
+// Fuzz-lite property harness. Every wire struct gets, on random contents:
+//   (a) a byte-stable round trip — encode, decode, re-encode, compare bytes
+//       (stronger than field equality: catches lossy or non-canonical
+//       encodings that would defeat dedup and retransmission comparison);
+//   (b) decode failure at every truncation point (all fields are mandatory
+//       sequential reads, so no strict prefix may parse);
+//   (c) crash-free handling of single-byte corruptions — if a mutated
+//       payload happens to decode, the result must re-encode cleanly;
+//   (d) crash-free rejection of pure random garbage.
+// ---------------------------------------------------------------------------
+
+Key FuzzKey(Rng* rng) {
+  Key k = "fk";
+  const size_t len = rng->NextBelow(24);
+  for (size_t i = 0; i < len; ++i) {
+    k.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+  }
+  return k;
+}
+
+Value FuzzValue(Rng* rng) {
+  Value v;
+  const size_t len = rng->NextBelow(300);
+  for (size_t i = 0; i < len; ++i) {
+    v.push_back(static_cast<char>(rng->NextBelow(256)));
+  }
+  return v;
+}
+
+Version FuzzVersion(Rng* rng) {
+  Version v;
+  if (rng->NextBelow(8) == 0) {
+    return v;  // null version
+  }
+  const uint32_t n = 1 + static_cast<uint32_t>(rng->NextBelow(4));
+  v.vv = VersionVector(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    v.vv.Set(i, rng->NextBelow(1u << 20));
+  }
+  v.lamport = rng->NextBelow(1ull << 40);
+  v.origin = static_cast<DcId>(rng->NextBelow(4));
+  return v;
+}
+
+std::vector<Dependency> FuzzDeps(Rng* rng) {
+  std::vector<Dependency> deps;
+  const size_t n = rng->NextBelow(4);
+  for (size_t i = 0; i < n; ++i) {
+    deps.push_back(Dependency{FuzzKey(rng), FuzzVersion(rng)});
+  }
+  return deps;
+}
+
+TraceContext FuzzTrace(Rng* rng) {
+  TraceContext t;
+  if (rng->NextBool(0.5)) {
+    return t;  // untraced request
+  }
+  t.id = rng->Next() | 1;
+  const size_t n = rng->NextBelow(5);
+  for (size_t i = 0; i < n; ++i) {
+    t.Annotate(static_cast<HopKind>(1 + rng->NextBelow(10)),
+               static_cast<uint32_t>(rng->Next()), static_cast<uint16_t>(rng->Next()),
+               static_cast<uint32_t>(rng->Next()),
+               static_cast<Time>(rng->NextBelow(1ull << 40)));
+  }
+  return t;
+}
+
+// Runs the (a)/(b)/(c) properties for one struct type. `fill` populates a
+// default-constructed message from the rng.
+template <typename M, typename FillFn>
+void FuzzStruct(const char* name, uint64_t seed, FillFn fill) {
+  Rng rng(seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    M m;
+    fill(&m, &rng);
+    const std::string payload = EncodeMessage(m);
+    M out;
+    ASSERT_TRUE(DecodeMessage(payload, &out)) << name << " trial=" << trial;
+    EXPECT_EQ(EncodeMessage(out), payload) << name << " trial=" << trial;
+    for (size_t cut = 0; cut < payload.size(); ++cut) {
+      M t;
+      EXPECT_FALSE(DecodeMessage(payload.substr(0, cut), &t))
+          << name << " trial=" << trial << " cut=" << cut;
+    }
+    for (int mut = 0; mut < 10; ++mut) {
+      std::string corrupted = payload;
+      const size_t pos = rng.NextBelow(corrupted.size());
+      corrupted[pos] =
+          static_cast<char>(corrupted[pos] ^ static_cast<char>(1 + rng.NextBelow(255)));
+      M c;
+      if (DecodeMessage(corrupted, &c)) {
+        (void)EncodeMessage(c);
+      }
+    }
+  }
+}
+
+TEST(MessageFuzz, ChainReactionStructs) {
+  FuzzStruct<CrxPut>("CrxPut", 101, [](CrxPut* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->deps = FuzzDeps(rng);
+    m->trace = FuzzTrace(rng);
+  });
+  FuzzStruct<CrxPutAck>("CrxPutAck", 102, [](CrxPutAck* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->version = FuzzVersion(rng);
+    m->acked_at = static_cast<ChainIndex>(rng->NextBelow(8));
+    m->trace = FuzzTrace(rng);
+  });
+  FuzzStruct<CrxPutAckBatch>("CrxPutAckBatch", 103, [](CrxPutAckBatch* m, Rng* rng) {
+    m->up_to_seq = rng->NextBelow(1ull << 40);
+    const size_t n = rng->NextBelow(5);
+    for (size_t i = 0; i < n; ++i) {
+      CrxPutAck a;
+      a.req = rng->Next();
+      a.key = FuzzKey(rng);
+      a.version = FuzzVersion(rng);
+      a.acked_at = static_cast<ChainIndex>(rng->NextBelow(8));
+      a.trace = FuzzTrace(rng);
+      m->acks.push_back(a);
+    }
+  });
+  FuzzStruct<CrxGet>("CrxGet", 104, [](CrxGet* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+    m->min_version = FuzzVersion(rng);
+    m->with_deps = rng->NextBool(0.5);
+  });
+  FuzzStruct<CrxGetReply>("CrxGetReply", 105, [](CrxGetReply* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->found = rng->NextBool(0.5);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+    m->position = static_cast<ChainIndex>(rng->NextBelow(8));
+    m->stable = rng->NextBool(0.5);
+    m->deps = FuzzDeps(rng);
+  });
+  FuzzStruct<CrxChainPut>("CrxChainPut", 106, [](CrxChainPut* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+    m->client = static_cast<Address>(rng->Next());
+    m->req = rng->Next();
+    m->ack_at = static_cast<ChainIndex>(rng->NextBelow(8));
+    m->epoch = rng->NextBelow(100);
+    m->chain_seq = rng->NextBelow(1ull << 40);
+    m->deps = FuzzDeps(rng);
+    m->trace = FuzzTrace(rng);
+  });
+  FuzzStruct<CrxStableNotify>("CrxStableNotify", 107, [](CrxStableNotify* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->version = FuzzVersion(rng);
+    m->epoch = rng->NextBelow(100);
+  });
+  FuzzStruct<CrxStabilityCheck>("CrxStabilityCheck", 108, [](CrxStabilityCheck* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->version = FuzzVersion(rng);
+    m->token = rng->Next();
+  });
+  FuzzStruct<CrxStabilityConfirm>("CrxStabilityConfirm", 109,
+                                  [](CrxStabilityConfirm* m, Rng* rng) {
+                                    m->token = rng->Next();
+                                    m->key = FuzzKey(rng);
+                                  });
+}
+
+TEST(MessageFuzz, ChainReplicationStructs) {
+  FuzzStruct<CrPut>("CrPut", 201, [](CrPut* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+  });
+  FuzzStruct<CrChainPut>("CrChainPut", 202, [](CrChainPut* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->seq = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->req = rng->Next();
+  });
+  FuzzStruct<CrPutAck>("CrPutAck", 203, [](CrPutAck* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->seq = rng->Next();
+  });
+  FuzzStruct<CrChainAck>("CrChainAck", 204, [](CrChainAck* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->seq = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->req = rng->Next();
+  });
+  FuzzStruct<CrGet>("CrGet", 205, [](CrGet* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+  });
+  FuzzStruct<CrGetReply>("CrGetReply", 206, [](CrGetReply* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->found = rng->NextBool(0.5);
+    m->value = FuzzValue(rng);
+    m->seq = rng->Next();
+  });
+}
+
+TEST(MessageFuzz, CraqStructs) {
+  FuzzStruct<CraqPut>("CraqPut", 301, [](CraqPut* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+  });
+  FuzzStruct<CraqChainPut>("CraqChainPut", 302, [](CraqChainPut* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->seq = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->req = rng->Next();
+  });
+  FuzzStruct<CraqCommit>("CraqCommit", 303, [](CraqCommit* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->seq = rng->Next();
+  });
+  FuzzStruct<CraqPutAck>("CraqPutAck", 304, [](CraqPutAck* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->seq = rng->Next();
+  });
+  FuzzStruct<CraqGet>("CraqGet", 305, [](CraqGet* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+  });
+  FuzzStruct<CraqGetReply>("CraqGetReply", 306, [](CraqGetReply* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->found = rng->NextBool(0.5);
+    m->value = FuzzValue(rng);
+    m->seq = rng->Next();
+  });
+  FuzzStruct<CraqVersionQuery>("CraqVersionQuery", 307, [](CraqVersionQuery* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+  });
+  FuzzStruct<CraqVersionReply>("CraqVersionReply", 308, [](CraqVersionReply* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->committed_seq = rng->Next();
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+  });
+}
+
+TEST(MessageFuzz, EventualStructs) {
+  FuzzStruct<EvPut>("EvPut", 401, [](EvPut* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+  });
+  FuzzStruct<EvReplicate>("EvReplicate", 402, [](EvReplicate* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+    m->token = rng->Next();
+  });
+  FuzzStruct<EvReplicateAck>("EvReplicateAck", 403,
+                             [](EvReplicateAck* m, Rng* rng) { m->token = rng->Next(); });
+  FuzzStruct<EvPutAck>("EvPutAck", 404, [](EvPutAck* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->version = FuzzVersion(rng);
+  });
+  FuzzStruct<EvGet>("EvGet", 405, [](EvGet* m, Rng* rng) {
+    m->req = rng->Next();
+    m->client = static_cast<Address>(rng->Next());
+    m->key = FuzzKey(rng);
+  });
+  FuzzStruct<EvGetReply>("EvGetReply", 406, [](EvGetReply* m, Rng* rng) {
+    m->req = rng->Next();
+    m->key = FuzzKey(rng);
+    m->found = rng->NextBool(0.5);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+  });
+  FuzzStruct<EvReadQuery>("EvReadQuery", 407, [](EvReadQuery* m, Rng* rng) {
+    m->token = rng->Next();
+    m->key = FuzzKey(rng);
+  });
+  FuzzStruct<EvReadReply>("EvReadReply", 408, [](EvReadReply* m, Rng* rng) {
+    m->token = rng->Next();
+    m->key = FuzzKey(rng);
+    m->found = rng->NextBool(0.5);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+  });
+}
+
+TEST(MessageFuzz, GeoStructs) {
+  FuzzStruct<GeoLocalStable>("GeoLocalStable", 501, [](GeoLocalStable* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->version = FuzzVersion(rng);
+    m->has_payload = rng->NextBool(0.5);
+    if (m->has_payload) {
+      m->value = FuzzValue(rng);
+      m->deps = FuzzDeps(rng);
+    }
+    m->trace = FuzzTrace(rng);
+  });
+  FuzzStruct<GeoLocalStableAck>("GeoLocalStableAck", 502, [](GeoLocalStableAck* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->version = FuzzVersion(rng);
+  });
+  FuzzStruct<GeoShip>("GeoShip", 503, [](GeoShip* m, Rng* rng) {
+    m->origin_dc = static_cast<DcId>(rng->NextBelow(4));
+    m->channel_seq = rng->NextBelow(1ull << 40);
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+    m->deps = FuzzDeps(rng);
+    m->trace = FuzzTrace(rng);
+  });
+  FuzzStruct<GeoShipBatch>("GeoShipBatch", 504, [](GeoShipBatch* m, Rng* rng) {
+    const size_t n = rng->NextBelow(4);
+    for (size_t i = 0; i < n; ++i) {
+      GeoShip s;
+      s.origin_dc = static_cast<DcId>(rng->NextBelow(4));
+      s.channel_seq = rng->NextBelow(1ull << 40);
+      s.key = FuzzKey(rng);
+      s.value = FuzzValue(rng);
+      s.version = FuzzVersion(rng);
+      s.deps = FuzzDeps(rng);
+      s.trace = FuzzTrace(rng);
+      m->ships.push_back(s);
+    }
+  });
+  FuzzStruct<GeoApplied>("GeoApplied", 505, [](GeoApplied* m, Rng* rng) {
+    m->dest_dc = static_cast<DcId>(rng->NextBelow(4));
+    m->channel_seq = rng->NextBelow(1ull << 40);
+  });
+  FuzzStruct<GeoRemotePut>("GeoRemotePut", 506, [](GeoRemotePut* m, Rng* rng) {
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+    m->deps = FuzzDeps(rng);
+    m->trace = FuzzTrace(rng);
+  });
+}
+
+TEST(MessageFuzz, MembershipStructs) {
+  FuzzStruct<MemNewMembership>("MemNewMembership", 601, [](MemNewMembership* m, Rng* rng) {
+    m->epoch = rng->NextBelow(100);
+    const size_t n = rng->NextBelow(12);
+    for (size_t i = 0; i < n; ++i) {
+      m->nodes.push_back(static_cast<NodeId>(rng->NextBelow(256)));
+    }
+  });
+  FuzzStruct<MemHeartbeat>("MemHeartbeat", 602, [](MemHeartbeat* m, Rng* rng) {
+    m->node = static_cast<NodeId>(rng->NextBelow(256));
+  });
+  FuzzStruct<MemSyncKey>("MemSyncKey", 603, [](MemSyncKey* m, Rng* rng) {
+    m->epoch = rng->NextBelow(100);
+    m->key = FuzzKey(rng);
+    m->value = FuzzValue(rng);
+    m->version = FuzzVersion(rng);
+    m->stable = rng->NextBool(0.5);
+  });
+  FuzzStruct<MemSyncDone>("MemSyncDone", 604, [](MemSyncDone* m, Rng* rng) {
+    m->epoch = rng->NextBelow(100);
+    m->from = static_cast<NodeId>(rng->NextBelow(256));
+  });
+}
+
+// Decodes `garbage` into each struct type; none may crash.
+template <typename M>
+void DecodeGarbageInto(const std::string& garbage) {
+  M m;
+  (void)DecodeMessage(garbage, &m);
+}
+
+template <typename... Ms>
+void DecodeGarbageIntoAll(const std::string& garbage) {
+  (DecodeGarbageInto<Ms>(garbage), ...);
+}
+
+TEST(MessageFuzz, GarbageNeverCrashes) {
   Rng rng(1234);
-  for (int trial = 0; trial < 200; ++trial) {
+  for (int trial = 0; trial < 300; ++trial) {
     std::string garbage;
     const size_t len = rng.NextBelow(200);
     for (size_t i = 0; i < len; ++i) {
       garbage.push_back(static_cast<char>(rng.NextBelow(256)));
     }
-    CrxPut p;
-    CrxChainPut cp;
-    GeoShip gs;
-    (void)DecodeMessage(garbage, &p);
-    (void)DecodeMessage(garbage, &cp);
-    (void)DecodeMessage(garbage, &gs);
+    DecodeGarbageIntoAll<CrxPut, CrxPutAck, CrxPutAckBatch, CrxGet, CrxGetReply, CrxChainPut,
+                         CrxStableNotify, CrxStabilityCheck, CrxStabilityConfirm, CrPut,
+                         CrChainPut, CrPutAck, CrChainAck, CrGet, CrGetReply, CraqPut,
+                         CraqChainPut, CraqCommit, CraqPutAck, CraqGet, CraqGetReply,
+                         CraqVersionQuery, CraqVersionReply, EvPut, EvReplicate, EvReplicateAck,
+                         EvPutAck, EvGet, EvGetReply, EvReadQuery, EvReadReply, GeoLocalStable,
+                         GeoLocalStableAck, GeoShip, GeoShipBatch, GeoApplied, GeoRemotePut,
+                         MemNewMembership, MemHeartbeat, MemSyncKey, MemSyncDone>(garbage);
   }
   SUCCEED();
 }

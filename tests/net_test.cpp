@@ -6,10 +6,14 @@
 #include <memory>
 #include <vector>
 
+#include <chrono>
+#include <thread>
+
 #include "src/core/chainreaction_client.h"
 #include "src/core/chainreaction_node.h"
 #include "src/net/address_book.h"
 #include "src/net/sync_client.h"
+#include "src/net/tcp_cluster.h"
 #include "src/net/tcp_runtime.h"
 #include "src/ring/ring.h"
 
@@ -151,6 +155,143 @@ TEST(TcpTransport, ReplicationOneSingleProcess) {
   const auto get = client.Get("solo");
   EXPECT_TRUE(get.found);
   EXPECT_EQ(get.value, "v");
+}
+
+// Frame accounting must balance at quiescence: every frame one runtime put
+// on a socket must come out of another runtime's parser — no torn, dropped,
+// or duplicated frames through the coalesced writev path. Polls until the
+// counters stop moving (stability notifications trail the last client ack).
+TEST(TcpTransport, FrameIntegrityAcrossRuntimes) {
+  TcpCluster::Options opts;
+  opts.num_nodes = 5;
+  opts.loop_threads = 2;
+  opts.num_clients = 2;
+  opts.config.replication = 3;
+  opts.config.k_stability = 2;
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  TcpCluster cluster(opts);
+
+  TcpCluster::LoadOptions load;
+  load.duration = 300 * kMillisecond;
+  load.value_size = 64;
+  load.key_space = 32;
+  load.get_fraction = 0.3;
+  load.pipeline = 4;
+  const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
+  ASSERT_GT(result.ops, 0u);
+  EXPECT_EQ(result.failures, 0u);
+
+  const auto totals = [&] {
+    const uint64_t sent =
+        cluster.server_runtime()->frames_sent() + cluster.client_runtime()->frames_sent();
+    const uint64_t received = cluster.server_runtime()->frames_received() +
+                              cluster.client_runtime()->frames_received();
+    return std::make_pair(sent, received);
+  };
+  auto last = totals();
+  for (int i = 0; i < 500; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    const auto now = totals();
+    if (now == last && now.first == now.second) {
+      break;
+    }
+    last = now;
+  }
+  const auto final_totals = totals();
+  EXPECT_GT(final_totals.first, 0u);
+  EXPECT_EQ(final_totals.first, final_totals.second)
+      << "frames sent and received must balance at quiescence";
+}
+
+// Ring-segment shard assignment: every loop hosts at least one node, shard
+// ids are valid, and nodes are split into contiguous ring-order blocks.
+TEST(TcpTransportMultiLoop, ShardAssignmentCoversAllLoops) {
+  std::vector<NodeId> ids;
+  for (NodeId n = 0; n < 8; ++n) {
+    ids.push_back(n);
+  }
+  const Ring ring(ids, 16, 3, 1);
+  for (uint32_t loops : {1u, 2u, 4u}) {
+    const auto shard_of = TcpCluster::AssignShardsByRingOrder(ring, 8, loops);
+    ASSERT_EQ(shard_of.size(), 8u);
+    std::vector<uint32_t> nodes_per_loop(loops, 0);
+    for (uint32_t s : shard_of) {
+      ASSERT_LT(s, loops);
+      ++nodes_per_loop[s];
+    }
+    for (uint32_t l = 0; l < loops; ++l) {
+      EXPECT_GT(nodes_per_loop[l], 0u) << "loops=" << loops << " loop=" << l;
+    }
+  }
+}
+
+// The protocol must behave identically when the node actors are spread
+// across two event loops of one runtime: chains that span the loop
+// boundary exercise the cross-loop post path (TSan covers this test).
+TEST(TcpTransportMultiLoop, CrossLoopChainTraffic) {
+  TcpCluster::Options opts;
+  opts.num_nodes = 6;
+  opts.loop_threads = 2;
+  opts.num_clients = 1;
+  opts.config.replication = 3;
+  opts.config.k_stability = 2;
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  TcpCluster cluster(opts);
+
+  // The 3-replica chains over 6 nodes in 2 blocks necessarily include
+  // chains spanning both loops.
+  bool cross_loop = false;
+  for (NodeId n = 0; n < 6; ++n) {
+    if (cluster.shard_of_node(n) != cluster.shard_of_node(0)) {
+      cross_loop = true;
+    }
+  }
+  EXPECT_TRUE(cross_loop);
+
+  SyncClient client(cluster.client(0), cluster.client_runtime());
+  Version last;
+  for (int i = 0; i < 40; ++i) {
+    const Key key = "ml-" + std::to_string(i % 5);
+    const Value value = "v-" + std::to_string(i);
+    const auto put = client.Put(key, value);
+    ASSERT_TRUE(put.status.ok()) << "op " << i;
+    const auto get = client.Get(key);
+    ASSERT_TRUE(get.status.ok());
+    ASSERT_TRUE(get.found);
+    EXPECT_EQ(get.value, value);
+    if (i > 0) {
+      EXPECT_TRUE(last.LwwLess(put.version)) << "versions must stay monotone per client";
+    }
+    last = put.version;
+  }
+}
+
+// Same workload with pipelining + cumulative-ack batching on: ack batches
+// must cover every outstanding put (no lost completions) and preserve
+// per-key version monotonicity.
+TEST(TcpTransportMultiLoop, PipelinedPutsWithAckBatching) {
+  TcpCluster::Options opts;
+  opts.num_nodes = 6;
+  opts.loop_threads = 2;
+  opts.num_clients = 2;
+  opts.config.replication = 3;
+  opts.config.k_stability = 2;
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  opts.config.ack_batch_window = 100;  // microseconds
+  TcpCluster cluster(opts);
+
+  TcpCluster::LoadOptions load;
+  load.duration = 300 * kMillisecond;
+  load.value_size = 64;
+  load.key_space = 16;
+  load.get_fraction = 0.0;
+  load.pipeline = 8;
+  const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_EQ(result.failures, 0u) << "every pipelined put must be acked";
 }
 
 }  // namespace

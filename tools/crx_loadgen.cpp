@@ -7,12 +7,19 @@
 //   crx_loadgen --system craq --workload A --records 5000 --value-size 512
 //   crx_loadgen --system chainreaction --dcs 3 --wan-ms 120 --check
 //   crx_loadgen --system chainreaction --drop 0.02 --kill-at-ms 1000 --check
+//
+// With --loop-threads the tool switches from the simulator to a REAL
+// loopback-TCP deployment (TcpCluster): all server node actors in one
+// multi-loop runtime with ring-segment affinity, pipelined closed-loop
+// clients, wall-clock timing:
+//   crx_loadgen --loop-threads 4 --servers 8 --clients 16 --pipeline 8
 #include <cstdio>
 #include <string>
 
 #include "src/common/flags.h"
 #include "src/harness/cluster.h"
 #include "src/harness/experiment.h"
+#include "src/net/tcp_cluster.h"
 #include "src/obs/window.h"
 
 using namespace chainreaction;
@@ -49,6 +56,14 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --http-port P    serve /metrics /status /events /traces on P     [off]
   --metrics        dump the full metrics registry after the run
   --help
+
+TCP mode (real loopback sockets, wall-clock; chainreaction only):
+  --loop-threads N server event loops in one consolidated runtime  [off]
+  --pipeline N     outstanding ops per client session              [4]
+  --get-fraction P fraction of gets (remainder puts)               [0.5]
+  --ack-batch-us N cumulative-ack coalescing window, us            [100]
+  (honors --servers --clients --records --value-size --replication --k
+   --measure-ms --seed)
 )";
 
 SystemKind ParseSystem(const std::string& s) {
@@ -88,6 +103,61 @@ WorkloadSpec ParseWorkload(const std::string& w, uint64_t records, size_t value_
   std::exit(2);
 }
 
+// Real-socket deployment: every node actor in one consolidated multi-loop
+// TcpRuntime, pipelined closed-loop clients, wall-clock measurement.
+int RunTcpMode(const Flags& flags) {
+  TcpCluster::Options opts;
+  opts.num_nodes = static_cast<uint32_t>(flags.GetInt("servers", 8));
+  opts.loop_threads = static_cast<uint32_t>(flags.GetInt("loop-threads", 1));
+  opts.num_clients = static_cast<uint32_t>(flags.GetInt("clients", 16));
+  opts.client_loop_threads = std::min<uint32_t>(4, opts.num_clients);
+  opts.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  opts.config.replication = static_cast<uint32_t>(flags.GetInt("replication", 3));
+  opts.config.k_stability = static_cast<uint32_t>(flags.GetInt("k", 2));
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  opts.config.ack_batch_window = flags.GetInt("ack-batch-us", 100);
+  if (opts.loop_threads == 0 || opts.loop_threads > opts.num_nodes ||
+      opts.num_nodes < opts.config.replication) {
+    std::fprintf(stderr, "need servers >= replication and 1 <= loop-threads <= servers\n");
+    return 2;
+  }
+
+  TcpCluster::LoadOptions load;
+  load.duration = flags.GetInt("measure-ms", 1000) * kMillisecond;
+  load.value_size = static_cast<uint32_t>(flags.GetInt("value-size", 1024));
+  load.key_space = static_cast<uint32_t>(flags.GetInt("records", 1000));
+  load.get_fraction = flags.GetDouble("get-fraction", 0.5);
+  load.pipeline = static_cast<uint32_t>(flags.GetInt("pipeline", 4));
+
+  TcpCluster cluster(opts);
+  const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
+  const uint64_t writev_calls = cluster.server_writev_calls();
+
+  std::printf("== crx_loadgen report (TCP mode) ==\n");
+  std::printf("cluster       %u node(s) in 1 runtime x %u event loop(s), R=%u k=%u\n",
+              opts.num_nodes, opts.loop_threads, opts.config.replication,
+              opts.config.k_stability);
+  std::printf("load          %u client(s) x %u outstanding, %u B values, %u keys, "
+              "%.0f%% gets\n",
+              opts.num_clients, load.pipeline, load.value_size, load.key_space,
+              100.0 * load.get_fraction);
+  std::printf("throughput    %.0f ops/s (%llu ops, %llu failure(s))\n", result.ops_per_sec,
+              static_cast<unsigned long long>(result.ops),
+              static_cast<unsigned long long>(result.failures));
+  std::printf("latency us    p50=%lld p95=%lld p99=%lld\n",
+              static_cast<long long>(result.latency_us.P50()),
+              static_cast<long long>(result.latency_us.P95()),
+              static_cast<long long>(result.latency_us.P99()));
+  std::printf("server io     frames=%llu writev=%llu (%.2f frames/writev)\n",
+              static_cast<unsigned long long>(cluster.server_frames_sent()),
+              static_cast<unsigned long long>(writev_calls),
+              writev_calls > 0 ? static_cast<double>(cluster.server_writev_frames()) /
+                                     static_cast<double>(writev_calls)
+                               : 0.0);
+  return result.failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,6 +168,7 @@ int main(int argc, char** argv) {
                     "think-us", "drop", "kill-at-ms", "data-dir", "fsync-mode",
                     "crash-at-ms", "restart-at-ms", "seed", "check", "stats-every-ms",
                     "trace-every", "trace-prob", "slow-trace-us", "http-port", "metrics",
+                    "loop-threads", "pipeline", "get-fraction", "ack-batch-us",
                     "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
@@ -105,6 +176,9 @@ int main(int argc, char** argv) {
   if (flags.Has("help")) {
     std::printf("%s", kUsage);
     return 0;
+  }
+  if (flags.Has("loop-threads")) {
+    return RunTcpMode(flags);
   }
 
   ClusterOptions opts;
