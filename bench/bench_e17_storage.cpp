@@ -1,0 +1,379 @@
+// E17 — Beyond-RAM storage: the disk engine under memory pressure.
+//
+// Part 1 runs a simulated ChainReaction cell whose per-node dataset is
+// several times the residency-cache budget, on YCSB-B with a *rotating*
+// zipfian hot set (the rotation forces cold reads: every rotation the new
+// hot keys must be faulted in from the value log). The causal+ checker is
+// attached — correctness must not depend on residency. Reported: the
+// dataset/budget ratio, throughput, checker violations, and the engine
+// counters (log bytes, compactions, cache hit ratio).
+//
+// Part 2 measures the two read tiers on a standalone store: a hot set that
+// fits the cache (reads are memory lookups) vs. uniform reads over a
+// dataset many times the budget (most reads pay a pread + checksum). The
+// gap is the point of the cache; the cold number is the engine's floor.
+//
+// Part 3 compares checkpointing under the two engines for the same data:
+// the mem engine writes every value (O(data)); the disk engine writes an
+// index snapshot + log manifest (O(index)), so its file should be a small
+// fraction of the mem checkpoint, and loading it adopts handles instead of
+// rewriting values. Load time is the recovery-path comparison.
+//
+// --smoke runs small and enforces the gates (0 violations, dataset >= 4x
+// budget, hot tier beats cold tier, disk checkpoint <= 1/4 of mem);
+// exit code 1 on any failure. Results land in BENCH_e17.json (--out).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/engine/storage_engine.h"
+#include "src/storage/checkpoint.h"
+#include "src/storage/versioned_store.h"
+
+using namespace chainreaction;
+
+namespace {
+
+int g_failures = 0;
+
+void Gate(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "SMOKE GATE FAILED: %s\n", what);
+    g_failures++;
+  }
+}
+
+std::string ScratchDir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("crx_e17_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+int64_t NowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SumGauges(const MetricsSnapshot& snap, const std::string& name) {
+  int64_t sum = 0;
+  for (const MetricPoint& p : snap.points) {
+    if (p.name == name) {
+      sum += p.value;
+    }
+  }
+  return sum;
+}
+
+Version V(uint64_t lamport) {
+  Version v;
+  v.lamport = lamport;
+  v.origin = 0;
+  v.vv = VersionVector(1);
+  v.vv.Set(0, lamport);
+  return v;
+}
+
+std::unique_ptr<StorageEngine> OpenDisk(const std::string& dir) {
+  DiskEngineOptions opts;
+  opts.segment_bytes = 1u << 20;
+  std::unique_ptr<StorageEngine> engine;
+  const Status st = OpenDiskEngine(dir, opts, &engine);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open disk engine: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return engine;
+}
+
+// Part 1: a cell whose working set cannot fit the cache.
+void ClusterCell(bool smoke, std::vector<BenchJsonRow>* rows) {
+  const uint64_t records = smoke ? 2560 : 8000;
+  const size_t value_size = 1024;
+  const uint64_t cache_budget = 256u << 10;  // 256 KiB per node
+  const uint32_t servers = 6;
+  const uint32_t replication = 3;
+
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = servers;
+  opts.clients_per_dc = smoke ? 8 : 24;
+  opts.replication = replication;
+  opts.seed = 7;
+  opts.data_root = ScratchDir("cluster");
+  opts.engine = StorageEngineKind::kDisk;
+  opts.engine_cache_bytes = cache_budget;
+  opts.engine_segment_bytes = 512u << 10;
+
+  Cluster cluster(opts);
+  RunOptions run;
+  run.spec = WorkloadSpec::B(records, value_size);
+  run.spec.distribution = Distribution::kZipfianRotating;
+  run.spec.hot_set_rotate_ops = smoke ? 200 : 1000;
+  run.warmup = (smoke ? 100 : 300) * kMillisecond;
+  run.measure = (smoke ? 300 : 1000) * kMillisecond;
+  run.attach_checker = true;
+  const RunResult result = RunWorkload(&cluster, run);
+
+  const uint64_t dataset_bytes = records * value_size;
+  const uint64_t per_node_bytes = dataset_bytes * replication / servers;
+  const double ratio =
+      static_cast<double>(per_node_bytes) / static_cast<double>(cache_budget);
+
+  const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+  const int64_t resident = SumGauges(snap, "crx_store_resident_bytes");
+  const int64_t log_bytes = SumGauges(snap, "crx_engine_log_bytes");
+  const int64_t compactions = snap.SumCounters("crx_engine_compactions_total");
+  const int64_t hit_pct = SumGauges(snap, "crx_engine_cache_hit_ratio") / servers;
+
+  std::string diag;
+  const bool converged = cluster.CheckConvergence(&diag);
+  std::filesystem::remove_all(opts.data_root);
+
+  PrintTableRow({FmtU(dataset_bytes / 1024) + "KiB", FmtU(cache_budget / 1024) + "KiB",
+                 Fmt("%.1fx", ratio), Fmt("%.0f", result.throughput_ops_sec),
+                 FmtU(result.checker_violations), converged ? "yes" : "NO",
+                 FmtU(static_cast<uint64_t>(resident) / 1024) + "KiB",
+                 FmtU(static_cast<uint64_t>(log_bytes) / 1024) + "KiB",
+                 FmtU(static_cast<uint64_t>(compactions)),
+                 FmtU(static_cast<uint64_t>(hit_pct)) + "%"});
+  if (!converged) {
+    std::printf("  divergence: %s\n", diag.c_str());
+  }
+
+  rows->push_back({"cluster_disk_beyond_ram",
+                   {{"dataset_bytes", static_cast<double>(dataset_bytes)},
+                    {"per_node_bytes", static_cast<double>(per_node_bytes)},
+                    {"cache_budget_bytes", static_cast<double>(cache_budget)},
+                    {"dataset_over_budget", ratio},
+                    {"ops_per_sec", result.throughput_ops_sec},
+                    {"checker_violations", static_cast<double>(result.checker_violations)},
+                    {"converged", converged ? 1.0 : 0.0},
+                    {"resident_bytes_total", static_cast<double>(resident)},
+                    {"log_bytes_total", static_cast<double>(log_bytes)},
+                    {"compactions", static_cast<double>(compactions)},
+                    {"cache_hit_pct", static_cast<double>(hit_pct)}}});
+
+  if (smoke) {
+    Gate(result.checker_violations == 0, "cluster: checker violations != 0");
+    Gate(converged, "cluster: replicas did not converge");
+    Gate(ratio >= 4.0, "cluster: dataset < 4x cache budget");
+    Gate(result.throughput_ops_sec > 0, "cluster: no throughput");
+    // Residency must be bounded by budget (+ per-node pinned slack).
+    Gate(static_cast<uint64_t>(resident) <
+             servers * (cache_budget + 16 * value_size),
+         "cluster: resident bytes exceed cache budget");
+  }
+}
+
+// Part 2: hot-tier vs cold-tier read cost on a standalone store.
+void TierCell(bool smoke, std::vector<BenchJsonRow>* rows) {
+  const uint64_t records = smoke ? 4000 : 20000;
+  const size_t value_size = 1024;
+  const uint64_t cache_budget = 1u << 20;  // 1 MiB vs ~records MiB of data
+  const std::string dir = ScratchDir("tiers");
+
+  VersionedStore store;
+  store.AttachEngine(OpenDisk(dir));
+  store.SetCacheBudget(cache_budget);
+  for (uint64_t i = 0; i < records; ++i) {
+    store.Apply("user" + std::to_string(i), std::string(value_size, 'v'), V(i + 1));
+  }
+
+  const uint64_t hot_keys = 256;  // 256 KiB: fits the cache easily
+  const uint64_t reads = smoke ? 20000 : 200000;
+
+  // Warm the hot set, then measure it.
+  for (uint64_t i = 0; i < hot_keys; ++i) {
+    store.Latest("user" + std::to_string(i));
+  }
+  uint64_t hits0 = store.cache_hits(), miss0 = store.cache_misses();
+  int64_t start = NowUs();
+  for (uint64_t i = 0; i < reads; ++i) {
+    store.Latest("user" + std::to_string(i % hot_keys));
+  }
+  const int64_t hot_wall = NowUs() - start;
+  const double hot_ns = 1e3 * static_cast<double>(hot_wall) / static_cast<double>(reads);
+  const uint64_t hot_hits = store.cache_hits() - hits0;
+  const uint64_t hot_misses = store.cache_misses() - miss0;
+  const double hot_hit_pct =
+      100.0 * static_cast<double>(hot_hits) / static_cast<double>(hot_hits + hot_misses);
+
+  // Cold tier: stride through the whole keyspace so reads rarely repeat
+  // within a cache lifetime.
+  hits0 = store.cache_hits();
+  miss0 = store.cache_misses();
+  start = NowUs();
+  const uint64_t stride = 7919;  // prime, co-prime with records
+  for (uint64_t i = 0; i < reads; ++i) {
+    store.Latest("user" + std::to_string((i * stride) % records));
+  }
+  const int64_t cold_wall = NowUs() - start;
+  const double cold_ns = 1e3 * static_cast<double>(cold_wall) / static_cast<double>(reads);
+  const uint64_t cold_hits = store.cache_hits() - hits0;
+  const uint64_t cold_misses = store.cache_misses() - miss0;
+  const double cold_hit_pct =
+      100.0 * static_cast<double>(cold_hits) / static_cast<double>(cold_hits + cold_misses);
+
+  std::filesystem::remove_all(dir);
+
+  PrintTableRow({"hot (cached)", FmtU(reads), Fmt("%.0fns", hot_ns),
+                 Fmt("%.1f%%", hot_hit_pct)});
+  PrintTableRow({"cold (log read)", FmtU(reads), Fmt("%.0fns", cold_ns),
+                 Fmt("%.1f%%", cold_hit_pct)});
+
+  rows->push_back({"read_tiers",
+                   {{"records", static_cast<double>(records)},
+                    {"cache_budget_bytes", static_cast<double>(cache_budget)},
+                    {"hot_ns_per_read", hot_ns},
+                    {"hot_hit_pct", hot_hit_pct},
+                    {"cold_ns_per_read", cold_ns},
+                    {"cold_hit_pct", cold_hit_pct}}});
+
+  if (smoke) {
+    Gate(hot_hit_pct > cold_hit_pct, "tiers: hot hit ratio not above cold");
+    Gate(hot_hit_pct > 99.0, "tiers: hot set not cache-resident");
+  }
+}
+
+// Part 3: checkpoint size + save/load (recovery) cost, mem vs disk engine.
+void CheckpointCell(bool smoke, std::vector<BenchJsonRow>* rows) {
+  const uint64_t records = smoke ? 4000 : 20000;
+  const size_t value_size = 1024;
+  const std::string dir = ScratchDir("ckpt");
+  std::filesystem::create_directories(dir);
+
+  struct Outcome {
+    uint64_t file_bytes = 0;
+    int64_t save_us = 0;
+    int64_t load_us = 0;
+  };
+  Outcome outcomes[2];
+
+  for (const StorageEngineKind kind : {StorageEngineKind::kMem, StorageEngineKind::kDisk}) {
+    const std::string vlog = dir + "/vlog-" + StorageEngineKindName(kind);
+    const std::string path = dir + "/ckpt-" + StorageEngineKindName(kind);
+    {
+      VersionedStore store;
+      if (kind == StorageEngineKind::kDisk) {
+        store.AttachEngine(OpenDisk(vlog));
+        store.SetCacheBudget(1u << 20);
+      }
+      for (uint64_t i = 0; i < records; ++i) {
+        const Key key = "user" + std::to_string(i);
+        store.Apply(key, std::string(value_size, 'v'), V(i + 1));
+        store.MarkStable(key, V(i + 1));
+      }
+      const int64_t t0 = NowUs();
+      const Status st = SaveCheckpoint(store, path, /*wal_seq=*/1);
+      outcomes[static_cast<int>(kind)].save_us = NowUs() - t0;
+      if (!st.ok()) {
+        std::fprintf(stderr, "save(%s): %s\n", StorageEngineKindName(kind),
+                     st.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    outcomes[static_cast<int>(kind)].file_bytes = std::filesystem::file_size(path);
+    {
+      VersionedStore restored;
+      if (kind == StorageEngineKind::kDisk) {
+        restored.AttachEngine(OpenDisk(vlog));
+        restored.SetCacheBudget(1u << 20);
+      }
+      const int64_t t0 = NowUs();
+      const Status st = LoadCheckpoint(path, &restored);
+      outcomes[static_cast<int>(kind)].load_us = NowUs() - t0;
+      if (!st.ok() || restored.total_versions() != records) {
+        std::fprintf(stderr, "load(%s): %s (versions=%llu)\n", StorageEngineKindName(kind),
+                     st.ToString().c_str(),
+                     static_cast<unsigned long long>(restored.total_versions()));
+        std::exit(1);
+      }
+    }
+    PrintTableRow({StorageEngineKindName(kind), FmtU(records),
+                   FmtU(outcomes[static_cast<int>(kind)].file_bytes / 1024) + "KiB",
+                   FormatMicros(outcomes[static_cast<int>(kind)].save_us),
+                   FormatMicros(outcomes[static_cast<int>(kind)].load_us)});
+  }
+  std::filesystem::remove_all(dir);
+
+  const Outcome& mem = outcomes[static_cast<int>(StorageEngineKind::kMem)];
+  const Outcome& disk = outcomes[static_cast<int>(StorageEngineKind::kDisk)];
+  const double shrink = static_cast<double>(mem.file_bytes) /
+                        static_cast<double>(std::max<uint64_t>(1, disk.file_bytes));
+  std::printf("(disk checkpoint is %.1fx smaller: index + manifest, not values)\n\n",
+              shrink);
+
+  rows->push_back({"checkpoint_mem",
+                   {{"records", static_cast<double>(records)},
+                    {"file_bytes", static_cast<double>(mem.file_bytes)},
+                    {"save_us", static_cast<double>(mem.save_us)},
+                    {"load_us", static_cast<double>(mem.load_us)}}});
+  rows->push_back({"checkpoint_disk",
+                   {{"records", static_cast<double>(records)},
+                    {"file_bytes", static_cast<double>(disk.file_bytes)},
+                    {"save_us", static_cast<double>(disk.save_us)},
+                    {"load_us", static_cast<double>(disk.load_us)},
+                    {"shrink_vs_mem", shrink}}});
+
+  if (smoke) {
+    Gate(disk.file_bytes * 4 <= mem.file_bytes,
+         "checkpoint: disk file not <= 1/4 of mem file");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_e17.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out file.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  std::vector<BenchJsonRow> rows;
+
+  PrintTableHeader(
+      "E17a: YCSB-B (rotating hot set) on disk-engine nodes, dataset >> cache",
+      {"dataset", "cache", "ratio", "ops/s", "violations", "converged", "resident",
+       "log", "compactions", "hit%"});
+  ClusterCell(smoke, &rows);
+  std::printf(
+      "(correctness under memory pressure: the checker and convergence must "
+      "hold no matter what is resident; hit%% < 100 shows the log is "
+      "actually being read)\n\n");
+
+  PrintTableHeader("E17b: read tiers, standalone store (1KiB values)",
+                   {"tier", "reads", "ns/read", "hit ratio"});
+  TierCell(smoke, &rows);
+  std::printf(
+      "(the hot tier is the cache's point; the cold tier is a pread + "
+      "checksum per read — the engine's floor)\n\n");
+
+  PrintTableHeader("E17c: checkpoint cost, mem vs disk engine (1KiB values)",
+                   {"engine", "records", "file", "save", "load"});
+  CheckpointCell(smoke, &rows);
+
+  if (!WriteBenchJson(out, "bench_e17_storage", rows)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+
+  if (smoke && g_failures > 0) {
+    std::fprintf(stderr, "%d smoke gate(s) failed\n", g_failures);
+    return 1;
+  }
+  return 0;
+}

@@ -102,17 +102,25 @@ struct BenchJsonRow {
   std::vector<std::pair<std::string, double>> values;
 };
 
+// Quoted + escaped via the obs JSON renderer's escaper, so bench/row/key
+// names containing quotes, backslashes, or control bytes stay valid JSON.
+inline std::string BenchJsonQuoted(const std::string& s) {
+  std::string out;
+  AppendJsonString(&out, s);
+  return out;
+}
+
 inline bool WriteBenchJson(const std::string& path, const std::string& bench,
                            const std::vector<BenchJsonRow>& rows) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return false;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", bench.c_str());
+  std::fprintf(f, "{\n  \"bench\": %s,\n  \"rows\": [\n", BenchJsonQuoted(bench).c_str());
   for (size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f, "    {\"name\": \"%s\"", rows[i].name.c_str());
+    std::fprintf(f, "    {\"name\": %s", BenchJsonQuoted(rows[i].name).c_str());
     for (const auto& [key, value] : rows[i].values) {
-      std::fprintf(f, ", \"%s\": %.6g", key.c_str(), value);
+      std::fprintf(f, ", %s: %.6g", BenchJsonQuoted(key).c_str(), value);
     }
     std::fprintf(f, "}%s\n", i + 1 < rows.size() ? "," : "");
   }

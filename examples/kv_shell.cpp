@@ -59,14 +59,14 @@ namespace {
 const char* kUsage =
     "usage: kv_shell [--servers N] [--replication R] [--k K] [--loop-threads L]\n"
     "                [--data-dir DIR] [--fsync-mode always|batch|none]\n"
-    "                [--http-port P]\n";
+    "                [--engine mem|disk] [--cache-mb MB] [--http-port P]\n";
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags;
   if (!flags.Parse(argc, argv,
                    {"servers", "replication", "k", "loop-threads", "data-dir", "fsync-mode",
-                    "http-port", "help"})) {
+                    "engine", "cache-mb", "http-port", "help"})) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
@@ -90,6 +90,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bad --fsync-mode (want always|batch|none)\n%s", kUsage);
     return 2;
   }
+  StorageEngineKind engine = StorageEngineKind::kMem;
+  if (!ParseStorageEngineKind(flags.GetString("engine", "mem"), &engine)) {
+    std::fprintf(stderr, "bad --engine (want mem|disk)\n%s", kUsage);
+    return 2;
+  }
+  if (engine == StorageEngineKind::kDisk && data_dir.empty()) {
+    std::fprintf(stderr, "--engine disk requires --data-dir\n%s", kUsage);
+    return 2;
+  }
   if (replication > servers || k > replication || k == 0) {
     std::fprintf(stderr, "need servers >= R >= k >= 1\n");
     return 1;
@@ -107,6 +116,8 @@ int main(int argc, char** argv) {
   cfg.k_stability = k;
   cfg.client_timeout = 2 * kSecond;
   cfg.trace_sample_every = 1;  // trace every put; 'trace' renders the last one
+  cfg.engine = engine;
+  cfg.engine_cache_bytes = static_cast<uint64_t>(flags.GetInt("cache-mb", 64)) << 20;
 
   // One registry + trace collector shared by every runtime in this process;
   // 'stats' snapshots it while the loop threads keep updating.

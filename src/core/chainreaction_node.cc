@@ -46,20 +46,44 @@ Status ChainReactionNode::LoadStateCheckpoint(const std::string& path) {
 
 void ChainReactionNode::RebuildRecoveredState() {
   // Rebuild the stability cache and unstable-head tracking from the store.
-  store_.ForEachKey([this](const Key& key, const StoredVersion&) {
-    if (const StoredVersion* stable = store_.LatestStable(key)) {
+  // Metadata-only accessors keep this O(index) under a disk engine — the
+  // scan never faults values in from the log.
+  store_.ForEachKey([this](const Key& key, const StoredVersion& latest) {
+    if (const StoredVersion* stable = store_.LatestStableMeta(key)) {
       stable_vv_[key].MergeMax(stable->version.vv);
     }
-    if (!store_.UnstableVersions(key).empty() && ring_.PositionOf(key, id_) == 1) {
+    if (store_.HasUnstable(key) && ring_.PositionOf(key, id_) == 1) {
       unstable_head_keys_.insert(key);
     }
-    lamport_ = std::max(lamport_, store_.Latest(key)->version.lamport);
+    lamport_ = std::max(lamport_, latest.version.lamport);
   });
+}
+
+Status ChainReactionNode::EnsureEngine(const std::string& data_dir) {
+  if (config_.engine != StorageEngineKind::kDisk ||
+      store_.engine()->kind() == StorageEngineKind::kDisk) {
+    return Status::Ok();
+  }
+  std::unique_ptr<StorageEngine> engine;
+  DiskEngineOptions opts;
+  opts.segment_bytes = config_.engine_segment_bytes;
+  opts.compact_garbage_ratio = config_.engine_compact_garbage;
+  const Status st = OpenDiskEngine(data_dir + "/vlog", opts, &engine);
+  if (!st.ok()) {
+    return st;
+  }
+  store_.AttachEngine(std::move(engine));
+  store_.SetCacheBudget(config_.engine_cache_bytes);
+  return Status::Ok();
 }
 
 Status ChainReactionNode::EnableDurability(const std::string& data_dir,
                                            const WalOptions& options) {
   data_dir_ = data_dir;
+  const Status engine_status = EnsureEngine(data_dir);
+  if (!engine_status.ok()) {
+    return engine_status;
+  }
   const Status status = Wal::Open(data_dir, options, &wal_);
   if (status.ok()) {
     wal_->SetRecorder(&events_);
@@ -72,6 +96,10 @@ Status ChainReactionNode::EnableDurability(const std::string& data_dir,
 
 Status ChainReactionNode::RecoverFrom(const std::string& data_dir) {
   const int64_t start = WallMicros();
+  const Status engine_status = EnsureEngine(data_dir);
+  if (!engine_status.ok()) {
+    return engine_status;
+  }
   uint64_t wal_floor = 0;
   const Status ckpt = LoadCheckpoint(CheckpointPath(data_dir), &store_, &wal_floor);
   if (!ckpt.ok() && ckpt.code() != StatusCode::kNotFound) {
@@ -106,6 +134,7 @@ Status ChainReactionNode::RecoverFrom(const std::string& data_dir) {
     metrics_->GetLatency("crx_wal_recovery_replay_us", labels)->Record(recovery_replay_us_);
     metrics_->GetCounter("crx_wal_recovery_records", labels)->Inc(recovery_stats_.records);
   }
+  RefreshStoreGauges();
   return Status::Ok();
 }
 
@@ -122,6 +151,10 @@ Status ChainReactionNode::CheckpointAndTruncate() {
     return saved;
   }
   wal_->DeleteSegmentsBelow(floor_seq);
+  // The durable checkpoint just written no longer references fully-dead
+  // value-log segments, so they can go too (mirrors the WAL truncation).
+  store_.PurgeEngineGarbage();
+  RefreshStoreGauges();
   return Status::Ok();
 }
 
@@ -135,7 +168,7 @@ bool ChainReactionNode::DurableApply(const Key& key, Value value, const Version&
                                      const std::vector<Dependency>& deps) {
   // Write-ahead: the record hits the log before the store. Versions already
   // present (retries, repair re-propagation) are already logged.
-  if (wal_ != nullptr && store_.Find(key, version) == nullptr) {
+  if (wal_ != nullptr && store_.FindMeta(key, version) == nullptr) {
     wal_->Append(WalRecord::Apply(key, value, version, deps));
   }
   return store_.Apply(key, std::move(value), version, deps);
@@ -143,7 +176,7 @@ bool ChainReactionNode::DurableApply(const Key& key, Value value, const Version&
 
 void ChainReactionNode::DurableMarkStable(const Key& key, const Version& version) {
   if (wal_ != nullptr) {
-    const StoredVersion* sv = store_.Find(key, version);
+    const StoredVersion* sv = store_.FindMeta(key, version);
     if (sv == nullptr || !sv->stable) {
       wal_->Append(WalRecord::Stable(key, version));
     }
@@ -183,6 +216,32 @@ void ChainReactionNode::AttachObs(MetricsRegistry* metrics, TraceCollector* trac
   m_gated_depth_ = metrics->GetGauge("crx_node_gated_puts", node_label);
   m_dep_wait_ = metrics->GetLatency("crx_node_dep_wait_us", node_label);
   m_ack_batched_ = metrics->GetCounter("crx_ack_batched", node_label);
+  m_store_resident_versions_ = metrics->GetGauge("crx_store_resident_versions", node_label);
+  m_store_resident_bytes_ = metrics->GetGauge("crx_store_resident_bytes", node_label);
+  m_engine_log_bytes_ = metrics->GetGauge("crx_engine_log_bytes", node_label);
+  m_engine_compactions_ = metrics->GetCounter("crx_engine_compactions_total", node_label);
+  m_engine_cache_hit_ratio_ = metrics->GetGauge("crx_engine_cache_hit_ratio", node_label);
+  RefreshStoreGauges();
+}
+
+void ChainReactionNode::RefreshStoreGauges() {
+  if (m_store_resident_versions_ == nullptr) {
+    return;
+  }
+  const StorageEngineStats es = store_.engine()->Stats();
+  m_store_resident_versions_->Set(static_cast<int64_t>(store_.resident_versions()));
+  m_store_resident_bytes_->Set(static_cast<int64_t>(store_.resident_bytes()));
+  m_engine_log_bytes_->Set(static_cast<int64_t>(es.log_bytes));
+  if (es.compactions > engine_compactions_published_) {
+    m_engine_compactions_->Inc(es.compactions - engine_compactions_published_);
+    engine_compactions_published_ = es.compactions;
+  }
+  // Hit ratio as an integer percentage (gauges are int64).
+  const uint64_t lookups = store_.cache_hits() + store_.cache_misses();
+  if (lookups > 0) {
+    m_engine_cache_hit_ratio_->Set(
+        static_cast<int64_t>(store_.cache_hits() * 100 / lookups));
+  }
 }
 
 void ChainReactionNode::SendHeartbeat() {
@@ -310,7 +369,7 @@ bool ChainReactionNode::DepStableHere(const Key& key, const Version& v) const {
   if (it != stable_vv_.end() && it->second.Dominates(v.vv)) {
     return true;
   }
-  const StoredVersion* latest_stable = store_.LatestStable(key);
+  const StoredVersion* latest_stable = store_.LatestStableMeta(key);
   return latest_stable != nullptr && v.LwwLess(latest_stable->version);
 }
 
@@ -318,7 +377,7 @@ bool ChainReactionNode::ReadSatisfies(const Key& key, const Version& v) const {
   if (v.IsNull() || store_.HasAtLeast(key, v)) {
     return true;
   }
-  const StoredVersion* latest = store_.Latest(key);
+  const StoredVersion* latest = store_.LatestMeta(key);
   return latest != nullptr && v.LwwLess(latest->version);
 }
 
@@ -489,6 +548,9 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
     lamport_ = std::max(lamport_, version.lamport);
     ResolveDeferredGets(key);
     ResolveWatchers(key);
+    if ((writes_applied_ & 0xFF) == 0) {
+      RefreshStoreGauges();
+    }
   }
 
   const ChainIndex pos = ring_.PositionOf(key, id_);
@@ -885,7 +947,7 @@ void ChainReactionNode::ResolveUnstableHead(const Key& key) {
   if (it == unstable_head_keys_.end()) {
     return;
   }
-  if (!store_.UnstableVersions(key).empty()) {
+  if (store_.HasUnstable(key)) {
     return;
   }
   unstable_head_keys_.erase(it);
@@ -1199,7 +1261,9 @@ std::string ChainReactionNode::StatusJson() const {
       middle++;
     }
   }
-  char buf[640];
+  const StorageEngineStats es = store_.engine()->Stats();
+  const uint64_t lookups = store_.cache_hits() + store_.cache_misses();
+  char buf[896];
   std::snprintf(
       buf, sizeof(buf),
       "{\"node\":%u,\"dc\":%u,\"epoch\":%llu,"
@@ -1207,6 +1271,9 @@ std::string ChainReactionNode::StatusJson() const {
       "\"wal\":{\"enabled\":%s,\"active_seq\":%llu,\"appends\":%llu},"
       "\"rejoin\":{\"pending_peers\":%u,\"buffered_puts\":%zu,"
       "\"guarded_gets\":%zu,\"join_guards\":%zu},"
+      "\"store\":{\"engine\":\"%s\",\"resident_versions\":%llu,"
+      "\"resident_bytes\":%llu,\"log_bytes\":%llu,\"compactions\":%llu,"
+      "\"cache_hit_pct\":%llu},"
       "\"store_keys\":%zu,\"gated_puts\":%zu,\"deferred_gets\":%zu,"
       "\"events_emitted\":%llu}",
       id_, config_.local_dc, static_cast<unsigned long long>(ring_.epoch()),
@@ -1215,7 +1282,13 @@ std::string ChainReactionNode::StatusJson() const {
       static_cast<unsigned long long>(wal_ != nullptr ? wal_->active_seq() : 0),
       static_cast<unsigned long long>(wal_ != nullptr ? wal_->appends() : 0),
       rejoin_pending_peers_, rejoin_buffered_puts_.size(), join_guarded_gets_.size(),
-      join_guards_.size(), store_.KeyCount(), gated_puts_.size(), deferred_gets_.size(),
+      join_guards_.size(), StorageEngineKindName(store_.engine()->kind()),
+      static_cast<unsigned long long>(store_.resident_versions()),
+      static_cast<unsigned long long>(store_.resident_bytes()),
+      static_cast<unsigned long long>(es.log_bytes),
+      static_cast<unsigned long long>(es.compactions),
+      static_cast<unsigned long long>(lookups == 0 ? 0 : store_.cache_hits() * 100 / lookups),
+      store_.KeyCount(), gated_puts_.size(), deferred_gets_.size(),
       static_cast<unsigned long long>(events_.emitted()));
   return buf;
 }

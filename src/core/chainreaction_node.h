@@ -136,10 +136,16 @@ class ChainReactionNode : public Actor {
   const FlightRecorder* events() const { return &events_; }
 
   // Node status as a JSON object: id, epoch, chain role per ring segment,
-  // WAL seq / checkpoint floor, rejoin/guard state, store size. Reads
-  // loop-thread-owned state: call on the actor's thread (the TCP runtime
-  // posts to the loop; the simulator is single-threaded).
+  // WAL seq / checkpoint floor, rejoin/guard state, store + engine state.
+  // Reads loop-thread-owned state: call on the actor's thread (the TCP
+  // runtime posts to the loop; the simulator is single-threaded).
   std::string StatusJson() const;
+
+  // Publishes store/engine gauges (resident versions/bytes, log bytes,
+  // compactions, cache hit ratio) to the registry. Runs automatically every
+  // few hundred writes and after recovery/checkpoints; exposed so tests and
+  // shells can force a fresh sample.
+  void RefreshStoreGauges();
 
  private:
   // A write parked at the head until its dependencies are DC-Write-Stable.
@@ -239,8 +245,14 @@ class ChainReactionNode : public Actor {
   void DurableMarkStable(const Key& key, const Version& version);
 
   // Rebuilds stability cache, unstable-head tracking, and the lamport clock
-  // from a freshly restored store (checkpoint load or WAL replay).
+  // from a freshly restored store (checkpoint load or WAL replay). Metadata
+  // only — never materializes values, so disk-engine recovery is O(index).
   void RebuildRecoveredState();
+
+  // Attaches the configured storage engine to the store (idempotent). The
+  // disk engine lives in `<data_dir>/vlog`; called from both RecoverFrom
+  // and EnableDurability, whichever runs first.
+  Status EnsureEngine(const std::string& data_dir);
 
   static std::string CheckpointPath(const std::string& data_dir) {
     return data_dir + "/checkpoint.crx";
@@ -348,6 +360,12 @@ class ChainReactionNode : public Actor {
   Gauge* m_gated_depth_ = nullptr;
   LatencyMetric* m_dep_wait_ = nullptr;
   Counter* m_ack_batched_ = nullptr;
+  Gauge* m_store_resident_versions_ = nullptr;
+  Gauge* m_store_resident_bytes_ = nullptr;
+  Gauge* m_engine_log_bytes_ = nullptr;
+  Counter* m_engine_compactions_ = nullptr;
+  Gauge* m_engine_cache_hit_ratio_ = nullptr;
+  uint64_t engine_compactions_published_ = 0;
   FlightRecorder events_;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "src/common/types.h"
+#include "src/engine/storage_engine.h"
 
 namespace chainreaction {
 
@@ -55,6 +56,17 @@ struct CrxConfig {
   Duration geo_ship_batch_window = 0;  // microseconds
 
   ReadPolicy read_policy = ReadPolicy::kUniformPrefix;
+
+  // Value-storage engine. kMem keeps values inline in the store (the
+  // historical behavior). kDisk stores values in an append-only log under
+  // the node's data dir (requires durability to be enabled with a data
+  // dir); the store keeps at most ~engine_cache_bytes of hot values
+  // materialized in memory.
+  StorageEngineKind engine = StorageEngineKind::kMem;
+  uint64_t engine_cache_bytes = 64u << 20;
+  uint64_t engine_segment_bytes = 8u << 20;
+  // A sealed value-log segment is compacted once this fraction is garbage.
+  double engine_compact_garbage = 0.5;
 
   // Safety valve for reads deferred at the head waiting for a version that
   // never arrives (should not happen in correct configurations).

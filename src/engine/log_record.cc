@@ -1,0 +1,53 @@
+#include "src/engine/log_record.h"
+
+#include "src/common/hash.h"
+
+namespace chainreaction {
+
+uint32_t EncodeVlogRecord(const Key& key, const Version& version,
+                          const Value& value, std::string* out) {
+  ByteWriter payload;
+  payload.PutU8(kVlogRecordTag);
+  payload.PutString(key);
+  version.Encode(&payload);
+  payload.PutString(value);
+
+  ByteWriter frame;
+  frame.PutU32(static_cast<uint32_t>(8 + payload.size()));
+  frame.PutU64(Fnv1a64(payload.data()));
+  out->append(frame.data());
+  out->append(payload.data());
+  return static_cast<uint32_t>(frame.size() + payload.size());
+}
+
+bool DecodeVlogRecord(std::string_view bytes, VlogRecord* out) {
+  ByteReader r(bytes.data(), bytes.size());
+  uint32_t frame_len = 0;
+  uint64_t crc = 0;
+  if (!r.GetU32(&frame_len) || !r.GetU64(&crc)) {
+    return false;
+  }
+  if (frame_len < 8 || static_cast<uint64_t>(frame_len) + 4 != bytes.size()) {
+    return false;
+  }
+  const std::string_view payload = bytes.substr(12);
+  if (Fnv1a64(payload) != crc) {
+    return false;
+  }
+  ByteReader p(payload.data(), payload.size());
+  uint8_t tag = 0;
+  if (!p.GetU8(&tag) || tag != kVlogRecordTag) {
+    return false;
+  }
+  VlogRecord rec;
+  if (!p.GetString(&rec.key) || !rec.version.Decode(&p) || !p.GetString(&rec.value)) {
+    return false;
+  }
+  if (!p.AtEnd()) {
+    return false;
+  }
+  *out = std::move(rec);
+  return true;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,73 @@
+#include "src/engine/storage_engine.h"
+
+namespace chainreaction {
+
+const char* StorageEngineKindName(StorageEngineKind kind) {
+  switch (kind) {
+    case StorageEngineKind::kMem:
+      return "mem";
+    case StorageEngineKind::kDisk:
+      return "disk";
+  }
+  return "?";
+}
+
+bool ParseStorageEngineKind(const std::string& s, StorageEngineKind* out) {
+  if (s == "mem") {
+    *out = StorageEngineKind::kMem;
+    return true;
+  }
+  if (s == "disk") {
+    *out = StorageEngineKind::kDisk;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Values stay inline in the store; every engine operation is a no-op. The
+// append counter still ticks so stats stay comparable across engines.
+class MemEngine final : public StorageEngine {
+ public:
+  StorageEngineKind kind() const override { return StorageEngineKind::kMem; }
+  bool inline_values() const override { return true; }
+
+  ValueHandle Append(const Key&, const Version&, const Value&) override {
+    appends_++;
+    return ValueHandle{};
+  }
+
+  Status Read(const ValueHandle&, Value*) override {
+    return Status::Internal("mem engine holds no values");
+  }
+
+  void Release(const ValueHandle&) override {}
+  bool AdoptLive(const ValueHandle& handle) override { return !handle.valid(); }
+  Status Flush() override { return Status::Ok(); }
+  bool MaybeCompact(const RemapFn&) override { return false; }
+  void PurgeDeadSegments() override {}
+
+  void GetManifest(uint64_t* active_segment, uint64_t* active_size) const override {
+    *active_segment = 0;
+    *active_size = 0;
+  }
+  Status TruncateTo(uint64_t, uint64_t) override { return Status::Ok(); }
+
+  StorageEngineStats Stats() const override {
+    StorageEngineStats s;
+    s.appends = appends_;
+    return s;
+  }
+
+ private:
+  uint64_t appends_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<StorageEngine> MakeMemEngine() {
+  return std::make_unique<MemEngine>();
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,140 @@
+// Pluggable value-storage engines under VersionedStore.
+//
+// A StorageEngine owns the *bytes* of values; VersionedStore keeps the
+// versioned index (key → ordered versions, causal bookkeeping) and asks the
+// engine to store and fetch value payloads. Two implementations:
+//
+//   * MemEngine  — values live inline in the store's index entries, exactly
+//     the pre-engine behavior (the engine itself holds nothing). This is the
+//     default; attaching it is a zero-cost no-op path.
+//   * DiskEngine — a FAWN-DS-style append-only value log: a directory of
+//     length-prefixed, CRC'd record segments. The store's index maps
+//     (key, version) → ValueHandle (segment, offset, length); reads are one
+//     pread + checksum verify. Sealed segments whose dead fraction crosses a
+//     threshold are compacted by copying live records forward; fully dead
+//     segments are deleted only after the next successful checkpoint, so an
+//     older on-disk checkpoint never references a missing segment (the same
+//     deferred-truncation protocol the WAL uses).
+//
+// Threading: engines are single-threaded like the store that owns them —
+// every call happens on the owning node's actor thread.
+#ifndef SRC_ENGINE_STORAGE_ENGINE_H_
+#define SRC_ENGINE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/common/types.h"
+#include "src/common/version.h"
+
+namespace chainreaction {
+
+enum class StorageEngineKind : uint8_t {
+  kMem = 0,
+  kDisk = 1,
+};
+
+const char* StorageEngineKindName(StorageEngineKind kind);
+// Parses "mem" | "disk" (as used by --engine flags).
+bool ParseStorageEngineKind(const std::string& s, StorageEngineKind* out);
+
+// Locates one value record in the engine's log. segment == 0 means "no
+// handle" (segments are numbered from 1): the value lives inline in the
+// store and the engine was never involved.
+struct ValueHandle {
+  uint64_t segment = 0;
+  uint64_t offset = 0;
+  uint32_t length = 0;  // full framed record length, including prefix + crc
+
+  bool valid() const { return segment != 0; }
+};
+
+struct StorageEngineStats {
+  uint64_t log_bytes = 0;        // total bytes across all segments
+  uint64_t live_bytes = 0;       // bytes still referenced by the index
+  uint64_t segments = 0;
+  uint64_t appends = 0;
+  uint64_t reads = 0;            // engine reads (store cache misses)
+  uint64_t compactions = 0;      // segments compacted
+  uint64_t compacted_bytes = 0;  // live bytes carried forward by compaction
+  uint64_t purged_segments = 0;  // dead segments deleted after checkpoints
+};
+
+class StorageEngine {
+ public:
+  virtual ~StorageEngine() = default;
+
+  virtual StorageEngineKind kind() const = 0;
+
+  // True if values stay inline in the store's index entries and the engine
+  // is a pass-through (MemEngine). The store skips handle/cache bookkeeping
+  // entirely for such engines.
+  virtual bool inline_values() const = 0;
+
+  // Appends one value record to the log and returns its handle. For inline
+  // engines this is a no-op returning an invalid handle.
+  virtual ValueHandle Append(const Key& key, const Version& version,
+                             const Value& value) = 0;
+
+  // Reads the value a handle points at, verifying the record checksum.
+  virtual Status Read(const ValueHandle& handle, Value* out) = 0;
+
+  // Marks a record dead (its index entry was GC'd). Space is reclaimed by
+  // compaction, not immediately.
+  virtual void Release(const ValueHandle& handle) = 0;
+
+  // Re-registers a handle as live during checkpoint recovery. Returns false
+  // if the handle does not fall inside an existing segment.
+  virtual bool AdoptLive(const ValueHandle& handle) = 0;
+
+  // fsyncs the active segment so every handle returned so far is durable.
+  // Called before a checkpoint captures the manifest.
+  virtual Status Flush() = 0;
+
+  // Invoked once for every live record compaction moves, so the owner can
+  // repoint its index at the new handle.
+  using RemapFn = std::function<void(const Key& key, const Version& version,
+                                     const ValueHandle& old_handle,
+                                     const ValueHandle& new_handle)>;
+
+  // Compacts at most one sealed segment whose dead fraction exceeds the
+  // configured threshold, copying live records to the active segment.
+  // Returns true if a segment was compacted.
+  virtual bool MaybeCompact(const RemapFn& remap) = 0;
+
+  // Deletes sealed segments with no live records. Callers must invoke this
+  // only after a checkpoint that no longer references those segments has
+  // been durably written (see file comment).
+  virtual void PurgeDeadSegments() = 0;
+
+  // Checkpoint manifest: the active segment and its current size. Replaying
+  // recovery truncates back to exactly this point (TruncateTo) before
+  // re-adopting handles, discarding post-checkpoint appends that the WAL
+  // tail will re-create.
+  virtual void GetManifest(uint64_t* active_segment, uint64_t* active_size) const = 0;
+  virtual Status TruncateTo(uint64_t segment, uint64_t size) = 0;
+
+  virtual StorageEngineStats Stats() const = 0;
+};
+
+// The inline (historical) engine. Never fails, stores nothing.
+std::unique_ptr<StorageEngine> MakeMemEngine();
+
+struct DiskEngineOptions {
+  uint64_t segment_bytes = 8u << 20;
+  // A sealed segment is compacted when dead_bytes / total_bytes >= this.
+  double compact_garbage_ratio = 0.5;
+};
+
+// Opens (creating if needed) a value log in `dir`. Existing segments are
+// scanned and reopened read-only-live; appends go to a fresh segment
+// numbered one past the newest on disk.
+Status OpenDiskEngine(const std::string& dir, const DiskEngineOptions& options,
+                      std::unique_ptr<StorageEngine>* out);
+
+}  // namespace chainreaction
+
+#endif  // SRC_ENGINE_STORAGE_ENGINE_H_

@@ -65,6 +65,9 @@ CrxConfig Cluster::MakeCrxConfig(DcId dc) const {
     cfg.heartbeat_interval = options_.heartbeat_interval;
   }
   cfg.read_policy = options_.read_policy;
+  cfg.engine = options_.engine;
+  cfg.engine_cache_bytes = options_.engine_cache_bytes;
+  cfg.engine_segment_bytes = options_.engine_segment_bytes;
   cfg.disable_dependency_gating = options_.disable_dependency_gating;
   cfg.trace_sample_every = options_.trace_sample_every;
   cfg.trace_probability = options_.trace_probability;
@@ -106,6 +109,8 @@ void Cluster::BuildChainReaction() {
     const Ring& ring = membership_[dc]->ring();
     const CrxConfig cfg = MakeCrxConfig(dc);
 
+    // The disk engine lives under each node's data dir.
+    CHAINRX_CHECK(options_.engine != StorageEngineKind::kDisk || !options_.data_root.empty());
     for (uint32_t i = 0; i < options_.servers_per_dc; ++i) {
       auto node = std::make_unique<ChainReactionNode>(node_ids[i], cfg, ring);
       if (!options_.data_root.empty()) {
@@ -466,14 +471,17 @@ bool Cluster::CheckConvergence(std::string* diagnostic) const {
       if (net_->IsCrashed(node->id())) {
         continue;
       }
-      node->store().ForEachKey([&](const Key& key, const StoredVersion& latest) {
+      node->store().ForEachKey([&](const Key& key, const StoredVersion&) {
         // A node that dropped out of a key's chain (e.g. the chain shrank
         // back when a crashed server rejoined) keeps a leftover copy that
         // serves no reads; only current chain members count.
         if (ring.PositionOf(key, node->id()) == 0) {
           return;
         }
-        latest_by_key[key][latest.version.ToString() + "=" + latest.value.substr(0, 24)]
+        // ForEachKey is metadata-only (value may be unmaterialized under a
+        // disk engine); Latest() faults the bytes in for the comparison.
+        const StoredVersion* latest = node->store().Latest(key);
+        latest_by_key[key][latest->version.ToString() + "=" + latest->value.substr(0, 24)]
             .push_back(node->id());
       });
     }

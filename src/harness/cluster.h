@@ -83,6 +83,13 @@ struct ClusterOptions {
   std::string data_root;
   FsyncPolicy fsync_policy = FsyncPolicy::kBatch;
   uint32_t wal_batch_records = 64;
+
+  // Value-storage engine for ChainReaction nodes. kDisk requires data_root
+  // (values live in `<node dir>/vlog`); the cache budget bounds how many
+  // value bytes each node keeps materialized in memory.
+  StorageEngineKind engine = StorageEngineKind::kMem;
+  uint64_t engine_cache_bytes = 64u << 20;
+  uint64_t engine_segment_bytes = 8u << 20;
 };
 
 class Cluster {

@@ -16,7 +16,9 @@ constexpr uint32_t kMagic = 0x43525843;  // "CXRC"
 // v1: magic, format, entries, checksum, payload.
 // v2: magic, format, wal_seq, entries, checksum, payload — wal_seq is the
 // WAL segment active when the checkpoint was taken (truncation floor).
-constexpr uint32_t kFormatVersion = 2;
+// v3: magic, format, wal_seq, engine, entries, checksum, payload — engine
+// selects the payload shape (see checkpoint.h).
+constexpr uint32_t kFormatVersion = 3;
 constexpr uint32_t kOldestSupportedFormat = 1;
 
 // fsyncs the directory containing `path` so a rename into it is durable.
@@ -33,21 +35,48 @@ void SyncParentDir(const std::string& path) {
 
 Status SaveCheckpoint(const VersionedStore& store, const std::string& path,
                       uint64_t wal_seq) {
+  StorageEngine* engine = store.engine();
+  const bool disk = !engine->inline_values();
+
   ByteWriter payload;
   uint64_t entries = 0;
-  store.ForEachVersion([&payload, &entries](const Key& key, const StoredVersion& sv) {
-    payload.PutString(key);
-    payload.PutString(sv.value);
-    sv.version.Encode(&payload);
-    payload.PutBool(sv.stable);
-    EncodeDeps(sv.deps, &payload);
-    entries++;
-  });
+  if (disk) {
+    // Flush first so every handle the payload references is durable, then
+    // capture the manifest the bytes below are consistent with.
+    const Status st = engine->Flush();
+    if (!st.ok()) {
+      return st;
+    }
+    uint64_t active_seg = 0, active_size = 0;
+    engine->GetManifest(&active_seg, &active_size);
+    payload.PutU64(active_seg);
+    payload.PutU64(active_size);
+    store.ForEachVersionRaw([&payload, &entries](const Key& key, const StoredVersion& sv) {
+      payload.PutString(key);
+      sv.version.Encode(&payload);
+      payload.PutBool(sv.stable);
+      EncodeDeps(sv.deps, &payload);
+      payload.PutU64(sv.handle.segment);
+      payload.PutU64(sv.handle.offset);
+      payload.PutU32(sv.handle.length);
+      entries++;
+    });
+  } else {
+    store.ForEachVersion([&payload, &entries](const Key& key, const StoredVersion& sv) {
+      payload.PutString(key);
+      payload.PutString(sv.value);
+      sv.version.Encode(&payload);
+      payload.PutBool(sv.stable);
+      EncodeDeps(sv.deps, &payload);
+      entries++;
+    });
+  }
 
   ByteWriter file;
   file.PutU32(kMagic);
   file.PutU32(kFormatVersion);
   file.PutU64(wal_seq);
+  file.PutU8(static_cast<uint8_t>(engine->kind()));
   file.PutU64(entries);
   file.PutU64(Fnv1a64(payload.data()));
   const std::string& body = payload.data();
@@ -95,6 +124,7 @@ Status LoadCheckpoint(const std::string& path, VersionedStore* store, uint64_t* 
   ByteReader header(contents);
   uint32_t magic = 0, format = 0;
   uint64_t seq = 0, entries = 0, checksum = 0;
+  uint8_t engine_byte = static_cast<uint8_t>(StorageEngineKind::kMem);
   if (!header.GetU32(&magic) || !header.GetU32(&format)) {
     return Status::Corruption("checkpoint header truncated");
   }
@@ -107,10 +137,22 @@ Status LoadCheckpoint(const std::string& path, VersionedStore* store, uint64_t* 
   if (format >= 2 && !header.GetU64(&seq)) {
     return Status::Corruption("checkpoint header truncated");
   }
+  if (format >= 3 && !header.GetU8(&engine_byte)) {
+    return Status::Corruption("checkpoint header truncated");
+  }
   if (!header.GetU64(&entries) || !header.GetU64(&checksum)) {
     return Status::Corruption("checkpoint header truncated");
   }
-  const size_t header_bytes = format >= 2 ? 32 : 24;
+  size_t header_bytes = 24;
+  if (format >= 2) {
+    header_bytes += 8;
+  }
+  if (format >= 3) {
+    header_bytes += 1;
+  }
+  if (contents.size() < header_bytes) {
+    return Status::Corruption("checkpoint header truncated");
+  }
   const std::string payload = contents.substr(header_bytes);
   if (Fnv1a64(payload) != checksum) {
     return Status::Corruption("checkpoint checksum mismatch");
@@ -118,21 +160,62 @@ Status LoadCheckpoint(const std::string& path, VersionedStore* store, uint64_t* 
   if (wal_seq != nullptr) {
     *wal_seq = seq;
   }
+  if (engine_byte > static_cast<uint8_t>(StorageEngineKind::kDisk)) {
+    return Status::Corruption("unknown checkpoint engine kind " +
+                              std::to_string(engine_byte));
+  }
+  const auto saved_kind = static_cast<StorageEngineKind>(engine_byte);
 
   ByteReader r(payload);
-  for (uint64_t i = 0; i < entries; ++i) {
-    Key key;
-    Value value;
-    Version version;
-    bool stable = false;
-    std::vector<Dependency> deps;
-    if (!r.GetString(&key) || !r.GetString(&value) || !version.Decode(&r) ||
-        !r.GetBool(&stable) || !DecodeDeps(&r, &deps)) {
-      return Status::Corruption("checkpoint entry " + std::to_string(i) + " truncated");
+  if (saved_kind == StorageEngineKind::kDisk) {
+    // Index snapshot: requires the matching value log attached to `store`.
+    StorageEngine* engine = store->engine();
+    if (engine->inline_values()) {
+      return Status::Internal(
+          "disk-engine checkpoint requires a disk engine attached before load");
     }
-    store->Apply(key, std::move(value), version, std::move(deps));
-    if (stable) {
-      store->MarkStable(key, version);
+    uint64_t active_seg = 0, active_size = 0;
+    if (!r.GetU64(&active_seg) || !r.GetU64(&active_size)) {
+      return Status::Corruption("checkpoint manifest truncated");
+    }
+    Status st = engine->TruncateTo(active_seg, active_size);
+    if (!st.ok()) {
+      return st;
+    }
+    for (uint64_t i = 0; i < entries; ++i) {
+      Key key;
+      Version version;
+      bool stable = false;
+      std::vector<Dependency> deps;
+      ValueHandle handle;
+      if (!r.GetString(&key) || !version.Decode(&r) || !r.GetBool(&stable) ||
+          !DecodeDeps(&r, &deps) || !r.GetU64(&handle.segment) ||
+          !r.GetU64(&handle.offset) || !r.GetU32(&handle.length)) {
+        return Status::Corruption("checkpoint entry " + std::to_string(i) + " truncated");
+      }
+      if (!store->Adopt(key, version, std::move(deps), handle)) {
+        return Status::Corruption("checkpoint entry " + std::to_string(i) +
+                                  " points outside the value log");
+      }
+      if (stable) {
+        store->MarkStable(key, version);
+      }
+    }
+  } else {
+    for (uint64_t i = 0; i < entries; ++i) {
+      Key key;
+      Value value;
+      Version version;
+      bool stable = false;
+      std::vector<Dependency> deps;
+      if (!r.GetString(&key) || !r.GetString(&value) || !version.Decode(&r) ||
+          !r.GetBool(&stable) || !DecodeDeps(&r, &deps)) {
+        return Status::Corruption("checkpoint entry " + std::to_string(i) + " truncated");
+      }
+      store->Apply(key, std::move(value), version, std::move(deps));
+      if (stable) {
+        store->MarkStable(key, version);
+      }
     }
   }
   if (!r.AtEnd()) {

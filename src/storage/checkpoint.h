@@ -14,8 +14,15 @@
 //
 // Format versions: v1 files carry no WAL coordination; v2 adds the sequence
 // number of the WAL segment that was active when the checkpoint was taken,
-// letting recovery skip segments the checkpoint fully covers. Loading
-// accepts both; unknown future versions are rejected with kCorruption.
+// letting recovery skip segments the checkpoint fully covers. v3 adds the
+// storage-engine kind: under the mem engine entries carry values inline
+// (v2 shape, O(data)); under a disk engine the file is an *index* snapshot
+// — a value-log manifest (active segment + high-water mark) plus per-entry
+// ValueHandles instead of values, so checkpoint size scales with the index,
+// not the data. Loading accepts v1-v3; unknown future versions are rejected
+// with kCorruption. Loading a disk-kind checkpoint requires a disk engine
+// (opened over the same value-log directory) attached to `store`; loading a
+// mem/v1/v2 checkpoint works under either engine — values are re-appended.
 //
 // Together with the WAL (src/wal/) this is the recovery path for restarting
 // a crashed node from local state instead of a full chain resync; the

@@ -1,4 +1,4 @@
-// Per-node in-memory multi-version key-value store.
+// Per-node multi-version key-value store over a pluggable value engine.
 //
 // Each key holds a small list of versions ordered by the convergent LWW
 // order (lamport, origin). Nodes apply versions idempotently (duplicates
@@ -9,46 +9,103 @@
 //
 // Version garbage collection keeps the newest stable version and anything
 // newer, bounding per-key memory.
+//
+// Value storage is delegated to a StorageEngine (src/engine/). The default
+// mem engine keeps values inline in the index entries — the historical
+// behavior, byte for byte. With a disk engine attached, values live in an
+// append-only log and index entries carry a ValueHandle; a bounded LRU
+// residency cache keeps hot values materialized in memory, so Latest/Find/
+// LatestStable still hand out `const StoredVersion*` with a filled `value`.
+//
+// Pointer lifetime with a disk engine: a materialized value stays resident
+// at least until eight further values are materialized (the most recent
+// materializations are pinned against eviction), so the usual pattern —
+// look up, read fields, drop the pointer before the next store call — is
+// safe. Callers that only need version metadata should use the *Meta
+// accessors, which never touch the engine or the cache.
 #ifndef SRC_STORAGE_VERSIONED_STORE_H_
 #define SRC_STORAGE_VERSIONED_STORE_H_
 
 #include <functional>
+#include <list>
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/common/types.h"
 #include "src/common/version.h"
+#include "src/engine/storage_engine.h"
 
 namespace chainreaction {
 
 struct StoredVersion {
-  Value value;
+  Value value;  // empty when a disk engine holds the bytes and !resident
   Version version;
   bool stable = false;
   // Write-time dependency list (served to multi-get read transactions).
   std::vector<Dependency> deps;
+
+  // Engine bookkeeping (disk engine only; dormant under the mem engine).
+  ValueHandle handle;
+  bool resident = true;  // `value` holds the bytes
+  bool cached = false;   // on the store's LRU list
+  std::list<std::pair<Key, Version>>::iterator lru_it{};
 };
 
 class VersionedStore {
  public:
+  VersionedStore();
+  ~VersionedStore();
+  VersionedStore(const VersionedStore&) = delete;
+  VersionedStore& operator=(const VersionedStore&) = delete;
+
+  // Replaces the default mem engine. Must be called before any data is
+  // applied; calling with data present aborts.
+  void AttachEngine(std::unique_ptr<StorageEngine> engine);
+  StorageEngine* engine() const { return engine_.get(); }
+
+  // Residency-cache budget (disk engine only): total bytes of materialized
+  // values kept in memory. The most recently materialized entries are
+  // pinned regardless of budget (see file comment).
+  void SetCacheBudget(uint64_t bytes) { cache_budget_ = bytes; }
+  uint64_t cache_budget() const { return cache_budget_; }
+
   // Inserts (value, version) for key. Returns true if newly applied, false
   // if this exact version was already present.
   bool Apply(const Key& key, Value value, const Version& version,
              std::vector<Dependency> deps = {});
 
+  // Re-registers an already-logged version during checkpoint recovery: the
+  // engine holds the bytes at `handle`; nothing is written. Returns false
+  // if the handle cannot be adopted (log/checkpoint mismatch).
+  bool Adopt(const Key& key, const Version& version, std::vector<Dependency> deps,
+             const ValueHandle& handle);
+
   // Marks `version` (and every older version of the key) stable. Returns
   // true if the key/version exists.
   bool MarkStable(const Key& key, const Version& version);
 
-  // Newest version in LWW order, or nullptr if the key is absent.
+  // Newest version in LWW order, or nullptr if the key is absent. The
+  // returned entry has `value` materialized (engine read on cache miss).
   const StoredVersion* Latest(const Key& key) const;
 
-  // Exact version lookup, or nullptr.
+  // Exact version lookup, or nullptr. Value materialized.
   const StoredVersion* Find(const Key& key, const Version& version) const;
 
-  // Newest stable version, or nullptr.
+  // Newest stable version, or nullptr. Value materialized.
   const StoredVersion* LatestStable(const Key& key) const;
+
+  // Metadata-only variants: same lookups, but `value` may be empty (never
+  // materialized, never an engine read). For callers that only need the
+  // version / stable bit / deps.
+  const StoredVersion* LatestMeta(const Key& key) const;
+  const StoredVersion* FindMeta(const Key& key, const Version& version) const;
+  const StoredVersion* LatestStableMeta(const Key& key) const;
+
+  // True iff the key has at least one not-yet-stable version.
+  bool HasUnstable(const Key& key) const;
 
   // True iff this node has applied versions of `key` whose merged version
   // vector dominates `min.vv` — i.e. it has the causal past `min` denotes.
@@ -61,15 +118,38 @@ class VersionedStore {
   size_t VersionCount(const Key& key) const;
   uint64_t total_versions() const { return total_versions_; }
 
-  // Iterates all keys (used for chain-repair state transfer).
+  // Iterates all keys. Metadata only: `latest.value` may be empty under a
+  // disk engine (used for chain-repair key discovery and recovery scans).
   void ForEachKey(const std::function<void(const Key&, const StoredVersion& latest)>& fn) const;
 
-  // Iterates every retained version of every key (checkpointing).
+  // Iterates every retained version of every key with values materialized
+  // (mem-engine checkpointing; O(data) under a disk engine).
   void ForEachVersion(const std::function<void(const Key&, const StoredVersion&)>& fn) const;
 
-  // Versions of `key` that are not yet stable (oldest first); used by chain
-  // heads to re-propagate after a reconfiguration.
+  // Same iteration, metadata + handles only — no engine reads. This is what
+  // an incremental (index-only) checkpoint walks.
+  void ForEachVersionRaw(
+      const std::function<void(const Key&, const StoredVersion&)>& fn) const;
+
+  // Versions of `key` that are not yet stable (oldest first), values
+  // materialized; used by chain heads to re-propagate after a
+  // reconfiguration.
   std::vector<StoredVersion> UnstableVersions(const Key& key) const;
+
+  // Runs one engine compaction round if the garbage threshold is met,
+  // repointing index handles at moved records. Returns true if a segment
+  // was compacted.
+  bool CompactEngine();
+
+  // Deletes fully-dead log segments. Call only after a checkpoint that no
+  // longer references them has been durably written.
+  void PurgeEngineGarbage() { engine_->PurgeDeadSegments(); }
+
+  // Residency stats. Under the mem engine, resident == everything.
+  uint64_t resident_versions() const;
+  uint64_t resident_bytes() const { return inline_bytes_; }
+  uint64_t cache_hits() const { return cache_hits_; }
+  uint64_t cache_misses() const { return cache_misses_; }
 
  private:
   struct KeyState {
@@ -78,9 +158,25 @@ class VersionedStore {
   };
 
   void Trim(KeyState* ks);
+  void DropEntry(StoredVersion* sv);  // cache + engine accounting on erase
+  StoredVersion* Materialize(const Key& key, StoredVersion* sv);
+  void TouchLru(const Key& key, StoredVersion* sv);
+  void EvictOverBudget();
+  StoredVersion* FindEntry(const Key& key, const Version& version);
 
   std::unordered_map<Key, KeyState> table_;
   uint64_t total_versions_ = 0;
+
+  std::unique_ptr<StorageEngine> engine_;
+  uint64_t cache_budget_ = 64u << 20;
+  uint64_t ops_since_compact_ = 0;
+
+  // Residency cache (disk engine): MRU-first list of materialized entries.
+  // Mutable because materialization happens inside const accessors.
+  mutable std::list<std::pair<Key, Version>> lru_;
+  mutable uint64_t inline_bytes_ = 0;  // bytes held in resident `value`s
+  mutable uint64_t cache_hits_ = 0;
+  mutable uint64_t cache_misses_ = 0;
 };
 
 }  // namespace chainreaction

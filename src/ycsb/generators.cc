@@ -43,6 +43,17 @@ uint64_t ScrambledZipfianChooser::Next(Rng* rng) {
   return Mix64(zipf_.Next(rng)) % items_;
 }
 
+uint64_t RotatingZipfianChooser::Next(Rng* rng) {
+  if (++draws_ > rotate_every_) {
+    draws_ = 1;
+    epoch_++;
+  }
+  // Folding the epoch into the scramble moves the whole popularity mapping:
+  // rank r maps to a different key every epoch, so the post-rotation hot
+  // set shares (almost) nothing with the previous one.
+  return Mix64(zipf_.Next(rng) + (epoch_ + 1) * 0x9E3779B97F4A7C15ull) % items_;
+}
+
 uint64_t LatestChooser::Next(Rng* rng) {
   const uint64_t max = *max_index_ == 0 ? 1 : *max_index_;
   if (max != last_max_) {

@@ -63,6 +63,29 @@ class ScrambledZipfianChooser : public KeyChooser {
   ZipfianChooser zipf_;
 };
 
+// Scrambled zipfian whose rank→key mapping is re-hashed every
+// `rotate_every` draws: the hot set is a pseudorandom subset of the key
+// space that shifts wholesale each epoch. Models working-set rotation
+// (cold-start reads after the application's focus moves), the adversarial
+// case for a bounded residency cache — every rotation starts 100% cold.
+class RotatingZipfianChooser : public KeyChooser {
+ public:
+  RotatingZipfianChooser(uint64_t items, uint64_t rotate_every, double theta = 0.99)
+      : items_(items), rotate_every_(rotate_every == 0 ? 1 : rotate_every),
+        zipf_(items, theta) {}
+
+  uint64_t Next(Rng* rng) override;
+  uint64_t item_count() const override { return items_; }
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  uint64_t items_;
+  uint64_t rotate_every_;
+  uint64_t draws_ = 0;
+  uint64_t epoch_ = 0;
+  ZipfianChooser zipf_;
+};
+
 // YCSB's "latest" distribution: popularity is zipfian over recency, so the
 // most recently inserted items are the hottest (workload D). The driver
 // advances *max_index as it inserts.

@@ -72,6 +72,9 @@ std::unique_ptr<KeyChooser> MakeChooser(const WorkloadSpec& spec, const uint64_t
       return std::make_unique<ScrambledZipfianChooser>(spec.record_count);
     case Distribution::kLatest:
       return std::make_unique<LatestChooser>(max_index);
+    case Distribution::kZipfianRotating:
+      return std::make_unique<RotatingZipfianChooser>(spec.record_count,
+                                                      spec.hot_set_rotate_ops);
   }
   return nullptr;
 }

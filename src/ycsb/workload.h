@@ -13,8 +13,9 @@ namespace chainreaction {
 
 enum class Distribution {
   kUniform,
-  kZipfian,   // scrambled zipfian, theta = 0.99 (YCSB default)
+  kZipfian,          // scrambled zipfian, theta = 0.99 (YCSB default)
   kLatest,
+  kZipfianRotating,  // scrambled zipfian whose hot set shifts periodically
 };
 
 struct WorkloadSpec {
@@ -25,6 +26,8 @@ struct WorkloadSpec {
   Distribution distribution = Distribution::kZipfian;
   uint64_t record_count = 10000;
   size_t value_size = 128;
+  // kZipfianRotating: ops between hot-set rotations (per chooser/client).
+  uint64_t hot_set_rotate_ops = 10000;
 
   static WorkloadSpec A(uint64_t records = 10000, size_t value_size = 128);  // 50r/50u zipf
   static WorkloadSpec B(uint64_t records = 10000, size_t value_size = 128);  // 95r/5u zipf

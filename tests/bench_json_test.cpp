@@ -1,0 +1,63 @@
+// Regression tests for the bench JSON emitter: names and keys containing
+// JSON-special characters must be escaped (they used to be printed raw,
+// producing unparseable files).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "tests/json_checker.h"
+
+namespace chainreaction {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class BenchJsonTest : public ::testing::Test {
+ protected:
+  BenchJsonTest() {
+    path_ = ::testing::TempDir() + "crx_bench_json_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".json";
+  }
+  ~BenchJsonTest() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+};
+
+TEST_F(BenchJsonTest, PlainRowsAreValidJson) {
+  std::vector<BenchJsonRow> rows;
+  rows.push_back({"throughput", {{"ops_per_sec", 1234.5}, {"p99_us", 210}}});
+  rows.push_back({"latency", {{"p50_us", 80.25}}});
+  ASSERT_TRUE(WriteBenchJson(path_, "bench_e_example", rows));
+  const std::string text = ReadFile(path_);
+  EXPECT_TRUE(JsonChecker::Valid(text)) << text;
+  EXPECT_NE(text.find("\"throughput\""), std::string::npos);
+}
+
+TEST_F(BenchJsonTest, SpecialCharactersAreEscaped) {
+  std::vector<BenchJsonRow> rows;
+  rows.push_back({"name with \"quotes\" and \\backslash\\", {{"key\nnewline", 1}}});
+  rows.push_back({"tab\there", {{"plain", 2}}});
+  ASSERT_TRUE(WriteBenchJson(path_, "bench \"quoted\"", rows));
+  const std::string text = ReadFile(path_);
+  EXPECT_TRUE(JsonChecker::Valid(text)) << text;
+  // The raw (unescaped) quote sequence must not appear inside a string.
+  EXPECT_NE(text.find("\\\"quotes\\\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\\n"), std::string::npos) << text;
+}
+
+TEST_F(BenchJsonTest, EmptyRowsStillValid) {
+  ASSERT_TRUE(WriteBenchJson(path_, "empty", {}));
+  EXPECT_TRUE(JsonChecker::Valid(ReadFile(path_)));
+}
+
+}  // namespace
+}  // namespace chainreaction

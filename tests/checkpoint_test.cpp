@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "src/common/bytes.h"
@@ -215,6 +216,160 @@ TEST_F(CheckpointTest, LoadsFormatV1Files) {
   ASSERT_NE(restored.Latest("k"), nullptr);
   EXPECT_EQ(restored.Latest("k")->value, "v1-value");
   EXPECT_TRUE(restored.Latest("k")->stable);
+}
+
+TEST_F(CheckpointTest, LoadsFormatV2Files) {
+  // Hand-build a v2 checkpoint (wal_seq, no engine byte): one entry.
+  ByteWriter payload;
+  payload.PutString("k");
+  payload.PutString("v2-value");
+  V(4, 0, {4}).Encode(&payload);
+  payload.PutBool(false);
+  EncodeDeps({}, &payload);
+
+  ByteWriter file;
+  file.PutU32(0x43525843);  // magic
+  file.PutU32(2);           // v2
+  file.PutU64(13);          // wal_seq
+  file.PutU64(1);           // entries
+  file.PutU64(Fnv1a64(payload.data()));
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(file.data().data(), 1, file.size(), f);
+  std::fwrite(payload.data().data(), 1, payload.size(), f);
+  std::fclose(f);
+
+  VersionedStore restored;
+  uint64_t wal_seq = 0;
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored, &wal_seq).ok());
+  EXPECT_EQ(wal_seq, 13u);
+  ASSERT_NE(restored.Latest("k"), nullptr);
+  EXPECT_EQ(restored.Latest("k")->value, "v2-value");
+  EXPECT_FALSE(restored.Latest("k")->stable);
+}
+
+TEST_F(CheckpointTest, UnknownEngineKindRejected) {
+  VersionedStore store;
+  store.Apply("k", "v", V(1, 0, {1}));
+  ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+
+  // v3 header: magic u32, format u32, wal_seq u64, engine u8 at offset 16.
+  FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 16, SEEK_SET);
+  std::fputc(7, f);
+  std::fclose(f);
+
+  VersionedStore restored;
+  const Status s = LoadCheckpoint(path_, &restored);
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+  EXPECT_NE(s.ToString().find("unknown checkpoint engine kind"), std::string::npos);
+}
+
+// The disk-engine cross-version / incremental behavior needs a value-log
+// directory alongside the checkpoint file.
+class DiskCheckpointTest : public CheckpointTest {
+ protected:
+  DiskCheckpointTest() {
+    vlog_ = ::testing::TempDir() + "crx_checkpoint_vlog_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this));
+  }
+  ~DiskCheckpointTest() override {
+    std::error_code ec;
+    std::filesystem::remove_all(vlog_, ec);
+  }
+
+  std::unique_ptr<StorageEngine> OpenVlog() {
+    std::unique_ptr<StorageEngine> engine;
+    const Status st = OpenDiskEngine(vlog_, DiskEngineOptions{}, &engine);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return engine;
+  }
+
+  void FillStore(VersionedStore* store, uint64_t records, size_t value_size) {
+    for (uint64_t i = 0; i < records; ++i) {
+      const Key key = "bulk-" + std::to_string(i);
+      const Version v = V(i + 1, 0, {i + 1});
+      store->Apply(key, std::string(value_size, 'd'), v);
+      store->MarkStable(key, v);
+    }
+  }
+
+  std::string vlog_;
+};
+
+TEST_F(DiskCheckpointTest, DiskCheckpointIsIndexSized) {
+  // Same data under both engines: the disk checkpoint stores handles, not
+  // values, so it must be a small fraction of the mem checkpoint.
+  const std::string mem_path = path_ + ".mem";
+  {
+    VersionedStore store;
+    FillStore(&store, 500, 1024);
+    ASSERT_TRUE(SaveCheckpoint(store, mem_path).ok());
+  }
+  {
+    VersionedStore store;
+    store.AttachEngine(OpenVlog());
+    FillStore(&store, 500, 1024);
+    ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+  }
+  const uint64_t mem_bytes = std::filesystem::file_size(mem_path);
+  const uint64_t disk_bytes = std::filesystem::file_size(path_);
+  std::remove(mem_path.c_str());
+  EXPECT_LE(disk_bytes * 4, mem_bytes)
+      << "disk=" << disk_bytes << " mem=" << mem_bytes;
+}
+
+TEST_F(DiskCheckpointTest, DiskCheckpointRequiresDiskEngine) {
+  {
+    VersionedStore store;
+    store.AttachEngine(OpenVlog());
+    store.Apply("k", "v", V(1, 0, {1}));
+    ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+  }
+  VersionedStore mem_store;  // no disk engine attached
+  const Status s = LoadCheckpoint(path_, &mem_store);
+  // Caller misconfiguration (the file itself is fine): kInternal.
+  EXPECT_EQ(s.code(), StatusCode::kInternal) << s.ToString();
+  EXPECT_NE(s.ToString().find("requires a disk engine"), std::string::npos);
+}
+
+TEST_F(DiskCheckpointTest, MemCheckpointLoadsUnderDiskEngine) {
+  // Cross-engine compatibility: a v3-mem (value-carrying) checkpoint loads
+  // into a disk-engine store — values are re-appended to the log.
+  {
+    VersionedStore store;
+    store.Apply("a", "value-a", V(1, 0, {1}));
+    store.Apply("b", "value-b", V(2, 0, {2}));
+    store.MarkStable("a", V(1, 0, {1}));
+    ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+  }
+  VersionedStore restored;
+  restored.AttachEngine(OpenVlog());
+  ASSERT_TRUE(LoadCheckpoint(path_, &restored).ok());
+  EXPECT_GT(restored.engine()->Stats().appends, 0u);
+  ASSERT_NE(restored.Latest("a"), nullptr);
+  EXPECT_EQ(restored.Latest("a")->value, "value-a");
+  EXPECT_TRUE(restored.Latest("a")->stable);
+  ASSERT_NE(restored.Latest("b"), nullptr);
+  EXPECT_EQ(restored.Latest("b")->value, "value-b");
+}
+
+TEST_F(DiskCheckpointTest, StaleHandleRejectedAsCorruption) {
+  // A checkpoint whose handles point beyond the (shorter) value log is the
+  // log/checkpoint-mismatch case: load must fail cleanly, not serve junk.
+  {
+    VersionedStore store;
+    store.AttachEngine(OpenVlog());
+    FillStore(&store, 50, 256);
+    ASSERT_TRUE(SaveCheckpoint(store, path_).ok());
+  }
+  std::filesystem::remove_all(vlog_);  // the log vanishes; checkpoint stays
+  VersionedStore restored;
+  restored.AttachEngine(OpenVlog());  // fresh, empty log
+  const Status s = LoadCheckpoint(path_, &restored);
+  // The manifest high-water mark is past the (empty) log's end.
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
 }
 
 TEST_F(CheckpointTest, LargeStoreRoundTrip) {

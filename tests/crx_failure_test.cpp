@@ -212,9 +212,31 @@ TEST(CrxFailure, NewChainMemberServesAfterSync) {
   }
 }
 
-TEST(CrxCrashRestart, RecoveryRebuildsPreCrashStoreExactly) {
+// The crash-restart suite runs under both value engines: recovery must be
+// engine-oblivious (mem replays values from the WAL; disk re-opens the
+// value log, truncates to the checkpoint manifest, and replays the tail).
+// The disk variant uses a deliberately tiny residency cache so recovery
+// and post-restart reads exercise real log reads.
+class CrxCrashRestart : public ::testing::TestWithParam<StorageEngineKind> {
+ protected:
+  ClusterOptions EngineOpts(ClusterOptions opts) const {
+    opts.engine = GetParam();
+    opts.engine_cache_bytes = 32u << 10;
+    opts.engine_segment_bytes = 64u << 10;
+    return opts;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, CrxCrashRestart,
+    ::testing::Values(StorageEngineKind::kMem, StorageEngineKind::kDisk),
+    [](const ::testing::TestParamInfo<StorageEngineKind>& param_info) {
+      return std::string(StorageEngineKindName(param_info.param));
+    });
+
+TEST_P(CrxCrashRestart, RecoveryRebuildsPreCrashStoreExactly) {
   ScratchDir scratch("restart_exact");
-  ClusterOptions opts = FailureOpts(23);
+  ClusterOptions opts = EngineOpts(FailureOpts(23));
   opts.data_root = scratch.path();
   opts.fsync_policy = FsyncPolicy::kAlways;  // every acked byte durable
   Cluster cluster(opts);
@@ -241,6 +263,8 @@ TEST(CrxCrashRestart, RecoveryRebuildsPreCrashStoreExactly) {
   CrxConfig cfg;
   cfg.replication = opts.replication;
   cfg.k_stability = opts.k_stability;
+  cfg.engine = GetParam();
+  cfg.engine_cache_bytes = opts.engine_cache_bytes;
   ChainReactionNode recovered(cluster.ServerAddress(0, victim), cfg,
                               cluster.membership(0)->ring());
   ASSERT_TRUE(recovered.RecoverFrom(cluster.NodeDataDir(0, victim)).ok());
@@ -253,9 +277,9 @@ TEST(CrxCrashRestart, RecoveryRebuildsPreCrashStoreExactly) {
   EXPECT_EQ(before, after);
 }
 
-TEST(CrxCrashRestart, AckedWritesSurviveCrashRestart) {
+TEST_P(CrxCrashRestart, AckedWritesSurviveCrashRestart) {
   ScratchDir scratch("restart_acked");
-  ClusterOptions opts = FailureOpts(29);
+  ClusterOptions opts = EngineOpts(FailureOpts(29));
   opts.data_root = scratch.path();
   opts.fsync_policy = FsyncPolicy::kAlways;
   Cluster cluster(opts);
@@ -309,13 +333,13 @@ TEST(CrxCrashRestart, AckedWritesSurviveCrashRestart) {
   }
 }
 
-TEST(CrxCrashRestart, WorkloadAcrossCrashRestartStaysCausal) {
+TEST_P(CrxCrashRestart, WorkloadAcrossCrashRestartStaysCausal) {
   // The property test: crash a node mid-propagation under YCSB-A with
   // group-commit durability (the un-flushed batch is lost on crash),
   // restart it from its data dir mid-run, and require a clean causal+
   // checker and full convergence.
   ScratchDir scratch("restart_causal");
-  ClusterOptions opts = FailureOpts(31);
+  ClusterOptions opts = EngineOpts(FailureOpts(31));
   opts.data_root = scratch.path();
   opts.fsync_policy = FsyncPolicy::kBatch;
   Cluster cluster(opts);

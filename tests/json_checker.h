@@ -1,0 +1,170 @@
+// A tiny recursive-descent JSON syntax checker — enough for tests to assert
+// that a renderer emits well-formed JSON without adding a parser dependency.
+// Shared by the telemetry tests (obs renderers) and the bench-JSON tests.
+#ifndef TESTS_JSON_CHECKER_H_
+#define TESTS_JSON_CHECKER_H_
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+namespace chainreaction {
+
+class JsonChecker {
+ public:
+  static bool Valid(const std::string& text) {
+    JsonChecker c(text);
+    c.SkipWs();
+    if (!c.Value()) {
+      return false;
+    }
+    c.SkipWs();
+    return c.at_ == text.size();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Value() {
+    if (at_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[at_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++at_;  // '{'
+    SkipWs();
+    if (Peek('}')) {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (!Peek(':')) {
+        return false;
+      }
+      ++at_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek(',')) {
+        ++at_;
+        continue;
+      }
+      if (Peek('}')) {
+        ++at_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++at_;  // '['
+    SkipWs();
+    if (Peek(']')) {
+      ++at_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (Peek(',')) {
+        ++at_;
+        continue;
+      }
+      if (Peek(']')) {
+        ++at_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (!Peek('"')) {
+      return false;
+    }
+    ++at_;
+    while (at_ < text_.size()) {
+      const char c = text_[at_];
+      if (c == '"') {
+        ++at_;
+        return true;
+      }
+      if (c == '\\') {
+        ++at_;
+        if (at_ >= text_.size()) {
+          return false;
+        }
+      }
+      ++at_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = at_;
+    if (Peek('-')) {
+      ++at_;
+    }
+    while (at_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[at_])) || text_[at_] == '.' ||
+            text_[at_] == 'e' || text_[at_] == 'E' || text_[at_] == '+' ||
+            text_[at_] == '-')) {
+      ++at_;
+    }
+    return at_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(at_, len, word) != 0) {
+      return false;
+    }
+    at_ += len;
+    return true;
+  }
+
+  bool Peek(char c) const { return at_ < text_.size() && text_[at_] == c; }
+
+  void SkipWs() {
+    while (at_ < text_.size() &&
+           (text_[at_] == ' ' || text_[at_] == '\n' || text_[at_] == '\t' ||
+            text_[at_] == '\r')) {
+      ++at_;
+    }
+  }
+
+  const std::string& text_;
+  size_t at_ = 0;
+};
+
+}  // namespace chainreaction
+
+#endif  // TESTS_JSON_CHECKER_H_

@@ -25,167 +25,10 @@
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/obs/window.h"
+#include "tests/json_checker.h"
 
 namespace chainreaction {
 namespace {
-
-// ---------------------------------------------------------------------------
-// A tiny recursive-descent JSON syntax checker — enough to assert that the
-// obs renderers emit well-formed JSON without adding a parser dependency.
-class JsonChecker {
- public:
-  static bool Valid(const std::string& text) {
-    JsonChecker c(text);
-    c.SkipWs();
-    if (!c.Value()) {
-      return false;
-    }
-    c.SkipWs();
-    return c.at_ == text.size();
-  }
-
- private:
-  explicit JsonChecker(const std::string& text) : text_(text) {}
-
-  bool Value() {
-    if (at_ >= text_.size()) {
-      return false;
-    }
-    switch (text_[at_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      case 't':
-        return Literal("true");
-      case 'f':
-        return Literal("false");
-      case 'n':
-        return Literal("null");
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++at_;  // '{'
-    SkipWs();
-    if (Peek('}')) {
-      ++at_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!String()) {
-        return false;
-      }
-      SkipWs();
-      if (!Peek(':')) {
-        return false;
-      }
-      ++at_;
-      SkipWs();
-      if (!Value()) {
-        return false;
-      }
-      SkipWs();
-      if (Peek(',')) {
-        ++at_;
-        continue;
-      }
-      if (Peek('}')) {
-        ++at_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++at_;  // '['
-    SkipWs();
-    if (Peek(']')) {
-      ++at_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!Value()) {
-        return false;
-      }
-      SkipWs();
-      if (Peek(',')) {
-        ++at_;
-        continue;
-      }
-      if (Peek(']')) {
-        ++at_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (!Peek('"')) {
-      return false;
-    }
-    ++at_;
-    while (at_ < text_.size()) {
-      const char c = text_[at_];
-      if (c == '"') {
-        ++at_;
-        return true;
-      }
-      if (c == '\\') {
-        ++at_;
-        if (at_ >= text_.size()) {
-          return false;
-        }
-      }
-      ++at_;
-    }
-    return false;
-  }
-
-  bool Number() {
-    const size_t start = at_;
-    if (Peek('-')) {
-      ++at_;
-    }
-    while (at_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[at_])) || text_[at_] == '.' ||
-            text_[at_] == 'e' || text_[at_] == 'E' || text_[at_] == '+' ||
-            text_[at_] == '-')) {
-      ++at_;
-    }
-    return at_ > start;
-  }
-
-  bool Literal(const char* word) {
-    const size_t len = std::strlen(word);
-    if (text_.compare(at_, len, word) != 0) {
-      return false;
-    }
-    at_ += len;
-    return true;
-  }
-
-  bool Peek(char c) const { return at_ < text_.size() && text_[at_] == c; }
-
-  void SkipWs() {
-    while (at_ < text_.size() &&
-           (text_[at_] == ' ' || text_[at_] == '\n' || text_[at_] == '\t' ||
-            text_[at_] == '\r')) {
-      ++at_;
-    }
-  }
-
-  const std::string& text_;
-  size_t at_ = 0;
-};
 
 TEST(JsonCheckerTest, SelfTest) {
   EXPECT_TRUE(JsonChecker::Valid("{}"));

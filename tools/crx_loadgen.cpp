@@ -45,6 +45,8 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --kill-at-ms T   crash one server T ms into the measurement      [off]
   --data-dir DIR   per-node WALs under DIR (chainreaction only)    [off]
   --fsync-mode M   always | batch | none                           [batch]
+  --engine E       mem | disk value storage (needs --data-dir)     [mem]
+  --cache-mb N     disk-engine resident-value budget per node, MB  [64]
   --crash-at-ms T  crash-with-durability one server at T ms        [off]
   --restart-at-ms T  restart it with recovery at T ms              [off]
   --seed N         RNG seed                                        [7]
@@ -166,6 +168,7 @@ int main(int argc, char** argv) {
                    {"system", "workload", "servers", "clients", "records", "value-size",
                     "replication", "k", "dcs", "wan-ms", "measure-ms", "warmup-ms",
                     "think-us", "drop", "kill-at-ms", "data-dir", "fsync-mode",
+                    "engine", "cache-mb",
                     "crash-at-ms", "restart-at-ms", "seed", "check", "stats-every-ms",
                     "trace-every", "trace-prob", "slow-trace-us", "http-port", "metrics",
                     "loop-threads", "pipeline", "get-fraction", "ack-batch-us",
@@ -209,6 +212,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--data-dir requires --system chainreaction\n");
     return 2;
   }
+  if (!ParseStorageEngineKind(flags.GetString("engine", "mem"), &opts.engine)) {
+    std::fprintf(stderr, "bad --engine (want mem|disk)\n%s", kUsage);
+    return 2;
+  }
+  if (opts.engine == StorageEngineKind::kDisk && opts.data_root.empty()) {
+    std::fprintf(stderr, "--engine disk requires --data-dir\n");
+    return 2;
+  }
+  opts.engine_cache_bytes = static_cast<uint64_t>(flags.GetInt("cache-mb", 64)) << 20;
 
   const uint64_t records = static_cast<uint64_t>(flags.GetInt("records", 1000));
   const size_t value_size = static_cast<size_t>(flags.GetInt("value-size", 1024));
