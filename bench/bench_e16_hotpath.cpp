@@ -15,7 +15,12 @@
 // Reported: put throughput, p50/p99 completion latency, allocations per op
 // (global operator-new hook), and the runtime's writev coalescing counters.
 //
-// Usage: bench_e16_hotpath [--smoke] [json_path]
+// A second table sweeps the loop count (`--loops 1,2,4,8` to override) on
+// the batched deployment, holding everything else fixed — the scaling curve
+// for "how many event loops should this box run". Each point lands in the
+// JSON as loops_N.
+//
+// Usage: bench_e16_hotpath [--smoke] [--loops 1,2,4,8] [json_path]
 //   --smoke: short cells + sanity assertions, no JSON (CI gate).
 #include <atomic>
 #include <cstdio>
@@ -115,9 +120,19 @@ CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
 int Main(int argc, char** argv) {
   bool smoke = false;
   std::string json_path = "BENCH_e16.json";
+  std::vector<uint32_t> sweep_loops = {1, 2, 4, 8};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--loops") == 0 && i + 1 < argc) {
+      sweep_loops.clear();
+      std::string list = argv[++i];
+      for (size_t pos = 0; pos < list.size();) {
+        const size_t comma = std::min(list.find(',', pos), list.size());
+        sweep_loops.push_back(
+            static_cast<uint32_t>(std::strtoul(list.substr(pos, comma - pos).c_str(), nullptr, 10)));
+        pos = comma + 1;
+      }
     } else {
       json_path = argv[i];
     }
@@ -171,7 +186,35 @@ int Main(int argc, char** argv) {
     return 0;
   }
 
+  // Loop-count scaling sweep: the batched deployment at each loop count.
+  // Points past the core count show the flattening (or inversion) that says
+  // "stop adding loops here".
+  PrintTableHeader("E16b: loop-count scaling, batched deployment",
+                   {"loops", "ops/s", "p50", "p99", "vs 1 loop"});
+  std::vector<CellOutcome> sweep;
+  for (const uint32_t loops : sweep_loops) {
+    const CellSpec spec{"loops_" + std::to_string(loops), loops, 100, false, true};
+    const CellOutcome out = RunHotpathCell(spec, duration);
+    sweep.push_back(out);
+    const double rel =
+        sweep[0].ops_per_sec > 0 ? out.ops_per_sec / sweep[0].ops_per_sec : 0;
+    PrintTableRow({FmtU(loops), Fmt("%.0f", out.ops_per_sec), FormatMicros(out.p50_us),
+                   FormatMicros(out.p99_us), Fmt("%.2fx", rel)});
+  }
+  std::printf("\n");
+
   std::vector<BenchJsonRow> rows;
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    rows.push_back(BenchJsonRow{"loops_" + std::to_string(sweep_loops[i]),
+                                {{"loop_threads", static_cast<double>(sweep_loops[i])},
+                                 {"ops_per_sec", sweep[i].ops_per_sec},
+                                 {"p50_us", static_cast<double>(sweep[i].p50_us)},
+                                 {"p99_us", static_cast<double>(sweep[i].p99_us)},
+                                 {"speedup_vs_1loop",
+                                  sweep[0].ops_per_sec > 0
+                                      ? sweep[i].ops_per_sec / sweep[0].ops_per_sec
+                                      : 0}}});
+  }
   for (size_t i = 0; i < outcomes.size(); ++i) {
     rows.push_back(BenchJsonRow{cells[i].name,
                                 {{"loop_threads", static_cast<double>(cells[i].loop_threads)},

@@ -1,0 +1,225 @@
+// E18 — Elastic membership: planned join/drain under live load.
+//
+// One simulated ChainReaction cell runs a closed-loop YCSB-A workload with
+// the causal+ checker attached while the migration coordinator executes a
+// planned topology sequence:
+//
+//   steady  —  baseline window, fixed 8-node ring
+//   join    —  a 9th node boots, its key ranges stream in, the epoch flips
+//   drain   —  a node's ranges stream away, then it leaves the ring
+//   post    —  second steady window on the final 8-node ring
+//
+// Each phase reports ops, throughput, and read/write p99. The elasticity
+// claim is that a *planned* reconfiguration is not a failure: clients keep
+// completing operations throughout, causal+ never breaks, and tail latency
+// during a migration stays within 3x of the steady-state tail (the
+// migration streams in the background and the cutover barrier is brief).
+//
+// --smoke runs the same phases shorter and enforces the gates (0 checker
+// violations, both migrations commit, migrate p99 <= 3x steady p99, all
+// records readable, replicas converge); exit 1 on any failure. Results land
+// in BENCH_e18.json (--out).
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/checker/causal_checker.h"
+#include "src/ycsb/driver.h"
+
+using namespace chainreaction;
+
+namespace {
+
+int g_failures = 0;
+
+void Gate(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "SMOKE GATE FAILED: %s\n", what);
+    g_failures++;
+  }
+}
+
+struct PhaseStats {
+  std::string name;
+  uint64_t ops = 0;
+  double ops_per_sec = 0;
+  int64_t write_p99 = 0;
+  int64_t read_p99 = 0;
+  // The tail the 3x gate is judged on.
+  int64_t p99() const { return std::max(write_p99, read_p99); }
+};
+
+PhaseStats DrainWindow(const std::string& name, Cluster* cluster, StatsCollector* stats) {
+  PhaseStats out;
+  out.name = name;
+  out.ops = stats->TotalOps();
+  out.ops_per_sec = stats->ThroughputOpsPerSec(cluster->sim()->Now());
+  out.write_p99 = stats->write_latency.P99();
+  out.read_p99 = stats->read_latency.P99();
+  stats->Reset(cluster->sim()->Now());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_e18.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--out file.json]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const int records = smoke ? 150 : 400;
+  const Duration steady_window = (smoke ? 700 : 2000) * kMillisecond;
+  const Duration settle = 300 * kMillisecond;
+
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = smoke ? 4 : 8;
+  opts.heartbeat_interval = 50 * kMillisecond;
+  opts.seed = 18;
+  Cluster cluster(opts);
+  cluster.Preload(records, 64);
+
+  // Closed-loop YCSB-A drivers with the causal+ checker on every completion.
+  StatsCollector stats;
+  stats.Reset(cluster.sim()->Now());
+  uint64_t insert_counter = records;
+  CausalChecker checker;
+  std::vector<std::unique_ptr<WorkloadDriver>> drivers;
+  for (size_t i = 0; i < cluster.num_clients(); ++i) {
+    auto driver = std::make_unique<WorkloadDriver>(cluster.client(i), cluster.client_env(i),
+                                                   WorkloadSpec::A(records, 64), 1800 + i,
+                                                   &insert_counter, &stats);
+    const uint32_t session = cluster.client(i)->address();
+    driver->on_write_complete = [&checker, session](const Key& key, const KvPutResult& r) {
+      checker.RecordWrite(session, key, r.version, r.deps);
+    };
+    driver->on_read_complete = [&checker, session](const Key& key, const KvGetResult& r) {
+      checker.RecordRead(session, key, r.found, r.version);
+    };
+    driver->Start();
+    drivers.push_back(std::move(driver));
+  }
+
+  std::vector<PhaseStats> phases;
+
+  // Phase 1: steady baseline.
+  cluster.sim()->RunUntil(cluster.sim()->Now() + steady_window);
+  phases.push_back(DrainWindow("steady", &cluster, &stats));
+
+  // Phase 2: join a 9th node under load.
+  uint32_t join_idx = 0;
+  const uint64_t join_id = cluster.AddJoiningServer(0, &join_idx);
+  const bool join_idle = join_id != 0 && cluster.WaitMigrationIdle(0);
+  cluster.sim()->RunUntil(cluster.sim()->Now() + settle);
+  phases.push_back(DrainWindow("join", &cluster, &stats));
+  const uint64_t join_entries = cluster.crx_node(0, join_idx)->mig_entries_in();
+
+  // Phase 3: drain one of the original nodes under load.
+  const uint64_t drain_id = cluster.DrainServer(0, 2);
+  const bool drain_idle = drain_id != 0 && cluster.WaitMigrationIdle(0);
+  cluster.sim()->RunUntil(cluster.sim()->Now() + settle);
+  phases.push_back(DrainWindow("drain", &cluster, &stats));
+
+  // Phase 4: steady on the final topology.
+  cluster.sim()->RunUntil(cluster.sim()->Now() + steady_window);
+  phases.push_back(DrainWindow("post", &cluster, &stats));
+
+  for (auto& d : drivers) {
+    d->Stop();
+  }
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 1 * kSecond);
+
+  const uint64_t completed = cluster.coordinator(0)->completed();
+  const uint64_t aborted = cluster.coordinator(0)->aborted();
+  std::string diag;
+  const bool converged = cluster.CheckConvergence(&diag);
+  uint64_t unreadable = 0;
+  for (int i = 0; i < records; ++i) {
+    bool found = false;
+    cluster.crx_client(0)->Get(RecordKey(i),
+                               [&](const ChainReactionClient::GetResult& r) { found = r.found; });
+    cluster.sim()->RunUntil(cluster.sim()->Now() + 50 * kMillisecond);
+    if (!found) {
+      unreadable++;
+    }
+  }
+
+  PrintTableHeader("E18: YCSB-A across a planned join + drain (8 -> 9 -> 8 nodes)",
+                   {"phase", "ops", "ops/s", "write p99", "read p99", "p99 vs steady"});
+  const double steady_p99 = static_cast<double>(std::max<int64_t>(1, phases[0].p99()));
+  std::vector<BenchJsonRow> rows;
+  for (const PhaseStats& p : phases) {
+    const double rel = static_cast<double>(p.p99()) / steady_p99;
+    PrintTableRow({p.name, FmtU(p.ops), Fmt("%.0f", p.ops_per_sec),
+                   FmtU(static_cast<uint64_t>(p.write_p99)) + "us",
+                   FmtU(static_cast<uint64_t>(p.read_p99)) + "us", Fmt("%.2fx", rel)});
+    rows.push_back({"phase_" + p.name,
+                    {{"ops", static_cast<double>(p.ops)},
+                     {"ops_per_sec", p.ops_per_sec},
+                     {"write_p99_us", static_cast<double>(p.write_p99)},
+                     {"read_p99_us", static_cast<double>(p.read_p99)},
+                     {"p99_vs_steady", rel}}});
+  }
+  std::printf(
+      "(join streamed %llu entries to the newcomer before its epoch flipped; "
+      "migrations committed=%llu aborted=%llu)\n",
+      static_cast<unsigned long long>(join_entries),
+      static_cast<unsigned long long>(completed), static_cast<unsigned long long>(aborted));
+  std::printf("checker violations=%llu converged=%s unreadable=%llu\n\n",
+              static_cast<unsigned long long>(checker.violations()), converged ? "yes" : "NO",
+              static_cast<unsigned long long>(unreadable));
+  if (!converged) {
+    std::printf("  divergence: %s\n", diag.c_str());
+  }
+  if (checker.violations() > 0 && !checker.diagnostics().empty()) {
+    std::printf("  first violation: %s\n", checker.diagnostics()[0].c_str());
+  }
+
+  rows.push_back({"summary",
+                  {{"migrations_completed", static_cast<double>(completed)},
+                   {"migrations_aborted", static_cast<double>(aborted)},
+                   {"join_entries_streamed", static_cast<double>(join_entries)},
+                   {"checker_violations", static_cast<double>(checker.violations())},
+                   {"converged", converged ? 1.0 : 0.0},
+                   {"unreadable_records", static_cast<double>(unreadable)}}});
+
+  if (!WriteBenchJson(out, "bench_e18_elastic", rows)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out.c_str());
+
+  if (smoke) {
+    Gate(join_idle && drain_idle, "elastic: a migration did not reach idle");
+    Gate(completed == 2 && aborted == 0, "elastic: both migrations must commit");
+    Gate(join_entries > 0, "elastic: join moved no data");
+    Gate(checker.violations() == 0, "elastic: causal+ violations != 0");
+    Gate(converged, "elastic: replicas did not converge");
+    Gate(unreadable == 0, "elastic: acked records lost across reconfiguration");
+    for (size_t i = 1; i + 1 < phases.size(); ++i) {
+      Gate(static_cast<double>(phases[i].p99()) <= 3.0 * steady_p99,
+           "elastic: migration-phase p99 above 3x steady");
+    }
+    for (const PhaseStats& p : phases) {
+      Gate(p.ops > 0, "elastic: a phase completed no operations");
+    }
+    if (g_failures > 0) {
+      std::fprintf(stderr, "%d smoke gate(s) failed\n", g_failures);
+      return 1;
+    }
+  }
+  return 0;
+}

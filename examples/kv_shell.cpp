@@ -14,6 +14,13 @@
 //   reset                 forget session state
 //   quit
 //
+// Elastic membership (live, no restart):
+//   join [weight]         boot a new node in its own runtime and stream its
+//                         key ranges to it before the epoch flips
+//   drain <node>          migrate a node's ranges away, then drop it
+//   rebalance <node> <w>  change a node's vnode weight (moves ring segments)
+//   ring                  current epoch + member nodes and weights
+//
 //   $ ./build/examples/kv_shell [--servers N] [--replication R] [--k K]
 //                               [--loop-threads L]
 //                               [--data-dir DIR] [--fsync-mode always|batch|none]
@@ -30,6 +37,7 @@
 // With --data-dir every node write-ahead-logs to DIR/n<id>/ and recovers
 // from it on startup, so a killed shell restarted on the same DIR comes
 // back with its data.
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <memory>
@@ -37,8 +45,10 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/admin/migration.h"
 #include "src/common/flags.h"
 #include "src/core/chainreaction_client.h"
 #include "src/core/chainreaction_node.h"
@@ -50,6 +60,7 @@
 #include "src/obs/telemetry.h"
 #include "src/obs/trace.h"
 #include "src/obs/window.h"
+#include "src/ring/membership.h"
 #include "src/ring/ring.h"
 #include "src/wal/wal.h"
 
@@ -163,6 +174,26 @@ int main(int argc, char** argv) {
     nodes.push_back(std::move(node));
   }
   server_rt->AttachMetrics(&metrics);
+
+  // Elastic membership: the admin plane lives on the server runtime's first
+  // loop. The shell client subscribes as a listener so it follows epoch
+  // flips live.
+  constexpr Address kShellMembershipAddr = kServiceAddressBase + 1024;
+  constexpr Address kShellCoordinatorAddr = kServiceAddressBase + 2048;
+  MembershipService membership(ids, 16, replication);
+  membership.AttachEnv(server_rt->Register(kShellMembershipAddr, &membership, 0));
+  MigrationCoordinator::Options copt;
+  copt.vnodes = 16;
+  copt.replication = replication;
+  copt.self = kShellCoordinatorAddr;
+  copt.membership = kShellMembershipAddr;
+  MigrationCoordinator coordinator(copt);
+  coordinator.AttachEnv(server_rt->Register(kShellCoordinatorAddr, &coordinator, 0));
+  coordinator.AttachObs(&metrics);
+  coordinator.Seed(1, ids, {});
+  membership.AddListener(kShellCoordinatorAddr);
+  membership.AddListener(kClientAddressBase);
+
   auto client_rt = std::make_unique<TcpRuntime>(&book);
   auto client = std::make_unique<ChainReactionClient>(kClientAddressBase, cfg, ring, 1);
   client->AttachEnv(client_rt->Register(kClientAddressBase, client.get()));
@@ -171,6 +202,43 @@ int main(int argc, char** argv) {
   server_rt->Start();
   client_rt->Start();
   SyncClient kv(client.get(), client_rt.get());
+
+  // Nodes joined at runtime, each in its own runtime (a separate process
+  // equivalent; peers find it through the shared address book).
+  std::vector<std::unique_ptr<TcpRuntime>> joined_rts;
+  std::vector<std::unique_ptr<ChainReactionNode>> joined_nodes;
+  NodeId next_node_id = servers;
+
+  // Coordinator state is loop-owned: run admin calls on its loop thread and
+  // hand the result back.
+  auto run_plan = [&](std::function<uint64_t()> fn) {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    uint64_t id = 0;
+    server_rt->PostTo(kShellCoordinatorAddr, [&]() {
+      id = fn();
+      std::lock_guard<std::mutex> lock(mu);
+      done = true;
+      cv.notify_one();
+    });
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done; });
+    return id;
+  };
+  auto await_migration = [&]() {
+    for (int i = 0; i < 3000 && !coordinator.idle(); ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    if (!coordinator.idle()) {
+      std::printf("migration still running (check 'ring' / /status later)\n");
+      return;
+    }
+    std::printf("done: epoch=%llu completed=%llu aborted=%llu\n",
+                static_cast<unsigned long long>(coordinator.observed_epoch()),
+                static_cast<unsigned long long>(coordinator.completed()),
+                static_cast<unsigned long long>(coordinator.aborted()));
+  };
 
   // Optional HTTP telemetry: one aggregated endpoint for every in-process
   // node. /status posts into each node's loop thread because node state is
@@ -249,7 +317,90 @@ int main(int argc, char** argv) {
     if (cmd == "help") {
       std::printf(
           "put <key> <value> | get <key> | mget <k>... | meta <key> | session | "
-          "stats [--cumulative] [filter] | stats reset | wal | trace | reset | quit\n");
+          "stats [--cumulative] [filter] | stats reset | wal | trace | reset | quit\n"
+          "admin: join [weight] | drain <node> | rebalance <node> <weight> | ring\n");
+      continue;
+    }
+    if (cmd == "ring") {
+      std::mutex mu;
+      std::condition_variable cv;
+      bool done = false;
+      std::string desc;
+      server_rt->PostTo(kShellMembershipAddr, [&]() {
+        desc = "epoch=" + std::to_string(membership.epoch()) + " nodes=[";
+        const std::vector<NodeId>& members = membership.nodes();
+        for (size_t i = 0; i < members.size(); ++i) {
+          desc += (i > 0 ? " " : "") + std::to_string(members[i]) + ":w" +
+                  std::to_string(membership.ring().WeightOf(members[i]));
+        }
+        desc += "]";
+        std::lock_guard<std::mutex> lock(mu);
+        done = true;
+        cv.notify_one();
+      });
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return done; });
+      std::printf("%s\n", desc.c_str());
+      continue;
+    }
+    if (cmd == "join") {
+      uint32_t weight = 0;
+      in >> weight;  // optional; 0 = default vnode count
+      const NodeId id = next_node_id++;
+      auto rt = std::make_unique<TcpRuntime>(&book);
+      auto node = std::make_unique<ChainReactionNode>(id, cfg, ring);
+      if (!data_dir.empty()) {
+        const Status st = node->EnableDurability(data_dir + "/n" + std::to_string(id),
+                                                 wal_options);
+        if (!st.ok()) {
+          std::printf("cannot open wal for node %llu: %s\n",
+                      static_cast<unsigned long long>(id), st.ToString().c_str());
+          next_node_id--;
+          continue;
+        }
+      }
+      node->AttachObs(&metrics, &traces);
+      node->AttachEnv(rt->Register(id, node.get()));
+      rt->Start();
+      joined_nodes.push_back(std::move(node));
+      joined_rts.push_back(std::move(rt));
+      std::printf("node %llu booted; streaming its key ranges...\n",
+                  static_cast<unsigned long long>(id));
+      if (run_plan([&]() { return coordinator.StartJoin(id, weight); }) == 0) {
+        std::printf("join rejected (already a member?)\n");
+        continue;
+      }
+      await_migration();
+      continue;
+    }
+    if (cmd == "drain") {
+      NodeId target = 0;
+      if (!(in >> target)) {
+        std::printf("usage: drain <node>\n");
+        continue;
+      }
+      if (run_plan([&]() { return coordinator.StartDrain(target); }) == 0) {
+        std::printf("drain rejected (unknown node, or it would drop below R?)\n");
+        continue;
+      }
+      std::printf("draining node %llu...\n", static_cast<unsigned long long>(target));
+      await_migration();
+      continue;
+    }
+    if (cmd == "rebalance") {
+      NodeId target = 0;
+      uint32_t weight = 0;
+      if (!(in >> target >> weight) || weight == 0) {
+        std::printf("usage: rebalance <node> <weight>\n");
+        continue;
+      }
+      if (run_plan([&]() { return coordinator.StartRebalance(target, weight); }) == 0) {
+        std::printf("rebalance rejected (unknown node or unchanged weight?)\n");
+        continue;
+      }
+      std::printf("rebalancing node %llu to weight %u...\n",
+                  static_cast<unsigned long long>(target), weight);
+      await_migration();
       continue;
     }
     if (cmd == "wal") {
@@ -414,6 +565,9 @@ int main(int argc, char** argv) {
     telemetry->Stop();  // before the loops: /status posts into them
   }
   client_rt->Stop();
+  for (auto& rt : joined_rts) {
+    rt->Stop();
+  }
   server_rt->Stop();
   std::printf("bye\n");
   return 0;

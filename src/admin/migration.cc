@@ -1,0 +1,386 @@
+#include "src/admin/migration.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/common/result.h"
+
+namespace chainreaction {
+
+void MigrationCoordinator::AttachObs(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    return;
+  }
+  m_started_ = metrics->GetCounter("crx_mig_started", {});
+  m_completed_ = metrics->GetCounter("crx_mig_completed", {});
+  m_aborted_ = metrics->GetCounter("crx_mig_aborted", {});
+  m_active_ = metrics->GetGauge("crx_mig_active", {});
+  m_pending_seals_ = metrics->GetGauge("crx_mig_pending_seals", {});
+}
+
+void MigrationCoordinator::Seed(uint64_t epoch, std::vector<NodeId> nodes,
+                                std::vector<uint32_t> weights) {
+  std::lock_guard<std::mutex> lock(mu_);
+  epoch_ = epoch;
+  nodes_ = std::move(nodes);
+  weights_ = std::move(weights);
+  if (weights_.empty()) {
+    weights_.assign(nodes_.size(), options_.vnodes);
+  }
+  CHAINRX_CHECK(weights_.size() == nodes_.size());
+  observed_epoch_.store(epoch_, std::memory_order_relaxed);
+}
+
+uint64_t MigrationCoordinator::StartJoin(NodeId node, uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) {
+    return 0;  // already a member
+  }
+  return EnqueueLocked(
+      Plan{0, PlanKind::kJoin, node, weight == 0 ? options_.vnodes : weight});
+}
+
+uint64_t MigrationCoordinator::StartDrain(NodeId node) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
+    return 0;  // not a member
+  }
+  // Count drains already queued so a burst cannot sink the ring below R.
+  size_t pending_drains = 0;
+  for (const Plan& p : queue_) {
+    pending_drains += p.kind == PlanKind::kDrain ? 1 : 0;
+  }
+  if (active_plan_ != nullptr && active_plan_->plan.kind == PlanKind::kDrain) {
+    pending_drains++;
+  }
+  if (nodes_.size() - pending_drains <= options_.replication) {
+    return 0;  // would break the chain length
+  }
+  return EnqueueLocked(Plan{0, PlanKind::kDrain, node, 0});
+}
+
+uint64_t MigrationCoordinator::StartRebalance(NodeId node, uint32_t weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || weight == 0) {
+    return 0;
+  }
+  if (weights_[static_cast<size_t>(it - nodes_.begin())] == weight) {
+    return 0;  // no-op
+  }
+  return EnqueueLocked(Plan{0, PlanKind::kRebalance, node, weight});
+}
+
+uint64_t MigrationCoordinator::EnqueueLocked(Plan plan) {
+  // Ids embed the epoch so a coordinator restart never reuses a live id.
+  plan.id = (epoch_ << 16) | (++next_plan_seq_ & 0xFFFF);
+  queue_.push_back(plan);
+  if (active_plan_ == nullptr) {
+    StartNextLocked();
+  }
+  return plan.id;
+}
+
+void MigrationCoordinator::StartNextLocked() {
+  if (active_plan_ != nullptr || queue_.empty()) {
+    return;
+  }
+  active_plan_ = std::make_unique<Active>();
+  active_plan_->plan = queue_.front();
+  queue_.pop_front();
+  active_.store(true, std::memory_order_release);
+  if (m_active_ != nullptr) {
+    m_active_->Set(1);
+  }
+  LaunchLocked();
+}
+
+bool MigrationCoordinator::PlanTopologyLocked(const Plan& plan, std::vector<NodeId>* nodes,
+                                              std::vector<uint32_t>* weights) const {
+  *nodes = nodes_;
+  *weights = weights_;
+  switch (plan.kind) {
+    case PlanKind::kJoin:
+      if (std::find(nodes->begin(), nodes->end(), plan.node) != nodes->end()) {
+        return false;
+      }
+      nodes->push_back(plan.node);
+      weights->push_back(plan.weight);
+      return true;
+    case PlanKind::kDrain: {
+      auto it = std::find(nodes->begin(), nodes->end(), plan.node);
+      if (it == nodes->end() || nodes->size() <= options_.replication) {
+        return false;
+      }
+      weights->erase(weights->begin() + (it - nodes->begin()));
+      nodes->erase(it);
+      return true;
+    }
+    case PlanKind::kRebalance: {
+      auto it = std::find(nodes->begin(), nodes->end(), plan.node);
+      if (it == nodes->end()) {
+        return false;
+      }
+      (*weights)[static_cast<size_t>(it - nodes->begin())] = plan.weight;
+      return true;
+    }
+  }
+  return false;
+}
+
+void MigrationCoordinator::LaunchLocked() {
+  CHAINRX_CHECK(env_ != nullptr);
+  Active& a = *active_plan_;
+  if (!PlanTopologyLocked(a.plan, &a.planned_nodes, &a.planned_weights)) {
+    AbortLocked("plan no longer applies");
+    return;
+  }
+  a.from_epoch = epoch_;
+  a.planned_epoch = epoch_ + 1;
+  a.started_at = env_->Now();
+  if (m_started_ != nullptr) {
+    m_started_->Inc();
+  }
+  LOG_INFO("migration %llu: kind=%d node=%u epoch %llu -> %llu",
+           static_cast<unsigned long long>(a.plan.id), static_cast<int>(a.plan.kind),
+           a.plan.node, static_cast<unsigned long long>(a.from_epoch),
+           static_cast<unsigned long long>(a.planned_epoch));
+
+  // Every current member is a potential source (each streams the keys it
+  // heads); each reports which targets it actually fed.
+  MigSnapshotRequest req;
+  req.migration_id = a.plan.id;
+  req.epoch = a.from_epoch;
+  req.planned_epoch = a.planned_epoch;
+  req.planned_nodes = a.planned_nodes;
+  req.planned_weights = a.planned_weights;
+  req.coordinator = options_.self;
+  req.batch_keys = options_.batch_keys;
+  req.batch_interval = static_cast<uint64_t>(options_.batch_interval);
+  const std::string payload = EncodeMessage(req);
+  for (NodeId node : nodes_) {
+    a.pending_sources.insert(node);
+    env_->Send(node, payload);
+  }
+
+  const uint64_t id = a.plan.id;
+  a.timeout_timer = env_->Schedule(options_.timeout, [this, id]() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_plan_ != nullptr && active_plan_->plan.id == id) {
+      active_plan_->timeout_timer = 0;
+      AbortLocked("timeout");
+    }
+  });
+}
+
+void MigrationCoordinator::AbortAll(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHAINRX_CHECK(env_ != nullptr);
+  // Wildcard abort: nodes drop ANY active migration state, including
+  // sessions a previous coordinator incarnation left behind.
+  MigAbort abort_msg;
+  abort_msg.migration_id = 0;
+  abort_msg.reason = reason;
+  const std::string payload = EncodeMessage(abort_msg);
+  for (NodeId node : nodes_) {
+    env_->Send(node, payload);
+  }
+  queue_.clear();
+  if (active_plan_ != nullptr) {
+    AbortLocked(reason);
+  }
+}
+
+void MigrationCoordinator::AbortLocked(const std::string& reason) {
+  Active& a = *active_plan_;
+  LOG_WARN("migration %llu: aborted (%s)", static_cast<unsigned long long>(a.plan.id),
+           reason.c_str());
+  MigAbort abort_msg;
+  abort_msg.migration_id = a.plan.id;
+  abort_msg.reason = reason;
+  const std::string payload = EncodeMessage(abort_msg);
+  for (NodeId node : nodes_) {
+    env_->Send(node, payload);
+  }
+  last_outcome_ = "aborted: " + reason;
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  if (m_aborted_ != nullptr) {
+    m_aborted_->Inc();
+  }
+  FinishLocked(/*success=*/false);
+}
+
+void MigrationCoordinator::FinishLocked(bool success) {
+  Active& a = *active_plan_;
+  if (a.timeout_timer != 0) {
+    env_->CancelTimer(a.timeout_timer);
+  }
+  if (success) {
+    last_outcome_ = "completed";
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    if (m_completed_ != nullptr) {
+      m_completed_->Inc();
+    }
+  }
+  active_plan_.reset();
+  if (m_active_ != nullptr) {
+    m_active_->Set(0);
+  }
+  if (m_pending_seals_ != nullptr) {
+    m_pending_seals_->Set(0);
+  }
+  active_.store(false, std::memory_order_release);
+  StartNextLocked();
+}
+
+void MigrationCoordinator::MaybeCommitLocked() {
+  Active& a = *active_plan_;
+  if (a.committed || !a.pending_sources.empty()) {
+    return;
+  }
+  size_t missing = 0;
+  for (const auto& pair : a.expected_seals) {
+    missing += a.seals.count(pair) == 0 ? 1 : 0;
+  }
+  if (m_pending_seals_ != nullptr) {
+    m_pending_seals_->Set(static_cast<int64_t>(missing));
+  }
+  if (missing > 0) {
+    return;
+  }
+  // Every stream SEALED: flip the epoch. Completion is the observed
+  // MemNewMembership broadcast, not the send.
+  a.committed = true;
+  MigCommit commit;
+  commit.migration_id = a.plan.id;
+  commit.planned_epoch = a.planned_epoch;
+  commit.nodes = a.planned_nodes;
+  commit.weights = a.planned_weights;
+  commit.pre_synced.assign(a.pre_synced.begin(), a.pre_synced.end());
+  if (a.plan.kind == PlanKind::kJoin) {
+    // The joining node is always pre-synced even when it received no data
+    // (empty ring segment): repair must not wait on pushes to it.
+    if (std::find(commit.pre_synced.begin(), commit.pre_synced.end(), a.plan.node) ==
+        commit.pre_synced.end()) {
+      commit.pre_synced.push_back(a.plan.node);
+    }
+  }
+  env_->Send(options_.membership, EncodeMessage(commit));
+}
+
+void MigrationCoordinator::HandleSnapshotDone(const MigSnapshotDone& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_plan_ == nullptr || active_plan_->plan.id != msg.migration_id) {
+    return;  // stale report from an earlier migration
+  }
+  if (msg.aborted) {
+    AbortLocked("source " + std::to_string(msg.from) + " refused (stale epoch)");
+    return;
+  }
+  Active& a = *active_plan_;
+  a.pending_sources.erase(msg.from);
+  for (NodeId target : msg.targets) {
+    a.expected_seals.insert({msg.from, target});
+    a.pre_synced.insert(target);
+  }
+  MaybeCommitLocked();
+}
+
+void MigrationCoordinator::HandleRangeSealed(const MigRangeSealed& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_plan_ == nullptr || active_plan_->plan.id != msg.migration_id) {
+    return;
+  }
+  active_plan_->seals.insert({msg.source, msg.target});
+  MaybeCommitLocked();
+}
+
+void MigrationCoordinator::HandleNewMembership(const MemNewMembership& msg) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (msg.epoch <= epoch_) {
+    return;
+  }
+  epoch_ = msg.epoch;
+  nodes_ = msg.nodes;
+  weights_ = msg.weights;
+  if (weights_.empty()) {
+    weights_.assign(nodes_.size(), options_.vnodes);
+  }
+  observed_epoch_.store(epoch_, std::memory_order_relaxed);
+  if (active_plan_ == nullptr) {
+    return;
+  }
+  Active& a = *active_plan_;
+  if (a.committed && msg.epoch == a.planned_epoch) {
+    LOG_INFO("migration %llu: committed at epoch %llu in %lld us",
+             static_cast<unsigned long long>(a.plan.id),
+             static_cast<unsigned long long>(msg.epoch),
+             static_cast<long long>(env_->Now() - a.started_at));
+    FinishLocked(/*success=*/true);
+    return;
+  }
+  // An epoch the plan did not predict landed mid-flight (a crash was
+  // detected, or another authority reconfigured the ring). The membership
+  // service will reject our commit — fold the migration.
+  AbortLocked("unexpected epoch " + std::to_string(msg.epoch));
+}
+
+void MigrationCoordinator::OnMessage(Address /*from*/, const std::string& payload) {
+  switch (PeekType(payload)) {
+    case MsgType::kMigSnapshotDone: {
+      MigSnapshotDone m;
+      if (DecodeMessage(payload, &m)) {
+        HandleSnapshotDone(m);
+      }
+      break;
+    }
+    case MsgType::kMigRangeSealed: {
+      MigRangeSealed m;
+      if (DecodeMessage(payload, &m)) {
+        HandleRangeSealed(m);
+      }
+      break;
+    }
+    case MsgType::kMemNewMembership: {
+      MemNewMembership m;
+      if (DecodeMessage(payload, &m)) {
+        HandleNewMembership(m);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::string MigrationCoordinator::StatusJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"epoch\":" + std::to_string(epoch_) +
+                    ",\"queued\":" + std::to_string(queue_.size()) +
+                    ",\"completed\":" + std::to_string(completed_.load()) +
+                    ",\"aborted\":" + std::to_string(aborted_.load());
+  if (active_plan_ != nullptr) {
+    const Active& a = *active_plan_;
+    size_t missing = 0;
+    for (const auto& pair : a.expected_seals) {
+      missing += a.seals.count(pair) == 0 ? 1 : 0;
+    }
+    const char* state = a.committed          ? "commit"
+                        : !a.pending_sources.empty() ? "snapshot"
+                        : missing > 0        ? "catchup"
+                                             : "sealed";
+    out += ",\"active\":{\"id\":" + std::to_string(a.plan.id) +
+           ",\"kind\":" + std::to_string(static_cast<int>(a.plan.kind)) +
+           ",\"node\":" + std::to_string(a.plan.node) +
+           ",\"state\":\"" + state + "\"" +
+           ",\"planned_epoch\":" + std::to_string(a.planned_epoch) +
+           ",\"pending_sources\":" + std::to_string(a.pending_sources.size()) +
+           ",\"pending_seals\":" + std::to_string(missing) + "}";
+  } else {
+    out += ",\"last\":\"" + last_outcome_ + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace chainreaction

@@ -1,0 +1,152 @@
+// Planned topology changes: the migration coordinator.
+//
+// Crash-driven reconfiguration (membership failure detection + RepairChains)
+// keeps the ring correct, but a *planned* change — adding capacity, draining
+// a node for maintenance, shifting hot ring arcs — should not lean on the
+// repair storm: the data can move BEFORE the epoch flips. The coordinator
+// drives that per-range state machine:
+//
+//   PLAN      pick the target node list + weights, planned_epoch = epoch+1
+//   SNAPSHOT  every current node bulk-streams the keys it heads whose
+//             planned chain gains members (MigSnapshotRequest/MigKeyBatch)
+//   CATCHUP   sources mirror live writes + stability marks to the same
+//             targets until the epoch flips (WAL-tail shipping equivalent)
+//   SEALED    each (source, target) stream is closed with a `last` batch
+//             and acknowledged by the target (MigRangeSealed)
+//   COMMIT    MigCommit -> membership service flips the epoch and
+//             broadcasts the new ring with the pre-synced node set, so
+//             chain repair skips re-pushing what migration already moved
+//
+// One migration runs at a time; later requests queue. A migration aborts —
+// cleanly, leaving targets with harmless idempotent versions — when a source
+// refuses (stale epoch), when an unplanned epoch lands mid-flight (crash
+// detected), or when the stall timeout fires.
+#ifndef SRC_ADMIN_MIGRATION_H_
+#define SRC_ADMIN_MIGRATION_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/msg/message.h"
+#include "src/obs/metrics.h"
+#include "src/sim/env.h"
+
+namespace chainreaction {
+
+class MigrationCoordinator : public Actor {
+ public:
+  struct Options {
+    uint32_t vnodes = 16;
+    uint32_t replication = 3;
+    Address self = 0;           // this coordinator's own address (replies)
+    Address membership = 0;     // membership service to commit through
+    uint32_t batch_keys = 64;   // keys per source streaming tick
+    Duration batch_interval = 0;
+    // A migration that has not committed after this long is aborted.
+    Duration timeout = 5 * kSecond;
+  };
+
+  explicit MigrationCoordinator(Options options) : options_(options) {}
+
+  void AttachEnv(Env* env) { env_ = env; }
+  void AttachObs(MetricsRegistry* metrics);
+
+  // Seeds the membership view. The coordinator also tracks it live from
+  // MemNewMembership broadcasts — register it as a membership listener.
+  void Seed(uint64_t epoch, std::vector<NodeId> nodes, std::vector<uint32_t> weights);
+
+  // Planned operations. Return the migration id (0 = rejected outright:
+  // unknown/duplicate node, or draining below the replication factor).
+  // If another migration is active the plan queues behind it.
+  // `weight` 0 means the default vnode count.
+  uint64_t StartJoin(NodeId node, uint32_t weight = 0);
+  uint64_t StartDrain(NodeId node);
+  uint64_t StartRebalance(NodeId node, uint32_t weight);
+
+  // Abort whatever is active AND tell every node to drop any migration
+  // state, including sessions from a previous coordinator incarnation
+  // (wildcard migration_id 0). Used after a coordinator restart.
+  void AbortAll(const std::string& reason);
+
+  // Cross-thread introspection (TCP runtime polls from the driver thread).
+  bool idle() const { return !active_.load(std::memory_order_acquire); }
+  uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  uint64_t aborted() const { return aborted_.load(std::memory_order_relaxed); }
+  uint64_t observed_epoch() const { return observed_epoch_.load(std::memory_order_relaxed); }
+
+  // Current migration (or last outcome) as a JSON object for /status.
+  std::string StatusJson() const;
+
+  void OnMessage(Address from, const std::string& payload) override;
+
+ private:
+  enum class PlanKind { kJoin, kDrain, kRebalance };
+  struct Plan {
+    uint64_t id = 0;
+    PlanKind kind = PlanKind::kJoin;
+    NodeId node = 0;
+    uint32_t weight = 0;
+  };
+  struct Active {
+    Plan plan;
+    uint64_t from_epoch = 0;
+    uint64_t planned_epoch = 0;
+    std::vector<NodeId> planned_nodes;
+    std::vector<uint32_t> planned_weights;
+    std::set<NodeId> pending_sources;           // awaiting MigSnapshotDone
+    std::set<std::pair<NodeId, NodeId>> expected_seals;
+    std::set<std::pair<NodeId, NodeId>> seals;  // may arrive before the done
+    std::set<NodeId> pre_synced;                // union of stream targets
+    bool committed = false;                     // MigCommit sent, flip pending
+    uint64_t timeout_timer = 0;
+    Time started_at = 0;
+  };
+
+  // All Locked() helpers assume mu_ is held.
+  uint64_t EnqueueLocked(Plan plan);
+  void StartNextLocked();
+  void LaunchLocked();
+  void MaybeCommitLocked();
+  void AbortLocked(const std::string& reason);
+  void FinishLocked(bool success);
+  bool PlanTopologyLocked(const Plan& plan, std::vector<NodeId>* nodes,
+                          std::vector<uint32_t>* weights) const;
+
+  void HandleSnapshotDone(const MigSnapshotDone& msg);
+  void HandleRangeSealed(const MigRangeSealed& msg);
+  void HandleNewMembership(const MemNewMembership& msg);
+
+  Options options_;
+  Env* env_ = nullptr;
+
+  mutable std::mutex mu_;
+  uint64_t epoch_ = 0;
+  std::vector<NodeId> nodes_;
+  std::vector<uint32_t> weights_;
+  uint64_t next_plan_seq_ = 0;
+  std::deque<Plan> queue_;
+  std::unique_ptr<Active> active_plan_;
+  std::string last_outcome_ = "none";
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> observed_epoch_{0};
+
+  Counter* m_started_ = nullptr;
+  Counter* m_completed_ = nullptr;
+  Counter* m_aborted_ = nullptr;
+  Gauge* m_active_ = nullptr;
+  Gauge* m_pending_seals_ = nullptr;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_ADMIN_MIGRATION_H_

@@ -211,7 +211,7 @@ void ChainReactionClient::OnMessage(Address /*from*/, const std::string& payload
     case MsgType::kMemNewMembership: {
       MemNewMembership m;
       if (DecodeMessage(payload, &m) && m.epoch > ring_.epoch()) {
-        ring_ = Ring(m.nodes, config_.vnodes, config_.replication, m.epoch);
+        ring_ = Ring(m.nodes, config_.vnodes, config_.replication, m.epoch, m.weights);
       }
       break;
     }

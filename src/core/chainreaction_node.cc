@@ -221,6 +221,9 @@ void ChainReactionNode::AttachObs(MetricsRegistry* metrics, TraceCollector* trac
   m_engine_log_bytes_ = metrics->GetGauge("crx_engine_log_bytes", node_label);
   m_engine_compactions_ = metrics->GetCounter("crx_engine_compactions_total", node_label);
   m_engine_cache_hit_ratio_ = metrics->GetGauge("crx_engine_cache_hit_ratio", node_label);
+  m_mig_entries_out_ = metrics->GetCounter("crx_mig_entries_streamed", node_label);
+  m_mig_entries_in_ = metrics->GetCounter("crx_mig_entries_applied", node_label);
+  m_mig_source_active_ = metrics->GetGauge("crx_mig_source_active", node_label);
   RefreshStoreGauges();
 }
 
@@ -332,6 +335,27 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
       MemSyncDone m;
       if (DecodeMessage(payload, &m)) {
         HandleSyncDone(m);
+      }
+      break;
+    }
+    case MsgType::kMigSnapshotRequest: {
+      MigSnapshotRequest m;
+      if (DecodeMessage(payload, &m)) {
+        HandleMigSnapshotRequest(m);
+      }
+      break;
+    }
+    case MsgType::kMigKeyBatch: {
+      MigKeyBatch m;
+      if (DecodeMessage(payload, &m)) {
+        HandleMigKeyBatch(m);
+      }
+      break;
+    }
+    case MsgType::kMigAbort: {
+      MigAbort m;
+      if (DecodeMessage(payload, &m)) {
+        HandleMigAbort(m);
       }
       break;
     }
@@ -558,6 +582,14 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
     return applied;  // no longer a replica of this key (stale traffic)
   }
 
+  // Migration catch-up mirror: while a planned transfer is active, the head
+  // forwards every applied write to the key's future replicas so the bulk
+  // snapshot stays current until the epoch flips. Before the value is moved
+  // down-chain below.
+  if (applied && pos == 1 && mig_src_ != nullptr) {
+    MirrorMigrationEntry(key, /*has_value=*/true, value, version, /*stable=*/false, deps);
+  }
+
   // Annotate only newly applied versions so retries and anti-entropy
   // re-propagation do not duplicate hops (the collector dedups exact
   // re-reports anyway, but a retry would carry a distinct timestamp).
@@ -665,6 +697,11 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
   ResolveUnstableHead(key);
   TraceHopAndReport(&trace, trace_sink_, HopKind::kTailStable, id_, config_.local_dc,
                     config_.replication, env_->Now());
+  if (mig_src_ != nullptr && config_.replication == 1) {
+    // Single-node chains: the head IS the tail, so the backward notify that
+    // would mirror the stability mark never happens — mirror it here.
+    MirrorMigrationEntry(key, /*has_value=*/false, Value(), version, /*stable=*/true, {});
+  }
 
   if (config_.replication > 1) {
     if (config_.stable_notify_delay <= 0) {
@@ -769,6 +806,12 @@ void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg) {
   ResolveUnstableHead(msg.key);
 
   const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos == 1 && mig_src_ != nullptr) {
+    // Mirror the stability mark to the key's future replicas so they can
+    // serve dependency checks and geo shipping right after cutover.
+    MirrorMigrationEntry(msg.key, /*has_value=*/false, Value(), msg.version,
+                         /*stable=*/true, {});
+  }
   if (pos > 1) {
     const NodeId pred = ring_.PredecessorFor(msg.key, id_);
     if (pred != kInvalidNode) {
@@ -1013,48 +1056,96 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
     return;
   }
   const Ring old_ring = ring_;
-  ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch);
+  ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch, msg.weights);
   events_.Emit(EventKind::kEpochChange, env_->Now(), static_cast<int64_t>(msg.epoch),
                static_cast<int64_t>(msg.nodes.size()));
+  if (mig_src_ != nullptr) {
+    // Any epoch change ends the catch-up mirror: either this is our
+    // migration's commit (the targets are chain members now, fed by normal
+    // propagation) or the plan went stale and the coordinator will abort.
+    mig_src_.reset();
+    if (m_mig_source_active_ != nullptr) {
+      m_mig_source_active_->Set(0);
+    }
+  }
+  // Inflow sessions two epochs back can no longer receive legitimate
+  // stragglers (their source's marker passed long ago); drop the bookkeeping.
+  for (auto it = mig_inflows_.begin(); it != mig_inflows_.end();) {
+    it = it->second.created_epoch + 1 < msg.epoch ? mig_inflows_.erase(it) : ++it;
+  }
   if (!ring_.Contains(id_)) {
-    return;  // this node was removed; it will receive no further traffic
+    // This node was removed (drain/leave, or oracle removal while still
+    // alive). Before going passive, hand unfinished headship duties to the
+    // new heads: unstable versions this node minted would otherwise be
+    // re-driven by nobody — anti-entropy keys off *current* headship, and
+    // the new head may have received them only via migration (which does
+    // not register them for re-propagation).
+    std::vector<Key> keys;
+    keys.reserve(store_.KeyCount());
+    store_.ForEachKey([&keys](const Key& key, const StoredVersion&) { keys.push_back(key); });
+    for (const Key& key : keys) {
+      if (old_ring.PositionOf(key, id_) != 1) {
+        continue;
+      }
+      for (const StoredVersion& sv : store_.UnstableVersions(key)) {
+        CrxChainPut fwd;
+        fwd.key = key;
+        fwd.value = sv.value;
+        fwd.version = sv.version;
+        fwd.client = 0;
+        fwd.req = 0;
+        fwd.ack_at = 0;
+        fwd.epoch = ring_.epoch();
+        fwd.deps = sv.deps;
+        env_->Send(ring_.HeadFor(key), EncodeMessage(fwd));
+      }
+    }
+    unstable_head_keys_.clear();
+    return;  // no further traffic for this node
   }
   if (config_.rejoin_grace > 0) {
     // Guard reads of keys whose chain we just joined until repair syncs
     // have had time to land (see IsJoinGuarded).
-    join_guards_.push_back({old_ring, env_->Now() + config_.rejoin_grace});
+    join_guards_.push_back({old_ring, env_->Now() + config_.rejoin_grace, msg.epoch});
     env_->Schedule(config_.rejoin_grace, [this]() { DrainGuardedGets(); });
-  }
-  if (!old_ring.Contains(id_) && config_.rejoin_grace > 0) {
-    // This epoch re-adds us after a crash-restart: hold client puts (and
-    // guarded reads) until every established peer signals that its repair
-    // pushes for this epoch are complete (MemSyncDone; links are FIFO, so
-    // the marker arrives after the pushes). Under load the repair storm can
-    // far outlast any fixed window, so the timer below is only a fallback
-    // against lost markers, not the primary drain trigger.
-    rejoin_until_ = env_->Now() + config_.rejoin_grace;
+    // Completion-based drain, every epoch and every node: each peer sends a
+    // MemSyncDone marker after its repair pushes for this epoch (links are
+    // FIFO, so the marker follows the pushes). Once all live peers report,
+    // this epoch's guards drop without waiting out the time window — under
+    // a planned migration that is the difference between a ~1 RTT cutover
+    // and a quarter second of parked writes. Dead peers never report; the
+    // window remains the fallback.
     rejoin_pending_peers_ = static_cast<uint32_t>(ring_.nodes().size()) - 1;
     auto early = sync_done_early_.find(ring_.epoch());
     if (early != sync_done_early_.end()) {
       rejoin_pending_peers_ -= std::min(rejoin_pending_peers_, early->second);
-      sync_done_early_.erase(early);
     }
-    env_->Schedule(config_.rejoin_grace, [this]() {
-      if (env_->Now() < rejoin_until_) {
-        return;  // a later epoch extended the window; its timer will drain
-      }
-      if (rejoin_pending_peers_ > 0) {
-        DrainRejoin();
-      }
-    });
+    // Early-marker credit for this epoch is consumed; older slots are stale.
+    for (auto it = sync_done_early_.begin(); it != sync_done_early_.end();) {
+      it = it->first <= msg.epoch ? sync_done_early_.erase(it) : ++it;
+    }
+    if (!old_ring.Contains(id_)) {
+      // This epoch re-adds us after a crash-restart: additionally hold ALL
+      // client puts — the recovered store may be behind on any key, and
+      // assigning versions from a stale per-key vv would fork the order.
+      rejoin_until_ = env_->Now() + config_.rejoin_grace;
+      env_->Schedule(config_.rejoin_grace, [this]() {
+        if (env_->Now() < rejoin_until_) {
+          return;  // a later epoch extended the window; its timer will drain
+        }
+        if (rejoin_pending_peers_ > 0) {
+          DrainRejoin();
+        }
+      });
+    }
     if (rejoin_pending_peers_ == 0) {
       DrainRejoin();  // every peer's marker beat our membership notification
     }
   }
-  RepairChains(old_ring);
-  // Tell nodes added in this epoch that our repair pushes are all sent.
+  RepairChains(old_ring, msg.pre_synced);
+  // Tell every peer our repair pushes for this epoch are all sent.
   for (NodeId n : ring_.nodes()) {
-    if (n != id_ && !old_ring.Contains(n)) {
+    if (n != id_) {
       MemSyncDone done_msg;
       done_msg.epoch = ring_.epoch();
       done_msg.from = id_;
@@ -1101,7 +1192,11 @@ void ChainReactionNode::DrainGuardedGets() {
   }
 }
 
-void ChainReactionNode::RepairChains(const Ring& old_ring) {
+void ChainReactionNode::RepairChains(const Ring& old_ring,
+                                     const std::vector<NodeId>& pre_synced) {
+  const auto is_pre_synced = [&pre_synced](NodeId n) {
+    return std::find(pre_synced.begin(), pre_synced.end(), n) != pre_synced.end();
+  };
   // Collect keys first: repair sends messages but must not mutate the store.
   std::vector<Key> keys;
   keys.reserve(store_.KeyCount());
@@ -1111,11 +1206,35 @@ void ChainReactionNode::RepairChains(const Ring& old_ring) {
 
   uint64_t chains_touched = 0;
   for (const Key& key : keys) {
-    const std::vector<NodeId>& chain = ring_.ChainFor(key);
     const ChainIndex pos = ring_.PositionOf(key, id_);
+
+    // Headship handoff: a planned rebalance/drain can move a key's head
+    // slot away from this (live) node while it holds unstable versions.
+    // Nobody else re-drives those — anti-entropy keys off *current*
+    // headship, and a pre-synced new head received them via migration
+    // without registering them for re-propagation — so push them to the
+    // new head, which propagates down-chain (idempotently) until the tail
+    // stabilizes them.
+    if (pos != 1 && old_ring.PositionOf(key, id_) == 1) {
+      for (const StoredVersion& sv : store_.UnstableVersions(key)) {
+        CrxChainPut fwd;
+        fwd.key = key;
+        fwd.value = sv.value;
+        fwd.version = sv.version;
+        fwd.client = 0;
+        fwd.req = 0;
+        fwd.ack_at = 0;
+        fwd.epoch = ring_.epoch();
+        fwd.deps = sv.deps;
+        env_->Send(ring_.HeadFor(key), EncodeMessage(fwd));
+      }
+      unstable_head_keys_.erase(key);
+    }
+
     if (pos == 0) {
       continue;
     }
+    const std::vector<NodeId>& chain = ring_.ChainFor(key);
     chains_touched++;
 
     // New head re-propagates everything not yet DC-Write-Stable so that
@@ -1137,12 +1256,15 @@ void ChainReactionNode::RepairChains(const Ring& old_ring) {
 
     // The predecessor of a freshly added chain member transfers the newest
     // stable version (unstable ones flow through the head re-propagation).
+    // Members the migration pre-synced already hold it — skipping them is
+    // what turns a planned cutover into a handful of messages instead of a
+    // full repair storm.
     const std::vector<NodeId>& old_chain = old_ring.ChainFor(key);
     for (size_t i = 1; i < chain.size(); ++i) {
       const NodeId member = chain[i];
       const bool is_new =
           std::find(old_chain.begin(), old_chain.end(), member) == old_chain.end();
-      if (is_new && chain[i - 1] == id_) {
+      if (is_new && chain[i - 1] == id_ && !is_pre_synced(member)) {
         if (const StoredVersion* stable = store_.LatestStable(key)) {
           MemSyncKey sync;
           sync.epoch = ring_.epoch();
@@ -1164,7 +1286,8 @@ void ChainReactionNode::RepairChains(const Ring& old_ring) {
     // down the chain (idempotently) until the tail stabilizes them.
     if (chain.size() > 1 && chain[1] == id_ &&
         std::find(old_chain.begin(), old_chain.end(), chain[0]) == old_chain.end()) {
-      if (const StoredVersion* stable = store_.LatestStable(key)) {
+      if (const StoredVersion* stable = store_.LatestStable(key);
+          stable != nullptr && !is_pre_synced(chain[0])) {
         MemSyncKey sync;
         sync.epoch = ring_.epoch();
         sync.key = key;
@@ -1230,11 +1353,16 @@ void ChainReactionNode::DrainRejoin() {
   events_.Emit(EventKind::kGuardDrain, env_->Now(),
                static_cast<int64_t>(rejoin_buffered_puts_.size() + join_guarded_gets_.size()),
                static_cast<int64_t>(ring_.epoch()));
-  // The rejoin guards are the ones whose old ring lacked this node; repair
-  // is complete for them, so reads no longer need escalation.
+  // Drop the guards repair completion covers: the current epoch's guard
+  // (every live peer reported its pushes sent — FIFO links mean the pushes
+  // arrived first, and a peer's current-epoch marker also follows its
+  // pushes for every earlier epoch on the same link), plus any rejoin
+  // guard (old ring lacked this node). Other old-epoch guards keep their
+  // time fallback: their membership may have included peers that are gone.
   join_guards_.erase(std::remove_if(join_guards_.begin(), join_guards_.end(),
                                     [this](const ChainJoinGuard& g) {
-                                      return !g.old_ring.Contains(id_);
+                                      return g.epoch == ring_.epoch() ||
+                                             !g.old_ring.Contains(id_);
                                     }),
                      join_guards_.end());
   std::vector<CrxPut> parked = std::move(rejoin_buffered_puts_);
@@ -1243,6 +1371,256 @@ void ChainReactionNode::DrainRejoin() {
     HandlePut(std::move(put));
   }
   DrainGuardedGets();
+}
+
+std::vector<NodeId> ChainReactionNode::MigrationTargetsFor(const Key& key) const {
+  std::vector<NodeId> targets;
+  if (mig_src_ == nullptr || ring_.PositionOf(key, id_) != 1) {
+    return targets;
+  }
+  const std::vector<NodeId>& current = ring_.ChainFor(key);
+  for (NodeId member : mig_src_->planned_ring.ChainFor(key)) {
+    if (std::find(current.begin(), current.end(), member) == current.end()) {
+      targets.push_back(member);
+    }
+  }
+  return targets;
+}
+
+void ChainReactionNode::HandleMigSnapshotRequest(const MigSnapshotRequest& msg) {
+  if (msg.epoch != ring_.epoch() || msg.planned_epoch <= ring_.epoch()) {
+    // Stale plan: the ring moved after the coordinator drew it up. Refuse,
+    // so the coordinator aborts instead of committing a layout that nobody
+    // actually streamed data for.
+    MigSnapshotDone done;
+    done.migration_id = msg.migration_id;
+    done.from = id_;
+    done.aborted = true;
+    env_->Send(msg.coordinator, EncodeMessage(done));
+    return;
+  }
+  mig_src_ = std::make_unique<MigrationSource>();
+  mig_src_->migration_id = msg.migration_id;
+  mig_src_->epoch = msg.epoch;
+  mig_src_->planned_epoch = msg.planned_epoch;
+  mig_src_->planned_ring = Ring(msg.planned_nodes, config_.vnodes, config_.replication,
+                                msg.planned_epoch, msg.planned_weights);
+  mig_src_->coordinator = msg.coordinator;
+  mig_src_->batch_keys = std::max<uint32_t>(1, msg.batch_keys);
+  mig_src_->batch_interval = static_cast<Duration>(msg.batch_interval);
+  // Snapshot queue: every key this node heads whose planned chain gains
+  // members. Keys written after this scan are covered by the live mirror.
+  store_.ForEachKey([this](const Key& key, const StoredVersion&) {
+    if (!MigrationTargetsFor(key).empty()) {
+      mig_src_->pending.push_back(key);
+    }
+  });
+  if (m_mig_source_active_ != nullptr) {
+    m_mig_source_active_->Set(1);
+  }
+  events_.Emit(EventKind::kMigSnapshot, env_->Now(),
+               static_cast<int64_t>(msg.migration_id),
+               static_cast<int64_t>(mig_src_->pending.size()));
+  StreamMigrationBatch();
+}
+
+void ChainReactionNode::StreamMigrationBatch() {
+  if (mig_src_ == nullptr || mig_src_->snapshot_done) {
+    return;
+  }
+  MigrationSource& src = *mig_src_;
+  do {
+    std::map<NodeId, MigKeyBatch> per_target;
+    uint32_t scanned = 0;
+    while (src.cursor < src.pending.size() && scanned < src.batch_keys) {
+      const Key& key = src.pending[src.cursor++];
+      scanned++;
+      const std::vector<NodeId> targets = MigrationTargetsFor(key);
+      if (targets.empty()) {
+        continue;  // re-checked live: chain ownership may have shifted
+      }
+      // Newest stable version (serves reads, dep checks, and geo shipping
+      // at the target) plus every unstable version with its dependency
+      // list (they may still stabilize or gate writes after cutover).
+      std::vector<MigEntry> entries;
+      if (const StoredVersion* stable = store_.LatestStable(key)) {
+        MigEntry e;
+        e.key = key;
+        e.value = stable->value;
+        e.version = stable->version;
+        e.stable = true;
+        e.deps = stable->deps;
+        entries.push_back(std::move(e));
+      }
+      for (const StoredVersion& sv : store_.UnstableVersions(key)) {
+        MigEntry e;
+        e.key = key;
+        e.value = sv.value;
+        e.version = sv.version;
+        e.stable = false;
+        e.deps = sv.deps;
+        entries.push_back(std::move(e));
+      }
+      if (entries.empty()) {
+        continue;
+      }
+      src.keys_streamed++;
+      for (NodeId target : targets) {
+        MigKeyBatch& batch = per_target[target];
+        batch.entries.insert(batch.entries.end(), entries.begin(), entries.end());
+      }
+    }
+    for (auto& [target, batch] : per_target) {
+      batch.migration_id = src.migration_id;
+      batch.epoch = ring_.epoch();
+      batch.source = id_;
+      batch.target = target;
+      batch.coordinator = src.coordinator;
+      batch.seq = ++src.next_seq[target];
+      src.targets.insert(target);
+      src.entries_streamed += batch.entries.size();
+      mig_entries_out_ += batch.entries.size();
+      if (m_mig_entries_out_ != nullptr) {
+        m_mig_entries_out_->Inc(static_cast<uint64_t>(batch.entries.size()));
+      }
+      env_->Send(target, EncodeMessage(batch));
+    }
+  } while (src.batch_interval <= 0 && src.cursor < src.pending.size());
+
+  if (src.cursor < src.pending.size()) {
+    const uint64_t id = src.migration_id;
+    env_->Schedule(src.batch_interval, [this, id]() {
+      if (mig_src_ != nullptr && mig_src_->migration_id == id) {
+        StreamMigrationBatch();
+      }
+    });
+    return;
+  }
+
+  // Bulk scan complete: close each stream with an (empty) `last` batch so
+  // the target seals it, then report to the coordinator. The mirror keeps
+  // feeding these targets until the epoch flips.
+  src.snapshot_done = true;
+  for (NodeId target : src.targets) {
+    MigKeyBatch batch;
+    batch.migration_id = src.migration_id;
+    batch.epoch = ring_.epoch();
+    batch.source = id_;
+    batch.target = target;
+    batch.coordinator = src.coordinator;
+    batch.seq = ++src.next_seq[target];
+    batch.last = true;
+    env_->Send(target, EncodeMessage(batch));
+  }
+  MigSnapshotDone done;
+  done.migration_id = src.migration_id;
+  done.from = id_;
+  done.keys_streamed = src.keys_streamed;
+  done.targets.assign(src.targets.begin(), src.targets.end());
+  env_->Send(src.coordinator, EncodeMessage(done));
+  events_.Emit(EventKind::kMigStreamDone, env_->Now(),
+               static_cast<int64_t>(src.migration_id),
+               static_cast<int64_t>(src.entries_streamed));
+}
+
+void ChainReactionNode::MirrorMigrationEntry(const Key& key, bool has_value, const Value& value,
+                                             const Version& version, bool stable,
+                                             const std::vector<Dependency>& deps) {
+  const std::vector<NodeId> targets = MigrationTargetsFor(key);
+  if (targets.empty()) {
+    return;
+  }
+  MigEntry entry;
+  entry.key = key;
+  entry.has_value = has_value;
+  entry.value = value;
+  entry.version = version;
+  entry.stable = stable;
+  entry.deps = deps;
+  for (NodeId target : targets) {
+    MigKeyBatch batch;
+    batch.migration_id = mig_src_->migration_id;
+    batch.epoch = ring_.epoch();
+    batch.source = id_;
+    batch.target = target;
+    batch.coordinator = mig_src_->coordinator;
+    batch.seq = ++mig_src_->next_seq[target];
+    batch.entries.push_back(entry);
+    mig_src_->entries_mirrored++;
+    mig_entries_out_++;
+    if (m_mig_entries_out_ != nullptr) {
+      m_mig_entries_out_->Inc();
+    }
+    env_->Send(target, EncodeMessage(batch));
+  }
+}
+
+void ChainReactionNode::HandleMigKeyBatch(const MigKeyBatch& msg) {
+  const auto session_key = std::make_pair(msg.migration_id, msg.source);
+  auto it = mig_inflows_.find(session_key);
+  if (it == mig_inflows_.end()) {
+    if (msg.epoch < ring_.epoch()) {
+      // A stream this node never admitted, stamped with an epoch that has
+      // already passed (e.g. a plan that predates a crash-driven
+      // reconfiguration): drop it. Known sessions, by contrast, accept
+      // stragglers across the flip — on the FIFO source link they precede
+      // the source's MemSyncDone marker, so they are part of the barrier.
+      return;
+    }
+    it = mig_inflows_.emplace(session_key, MigrationInflow{ring_.epoch(), 0, false}).first;
+  }
+  MigrationInflow& inflow = it->second;
+  for (const MigEntry& entry : msg.entries) {
+    if (entry.has_value) {
+      DurableApply(entry.key, entry.value, entry.version, entry.deps);
+      lamport_ = std::max(lamport_, entry.version.lamport);
+    }
+    if (entry.stable) {
+      DurableMarkStable(entry.key, entry.version);
+      stable_vv_[entry.key].MergeMax(entry.version.vv);
+      ResolveWatchers(entry.key);
+    }
+    ResolveDeferredGets(entry.key);
+    inflow.entries_applied++;
+    mig_entries_in_++;
+    if (m_mig_entries_in_ != nullptr) {
+      m_mig_entries_in_->Inc();
+    }
+  }
+  if (msg.last && !inflow.sealed) {
+    inflow.sealed = true;
+    MigRangeSealed sealed;
+    sealed.migration_id = msg.migration_id;
+    sealed.source = msg.source;
+    sealed.target = id_;
+    sealed.entries_applied = inflow.entries_applied;
+    env_->Send(msg.coordinator, EncodeMessage(sealed));
+    events_.Emit(EventKind::kMigSealed, env_->Now(),
+                 static_cast<int64_t>(msg.migration_id),
+                 static_cast<int64_t>(inflow.entries_applied));
+  }
+}
+
+void ChainReactionNode::HandleMigAbort(const MigAbort& msg) {
+  // migration_id 0 is the wildcard a restarted coordinator sends to clear
+  // sessions it no longer knows about.
+  if (mig_src_ != nullptr &&
+      (msg.migration_id == 0 || mig_src_->migration_id == msg.migration_id)) {
+    LOG_INFO("node %u: migration %llu aborted (%s)", id_,
+             static_cast<unsigned long long>(msg.migration_id), msg.reason.c_str());
+    mig_src_.reset();
+    if (m_mig_source_active_ != nullptr) {
+      m_mig_source_active_->Set(0);
+    }
+    events_.Emit(EventKind::kMigAborted, env_->Now(),
+                 static_cast<int64_t>(msg.migration_id), 0);
+  }
+  // Inflow bookkeeping goes; the applied entries stay — they are real,
+  // idempotent versions, harmless outside the chain.
+  for (auto it = mig_inflows_.begin(); it != mig_inflows_.end();) {
+    const bool match = msg.migration_id == 0 || it->first.first == msg.migration_id;
+    it = match ? mig_inflows_.erase(it) : ++it;
+  }
 }
 
 std::string ChainReactionNode::StatusJson() const {
@@ -1263,7 +1641,11 @@ std::string ChainReactionNode::StatusJson() const {
   }
   const StorageEngineStats es = store_.engine()->Stats();
   const uint64_t lookups = store_.cache_hits() + store_.cache_misses();
-  char buf[896];
+  // Per-range migration state: what the source still has queued vs already
+  // shipped, and how much this node absorbed as a target.
+  const size_t mig_pending =
+      mig_src_ != nullptr ? mig_src_->pending.size() - mig_src_->cursor : 0;
+  char buf[1152];
   std::snprintf(
       buf, sizeof(buf),
       "{\"node\":%u,\"dc\":%u,\"epoch\":%llu,"
@@ -1271,6 +1653,8 @@ std::string ChainReactionNode::StatusJson() const {
       "\"wal\":{\"enabled\":%s,\"active_seq\":%llu,\"appends\":%llu},"
       "\"rejoin\":{\"pending_peers\":%u,\"buffered_puts\":%zu,"
       "\"guarded_gets\":%zu,\"join_guards\":%zu},"
+      "\"migration\":{\"source_active\":%s,\"keys_pending\":%zu,"
+      "\"entries_out\":%llu,\"entries_in\":%llu,\"inflows\":%zu},"
       "\"store\":{\"engine\":\"%s\",\"resident_versions\":%llu,"
       "\"resident_bytes\":%llu,\"log_bytes\":%llu,\"compactions\":%llu,"
       "\"cache_hit_pct\":%llu},"
@@ -1282,7 +1666,10 @@ std::string ChainReactionNode::StatusJson() const {
       static_cast<unsigned long long>(wal_ != nullptr ? wal_->active_seq() : 0),
       static_cast<unsigned long long>(wal_ != nullptr ? wal_->appends() : 0),
       rejoin_pending_peers_, rejoin_buffered_puts_.size(), join_guarded_gets_.size(),
-      join_guards_.size(), StorageEngineKindName(store_.engine()->kind()),
+      join_guards_.size(), mig_src_ != nullptr ? "true" : "false", mig_pending,
+      static_cast<unsigned long long>(mig_entries_out_),
+      static_cast<unsigned long long>(mig_entries_in_), mig_inflows_.size(),
+      StorageEngineKindName(store_.engine()->kind()),
       static_cast<unsigned long long>(store_.resident_versions()),
       static_cast<unsigned long long>(store_.resident_bytes()),
       static_cast<unsigned long long>(es.log_bytes),

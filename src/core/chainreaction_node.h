@@ -180,6 +180,22 @@ class ChainReactionNode : public Actor {
   void HandleSyncKey(const MemSyncKey& msg);
   void HandleSyncDone(const MemSyncDone& msg);
 
+  // Planned-migration duties (key-range transfer, see src/admin/): the
+  // source streams a snapshot of the keys it heads that gain replicas in
+  // the planned ring, then mirrors live writes and stability marks to those
+  // targets (CATCHUP) until the epoch flips or the coordinator aborts.
+  void HandleMigSnapshotRequest(const MigSnapshotRequest& msg);
+  void HandleMigKeyBatch(const MigKeyBatch& msg);
+  void HandleMigAbort(const MigAbort& msg);
+  void StreamMigrationBatch();
+  // Planned-chain members that are not in the key's current chain (i.e.
+  // would miss the data without a transfer). Empty when no migration is
+  // active or this node does not head the key.
+  std::vector<NodeId> MigrationTargetsFor(const Key& key) const;
+  void MirrorMigrationEntry(const Key& key, bool has_value, const Value& value,
+                            const Version& version, bool stable,
+                            const std::vector<Dependency>& deps);
+
   // Assigns a version to a gated client write and starts propagation.
   void ApplyAndPropagate(CrxPut put);
 
@@ -234,8 +250,11 @@ class ChainReactionNode : public Actor {
   // version that convergence resolves to).
   bool ReadSatisfies(const Key& key, const Version& v) const;
 
-  // Chain-repair duties after a membership change.
-  void RepairChains(const Ring& old_ring);
+  // Chain-repair duties after a membership change. `pre_synced` lists
+  // nodes a planned migration already streamed data to; stable-version
+  // pushes to them are skipped (the unstable re-drives still flow — they
+  // carry the propagation duty, and they are idempotent).
+  void RepairChains(const Ring& old_ring, const std::vector<NodeId>& pre_synced);
 
   // Write-ahead wrappers around the store: log the mutation (when it is not
   // already durable) before applying it. All protocol-path mutations go
@@ -307,6 +326,7 @@ class ChainReactionNode : public Actor {
   struct ChainJoinGuard {
     Ring old_ring;
     Time until;
+    uint64_t epoch = 0;  // the epoch whose change installed this guard
   };
   std::vector<ChainJoinGuard> join_guards_;
   std::vector<CrxGet> join_guarded_gets_;
@@ -315,6 +335,50 @@ class ChainReactionNode : public Actor {
 
   // Stability knowledge cache: key -> merged vv known DC-Write-Stable.
   std::unordered_map<Key, VersionVector> stable_vv_;
+
+  // Migration source state: set while this node streams/mirrors key ranges
+  // for a planned topology change. Cleared when the epoch flips (commit) or
+  // on MigAbort.
+  struct MigrationSource {
+    uint64_t migration_id = 0;
+    uint64_t epoch = 0;          // ring epoch the request was issued under
+    uint64_t planned_epoch = 0;
+    Ring planned_ring;
+    Address coordinator = 0;
+    uint32_t batch_keys = 64;
+    Duration batch_interval = 0;
+    std::vector<Key> pending;    // snapshot queue (keys left to stream)
+    size_t cursor = 0;
+    std::set<NodeId> targets;    // every target that received a stream
+    std::map<NodeId, uint64_t> next_seq;  // per-target batch sequence
+    uint64_t keys_streamed = 0;
+    uint64_t entries_streamed = 0;
+    uint64_t entries_mirrored = 0;
+    bool snapshot_done = false;
+  };
+  std::unique_ptr<MigrationSource> mig_src_;
+
+  // Migration inflow sessions keyed by (migration_id, source): entries
+  // applied ahead of the epoch flip. A session must START in the epoch its
+  // first batch was stamped with; stragglers of a known session are then
+  // accepted across the flip (FIFO links put them before the source's
+  // MemSyncDone marker), while unknown stale-epoch batches are dropped.
+  struct MigrationInflow {
+    uint64_t created_epoch = 0;
+    uint64_t entries_applied = 0;
+    bool sealed = false;
+  };
+  std::map<std::pair<uint64_t, NodeId>, MigrationInflow> mig_inflows_;
+  uint64_t mig_entries_in_ = 0;
+  uint64_t mig_entries_out_ = 0;
+
+ public:
+  // Migration introspection for tests / benches / status.
+  bool migration_source_active() const { return mig_src_ != nullptr; }
+  uint64_t mig_entries_in() const { return mig_entries_in_; }
+  uint64_t mig_entries_out() const { return mig_entries_out_; }
+
+ private:
 
   // Tail state.
   std::unordered_map<Key, std::vector<StabilityWatcher>> watchers_;
@@ -365,6 +429,9 @@ class ChainReactionNode : public Actor {
   Gauge* m_engine_log_bytes_ = nullptr;
   Counter* m_engine_compactions_ = nullptr;
   Gauge* m_engine_cache_hit_ratio_ = nullptr;
+  Counter* m_mig_entries_out_ = nullptr;
+  Counter* m_mig_entries_in_ = nullptr;
+  Gauge* m_mig_source_active_ = nullptr;
   uint64_t engine_compactions_published_ = 0;
   FlightRecorder events_;
 };

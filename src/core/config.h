@@ -36,6 +36,19 @@ struct CrxConfig {
   Address membership = 0;
   Duration heartbeat_interval = 0;
 
+  // Failure-detection tuning. The service sweeps for silent nodes every
+  // fd_sweep_interval and declares a node dead after fd_timeout without a
+  // heartbeat. 0 picks the defaults derived from heartbeat_interval (sweep
+  // every heartbeat_interval, timeout at 4x — the pre-knob behavior).
+  Duration fd_sweep_interval = 0;
+  Duration fd_timeout = 0;
+
+  // When > 0, the membership service re-broadcasts the current epoch on
+  // this period even without topology changes, so listeners that missed an
+  // epoch announcement (or joined late) converge without waiting for the
+  // next change. 0 (the default) broadcasts only on change.
+  Duration membership_rebroadcast_interval = 0;
+
   // Retry timeout for client requests.
   Duration client_timeout = 500 * kMillisecond;
 

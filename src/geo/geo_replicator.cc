@@ -450,7 +450,7 @@ void GeoReplicator::RetransmitUnacked() {
 
 void GeoReplicator::HandleNewMembership(const MemNewMembership& msg) {
   if (msg.epoch > local_ring_.epoch()) {
-    local_ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch);
+    local_ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch, msg.weights);
   }
 }
 

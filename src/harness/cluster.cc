@@ -17,6 +17,7 @@ namespace {
 constexpr Address kDcStride = 4096;
 constexpr Address kGeoBase = kServiceAddressBase;          // + dc
 constexpr Address kMembershipBase = kServiceAddressBase + 1024;  // + dc
+constexpr Address kCoordinatorBase = kServiceAddressBase + 2048;  // + dc
 }  // namespace
 
 const char* SystemKindName(SystemKind kind) {
@@ -64,6 +65,9 @@ CrxConfig Cluster::MakeCrxConfig(DcId dc) const {
     cfg.membership = kMembershipBase + dc;
     cfg.heartbeat_interval = options_.heartbeat_interval;
   }
+  cfg.fd_sweep_interval = options_.fd_sweep_interval;
+  cfg.fd_timeout = options_.fd_timeout;
+  cfg.membership_rebroadcast_interval = options_.membership_rebroadcast_interval;
   cfg.read_policy = options_.read_policy;
   cfg.engine = options_.engine;
   cfg.engine_cache_bytes = options_.engine_cache_bytes;
@@ -90,6 +94,7 @@ std::string Cluster::NodeDataDir(DcId dc, uint32_t idx) const {
 void Cluster::BuildChainReaction() {
   const uint16_t dcs = options_.num_dcs;
   membership_.resize(dcs);
+  coordinators_.resize(dcs);
   geo_.resize(dcs);
   crx_nodes_.resize(dcs);
 
@@ -102,12 +107,35 @@ void Cluster::BuildChainReaction() {
                                                           options_.replication);
     Env* menv = net_->Register(kMembershipBase + dc, membership_[dc].get(), dc);
     membership_[dc]->AttachEnv(menv);
+    const CrxConfig cfg = MakeCrxConfig(dc);
     if (options_.heartbeat_interval > 0) {
-      membership_[dc]->EnableFailureDetection(options_.heartbeat_interval,
-                                              4 * options_.heartbeat_interval);
+      const Duration sweep = cfg.fd_sweep_interval > 0 ? cfg.fd_sweep_interval
+                                                       : options_.heartbeat_interval;
+      const Duration timeout =
+          cfg.fd_timeout > 0 ? cfg.fd_timeout : 4 * options_.heartbeat_interval;
+      membership_[dc]->EnableFailureDetection(sweep, timeout);
+    }
+    if (cfg.membership_rebroadcast_interval > 0) {
+      membership_[dc]->EnableRebroadcast(cfg.membership_rebroadcast_interval);
     }
     const Ring& ring = membership_[dc]->ring();
-    const CrxConfig cfg = MakeCrxConfig(dc);
+
+    // Planned-migration coordinator: a per-DC control-plane actor tracking
+    // the membership view live (listener) and driving join/drain/rebalance.
+    MigrationCoordinator::Options copt;
+    copt.vnodes = options_.vnodes;
+    copt.replication = options_.replication;
+    copt.self = kCoordinatorBase + dc;
+    copt.membership = kMembershipBase + dc;
+    copt.batch_keys = options_.mig_batch_keys;
+    copt.batch_interval = options_.mig_batch_interval;
+    copt.timeout = options_.migration_timeout;
+    coordinators_[dc] = std::make_unique<MigrationCoordinator>(copt);
+    Env* xenv = net_->Register(kCoordinatorBase + dc, coordinators_[dc].get(), dc);
+    coordinators_[dc]->AttachEnv(xenv);
+    coordinators_[dc]->AttachObs(&metrics_);
+    coordinators_[dc]->Seed(membership_[dc]->epoch(), node_ids, membership_[dc]->Weights());
+    membership_[dc]->AddListener(kCoordinatorBase + dc);
 
     // The disk engine lives under each node's data dir.
     CHAINRX_CHECK(options_.engine != StorageEngineKind::kDisk || !options_.data_root.empty());
@@ -246,6 +274,55 @@ GeoReplicator* Cluster::geo(DcId dc) { return dc < geo_.size() ? geo_[dc].get() 
 
 MembershipService* Cluster::membership(DcId dc) {
   return dc < membership_.size() ? membership_[dc].get() : nullptr;
+}
+
+MigrationCoordinator* Cluster::coordinator(DcId dc) {
+  return dc < coordinators_.size() ? coordinators_[dc].get() : nullptr;
+}
+
+uint64_t Cluster::AddJoiningServer(DcId dc, uint32_t* idx_out, uint32_t weight) {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  CHAINRX_CHECK(dc < crx_nodes_.size());
+  const uint32_t idx = static_cast<uint32_t>(crx_nodes_[dc].size());
+  const NodeId node_id = ServerAddress(dc, idx);
+  // The newcomer boots on the *current* ring (which does not contain it):
+  // it owns nothing yet, absorbs the migration stream as a target, and
+  // takes over its chain segments when the committed epoch arrives.
+  auto node = std::make_unique<ChainReactionNode>(node_id, MakeCrxConfig(dc),
+                                                  membership_[dc]->ring());
+  if (!options_.data_root.empty()) {
+    const Status st = node->EnableDurability(NodeDataDir(dc, idx), MakeWalOptions());
+    CHAINRX_CHECK(st.ok());
+  }
+  Env* env = net_->Register(node_id, node.get(), dc, options_.server_service);
+  node->AttachEnv(env);
+  node->AttachObs(&metrics_, &traces_);
+  crx_nodes_[dc].push_back(std::move(node));
+  if (idx_out != nullptr) {
+    *idx_out = idx;
+  }
+  return coordinators_[dc]->StartJoin(node_id, weight);
+}
+
+uint64_t Cluster::DrainServer(DcId dc, uint32_t idx) {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  CHAINRX_CHECK(dc < crx_nodes_.size() && idx < crx_nodes_[dc].size());
+  return coordinators_[dc]->StartDrain(ServerAddress(dc, idx));
+}
+
+uint64_t Cluster::RebalanceServer(DcId dc, uint32_t idx, uint32_t weight) {
+  CHAINRX_CHECK(options_.system == SystemKind::kChainReaction);
+  CHAINRX_CHECK(dc < crx_nodes_.size() && idx < crx_nodes_[dc].size());
+  return coordinators_[dc]->StartRebalance(ServerAddress(dc, idx), weight);
+}
+
+bool Cluster::WaitMigrationIdle(DcId dc, Duration max_wait) {
+  CHAINRX_CHECK(dc < coordinators_.size() && coordinators_[dc] != nullptr);
+  const Time deadline = sim_.Now() + max_wait;
+  while (!coordinators_[dc]->idle() && sim_.Now() < deadline) {
+    sim_.RunUntil(sim_.Now() + 10 * kMillisecond);
+  }
+  return coordinators_[dc]->idle();
 }
 
 void Cluster::Preload(uint64_t records, size_t value_size) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "src/admin/migration.h"
 #include "src/baselines/eventual.h"
 #include "src/common/histogram.h"
 #include "src/chain/cr.h"
@@ -63,6 +64,18 @@ struct ClusterOptions {
   // heartbeat at this period; the membership service removes nodes silent
   // for 4 periods. Keeps timers alive forever — drive with RunUntil.
   Duration heartbeat_interval = 0;
+  // Failure-detection tuning (effective only with heartbeat_interval > 0).
+  // 0 picks the defaults: sweep every heartbeat_interval, timeout 4x it.
+  Duration fd_sweep_interval = 0;
+  Duration fd_timeout = 0;
+  // >0: the membership service re-broadcasts the current epoch at this
+  // period even without topology changes (keeps the event queue non-empty;
+  // drive with RunUntil).
+  Duration membership_rebroadcast_interval = 0;
+  // Planned-migration coordinator tuning (see src/admin/migration.h).
+  Duration migration_timeout = 5 * kSecond;
+  uint32_t mig_batch_keys = 64;
+  Duration mig_batch_interval = 0;
   // >0: clients trace every Nth put end-to-end (ChainReaction only); hops
   // land in Cluster::traces().
   uint32_t trace_sample_every = 0;
@@ -121,6 +134,7 @@ class Cluster {
   ChainReactionNode* crx_node(DcId dc, uint32_t idx);
   GeoReplicator* geo(DcId dc);
   MembershipService* membership(DcId dc);
+  MigrationCoordinator* coordinator(DcId dc);
 
   // Baseline node access (null when a different system is running).
   CrNode* cr_node(uint32_t idx) { return idx < cr_nodes_.size() ? cr_nodes_[idx].get() : nullptr; }
@@ -149,6 +163,25 @@ class Cluster {
   void CrashServer(DcId dc, uint32_t idx);
   Status RestartServer(DcId dc, uint32_t idx);
   std::string NodeDataDir(DcId dc, uint32_t idx) const;
+
+  // Elastic membership (ChainReaction only; requires heartbeat_interval so
+  // the sim stays drivable with RunUntil). Each operation is planned through
+  // the DC's migration coordinator: data streams to the new layout first,
+  // then the epoch flips. Returns the migration id (0 = rejected).
+  //
+  // AddJoiningServer boots a brand-new server (index servers_per_dc, then
+  // +1, ...) and starts a join migration for it; the returned idx addresses
+  // it via crx_node()/ServerAddress. `weight` 0 = default vnode count.
+  uint64_t AddJoiningServer(DcId dc, uint32_t* idx_out = nullptr, uint32_t weight = 0);
+  // Drains a live server out of the ring (its data migrates away first).
+  // The process stays up — it just stops owning any key range.
+  uint64_t DrainServer(DcId dc, uint32_t idx);
+  // Changes a server's vnode weight, shifting ring arcs onto/off it.
+  uint64_t RebalanceServer(DcId dc, uint32_t idx, uint32_t weight);
+  // Runs the simulator in bounded slices until the DC's coordinator has no
+  // active or queued migration (or `max_wait` sim time elapses). Returns
+  // true if it went idle.
+  bool WaitMigrationIdle(DcId dc, Duration max_wait = 30 * kSecond);
 
   // Aggregations ------------------------------------------------------------
   // Sum of reads answered per chain position across all servers
@@ -188,6 +221,7 @@ class Cluster {
 
   // Per-DC state (ChainReaction); baselines use index 0 only.
   std::vector<std::unique_ptr<MembershipService>> membership_;
+  std::vector<std::unique_ptr<MigrationCoordinator>> coordinators_;
   std::vector<std::unique_ptr<GeoReplicator>> geo_;
   std::vector<std::vector<std::unique_ptr<ChainReactionNode>>> crx_nodes_;
   // Crashed-then-replaced nodes, parked until teardown so flight-recorder

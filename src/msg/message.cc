@@ -494,28 +494,40 @@ size_t GeoRemotePut::EncodedSize() const {
 
 // --------------------------- membership -------------------------------------
 
-void MemNewMembership::Encode(ByteWriter* w) const {
-  w->PutU64(epoch);
-  w->PutVarU64(nodes.size());
-  for (NodeId n : nodes) {
-    w->PutU32(n);
+namespace {
+
+void EncodeU32Vec(const std::vector<uint32_t>& v, ByteWriter* w) {
+  w->PutVarU64(v.size());
+  for (uint32_t x : v) {
+    w->PutU32(x);
   }
 }
-bool MemNewMembership::Decode(ByteReader* r) {
-  if (!r->GetU64(&epoch)) {
-    return false;
-  }
+
+bool DecodeU32Vec(ByteReader* r, std::vector<uint32_t>* v) {
   uint64_t n = 0;
   if (!r->GetVarU64(&n) || n > (1u << 20)) {
     return false;
   }
-  nodes.resize(n);
+  v->resize(n);
   for (uint64_t i = 0; i < n; ++i) {
-    if (!r->GetU32(&nodes[i])) {
+    if (!r->GetU32(&(*v)[i])) {
       return false;
     }
   }
   return true;
+}
+
+}  // namespace
+
+void MemNewMembership::Encode(ByteWriter* w) const {
+  w->PutU64(epoch);
+  EncodeU32Vec(nodes, w);
+  EncodeU32Vec(weights, w);
+  EncodeU32Vec(pre_synced, w);
+}
+bool MemNewMembership::Decode(ByteReader* r) {
+  return r->GetU64(&epoch) && DecodeU32Vec(r, &nodes) && DecodeU32Vec(r, &weights) &&
+         DecodeU32Vec(r, &pre_synced);
 }
 
 void MemHeartbeat::Encode(ByteWriter* w) const { w->PutU32(node); }
@@ -538,5 +550,106 @@ void MemSyncDone::Encode(ByteWriter* w) const {
   w->PutU32(from);
 }
 bool MemSyncDone::Decode(ByteReader* r) { return r->GetU64(&epoch) && r->GetU32(&from); }
+
+// --------------------------- key-range migration ---------------------------
+
+void MigSnapshotRequest::Encode(ByteWriter* w) const {
+  w->PutU64(migration_id);
+  w->PutU64(epoch);
+  w->PutU64(planned_epoch);
+  EncodeU32Vec(planned_nodes, w);
+  EncodeU32Vec(planned_weights, w);
+  w->PutU32(coordinator);
+  w->PutU32(batch_keys);
+  w->PutU64(batch_interval);
+}
+bool MigSnapshotRequest::Decode(ByteReader* r) {
+  return r->GetU64(&migration_id) && r->GetU64(&epoch) && r->GetU64(&planned_epoch) &&
+         DecodeU32Vec(r, &planned_nodes) && DecodeU32Vec(r, &planned_weights) &&
+         r->GetU32(&coordinator) && r->GetU32(&batch_keys) && r->GetU64(&batch_interval);
+}
+
+void MigEntry::Encode(ByteWriter* w) const {
+  w->PutString(key);
+  w->PutBool(has_value);
+  w->PutString(value);
+  version.Encode(w);
+  w->PutBool(stable);
+  EncodeDeps(deps, w);
+}
+bool MigEntry::Decode(ByteReader* r) {
+  return r->GetString(&key) && r->GetBool(&has_value) && r->GetString(&value) &&
+         version.Decode(r) && r->GetBool(&stable) && DecodeDeps(r, &deps);
+}
+
+void MigKeyBatch::Encode(ByteWriter* w) const {
+  w->PutU64(migration_id);
+  w->PutU64(epoch);
+  w->PutU32(source);
+  w->PutU32(target);
+  w->PutU32(coordinator);
+  w->PutU64(seq);
+  w->PutBool(last);
+  w->PutVarU64(entries.size());
+  for (const MigEntry& e : entries) {
+    e.Encode(w);
+  }
+}
+bool MigKeyBatch::Decode(ByteReader* r) {
+  uint64_t n = 0;
+  if (!r->GetU64(&migration_id) || !r->GetU64(&epoch) || !r->GetU32(&source) ||
+      !r->GetU32(&target) || !r->GetU32(&coordinator) || !r->GetU64(&seq) || !r->GetBool(&last) ||
+      !r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  entries.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!entries[i].Decode(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void MigSnapshotDone::Encode(ByteWriter* w) const {
+  w->PutU64(migration_id);
+  w->PutU32(from);
+  w->PutU64(keys_streamed);
+  EncodeU32Vec(targets, w);
+  w->PutBool(aborted);
+}
+bool MigSnapshotDone::Decode(ByteReader* r) {
+  return r->GetU64(&migration_id) && r->GetU32(&from) && r->GetU64(&keys_streamed) &&
+         DecodeU32Vec(r, &targets) && r->GetBool(&aborted);
+}
+
+void MigRangeSealed::Encode(ByteWriter* w) const {
+  w->PutU64(migration_id);
+  w->PutU32(source);
+  w->PutU32(target);
+  w->PutU64(entries_applied);
+}
+bool MigRangeSealed::Decode(ByteReader* r) {
+  return r->GetU64(&migration_id) && r->GetU32(&source) && r->GetU32(&target) &&
+         r->GetU64(&entries_applied);
+}
+
+void MigCommit::Encode(ByteWriter* w) const {
+  w->PutU64(migration_id);
+  w->PutU64(planned_epoch);
+  EncodeU32Vec(nodes, w);
+  EncodeU32Vec(weights, w);
+  EncodeU32Vec(pre_synced, w);
+}
+bool MigCommit::Decode(ByteReader* r) {
+  return r->GetU64(&migration_id) && r->GetU64(&planned_epoch) && DecodeU32Vec(r, &nodes) &&
+         DecodeU32Vec(r, &weights) && DecodeU32Vec(r, &pre_synced);
+}
+
+void MigAbort::Encode(ByteWriter* w) const {
+  w->PutU64(migration_id);
+  w->PutString(reason);
+}
+bool MigAbort::Decode(ByteReader* r) { return r->GetU64(&migration_id) && r->GetString(&reason); }
 
 }  // namespace chainreaction

@@ -82,6 +82,14 @@ enum class MsgType : uint16_t {
   kMemSyncKey = 71,
   kMemHeartbeat = 72,
   kMemSyncDone = 73,
+
+  // Key-range migration (planned topology changes; src/admin/).
+  kMigSnapshotRequest = 80,
+  kMigKeyBatch = 81,
+  kMigSnapshotDone = 82,
+  kMigRangeSealed = 83,
+  kMigCommit = 84,
+  kMigAbort = 85,
 };
 
 // Returns the type tag of a serialized message (kInvalid if too short).
@@ -609,6 +617,13 @@ struct MemNewMembership {
   static constexpr MsgType kType = MsgType::kMemNewMembership;
   uint64_t epoch = 0;
   std::vector<NodeId> nodes;  // live nodes, ring placement derived from ids
+  // Per-node vnode counts, parallel to `nodes`. Empty means every node uses
+  // the configured default — the pre-rebalance wire behavior.
+  std::vector<uint32_t> weights;
+  // Nodes whose new key ranges were pre-streamed by a planned migration
+  // before this epoch was committed: chain repair skips the per-key
+  // MemSyncKey pushes to them (the migration already transferred the data).
+  std::vector<NodeId> pre_synced;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
@@ -646,6 +661,125 @@ struct MemSyncDone {
   static constexpr MsgType kType = MsgType::kMemSyncDone;
   uint64_t epoch = 0;
   NodeId from = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// ---------------------------------------------------------------------------
+// Key-range migration (src/admin/ — planned join / drain / rebalance)
+// ---------------------------------------------------------------------------
+
+// Coordinator -> source node: start streaming the key ranges that change
+// hands under the planned ring. The source computes the planned ring locally
+// from (planned_nodes, planned_weights) and, for every key it currently
+// heads, streams the key's versions to each node that is in the planned
+// chain but not the current one. Until the planned epoch commits (or the
+// migration aborts) the source also mirrors new writes to those targets —
+// the CATCHUP window that ships the WAL tail.
+struct MigSnapshotRequest {
+  static constexpr MsgType kType = MsgType::kMigSnapshotRequest;
+  uint64_t migration_id = 0;
+  uint64_t epoch = 0;          // ring epoch the plan was made against
+  uint64_t planned_epoch = 0;  // epoch the coordinator will commit
+  std::vector<NodeId> planned_nodes;
+  std::vector<uint32_t> planned_weights;  // parallel to planned_nodes; may be empty
+  Address coordinator = 0;
+  uint32_t batch_keys = 64;      // keys streamed per self-scheduled tick
+  uint64_t batch_interval = 0;   // microseconds between ticks (0 = back-to-back)
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// One migrated version: full causal metadata (version, stability, write-time
+// dependency list) so the target can serve reads and geo shipping exactly as
+// the source would. has_value=false carries a pure stability mark for a
+// version the target already holds.
+struct MigEntry {
+  Key key;
+  bool has_value = true;
+  Value value;
+  Version version;
+  bool stable = false;
+  std::vector<Dependency> deps;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Source -> target: a batch of migrated versions. `last` marks the end of
+// the bulk snapshot for this (source, target) stream; the target then acks
+// the seal to the coordinator. Catchup mirror entries keep flowing after
+// `last` until the epoch flips (links are FIFO, so everything mirrored
+// before the source observes the flip lands before the source's
+// MemSyncDone marker).
+struct MigKeyBatch {
+  static constexpr MsgType kType = MsgType::kMigKeyBatch;
+  uint64_t migration_id = 0;
+  uint64_t epoch = 0;  // source's ring epoch at send time
+  NodeId source = 0;
+  NodeId target = 0;
+  Address coordinator = 0;
+  uint64_t seq = 0;  // per-(source,target) batch sequence
+  bool last = false;
+  std::vector<MigEntry> entries;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Source -> coordinator: the bulk snapshot scan finished (`targets` lists
+// the nodes this source streamed to), or the request was refused
+// (aborted=true, e.g. stale epoch).
+struct MigSnapshotDone {
+  static constexpr MsgType kType = MsgType::kMigSnapshotDone;
+  uint64_t migration_id = 0;
+  NodeId from = 0;
+  uint64_t keys_streamed = 0;
+  std::vector<NodeId> targets;
+  bool aborted = false;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Target -> coordinator: every batch of one (source, target) stream up to
+// and including the `last` one has been applied; the stream is SEALED.
+struct MigRangeSealed {
+  static constexpr MsgType kType = MsgType::kMigRangeSealed;
+  uint64_t migration_id = 0;
+  NodeId source = 0;
+  NodeId target = 0;
+  uint64_t entries_applied = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Coordinator -> membership service: every stream is sealed; commit the
+// planned topology as `planned_epoch` and broadcast it (with `pre_synced`
+// so chain repair skips re-pushing what the migration already moved).
+struct MigCommit {
+  static constexpr MsgType kType = MsgType::kMigCommit;
+  uint64_t migration_id = 0;
+  uint64_t planned_epoch = 0;
+  std::vector<NodeId> nodes;
+  std::vector<uint32_t> weights;
+  std::vector<NodeId> pre_synced;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+};
+
+// Coordinator -> sources: stop streaming/mirroring for this migration (a
+// node died mid-transfer, the epoch moved underneath the plan, or the
+// migration timed out). Targets keep whatever they already applied — the
+// entries are real versions, idempotent and harmless outside the chain.
+struct MigAbort {
+  static constexpr MsgType kType = MsgType::kMigAbort;
+  uint64_t migration_id = 0;
+  std::string reason;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);

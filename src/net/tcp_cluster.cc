@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_set>
 
 #include "src/common/result.h"
@@ -19,6 +20,10 @@ Time WallMicros() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+// Elastic-mode control-plane actors live far above node ids and clients.
+constexpr Address kTcpMembershipAddr = kServiceAddressBase + 1024;
+constexpr Address kTcpCoordinatorAddr = kServiceAddressBase + 2048;
 
 }  // namespace
 
@@ -66,6 +71,11 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
   ring_ = Ring(ids, 16, opts_.config.replication, 1);
   node_shard_ = AssignShardsByRingOrder(ring_, opts_.num_nodes, opts_.loop_threads);
 
+  effective_config_ = opts_.config;
+  if (opts_.elastic) {
+    effective_config_.membership = kTcpMembershipAddr;
+  }
+
   if (opts_.per_node_runtimes) {
     for (NodeId n = 0; n < opts_.num_nodes; ++n) {
       server_runtimes_.push_back(
@@ -76,7 +86,7 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
         std::make_unique<TcpRuntime>(&book_, opts_.loop_threads, opts_.coalesced_io));
   }
   for (NodeId n = 0; n < opts_.num_nodes; ++n) {
-    auto node = std::make_unique<ChainReactionNode>(n, opts_.config, ring_);
+    auto node = std::make_unique<ChainReactionNode>(n, effective_config_, ring_);
     if (opts_.metrics != nullptr) {
       node->AttachObs(opts_.metrics, nullptr);
     }
@@ -88,14 +98,39 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
     nodes_.push_back(std::move(node));
   }
 
+  if (opts_.elastic) {
+    membership_ = std::make_unique<MembershipService>(ids, 16, effective_config_.replication);
+    membership_->AttachEnv(
+        server_runtimes_[0]->Register(kTcpMembershipAddr, membership_.get(), 0));
+    MigrationCoordinator::Options copt;
+    copt.vnodes = 16;
+    copt.replication = effective_config_.replication;
+    copt.self = kTcpCoordinatorAddr;
+    copt.membership = kTcpMembershipAddr;
+    copt.batch_keys = opts_.mig_batch_keys;
+    copt.batch_interval = opts_.mig_batch_interval;
+    copt.timeout = opts_.migration_timeout;
+    coordinator_ = std::make_unique<MigrationCoordinator>(copt);
+    coordinator_->AttachEnv(
+        server_runtimes_[0]->Register(kTcpCoordinatorAddr, coordinator_.get(), 0));
+    if (opts_.metrics != nullptr) {
+      coordinator_->AttachObs(opts_.metrics);
+    }
+    coordinator_->Seed(/*epoch=*/1, ids, {});
+    membership_->AddListener(kTcpCoordinatorAddr);
+  }
+
   client_runtime_ = std::make_unique<TcpRuntime>(&book_, opts_.client_loop_threads);
   for (uint32_t c = 0; c < opts_.num_clients; ++c) {
     const Address addr = kClientAddressBase + c;
-    auto client = std::make_unique<ChainReactionClient>(addr, opts_.config, ring_,
+    auto client = std::make_unique<ChainReactionClient>(addr, effective_config_, ring_,
                                                         opts_.seed + 1000 * (c + 1));
     client->AttachEnv(
         client_runtime_->Register(addr, client.get(), c % opts_.client_loop_threads));
     clients_.push_back(std::move(client));
+    if (opts_.elastic) {
+      membership_->AddListener(addr);
+    }
   }
 
   if (opts_.metrics != nullptr) {
@@ -108,13 +143,95 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
     rt->Start();
   }
   client_runtime_->Start();
+
+  // Timers must be armed from the owning loop thread (Env contract).
+  if (opts_.elastic && effective_config_.heartbeat_interval > 0) {
+    const Duration sweep = effective_config_.fd_sweep_interval > 0
+                               ? effective_config_.fd_sweep_interval
+                               : effective_config_.heartbeat_interval;
+    const Duration timeout = effective_config_.fd_timeout > 0
+                                 ? effective_config_.fd_timeout
+                                 : 4 * effective_config_.heartbeat_interval;
+    server_runtimes_[0]->PostTo(kTcpMembershipAddr, [this, sweep, timeout]() {
+      membership_->EnableFailureDetection(sweep, timeout);
+    });
+  }
+  if (opts_.elastic && effective_config_.membership_rebroadcast_interval > 0) {
+    const Duration interval = effective_config_.membership_rebroadcast_interval;
+    server_runtimes_[0]->PostTo(kTcpMembershipAddr, [this, interval]() {
+      membership_->EnableRebroadcast(interval);
+    });
+  }
 }
 
 TcpCluster::~TcpCluster() {
   client_runtime_->Stop();
+  for (auto& rt : joined_runtimes_) {
+    rt->Stop();
+  }
   for (auto& rt : server_runtimes_) {
     rt->Stop();
   }
+}
+
+NodeId TcpCluster::AddJoiningServer(uint32_t weight) {
+  CHAINRX_CHECK(opts_.elastic);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  // A separate runtime = a separate process: it binds fresh ports into the
+  // shared address book, and running peers resolve them on first send (the
+  // per-shard port cache falls back to the book for unknown addresses).
+  auto rt = std::make_unique<TcpRuntime>(&book_, 1, opts_.coalesced_io);
+  auto node = std::make_unique<ChainReactionNode>(id, effective_config_, ring_);
+  if (opts_.metrics != nullptr) {
+    node->AttachObs(opts_.metrics, nullptr);
+  }
+  node->AttachEnv(rt->Register(id, node.get()));
+  rt->Start();
+  nodes_.push_back(std::move(node));
+  node_shard_.push_back(0);
+  joined_runtimes_.push_back(std::move(rt));
+
+  migrations_issued_.fetch_add(1, std::memory_order_relaxed);
+  server_runtimes_[0]->PostTo(kTcpCoordinatorAddr, [this, id, weight]() {
+    if (coordinator_->StartJoin(id, weight) == 0) {
+      migrations_issued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  });
+  return id;
+}
+
+void TcpCluster::DrainServer(NodeId n) {
+  CHAINRX_CHECK(opts_.elastic);
+  migrations_issued_.fetch_add(1, std::memory_order_relaxed);
+  server_runtimes_[0]->PostTo(kTcpCoordinatorAddr, [this, n]() {
+    if (coordinator_->StartDrain(n) == 0) {
+      migrations_issued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+void TcpCluster::RebalanceServer(NodeId n, uint32_t weight) {
+  CHAINRX_CHECK(opts_.elastic);
+  migrations_issued_.fetch_add(1, std::memory_order_relaxed);
+  server_runtimes_[0]->PostTo(kTcpCoordinatorAddr, [this, n, weight]() {
+    if (coordinator_->StartRebalance(n, weight) == 0) {
+      migrations_issued_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  });
+}
+
+bool TcpCluster::WaitMigrationIdle(Duration max_wait) {
+  CHAINRX_CHECK(opts_.elastic);
+  const Time deadline = WallMicros() + max_wait;
+  while (WallMicros() < deadline) {
+    const uint64_t finished = coordinator_->completed() + coordinator_->aborted();
+    if (finished >= migrations_issued_.load(std::memory_order_relaxed) &&
+        coordinator_->idle()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return false;
 }
 
 uint64_t TcpCluster::server_writev_calls() const {

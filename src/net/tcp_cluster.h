@@ -13,9 +13,11 @@
 #ifndef SRC_NET_TCP_CLUSTER_H_
 #define SRC_NET_TCP_CLUSTER_H_
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
+#include "src/admin/migration.h"
 #include "src/common/histogram.h"
 #include "src/common/types.h"
 #include "src/core/chainreaction_client.h"
@@ -24,6 +26,7 @@
 #include "src/net/address_book.h"
 #include "src/net/tcp_runtime.h"
 #include "src/obs/metrics.h"
+#include "src/ring/membership.h"
 #include "src/ring/ring.h"
 
 namespace chainreaction {
@@ -47,6 +50,14 @@ class TcpCluster {
     // False restores pre-overhaul per-frame write()/post behavior in all
     // server runtimes (see TcpRuntime).
     bool coalesced_io = true;
+    // Elastic membership: hosts a MembershipService and MigrationCoordinator
+    // on the server runtime so nodes can join/drain/rebalance while load
+    // runs (AddJoiningServer/DrainServer/RebalanceServer). Clients become
+    // membership listeners and follow epoch flips live.
+    bool elastic = false;
+    Duration migration_timeout = 10 * kSecond;
+    uint32_t mig_batch_keys = 64;
+    Duration mig_batch_interval = 0;
   };
 
   struct LoadOptions {
@@ -86,8 +97,25 @@ class TcpCluster {
   ChainReactionClient* client(size_t i) { return clients_[i].get(); }
   size_t num_clients() const { return clients_.size(); }
   ChainReactionNode* node(NodeId n) { return nodes_[n].get(); }
+  size_t num_nodes() const { return nodes_.size(); }
+  // The boot-time ring (epoch 1). Under elastic mode the live layout is the
+  // membership service's — read it through coordinator atomics, not here.
   const Ring& ring() const { return ring_; }
   uint32_t shard_of_node(NodeId n) const { return node_shard_[n]; }
+
+  // Elastic membership (requires Options::elastic) -------------------------
+  // Boots a brand-new node in its OWN TcpRuntime — a separate process
+  // equivalent; peers learn its port from the shared address book without
+  // any restart — and plans a join migration for it. Returns the node id.
+  NodeId AddJoiningServer(uint32_t weight = 0);
+  // Plans a drain (the node's data migrates away, then it leaves the ring).
+  void DrainServer(NodeId n);
+  // Plans a vnode-weight change for a live node.
+  void RebalanceServer(NodeId n, uint32_t weight);
+  // Blocks (wall-clock) until every planned migration issued through this
+  // harness has finished (committed or aborted). False on timeout.
+  bool WaitMigrationIdle(Duration max_wait = 30 * kSecond);
+  MigrationCoordinator* coordinator() { return coordinator_.get(); }
 
   // Ring-segment affinity: nodes in ring order, split into `loops`
   // contiguous blocks. Exposed for tests.
@@ -99,6 +127,7 @@ class TcpCluster {
   void StepLoadSession(LoadSession* s);
 
   Options opts_;
+  CrxConfig effective_config_;  // opts_.config + elastic-mode membership addr
   Ring ring_;
   AddressBook book_;
   std::vector<uint32_t> node_shard_;
@@ -106,6 +135,13 @@ class TcpCluster {
   std::unique_ptr<TcpRuntime> client_runtime_;
   std::vector<std::unique_ptr<ChainReactionNode>> nodes_;
   std::vector<std::unique_ptr<ChainReactionClient>> clients_;
+
+  // Elastic-mode state (null unless opts_.elastic).
+  std::unique_ptr<MembershipService> membership_;
+  std::unique_ptr<MigrationCoordinator> coordinator_;
+  // One runtime per live-joined node, modeling separate processes.
+  std::vector<std::unique_ptr<TcpRuntime>> joined_runtimes_;
+  std::atomic<uint64_t> migrations_issued_{0};
 };
 
 }  // namespace chainreaction

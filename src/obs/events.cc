@@ -31,6 +31,14 @@ const char* EventKindName(EventKind kind) {
       return "wal_truncate";
     case EventKind::kWalRecovery:
       return "wal_recovery";
+    case EventKind::kMigSnapshot:
+      return "mig_snapshot";
+    case EventKind::kMigStreamDone:
+      return "mig_stream_done";
+    case EventKind::kMigSealed:
+      return "mig_sealed";
+    case EventKind::kMigAborted:
+      return "mig_aborted";
     case EventKind::kGeoShip:
       return "geo_ship";
     case EventKind::kGeoInject:

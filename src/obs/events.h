@@ -43,6 +43,10 @@ enum class EventKind : uint8_t {
   kGeoShip,          // a=ops shipped, b=destination dc
   kGeoInject,        // a=ops injected, b=source dc
   kCrashDump,        // a=events captured, b=0 (written as the dump header)
+  kMigSnapshot,      // a=migration id, b=keys queued for streaming
+  kMigStreamDone,    // a=migration id, b=entries streamed (snapshot done)
+  kMigSealed,        // a=migration id, b=entries applied (inflow sealed)
+  kMigAborted,       // a=migration id, b=0
 };
 
 const char* EventKindName(EventKind kind);

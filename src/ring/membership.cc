@@ -9,10 +9,24 @@ namespace chainreaction {
 
 MembershipService::MembershipService(std::vector<NodeId> initial_nodes, uint32_t vnodes,
                                      uint32_t replication)
-    : nodes_(std::move(initial_nodes)),
-      vnodes_(vnodes),
-      replication_(replication),
-      ring_(nodes_, vnodes_, replication_, epoch_) {}
+    : nodes_(std::move(initial_nodes)), vnodes_(vnodes), replication_(replication) {
+  prev_broadcast_nodes_ = nodes_;
+  RebuildRing();
+}
+
+std::vector<uint32_t> MembershipService::Weights() const {
+  std::vector<uint32_t> weights;
+  weights.reserve(nodes_.size());
+  for (NodeId node : nodes_) {
+    auto it = weight_overrides_.find(node);
+    weights.push_back(it != weight_overrides_.end() ? it->second : vnodes_);
+  }
+  return weights;
+}
+
+void MembershipService::RebuildRing() {
+  ring_ = Ring(nodes_, vnodes_, replication_, epoch_, Weights());
+}
 
 void MembershipService::RemoveNode(NodeId node) {
   auto it = std::find(nodes_.begin(), nodes_.end(), node);
@@ -20,9 +34,10 @@ void MembershipService::RemoveNode(NodeId node) {
     return;
   }
   nodes_.erase(it);
+  weight_overrides_.erase(node);
   CHAINRX_CHECK(nodes_.size() >= replication_);
   epoch_++;
-  ring_ = Ring(nodes_, vnodes_, replication_, epoch_);
+  RebuildRing();
   LOG_INFO("membership: removed node %u, epoch %llu", node,
            static_cast<unsigned long long>(epoch_));
   Broadcast();
@@ -33,22 +48,36 @@ void MembershipService::AddNode(NodeId node) {
     return;
   }
   nodes_.push_back(node);
+  // The new node has never heartbeated; without this the next sweep would
+  // immediately declare it dead.
+  if (env_ != nullptr && heartbeat_timeout_ > 0) {
+    last_seen_[node] = env_->Now();
+  }
   epoch_++;
-  ring_ = Ring(nodes_, vnodes_, replication_, epoch_);
+  RebuildRing();
   LOG_INFO("membership: added node %u, epoch %llu", node,
            static_cast<unsigned long long>(epoch_));
   Broadcast();
 }
 
-void MembershipService::Broadcast() {
+void MembershipService::Broadcast(const std::vector<NodeId>& pre_synced) {
   CHAINRX_CHECK(env_ != nullptr);
   MemNewMembership msg;
   msg.epoch = epoch_;
   msg.nodes = nodes_;
+  msg.weights = Weights();
+  msg.pre_synced = pre_synced;
   const std::string payload = EncodeMessage(msg);
   for (NodeId node : nodes_) {
     env_->Send(node, payload);
   }
+  // Farewell copy for nodes the newest epoch dropped (no-op if crashed).
+  for (NodeId node : prev_broadcast_nodes_) {
+    if (std::find(nodes_.begin(), nodes_.end(), node) == nodes_.end()) {
+      env_->Send(node, payload);
+    }
+  }
+  prev_broadcast_nodes_ = nodes_;
   for (Address listener : listeners_) {
     env_->Send(listener, payload);
   }
@@ -64,6 +93,17 @@ void MembershipService::EnableFailureDetection(Duration sweep_interval, Duration
     last_seen_[node] = now;  // grace period: everyone starts alive
   }
   env_->Schedule(sweep_interval_, [this]() { Sweep(); });
+}
+
+void MembershipService::EnableRebroadcast(Duration interval) {
+  CHAINRX_CHECK(env_ != nullptr);
+  CHAINRX_CHECK(interval > 0);
+  rebroadcast_interval_ = interval;
+  env_->Schedule(rebroadcast_interval_, [this]() {
+    rebroadcasts_++;
+    Broadcast();
+    EnableRebroadcast(rebroadcast_interval_);
+  });
 }
 
 void MembershipService::Sweep() {
@@ -87,10 +127,60 @@ void MembershipService::Sweep() {
   env_->Schedule(sweep_interval_, [this]() { Sweep(); });
 }
 
+void MembershipService::HandleMigCommit(const MigCommit& msg) {
+  // The coordinator proposed this epoch before streaming; if a failure was
+  // detected meanwhile the epoch advanced past the proposal and committing
+  // the stale layout would resurrect a dead node. Reject; the coordinator
+  // observes the unexpected epoch and aborts the migration.
+  if (msg.planned_epoch != epoch_ + 1) {
+    LOG_WARN("membership: rejecting MigCommit for epoch %llu (current %llu)",
+             static_cast<unsigned long long>(msg.planned_epoch),
+             static_cast<unsigned long long>(epoch_));
+    return;
+  }
+  CHAINRX_CHECK(msg.nodes.size() >= replication_);
+  CHAINRX_CHECK(msg.weights.empty() || msg.weights.size() == msg.nodes.size());
+  nodes_ = msg.nodes;
+  weight_overrides_.clear();
+  for (size_t i = 0; i < msg.weights.size(); ++i) {
+    if (msg.weights[i] != vnodes_) {
+      weight_overrides_[msg.nodes[i]] = msg.weights[i];
+    }
+  }
+  if (env_ != nullptr && heartbeat_timeout_ > 0) {
+    const Time now = env_->Now();
+    for (NodeId node : nodes_) {
+      // Freshly joined nodes have never heartbeated; give everyone a fresh
+      // grace period across the flip.
+      last_seen_[node] = now;
+    }
+  }
+  epoch_ = msg.planned_epoch;
+  RebuildRing();
+  LOG_INFO("membership: committed migration %llu, epoch %llu (%zu nodes)",
+           static_cast<unsigned long long>(msg.migration_id),
+           static_cast<unsigned long long>(epoch_), nodes_.size());
+  Broadcast(msg.pre_synced);
+}
+
 void MembershipService::OnMessage(Address /*from*/, const std::string& payload) {
-  MemHeartbeat hb;
-  if (DecodeMessage(payload, &hb)) {
-    last_seen_[hb.node] = env_->Now();
+  switch (PeekType(payload)) {
+    case MsgType::kMemHeartbeat: {
+      MemHeartbeat hb;
+      if (DecodeMessage(payload, &hb)) {
+        last_seen_[hb.node] = env_->Now();
+      }
+      break;
+    }
+    case MsgType::kMigCommit: {
+      MigCommit msg;
+      if (DecodeMessage(payload, &msg)) {
+        HandleMigCommit(msg);
+      }
+      break;
+    }
+    default:
+      break;
   }
 }
 

@@ -9,6 +9,12 @@
 //     periodic MemHeartbeat messages and the service removes nodes that
 //     miss the timeout, then broadcasts the new epoch to every live node
 //     and registered listener (clients, geo replicators).
+//
+// Planned topology changes (join/drain/rebalance, src/admin/) commit through
+// MigCommit messages: the coordinator streams key ranges first, then asks the
+// membership service to flip the epoch with the new node list and per-node
+// weights. The resulting MemNewMembership carries the pre-synced node set so
+// chain repair can skip re-pushing data the migration already moved.
 #ifndef SRC_RING_MEMBERSHIP_H_
 #define SRC_RING_MEMBERSHIP_H_
 
@@ -41,30 +47,52 @@ class MembershipService : public Actor {
   // forever; tests must use RunUntil, not Run-to-drain.
   void EnableFailureDetection(Duration sweep_interval, Duration timeout);
 
+  // Re-broadcasts the current epoch every `interval` even without topology
+  // changes, so listeners that missed an announcement converge. Same
+  // event-queue caveat as EnableFailureDetection.
+  void EnableRebroadcast(Duration interval);
+
   uint64_t failures_detected() const { return failures_detected_; }
+  uint64_t rebroadcasts() const { return rebroadcasts_; }
 
   const Ring& ring() const { return ring_; }
   uint64_t epoch() const { return epoch_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+  // Per-node vnode counts, parallel to nodes().
+  std::vector<uint32_t> Weights() const;
 
   void OnMessage(Address from, const std::string& payload) override;
 
  private:
-  void Broadcast();
+  void RebuildRing();
+  void Broadcast(const std::vector<NodeId>& pre_synced = {});
   void Sweep();
+  void HandleMigCommit(const MigCommit& msg);
 
   Env* env_ = nullptr;
   std::vector<NodeId> nodes_;
+  // Membership as of the previous broadcast. A node removed by the newest
+  // epoch still gets that one announcement — a live-drained node must learn
+  // the flip to stop mirroring and hand off its unstable head keys.
+  std::vector<NodeId> prev_broadcast_nodes_;
   std::vector<Address> listeners_;
   uint32_t vnodes_;
   uint32_t replication_;
   uint64_t epoch_ = 1;
   Ring ring_;
 
+  // Per-node weight overrides set by rebalance commits; a node absent here
+  // uses the default vnodes_ count.
+  std::map<NodeId, uint32_t> weight_overrides_;
+
   // Failure detection state (inactive unless enabled).
   Duration sweep_interval_ = 0;
   Duration heartbeat_timeout_ = 0;
   std::map<NodeId, Time> last_seen_;
   uint64_t failures_detected_ = 0;
+
+  Duration rebroadcast_interval_ = 0;
+  uint64_t rebroadcasts_ = 0;
 };
 
 }  // namespace chainreaction

@@ -8,21 +8,41 @@
 namespace chainreaction {
 
 Ring::Ring(std::vector<NodeId> nodes, uint32_t vnodes_per_node, uint32_t replication,
-           uint64_t epoch)
-    : nodes_(std::move(nodes)), replication_(replication), epoch_(epoch) {
+           uint64_t epoch, std::vector<uint32_t> weights)
+    : nodes_(std::move(nodes)), weights_(std::move(weights)), replication_(replication),
+      epoch_(epoch) {
   CHAINRX_CHECK(replication_ >= 1);
   CHAINRX_CHECK(nodes_.size() >= replication_);
   CHAINRX_CHECK(vnodes_per_node >= 1);
-  points_.reserve(nodes_.size() * vnodes_per_node);
-  for (NodeId node : nodes_) {
-    for (uint32_t v = 0; v < vnodes_per_node; ++v) {
+  if (weights_.empty()) {
+    weights_.assign(nodes_.size(), vnodes_per_node);
+  }
+  CHAINRX_CHECK(weights_.size() == nodes_.size());
+  size_t total_points = 0;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    CHAINRX_CHECK(weights_[i] >= 1);
+    total_points += weights_[i];
+  }
+  points_.reserve(total_points);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    for (uint32_t v = 0; v < weights_[i]; ++v) {
       // Vnode placement must be a pure function of (node, v) so that all
-      // parties, and all epochs containing the node, agree on it.
-      const uint64_t h = Mix64((static_cast<uint64_t>(node) << 20) | v);
-      points_.push_back(Point{h, node});
+      // parties, and all epochs containing the node, agree on it. Raising a
+      // node's weight only adds points; lowering it only removes them.
+      const uint64_t h = Mix64((static_cast<uint64_t>(nodes_[i]) << 20) | v);
+      points_.push_back(Point{h, nodes_[i]});
     }
   }
   std::sort(points_.begin(), points_.end());
+}
+
+uint32_t Ring::WeightOf(NodeId node) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i] == node) {
+      return weights_[i];
+    }
+  }
+  return 0;
 }
 
 std::vector<NodeId> Ring::ComputeChain(const Key& key) const {

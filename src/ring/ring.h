@@ -20,9 +20,13 @@ class Ring {
   Ring() = default;
 
   // `nodes` lists live node ids; `replication` is the chain length R.
-  // Requires nodes.size() >= replication >= 1.
+  // Requires nodes.size() >= replication >= 1. `weights` (when non-empty,
+  // parallel to `nodes`) overrides the per-node vnode count: a node with a
+  // larger weight owns proportionally more ring segments. Rebalancing moves
+  // arcs between nodes by changing weights — placement of each (node, v)
+  // point stays a pure function, so all parties agree on every epoch.
   Ring(std::vector<NodeId> nodes, uint32_t vnodes_per_node, uint32_t replication,
-       uint64_t epoch = 0);
+       uint64_t epoch = 0, std::vector<uint32_t> weights = {});
 
   // The chain (head first) for `key`. Stable for a given membership.
   const std::vector<NodeId>& ChainFor(const Key& key) const;
@@ -46,6 +50,11 @@ class Ring {
   std::vector<std::vector<NodeId>> SegmentChains() const;
 
   const std::vector<NodeId>& nodes() const { return nodes_; }
+  // Per-node vnode counts, parallel to nodes() (filled with the default
+  // when the ring was built without explicit weights).
+  const std::vector<uint32_t>& weights() const { return weights_; }
+  // Number of ring points owned by `node` (0 if absent).
+  uint32_t WeightOf(NodeId node) const;
   uint32_t replication() const { return replication_; }
   uint64_t epoch() const { return epoch_; }
   bool empty() const { return points_.empty(); }
@@ -62,6 +71,7 @@ class Ring {
   std::vector<NodeId> ComputeChain(const Key& key) const;
 
   std::vector<NodeId> nodes_;
+  std::vector<uint32_t> weights_;  // parallel to nodes_
   std::vector<Point> points_;  // sorted
   uint32_t replication_ = 1;
   uint64_t epoch_ = 0;

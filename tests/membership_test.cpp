@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "src/harness/cluster.h"
+#include "src/harness/experiment.h"
 #include "src/msg/message.h"
 #include "src/ring/membership.h"
 #include "src/sim/network.h"
@@ -46,8 +47,11 @@ TEST(Membership, RemoveBroadcastsNewEpochToNodesAndListeners) {
     ASSERT_EQ(nodes[n - 1].epochs.size(), 1u) << "node " << n;
     EXPECT_EQ(nodes[n - 1].epochs[0], 2u);
   }
-  // The removed node is not told (it is presumed dead).
-  EXPECT_TRUE(nodes[2].epochs.empty());
+  // The removed node gets exactly one farewell copy: a live-drained node
+  // must learn the flip to hand off its unstable head keys (a node removed
+  // because it crashed simply never receives it).
+  ASSERT_EQ(nodes[2].epochs.size(), 1u);
+  EXPECT_EQ(nodes[2].epochs[0], 2u);
   ASSERT_EQ(listener.epochs.size(), 1u);
   EXPECT_EQ(listener.last_nodes, (std::vector<NodeId>{1, 2, 4, 5}));
 }
@@ -151,6 +155,67 @@ TEST(Repair, ClientsLearnNewRing) {
     EXPECT_LT(cluster.sim()->Now() - start, 100 * kMillisecond) << "op used timeout retries";
   }
   EXPECT_EQ(cluster.crx_client(1)->retries(), 0u);
+}
+
+// Failure-detection / broadcast tuning knobs (CrxConfig fd_sweep_interval,
+// fd_timeout, membership_rebroadcast_interval), one test per knob.
+
+TEST(FailureKnobs, FdTimeoutKnobExtendsGrace) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 1;
+  opts.heartbeat_interval = 50 * kMillisecond;
+  opts.fd_timeout = 2 * kSecond;  // default would be 4x50ms = 200ms
+  Cluster cluster(opts);
+
+  cluster.net()->Crash(cluster.ServerAddress(0, 2));
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 1 * kSecond);
+  // Default timeout would have evicted the node ~4 sweeps in; the knob says
+  // tolerate 2s of silence.
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 0u);
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 2 * kSecond);
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 1u);
+}
+
+TEST(FailureKnobs, FdSweepIntervalKnobSetsDetectionCadence) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 1;
+  opts.heartbeat_interval = 50 * kMillisecond;
+  opts.fd_sweep_interval = 1 * kSecond;  // default would sweep every 50ms
+  Cluster cluster(opts);
+
+  cluster.net()->Crash(cluster.ServerAddress(0, 2));
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 500 * kMillisecond);
+  // The silence already exceeds the (default 200ms) timeout, but no sweep
+  // has run yet.
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 0u);
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 700 * kMillisecond);
+  EXPECT_EQ(cluster.membership(0)->failures_detected(), 1u);
+}
+
+TEST(FailureKnobs, RebroadcastKnobRefreshesListeners) {
+  ClusterOptions opts;
+  opts.system = SystemKind::kChainReaction;
+  opts.servers_per_dc = 8;
+  opts.clients_per_dc = 1;
+  opts.heartbeat_interval = 50 * kMillisecond;
+  opts.membership_rebroadcast_interval = 100 * kMillisecond;
+  Cluster cluster(opts);
+
+  // A listener registered *after* construction never saw an announcement;
+  // only the periodic rebroadcast can teach it the current ring.
+  RecordingActor late;
+  cluster.net()->Register(kClientAddressBase + 900, &late, 0);
+  cluster.membership(0)->AddListener(kClientAddressBase + 900);
+
+  cluster.sim()->RunUntil(cluster.sim()->Now() + 1 * kSecond);
+  EXPECT_GE(cluster.membership(0)->rebroadcasts(), 8u);
+  ASSERT_FALSE(late.epochs.empty());
+  EXPECT_EQ(late.epochs.back(), 1u);  // no topology change, same epoch
+  EXPECT_EQ(late.last_nodes.size(), 8u);
 }
 
 TEST(Repair, SurvivesDownToReplicationFloor) {

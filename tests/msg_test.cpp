@@ -652,6 +652,13 @@ TEST(MessageFuzz, MembershipStructs) {
     const size_t n = rng->NextBelow(12);
     for (size_t i = 0; i < n; ++i) {
       m->nodes.push_back(static_cast<NodeId>(rng->NextBelow(256)));
+      if (rng->NextBool(0.8)) {
+        m->weights.push_back(1 + static_cast<uint32_t>(rng->NextBelow(64)));
+      }
+    }
+    const size_t p = rng->NextBelow(4);
+    for (size_t i = 0; i < p; ++i) {
+      m->pre_synced.push_back(static_cast<NodeId>(rng->NextBelow(256)));
     }
   });
   FuzzStruct<MemHeartbeat>("MemHeartbeat", 602, [](MemHeartbeat* m, Rng* rng) {
@@ -667,6 +674,81 @@ TEST(MessageFuzz, MembershipStructs) {
   FuzzStruct<MemSyncDone>("MemSyncDone", 604, [](MemSyncDone* m, Rng* rng) {
     m->epoch = rng->NextBelow(100);
     m->from = static_cast<NodeId>(rng->NextBelow(256));
+  });
+}
+
+TEST(MessageFuzz, MigrationStructs) {
+  FuzzStruct<MigSnapshotRequest>("MigSnapshotRequest", 701, [](MigSnapshotRequest* m, Rng* rng) {
+    m->migration_id = rng->Next();
+    m->epoch = rng->NextBelow(100);
+    m->planned_epoch = m->epoch + 1;
+    const size_t n = rng->NextBelow(12);
+    for (size_t i = 0; i < n; ++i) {
+      m->planned_nodes.push_back(static_cast<NodeId>(rng->NextBelow(256)));
+      m->planned_weights.push_back(1 + static_cast<uint32_t>(rng->NextBelow(64)));
+    }
+    m->coordinator = static_cast<Address>(rng->Next());
+    m->batch_keys = 1 + static_cast<uint32_t>(rng->NextBelow(256));
+    m->batch_interval = rng->NextBelow(1ull << 30);
+  });
+  auto fuzz_entry = [](Rng* rng) {
+    MigEntry e;
+    e.key = FuzzKey(rng);
+    e.has_value = rng->NextBool(0.7);
+    e.value = e.has_value ? FuzzValue(rng) : Value();
+    e.version = FuzzVersion(rng);
+    e.stable = rng->NextBool(0.5);
+    e.deps = FuzzDeps(rng);
+    return e;
+  };
+  FuzzStruct<MigKeyBatch>("MigKeyBatch", 702, [&](MigKeyBatch* m, Rng* rng) {
+    m->migration_id = rng->Next();
+    m->epoch = rng->NextBelow(100);
+    m->source = static_cast<NodeId>(rng->NextBelow(256));
+    m->target = static_cast<NodeId>(rng->NextBelow(256));
+    m->coordinator = static_cast<Address>(rng->Next());
+    m->seq = rng->NextBelow(1ull << 30);
+    m->last = rng->NextBool(0.3);
+    const size_t n = rng->NextBelow(5);
+    for (size_t i = 0; i < n; ++i) {
+      m->entries.push_back(fuzz_entry(rng));
+    }
+  });
+  FuzzStruct<MigSnapshotDone>("MigSnapshotDone", 703, [](MigSnapshotDone* m, Rng* rng) {
+    m->migration_id = rng->Next();
+    m->from = static_cast<NodeId>(rng->NextBelow(256));
+    m->keys_streamed = rng->NextBelow(1ull << 30);
+    const size_t n = rng->NextBelow(6);
+    for (size_t i = 0; i < n; ++i) {
+      m->targets.push_back(static_cast<NodeId>(rng->NextBelow(256)));
+    }
+    m->aborted = rng->NextBool(0.2);
+  });
+  FuzzStruct<MigRangeSealed>("MigRangeSealed", 704, [](MigRangeSealed* m, Rng* rng) {
+    m->migration_id = rng->Next();
+    m->source = static_cast<NodeId>(rng->NextBelow(256));
+    m->target = static_cast<NodeId>(rng->NextBelow(256));
+    m->entries_applied = rng->NextBelow(1ull << 30);
+  });
+  FuzzStruct<MigCommit>("MigCommit", 705, [](MigCommit* m, Rng* rng) {
+    m->migration_id = rng->Next();
+    m->planned_epoch = rng->NextBelow(100);
+    const size_t n = rng->NextBelow(12);
+    for (size_t i = 0; i < n; ++i) {
+      m->nodes.push_back(static_cast<NodeId>(rng->NextBelow(256)));
+      m->weights.push_back(1 + static_cast<uint32_t>(rng->NextBelow(64)));
+    }
+    const size_t p = rng->NextBelow(4);
+    for (size_t i = 0; i < p; ++i) {
+      m->pre_synced.push_back(static_cast<NodeId>(rng->NextBelow(256)));
+    }
+  });
+  FuzzStruct<MigAbort>("MigAbort", 706, [](MigAbort* m, Rng* rng) {
+    m->migration_id = rng->NextBool(0.2) ? 0 : rng->Next();  // 0 = wildcard
+    const size_t len = rng->NextBelow(40);
+    for (size_t i = 0; i < len; ++i) {
+      m->reason.push_back(static_cast<char>('a' + rng->NextBelow(26)));
+    }
   });
 }
 
@@ -697,7 +779,9 @@ TEST(MessageFuzz, GarbageNeverCrashes) {
                          CraqVersionQuery, CraqVersionReply, EvPut, EvReplicate, EvReplicateAck,
                          EvPutAck, EvGet, EvGetReply, EvReadQuery, EvReadReply, GeoLocalStable,
                          GeoLocalStableAck, GeoShip, GeoShipBatch, GeoApplied, GeoRemotePut,
-                         MemNewMembership, MemHeartbeat, MemSyncKey, MemSyncDone>(garbage);
+                         MemNewMembership, MemHeartbeat, MemSyncKey, MemSyncDone,
+                         MigSnapshotRequest, MigKeyBatch, MigSnapshotDone, MigRangeSealed,
+                         MigCommit, MigAbort>(garbage);
   }
   SUCCEED();
 }

@@ -294,5 +294,65 @@ TEST(TcpTransportMultiLoop, PipelinedPutsWithAckBatching) {
   EXPECT_EQ(result.failures, 0u) << "every pipelined put must be acked";
 }
 
+// Elastic membership over TCP: a brand-new node boots in its own runtime
+// while closed-loop load runs, its ports enter the shared address book, the
+// coordinator streams its key ranges and flips the epoch — all without
+// restarting any existing runtime. Afterwards the newcomer must hold data
+// and every key written before the join must still read back correctly.
+TEST(TcpElastic, JoinUnderLoadWithoutRestart) {
+  TcpCluster::Options opts;
+  opts.num_nodes = 5;
+  opts.loop_threads = 2;
+  opts.num_clients = 2;
+  opts.elastic = true;
+  opts.config.replication = 3;
+  opts.config.k_stability = 2;
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  opts.config.heartbeat_interval = 0;  // no FD: loopback "processes" don't crash
+  TcpCluster cluster(opts);
+
+  // Seed a known data set before the topology changes.
+  SyncClient seeder(cluster.client(0), cluster.client_runtime());
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_TRUE(seeder.Put("pre-" + std::to_string(i), "v" + std::to_string(i)).status.ok());
+  }
+
+  // Kick off background load, then join a 6th node mid-run.
+  std::thread admin([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    cluster.AddJoiningServer();
+  });
+  TcpCluster::LoadOptions load;
+  load.duration = 600 * kMillisecond;
+  load.value_size = 64;
+  load.key_space = 64;
+  load.get_fraction = 0.3;
+  load.pipeline = 2;
+  const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
+  admin.join();
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_EQ(result.failures, 0u) << "ops spanning the epoch flip must succeed";
+
+  ASSERT_TRUE(cluster.WaitMigrationIdle());
+  EXPECT_EQ(cluster.coordinator()->completed(), 1u);
+  EXPECT_EQ(cluster.coordinator()->aborted(), 0u);
+  EXPECT_EQ(cluster.coordinator()->observed_epoch(), 2u);
+  ASSERT_EQ(cluster.num_nodes(), 6u);
+
+  // The newcomer received migrated entries over real sockets.
+  EXPECT_GT(cluster.node(5)->mig_entries_in(), 0u);
+  EXPECT_GT(cluster.node(5)->store().KeyCount(), 0u);
+
+  // Every pre-join key still reads back through the post-flip ring.
+  SyncClient reader(cluster.client(1), cluster.client_runtime());
+  for (int i = 0; i < 64; ++i) {
+    const auto get = reader.Get("pre-" + std::to_string(i));
+    ASSERT_TRUE(get.status.ok()) << "pre-" << i;
+    ASSERT_TRUE(get.found) << "pre-" << i;
+    EXPECT_EQ(get.value, "v" + std::to_string(i));
+  }
+}
+
 }  // namespace
 }  // namespace chainreaction

@@ -43,6 +43,9 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --think-us N     client think time, us                           [0]
   --drop P         message drop probability                        [0]
   --kill-at-ms T   crash one server T ms into the measurement      [off]
+  --join-at-ms T   live-join a new server T ms into the measurement
+                   (its ranges stream in, then the epoch flips)    [off]
+  --drain-at-ms T  live-drain one server T ms into the measurement [off]
   --data-dir DIR   per-node WALs under DIR (chainreaction only)    [off]
   --fsync-mode M   always | batch | none                           [batch]
   --engine E       mem | disk value storage (needs --data-dir)     [mem]
@@ -167,7 +170,8 @@ int main(int argc, char** argv) {
   if (!flags.Parse(argc, argv,
                    {"system", "workload", "servers", "clients", "records", "value-size",
                     "replication", "k", "dcs", "wan-ms", "measure-ms", "warmup-ms",
-                    "think-us", "drop", "kill-at-ms", "data-dir", "fsync-mode",
+                    "think-us", "drop", "kill-at-ms", "join-at-ms", "drain-at-ms",
+                    "data-dir", "fsync-mode",
                     "engine", "cache-mb",
                     "crash-at-ms", "restart-at-ms", "seed", "check", "stats-every-ms",
                     "trace-every", "trace-prob", "slow-trace-us", "http-port", "metrics",
@@ -250,6 +254,26 @@ int main(int argc, char** argv) {
     const Duration at = flags.GetInt("kill-at-ms", 1000) * kMillisecond;
     cluster.sim()->Schedule(run.warmup + at, [&cluster]() {
       cluster.KillServer(0, cluster.options().servers_per_dc / 2);
+    });
+  }
+
+  // Planned elasticity under load: a join boots a brand-new node whose key
+  // ranges stream in before the epoch flips; a drain streams a node's
+  // ranges away before dropping it. Both run concurrently with the
+  // workload — the report's 'elastic' line shows the outcome.
+  const bool elastic = flags.Has("join-at-ms") || flags.Has("drain-at-ms");
+  if (elastic && opts.system != SystemKind::kChainReaction) {
+    std::fprintf(stderr, "--join-at-ms/--drain-at-ms require --system chainreaction\n");
+    return 2;
+  }
+  if (flags.Has("join-at-ms")) {
+    const Duration at = flags.GetInt("join-at-ms", 500) * kMillisecond;
+    cluster.sim()->Schedule(run.warmup + at, [&cluster]() { cluster.AddJoiningServer(0); });
+  }
+  if (flags.Has("drain-at-ms")) {
+    const Duration at = flags.GetInt("drain-at-ms", 500) * kMillisecond;
+    cluster.sim()->Schedule(run.warmup + at, [&cluster]() {
+      cluster.DrainServer(0, cluster.options().servers_per_dc / 3);
     });
   }
 
@@ -393,6 +417,14 @@ int main(int argc, char** argv) {
                     static_cast<long long>(node->last_recovery_replay_us()),
                     rs.tail_truncated ? " (torn tail truncated)" : "");
       }
+    }
+    if (elastic) {
+      std::printf("elastic       migrations completed=%llu aborted=%llu epoch=%llu "
+                  "nodes=%llu\n",
+                  static_cast<unsigned long long>(cluster.coordinator(0)->completed()),
+                  static_cast<unsigned long long>(cluster.coordinator(0)->aborted()),
+                  static_cast<unsigned long long>(cluster.membership(0)->epoch()),
+                  static_cast<unsigned long long>(cluster.membership(0)->nodes().size()));
     }
     std::string diag;
     std::printf("convergence   %s\n", cluster.CheckConvergence(&diag) ? "OK" : diag.c_str());
