@@ -16,13 +16,20 @@
 // `off`. `tail` pays for a trace context on every put message, so its wire
 // bytes and wall time are visibly higher — that mode is for debugging
 // sessions, not steady state.
+// Part 3 measures the full *assembled tracing* plane at the recommended
+// 1/64 sampling: the traced cell's SIMULATED throughput (trace contexts cost
+// real wire bytes under the service model, so the delta is deterministic)
+// plus post-run TraceAssembler critical-path derivation. `--smoke` runs only
+// this part and gates overhead <= 5% — the release-bench CI step.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/obs/assembly.h"
 #include "src/obs/events.h"
 #include "src/obs/metrics.h"
 
@@ -107,10 +114,77 @@ void PolicyCell(const PolicyRow& row) {
               r.cluster->traces()->size(), r.cluster->traces()->retained_count());
 }
 
+// Part 3: the whole assembled-tracing plane vs. tracing off, same cell.
+struct AssembledOutcome {
+  double ops_sec = 0;
+  size_t assembled = 0;
+  size_t complete = 0;
+  double coverage = 0;
+};
+
+AssembledOutcome AssembledCell(uint32_t trace_every) {
+  CellOptions cell;
+  cell.spec = WorkloadSpec::B(2000, 256);
+  cell.servers = 8;
+  cell.clients = 32;
+  cell.measure = 500 * kMillisecond;
+  cell.trace_sample_every = trace_every;
+
+  CellResult r = RunCell(cell);
+  AssembledOutcome out;
+  out.ops_sec = r.run.throughput_ops_sec;
+  if (trace_every > 0) {
+    TraceAssembler assembler;
+    assembler.MergeFrom(*r.cluster->traces());
+    const std::vector<CriticalPath> cps = assembler.PublishAggregates(r.cluster->metrics());
+    out.assembled = cps.size();
+    for (const CriticalPath& cp : cps) {
+      out.complete += cp.complete ? 1 : 0;
+      out.coverage += cp.coverage;
+    }
+    if (!cps.empty()) {
+      out.coverage /= static_cast<double>(cps.size());
+    }
+  }
+  return out;
+}
+
+// Runs the overhead gate. Returns 0 iff assembled tracing at the default
+// 1/64 sampling costs <= 5% simulated throughput and paths assemble.
+int AssembledOverheadGate() {
+  std::printf("part 3 — assembled tracing (1/64 sampling + critical-path assembly)\n");
+  const AssembledOutcome off = AssembledCell(0);
+  const AssembledOutcome traced = AssembledCell(64);
+  const double overhead_pct =
+      off.ops_sec > 0 ? 100.0 * (1.0 - traced.ops_sec / off.ops_sec) : 0;
+  std::printf("  off     %8.0f ops/s sim\n", off.ops_sec);
+  std::printf("  traced  %8.0f ops/s sim   assembled=%zu complete=%zu coverage=%.2f\n",
+              traced.ops_sec, traced.assembled, traced.complete, traced.coverage);
+  std::printf("  overhead %.2f%% (gate: <= 5%%)\n", overhead_pct);
+  if (traced.assembled == 0 || traced.complete == 0) {
+    std::fprintf(stderr, "smoke FAILED: no critical paths assembled\n");
+    return 1;
+  }
+  if (overhead_pct > 5.0) {
+    std::fprintf(stderr, "smoke FAILED: assembled tracing costs %.2f%% > 5%%\n",
+                 overhead_pct);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   std::printf("== E15: telemetry overhead ==\n");
+  if (smoke) {
+    const int rc = AssembledOverheadGate();
+    if (rc == 0) {
+      std::printf("smoke OK\n");
+    }
+    return rc;
+  }
 
   std::printf("part 1 — hot-path instruments\n");
   g_lat = g_registry.GetLatency("bench_latency", {{"bench", "e15"}});
@@ -131,5 +205,6 @@ int main() {
   }
   std::printf("note: 'sampled' should sit within ~3%% wall time of 'off'; 'tail' traces\n"
               "every put (context bytes on the wire) and is a debugging mode.\n");
-  return 0;
+
+  return AssembledOverheadGate();
 }

@@ -34,6 +34,7 @@
 
 #include "bench/bench_util.h"
 #include "src/net/tcp_cluster.h"
+#include "src/obs/assembly.h"
 
 // Allocation accounting: every global allocation in the process (all loop
 // threads included) bumps one relaxed counter. Benchmarks divide the delta
@@ -65,6 +66,7 @@ struct CellSpec {
   Duration ack_batch_window = 0;
   bool per_node_runtimes = false;  // seed deployment: 1 single-loop runtime/node
   bool coalesced_io = true;        // false = pre-overhaul per-frame write()
+  uint32_t trace_sample_every = 0;  // >0: sampled tracing + post-run assembly
 };
 
 struct CellOutcome {
@@ -75,6 +77,19 @@ struct CellOutcome {
   int64_t p99_us = 0;
   double allocs_per_op = 0;
   double frames_per_writev = 0;
+
+  // Assembled critical path (traced cells only): per-segment means over every
+  // assembled request, plus the honesty signals the smoke gate checks.
+  size_t cp_assembled = 0;
+  size_t cp_complete = 0;
+  size_t cp_gated = 0;             // requests with a dep-wait segment
+  size_t cp_gated_attributed = 0;  // ... of those, with the blocking dep named
+  double cp_encode_us = 0;
+  double cp_net_us = 0;
+  double cp_depwait_us = 0;
+  double cp_kack_us = 0;
+  double cp_stability_us = 0;
+  double cp_coverage = 0;  // mean attributed-sum / e2e — 1.0 = exact
 };
 
 CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
@@ -91,6 +106,13 @@ CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
   opts.config.ack_batch_window = spec.ack_batch_window;
   opts.per_node_runtimes = spec.per_node_runtimes;
   opts.coalesced_io = spec.coalesced_io;
+  MetricsRegistry metrics;
+  TraceCollector traces;
+  if (spec.trace_sample_every > 0) {
+    opts.config.trace_sample_every = spec.trace_sample_every;
+    opts.metrics = &metrics;
+    opts.traces = &traces;
+  }
   TcpCluster cluster(opts);
 
   TcpCluster::LoadOptions load;
@@ -114,6 +136,39 @@ CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
   const uint64_t calls = cluster.server_writev_calls();
   out.frames_per_writev =
       calls > 0 ? static_cast<double>(cluster.server_writev_frames()) / calls : 0;
+
+  if (spec.trace_sample_every > 0) {
+    TraceAssembler assembler;
+    assembler.MergeFrom(traces);
+    const std::vector<CriticalPath> cps = assembler.PublishAggregates(&metrics);
+    out.cp_assembled = cps.size();
+    double stab_seen = 0;
+    for (const CriticalPath& cp : cps) {
+      out.cp_complete += cp.complete ? 1 : 0;
+      if (cp.depwait_us > 0) {
+        ++out.cp_gated;
+        out.cp_gated_attributed += cp.blocked_by.empty() ? 0 : 1;
+      }
+      out.cp_encode_us += static_cast<double>(cp.encode_us);
+      out.cp_net_us += static_cast<double>(cp.net_us);
+      out.cp_depwait_us += static_cast<double>(cp.depwait_us);
+      out.cp_kack_us += static_cast<double>(cp.kack_us);
+      if (cp.stability_us >= 0) {
+        out.cp_stability_us += static_cast<double>(cp.stability_us);
+        stab_seen += 1;
+      }
+      out.cp_coverage += cp.coverage;
+    }
+    if (!cps.empty()) {
+      const double n = static_cast<double>(cps.size());
+      out.cp_encode_us /= n;
+      out.cp_net_us /= n;
+      out.cp_depwait_us /= n;
+      out.cp_kack_us /= n;
+      out.cp_coverage /= n;
+      out.cp_stability_us = stab_seen > 0 ? out.cp_stability_us / stab_seen : 0;
+    }
+  }
   return out;
 }
 
@@ -146,10 +201,14 @@ int Main(int argc, char** argv) {
   // 4-loop runtime with ring-segment affinity, coalesced writev flushes,
   // and cumulative-ack windows. The middle cell isolates consolidation
   // from loop-count scaling (which needs cores to show up).
+  // The traced cell repeats overhaul_1loop_batched with 1/64 end-to-end
+  // sampling + post-run assembly — its throughput delta vs. the untraced
+  // twin is the cost of the whole tracing plane.
   const CellSpec cells[] = {
       {"baseline_1loop_per_node", 1, 0, /*per_node=*/true, /*coalesced=*/false},
       {"overhaul_1loop_batched", 1, 100, false, true},
       {"overhaul_4loops_batched", 4, 100 /*us*/, false, true},
+      {"overhaul_1loop_traced", 1, 100, false, true, /*trace 1/N=*/64},
   };
   // Loop-count scaling needs cores; the headline number compares the
   // baseline against the overhaul cell sized for this machine.
@@ -172,8 +231,26 @@ int Main(int argc, char** argv) {
   std::printf("\nput throughput speedup (%s vs baseline, %u hw threads): %.2fx\n\n",
               cells[headline].name.c_str(), hw, speedup);
 
+  // Critical-path table for the traced cell: where a sampled put's latency
+  // actually went, and the coverage/attribution honesty signals.
+  const CellOutcome& tr = outcomes[3];
+  const double tracing_overhead_pct =
+      outcomes[1].ops_per_sec > 0
+          ? 100.0 * (1.0 - tr.ops_per_sec / outcomes[1].ops_per_sec)
+          : 0;
+  PrintTableHeader("E16c: assembled critical path, 1/64 sampling (mean us/request)",
+                   {"assembled", "complete", "gated", "encode", "net", "depwait", "kack",
+                    "stability", "coverage"});
+  PrintTableRow({FmtU(tr.cp_assembled), FmtU(tr.cp_complete), FmtU(tr.cp_gated),
+                 Fmt("%.0f", tr.cp_encode_us), Fmt("%.0f", tr.cp_net_us),
+                 Fmt("%.0f", tr.cp_depwait_us), Fmt("%.0f", tr.cp_kack_us),
+                 Fmt("%.0f", tr.cp_stability_us), Fmt("%.2f", tr.cp_coverage)});
+  std::printf("\ntracing overhead vs untraced twin: %.1f%%; dep-gated with blocking dep "
+              "named: %zu/%zu\n\n",
+              tracing_overhead_pct, tr.cp_gated_attributed, tr.cp_gated);
+
   if (smoke) {
-    // CI sanity gate: both cells must complete real work without failures.
+    // CI sanity gate: every cell must complete real work without failures.
     for (size_t i = 0; i < outcomes.size(); ++i) {
       if (outcomes[i].ops == 0 || outcomes[i].failures > 0) {
         std::fprintf(stderr, "smoke FAILED: cell %zu ops=%llu failures=%llu\n", i,
@@ -181,6 +258,22 @@ int Main(int argc, char** argv) {
                      static_cast<unsigned long long>(outcomes[i].failures));
         return 1;
       }
+    }
+    // Trace-assembly gates: paths must assemble, the segment sum must be
+    // within 10% of the measured e2e latency (coverage >= 0.9), and every
+    // dep-wait segment must name the dependency that blocked it.
+    if (tr.cp_assembled == 0 || tr.cp_complete == 0) {
+      std::fprintf(stderr, "smoke FAILED: no critical paths assembled\n");
+      return 1;
+    }
+    if (tr.cp_coverage < 0.9) {
+      std::fprintf(stderr, "smoke FAILED: cp coverage %.2f < 0.9\n", tr.cp_coverage);
+      return 1;
+    }
+    if (tr.cp_gated_attributed < tr.cp_gated) {
+      std::fprintf(stderr, "smoke FAILED: %zu/%zu dep-gated paths lack blocked_by\n",
+                   tr.cp_gated - tr.cp_gated_attributed, tr.cp_gated);
+      return 1;
     }
     std::printf("smoke OK\n");
     return 0;
@@ -216,13 +309,24 @@ int Main(int argc, char** argv) {
                                       : 0}}});
   }
   for (size_t i = 0; i < outcomes.size(); ++i) {
-    rows.push_back(BenchJsonRow{cells[i].name,
-                                {{"loop_threads", static_cast<double>(cells[i].loop_threads)},
-                                 {"ops_per_sec", outcomes[i].ops_per_sec},
-                                 {"p50_us", static_cast<double>(outcomes[i].p50_us)},
-                                 {"p99_us", static_cast<double>(outcomes[i].p99_us)},
-                                 {"allocs_per_op", outcomes[i].allocs_per_op},
-                                 {"frames_per_writev", outcomes[i].frames_per_writev}}});
+    BenchJsonRow row{cells[i].name,
+                     {{"loop_threads", static_cast<double>(cells[i].loop_threads)},
+                      {"ops_per_sec", outcomes[i].ops_per_sec},
+                      {"p50_us", static_cast<double>(outcomes[i].p50_us)},
+                      {"p99_us", static_cast<double>(outcomes[i].p99_us)},
+                      {"allocs_per_op", outcomes[i].allocs_per_op},
+                      {"frames_per_writev", outcomes[i].frames_per_writev}}};
+    if (cells[i].trace_sample_every > 0) {
+      row.values.push_back({"cp_assembled", static_cast<double>(outcomes[i].cp_assembled)});
+      row.values.push_back({"cp_encode_us", outcomes[i].cp_encode_us});
+      row.values.push_back({"cp_net_us", outcomes[i].cp_net_us});
+      row.values.push_back({"cp_depwait_us", outcomes[i].cp_depwait_us});
+      row.values.push_back({"cp_kack_us", outcomes[i].cp_kack_us});
+      row.values.push_back({"cp_stability_us", outcomes[i].cp_stability_us});
+      row.values.push_back({"cp_coverage", outcomes[i].cp_coverage});
+      row.values.push_back({"tracing_overhead_pct", tracing_overhead_pct});
+    }
+    rows.push_back(row);
   }
   rows.push_back(BenchJsonRow{
       "summary", {{"put_speedup", speedup}, {"hw_threads", static_cast<double>(hw)}}});

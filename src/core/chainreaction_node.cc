@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
 #include "src/common/hash.h"
@@ -224,6 +225,10 @@ void ChainReactionNode::AttachObs(MetricsRegistry* metrics, TraceCollector* trac
   m_mig_entries_out_ = metrics->GetCounter("crx_mig_entries_streamed", node_label);
   m_mig_entries_in_ = metrics->GetCounter("crx_mig_entries_applied", node_label);
   m_mig_source_active_ = metrics->GetGauge("crx_mig_source_active", node_label);
+  m_mig_keys_pending_ = metrics->GetGauge("crx_mig_keys_pending", node_label);
+  m_mig_inflow_sessions_ = metrics->GetGauge("crx_mig_inflow_sessions", node_label);
+  m_chain_lag_ = metrics->GetGauge("crx_chain_lag_us", node_label);
+  m_dep_stalls_ = metrics->GetCounter("crx_dep_stalls_total", node_label);
   RefreshStoreGauges();
 }
 
@@ -412,6 +417,12 @@ void ChainReactionNode::HandlePut(CrxPut put) {
     return;
   }
 
+  // Arrival hop: the boundary between client->head transit and head
+  // processing on the critical path. Retries and rejoin re-drives re-enter
+  // here with a later timestamp; the assembler keeps the earliest.
+  TraceHopAndReport(&put.trace, trace_sink_, HopKind::kHeadRecv, id_, config_.local_dc,
+                    static_cast<uint32_t>(put.deps.size()), env_->Now());
+
   // This node's store may be missing the newest versions of the key: it
   // either just rejoined after a crash-restart (rejoin_until_), or it just
   // became the key's head at an epoch change (IsJoinGuarded — e.g. the ring
@@ -509,6 +520,15 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
   }
   auto& pending = it->second.pending_deps;
   const size_t before = pending.size();
+  // The dependency this confirm releases — if it empties the pending set,
+  // it is the write's LAST blocker and names the critical-path dep-wait.
+  Dependency blocker;
+  for (const Dependency& d : pending) {
+    if (d.key == msg.key) {
+      blocker = d;
+      break;
+    }
+  }
   std::erase_if(pending, [&msg](const Dependency& d) { return d.key == msg.key; });
   if (pending.size() == before || !pending.empty()) {
     return;  // duplicate confirm, or more dependencies outstanding
@@ -524,6 +544,36 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
   gated_reqs_.erase({put.client, put.req});
   if (m_gated_depth_ != nullptr) {
     m_gated_depth_->Set(static_cast<int64_t>(gated_puts_.size()));
+  }
+
+  // Critical-path attribution: close the dep-wait segment and name the
+  // blocking dependency — key hash on the hop, full key/version/chain in a
+  // collector note (notes never ride the wire).
+  if (put.trace.active()) {
+    const uint32_t waited_clamped = static_cast<uint32_t>(
+        std::min<Duration>(waited, std::numeric_limits<uint32_t>::max()));
+    TraceHopAndReport(&put.trace, trace_sink_, HopKind::kDepUnblocked, id_, config_.local_dc,
+                      waited_clamped, env_->Now(), Fnv1a64(blocker.key));
+    if (trace_sink_ != nullptr) {
+      trace_sink_->AnnotateNote(
+          put.trace.id, "blocked_by key=" + blocker.key +
+                            " version=" + blocker.version.ToString() + " chain=" +
+                            std::to_string(ring_.HeadFor(blocker.key)) + "->" +
+                            std::to_string(ring_.TailFor(blocker.key)));
+    }
+  }
+
+  // Stall watchdog: a dep-wait far beyond the typical head->tail
+  // stabilization lag means the blocking chain is stuck (lost notify,
+  // partitioned tail), not merely busy — flag it with the offender.
+  if (config_.stall_depwait_multiple > 0 && chain_lag_ewma_us_ > 0 &&
+      static_cast<double>(waited) >
+          config_.stall_depwait_multiple * static_cast<double>(chain_lag_ewma_us_)) {
+    events_.Emit(EventKind::kDepStall, env_->Now(),
+                 static_cast<int64_t>(Fnv1a64(blocker.key)), static_cast<int64_t>(waited));
+    if (m_dep_stalls_ != nullptr) {
+      m_dep_stalls_->Inc();
+    }
   }
   if (ring_.PositionOf(put.key, id_) != 1 || env_->Now() < rejoin_until_ ||
       IsJoinGuarded(put.key)) {
@@ -588,6 +638,12 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
   // down-chain below.
   if (applied && pos == 1 && mig_src_ != nullptr) {
     MirrorMigrationEntry(key, /*has_value=*/true, value, version, /*stable=*/false, deps);
+    // Timeline overlap marker: this write was applied while a planned
+    // migration was live at the head (E18 analysis pairs these with the
+    // crx_mig_* gauges to attribute migration-window latency).
+    TraceHopAndReport(&trace, trace_sink_, HopKind::kMigPhase, id_, config_.local_dc,
+                      static_cast<uint32_t>(mig_src_->pending.size() - mig_src_->cursor),
+                      env_->Now(), mig_src_->migration_id);
   }
 
   // Annotate only newly applied versions so retries and anti-entropy
@@ -680,8 +736,16 @@ void ChainReactionNode::HandleChainPut(CrxChainPut msg) {
     // head re-propagates all unstable writes under the new epoch.
     return;
   }
-  if (ring_.PositionOf(msg.key, id_) == 0) {
+  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  if (pos == 0) {
     return;
+  }
+  // Arrival hop splits this link into transit (previous apply -> here) and
+  // process (here -> this apply). Only for the first delivery — anti-entropy
+  // re-propagation of an already-applied version is not the link's transit.
+  if (msg.trace.active() && store_.FindMeta(msg.key, msg.version) == nullptr) {
+    TraceHopAndReport(&msg.trace, trace_sink_, HopKind::kChainRecv, id_, config_.local_dc,
+                      pos, env_->Now(), msg.chain_seq);
   }
   ApplyVersion(msg.key, std::move(msg.value), msg.version, msg.client, msg.req, msg.ack_at,
                msg.deps, msg.chain_seq, std::move(msg.trace));
@@ -982,6 +1046,7 @@ void ChainReactionNode::ResolveDeferredGets(const Key& key) {
 
 void ChainReactionNode::TrackUnstableHead(const Key& key) {
   unstable_head_keys_.insert(key);
+  unstable_since_.try_emplace(key, env_->Now());
   ArmAntiEntropy();
 }
 
@@ -994,6 +1059,18 @@ void ChainReactionNode::ResolveUnstableHead(const Key& key) {
     return;
   }
   unstable_head_keys_.erase(it);
+  // Head->tail stabilization lag sample for this key, folded into the EWMA
+  // the dep-stall watchdog compares against (alpha = 1/8).
+  if (auto since = unstable_since_.find(key); since != unstable_since_.end()) {
+    const int64_t lag = static_cast<int64_t>(env_->Now() - since->second);
+    unstable_since_.erase(since);
+    if (lag >= 0) {
+      chain_lag_ewma_us_ = chain_lag_ewma_us_ == 0 ? lag : (7 * chain_lag_ewma_us_ + lag) / 8;
+      if (m_chain_lag_ != nullptr) {
+        m_chain_lag_->Set(chain_lag_ewma_us_);
+      }
+    }
+  }
   if (unstable_head_keys_.empty() && anti_entropy_timer_ != 0) {
     env_->CancelTimer(anti_entropy_timer_);
     anti_entropy_timer_ = 0;
@@ -1039,6 +1116,7 @@ void ChainReactionNode::RunAntiEntropy() {
   }
   for (const Key& key : done) {
     unstable_head_keys_.erase(key);
+    unstable_since_.erase(key);  // ownership moved or resolved: no lag sample
   }
 }
 
@@ -1066,12 +1144,16 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
     mig_src_.reset();
     if (m_mig_source_active_ != nullptr) {
       m_mig_source_active_->Set(0);
+      m_mig_keys_pending_->Set(0);
     }
   }
   // Inflow sessions two epochs back can no longer receive legitimate
   // stragglers (their source's marker passed long ago); drop the bookkeeping.
   for (auto it = mig_inflows_.begin(); it != mig_inflows_.end();) {
     it = it->second.created_epoch + 1 < msg.epoch ? mig_inflows_.erase(it) : ++it;
+  }
+  if (m_mig_inflow_sessions_ != nullptr) {
+    m_mig_inflow_sessions_->Set(static_cast<int64_t>(mig_inflows_.size()));
   }
   if (!ring_.Contains(id_)) {
     // This node was removed (drain/leave, or oracle removal while still
@@ -1101,6 +1183,7 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
       }
     }
     unstable_head_keys_.clear();
+    unstable_since_.clear();
     return;  // no further traffic for this node
   }
   if (config_.rejoin_grace > 0) {
@@ -1417,6 +1500,7 @@ void ChainReactionNode::HandleMigSnapshotRequest(const MigSnapshotRequest& msg) 
   });
   if (m_mig_source_active_ != nullptr) {
     m_mig_source_active_->Set(1);
+    m_mig_keys_pending_->Set(static_cast<int64_t>(mig_src_->pending.size()));
   }
   events_.Emit(EventKind::kMigSnapshot, env_->Now(),
                static_cast<int64_t>(msg.migration_id),
@@ -1487,6 +1571,9 @@ void ChainReactionNode::StreamMigrationBatch() {
     }
   } while (src.batch_interval <= 0 && src.cursor < src.pending.size());
 
+  if (m_mig_keys_pending_ != nullptr) {
+    m_mig_keys_pending_->Set(static_cast<int64_t>(src.pending.size() - src.cursor));
+  }
   if (src.cursor < src.pending.size()) {
     const uint64_t id = src.migration_id;
     env_->Schedule(src.batch_interval, [this, id]() {
@@ -1568,6 +1655,9 @@ void ChainReactionNode::HandleMigKeyBatch(const MigKeyBatch& msg) {
       return;
     }
     it = mig_inflows_.emplace(session_key, MigrationInflow{ring_.epoch(), 0, false}).first;
+    if (m_mig_inflow_sessions_ != nullptr) {
+      m_mig_inflow_sessions_->Set(static_cast<int64_t>(mig_inflows_.size()));
+    }
   }
   MigrationInflow& inflow = it->second;
   for (const MigEntry& entry : msg.entries) {
@@ -1611,6 +1701,7 @@ void ChainReactionNode::HandleMigAbort(const MigAbort& msg) {
     mig_src_.reset();
     if (m_mig_source_active_ != nullptr) {
       m_mig_source_active_->Set(0);
+      m_mig_keys_pending_->Set(0);
     }
     events_.Emit(EventKind::kMigAborted, env_->Now(),
                  static_cast<int64_t>(msg.migration_id), 0);
@@ -1620,6 +1711,9 @@ void ChainReactionNode::HandleMigAbort(const MigAbort& msg) {
   for (auto it = mig_inflows_.begin(); it != mig_inflows_.end();) {
     const bool match = msg.migration_id == 0 || it->first.first == msg.migration_id;
     it = match ? mig_inflows_.erase(it) : ++it;
+  }
+  if (m_mig_inflow_sessions_ != nullptr) {
+    m_mig_inflow_sessions_->Set(static_cast<int64_t>(mig_inflows_.size()));
   }
 }
 

@@ -305,6 +305,12 @@ class ChainReactionNode : public Actor {
   // re-propagated by the anti-entropy timer if stability stalls (lost
   // chain messages). Timer is armed iff the set is non-empty.
   std::unordered_set<Key> unstable_head_keys_;
+  // When each key first went unstable, feeding the chain-lag EWMA that the
+  // dep-stall watchdog compares dep-waits against (a dep-wait far beyond
+  // the typical head->tail stabilization time means the blocking chain is
+  // stuck, not merely busy).
+  std::unordered_map<Key, Time> unstable_since_;
+  int64_t chain_lag_ewma_us_ = 0;
   uint64_t anti_entropy_timer_ = 0;
   // Rejoin barrier: after an epoch re-adds this node, client puts are
   // buffered until every established peer's MemSyncDone marker arrives
@@ -432,6 +438,10 @@ class ChainReactionNode : public Actor {
   Counter* m_mig_entries_out_ = nullptr;
   Counter* m_mig_entries_in_ = nullptr;
   Gauge* m_mig_source_active_ = nullptr;
+  Gauge* m_mig_keys_pending_ = nullptr;
+  Gauge* m_mig_inflow_sessions_ = nullptr;
+  Gauge* m_chain_lag_ = nullptr;
+  Counter* m_dep_stalls_ = nullptr;
   uint64_t engine_compactions_published_ = 0;
   FlightRecorder events_;
 };

@@ -118,6 +118,13 @@ struct CrxConfig {
   // many microseconds (or the put was head-sampled anyway); other traces
   // are discarded. Slow requests thus always keep their full hop trace.
   int64_t slow_trace_us = 0;
+
+  // Dep-stall watchdog: flag (flight-recorder kDepStall + crx_dep_stalls_total)
+  // any gated write whose dep-wait exceeds this multiple of the node's
+  // chain-lag EWMA (crx_chain_lag_us, the typical head->tail stabilization
+  // time). Such waits mean the blocking chain is stuck, not merely busy.
+  // 0 disables the watchdog.
+  double stall_depwait_multiple = 8.0;
 };
 
 }  // namespace chainreaction

@@ -50,7 +50,22 @@ Cluster::Cluster(ClusterOptions options) : options_(std::move(options)) {
   }
 }
 
-Cluster::~Cluster() = default;
+Cluster::~Cluster() {
+  // Clean-teardown flight dump: crash dumps (CrashServer) already write
+  // flight.log, but a run that ends normally used to discard every live
+  // node's recorder. Dump them all so post-run analysis always has the
+  // control-plane tail, marked with a shutdown (not crash) header.
+  if (!options_.data_root.empty()) {
+    for (DcId dc = 0; dc < crx_nodes_.size(); ++dc) {
+      for (uint32_t idx = 0; idx < crx_nodes_[dc].size(); ++idx) {
+        if (crx_nodes_[dc][idx] != nullptr) {
+          crx_nodes_[dc][idx]->events()->DumpToFile(NodeDataDir(dc, idx) + "/flight.log",
+                                                    sim_.Now(), EventKind::kShutdownDump);
+        }
+      }
+    }
+  }
+}
 
 CrxConfig Cluster::MakeCrxConfig(DcId dc) const {
   CrxConfig cfg;
@@ -76,6 +91,7 @@ CrxConfig Cluster::MakeCrxConfig(DcId dc) const {
   cfg.trace_sample_every = options_.trace_sample_every;
   cfg.trace_probability = options_.trace_probability;
   cfg.slow_trace_us = options_.slow_trace_us;
+  cfg.stall_depwait_multiple = options_.stall_depwait_multiple;
   return cfg;
 }
 

@@ -84,6 +84,9 @@ struct ClusterOptions {
   // >0: tail-based capture — every put is traced; traces whose observed
   // latency is >= this threshold are always retained (see CrxConfig).
   int64_t slow_trace_us = 0;
+  // Dep-stall watchdog threshold, as a multiple of the per-node chain-lag
+  // EWMA (see CrxConfig::stall_depwait_multiple; 0 disables).
+  double stall_depwait_multiple = 8.0;
   uint64_t seed = 1;
 
   // Non-empty: every ChainReaction server runs with durability enabled,

@@ -1,0 +1,28 @@
+// Minimal blocking HTTP/1.1 GET client for loopback telemetry scrapes.
+//
+// The counterpart of HttpServer: the trace assembler (and tests) use it to
+// pull /traces, /metrics, and /criticalpath from a node's telemetry port.
+// Loopback-only by design — like the server, it never leaves 127.0.0.1.
+#ifndef SRC_NET_HTTP_CLIENT_H_
+#define SRC_NET_HTTP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace chainreaction {
+
+struct HttpClientResponse {
+  bool ok = false;   // transport-level success (connected, full response read)
+  int status = 0;    // HTTP status code when ok
+  std::string body;
+};
+
+// Blocking GET of `path` from 127.0.0.1:`port`. `timeout_ms` bounds each
+// connect/read wait, not the whole transfer. The server closes after one
+// response (Connection: close), so the body is read to EOF and checked
+// against Content-Length when present.
+HttpClientResponse HttpGet(uint16_t port, const std::string& path, int timeout_ms = 2000);
+
+}  // namespace chainreaction
+
+#endif  // SRC_NET_HTTP_CLIENT_H_

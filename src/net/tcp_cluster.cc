@@ -87,9 +87,7 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
   }
   for (NodeId n = 0; n < opts_.num_nodes; ++n) {
     auto node = std::make_unique<ChainReactionNode>(n, effective_config_, ring_);
-    if (opts_.metrics != nullptr) {
-      node->AttachObs(opts_.metrics, nullptr);
-    }
+    AttachNodeTelemetry(node.get());
     if (opts_.per_node_runtimes) {
       node->AttachEnv(server_runtimes_[n]->Register(n, node.get()));
     } else {
@@ -120,11 +118,18 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
     membership_->AddListener(kTcpCoordinatorAddr);
   }
 
+  if (opts_.traces == nullptr && opts_.per_node_telemetry) {
+    client_collector_ = std::make_unique<TraceCollector>();
+  }
   client_runtime_ = std::make_unique<TcpRuntime>(&book_, opts_.client_loop_threads);
   for (uint32_t c = 0; c < opts_.num_clients; ++c) {
     const Address addr = kClientAddressBase + c;
     auto client = std::make_unique<ChainReactionClient>(addr, effective_config_, ring_,
                                                         opts_.seed + 1000 * (c + 1));
+    TraceCollector* sink = opts_.traces != nullptr ? opts_.traces : client_collector_.get();
+    if (opts_.metrics != nullptr || sink != nullptr) {
+      client->AttachObs(opts_.metrics, sink);
+    }
     client->AttachEnv(
         client_runtime_->Register(addr, client.get(), c % opts_.client_loop_threads));
     clients_.push_back(std::move(client));
@@ -165,6 +170,11 @@ TcpCluster::TcpCluster(Options opts) : opts_(opts) {
 }
 
 TcpCluster::~TcpCluster() {
+  for (auto& ts : node_telemetry_) {
+    if (ts != nullptr) {
+      ts->Stop();
+    }
+  }
   client_runtime_->Stop();
   for (auto& rt : joined_runtimes_) {
     rt->Stop();
@@ -172,6 +182,35 @@ TcpCluster::~TcpCluster() {
   for (auto& rt : server_runtimes_) {
     rt->Stop();
   }
+}
+
+void TcpCluster::AttachNodeTelemetry(ChainReactionNode* node) {
+  if (opts_.traces != nullptr) {
+    // Shared-sink mode: one collector sees every node's partial reports.
+    node->AttachObs(opts_.metrics, opts_.traces);
+    return;
+  }
+  if (!opts_.per_node_telemetry) {
+    if (opts_.metrics != nullptr) {
+      node->AttachObs(opts_.metrics, nullptr);
+    }
+    return;
+  }
+  // Distributed mode: the node's hops land only in its own collector, and
+  // the only way to a cluster-wide timeline is pulling each node's /traces
+  // endpoint — the same assembly protocol real multi-process deployments
+  // use (see TraceAssembler::PullHttp).
+  auto collector = std::make_unique<TraceCollector>();
+  node->AttachObs(opts_.metrics, collector.get());
+  auto server = std::make_unique<TelemetryServer>(/*port=*/0);
+  if (opts_.metrics != nullptr) {
+    server->AttachMetrics(opts_.metrics);
+  }
+  server->AttachTraces(collector.get());
+  server->AddRecorder("n" + std::to_string(node->id()), node->events());
+  server->Start();
+  node_collectors_.push_back(std::move(collector));
+  node_telemetry_.push_back(std::move(server));
 }
 
 NodeId TcpCluster::AddJoiningServer(uint32_t weight) {
@@ -182,9 +221,7 @@ NodeId TcpCluster::AddJoiningServer(uint32_t weight) {
   // per-shard port cache falls back to the book for unknown addresses).
   auto rt = std::make_unique<TcpRuntime>(&book_, 1, opts_.coalesced_io);
   auto node = std::make_unique<ChainReactionNode>(id, effective_config_, ring_);
-  if (opts_.metrics != nullptr) {
-    node->AttachObs(opts_.metrics, nullptr);
-  }
+  AttachNodeTelemetry(node.get());
   node->AttachEnv(rt->Register(id, node.get()));
   rt->Start();
   nodes_.push_back(std::move(node));

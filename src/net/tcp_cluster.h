@@ -26,6 +26,8 @@
 #include "src/net/address_book.h"
 #include "src/net/tcp_runtime.h"
 #include "src/obs/metrics.h"
+#include "src/obs/telemetry.h"
+#include "src/obs/trace.h"
 #include "src/ring/membership.h"
 #include "src/ring/ring.h"
 
@@ -43,6 +45,15 @@ class TcpCluster {
     // timeouts are taken as-is.
     CrxConfig config;
     MetricsRegistry* metrics = nullptr;  // optional
+    // Optional shared trace sink: every node AND client reports its hops
+    // here (one-process deployments — the assembler reads it directly).
+    TraceCollector* traces = nullptr;
+    // Distributed-telemetry mode: each node gets its OWN TraceCollector and
+    // TelemetryServer on an ephemeral loopback port (see
+    // node_telemetry_port), so trace assembly must pull per-node partials
+    // over HTTP exactly as it would against separate processes. Clients
+    // report to client_collector(). Ignored when `traces` is set.
+    bool per_node_telemetry = false;
     // Seed-style deployment: one single-loop runtime per node, every chain
     // hop over a socket (ignores loop_threads). Benchmarks use it as the
     // pre-overhaul baseline.
@@ -103,6 +114,20 @@ class TcpCluster {
   const Ring& ring() const { return ring_; }
   uint32_t shard_of_node(NodeId n) const { return node_shard_[n]; }
 
+  // Distributed telemetry (requires Options::per_node_telemetry) ------------
+  // Node n's telemetry port (0 if the server failed to bind) and its private
+  // trace collector; the client-side collector holds client_put/client_ack
+  // hops. A TraceAssembler pulls the node ports + merges client partials.
+  uint16_t node_telemetry_port(NodeId n) const {
+    return n < node_telemetry_.size() && node_telemetry_[n] != nullptr
+               ? node_telemetry_[n]->port()
+               : 0;
+  }
+  TraceCollector* node_collector(NodeId n) {
+    return n < node_collectors_.size() ? node_collectors_[n].get() : nullptr;
+  }
+  TraceCollector* client_collector() { return client_collector_.get(); }
+
   // Elastic membership (requires Options::elastic) -------------------------
   // Boots a brand-new node in its OWN TcpRuntime — a separate process
   // equivalent; peers learn its port from the shared address book without
@@ -135,6 +160,12 @@ class TcpCluster {
   std::unique_ptr<TcpRuntime> client_runtime_;
   std::vector<std::unique_ptr<ChainReactionNode>> nodes_;
   std::vector<std::unique_ptr<ChainReactionClient>> clients_;
+
+  // Distributed-telemetry state (empty unless opts_.per_node_telemetry).
+  std::vector<std::unique_ptr<TraceCollector>> node_collectors_;
+  std::vector<std::unique_ptr<TelemetryServer>> node_telemetry_;
+  std::unique_ptr<TraceCollector> client_collector_;
+  void AttachNodeTelemetry(ChainReactionNode* node);
 
   // Elastic-mode state (null unless opts_.elastic).
   std::unique_ptr<MembershipService> membership_;

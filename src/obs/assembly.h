@@ -1,0 +1,114 @@
+// Cluster-wide trace assembly and causal critical-path attribution.
+//
+// Per-node collectors each hold a partial view of a sampled request: the
+// client knows enqueue and ack times, the head knows gating and encode, each
+// chain replica knows when the link's frame arrived vs. when it applied.
+// The TraceAssembler stitches those partials into one causal timeline per
+// request — directly (MergeFrom, for the simulator and one-process TCP
+// clusters) or by pulling each node's /traces endpoint over HTTP (PullHttp,
+// for real deployments) — and decomposes the timeline into a critical path:
+//
+//   client_put ──net──▶ head_recv ──(dep-wait?)──▶ head_apply
+//        ──chain links (net+process per hop)──▶ k_ack ──net──▶ client_ack
+//
+// The decomposition is exact by construction: when every boundary hop is
+// present, encode + net + dep-wait + k-ack segments sum to the measured
+// end-to-end latency (coverage == 1.0). Missing hops lower `coverage`, which
+// is the assembler's own honesty signal — benches gate on it. DC-Write
+// stability and geo visibility land *after* the client ack on this protocol,
+// so they are reported as trailing lag, not folded into the e2e sum.
+//
+// Dep-wait segments carry attribution: the head files a collector note
+// naming the blocking dependency's key, version, and chain, surfaced here as
+// `blocked_by` (see ChainReactionNode::HandleStabilityConfirm).
+#ifndef SRC_OBS_ASSEMBLY_H_
+#define SRC_OBS_ASSEMBLY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace chainreaction {
+
+// One span on the assembled timeline, in trace-relative microseconds.
+struct CpSegment {
+  std::string name;  // "net:client->head", "dep_wait", "link2:process", ...
+  Time begin = 0;
+  Time end = 0;
+
+  Time duration() const { return end - begin; }
+};
+
+// The decomposed critical path of one request.
+struct CriticalPath {
+  uint64_t id = 0;
+  bool complete = false;  // all of client_put/head_apply/k_ack/client_ack seen
+
+  Time e2e_us = 0;        // client_ack - client_put (0 if either is missing)
+  Time net_us = 0;        // client->head + k_ack->client transit
+  Time encode_us = 0;     // head processing (recv->gate + unblock->apply)
+  Time depwait_us = 0;    // parked on unmet causal deps (0 if never gated)
+  Time kack_us = 0;       // head apply -> position-k ack
+  Time stability_us = -1; // head apply -> tail DC-Write-Stable (post-ack lag)
+  Time geo_us = -1;       // geo ship -> last remote visibility (post-ack lag)
+
+  // sum of attributed segments / e2e; 1.0 when every boundary hop arrived.
+  double coverage = 0.0;
+
+  std::string blocked_by;  // "key=... version=... chain=..." ("" if not gated)
+  bool migration_overlap = false;  // a planned migration was live at the head
+
+  std::vector<CpSegment> segments;  // full timeline, begin-ordered
+};
+
+// Decomposes an assembled trace. Always fills what it can; `complete` and
+// `coverage` say how much of the path was actually observed.
+CriticalPath ComputeCriticalPath(const TraceCollector::Trace& trace);
+
+// Multi-line human rendering ("segment  begin  end  dur  …" plus the
+// attribution lines) and a JSON object mirroring the struct.
+std::string RenderCriticalPath(const CriticalPath& cp);
+std::string RenderCriticalPathJson(const CriticalPath& cp);
+
+// Parses a trace rendered by TraceCollector::RenderJson back into hops and
+// notes — the inverse the HTTP pull path relies on. Returns false on any
+// structural mismatch.
+bool ParseTraceJson(const std::string& json, TraceCollector::Trace* out);
+
+// Stitches per-node partial traces into one collector and derives critical
+// paths + aggregate segment histograms. Not thread-safe; drive it from one
+// assembly thread (the telemetry scrape loop, a bench, or a test).
+class TraceAssembler {
+ public:
+  // Union-merges every trace (hops + notes) from `src` into the assembly
+  // collector. Returns the number of traces visited.
+  size_t MergeFrom(const TraceCollector& src);
+
+  // Pulls /traces then /traces/<id>?format=json from a node's telemetry
+  // server on 127.0.0.1:`port` and merges the results. Returns the number
+  // of traces merged, or -1 if the server was unreachable.
+  int PullHttp(uint16_t port);
+
+  TraceCollector* collector() { return &collector_; }
+  const TraceCollector& collector() const { return collector_; }
+
+  // Critical paths for every assembled trace, assembly order.
+  std::vector<CriticalPath> Assemble() const;
+  bool AssembleOne(uint64_t id, CriticalPath* out) const;
+
+  // Records per-segment histograms (crx_cp_encode_us / crx_cp_net_us /
+  // crx_cp_depwait_us / crx_cp_kack_us / crx_cp_stability_us), assembled /
+  // incomplete counters, and the crx_cp_coverage_pct gauge (mean coverage of
+  // complete paths, percent). Returns the paths it aggregated.
+  std::vector<CriticalPath> PublishAggregates(MetricsRegistry* metrics) const;
+
+ private:
+  TraceCollector collector_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_ASSEMBLY_H_

@@ -45,6 +45,10 @@ const char* EventKindName(EventKind kind) {
       return "geo_inject";
     case EventKind::kCrashDump:
       return "crash_dump";
+    case EventKind::kDepStall:
+      return "dep_stall";
+    case EventKind::kShutdownDump:
+      return "shutdown_dump";
   }
   return "unknown";
 }
@@ -121,12 +125,13 @@ std::string FlightRecorder::RenderJson(const std::vector<FlightEvent>& events) {
   return out;
 }
 
-bool FlightRecorder::DumpToFile(const std::string& path, int64_t time_us) const {
+bool FlightRecorder::DumpToFile(const std::string& path, int64_t time_us,
+                                EventKind header_kind) const {
   std::vector<FlightEvent> events = Snapshot();
   FlightEvent header;
   header.seq = emitted();
   header.time_us = time_us;
-  header.kind = EventKind::kCrashDump;
+  header.kind = header_kind;
   header.a = static_cast<int64_t>(events.size());
   events.insert(events.begin(), header);
   FILE* f = std::fopen(path.c_str(), "w");

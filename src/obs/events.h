@@ -47,6 +47,8 @@ enum class EventKind : uint8_t {
   kMigStreamDone,    // a=migration id, b=entries streamed (snapshot done)
   kMigSealed,        // a=migration id, b=entries applied (inflow sealed)
   kMigAborted,       // a=migration id, b=0
+  kDepStall,         // a=blocking key hash, b=dep-wait us (stall watchdog)
+  kShutdownDump,     // a=events captured, b=0 (clean-shutdown dump header)
 };
 
 const char* EventKindName(EventKind kind);
@@ -80,9 +82,11 @@ class FlightRecorder {
   static std::string RenderText(const std::vector<FlightEvent>& events);
   static std::string RenderJson(const std::vector<FlightEvent>& events);
 
-  // Writes RenderText(Snapshot()) to `path` with a kCrashDump header line.
-  // Returns false on I/O failure. Used by the harness crash path.
-  bool DumpToFile(const std::string& path, int64_t time_us) const;
+  // Writes RenderText(Snapshot()) to `path` with a `header` line prepended
+  // (kCrashDump from the harness crash path, kShutdownDump on clean
+  // teardown). Returns false on I/O failure.
+  bool DumpToFile(const std::string& path, int64_t time_us,
+                  EventKind header = EventKind::kCrashDump) const;
 
  private:
   struct Slot {

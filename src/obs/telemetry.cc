@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/obs/assembly.h"
+
 namespace chainreaction {
 
 namespace {
@@ -65,6 +67,9 @@ TelemetryServer::TelemetryServer(uint16_t port) : server_(port) {
   });
   server_.Handle("/status", [this](const std::string&, const std::string&) {
     return ServeStatus();
+  });
+  server_.Handle("/criticalpath", [this](const std::string&, const std::string& query) {
+    return ServeCriticalPath(query);
   });
 }
 
@@ -171,6 +176,28 @@ HttpResponse TelemetryServer::ServeStatus() const {
     return JsonResponse(status_provider_());
   }
   return JsonResponse("{}");
+}
+
+HttpResponse TelemetryServer::ServeCriticalPath(const std::string& query) const {
+  if (traces_ == nullptr) {
+    return HttpServer::NotFound();
+  }
+  TraceCollector::Trace trace;
+  const std::string id_text = QueryParam(query, "id");
+  if (!id_text.empty()) {
+    char* end = nullptr;
+    const uint64_t id = std::strtoull(id_text.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0' || id == 0 || !traces_->Find(id, &trace)) {
+      return HttpServer::NotFound();
+    }
+  } else if (!traces_->Latest(&trace)) {
+    return HttpServer::NotFound();
+  }
+  const CriticalPath cp = ComputeCriticalPath(trace);
+  if (QueryParam(query, "format") == "json") {
+    return JsonResponse(RenderCriticalPathJson(cp));
+  }
+  return TextResponse(RenderCriticalPath(cp));
 }
 
 }  // namespace chainreaction

@@ -12,6 +12,10 @@
 //   /events           flight-recorder contents of every attached recorder
 //                     (?format=json)
 //   /status           node/harness status JSON from the attached provider
+//   /criticalpath     critical-path decomposition of one trace (?id=<hex>,
+//                     default: the latest; ?format=json) — this node's
+//                     partial view unless an assembler merged peers into
+//                     the attached collector
 //
 // One TelemetryServer is attached per node in the TCP runtime (each on its
 // own port) and one per harness in sim runs (aggregating the shared
@@ -64,6 +68,7 @@ class TelemetryServer {
   HttpResponse ServeTraces(const std::string& path, const std::string& query) const;
   HttpResponse ServeEvents(const std::string& query) const;
   HttpResponse ServeStatus() const;
+  HttpResponse ServeCriticalPath(const std::string& query) const;
 
   HttpServer server_;
   const MetricsRegistry* metrics_ = nullptr;

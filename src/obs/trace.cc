@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "src/obs/metrics.h"
+
 namespace chainreaction {
 
 const char* HopKindName(HopKind kind) {
@@ -29,6 +31,14 @@ const char* HopKindName(HopKind kind) {
       return "geo_inject";
     case HopKind::kRemoteVisible:
       return "remote_visible";
+    case HopKind::kHeadRecv:
+      return "head_recv";
+    case HopKind::kDepUnblocked:
+      return "dep_unblocked";
+    case HopKind::kChainRecv:
+      return "chain_recv";
+    case HopKind::kMigPhase:
+      return "mig_phase";
   }
   return "?";
 }
@@ -45,6 +55,7 @@ void TraceContext::Encode(ByteWriter* w) const {
     w->PutU16(h.dc);
     w->PutU32(h.detail);
     w->PutI64(h.at);
+    w->PutVarU64(h.aux);
   }
 }
 
@@ -65,7 +76,7 @@ bool TraceContext::Decode(ByteReader* r) {
     uint8_t kind = 0;
     TraceHop& h = hops[i];
     if (!r->GetU8(&kind) || !r->GetU32(&h.node) || !r->GetU16(&h.dc) ||
-        !r->GetU32(&h.detail) || !r->GetI64(&h.at)) {
+        !r->GetU32(&h.detail) || !r->GetI64(&h.at) || !r->GetVarU64(&h.aux)) {
       return false;
     }
     h.kind = static_cast<HopKind>(kind);
@@ -96,12 +107,26 @@ void TraceCollector::Report(const TraceContext& trace) {
   }
 }
 
+void TraceCollector::AnnotateNote(uint64_t id, const std::string& note) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!traces_.contains(id)) {
+    return;
+  }
+  std::vector<std::string>& notes = notes_[id];
+  if (notes.size() >= kMaxNotesPerTrace ||
+      std::find(notes.begin(), notes.end(), note) != notes.end()) {
+    return;
+  }
+  notes.push_back(note);
+}
+
 void TraceCollector::EvictOneLocked() {
   // Prefer the oldest unretained trace; fall back to the oldest retained
   // one only when everything is pinned.
   for (auto it = order_.begin(); it != order_.end(); ++it) {
     if (!retained_.contains(*it)) {
       traces_.erase(*it);
+      notes_.erase(*it);
       order_.erase(it);
       return;
     }
@@ -109,6 +134,7 @@ void TraceCollector::EvictOneLocked() {
   if (!order_.empty()) {
     retained_.erase(order_.front());
     traces_.erase(order_.front());
+    notes_.erase(order_.front());
     order_.erase(order_.begin());
   }
 }
@@ -124,6 +150,7 @@ void TraceCollector::Discard(uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
   if (traces_.erase(id) > 0) {
     retained_.erase(id);
+    notes_.erase(id);
     order_.erase(std::remove(order_.begin(), order_.end(), id), order_.end());
   }
 }
@@ -183,6 +210,8 @@ bool TraceCollector::Find(uint64_t id, Trace* out) const {
   out->id = id;
   out->hops = it->second;
   SortHops(&out->hops);
+  auto nit = notes_.find(id);
+  out->notes = nit == notes_.end() ? std::vector<std::string>{} : nit->second;
   return true;
 }
 
@@ -195,12 +224,15 @@ bool TraceCollector::Latest(Trace* out) const {
   out->id = id;
   out->hops = traces_.at(id);
   SortHops(&out->hops);
+  auto nit = notes_.find(id);
+  out->notes = nit == notes_.end() ? std::vector<std::string>{} : nit->second;
   return true;
 }
 
 void TraceCollector::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   traces_.clear();
+  notes_.clear();
   order_.clear();
   retained_.clear();
 }
@@ -212,10 +244,18 @@ std::string TraceCollector::Render(const Trace& trace) {
   std::string out = buf;
   const Time t0 = trace.hops.empty() ? 0 : trace.hops.front().at;
   for (const TraceHop& h : trace.hops) {
-    std::snprintf(buf, sizeof(buf), "  +%-8lld %-14s node=%u dc=%u detail=%u\n",
+    std::snprintf(buf, sizeof(buf), "  +%-8lld %-14s node=%u dc=%u detail=%u",
                   static_cast<long long>(h.at - t0), HopKindName(h.kind), h.node, h.dc,
                   h.detail);
     out += buf;
+    if (h.aux != 0) {
+      std::snprintf(buf, sizeof(buf), " aux=%llx", static_cast<unsigned long long>(h.aux));
+      out += buf;
+    }
+    out += "\n";
+  }
+  for (const std::string& note : trace.notes) {
+    out += "  note " + note + "\n";
   }
   return out;
 }
@@ -228,10 +268,20 @@ std::string TraceCollector::RenderJson(const Trace& trace) {
   bool first = true;
   for (const TraceHop& h : trace.hops) {
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"kind\":\"%s\",\"node\":%u,\"dc\":%u,\"detail\":%u,\"at\":%lld}",
+                  "%s{\"kind\":\"%s\",\"node\":%u,\"dc\":%u,\"detail\":%u,\"at\":%lld,"
+                  "\"aux\":%llu}",
                   first ? "" : ",", HopKindName(h.kind), h.node, h.dc, h.detail,
-                  static_cast<long long>(h.at));
+                  static_cast<long long>(h.at), static_cast<unsigned long long>(h.aux));
     out += buf;
+    first = false;
+  }
+  out += "],\"notes\":[";
+  first = true;
+  for (const std::string& note : trace.notes) {
+    if (!first) {
+      out += ",";
+    }
+    AppendJsonString(&out, note);
     first = false;
   }
   out += "]}";

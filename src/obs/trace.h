@@ -39,6 +39,14 @@ enum class HopKind : uint8_t {
   kGeoShip = 8,        // origin replicator shipped      (detail=#peers)
   kGeoInject = 9,      // remote replicator injected     (detail=origin dc)
   kRemoteVisible = 10, // applied + stable in remote DC  (detail=origin dc)
+  kHeadRecv = 11,      // head received the fresh put    (detail=dep count)
+  kDepUnblocked = 12,  // last gating dep confirmed      (detail=waited us,
+                       //   aux=FNV-1a of the blocking key; the head also
+                       //   files a collector note naming key/version/chain)
+  kChainRecv = 13,     // replica received a chain put   (detail=position,
+                       //   aux=chain_seq) — splits a link into net+process
+  kMigPhase = 14,      // head applied while a planned migration was live
+                       //   (detail=keys still queued, aux=migration id)
 };
 
 const char* HopKindName(HopKind kind);
@@ -49,10 +57,12 @@ struct TraceHop {
   uint16_t dc = 0;     // datacenter of the annotating component
   uint32_t detail = 0; // kind-specific (chain position, dep count, ...)
   Time at = 0;         // Env::Now() at annotation
+  uint64_t aux = 0;    // kind-specific wide payload (key hash, chain_seq);
+                       // varint on the wire, so 0 costs one byte
 
   bool operator==(const TraceHop& other) const {
     return kind == other.kind && node == other.node && dc == other.dc &&
-           detail == other.detail && at == other.at;
+           detail == other.detail && at == other.at && aux == other.aux;
   }
 };
 
@@ -62,8 +72,9 @@ struct TraceContext {
 
   bool active() const { return id != 0; }
 
-  void Annotate(HopKind kind, uint32_t node, uint16_t dc, uint32_t detail, Time at) {
-    hops.push_back(TraceHop{kind, node, dc, detail, at});
+  void Annotate(HopKind kind, uint32_t node, uint16_t dc, uint32_t detail, Time at,
+                uint64_t aux = 0) {
+    hops.push_back(TraceHop{kind, node, dc, detail, at, aux});
   }
 
   void Encode(ByteWriter* w) const;
@@ -73,7 +84,11 @@ struct TraceContext {
     if (id == 0) {
       return 1;
     }
-    return VarU64Size(id) + VarU64Size(hops.size()) + hops.size() * 19;
+    size_t n = VarU64Size(id) + VarU64Size(hops.size());
+    for (const TraceHop& hop : hops) {
+      n += 19 + VarU64Size(hop.aux);
+    }
+    return n;
   }
 };
 
@@ -91,9 +106,16 @@ class TraceCollector {
   struct Trace {
     uint64_t id = 0;
     std::vector<TraceHop> hops;  // sorted by (at, kind, detail)
+    std::vector<std::string> notes;  // free-form annotations, insertion order
   };
 
   void Report(const TraceContext& trace);
+
+  // Attaches a free-form annotation (e.g. the dep-wait blocker's
+  // key/version/chain) to an already-reported trace. Notes live only in the
+  // collector — they never ride the wire. Duplicate notes collapse; at most
+  // kMaxNotesPerTrace are kept. No-op for unknown ids.
+  void AnnotateNote(uint64_t id, const std::string& note);
 
   // Tail-based capture support. Retain(id) pins a trace: eviction under
   // kMaxTraces pressure prefers unretained traces, so retained slow traces
@@ -118,11 +140,13 @@ class TraceCollector {
  private:
   static constexpr size_t kMaxTraces = 4096;   // oldest evicted beyond this
   static constexpr size_t kMaxHopsPerTrace = 512;
+  static constexpr size_t kMaxNotesPerTrace = 8;
 
   void EvictOneLocked();
 
   mutable std::mutex mu_;
   std::map<uint64_t, std::vector<TraceHop>> traces_;
+  std::map<uint64_t, std::vector<std::string>> notes_;  // sparse: noted ids only
   std::vector<uint64_t> order_;  // insertion order, for eviction + Latest()
   std::set<uint64_t> retained_;  // ids pinned by the tail sampler
 };
@@ -131,11 +155,12 @@ class TraceCollector {
 // collector holds a usable partial trace even if a downstream message is
 // lost. No-op for untraced contexts.
 inline void TraceHopAndReport(TraceContext* trace, TraceCollector* sink, HopKind kind,
-                              uint32_t node, uint16_t dc, uint32_t detail, Time at) {
+                              uint32_t node, uint16_t dc, uint32_t detail, Time at,
+                              uint64_t aux = 0) {
   if (trace == nullptr || !trace->active()) {
     return;
   }
-  trace->Annotate(kind, node, dc, detail, at);
+  trace->Annotate(kind, node, dc, detail, at, aux);
   if (sink != nullptr) {
     sink->Report(*trace);
   }

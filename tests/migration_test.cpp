@@ -58,6 +58,27 @@ TEST(Migration, JoinStreamsDataAndFlipsEpoch) {
   std::string diag;
   EXPECT_TRUE(cluster.CheckConvergence(&diag)) << diag;
   ExpectAllReadable(&cluster, 200);
+
+  // Migration state is exported as labeled Prometheus gauges. The source
+  // backlog has drained to zero now that the join committed; the newcomer's
+  // inflow sessions stay tracked (gauge > 0) until the straggler window a
+  // further epoch away closes, so only existence is asserted there.
+  const MetricsSnapshot snap = cluster.metrics()->Snapshot();
+  const std::string prom = snap.RenderPrometheus();
+  EXPECT_NE(prom.find("crx_mig_inflow_sessions{"), std::string::npos);
+  EXPECT_NE(prom.find("crx_mig_keys_pending{"), std::string::npos);
+  size_t mig_gauges = 0;
+  for (const MetricPoint& p : snap.points) {
+    if (p.name == "crx_mig_keys_pending") {
+      EXPECT_EQ(p.kind, MetricKind::kGauge);
+      EXPECT_EQ(p.value, 0) << p.name << "{" << p.labels << "}";
+      ++mig_gauges;
+    } else if (p.name == "crx_mig_inflow_sessions") {
+      EXPECT_EQ(p.kind, MetricKind::kGauge);
+      ++mig_gauges;
+    }
+  }
+  EXPECT_GT(mig_gauges, 0u);
 }
 
 TEST(Migration, JoinUnderLoadStaysCausal) {

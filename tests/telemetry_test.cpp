@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/harness/cluster.h"
 #include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sampling.h"
@@ -263,6 +264,45 @@ TEST(FlightRecorderTest, DumpToFileWritesCrashHeader) {
   EXPECT_NE(contents.find("crash_dump"), std::string::npos) << contents;
   EXPECT_NE(contents.find("epoch_change"), std::string::npos);
   EXPECT_NE(contents.find("wal_recovery a=55 b=3"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, DumpToFileShutdownHeader) {
+  FlightRecorder recorder;
+  recorder.Emit(EventKind::kEpochChange, 10, 1);
+  const std::string path = ::testing::TempDir() + "flight_shutdown_test.log";
+  ASSERT_TRUE(recorder.DumpToFile(path, 777, EventKind::kShutdownDump));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents(4096, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_NE(contents.find("shutdown_dump"), std::string::npos) << contents;
+  EXPECT_EQ(contents.find("crash_dump"), std::string::npos);
+}
+
+// Clean harness teardown must leave each node's flight recorder on disk —
+// crash dumps alone are not enough for post-mortems of runs that ended
+// normally but behaved oddly.
+TEST(FlightRecorderTest, ClusterTeardownDumpsFlightLogs) {
+  const std::string root = ::testing::TempDir() + "flight_teardown_cluster";
+  std::string node_dir;
+  {
+    ClusterOptions opts;
+    opts.servers_per_dc = 3;
+    opts.clients_per_dc = 2;
+    opts.data_root = root;
+    Cluster cluster(opts);
+    cluster.Preload(20, 32);
+    node_dir = cluster.NodeDataDir(0, 0);
+  }  // ~Cluster: clean shutdown, no crash
+  const std::string path = node_dir + "/flight.log";
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path << " missing after clean teardown";
+  std::string contents(65536, '\0');
+  contents.resize(std::fread(contents.data(), 1, contents.size(), f));
+  std::fclose(f);
+  EXPECT_NE(contents.find("shutdown_dump"), std::string::npos) << contents;
 }
 
 // ---------------------------------------------------------------------------

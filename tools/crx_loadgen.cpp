@@ -20,6 +20,7 @@
 #include "src/harness/cluster.h"
 #include "src/harness/experiment.h"
 #include "src/net/tcp_cluster.h"
+#include "src/obs/assembly.h"
 #include "src/obs/window.h"
 
 using namespace chainreaction;
@@ -58,7 +59,10 @@ const char* kUsage = R"(crx_loadgen: drive a simulated cluster and report stats
   --trace-every N  trace every Nth put; print the last trace       [off]
   --trace-prob P   probabilistic head sampling of puts             [0]
   --slow-trace-us N  tail sampling: always retain traces >= N us   [off]
-  --http-port P    serve /metrics /status /events /traces on P     [off]
+  --dump-traces    assemble sampled traces into causal timelines and
+                   print per-request critical paths after the run  [off]
+  --http-port P    serve /metrics /status /events /traces
+                   /criticalpath on P                              [off]
   --metrics        dump the full metrics registry after the run
   --help
 
@@ -68,7 +72,7 @@ TCP mode (real loopback sockets, wall-clock; chainreaction only):
   --get-fraction P fraction of gets (remainder puts)               [0.5]
   --ack-batch-us N cumulative-ack coalescing window, us            [100]
   (honors --servers --clients --records --value-size --replication --k
-   --measure-ms --seed)
+   --measure-ms --seed --trace-every --dump-traces --metrics)
 )";
 
 SystemKind ParseSystem(const std::string& s) {
@@ -108,6 +112,43 @@ WorkloadSpec ParseWorkload(const std::string& w, uint64_t records, size_t value_
   std::exit(2);
 }
 
+// Assembled critical paths: one aggregate line always, and the per-request
+// timelines when --dump-traces asked for them.
+void PrintCriticalPaths(const std::vector<CriticalPath>& cps, bool dump_each) {
+  if (cps.empty()) {
+    std::printf("critical-path none assembled\n");
+    return;
+  }
+  double e2e = 0, net = 0, encode = 0, depwait = 0, kack = 0, coverage = 0;
+  size_t complete = 0, gated = 0;
+  for (const CriticalPath& cp : cps) {
+    e2e += static_cast<double>(cp.e2e_us);
+    net += static_cast<double>(cp.net_us);
+    encode += static_cast<double>(cp.encode_us);
+    depwait += static_cast<double>(cp.depwait_us);
+    kack += static_cast<double>(cp.kack_us);
+    coverage += cp.coverage;
+    complete += cp.complete ? 1 : 0;
+    gated += cp.depwait_us > 0 ? 1 : 0;
+  }
+  const double n = static_cast<double>(cps.size());
+  std::printf("critical-path %zu assembled (%zu complete, %zu dep-gated); mean us: "
+              "e2e=%.0f net=%.0f encode=%.0f depwait=%.0f kack=%.0f coverage=%.2f\n",
+              cps.size(), complete, gated, e2e / n, net / n, encode / n, depwait / n,
+              kack / n, coverage / n);
+  if (!dump_each) {
+    return;
+  }
+  constexpr size_t kMaxDumped = 16;
+  for (size_t i = 0; i < cps.size() && i < kMaxDumped; ++i) {
+    std::printf("%s", RenderCriticalPath(cps[i]).c_str());
+  }
+  if (cps.size() > kMaxDumped) {
+    std::printf("  ... %zu more (raise --http-port and browse /criticalpath?id=)\n",
+                cps.size() - kMaxDumped);
+  }
+}
+
 // Real-socket deployment: every node actor in one consolidated multi-loop
 // TcpRuntime, pipelined closed-loop clients, wall-clock measurement.
 int RunTcpMode(const Flags& flags) {
@@ -122,6 +163,20 @@ int RunTcpMode(const Flags& flags) {
   opts.config.num_dcs = 1;
   opts.config.client_timeout = 2 * kSecond;
   opts.config.ack_batch_window = flags.GetInt("ack-batch-us", 100);
+  // Observability: sampled end-to-end tracing with a shared collector (one
+  // process — the assembler merges it directly). --dump-traces without an
+  // explicit rate samples every 64th put.
+  MetricsRegistry metrics;
+  TraceCollector traces;
+  const bool dump_traces = flags.GetBool("dump-traces", false);
+  opts.config.trace_sample_every = static_cast<uint32_t>(flags.GetInt("trace-every", 0));
+  if (dump_traces && opts.config.trace_sample_every == 0) {
+    opts.config.trace_sample_every = 64;
+  }
+  opts.metrics = &metrics;
+  if (opts.config.trace_sample_every > 0) {
+    opts.traces = &traces;
+  }
   if (opts.loop_threads == 0 || opts.loop_threads > opts.num_nodes ||
       opts.num_nodes < opts.config.replication) {
     std::fprintf(stderr, "need servers >= replication and 1 <= loop-threads <= servers\n");
@@ -160,6 +215,14 @@ int RunTcpMode(const Flags& flags) {
               writev_calls > 0 ? static_cast<double>(cluster.server_writev_frames()) /
                                      static_cast<double>(writev_calls)
                                : 0.0);
+  if (opts.traces != nullptr) {
+    TraceAssembler assembler;
+    assembler.MergeFrom(traces);
+    PrintCriticalPaths(assembler.PublishAggregates(&metrics), dump_traces);
+  }
+  if (flags.GetBool("metrics", false)) {
+    std::printf("== metrics ==\n%s", metrics.RenderText().c_str());
+  }
   return result.failures == 0 ? 0 : 1;
 }
 
@@ -174,7 +237,8 @@ int main(int argc, char** argv) {
                     "data-dir", "fsync-mode",
                     "engine", "cache-mb",
                     "crash-at-ms", "restart-at-ms", "seed", "check", "stats-every-ms",
-                    "trace-every", "trace-prob", "slow-trace-us", "http-port", "metrics",
+                    "trace-every", "trace-prob", "slow-trace-us", "dump-traces",
+                    "http-port", "metrics",
                     "loop-threads", "pipeline", "get-fraction", "ack-batch-us",
                     "help"})) {
     std::fprintf(stderr, "%s", kUsage);
@@ -443,6 +507,12 @@ int main(int argc, char** argv) {
       if (!slow.empty() && cluster.traces()->Find(slow.back(), &trace)) {
         std::printf("slowest-retained hop-by-hop:\n%s", TraceCollector::Render(trace).c_str());
       }
+    }
+    if (flags.GetBool("dump-traces", false)) {
+      TraceAssembler assembler;
+      assembler.MergeFrom(*cluster.traces());
+      PrintCriticalPaths(assembler.PublishAggregates(cluster.metrics()),
+                         /*dump_each=*/true);
     }
   }
   if (flags.GetBool("metrics", false)) {
