@@ -29,6 +29,30 @@ inline size_t VarU64Size(uint64_t v) {
   return n;
 }
 
+// Zig-zag mapping for signed varints: small-magnitude values of either sign
+// encode in few bytes (-1 -> 1, 1 -> 2, ...).
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+inline size_t VarI64Size(int64_t v) { return VarU64Size(ZigZagEncode(v)); }
+
+// Exact wire size of a varint-length-prefixed string (wire format v2).
+inline size_t VarStringSize(std::string_view s) { return VarU64Size(s.size()) + s.size(); }
+
+// Wire framing generation. v1 is the seed format: fixed-width integers and
+// u32 string length prefixes. v2 varint-encodes the hot-path Crx messages
+// (and zig-zags signed fields) and is flagged on the frame's type tag, so a
+// decoder always knows which body layout follows. Defined here (not in
+// src/msg/) so CrxConfig can carry the knob without a layering cycle.
+enum class WireFormat : uint8_t {
+  kV1 = 0,
+  kV2 = 1,
+};
+
 class ByteWriter {
  public:
   ByteWriter() = default;
@@ -67,6 +91,21 @@ class ByteWriter {
       v >>= 7;
     }
     PutU8(static_cast<uint8_t>(v));
+  }
+
+  // Zig-zag signed varint (wire format v2: trace hop timestamps).
+  void PutVarI64(int64_t v) { PutVarU64(ZigZagEncode(v)); }
+
+  // Varint-length-prefixed string (wire format v2: short keys pay 1 prefix
+  // byte instead of 4).
+  void PutStringVar(const std::string& s) {
+    PutVarU64(s.size());
+    buf_.append(s);
+  }
+
+  void PutStringViewVar(std::string_view s) {
+    PutVarU64(s.size());
+    buf_.append(s.data(), s.size());
   }
 
   const std::string& data() const { return buf_; }
@@ -122,6 +161,35 @@ class ByteReader {
     }
     *s = std::string_view(data_ + pos_, n);
     pos_ += n;
+    return true;
+  }
+
+  bool GetVarI64(int64_t* v) {
+    uint64_t raw = 0;
+    if (!GetVarU64(&raw)) {
+      return false;
+    }
+    *v = ZigZagDecode(raw);
+    return true;
+  }
+
+  bool GetStringVar(std::string* s) {
+    uint64_t n = 0;
+    if (!GetVarU64(&n) || n > remaining()) {
+      return false;
+    }
+    s->assign(data_ + pos_, n);
+    pos_ += static_cast<size_t>(n);
+    return true;
+  }
+
+  bool GetStringViewVar(std::string_view* s) {
+    uint64_t n = 0;
+    if (!GetVarU64(&n) || n > remaining()) {
+      return false;
+    }
+    *s = std::string_view(data_ + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
     return true;
   }
 

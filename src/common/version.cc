@@ -104,6 +104,22 @@ std::string Version::ToString() const {
   return vv.ToString() + buf;
 }
 
+void Version::EncodeV2(ByteWriter* w) const {
+  vv.Encode(w);
+  w->PutVarU64(lamport);
+  w->PutVarU64(origin);
+}
+
+bool Version::DecodeV2(ByteReader* r) {
+  uint64_t o = 0;
+  if (!(vv.Decode(r) && r->GetVarU64(&lamport) && r->GetVarU64(&o)) ||
+      o > UINT16_MAX) {
+    return false;
+  }
+  origin = static_cast<DcId>(o);
+  return true;
+}
+
 void Dependency::Encode(ByteWriter* w) const {
   w->PutString(key);
   version.Encode(w);
@@ -112,6 +128,16 @@ void Dependency::Encode(ByteWriter* w) const {
 
 bool Dependency::Decode(ByteReader* r) {
   return r->GetString(&key) && version.Decode(r) && r->GetBool(&local_stable);
+}
+
+void Dependency::EncodeV2(ByteWriter* w) const {
+  w->PutStringVar(key);
+  version.EncodeV2(w);
+  w->PutBool(local_stable);
+}
+
+bool Dependency::DecodeV2(ByteReader* r) {
+  return r->GetStringVar(&key) && version.DecodeV2(r) && r->GetBool(&local_stable);
 }
 
 }  // namespace chainreaction

@@ -93,6 +93,14 @@ struct Version {
   bool Decode(ByteReader* r);
   size_t EncodedSize() const { return vv.EncodedSize() + VarU64Size(lamport) + 2; }
 
+  // Wire format v2: the origin DC is a varint (1 byte for < 128 DCs)
+  // instead of a fixed u16. The vv and lamport were already varints.
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const {
+    return vv.EncodedSize() + VarU64Size(lamport) + VarU64Size(origin);
+  }
+
   std::string ToString() const;
 };
 
@@ -112,6 +120,13 @@ struct Dependency {
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
   size_t EncodedSize() const { return 4 + key.size() + version.EncodedSize() + 1; }
+
+  // Wire format v2: varint key-length prefix + v2 version.
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const {
+    return VarStringSize(key) + version.EncodedSizeV2() + 1;
+  }
 };
 
 }  // namespace chainreaction

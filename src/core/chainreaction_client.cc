@@ -33,14 +33,41 @@ std::vector<Dependency> ChainReactionClient::BuildDeps() const {
   std::vector<Dependency> deps;
   deps.reserve(accessed_.size());
   for (const auto& [key, entry] : accessed_) {
-    if (entry.stable && config_.num_dcs <= 1) {
+    // A dependency is known DC-Write-Stable either because a reply said so
+    // or because the cluster watermark covers it.
+    const bool covered = WatermarkCovers(entry.version);
+    const bool stable = entry.stable || covered;
+    if (stable && config_.num_dcs <= 1) {
       // Already on every replica of its chain; with no remote DCs nobody
       // ever needs this dependency again.
       continue;
     }
-    deps.push_back(Dependency{key, entry.version, entry.stable});
+    if (covered && config_.num_dcs > 1) {
+      // Watermark compression, multi-DC: the cluster watermark proved this
+      // version DC-Write-Stable at least a gossip round before now, so its
+      // geo notification left the tail well before the write we are about
+      // to issue can stabilize and ship — FIFO geo channels then deliver it
+      // first, and remote DCs never need the explicit entry. Deps that are
+      // merely reply-stable stay on the wire: they can be arbitrarily
+      // fresh, and remote apply still gates on them.
+      continue;
+    }
+    deps.push_back(Dependency{key, entry.version, stable});
   }
   return deps;
+}
+
+void ChainReactionClient::LearnWatermark(uint64_t epoch, uint64_t wm) {
+  if (!config_.dep_watermark || wm == 0) {
+    return;
+  }
+  wm_cover_ = std::max(wm_cover_, wm);
+  if (epoch > wm_epoch_) {
+    wm_epoch_ = epoch;
+    wm_hint_ = wm;
+  } else if (epoch == wm_epoch_) {
+    wm_hint_ = std::max(wm_hint_, wm);
+  }
 }
 
 size_t ChainReactionClient::AccessedSetBytes() const {
@@ -94,8 +121,12 @@ void ChainReactionClient::SendPut(RequestId req) {
   msg.key = op.key;
   msg.value = op.value;
   msg.deps = op.deps;
+  if (config_.dep_watermark) {
+    msg.wm_epoch = wm_epoch_;
+    msg.dep_wm = wm_hint_;
+  }
   msg.trace = op.trace;
-  env_->Send(ring_.HeadFor(op.key), EncodeMessage(msg));
+  env_->Send(ring_.HeadFor(op.key), Enc(msg));
   ArmTimer(req);
 }
 
@@ -113,6 +144,11 @@ ChainIndex ChainReactionClient::AllowedPrefix(const Key& key) const {
     // No constraint on this key: anything it could transitively depend on
     // was made DC-Write-Stable by the write gating, so the whole chain is
     // safe to read.
+    return config_.replication;
+  }
+  // Watermark coverage proves the version DC-Write-Stable on every replica —
+  // the same condition under which a stable read reply widens the prefix.
+  if (WatermarkCovers(it->second.version)) {
     return config_.replication;
   }
   return it->second.chain_index;
@@ -155,7 +191,7 @@ void ChainReactionClient::SendGet(RequestId req) {
   const ChainIndex allowed = std::max<ChainIndex>(1, AllowedPrefix(op.key));
   const ChainIndex pos = 1 + static_cast<ChainIndex>(rng_.NextBelow(allowed));
   const NodeId target = ring_.ChainFor(op.key)[pos - 1];
-  env_->Send(target, EncodeMessage(msg));
+  env_->Send(target, Enc(msg));
   ArmTimer(req);
 }
 
@@ -227,6 +263,7 @@ void ChainReactionClient::HandlePutAck(const CrxPutAck& ack) {
     return;  // duplicate ack after retry
   }
   env_->CancelTimer(it->second.timer);
+  LearnWatermark(ack.wm_epoch, ack.stable_wm);
   const int64_t latency = env_->Now() - it->second.started_at;
   if (m_put_latency_ != nullptr) {
     // Traced puts attach their id as a histogram exemplar, linking the
@@ -271,6 +308,7 @@ void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
     return;
   }
   env_->CancelTimer(it->second.timer);
+  LearnWatermark(reply.wm_epoch, reply.stable_wm);
   if (m_get_latency_ != nullptr) {
     m_get_latency_->Record(env_->Now() - it->second.started_at);
   }

@@ -95,6 +95,11 @@ class ChainReactionClient : public Actor {
   size_t AccessedSetBytes() const;
   uint64_t retries() const { return retries_; }
   Address address() const { return address_; }
+  // Watermark introspection (dep_watermark): the highest cluster watermark
+  // W this client has learned from any ack/reply. Every local-origin
+  // version with lamport <= W is DC-Write-Stable (stability is monotone, so
+  // W from a past epoch stays valid for dependency coverage).
+  uint64_t watermark() const { return wm_cover_; }
 
   // Tests only: exposes the per-key metadata pair (version, chain_index).
   bool LookupMetadata(const Key& key, Version* version, ChainIndex* index) const {
@@ -160,6 +165,20 @@ class ChainReactionClient : public Actor {
   ChainIndex AllowedPrefix(const Key& key) const;
   std::vector<Dependency> BuildDeps() const;
 
+  // Watermark compression (dep_watermark; DESIGN.md §14) ------------------
+  // Records a cluster watermark piggybacked on a v2 ack/reply.
+  void LearnWatermark(uint64_t epoch, uint64_t wm);
+  // True iff the watermark proves `v` DC-Write-Stable everywhere.
+  bool WatermarkCovers(const Version& v) const {
+    return config_.dep_watermark && !v.IsNull() && v.origin == config_.local_dc &&
+           v.lamport <= wm_cover_;
+  }
+
+  template <typename M>
+  std::string Enc(const M& m) const {
+    return EncodeMessage(m, config_.wire_format);
+  }
+
   Address address_;
   CrxConfig config_;
   Env* env_ = nullptr;
@@ -182,6 +201,14 @@ class ChainReactionClient : public Actor {
   std::unordered_map<uint64_t, PendingMultiGet> multigets_;
   uint64_t multiget_second_rounds_ = 0;
   uint64_t retries_ = 0;
+
+  // Watermark state (dep_watermark): wm_cover_ is the max W ever learned
+  // (monotone — used for dependency coverage); (wm_epoch_, wm_hint_) is the
+  // newest-epoch W, echoed on puts as a floor for the head's own
+  // computation (heads only accept same-epoch hints).
+  uint64_t wm_cover_ = 0;
+  uint64_t wm_epoch_ = 0;
+  uint64_t wm_hint_ = 0;
 
   // Observability (all null until AttachObs).
   TraceCollector* trace_sink_ = nullptr;

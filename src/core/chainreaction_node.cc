@@ -30,6 +30,9 @@ ChainReactionNode::ChainReactionNode(NodeId id, CrxConfig config, Ring initial_r
       ring_(std::move(initial_ring)),
       reads_by_position_(config.replication, 0) {
   CHAINRX_CHECK(config_.k_stability >= 1 && config_.k_stability <= config_.replication);
+  if (config_.dep_watermark) {
+    store_.TrackStabilityFor(config_.local_dc);
+  }
 }
 
 Status ChainReactionNode::SaveStateCheckpoint(const std::string& path) const {
@@ -276,7 +279,7 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
     case MsgType::kCrxChainPut: {
       CrxChainPut m;
       if (DecodeMessage(payload, &m)) {
-        HandleChainPut(std::move(m));
+        HandleChainPut(std::move(m), from);
       }
       break;
     }
@@ -290,7 +293,7 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
     case MsgType::kCrxStableNotify: {
       CrxStableNotify m;
       if (DecodeMessage(payload, &m)) {
-        HandleStableNotify(m);
+        HandleStableNotify(m, from);
       }
       break;
     }
@@ -305,6 +308,13 @@ void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
       CrxStabilityConfirm m;
       if (DecodeMessage(payload, &m)) {
         HandleStabilityConfirm(m);
+      }
+      break;
+    }
+    case MsgType::kCrxWatermark: {
+      CrxWatermark m;
+      if (DecodeMessage(payload, &m)) {
+        HandleWatermark(m);
       }
       break;
     }
@@ -389,6 +399,14 @@ bool ChainReactionNode::DepTriviallyStable(const Key& write_key, const Dependenc
   if (dep.key == write_key) {
     return true;
   }
+  // Watermark coverage: every local-origin version at or below the cluster
+  // watermark W is DC-Write-Stable on every replica (DESIGN.md §14), so no
+  // remote stability check is needed. This also releases deps a stale-ring
+  // client could not compress away itself.
+  if (config_.dep_watermark && dep.version.origin == config_.local_dc &&
+      dep.version.lamport <= ClusterWatermark()) {
+    return true;
+  }
   auto it = stable_vv_.find(dep.key);
   return it != stable_vv_.end() && it->second.Dominates(dep.version.vv);
 }
@@ -413,8 +431,17 @@ bool ChainReactionNode::ReadSatisfies(const Key& key, const Version& v) const {
 void ChainReactionNode::HandlePut(CrxPut put) {
   // A client with a stale ring may address the wrong node; route onward.
   if (ring_.PositionOf(put.key, id_) != 1) {
-    env_->Send(ring_.HeadFor(put.key), EncodeMessage(put));
+    env_->Send(ring_.HeadFor(put.key), Enc(put));
     return;
+  }
+
+  if (config_.dep_watermark) {
+    // A client's watermark hint is a W some node already computed for this
+    // epoch — a valid floor for our own (W only grows within an epoch).
+    if (put.wm_epoch == ring_.epoch() && put.dep_wm > wm_client_hint_) {
+      wm_client_hint_ = put.dep_wm;
+    }
+    NudgeWatermarkGossip();
   }
 
   // Arrival hop: the boundary between client->head transit and head
@@ -467,7 +494,7 @@ void ChainReactionNode::HandlePut(CrxPut put) {
         if (m_dep_checks_ != nullptr) {
           m_dep_checks_->Inc();
         }
-        env_->Send(ring_.TailFor(dep.key), EncodeMessage(check));
+        env_->Send(ring_.TailFor(dep.key), Enc(check));
       }
     }
     return;
@@ -509,7 +536,7 @@ void ChainReactionNode::HandlePut(CrxPut put) {
     if (m_dep_checks_ != nullptr) {
       m_dep_checks_->Inc();
     }
-    env_->Send(ring_.TailFor(dep.key), EncodeMessage(check));
+    env_->Send(ring_.TailFor(dep.key), Enc(check));
   }
 }
 
@@ -672,6 +699,10 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
     ack.key = key;
     ack.version = version;
     ack.acked_at = pos;
+    if (config_.dep_watermark) {
+      ack.wm_epoch = ring_.epoch();
+      ack.stable_wm = ClusterWatermark();
+    }
     ack.trace = trace;
     TraceHopAndReport(&ack.trace, trace_sink_, HopKind::kKAck, id_, config_.local_dc, pos,
                       env_->Now());
@@ -696,15 +727,18 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
     // geo replicator, and any replica serves it to multi-get read
     // transactions.
     fwd.deps = deps;
+    if (config_.dep_watermark) {
+      fwd.stable_cut = StableCut();
+    }
     fwd.trace = std::move(trace);
-    env_->Send(succ, EncodeMessage(fwd));
+    env_->Send(succ, Enc(fwd));
   }
   return applied;
 }
 
 void ChainReactionNode::SendClientAck(CrxPutAck ack, Address client, uint64_t chain_seq) {
   if (config_.ack_batch_window <= 0) {
-    env_->Send(client, EncodeMessage(ack));
+    env_->Send(client, Enc(ack));
     return;
   }
   auto [it, first] = pending_client_acks_.try_emplace(client);
@@ -727,10 +761,18 @@ void ChainReactionNode::FlushClientAcks(Address client) {
   }
   CrxPutAckBatch batch = std::move(it->second);
   pending_client_acks_.erase(it);
-  env_->Send(client, EncodeMessage(batch));
+  env_->Send(client, Enc(batch));
 }
 
-void ChainReactionNode::HandleChainPut(CrxChainPut msg) {
+void ChainReactionNode::HandleChainPut(CrxChainPut msg, Address from) {
+  if (config_.dep_watermark) {
+    // Chain puts come from a peer node (predecessor, repairing head, or
+    // migration-era mirror) — learn its piggybacked stable cut.
+    if (from < kClientAddressBase && msg.stable_cut > 0) {
+      LearnPeerCut(static_cast<NodeId>(from), msg.epoch, msg.stable_cut);
+    }
+    NudgeWatermarkGossip();
+  }
   if (msg.epoch != ring_.epoch()) {
     // A reconfiguration happened while this write was in flight; the new
     // head re-propagates all unstable writes under the new epoch.
@@ -773,9 +815,12 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
       notify.key = key;
       notify.version = version;
       notify.epoch = ring_.epoch();
+      if (config_.dep_watermark) {
+        notify.stable_cut = StableCut();
+      }
       const NodeId pred = ring_.PredecessorFor(key, id_);
       if (pred != kInvalidNode) {
-        env_->Send(pred, EncodeMessage(notify));
+        env_->Send(pred, Enc(notify));
       }
     } else {
       // Coalesce: remember the newest stable version per key and notify
@@ -855,15 +900,24 @@ void ChainReactionNode::ScheduleStableNotify(const Key& key) {
         notify.key = key_copy;
         notify.version = pit->second;
         notify.epoch = ring_.epoch();
+        if (config_.dep_watermark) {
+          notify.stable_cut = StableCut();
+        }
         pending_notify_.erase(pit);
         const NodeId pred = ring_.PredecessorFor(key_copy, id_);
         if (pred != kInvalidNode) {
-          env_->Send(pred, EncodeMessage(notify));
+          env_->Send(pred, Enc(notify));
         }
   });
 }
 
-void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg) {
+void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg, Address from) {
+  if (config_.dep_watermark) {
+    if (from < kClientAddressBase && msg.stable_cut > 0) {
+      LearnPeerCut(static_cast<NodeId>(from), msg.epoch, msg.stable_cut);
+    }
+    NudgeWatermarkGossip();
+  }
   DurableMarkStable(msg.key, msg.version);
   stable_vv_[msg.key].MergeMax(msg.version.vv);
   ResolveWatchers(msg.key);
@@ -879,7 +933,12 @@ void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg) {
   if (pos > 1) {
     const NodeId pred = ring_.PredecessorFor(msg.key, id_);
     if (pred != kInvalidNode) {
-      env_->Send(pred, EncodeMessage(msg));
+      CrxStableNotify fwd = msg;
+      if (config_.dep_watermark) {
+        // Restamp: the receiver attributes the piggybacked cut to us.
+        fwd.stable_cut = StableCut();
+      }
+      env_->Send(pred, Enc(fwd));
     }
   }
 }
@@ -889,7 +948,7 @@ void ChainReactionNode::HandleStabilityCheck(const CrxStabilityCheck& msg, Addre
     CrxStabilityConfirm confirm;
     confirm.token = msg.token;
     confirm.key = msg.key;
-    env_->Send(from, EncodeMessage(confirm));
+    env_->Send(from, Enc(confirm));
     return;
   }
   watchers_[msg.key].push_back(StabilityWatcher{msg.version, msg.token, from});
@@ -906,7 +965,7 @@ void ChainReactionNode::ResolveWatchers(const Key& key) {
       CrxStabilityConfirm confirm;
       confirm.token = list[i].token;
       confirm.key = key;
-      env_->Send(list[i].reply_to, EncodeMessage(confirm));
+      env_->Send(list[i].reply_to, Enc(confirm));
       list[i] = list.back();
       list.pop_back();
     } else {
@@ -926,7 +985,7 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
     if (m_gets_forwarded_ != nullptr) {
       m_gets_forwarded_->Inc();
     }
-    env_->Send(ring_.HeadFor(get.key), EncodeMessage(get));
+    env_->Send(ring_.HeadFor(get.key), Enc(get));
     return;
   }
 
@@ -944,7 +1003,7 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       if (m_gets_forwarded_ != nullptr) {
         m_gets_forwarded_->Inc();
       }
-      env_->Send(ring_.PredecessorFor(get.key, id_), EncodeMessage(get));
+      env_->Send(ring_.PredecessorFor(get.key, id_), Enc(get));
     } else {
       join_guarded_gets_.push_back(std::move(get));
       events_.Emit(EventKind::kGetParked, env_->Now(),
@@ -963,7 +1022,7 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       if (m_gets_forwarded_ != nullptr) {
         m_gets_forwarded_->Inc();
       }
-      env_->Send(ring_.PredecessorFor(get.key, id_), EncodeMessage(get));
+      env_->Send(ring_.PredecessorFor(get.key, id_), Enc(get));
       return;
     }
     // Even the head is behind: the required version is still in flight
@@ -1012,6 +1071,11 @@ void ChainReactionNode::AnswerGet(const CrxGet& get, ChainIndex position) {
       reply.deps = sv->deps;
     }
   }
+  if (config_.dep_watermark) {
+    reply.wm_epoch = ring_.epoch();
+    reply.stable_wm = ClusterWatermark();
+    NudgeWatermarkGossip();
+  }
   reads_served_++;
   if (position >= 1 && position <= reads_by_position_.size()) {
     reads_by_position_[position - 1]++;
@@ -1019,7 +1083,7 @@ void ChainReactionNode::AnswerGet(const CrxGet& get, ChainIndex position) {
       m_reads_by_position_[position - 1]->Inc();
     }
   }
-  env_->Send(get.client, EncodeMessage(reply));
+  env_->Send(get.client, Enc(reply));
 }
 
 void ChainReactionNode::ResolveDeferredGets(const Key& key) {
@@ -1111,7 +1175,10 @@ void ChainReactionNode::RunAntiEntropy() {
       fwd.ack_at = 0;
       fwd.epoch = ring_.epoch();
       fwd.deps = sv.deps;
-      env_->Send(ring_.SuccessorFor(key, id_), EncodeMessage(fwd));
+      if (config_.dep_watermark) {
+        fwd.stable_cut = StableCut();
+      }
+      env_->Send(ring_.SuccessorFor(key, id_), Enc(fwd));
     }
   }
   for (const Key& key : done) {
@@ -1137,6 +1204,12 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
   ring_ = Ring(msg.nodes, config_.vnodes, config_.replication, msg.epoch, msg.weights);
   events_.Emit(EventKind::kEpochChange, env_->Now(), static_cast<int64_t>(msg.epoch),
                static_cast<int64_t>(msg.nodes.size()));
+  // Watermark cuts are epoch-scoped: the new membership may include nodes
+  // whose cuts we never learned (W must drop to 0 until they report) and
+  // client hints from the old epoch no longer name this ring.
+  wm_peer_cuts_.clear();
+  wm_client_hint_ = 0;
+  NudgeWatermarkGossip();
   if (mig_src_ != nullptr) {
     // Any epoch change ends the catch-up mirror: either this is our
     // migration's commit (the targets are chain members now, fed by normal
@@ -1179,7 +1252,7 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
         fwd.deps = sv.deps;
-        env_->Send(ring_.HeadFor(key), EncodeMessage(fwd));
+        env_->Send(ring_.HeadFor(key), Enc(fwd));
       }
     }
     unstable_head_keys_.clear();
@@ -1309,7 +1382,7 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
         fwd.deps = sv.deps;
-        env_->Send(ring_.HeadFor(key), EncodeMessage(fwd));
+        env_->Send(ring_.HeadFor(key), Enc(fwd));
       }
       unstable_head_keys_.erase(key);
     }
@@ -1333,7 +1406,7 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
         fwd.deps = sv.deps;
-        env_->Send(chain[1], EncodeMessage(fwd));
+        env_->Send(chain[1], Enc(fwd));
       }
     }
 
@@ -1389,7 +1462,7 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
         fwd.deps = sv.deps;
-        env_->Send(chain[0], EncodeMessage(fwd));
+        env_->Send(chain[0], Enc(fwd));
       }
     }
   }
@@ -1772,6 +1845,94 @@ std::string ChainReactionNode::StatusJson() const {
       store_.KeyCount(), gated_puts_.size(), deferred_gets_.size(),
       static_cast<unsigned long long>(events_.emitted()));
   return buf;
+}
+
+// Watermark machinery (dep_watermark; DESIGN.md §14) ------------------------
+
+uint64_t ChainReactionNode::StableCut() const {
+  // Clock cap: NextLamport() returns max(lamport_+1, Now()), so this node
+  // never mints a version at or below max(lamport_, Now()-1) again. The cap
+  // also advances the cut on idle nodes, letting a quiescent cluster's
+  // watermark pass recently stabilized versions.
+  const uint64_t now = static_cast<uint64_t>(env_->Now());
+  uint64_t cut = std::max(lamport_, now > 0 ? now - 1 : 0);
+  if (store_.HasTrackedUnstable()) {
+    // Any not-yet-stable local-origin version held HERE caps the cut — even
+    // ones minted by other nodes (their replicas bound the cluster minimum
+    // when the minting head dies).
+    const uint64_t oldest = store_.MinTrackedUnstableLamport();
+    cut = std::min(cut, oldest > 0 ? oldest - 1 : 0);
+  }
+  return cut;
+}
+
+uint64_t ChainReactionNode::ClusterWatermark() const {
+  if (!config_.dep_watermark) {
+    return 0;
+  }
+  uint64_t w = StableCut();
+  for (const NodeId n : ring_.nodes()) {
+    if (n == id_) {
+      continue;
+    }
+    auto it = wm_peer_cuts_.find(n);
+    if (it == wm_peer_cuts_.end()) {
+      w = 0;  // unknown peer: no claim about cluster-wide stability
+      break;
+    }
+    w = std::min(w, it->second);
+  }
+  // A same-epoch client hint is a W some node already proved; W only grows
+  // within an epoch, so it is a valid floor.
+  return std::max(w, wm_client_hint_);
+}
+
+void ChainReactionNode::LearnPeerCut(NodeId node, uint64_t epoch, uint64_t cut) {
+  if (!config_.dep_watermark || epoch != ring_.epoch() || node == id_) {
+    return;
+  }
+  uint64_t& slot = wm_peer_cuts_[node];
+  slot = std::max(slot, cut);
+}
+
+void ChainReactionNode::HandleWatermark(const CrxWatermark& msg) {
+  LearnPeerCut(msg.node, msg.epoch, msg.cut);
+}
+
+void ChainReactionNode::NudgeWatermarkGossip() {
+  if (!config_.dep_watermark || config_.wm_gossip_interval <= 0) {
+    return;
+  }
+  wm_rounds_left_ = 2;
+  ArmWatermarkGossip();
+}
+
+void ChainReactionNode::ArmWatermarkGossip() {
+  if (wm_gossip_timer_ != 0 || wm_rounds_left_ == 0 || env_ == nullptr) {
+    return;
+  }
+  wm_gossip_timer_ = env_->Schedule(config_.wm_gossip_interval, [this]() {
+    wm_gossip_timer_ = 0;
+    BroadcastWatermark();
+    wm_rounds_left_--;
+    ArmWatermarkGossip();
+  });
+}
+
+void ChainReactionNode::BroadcastWatermark() {
+  if (!ring_.Contains(id_)) {
+    return;
+  }
+  CrxWatermark wm;
+  wm.node = id_;
+  wm.epoch = ring_.epoch();
+  wm.cut = StableCut();
+  const std::string payload = Enc(wm);
+  for (const NodeId n : ring_.nodes()) {
+    if (n != id_) {
+      env_->Send(n, payload);
+    }
+  }
 }
 
 }  // namespace chainreaction

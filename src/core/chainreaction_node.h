@@ -128,6 +128,18 @@ class ChainReactionNode : public Actor {
   }
   size_t watchers_count() const { return watchers_.size(); }
 
+  // Watermark introspection (dep_watermark; DESIGN.md §14) ----------------
+  // This node's stable cut: every locally-originated version with
+  // lamport <= StableCut() that this node has ever applied is
+  // DC-Write-Stable here, and this node will never mint a version at or
+  // below the cut again.
+  uint64_t StableCut() const;
+  // The cluster-wide watermark W: min of the stable cuts this node has
+  // learned for every current-epoch ring peer (0 while any peer's cut is
+  // unknown). Every local-origin version with lamport <= W is
+  // DC-Write-Stable everywhere.
+  uint64_t ClusterWatermark() const;
+
   // Telemetry ------------------------------------------------------------
   // The node's flight recorder: a ring of recent control-plane events
   // (epoch changes, repairs, guard parks/drains, WAL rotations). Always
@@ -170,11 +182,12 @@ class ChainReactionNode : public Actor {
   };
 
   void HandlePut(CrxPut put);
-  void HandleChainPut(CrxChainPut msg);
+  void HandleChainPut(CrxChainPut msg, Address from);
   void HandleGet(CrxGet get, Address from);
-  void HandleStableNotify(const CrxStableNotify& msg);
+  void HandleStableNotify(const CrxStableNotify& msg, Address from);
   void HandleStabilityCheck(const CrxStabilityCheck& msg, Address from);
   void HandleStabilityConfirm(const CrxStabilityConfirm& msg);
+  void HandleWatermark(const CrxWatermark& msg);
   void HandleRemotePut(GeoRemotePut msg);
   void HandleNewMembership(const MemNewMembership& msg);
   void HandleSyncKey(const MemSyncKey& msg);
@@ -279,6 +292,24 @@ class ChainReactionNode : public Actor {
 
   uint64_t NextLamport();
 
+  // Encodes a hot-path message in the configured wire format. Cold-path
+  // messages (membership, migration, geo, heartbeat) call EncodeMessage
+  // directly and stay v1.
+  template <typename M>
+  std::string Enc(const M& m) const {
+    return EncodeMessage(m, config_.wire_format);
+  }
+
+  // Watermark gossip (dep_watermark) -------------------------------------
+  // Records a peer's stable cut if it is stamped with the current epoch.
+  void LearnPeerCut(NodeId node, uint64_t epoch, uint64_t cut);
+  // Requests a couple of direct CrxWatermark broadcast rounds; called on
+  // protocol traffic so the gossip is activity-gated (quiescent clusters
+  // stay quiescent and sim()->Run() still reaches quiescence).
+  void NudgeWatermarkGossip();
+  void ArmWatermarkGossip();
+  void BroadcastWatermark();
+
   NodeId id_;
   CrxConfig config_;
   Env* env_ = nullptr;
@@ -341,6 +372,16 @@ class ChainReactionNode : public Actor {
 
   // Stability knowledge cache: key -> merged vv known DC-Write-Stable.
   std::unordered_map<Key, VersionVector> stable_vv_;
+
+  // Watermark state (dep_watermark): newest stable cut learned per ring
+  // peer in the current epoch (cleared on epoch change — cuts are
+  // epoch-scoped so a node re-added with an empty store cannot resurrect a
+  // stale high cut), plus the best same-epoch cluster watermark any client
+  // hinted at us (a floor for our own computation).
+  std::unordered_map<NodeId, uint64_t> wm_peer_cuts_;
+  uint64_t wm_client_hint_ = 0;
+  uint32_t wm_rounds_left_ = 0;
+  uint64_t wm_gossip_timer_ = 0;
 
   // Migration source state: set while this node streams/mirrors key ranges
   // for a planned topology change. Cleared when the epoch flips (commit) or

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "src/common/bytes.h"
 #include "src/common/types.h"
 #include "src/engine/storage_engine.h"
 
@@ -69,6 +70,32 @@ struct CrxConfig {
   Duration geo_ship_batch_window = 0;  // microseconds
 
   ReadPolicy read_policy = ReadPolicy::kUniformPrefix;
+
+  // Wire format for hot-path Crx frames. kV2 (the default) varint-encodes
+  // bodies and flags the type tag; receivers decode both formats
+  // unconditionally, so mixed clusters are safe. kV1 is the legacy
+  // fixed-width format, kept as an honest baseline for bytes/op
+  // comparisons (bench_e8).
+  WireFormat wire_format = WireFormat::kV2;
+
+  // Watermark dependency compression (requires wire_format=kV2 to have any
+  // effect: the watermark gossip rides only in v2 frames). Nodes track the
+  // oldest non-DC-Write-Stable locally-minted version in their store and
+  // gossip per-node stable cuts; the cluster-wide minimum W guarantees
+  // every local-origin version with lamport <= W is DC-Write-Stable.
+  // Clients drop (single-DC) or pre-mark local_stable (multi-DC) any
+  // dependency covered by W, so the common-case put ships one scalar
+  // instead of a dep list, and heads skip stability checks for covered
+  // deps. Off by default: explicit COPS-style dep lists are the paper's
+  // protocol and the bench baseline.
+  bool dep_watermark = false;
+
+  // Period of the direct stable-cut broadcast between ring peers while
+  // dep_watermark is on. Piggybacked cuts on chain traffic only reach
+  // chain-adjacent peers; the broadcast closes the gap. Activity-gated: a
+  // node broadcasts for a couple of rounds after protocol traffic and then
+  // goes silent, so quiescent clusters stay quiescent.
+  Duration wm_gossip_interval = 5 * kMillisecond;
 
   // Value-storage engine. kMem keeps values inline in the store (the
   // historical behavior). kDisk stores values in an append-only log under

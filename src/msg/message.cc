@@ -8,7 +8,16 @@ MsgType PeekType(const std::string& payload) {
   if (!r.GetU16(&type)) {
     return MsgType::kInvalid;
   }
-  return static_cast<MsgType>(type);
+  return static_cast<MsgType>(type & ~kWireV2Flag);
+}
+
+WireFormat PeekWireFormat(const std::string& payload) {
+  ByteReader r(payload);
+  uint16_t type = 0;
+  if (!r.GetU16(&type)) {
+    return WireFormat::kV1;
+  }
+  return (type & kWireV2Flag) != 0 ? WireFormat::kV2 : WireFormat::kV1;
 }
 
 void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w) {
@@ -40,6 +49,35 @@ size_t EncodedDepsSize(const std::vector<Dependency>& deps) {
   return n;
 }
 
+void EncodeDepsV2(const std::vector<Dependency>& deps, ByteWriter* w) {
+  w->PutVarU64(deps.size());
+  for (const Dependency& d : deps) {
+    d.EncodeV2(w);
+  }
+}
+
+bool DecodeDepsV2(ByteReader* r, std::vector<Dependency>* deps) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  deps->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(*deps)[i].DecodeV2(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+size_t EncodedDepsSizeV2(const std::vector<Dependency>& deps) {
+  size_t n = VarU64Size(deps.size());
+  for (const Dependency& d : deps) {
+    n += d.EncodedSizeV2();
+  }
+  return n;
+}
+
 // --------------------------- ChainReaction ---------------------------------
 
 void CrxPut::Encode(ByteWriter* w) const {
@@ -57,6 +95,31 @@ bool CrxPut::Decode(ByteReader* r) {
 size_t CrxPut::EncodedSize() const {
   return 8 + 4 + 4 + key.size() + 4 + value.size() + EncodedDepsSize(deps) + trace.EncodedSize();
 }
+void CrxPut::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutVarU64(client);
+  w->PutStringVar(key);
+  w->PutStringVar(value);
+  EncodeDepsV2(deps, w);
+  trace.EncodeV2(w);
+  w->PutVarU64(wm_epoch);
+  w->PutVarU64(dep_wm);
+}
+bool CrxPut::DecodeV2(ByteReader* r) {
+  uint64_t c = 0;
+  if (!(r->GetVarU64(&req) && r->GetVarU64(&c) && c <= UINT32_MAX && r->GetStringVar(&key) &&
+        r->GetStringVar(&value) && DecodeDepsV2(r, &deps) && trace.DecodeV2(r) &&
+        r->GetVarU64(&wm_epoch) && r->GetVarU64(&dep_wm))) {
+    return false;
+  }
+  client = static_cast<Address>(c);
+  return true;
+}
+size_t CrxPut::EncodedSizeV2() const {
+  return VarU64Size(req) + VarU64Size(client) + VarStringSize(key) + VarStringSize(value) +
+         EncodedDepsSizeV2(deps) + trace.EncodedSizeV2() + VarU64Size(wm_epoch) +
+         VarU64Size(dep_wm);
+}
 
 void CrxPutAck::Encode(ByteWriter* w) const {
   w->PutU64(req);
@@ -71,6 +134,29 @@ bool CrxPutAck::Decode(ByteReader* r) {
 }
 size_t CrxPutAck::EncodedSize() const {
   return 8 + 4 + key.size() + version.EncodedSize() + 4 + trace.EncodedSize();
+}
+void CrxPutAck::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutStringVar(key);
+  version.EncodeV2(w);
+  w->PutVarU64(acked_at);
+  trace.EncodeV2(w);
+  w->PutVarU64(wm_epoch);
+  w->PutVarU64(stable_wm);
+}
+bool CrxPutAck::DecodeV2(ByteReader* r) {
+  uint64_t at = 0;
+  if (!(r->GetVarU64(&req) && r->GetStringVar(&key) && version.DecodeV2(r) && r->GetVarU64(&at) &&
+        at <= UINT32_MAX && trace.DecodeV2(r) && r->GetVarU64(&wm_epoch) &&
+        r->GetVarU64(&stable_wm))) {
+    return false;
+  }
+  acked_at = static_cast<ChainIndex>(at);
+  return true;
+}
+size_t CrxPutAck::EncodedSizeV2() const {
+  return VarU64Size(req) + VarStringSize(key) + version.EncodedSizeV2() + VarU64Size(acked_at) +
+         trace.EncodedSizeV2() + VarU64Size(wm_epoch) + VarU64Size(stable_wm);
 }
 
 void CrxPutAckBatch::Encode(ByteWriter* w) const {
@@ -100,6 +186,33 @@ size_t CrxPutAckBatch::EncodedSize() const {
   }
   return n;
 }
+void CrxPutAckBatch::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(up_to_seq);
+  w->PutVarU64(acks.size());
+  for (const CrxPutAck& a : acks) {
+    a.EncodeV2(w);
+  }
+}
+bool CrxPutAckBatch::DecodeV2(ByteReader* r) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&up_to_seq) || !r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  acks.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!acks[i].DecodeV2(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+size_t CrxPutAckBatch::EncodedSizeV2() const {
+  size_t n = VarU64Size(up_to_seq) + VarU64Size(acks.size());
+  for (const CrxPutAck& a : acks) {
+    n += a.EncodedSizeV2();
+  }
+  return n;
+}
 
 void CrxGet::Encode(ByteWriter* w) const {
   w->PutU64(req);
@@ -111,6 +224,26 @@ void CrxGet::Encode(ByteWriter* w) const {
 bool CrxGet::Decode(ByteReader* r) {
   return r->GetU64(&req) && r->GetU32(&client) && r->GetString(&key) && min_version.Decode(r) &&
          r->GetBool(&with_deps);
+}
+void CrxGet::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutVarU64(client);
+  w->PutStringVar(key);
+  min_version.EncodeV2(w);
+  w->PutBool(with_deps);
+}
+bool CrxGet::DecodeV2(ByteReader* r) {
+  uint64_t c = 0;
+  if (!(r->GetVarU64(&req) && r->GetVarU64(&c) && c <= UINT32_MAX && r->GetStringVar(&key) &&
+        min_version.DecodeV2(r) && r->GetBool(&with_deps))) {
+    return false;
+  }
+  client = static_cast<Address>(c);
+  return true;
+}
+size_t CrxGet::EncodedSizeV2() const {
+  return VarU64Size(req) + VarU64Size(client) + VarStringSize(key) +
+         min_version.EncodedSizeV2() + 1;
 }
 
 void CrxGetReply::Encode(ByteWriter* w) const {
@@ -130,6 +263,34 @@ bool CrxGetReply::Decode(ByteReader* r) {
 size_t CrxGetReply::EncodedSize() const {
   return 8 + 4 + key.size() + 1 + 4 + value.size() + version.EncodedSize() + 4 + 1 +
          EncodedDepsSize(deps);
+}
+void CrxGetReply::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutStringVar(key);
+  w->PutBool(found);
+  w->PutStringVar(value);
+  version.EncodeV2(w);
+  w->PutVarU64(position);
+  w->PutBool(stable);
+  EncodeDepsV2(deps, w);
+  w->PutVarU64(wm_epoch);
+  w->PutVarU64(stable_wm);
+}
+bool CrxGetReply::DecodeV2(ByteReader* r) {
+  uint64_t pos = 0;
+  if (!(r->GetVarU64(&req) && r->GetStringVar(&key) && r->GetBool(&found) &&
+        r->GetStringVar(&value) && version.DecodeV2(r) && r->GetVarU64(&pos) &&
+        pos <= UINT32_MAX && r->GetBool(&stable) && DecodeDepsV2(r, &deps) &&
+        r->GetVarU64(&wm_epoch) && r->GetVarU64(&stable_wm))) {
+    return false;
+  }
+  position = static_cast<ChainIndex>(pos);
+  return true;
+}
+size_t CrxGetReply::EncodedSizeV2() const {
+  return VarU64Size(req) + VarStringSize(key) + 1 + VarStringSize(value) +
+         version.EncodedSizeV2() + VarU64Size(position) + 1 + EncodedDepsSizeV2(deps) +
+         VarU64Size(wm_epoch) + VarU64Size(stable_wm);
 }
 
 void CrxChainPut::Encode(ByteWriter* w) const {
@@ -153,6 +314,37 @@ size_t CrxChainPut::EncodedSize() const {
   return 4 + key.size() + 4 + value.size() + version.EncodedSize() + 4 + 8 + 4 + 8 +
          VarU64Size(chain_seq) + EncodedDepsSize(deps) + trace.EncodedSize();
 }
+void CrxChainPut::EncodeV2(ByteWriter* w) const {
+  w->PutStringVar(key);
+  w->PutStringVar(value);
+  version.EncodeV2(w);
+  w->PutVarU64(client);
+  w->PutVarU64(req);
+  w->PutVarU64(ack_at);
+  w->PutVarU64(epoch);
+  w->PutVarU64(chain_seq);
+  EncodeDepsV2(deps, w);
+  trace.EncodeV2(w);
+  w->PutVarU64(stable_cut);
+}
+bool CrxChainPut::DecodeV2(ByteReader* r) {
+  uint64_t c = 0, at = 0;
+  if (!(r->GetStringVar(&key) && r->GetStringVar(&value) && version.DecodeV2(r) &&
+        r->GetVarU64(&c) && c <= UINT32_MAX && r->GetVarU64(&req) && r->GetVarU64(&at) &&
+        at <= UINT32_MAX && r->GetVarU64(&epoch) && r->GetVarU64(&chain_seq) &&
+        DecodeDepsV2(r, &deps) && trace.DecodeV2(r) && r->GetVarU64(&stable_cut))) {
+    return false;
+  }
+  client = static_cast<Address>(c);
+  ack_at = static_cast<ChainIndex>(at);
+  return true;
+}
+size_t CrxChainPut::EncodedSizeV2() const {
+  return VarStringSize(key) + VarStringSize(value) + version.EncodedSizeV2() +
+         VarU64Size(client) + VarU64Size(req) + VarU64Size(ack_at) + VarU64Size(epoch) +
+         VarU64Size(chain_seq) + EncodedDepsSizeV2(deps) + trace.EncodedSizeV2() +
+         VarU64Size(stable_cut);
+}
 
 void CrxStableNotify::Encode(ByteWriter* w) const {
   w->PutString(key);
@@ -161,6 +353,20 @@ void CrxStableNotify::Encode(ByteWriter* w) const {
 }
 bool CrxStableNotify::Decode(ByteReader* r) {
   return r->GetString(&key) && version.Decode(r) && r->GetU64(&epoch);
+}
+void CrxStableNotify::EncodeV2(ByteWriter* w) const {
+  w->PutStringVar(key);
+  version.EncodeV2(w);
+  w->PutVarU64(epoch);
+  w->PutVarU64(stable_cut);
+}
+bool CrxStableNotify::DecodeV2(ByteReader* r) {
+  return r->GetStringVar(&key) && version.DecodeV2(r) && r->GetVarU64(&epoch) &&
+         r->GetVarU64(&stable_cut);
+}
+size_t CrxStableNotify::EncodedSizeV2() const {
+  return VarStringSize(key) + version.EncodedSizeV2() + VarU64Size(epoch) +
+         VarU64Size(stable_cut);
 }
 
 void CrxStabilityCheck::Encode(ByteWriter* w) const {
@@ -171,6 +377,17 @@ void CrxStabilityCheck::Encode(ByteWriter* w) const {
 bool CrxStabilityCheck::Decode(ByteReader* r) {
   return r->GetString(&key) && version.Decode(r) && r->GetU64(&token);
 }
+void CrxStabilityCheck::EncodeV2(ByteWriter* w) const {
+  w->PutStringVar(key);
+  version.EncodeV2(w);
+  w->PutVarU64(token);
+}
+bool CrxStabilityCheck::DecodeV2(ByteReader* r) {
+  return r->GetStringVar(&key) && version.DecodeV2(r) && r->GetVarU64(&token);
+}
+size_t CrxStabilityCheck::EncodedSizeV2() const {
+  return VarStringSize(key) + version.EncodedSizeV2() + VarU64Size(token);
+}
 
 void CrxStabilityConfirm::Encode(ByteWriter* w) const {
   w->PutU64(token);
@@ -178,6 +395,41 @@ void CrxStabilityConfirm::Encode(ByteWriter* w) const {
 }
 bool CrxStabilityConfirm::Decode(ByteReader* r) {
   return r->GetU64(&token) && r->GetString(&key);
+}
+void CrxStabilityConfirm::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(token);
+  w->PutStringVar(key);
+}
+bool CrxStabilityConfirm::DecodeV2(ByteReader* r) {
+  return r->GetVarU64(&token) && r->GetStringVar(&key);
+}
+size_t CrxStabilityConfirm::EncodedSizeV2() const {
+  return VarU64Size(token) + VarStringSize(key);
+}
+
+void CrxWatermark::Encode(ByteWriter* w) const {
+  w->PutU32(node);
+  w->PutU64(epoch);
+  w->PutU64(cut);
+}
+bool CrxWatermark::Decode(ByteReader* r) {
+  return r->GetU32(&node) && r->GetU64(&epoch) && r->GetU64(&cut);
+}
+void CrxWatermark::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(node);
+  w->PutVarU64(epoch);
+  w->PutVarU64(cut);
+}
+bool CrxWatermark::DecodeV2(ByteReader* r) {
+  uint64_t n = 0;
+  if (!(r->GetVarU64(&n) && n <= UINT32_MAX && r->GetVarU64(&epoch) && r->GetVarU64(&cut))) {
+    return false;
+  }
+  node = static_cast<NodeId>(n);
+  return true;
+}
+size_t CrxWatermark::EncodedSizeV2() const {
+  return VarU64Size(node) + VarU64Size(epoch) + VarU64Size(cut);
 }
 
 // ------------------------ classic chain replication ------------------------

@@ -4,6 +4,13 @@
 // kType tag. A serialized message is `u16 type` followed by the body; the
 // same bytes flow through the simulated network and the TCP transport.
 //
+// Wire format v2 (hot-path Crx messages only): the frame is
+// `u16 (type | kWireV2Flag)` followed by a varint-encoded body produced by
+// EncodeV2(). The flag bit makes every frame self-describing — a decoder
+// never needs out-of-band knowledge of the sender's configuration, v1
+// frames keep decoding after an upgrade, and v2 frames fail cleanly (type
+// mismatch) on a v1-only decoder. See DESIGN.md §14.
+//
 // Naming convention by protocol:
 //   Crx*   — ChainReaction (the paper's system)
 //   Cr*    — classic Chain Replication baseline (FAWN-KV-style)
@@ -40,6 +47,7 @@ enum class MsgType : uint16_t {
   kCrxStableNotify = 21,
   kCrxStabilityCheck = 22,
   kCrxStabilityConfirm = 23,
+  kCrxWatermark = 24,
 
   // Classic chain replication baseline.
   kCrPut = 30,
@@ -92,14 +100,37 @@ enum class MsgType : uint16_t {
   kMigAbort = 85,
 };
 
+// High bit of the u16 type tag marks a wire-format-v2 body. Real type tags
+// stay far below it, so a flagged tag can never collide with a plain one.
+inline constexpr uint16_t kWireV2Flag = 0x8000;
+
 // Returns the type tag of a serialized message (kInvalid if too short).
+// The v2 flag bit is masked off, so dispatch switches see the same MsgType
+// regardless of the body's wire format.
 MsgType PeekType(const std::string& payload);
 
+// Wire format of a serialized message (kV1 if too short — decode will fail
+// with a honest error downstream anyway).
+WireFormat PeekWireFormat(const std::string& payload);
+
 // Hot-path messages implement EncodedSize() so the writer can allocate the
-// final buffer in one shot (no growth reallocations mid-encode).
+// final buffer in one shot (no growth reallocations mid-encode). Messages
+// with an EncodeV2()/EncodedSizeV2() pair can be asked for a v2 frame;
+// types without one (control plane, baselines) always encode v1.
 template <typename M>
-std::string EncodeMessage(const M& m) {
+std::string EncodeMessage(const M& m, WireFormat wf = WireFormat::kV1) {
   ByteWriter w;
+  if constexpr (requires(ByteWriter* pw) {
+                  m.EncodeV2(pw);
+                  m.EncodedSizeV2();
+                }) {
+    if (wf == WireFormat::kV2) {
+      w.Reserve(2 + m.EncodedSizeV2());
+      w.PutU16(static_cast<uint16_t>(M::kType) | kWireV2Flag);
+      m.EncodeV2(&w);
+      return w.Take();
+    }
+  }
   if constexpr (requires { m.EncodedSize(); }) {
     w.Reserve(2 + m.EncodedSize());
   }
@@ -108,20 +139,36 @@ std::string EncodeMessage(const M& m) {
   return w.Take();
 }
 
-// Decodes `payload` into `out`; fails on type mismatch or truncation.
+// Decodes `payload` into `out`; fails on type mismatch or truncation. A
+// frame whose tag carries kWireV2Flag is decoded with DecodeV2() — the
+// receiver accepts both formats unconditionally, which is what makes the
+// `wire_format` knob safe to flip per deployment (mixed traffic decodes).
 template <typename M>
 bool DecodeMessage(const std::string& payload, M* out) {
   ByteReader r(payload);
   uint16_t type = 0;
-  if (!r.GetU16(&type) || type != static_cast<uint16_t>(M::kType)) {
+  if (!r.GetU16(&type)) {
     return false;
   }
-  return out->Decode(&r);
+  if (type == static_cast<uint16_t>(M::kType)) {
+    return out->Decode(&r);
+  }
+  if constexpr (requires(ByteReader* pr) { out->DecodeV2(pr); }) {
+    if (type == (static_cast<uint16_t>(M::kType) | kWireV2Flag)) {
+      return out->DecodeV2(&r);
+    }
+  }
+  return false;
 }
 
 void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w);
 bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps);
 size_t EncodedDepsSize(const std::vector<Dependency>& deps);
+
+// v2 variants: varint count, v2-encoded entries.
+void EncodeDepsV2(const std::vector<Dependency>& deps, ByteWriter* w);
+bool DecodeDepsV2(ByteReader* r, std::vector<Dependency>* deps);
+size_t EncodedDepsSizeV2(const std::vector<Dependency>& deps);
 
 // ---------------------------------------------------------------------------
 // ChainReaction
@@ -140,10 +187,19 @@ struct CrxPut {
   // Observability header: nonzero id marks a sampled request; hops
   // accumulate along the write path (src/obs/trace.h).
   TraceContext trace;
+  // Watermark dep compression (v2 frames only): the cluster stable
+  // watermark the client compressed `deps` against, and the membership
+  // epoch it is valid for. Deps covered by the watermark were dropped
+  // (single-DC) or pre-marked local_stable (multi-DC) before sending.
+  uint64_t wm_epoch = 0;
+  uint64_t dep_wm = 0;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
   size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // Node at position k -> client: the write is k-stable.
@@ -154,10 +210,17 @@ struct CrxPutAck {
   Version version;
   ChainIndex acked_at = 0;  // chain position that acknowledged (== k)
   TraceContext trace;       // hops up to (and including) the acking node
+  // v2 frames piggyback the acking node's cluster stable-watermark estimate
+  // (and the epoch it is valid for) so the client can compress future deps.
+  uint64_t wm_epoch = 0;
+  uint64_t stable_wm = 0;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
   size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // Node at position k -> client: cumulative acknowledgement. With ack
@@ -176,6 +239,9 @@ struct CrxPutAckBatch {
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
   size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // Client -> any node in its allowed chain prefix.
@@ -193,6 +259,9 @@ struct CrxGet {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 struct CrxGetReply {
@@ -205,10 +274,16 @@ struct CrxGetReply {
   ChainIndex position = 0;  // chain position of the answering node
   bool stable = false;      // version is DC-Write-Stable
   std::vector<Dependency> deps;  // filled iff the get asked with_deps
+  // v2 frames piggyback the answering node's cluster watermark estimate.
+  uint64_t wm_epoch = 0;
+  uint64_t stable_wm = 0;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
   size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // Head -> successor -> ...: down-chain propagation of one write. The node at
@@ -229,10 +304,16 @@ struct CrxChainPut {
   uint64_t chain_seq = 0;
   std::vector<Dependency> deps;  // shipped to the geo replicator at the tail
   TraceContext trace;     // per-hop annotations of the traced write
+  // v2 frames piggyback the sender's own stable cut (valid for `epoch`) so
+  // chain neighbors learn each other's watermark from hot-path traffic.
+  uint64_t stable_cut = 0;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
   size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // Tail -> predecessor -> ... -> head: version became DC-Write-Stable.
@@ -241,9 +322,14 @@ struct CrxStableNotify {
   Key key;
   Version version;
   uint64_t epoch = 0;
+  // v2 frames piggyback the sender's own stable cut (valid for `epoch`).
+  uint64_t stable_cut = 0;
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // Head of a writing chain -> tail of a dependency's chain: "tell me when
@@ -256,6 +342,9 @@ struct CrxStabilityCheck {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 struct CrxStabilityConfirm {
@@ -265,6 +354,29 @@ struct CrxStabilityConfirm {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
+};
+
+// Node -> every ring peer: low-rate direct gossip of the sender's stable
+// cut. Piggybacked cuts on chain traffic only reach ring neighbors that
+// happen to share a chain link; this broadcast closes the gap so the
+// cluster minimum converges on every node. Sent only while dep_watermark is
+// enabled and the node has recently processed protocol traffic (quiescent
+// clusters stay quiescent).
+struct CrxWatermark {
+  static constexpr MsgType kType = MsgType::kCrxWatermark;
+  NodeId node = 0;      // sender
+  uint64_t epoch = 0;   // membership epoch the cut is valid for
+  uint64_t cut = 0;     // all local-origin versions with lamport <= cut are
+                        // DC-Write-Stable at the sender
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
 };
 
 // ---------------------------------------------------------------------------

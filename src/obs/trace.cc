@@ -84,6 +84,52 @@ bool TraceContext::Decode(ByteReader* r) {
   return true;
 }
 
+void TraceContext::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(id);
+  if (id == 0) {
+    return;  // untraced: one byte on the wire
+  }
+  w->PutVarU64(hops.size());
+  for (const TraceHop& h : hops) {
+    w->PutU8(static_cast<uint8_t>(h.kind));
+    w->PutVarU64(h.node);
+    w->PutVarU64(h.dc);
+    w->PutVarU64(h.detail);
+    w->PutVarI64(h.at);
+    w->PutVarU64(h.aux);
+  }
+}
+
+bool TraceContext::DecodeV2(ByteReader* r) {
+  hops.clear();
+  if (!r->GetVarU64(&id)) {
+    return false;
+  }
+  if (id == 0) {
+    return true;
+  }
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > 4096) {
+    return false;
+  }
+  hops.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint8_t kind = 0;
+    uint64_t node = 0, dc = 0, detail = 0;
+    TraceHop& h = hops[i];
+    if (!r->GetU8(&kind) || !r->GetVarU64(&node) || !r->GetVarU64(&dc) ||
+        !r->GetVarU64(&detail) || !r->GetVarI64(&h.at) || !r->GetVarU64(&h.aux) ||
+        node > UINT32_MAX || dc > UINT16_MAX || detail > UINT32_MAX) {
+      return false;
+    }
+    h.kind = static_cast<HopKind>(kind);
+    h.node = static_cast<uint32_t>(node);
+    h.dc = static_cast<uint16_t>(dc);
+    h.detail = static_cast<uint32_t>(detail);
+  }
+  return true;
+}
+
 void TraceCollector::Report(const TraceContext& trace) {
   if (!trace.active()) {
     return;

@@ -90,6 +90,23 @@ struct TraceContext {
     }
     return n;
   }
+
+  // Wire format v2: hop fields are varints and the timestamp is a zig-zag
+  // signed varint. An untraced context is still one zero byte.
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+
+  size_t EncodedSizeV2() const {
+    if (id == 0) {
+      return 1;
+    }
+    size_t n = VarU64Size(id) + VarU64Size(hops.size());
+    for (const TraceHop& hop : hops) {
+      n += 1 + VarU64Size(hop.node) + VarU64Size(hop.dc) + VarU64Size(hop.detail) +
+           VarI64Size(hop.at) + VarU64Size(hop.aux);
+    }
+    return n;
+  }
 };
 
 // Deterministic trace id for a client operation; nonzero for any real

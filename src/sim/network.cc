@@ -125,6 +125,11 @@ void SimNetwork::Send(Address src, Address dst, std::string payload) {
   }
 
   bytes_sent_ += payload.size();
+  if (payload.size() >= 2) {
+    const uint16_t tag = static_cast<uint16_t>(static_cast<uint8_t>(payload[0]) |
+                                               (static_cast<uint8_t>(payload[1]) << 8));
+    bytes_by_tag_[tag] += payload.size();
+  }
   if (m_bytes_ != nullptr) {
     m_bytes_->Inc(payload.size());
   }

@@ -90,6 +90,11 @@ class SimNetwork {
   uint64_t messages_delivered() const { return messages_delivered_; }
   uint64_t messages_dropped() const { return messages_dropped_; }
   uint64_t bytes_sent() const { return bytes_sent_; }
+  // Bytes sent per leading u16 frame tag (the message-type word, including
+  // any format flag bits — mask at the consumer). Lets benchmarks break a
+  // byte total down by message kind without the network layer knowing the
+  // message schema.
+  const std::unordered_map<uint16_t, uint64_t>& bytes_by_tag() const { return bytes_by_tag_; }
   uint64_t MessagesProcessedBy(Address addr) const;
   Simulator* simulator() { return sim_; }
 
@@ -118,6 +123,7 @@ class SimNetwork {
   uint64_t messages_delivered_ = 0;
   uint64_t messages_dropped_ = 0;
   uint64_t bytes_sent_ = 0;
+  std::unordered_map<uint16_t, uint64_t> bytes_by_tag_;
 
   // Observability (null until AttachMetrics).
   Counter* m_delivered_ = nullptr;

@@ -41,6 +41,7 @@ bool VersionedStore::Apply(const Key& key, Value value, const Version& version,
   StoredVersion sv;
   sv.version = version;
   sv.deps = std::move(deps);
+  TrackUnstable(version);
   if (!engine_->inline_values()) {
     sv.handle = engine_->Append(key, version, value);
   }
@@ -80,6 +81,7 @@ bool VersionedStore::Adopt(const Key& key, const Version& version,
   StoredVersion sv;
   sv.version = version;
   sv.deps = std::move(deps);
+  TrackUnstable(version);
   sv.handle = handle;
   sv.resident = false;
   ks.versions.insert(it, std::move(sv));
@@ -98,7 +100,10 @@ bool VersionedStore::MarkStable(const Key& key, const Version& version) {
     if (sv.version == version || version.CausallyIncludes(sv.version)) {
       // Stability is prefix-closed along the chain: everything the stable
       // version causally includes is stable too.
-      sv.stable = true;
+      if (!sv.stable) {
+        sv.stable = true;
+        UntrackUnstable(sv.version);
+      }
       found = found || sv.version == version;
     }
   }
@@ -329,7 +334,29 @@ uint64_t VersionedStore::resident_versions() const {
   return engine_->inline_values() ? total_versions_ : lru_.size();
 }
 
+void VersionedStore::TrackUnstable(const Version& v) {
+  if (wm_tracking_ && v.origin == wm_origin_) {
+    unstable_lamports_[v.lamport]++;
+  }
+}
+
+void VersionedStore::UntrackUnstable(const Version& v) {
+  if (!wm_tracking_ || v.origin != wm_origin_) {
+    return;
+  }
+  auto it = unstable_lamports_.find(v.lamport);
+  if (it != unstable_lamports_.end() && --it->second == 0) {
+    unstable_lamports_.erase(it);
+  }
+}
+
 void VersionedStore::DropEntry(StoredVersion* sv) {
+  // An unstable version dropped by GC is LWW-superseded by a stable newer
+  // one — the same condition under which dependency checks treat it as
+  // satisfied — so it stops capping the watermark.
+  if (!sv->stable) {
+    UntrackUnstable(sv->version);
+  }
   if (sv->resident) {
     inline_bytes_ -= sv->value.size();
   }

@@ -28,6 +28,7 @@
 
 #include <functional>
 #include <list>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -145,6 +146,23 @@ class VersionedStore {
   // longer references them has been durably written.
   void PurgeEngineGarbage() { engine_->PurgeDeadSegments(); }
 
+  // Stable-watermark tracking (dep_watermark; DESIGN.md §14) --------------
+  // Tracks the multiset of lamport timestamps of not-yet-stable versions
+  // whose origin DC is `origin`, across ALL keys. A node's stable cut is
+  // bounded by MinTrackedUnstableLamport() - 1: every replica holding an
+  // unstable copy of a locally-minted version caps the cluster watermark,
+  // so the minimum over the ring never admits an unstable dependency even
+  // if the version's head died. Enable before applying data.
+  void TrackStabilityFor(DcId origin) {
+    wm_tracking_ = true;
+    wm_origin_ = origin;
+  }
+  bool HasTrackedUnstable() const { return !unstable_lamports_.empty(); }
+  // Smallest tracked unstable lamport; only meaningful if HasTrackedUnstable().
+  uint64_t MinTrackedUnstableLamport() const {
+    return unstable_lamports_.begin()->first;
+  }
+
   // Residency stats. Under the mem engine, resident == everything.
   uint64_t resident_versions() const;
   uint64_t resident_bytes() const { return inline_bytes_; }
@@ -159,6 +177,8 @@ class VersionedStore {
 
   void Trim(KeyState* ks);
   void DropEntry(StoredVersion* sv);  // cache + engine accounting on erase
+  void TrackUnstable(const Version& v);
+  void UntrackUnstable(const Version& v);
   StoredVersion* Materialize(const Key& key, StoredVersion* sv);
   void TouchLru(const Key& key, StoredVersion* sv);
   void EvictOverBudget();
@@ -166,6 +186,12 @@ class VersionedStore {
 
   std::unordered_map<Key, KeyState> table_;
   uint64_t total_versions_ = 0;
+
+  // Watermark tracking: lamport -> count of unstable versions carrying it
+  // (distinct keys may collide on a lamport).
+  bool wm_tracking_ = false;
+  DcId wm_origin_ = 0;
+  std::map<uint64_t, uint32_t> unstable_lamports_;
 
   std::unique_ptr<StorageEngine> engine_;
   uint64_t cache_budget_ = 64u << 20;

@@ -359,17 +359,20 @@ TraceContext FuzzTrace(Rng* rng) {
 }
 
 // Runs the (a)/(b)/(c) properties for one struct type. `fill` populates a
-// default-constructed message from the rng.
+// default-constructed message from the rng. `wf` picks the wire format the
+// byte-stability property is checked under (v2-capable structs get fuzzed
+// in both).
 template <typename M, typename FillFn>
-void FuzzStruct(const char* name, uint64_t seed, FillFn fill) {
+void FuzzStruct(const char* name, uint64_t seed, FillFn fill,
+                WireFormat wf = WireFormat::kV1) {
   Rng rng(seed);
   for (int trial = 0; trial < 15; ++trial) {
     M m;
     fill(&m, &rng);
-    const std::string payload = EncodeMessage(m);
+    const std::string payload = EncodeMessage(m, wf);
     M out;
     ASSERT_TRUE(DecodeMessage(payload, &out)) << name << " trial=" << trial;
-    EXPECT_EQ(EncodeMessage(out), payload) << name << " trial=" << trial;
+    EXPECT_EQ(EncodeMessage(out, wf), payload) << name << " trial=" << trial;
     for (size_t cut = 0; cut < payload.size(); ++cut) {
       M t;
       EXPECT_FALSE(DecodeMessage(payload.substr(0, cut), &t))
@@ -382,7 +385,7 @@ void FuzzStruct(const char* name, uint64_t seed, FillFn fill) {
           static_cast<char>(corrupted[pos] ^ static_cast<char>(1 + rng.NextBelow(255)));
       M c;
       if (DecodeMessage(corrupted, &c)) {
-        (void)EncodeMessage(c);
+        (void)EncodeMessage(c, wf);
       }
     }
   }
@@ -461,6 +464,325 @@ TEST(MessageFuzz, ChainReactionStructs) {
                                     m->token = rng->Next();
                                     m->key = FuzzKey(rng);
                                   });
+}
+
+// Same properties for every v2-capable hot-path struct under the varint
+// wire format, with the watermark fields populated (they only exist on the
+// v2 wire).
+TEST(MessageFuzz, ChainReactionStructsV2) {
+  const WireFormat v2 = WireFormat::kV2;
+  FuzzStruct<CrxPut>(
+      "CrxPutV2", 111,
+      [](CrxPut* m, Rng* rng) {
+        m->req = rng->Next();
+        m->client = static_cast<Address>(rng->Next());
+        m->key = FuzzKey(rng);
+        m->value = FuzzValue(rng);
+        m->deps = FuzzDeps(rng);
+        m->wm_epoch = rng->NextBelow(100);
+        m->dep_wm = rng->NextBelow(1ull << 40);
+        m->trace = FuzzTrace(rng);
+      },
+      v2);
+  FuzzStruct<CrxPutAck>(
+      "CrxPutAckV2", 112,
+      [](CrxPutAck* m, Rng* rng) {
+        m->req = rng->Next();
+        m->key = FuzzKey(rng);
+        m->version = FuzzVersion(rng);
+        m->acked_at = static_cast<ChainIndex>(rng->NextBelow(8));
+        m->wm_epoch = rng->NextBelow(100);
+        m->stable_wm = rng->NextBelow(1ull << 40);
+        m->trace = FuzzTrace(rng);
+      },
+      v2);
+  FuzzStruct<CrxPutAckBatch>(
+      "CrxPutAckBatchV2", 113,
+      [](CrxPutAckBatch* m, Rng* rng) {
+        m->up_to_seq = rng->NextBelow(1ull << 40);
+        const size_t n = rng->NextBelow(5);
+        for (size_t i = 0; i < n; ++i) {
+          CrxPutAck a;
+          a.req = rng->Next();
+          a.key = FuzzKey(rng);
+          a.version = FuzzVersion(rng);
+          a.acked_at = static_cast<ChainIndex>(rng->NextBelow(8));
+          a.stable_wm = rng->NextBelow(1ull << 40);
+          a.trace = FuzzTrace(rng);
+          m->acks.push_back(a);
+        }
+      },
+      v2);
+  FuzzStruct<CrxGet>(
+      "CrxGetV2", 114,
+      [](CrxGet* m, Rng* rng) {
+        m->req = rng->Next();
+        m->client = static_cast<Address>(rng->Next());
+        m->key = FuzzKey(rng);
+        m->min_version = FuzzVersion(rng);
+        m->with_deps = rng->NextBool(0.5);
+      },
+      v2);
+  FuzzStruct<CrxGetReply>(
+      "CrxGetReplyV2", 115,
+      [](CrxGetReply* m, Rng* rng) {
+        m->req = rng->Next();
+        m->key = FuzzKey(rng);
+        m->found = rng->NextBool(0.5);
+        m->value = FuzzValue(rng);
+        m->version = FuzzVersion(rng);
+        m->position = static_cast<ChainIndex>(rng->NextBelow(8));
+        m->stable = rng->NextBool(0.5);
+        m->deps = FuzzDeps(rng);
+        m->wm_epoch = rng->NextBelow(100);
+        m->stable_wm = rng->NextBelow(1ull << 40);
+      },
+      v2);
+  FuzzStruct<CrxChainPut>(
+      "CrxChainPutV2", 116,
+      [](CrxChainPut* m, Rng* rng) {
+        m->key = FuzzKey(rng);
+        m->value = FuzzValue(rng);
+        m->version = FuzzVersion(rng);
+        m->client = static_cast<Address>(rng->Next());
+        m->req = rng->Next();
+        m->ack_at = static_cast<ChainIndex>(rng->NextBelow(8));
+        m->epoch = rng->NextBelow(100);
+        m->chain_seq = rng->NextBelow(1ull << 40);
+        m->deps = FuzzDeps(rng);
+        m->stable_cut = rng->NextBelow(1ull << 40);
+        m->trace = FuzzTrace(rng);
+      },
+      v2);
+  FuzzStruct<CrxStableNotify>(
+      "CrxStableNotifyV2", 117,
+      [](CrxStableNotify* m, Rng* rng) {
+        m->key = FuzzKey(rng);
+        m->version = FuzzVersion(rng);
+        m->epoch = rng->NextBelow(100);
+        m->stable_cut = rng->NextBelow(1ull << 40);
+      },
+      v2);
+  FuzzStruct<CrxStabilityCheck>(
+      "CrxStabilityCheckV2", 118,
+      [](CrxStabilityCheck* m, Rng* rng) {
+        m->key = FuzzKey(rng);
+        m->version = FuzzVersion(rng);
+        m->token = rng->Next();
+      },
+      v2);
+  FuzzStruct<CrxStabilityConfirm>(
+      "CrxStabilityConfirmV2", 119,
+      [](CrxStabilityConfirm* m, Rng* rng) {
+        m->token = rng->Next();
+        m->key = FuzzKey(rng);
+      },
+      v2);
+  FuzzStruct<CrxWatermark>(
+      "CrxWatermarkV1", 120,
+      [](CrxWatermark* m, Rng* rng) {
+        m->node = static_cast<NodeId>(rng->NextBelow(1u << 16));
+        m->epoch = rng->NextBelow(100);
+        m->cut = rng->NextBelow(1ull << 40);
+      },
+      WireFormat::kV1);
+  FuzzStruct<CrxWatermark>(
+      "CrxWatermarkV2", 121,
+      [](CrxWatermark* m, Rng* rng) {
+        m->node = static_cast<NodeId>(rng->NextBelow(1u << 16));
+        m->epoch = rng->NextBelow(100);
+        m->cut = rng->NextBelow(1ull << 40);
+      },
+      v2);
+}
+
+// ---------------------------------------------------------------------------
+// Varint edge cases: maximal encodings, overlong (non-canonical) encodings,
+// and truncated continuation chains. The decoder must never crash, must
+// reject every strict prefix, and must accept the 10-byte maximum.
+// ---------------------------------------------------------------------------
+
+TEST(Varint, MaximalTenByteEncoding) {
+  ByteWriter w;
+  w.PutVarU64(UINT64_MAX);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(VarU64Size(UINT64_MAX), 10u);
+  ByteReader r(w.data());
+  uint64_t v = 0;
+  ASSERT_TRUE(r.GetVarU64(&v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_EQ(r.remaining(), 0u);
+
+  // Every power of two hits a distinct length bucket.
+  for (int shift = 0; shift < 64; ++shift) {
+    const uint64_t x = 1ull << shift;
+    ByteWriter w2;
+    w2.PutVarU64(x);
+    EXPECT_EQ(w2.size(), VarU64Size(x)) << "shift=" << shift;
+    ByteReader r2(w2.data());
+    uint64_t y = 0;
+    ASSERT_TRUE(r2.GetVarU64(&y)) << "shift=" << shift;
+    EXPECT_EQ(y, x) << "shift=" << shift;
+  }
+}
+
+TEST(Varint, TruncatedContinuationAlwaysFails) {
+  // A continuation bit with no following byte must fail, at every length.
+  for (size_t len = 1; len <= 9; ++len) {
+    std::string buf(len, static_cast<char>(0x80));
+    ByteReader r(buf);
+    uint64_t v = 0;
+    EXPECT_FALSE(r.GetVarU64(&v)) << "len=" << len;
+  }
+  // Same through the full varint encoding of a large value.
+  ByteWriter w;
+  w.PutVarU64(UINT64_MAX);
+  const std::string full(w.data());
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    ByteReader r(full.data(), cut);
+    uint64_t v = 0;
+    EXPECT_FALSE(r.GetVarU64(&v)) << "cut=" << cut;
+  }
+}
+
+TEST(Varint, ContinuationPastTenBytesFails) {
+  // 10 continuation bytes followed by a terminator would need shift >= 70:
+  // the decoder must reject rather than silently wrap.
+  std::string buf(10, static_cast<char>(0xFF));
+  buf.push_back(0x01);
+  ByteReader r(buf);
+  uint64_t v = 0;
+  EXPECT_FALSE(r.GetVarU64(&v));
+}
+
+TEST(Varint, OverlongEncodingDecodesWithoutCrashing) {
+  // Non-canonical (overlong) encodings of small values: {0x80, 0x00} is a
+  // two-byte zero. The decoder accepts them (receivers are liberal); the
+  // byte-stability fuzz property separately guarantees our own encoder
+  // never produces them.
+  const std::string two_byte_zero("\x80\x00", 2);
+  ByteReader r(two_byte_zero);
+  uint64_t v = 99;
+  ASSERT_TRUE(r.GetVarU64(&v));
+  EXPECT_EQ(v, 0u);
+
+  // Maximal overlong zero: nine 0x80 bytes + 0x00.
+  std::string long_zero(9, static_cast<char>(0x80));
+  long_zero.push_back(0x00);
+  ByteReader r2(long_zero);
+  v = 99;
+  ASSERT_TRUE(r2.GetVarU64(&v));
+  EXPECT_EQ(v, 0u);
+}
+
+TEST(Varint, ZigZagRoundTrip) {
+  const int64_t cases[] = {0, -1, 1, -2, 2, INT64_MAX, INT64_MIN, -123456789, 123456789};
+  for (const int64_t x : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(x)), x);
+    ByteWriter w;
+    w.PutVarI64(x);
+    EXPECT_EQ(w.size(), VarI64Size(x));
+    ByteReader r(w.data());
+    int64_t y = 0;
+    ASSERT_TRUE(r.GetVarI64(&y));
+    EXPECT_EQ(y, x);
+  }
+  // Small magnitudes stay small on the wire regardless of sign.
+  EXPECT_EQ(VarI64Size(-1), 1u);
+  EXPECT_EQ(VarI64Size(63), 1u);
+  EXPECT_EQ(VarI64Size(-64), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-format compatibility.
+// ---------------------------------------------------------------------------
+
+// A v1-only decoder exactly as shipped before the v2 format existed: read
+// the u16 type tag, require an exact match, decode the fixed-width body.
+template <typename M>
+bool LegacyV1Decode(const std::string& payload, M* out) {
+  ByteReader r(payload);
+  uint16_t type = 0;
+  if (!r.GetU16(&type) || type != static_cast<uint16_t>(M::kType)) {
+    return false;
+  }
+  return out->Decode(&r);
+}
+
+CrxPut SampleWirePut() {
+  CrxPut m;
+  m.req = 42;
+  m.client = 7;
+  m.key = "compat-key";
+  m.value = "compat-value";
+  m.deps = SampleDeps();
+  return m;
+}
+
+TEST(WireCompat, V1FramesDecodeAfterUpgrade) {
+  const CrxPut m = SampleWirePut();
+  const std::string v1 = EncodeMessage(m, WireFormat::kV1);
+  EXPECT_EQ(PeekWireFormat(v1), WireFormat::kV1);
+  EXPECT_EQ(PeekType(v1), MsgType::kCrxPut);
+  CrxPut out;
+  ASSERT_TRUE(DecodeMessage(v1, &out));
+  EXPECT_EQ(out.key, m.key);
+  EXPECT_EQ(out.value, m.value);
+  ASSERT_EQ(out.deps.size(), m.deps.size());
+  // The default EncodeMessage is still the legacy format, byte for byte.
+  EXPECT_EQ(EncodeMessage(m), v1);
+}
+
+TEST(WireCompat, V2FramesRejectedByLegacyDecoder) {
+  const CrxPut m = SampleWirePut();
+  const std::string v2 = EncodeMessage(m, WireFormat::kV2);
+  EXPECT_EQ(PeekWireFormat(v2), WireFormat::kV2);
+  // PeekType masks the format flag, so dispatch switches are format-blind.
+  EXPECT_EQ(PeekType(v2), MsgType::kCrxPut);
+  // The upgraded decoder handles it...
+  CrxPut out;
+  ASSERT_TRUE(DecodeMessage(v2, &out));
+  EXPECT_EQ(out.key, m.key);
+  // ...a v1-only decoder rejects it cleanly (flagged tag != bare tag).
+  CrxPut legacy;
+  EXPECT_FALSE(LegacyV1Decode(v2, &legacy));
+  // And the legacy decoder still accepts genuine v1 frames.
+  CrxPut legacy_ok;
+  EXPECT_TRUE(LegacyV1Decode(EncodeMessage(m, WireFormat::kV1), &legacy_ok));
+}
+
+TEST(WireCompat, V2IsSmallerOnHotPathFrames) {
+  CrxPut m = SampleWirePut();
+  // Dep-heavy put: the shape the compression targets.
+  for (int i = 0; i < 6; ++i) {
+    Dependency d;
+    d.key = "dep-key-" + std::to_string(i);
+    d.version = SampleVersion();
+    m.deps.push_back(d);
+  }
+  const std::string v1 = EncodeMessage(m, WireFormat::kV1);
+  const std::string v2 = EncodeMessage(m, WireFormat::kV2);
+  EXPECT_LT(v2.size(), v1.size());
+
+  CrxPutAck ack;
+  ack.req = 9;
+  ack.key = "k";
+  ack.version = SampleVersion();
+  ack.acked_at = 2;
+  EXPECT_LT(EncodeMessage(ack, WireFormat::kV2).size(),
+            EncodeMessage(ack, WireFormat::kV1).size());
+}
+
+TEST(WireCompat, MixedFormatsInterleave) {
+  // A receiver sees alternating v1 and v2 frames (mid-upgrade cluster) and
+  // decodes both with one code path.
+  const CrxPut m = SampleWirePut();
+  for (int i = 0; i < 4; ++i) {
+    const WireFormat wf = (i % 2 == 0) ? WireFormat::kV1 : WireFormat::kV2;
+    CrxPut out;
+    ASSERT_TRUE(DecodeMessage(EncodeMessage(m, wf), &out)) << i;
+    EXPECT_EQ(out.key, m.key) << i;
+  }
 }
 
 TEST(MessageFuzz, ChainReplicationStructs) {

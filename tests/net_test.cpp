@@ -294,6 +294,48 @@ TEST(TcpTransportMultiLoop, PipelinedPutsWithAckBatching) {
   EXPECT_EQ(result.failures, 0u) << "every pipelined put must be acked";
 }
 
+// Wire format v2 + watermark dependency compression over real sockets: the
+// varint frames must survive the coalesced writev/parser path, and the
+// activity-gated watermark gossip (a periodic timer broadcasting to every
+// ring peer from whichever loop thread owns the node) must not race the
+// protocol handlers (TSan covers this test). Behavior must match v1: zero
+// failures, every value reads back.
+TEST(TcpTransportMultiLoop, WireV2WatermarkUnderLoad) {
+  TcpCluster::Options opts;
+  opts.num_nodes = 6;
+  opts.loop_threads = 2;
+  opts.num_clients = 2;
+  opts.config.replication = 3;
+  opts.config.k_stability = 2;
+  opts.config.num_dcs = 1;
+  opts.config.client_timeout = 2 * kSecond;
+  opts.config.wire_format = WireFormat::kV2;
+  opts.config.dep_watermark = true;
+  TcpCluster cluster(opts);
+
+  TcpCluster::LoadOptions load;
+  load.duration = 300 * kMillisecond;
+  load.value_size = 64;
+  load.key_space = 32;
+  load.get_fraction = 0.3;
+  load.pipeline = 4;
+  const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
+  EXPECT_GT(result.ops, 0u);
+  EXPECT_EQ(result.failures, 0u);
+
+  SyncClient client(cluster.client(0), cluster.client_runtime());
+  for (int i = 0; i < 20; ++i) {
+    const Key key = "wm-" + std::to_string(i % 4);
+    const Value value = "v2-" + std::to_string(i);
+    const auto put = client.Put(key, value);
+    ASSERT_TRUE(put.status.ok()) << "op " << i;
+    const auto get = client.Get(key);
+    ASSERT_TRUE(get.status.ok());
+    ASSERT_TRUE(get.found);
+    EXPECT_EQ(get.value, value);
+  }
+}
+
 // Elastic membership over TCP: a brand-new node boots in its own runtime
 // while closed-loop load runs, its ports enter the shared address book, the
 // coordinator streams its key ranges and flips the epoch — all without
