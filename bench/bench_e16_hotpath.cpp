@@ -34,15 +34,21 @@
 
 #include "bench/bench_util.h"
 #include "src/net/tcp_cluster.h"
+#include "src/obs/alloc_phase.h"
 #include "src/obs/assembly.h"
 
 // Allocation accounting: every global allocation in the process (all loop
-// threads included) bumps one relaxed counter. Benchmarks divide the delta
-// by completed ops.
+// threads included) bumps one relaxed counter, plus a per-phase counter
+// keyed by the allocating thread's AllocPhase stamp (decode / apply /
+// encode / callback / other). Benchmarks divide the deltas by completed
+// ops, which is how "allocs/op" decomposes by request-processing phase.
 static std::atomic<uint64_t> g_allocs{0};
+static std::atomic<uint64_t> g_phase_allocs[chainreaction::kAllocPhaseCount] = {};
 
 static void* CountedAlloc(size_t size) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_phase_allocs[static_cast<size_t>(chainreaction::g_alloc_phase)].fetch_add(
+      1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) {
     return p;
   }
@@ -76,6 +82,8 @@ struct CellOutcome {
   int64_t p50_us = 0;
   int64_t p99_us = 0;
   double allocs_per_op = 0;
+  // allocs_per_op decomposed by the allocating thread's AllocPhase stamp.
+  double phase_allocs_per_op[chainreaction::kAllocPhaseCount] = {};
   double frames_per_writev = 0;
 
   // Assembled critical path (traced cells only): per-segment means over every
@@ -123,6 +131,10 @@ CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
   load.pipeline = 8;
 
   const uint64_t allocs_before = g_allocs.load();
+  uint64_t phase_before[kAllocPhaseCount];
+  for (size_t p = 0; p < kAllocPhaseCount; ++p) {
+    phase_before[p] = g_phase_allocs[p].load();
+  }
   const TcpCluster::LoadResult result = cluster.RunClosedLoop(load);
   const uint64_t allocs = g_allocs.load() - allocs_before;
 
@@ -133,6 +145,12 @@ CellOutcome RunHotpathCell(const CellSpec& spec, Duration duration) {
   out.p50_us = result.latency_us.P50();
   out.p99_us = result.latency_us.P99();
   out.allocs_per_op = result.ops > 0 ? static_cast<double>(allocs) / result.ops : 0;
+  if (result.ops > 0) {
+    for (size_t p = 0; p < kAllocPhaseCount; ++p) {
+      out.phase_allocs_per_op[p] =
+          static_cast<double>(g_phase_allocs[p].load() - phase_before[p]) / result.ops;
+    }
+  }
   const uint64_t calls = cluster.server_writev_calls();
   out.frames_per_writev =
       calls > 0 ? static_cast<double>(cluster.server_writev_frames()) / calls : 0;
@@ -225,6 +243,20 @@ int Main(int argc, char** argv) {
                    FormatMicros(out.p99_us), Fmt("%.1f", out.allocs_per_op),
                    Fmt("%.2f", out.frames_per_writev)});
   }
+
+  // Where the remaining allocations live (per-phase operator-new buckets).
+  PrintTableHeader("E16a: allocs/op by request phase",
+                   {"cell", "decode", "apply", "encode", "callback", "other"});
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    const auto& pa = outcomes[i].phase_allocs_per_op;
+    PrintTableRow({cells[i].name,
+                   Fmt("%.1f", pa[static_cast<size_t>(AllocPhase::kDecode)]),
+                   Fmt("%.1f", pa[static_cast<size_t>(AllocPhase::kApply)]),
+                   Fmt("%.1f", pa[static_cast<size_t>(AllocPhase::kEncode)]),
+                   Fmt("%.1f", pa[static_cast<size_t>(AllocPhase::kCallback)]),
+                   Fmt("%.1f", pa[static_cast<size_t>(AllocPhase::kOther)])});
+  }
+  std::printf("\n");
   const double speedup =
       outcomes[0].ops_per_sec > 0 ? outcomes[headline].ops_per_sec / outcomes[0].ops_per_sec
                                   : 0;
@@ -234,10 +266,19 @@ int Main(int argc, char** argv) {
   // Critical-path table for the traced cell: where a sampled put's latency
   // actually went, and the coverage/attribution honesty signals.
   const CellOutcome& tr = outcomes[3];
+  // The overhead number compares twin cells that ran minutes apart, so a
+  // scheduler hiccup in either window reads as tracing cost. Re-run the
+  // pair back-to-back a few times and compare best-of: repeatable work
+  // (the tracing plane) survives best-of, transient load does not.
+  double best_untraced = outcomes[1].ops_per_sec;
+  double best_traced = tr.ops_per_sec;
+  const int overhead_trials = smoke ? 0 : 2;
+  for (int t = 0; t < overhead_trials; ++t) {
+    best_untraced = std::max(best_untraced, RunHotpathCell(cells[1], duration).ops_per_sec);
+    best_traced = std::max(best_traced, RunHotpathCell(cells[3], duration).ops_per_sec);
+  }
   const double tracing_overhead_pct =
-      outcomes[1].ops_per_sec > 0
-          ? 100.0 * (1.0 - tr.ops_per_sec / outcomes[1].ops_per_sec)
-          : 0;
+      best_untraced > 0 ? 100.0 * (1.0 - best_traced / best_untraced) : 0;
   PrintTableHeader("E16c: assembled critical path, 1/64 sampling (mean us/request)",
                    {"assembled", "complete", "gated", "encode", "net", "depwait", "kack",
                     "stability", "coverage"});
@@ -258,6 +299,16 @@ int Main(int argc, char** argv) {
                      static_cast<unsigned long long>(outcomes[i].failures));
         return 1;
       }
+    }
+    // Zero-copy regression gate: the overhaul cell's allocation budget.
+    // The value path (socket buffer -> store) copies once, the down-chain
+    // frame is encoded once, and per-request scratch is arena/small-vector
+    // backed — a ceiling of 30 allocs/op holds all of that in place.
+    constexpr double kMaxAllocsPerOp = 30.0;
+    if (outcomes[1].allocs_per_op > kMaxAllocsPerOp) {
+      std::fprintf(stderr, "smoke FAILED: %s allocs/op %.1f > %.0f\n", cells[1].name.c_str(),
+                   outcomes[1].allocs_per_op, kMaxAllocsPerOp);
+      return 1;
     }
     // Trace-assembly gates: paths must assemble, the segment sum must be
     // within 10% of the measured e2e latency (coverage >= 0.9), and every
@@ -316,6 +367,11 @@ int Main(int argc, char** argv) {
                       {"p99_us", static_cast<double>(outcomes[i].p99_us)},
                       {"allocs_per_op", outcomes[i].allocs_per_op},
                       {"frames_per_writev", outcomes[i].frames_per_writev}}};
+    for (size_t p = 0; p < kAllocPhaseCount; ++p) {
+      row.values.push_back({std::string("allocs_per_op_") +
+                                AllocPhaseName(static_cast<AllocPhase>(p)),
+                            outcomes[i].phase_allocs_per_op[p]});
+    }
     if (cells[i].trace_sample_every > 0) {
       row.values.push_back({"cp_assembled", static_cast<double>(outcomes[i].cp_assembled)});
       row.values.push_back({"cp_encode_us", outcomes[i].cp_encode_us});

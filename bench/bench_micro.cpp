@@ -10,20 +10,28 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <string>
 
 #include "src/checker/causal_checker.h"
 #include "src/common/histogram.h"
 #include "src/common/rng.h"
 #include "src/msg/message.h"
+#include "src/obs/alloc_phase.h"
 #include "src/ring/ring.h"
 #include "src/storage/versioned_store.h"
 #include "src/ycsb/generators.h"
 #include "src/ycsb/workload.h"
 
 static std::atomic<uint64_t> g_allocs{0};
+// Per-phase buckets (decode/apply/encode/callback/other) keyed by the
+// allocating thread's AllocPhase stamp; AllocCounter reports any nonzero
+// bucket as its own counter.
+static std::atomic<uint64_t> g_phase_allocs[chainreaction::kAllocPhaseCount] = {};
 
 static void* CountedAlloc(size_t size) {
   g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_phase_allocs[static_cast<size_t>(chainreaction::g_alloc_phase)].fetch_add(
+      1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) {
     return p;
   }
@@ -45,17 +53,31 @@ namespace {
 // region and reports them per iteration.
 class AllocCounter {
  public:
-  explicit AllocCounter(benchmark::State& state)
-      : state_(state), start_(g_allocs.load(std::memory_order_relaxed)) {}
+  explicit AllocCounter(benchmark::State& state) : state_(state) {
+    start_ = g_allocs.load(std::memory_order_relaxed);
+    for (size_t p = 0; p < kAllocPhaseCount; ++p) {
+      phase_start_[p] = g_phase_allocs[p].load(std::memory_order_relaxed);
+    }
+  }
   ~AllocCounter() {
     const uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - start_;
     state_.counters["allocs/op"] = benchmark::Counter(
         static_cast<double>(allocs), benchmark::Counter::kAvgIterations);
+    for (size_t p = 0; p < kAllocPhaseCount; ++p) {
+      const uint64_t n = g_phase_allocs[p].load(std::memory_order_relaxed) - phase_start_[p];
+      if (n == 0) {
+        continue;  // benches outside explicit scopes only emit the total
+      }
+      state_.counters[std::string("allocs/op:") +
+                      AllocPhaseName(static_cast<AllocPhase>(p))] =
+          benchmark::Counter(static_cast<double>(n), benchmark::Counter::kAvgIterations);
+    }
   }
 
  private:
   benchmark::State& state_;
-  uint64_t start_;
+  uint64_t start_ = 0;
+  uint64_t phase_start_[kAllocPhaseCount] = {};
 };
 
 void BM_EncodeChainPut(benchmark::State& state) {
@@ -88,6 +110,44 @@ void BM_DecodeChainPut(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
 }
 BENCHMARK(BM_DecodeChainPut)->Arg(64)->Arg(512)->Arg(4096);
+
+// The zero-copy twin of BM_DecodeChainPut: decode into a view whose
+// key/value alias the wire buffer. Allocation-free regardless of value size
+// (the dep list fits DepList's inline capacity).
+void BM_DecodeChainPutView(benchmark::State& state) {
+  CrxChainPut msg;
+  msg.key = "user000000012345";
+  msg.value = std::string(static_cast<size_t>(state.range(0)), 'v');
+  msg.version.vv = VersionVector(2);
+  msg.deps.push_back(Dependency{"user000000000007", msg.version});
+  const std::string payload = EncodeMessage(msg);
+  AllocCounter alloc(state);
+  for (auto _ : state) {
+    AllocPhaseScope phase(AllocPhase::kDecode);
+    CrxChainPutView out;
+    benchmark::DoNotOptimize(DecodeMessage(payload, &out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_DecodeChainPutView)->Arg(64)->Arg(512)->Arg(4096);
+
+// Encode-from-view (the down-chain forward path): fields alias an inbound
+// buffer; only the output frame itself is allocated.
+void BM_EncodeChainPutView(benchmark::State& state) {
+  CrxChainPut owned;
+  owned.key = "user000000012345";
+  owned.value = std::string(static_cast<size_t>(state.range(0)), 'v');
+  owned.version.vv = VersionVector(2);
+  owned.deps.push_back(Dependency{"user000000000007", owned.version});
+  const CrxChainPutView msg = CrxChainPutView::From(owned);
+  AllocCounter alloc(state);
+  for (auto _ : state) {
+    AllocPhaseScope phase(AllocPhase::kEncode);
+    benchmark::DoNotOptimize(EncodeMessage(msg));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_EncodeChainPutView)->Arg(64)->Arg(512)->Arg(4096);
 
 void BM_RingChainLookupCold(benchmark::State& state) {
   std::vector<NodeId> nodes;

@@ -325,7 +325,7 @@ void MigrationCoordinator::HandleNewMembership(const MemNewMembership& msg) {
   AbortLocked("unexpected epoch " + std::to_string(msg.epoch));
 }
 
-void MigrationCoordinator::OnMessage(Address /*from*/, const std::string& payload) {
+void MigrationCoordinator::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kMigSnapshotDone: {
       MigSnapshotDone m;

@@ -84,7 +84,7 @@ class MigrationCoordinator : public Actor {
   // Current migration (or last outcome) as a JSON object for /status.
   std::string StatusJson() const;
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
  private:
   enum class PlanKind { kJoin, kDrain, kRebalance };

@@ -7,7 +7,7 @@
 
 namespace chainreaction {
 
-void EventualNode::OnMessage(Address from, const std::string& payload) {
+void EventualNode::OnMessage(Address from, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kEvPut: {
       EvPut m;
@@ -315,7 +315,7 @@ void EventualClient::ArmTimer(RequestId req) {
   });
 }
 
-void EventualClient::OnMessage(Address /*from*/, const std::string& payload) {
+void EventualClient::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kEvPutAck: {
       EvPutAck m;

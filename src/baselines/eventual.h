@@ -40,7 +40,7 @@ class EventualNode : public Actor {
       : id_(id), ring_(std::move(ring)), consistency_(consistency), rng_(seed) {}
 
   void AttachEnv(Env* env) { env_ = env; }
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   uint64_t reads_served() const { return reads_served_; }
   uint64_t read_repairs() const { return read_repairs_; }
@@ -129,7 +129,7 @@ class EventualClient : public Actor {
   void Put(const Key& key, Value value, PutCallback cb);
   void Get(const Key& key, GetCallback cb);
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   uint64_t retries() const { return retries_; }
 

@@ -6,7 +6,7 @@
 
 namespace chainreaction {
 
-void CrNode::OnMessage(Address /*from*/, const std::string& payload) {
+void CrNode::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kCrPut: {
       CrPut m;
@@ -174,7 +174,7 @@ void CrClient::ArmTimer(RequestId req) {
   });
 }
 
-void CrClient::OnMessage(Address /*from*/, const std::string& payload) {
+void CrClient::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kCrPutAck: {
       CrPutAck m;

@@ -28,7 +28,7 @@ class CrNode : public Actor {
   CrNode(NodeId id, Ring ring) : id_(id), ring_(std::move(ring)) {}
 
   void AttachEnv(Env* env) { env_ = env; }
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   uint64_t reads_served() const { return reads_served_; }
   uint64_t writes_applied() const { return writes_applied_; }
@@ -67,7 +67,7 @@ class CrClient : public Actor {
   void Put(const Key& key, Value value, PutCallback cb);
   void Get(const Key& key, GetCallback cb);
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   uint64_t retries() const { return retries_; }
 

@@ -6,7 +6,7 @@
 
 namespace chainreaction {
 
-void CraqNode::OnMessage(Address from, const std::string& payload) {
+void CraqNode::OnMessage(Address from, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kCraqPut: {
       CraqPut m;
@@ -252,7 +252,7 @@ void CraqClient::ArmTimer(RequestId req) {
   });
 }
 
-void CraqClient::OnMessage(Address /*from*/, const std::string& payload) {
+void CraqClient::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kCraqPutAck: {
       CraqPutAck m;

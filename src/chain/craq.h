@@ -33,7 +33,7 @@ class CraqNode : public Actor {
   CraqNode(NodeId id, Ring ring) : id_(id), ring_(std::move(ring)) {}
 
   void AttachEnv(Env* env) { env_ = env; }
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   uint64_t reads_served() const { return reads_served_; }
   uint64_t version_queries() const { return version_queries_; }
@@ -79,7 +79,7 @@ class CraqClient : public Actor {
   void Put(const Key& key, Value value, PutCallback cb);
   void Get(const Key& key, GetCallback cb);
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   uint64_t retries() const { return retries_; }
 

@@ -1,0 +1,127 @@
+// Bump-pointer arena for per-iteration scratch state.
+//
+// An Arena hands out raw bytes from chained blocks with a pointer bump and
+// frees nothing until Reset(), which recycles every block in O(blocks).
+// Actors that process one message per loop iteration own one arena and
+// reset it at a single documented point (the top of OnMessage), so all
+// scratch built while handling a message — transient dependency lists,
+// flush batches, probe sets — costs zero steady-state allocations: the
+// first few messages grow the block list, after which Reset() just rewinds.
+//
+// Lifetime rule: arena memory is only valid until the owner's next Reset().
+// Nothing that survives the current message (parked puts, pending client
+// ops, store entries) may live in an arena — those copy into owned
+// containers at the park/apply boundary (DESIGN.md §15).
+//
+// ArenaVector<T> is std::vector with an ArenaAllocator: deallocate is a
+// no-op, so growth is cheap and abandonment is free.
+#ifndef SRC_COMMON_ARENA_H_
+#define SRC_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace chainreaction {
+
+class Arena {
+ public:
+  explicit Arena(size_t block_bytes = 16 * 1024) : block_bytes_(block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (Block& b : blocks_) {
+      ::operator delete(b.base);
+    }
+  }
+
+  void* Allocate(size_t n, size_t align = alignof(std::max_align_t)) {
+    if (current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      const size_t used = Align(b.used, align);
+      if (used + n <= b.size) {
+        b.used = used + n;
+        return b.base + used;
+      }
+    }
+    return AllocateSlow(n, align);
+  }
+
+  // Rewinds every block; all previously returned pointers become invalid.
+  void Reset() {
+    for (Block& b : blocks_) {
+      b.used = 0;
+    }
+    current_ = 0;
+  }
+
+  size_t BlockCount() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    char* base = nullptr;
+    size_t size = 0;
+    size_t used = 0;
+  };
+
+  static size_t Align(size_t n, size_t align) { return (n + align - 1) & ~(align - 1); }
+
+  void* AllocateSlow(size_t n, size_t align) {
+    // Advance to the next block that fits, appending a fresh one if needed.
+    while (++current_ < blocks_.size()) {
+      Block& b = blocks_[current_];
+      if (Align(0, align) + n <= b.size) {
+        b.used = n;
+        return b.base;
+      }
+    }
+    const size_t size = n > block_bytes_ ? n : block_bytes_;
+    Block b;
+    b.base = static_cast<char*>(::operator new(size));
+    b.size = size;
+    b.used = n;
+    blocks_.push_back(b);
+    current_ = blocks_.size() - 1;
+    return b.base;
+  }
+
+  const size_t block_bytes_;
+  std::vector<Block> blocks_;
+  size_t current_ = 0;
+};
+
+// std-compatible allocator over an Arena. deallocate() is a no-op; memory
+// is reclaimed by the arena's Reset(). Containers using it must not outlive
+// the owning arena's next Reset().
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) {}
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const { return arena_ == other.arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_ARENA_H_

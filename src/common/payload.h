@@ -1,0 +1,79 @@
+// Immutable wire-frame payload with optional reference-counted sharing.
+//
+// Every Env::Send ships a Payload. The common case — one frame, one
+// destination — wraps a moved-in std::string with zero extra allocation,
+// exactly like the historical `Send(dst, std::string)` signature (string
+// literals and encoded buffers convert implicitly). Fan-out call sites that
+// send one encoded frame to many destinations (watermark broadcast, geo
+// ship, migration mirroring, chain re-propagation) build the frame once via
+// Payload::Shared() and copy the Payload per destination: each copy bumps a
+// refcount instead of duplicating the bytes.
+//
+// A Payload's bytes are immutable for its whole lifetime, which is what
+// makes cross-thread sharing on the TCP runtime safe: shards reading a
+// shared frame for writev never race with a mutation, because there are
+// none. (shared_ptr's control block handles the cross-thread refcounting.)
+#ifndef SRC_COMMON_PAYLOAD_H_
+#define SRC_COMMON_PAYLOAD_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace chainreaction {
+
+class Payload {
+ public:
+  Payload() = default;
+
+  // Implicit on purpose: every pre-existing `Send(dst, EncodeMessage(...))`
+  // call site keeps compiling, with identical cost (one move).
+  Payload(std::string bytes) : owned_(std::move(bytes)) {}  // NOLINT
+  Payload(const char* bytes) : owned_(bytes) {}             // NOLINT
+
+  // Ref-counted variant for fan-out: the frame is encoded once and every
+  // Payload copy shares the same immutable buffer.
+  static Payload Shared(std::string bytes) {
+    Payload p;
+    p.shared_ = std::make_shared<const std::string>(std::move(bytes));
+    return p;
+  }
+
+  // Converts this payload to the shared representation in place (no byte
+  // copy if currently owned) and returns a handle sharing the same buffer.
+  Payload Share() {
+    if (shared_ == nullptr) {
+      shared_ = std::make_shared<const std::string>(std::move(owned_));
+      owned_.clear();
+    }
+    Payload p;
+    p.shared_ = shared_;
+    return p;
+  }
+
+  std::string_view view() const {
+    return shared_ != nullptr ? std::string_view(*shared_) : std::string_view(owned_);
+  }
+
+  size_t size() const { return shared_ != nullptr ? shared_->size() : owned_.size(); }
+  bool empty() const { return size() == 0; }
+  bool is_shared() const { return shared_ != nullptr; }
+
+  // Materializes an owned string (moves when uniquely owned, copies when
+  // the buffer is shared). For cold paths that need ownership transfer.
+  std::string ToString() && {
+    if (shared_ != nullptr) {
+      return *shared_;
+    }
+    return std::move(owned_);
+  }
+
+ private:
+  std::string owned_;
+  std::shared_ptr<const std::string> shared_;  // when set, owned_ is unused
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_PAYLOAD_H_

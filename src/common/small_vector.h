@@ -1,0 +1,222 @@
+// Small-buffer vector for hot-path request state.
+//
+// SmallVector<T, N> stores up to N elements inline (no heap allocation) and
+// spills to the heap only beyond that. The inline capacity is sized by the
+// call site to the measured common case — e.g. dependency lists use N = 8
+// because the post-watermark dep-count p50 is 7–8, and trace hop buffers use
+// N = 12 because a full intra-DC put trace is 9–12 hops — so the steady
+// state never touches the allocator.
+//
+// Deliberately minimal: contiguous storage, random-access T* iterators, and
+// the handful of std::vector operations the codebase actually uses. Not
+// exception-safe beyond basic cleanup (the repo builds without exceptions in
+// hot paths), and iterators invalidate on growth exactly like std::vector.
+#ifndef SRC_COMMON_SMALL_VECTOR_H_
+#define SRC_COMMON_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace chainreaction {
+
+template <typename T, size_t N>
+class SmallVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using size_type = size_t;
+
+  SmallVector() = default;
+
+  explicit SmallVector(size_t n, const T& value = T()) { assign(n, value); }
+
+  template <typename It,
+            typename = typename std::iterator_traits<It>::iterator_category>
+  SmallVector(It first, It last) {
+    assign(first, last);
+  }
+
+  SmallVector(std::initializer_list<T> init) { assign(init.begin(), init.end()); }
+
+  SmallVector(const SmallVector& other) { assign(other.begin(), other.end()); }
+
+  SmallVector(SmallVector&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      assign(other.begin(), other.end());
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      clear();
+      ReleaseHeap();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  ~SmallVector() {
+    clear();
+    ReleaseHeap();
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  const_iterator cbegin() const { return data_; }
+  const_iterator cend() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() {
+    std::destroy_n(data_, size_);
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      Grow(capacity_ * 2);
+    }
+    T* slot = data_ + size_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() {
+    --size_;
+    std::destroy_at(data_ + size_);
+  }
+
+  void resize(size_t n) { ResizeImpl(n, nullptr); }
+  void resize(size_t n, const T& value) { ResizeImpl(n, &value); }
+
+  void assign(size_t n, const T& value) {
+    clear();
+    reserve(n);
+    std::uninitialized_fill_n(data_, n, value);
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    reserve(static_cast<size_t>(std::distance(first, last)));
+    for (; first != last; ++first) {
+      emplace_back(*first);
+    }
+  }
+
+  iterator erase(iterator pos) {
+    std::move(pos + 1, end(), pos);
+    pop_back();
+    return pos;
+  }
+
+  bool operator==(const SmallVector& other) const {
+    return size_ == other.size_ && std::equal(begin(), end(), other.begin());
+  }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  bool IsInline() const { return data_ == reinterpret_cast<const T*>(inline_); }
+
+  // Plain (unaligned) operator new keeps spill allocations visible to the
+  // benches' replaceable scalar operator-new hook.
+  static_assert(alignof(T) <= __STDCPP_DEFAULT_NEW_ALIGNMENT__,
+                "over-aligned element types are not supported");
+
+  void Grow(size_t want) {
+    const size_t new_cap = std::max(want, capacity_ * 2);
+    T* fresh = static_cast<T*>(::operator new(new_cap * sizeof(T)));
+    std::uninitialized_move_n(data_, size_, fresh);
+    std::destroy_n(data_, size_);
+    ReleaseHeap();
+    data_ = fresh;
+    capacity_ = new_cap;
+  }
+
+  void ReleaseHeap() {
+    if (!IsInline()) {
+      ::operator delete(data_);
+      data_ = InlineData();
+      capacity_ = N;
+    }
+  }
+
+  void ResizeImpl(size_t n, const T* value) {
+    if (n < size_) {
+      std::destroy_n(data_ + n, size_ - n);
+      size_ = n;
+      return;
+    }
+    reserve(n);
+    while (size_ < n) {
+      T* slot = data_ + size_;
+      if (value != nullptr) {
+        ::new (static_cast<void*>(slot)) T(*value);
+      } else {
+        ::new (static_cast<void*>(slot)) T();
+      }
+      ++size_;
+    }
+  }
+
+  void MoveFrom(SmallVector&& other) noexcept {
+    if (other.IsInline()) {
+      std::uninitialized_move_n(other.data_, other.size_, data_);
+      size_ = other.size_;
+      other.clear();
+    } else {
+      // Steal the heap block; the donor reverts to its (empty) inline buffer.
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+      other.data_ = other.InlineData();
+      other.size_ = 0;
+      other.capacity_ = N;
+    }
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_COMMON_SMALL_VECTOR_H_

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/small_vector.h"
 #include "src/common/types.h"
 
 namespace chainreaction {
@@ -61,7 +62,9 @@ class VersionVector {
   std::string ToString() const;
 
  private:
-  std::vector<uint64_t> counts_;
+  // Inline up to 4 DCs: deployments are 1–3 DCs, so version vectors — which
+  // ride every message, dependency, and store entry — never touch the heap.
+  SmallVector<uint64_t, 4> counts_;
 };
 
 struct Version {
@@ -128,6 +131,13 @@ struct Dependency {
     return VarStringSize(key) + version.EncodedSizeV2() + 1;
   }
 };
+
+// Per-request dependency list with inline capacity matching the measured
+// post-watermark dep-count p50 (7–8): the common put decodes and gates its
+// whole dependency set without touching the allocator. Used by the hot-path
+// view structs and transient node/client request state; durable containers
+// (store entries, parked puts) keep std::vector to bound their footprint.
+using DepList = SmallVector<Dependency, 8>;
 
 }  // namespace chainreaction
 

@@ -29,8 +29,9 @@ void ChainReactionClient::AttachObs(MetricsRegistry* metrics, TraceCollector* tr
   m_slow_traces_ = metrics->GetCounter("crx_client_slow_traces", labels);
 }
 
-std::vector<Dependency> ChainReactionClient::BuildDeps() const {
-  std::vector<Dependency> deps;
+void ChainReactionClient::BuildDeps(std::vector<Dependency>* out) const {
+  std::vector<Dependency>& deps = *out;
+  deps.clear();
   deps.reserve(accessed_.size());
   for (const auto& [key, entry] : accessed_) {
     // A dependency is known DC-Write-Stable either because a reply said so
@@ -54,7 +55,6 @@ std::vector<Dependency> ChainReactionClient::BuildDeps() const {
     }
     deps.push_back(Dependency{key, entry.version, stable});
   }
-  return deps;
 }
 
 void ChainReactionClient::LearnWatermark(uint64_t epoch, uint64_t wm) {
@@ -71,18 +71,39 @@ void ChainReactionClient::LearnWatermark(uint64_t epoch, uint64_t wm) {
 }
 
 size_t ChainReactionClient::AccessedSetBytes() const {
+  // Pure arithmetic (Dependency::EncodedSize): this runs on every put when a
+  // metrics registry is attached, so it must not serialize anything.
   size_t bytes = 0;
   for (const auto& [key, entry] : accessed_) {
-    ByteWriter w;
-    Dependency{key, entry.version, entry.stable}.Encode(&w);
-    bytes += w.size();
+    bytes += 4 + key.size() + entry.version.EncodedSize() + 1;
   }
   return bytes;
 }
 
+ChainReactionClient::PendingOp& ChainReactionClient::ClaimPending(RequestId req) {
+  PendingOp& op = pending_cache_.Claim(pending_, req).first->second;
+  // A recycled node carries the previous op's state: reset every field, but
+  // through clear() so key/value/deps keep their heap capacity.
+  op.is_put = false;
+  op.key.clear();
+  op.value.clear();
+  op.deps.clear();
+  op.put_cb = nullptr;
+  op.get_cb = nullptr;
+  op.timer = 0;
+  op.attempts = 0;
+  op.started_at = 0;
+  op.trace = TraceContext{};
+  op.head_sampled = false;
+  op.with_deps = false;
+  op.has_min_override = false;
+  op.min_override = Version{};
+  return op;
+}
+
 void ChainReactionClient::Put(const Key& key, Value value, PutCallback cb) {
   const RequestId req = next_req_++;
-  PendingOp& op = pending_[req];
+  PendingOp& op = ClaimPending(req);
   op.is_put = true;
   op.key = key;
   op.value = std::move(value);
@@ -99,7 +120,12 @@ void ChainReactionClient::SendPut(RequestId req) {
   if (op.attempts == 0) {
     // Snapshot the dependency set once; retries must resend the same deps
     // even if other (pipelined) operations changed the accessed-set since.
-    op.deps = BuildDeps();
+    // The deps vector was handed off to the last PutResult; take back the
+    // buffer reclaimed after that callback so the fill below reuses it.
+    if (op.deps.capacity() == 0) {
+      op.deps.swap(spare_result_deps_);
+    }
+    BuildDeps(&op.deps);
     op.started_at = env_->Now();
     if (m_deps_bytes_ != nullptr) {
       m_deps_bytes_->Set(static_cast<int64_t>(AccessedSetBytes()));
@@ -115,12 +141,14 @@ void ChainReactionClient::SendPut(RequestId req) {
     }
   }
   op.attempts++;
-  CrxPut msg;
+  // Encode through a view over the pending op's own fields: no owned CrxPut
+  // is built just to serialize it. The view dies before Send returns.
+  CrxPutView msg;
   msg.req = req;
   msg.client = address_;
   msg.key = op.key;
   msg.value = op.value;
-  msg.deps = op.deps;
+  msg.deps.assign(op.deps.begin(), op.deps.end());
   if (config_.dep_watermark) {
     msg.wm_epoch = wm_epoch_;
     msg.dep_wm = wm_hint_;
@@ -156,8 +184,7 @@ ChainIndex ChainReactionClient::AllowedPrefix(const Key& key) const {
 
 void ChainReactionClient::Get(const Key& key, GetCallback cb) {
   const RequestId req = next_req_++;
-  PendingOp& op = pending_[req];
-  op.is_put = false;
+  PendingOp& op = ClaimPending(req);
   op.key = key;
   op.get_cb = std::move(cb);
   SendGet(req);
@@ -217,11 +244,16 @@ void ChainReactionClient::ArmTimer(RequestId req) {
   });
 }
 
-void ChainReactionClient::OnMessage(Address /*from*/, const std::string& payload) {
+void ChainReactionClient::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kCrxPutAck: {
       CrxPutAck m;
-      if (DecodeMessage(payload, &m)) {
+      bool ok;
+      {
+        AllocPhaseScope phase(AllocPhase::kDecode);
+        ok = DecodeMessage(payload, &m);
+      }
+      if (ok) {
         HandlePutAck(m);
       }
       break;
@@ -230,7 +262,12 @@ void ChainReactionClient::OnMessage(Address /*from*/, const std::string& payload
       // Cumulative ack: entries are in ack order, so processing them
       // sequentially is identical to receiving individual CrxPutAcks.
       CrxPutAckBatch m;
-      if (DecodeMessage(payload, &m)) {
+      bool ok;
+      {
+        AllocPhaseScope phase(AllocPhase::kDecode);
+        ok = DecodeMessage(payload, &m);
+      }
+      if (ok) {
         for (const CrxPutAck& ack : m.acks) {
           HandlePutAck(ack);
         }
@@ -238,8 +275,15 @@ void ChainReactionClient::OnMessage(Address /*from*/, const std::string& payload
       break;
     }
     case MsgType::kCrxGetReply: {
-      CrxGetReply m;
-      if (DecodeMessage(payload, &m)) {
+      // Hot path: the view's key/value alias `payload` and stay valid for
+      // the duration of this call only.
+      CrxGetReplyView m;
+      bool ok;
+      {
+        AllocPhaseScope phase(AllocPhase::kDecode);
+        ok = DecodeMessage(payload, &m);
+      }
+      if (ok) {
         HandleGetReply(m);
       }
       break;
@@ -290,19 +334,34 @@ void ChainReactionClient::HandlePutAck(const CrxPutAck& ack) {
 
   const bool stable = ack.acked_at >= config_.replication;
   metadata_[ack.key] = KeyMetadata{ack.version, ack.acked_at};
-  // The new write causally subsumes everything accessed before it.
-  accessed_.clear();
-  accessed_[ack.key] = AccessedEntry{ack.version, stable};
+  // The new write causally subsumes everything accessed before it. In the
+  // steady put stream the set holds exactly one entry, so rewrite that node
+  // in place instead of freeing and reallocating it on every ack.
+  if (accessed_.size() == 1) {
+    auto node = accessed_.extract(accessed_.begin());
+    node.key() = ack.key;
+    node.mapped() = AccessedEntry{ack.version, stable};
+    accessed_.insert(std::move(node));
+  } else {
+    accessed_.clear();
+    accessed_[ack.key] = AccessedEntry{ack.version, stable};
+  }
 
   PutCallback cb = std::move(it->second.put_cb);
   std::vector<Dependency> deps = std::move(it->second.deps);
-  pending_.erase(it);
+  pending_cache_.Erase(pending_, it);
   if (cb) {
-    cb(PutResult{Status::Ok(), ack.version, std::move(deps)});
+    AllocPhaseScope phase(AllocPhase::kCallback);
+    PutResult result{Status::Ok(), ack.version, std::move(deps)};
+    cb(result);
+    // The callback sees the result by const ref, so the deps buffer is
+    // intact afterwards; keep it for the next SendPut's dependency fill.
+    result.deps.clear();
+    spare_result_deps_ = std::move(result.deps);
   }
 }
 
-void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
+void ChainReactionClient::HandleGetReply(const CrxGetReplyView& reply) {
   auto it = pending_.find(reply.req);
   if (it == pending_.end() || it->second.is_put) {
     return;
@@ -314,10 +373,11 @@ void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
   }
 
   if (reply.found) {
+    const Key key(reply.key);  // materialized once; the view dies with the call
     const ChainIndex new_index = reply.stable ? config_.replication : reply.position;
-    auto md = metadata_.find(reply.key);
+    auto md = metadata_.find(key);
     if (md == metadata_.end()) {
-      metadata_[reply.key] = KeyMetadata{reply.version, new_index};
+      metadata_[key] = KeyMetadata{reply.version, new_index};
     } else if (md->second.version == reply.version) {
       md->second.chain_index = std::max(md->second.chain_index, new_index);
     } else if (md->second.version.LwwLess(reply.version)) {
@@ -326,9 +386,9 @@ void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
     // else: the node answered with an older version than our causal past —
     // only possible in kAnyNodeUnsafe mode; keep the stronger metadata.
 
-    auto acc = accessed_.find(reply.key);
+    auto acc = accessed_.find(key);
     if (acc == accessed_.end() || acc->second.version.LwwLess(reply.version)) {
-      accessed_[reply.key] = AccessedEntry{reply.version, reply.stable};
+      accessed_[key] = AccessedEntry{reply.version, reply.stable};
     } else if (acc->second.version == reply.version && reply.stable) {
       acc->second.stable = true;
     }
@@ -338,12 +398,13 @@ void ChainReactionClient::HandleGetReply(const CrxGetReply& reply) {
   GetResult result;
   result.status = Status::Ok();
   result.found = reply.found;
-  result.value = reply.value;
+  result.value = Value(reply.value);  // the result owns its copy
   result.version = reply.version;
   result.answered_by_position = reply.position;
-  result.deps = reply.deps;
-  pending_.erase(it);
+  result.deps.assign(reply.deps.begin(), reply.deps.end());
+  pending_cache_.Erase(pending_, it);
   if (cb) {
+    AllocPhaseScope phase(AllocPhase::kCallback);
     cb(result);
   }
 }
@@ -372,8 +433,7 @@ void ChainReactionClient::StartTxnGet(uint64_t txn_id, size_t index, bool has_mi
                                       const Version& min) {
   const Key key = multigets_[txn_id].keys[index];
   const RequestId req = next_req_++;
-  PendingOp& op = pending_[req];
-  op.is_put = false;
+  PendingOp& op = ClaimPending(req);
   op.key = key;
   op.with_deps = true;
   op.has_min_override = has_min;

@@ -20,14 +20,17 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
+#include "src/common/node_cache.h"
 #include "src/common/result.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/alloc_phase.h"
 #include "src/obs/metrics.h"
 #include "src/obs/sampling.h"
 #include "src/obs/trace.h"
@@ -85,7 +88,7 @@ class ChainReactionClient : public Actor {
 
   uint64_t multiget_second_rounds() const { return multiget_second_rounds_; }
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   // Introspection (E8 metadata experiment, tests) -------------------------
   size_t metadata_entries() const { return metadata_.size(); }
@@ -159,11 +162,18 @@ class ChainReactionClient : public Actor {
   void StartTxnGet(uint64_t txn_id, size_t index, bool has_min, const Version& min);
   void FinishMultiGetRound(uint64_t txn_id);
   void ArmTimer(RequestId req);
+  // Inserts `req` into pending_ (recycling the node the last completed op
+  // freed) and resets every PendingOp field, keeping buffer capacities.
+  PendingOp& ClaimPending(RequestId req);
   void HandlePutAck(const CrxPutAck& ack);
-  void HandleGetReply(const CrxGetReply& reply);
+  // The view aliases the transport buffer; every field the client keeps
+  // (value, deps, metadata) is copied into owned state inside the call.
+  void HandleGetReply(const CrxGetReplyView& reply);
 
   ChainIndex AllowedPrefix(const Key& key) const;
-  std::vector<Dependency> BuildDeps() const;
+  // Fills `out` (cleared first) so a caller-owned vector's capacity is
+  // reused across puts instead of allocating a fresh list per op.
+  void BuildDeps(std::vector<Dependency>* out) const;
 
   // Watermark compression (dep_watermark; DESIGN.md §14) ------------------
   // Records a cluster watermark piggybacked on a v2 ack/reply.
@@ -176,6 +186,7 @@ class ChainReactionClient : public Actor {
 
   template <typename M>
   std::string Enc(const M& m) const {
+    AllocPhaseScope phase(AllocPhase::kEncode);
     return EncodeMessage(m, config_.wire_format);
   }
 
@@ -187,6 +198,10 @@ class ChainReactionClient : public Actor {
 
   RequestId next_req_ = 1;
   std::unordered_map<RequestId, PendingOp> pending_;
+  MapNodeCache<std::unordered_map<RequestId, PendingOp>> pending_cache_;
+  // Dependency buffer reclaimed from the last delivered PutResult; the next
+  // SendPut fills it in place instead of allocating a fresh vector.
+  std::vector<Dependency> spare_result_deps_;
   std::unordered_map<Key, KeyMetadata> metadata_;
   // Nearest dependencies accumulated since the last write. `stable` marks
   // versions the client knows to be DC-Write-Stable (read replies say so);

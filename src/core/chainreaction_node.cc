@@ -168,14 +168,15 @@ void ChainReactionNode::CrashDurability() {
   }
 }
 
-bool ChainReactionNode::DurableApply(const Key& key, Value value, const Version& version,
-                                     const std::vector<Dependency>& deps) {
+bool ChainReactionNode::DurableApply(const Key& key, std::string_view value,
+                                     const Version& version,
+                                     std::span<const Dependency> deps) {
   // Write-ahead: the record hits the log before the store. Versions already
   // present (retries, repair re-propagation) are already logged.
   if (wal_ != nullptr && store_.FindMeta(key, version) == nullptr) {
-    wal_->Append(WalRecord::Apply(key, value, version, deps));
+    wal_->Append(WalRecord::Apply(key, Value(value), version, {deps.begin(), deps.end()}));
   }
-  return store_.Apply(key, std::move(value), version, deps);
+  return store_.Apply(key, value, version, deps);
 }
 
 void ChainReactionNode::DurableMarkStable(const Key& key, const Version& version) {
@@ -267,26 +268,51 @@ uint64_t ChainReactionNode::NextLamport() {
   return lamport_;
 }
 
-void ChainReactionNode::OnMessage(Address from, const std::string& payload) {
+void ChainReactionNode::OnMessage(Address from, std::string_view payload) {
+  // One message, one arena epoch: by the arena's lifetime rule nothing
+  // handed out while processing the previous message is still referenced.
+  arena_.Reset();
   switch (PeekType(payload)) {
+    // The three hot types decode into views aliasing `payload` — zero
+    // copies of key/value bytes until the store takes its single owned
+    // copy. `payload` outlives the handler call (transport contract), and
+    // the views never escape it (parking goes through ToOwned()).
     case MsgType::kCrxPut: {
-      CrxPut m;
-      if (DecodeMessage(payload, &m)) {
-        HandlePut(std::move(m));
+      CrxPutView m;
+      bool ok;
+      {
+        AllocPhaseScope phase(AllocPhase::kDecode);
+        ok = DecodeMessage(payload, &m);
+      }
+      if (ok) {
+        AllocPhaseScope phase(AllocPhase::kApply);
+        HandlePut(m);
       }
       break;
     }
     case MsgType::kCrxChainPut: {
-      CrxChainPut m;
-      if (DecodeMessage(payload, &m)) {
-        HandleChainPut(std::move(m), from);
+      CrxChainPutView m;
+      bool ok;
+      {
+        AllocPhaseScope phase(AllocPhase::kDecode);
+        ok = DecodeMessage(payload, &m);
+      }
+      if (ok) {
+        AllocPhaseScope phase(AllocPhase::kApply);
+        HandleChainPut(m, from);
       }
       break;
     }
     case MsgType::kCrxGet: {
-      CrxGet m;
-      if (DecodeMessage(payload, &m)) {
-        HandleGet(std::move(m), from);
+      CrxGetView m;
+      bool ok;
+      {
+        AllocPhaseScope phase(AllocPhase::kDecode);
+        ok = DecodeMessage(payload, &m);
+      }
+      if (ok) {
+        AllocPhaseScope phase(AllocPhase::kApply);
+        HandleGet(m, from);
       }
       break;
     }
@@ -428,10 +454,13 @@ bool ChainReactionNode::ReadSatisfies(const Key& key, const Version& v) const {
   return latest != nullptr && v.LwwLess(latest->version);
 }
 
-void ChainReactionNode::HandlePut(CrxPut put) {
+void ChainReactionNode::HandlePut(CrxPutView& put) {
+  // The one Key materialization for this put (SSO covers typical keys, so
+  // even this usually costs no allocation).
+  const Key key(put.key);
   // A client with a stale ring may address the wrong node; route onward.
-  if (ring_.PositionOf(put.key, id_) != 1) {
-    env_->Send(ring_.HeadFor(put.key), Enc(put));
+  if (ring_.PositionOf(key, id_) != 1) {
+    env_->Send(ring_.HeadFor(key), Enc(put));
     return;
   }
 
@@ -456,10 +485,9 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   // successor absorbing a crashed head's slot). Assigning from a stale
   // per-key vv would fork the version order, so park puts until the repair
   // syncs land.
-  if (env_->Now() < rejoin_until_ || IsJoinGuarded(put.key)) {
-    rejoin_buffered_puts_.push_back(std::move(put));
-    events_.Emit(EventKind::kPutParked, env_->Now(),
-                 static_cast<int64_t>(Fnv1a64(rejoin_buffered_puts_.back().key)),
+  if (env_->Now() < rejoin_until_ || IsJoinGuarded(key)) {
+    rejoin_buffered_puts_.push_back(put.ToOwned());
+    events_.Emit(EventKind::kPutParked, env_->Now(), static_cast<int64_t>(Fnv1a64(key)),
                  static_cast<int64_t>(rejoin_buffered_puts_.size()));
     return;
   }
@@ -468,9 +496,13 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   // ack (and stabilization) is regenerated, but do not assign a new version.
   auto seen = completed_reqs_.find({put.client, put.req});
   if (seen != completed_reqs_.end()) {
-    const StoredVersion* sv = store_.Find(put.key, seen->second);
+    const StoredVersion* sv = store_.Find(key, seen->second);
     if (sv != nullptr) {
-      ApplyVersion(put.key, Value(sv->value), sv->version, put.client, put.req,
+      // Copy the value out first: re-propagation may stabilize the entry
+      // and trigger store GC, which can relocate the vector element a view
+      // of sv->value would dangle into.
+      const Value value_copy = sv->value;
+      ApplyVersion(key, value_copy, sv->version, put.client, put.req,
                    config_.k_stability, put.deps, /*chain_seq=*/0, put.trace);
       return;
     }
@@ -502,11 +534,13 @@ void ChainReactionNode::HandlePut(CrxPut put) {
 
   // Gate on dependency stability (Section 3.2 of DESIGN.md): every
   // dependency must be DC-Write-Stable before this write becomes visible.
-  std::vector<Dependency> pending;
+  // Gathered in per-message arena scratch — the common all-stable case
+  // abandons it for free at the next OnMessage.
+  ArenaVector<const Dependency*> pending{ArenaAllocator<const Dependency*>(&arena_)};
   if (!config_.disable_dependency_gating) {
     for (const Dependency& dep : put.deps) {
-      if (!DepTriviallyStable(put.key, dep)) {
-        pending.push_back(dep);
+      if (!DepTriviallyStable(key, dep)) {
+        pending.push_back(&dep);
       }
     }
   }
@@ -516,10 +550,25 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   }
 
   const uint64_t token = next_token_++;
-  gated_reqs_[{put.client, put.req}] = token;
-  PendingPut& parked = gated_puts_[token];
-  parked.put = std::move(put);
-  parked.pending_deps = pending;
+  gated_reqs_cache_.Claim(gated_reqs_, {put.client, put.req}).first->second = token;
+  PendingPut& parked = gated_puts_cache_.Claim(gated_puts_, token).first->second;
+  // Park field-by-field into the (possibly recycled) slot instead of
+  // building a fresh owned CrxPut: the previous occupant's string and
+  // vector capacities absorb the copies. Every field is assigned — a
+  // recycled node keeps its old contents otherwise.
+  parked.put.req = put.req;
+  parked.put.client = put.client;
+  parked.put.key.assign(put.key);
+  parked.put.value.assign(put.value);
+  parked.put.deps.assign(put.deps.begin(), put.deps.end());
+  parked.put.trace = put.trace;
+  parked.put.wm_epoch = put.wm_epoch;
+  parked.put.dep_wm = put.dep_wm;
+  parked.pending_deps.clear();
+  parked.pending_deps.reserve(pending.size());
+  for (const Dependency* dep : pending) {
+    parked.pending_deps.push_back(*dep);
+  }
   parked.parked_at = env_->Now();
   dep_waits_++;
   TraceHopAndReport(&parked.put.trace, trace_sink_, HopKind::kHeadGated, id_, config_.local_dc,
@@ -527,7 +576,7 @@ void ChainReactionNode::HandlePut(CrxPut put) {
   if (m_gated_depth_ != nullptr) {
     m_gated_depth_->Set(static_cast<int64_t>(gated_puts_.size()));
   }
-  for (const Dependency& dep : pending) {
+  for (const Dependency& dep : parked.pending_deps) {
     CrxStabilityCheck check;
     check.key = dep.key;
     check.version = dep.version;
@@ -567,8 +616,8 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
     m_dep_wait_->Record(waited);
   }
   CrxPut put = std::move(it->second.put);
-  gated_puts_.erase(it);
-  gated_reqs_.erase({put.client, put.req});
+  gated_puts_cache_.Erase(gated_puts_, it);
+  gated_reqs_cache_.Erase(gated_reqs_, {put.client, put.req});
   if (m_gated_depth_ != nullptr) {
     m_gated_depth_->Set(static_cast<int64_t>(gated_puts_.size()));
   }
@@ -602,6 +651,9 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
       m_dep_stalls_->Inc();
     }
   }
+  // Re-enter the view-based pipeline over the owned parked copy (it
+  // outlives both calls below).
+  CrxPutView view = CrxPutView::From(put);
   if (ring_.PositionOf(put.key, id_) != 1 || env_->Now() < rejoin_until_ ||
       IsJoinGuarded(put.key)) {
     // An epoch change while the put was gated moved the key's head away from
@@ -611,15 +663,16 @@ void ChainReactionNode::HandleStabilityConfirm(const CrxStabilityConfirm& msg) {
     events_.Emit(EventKind::kGatedRedispatch, env_->Now(),
                  static_cast<int64_t>(Fnv1a64(put.key)),
                  static_cast<int64_t>(ring_.epoch()));
-    HandlePut(std::move(put));
+    HandlePut(view);
     return;
   }
-  ApplyAndPropagate(put);
+  ApplyAndPropagate(view);
 }
 
-void ChainReactionNode::ApplyAndPropagate(CrxPut put) {
+void ChainReactionNode::ApplyAndPropagate(CrxPutView& put) {
+  const Key key(put.key);
   Version version;
-  if (const VersionVector* applied = store_.AppliedVv(put.key)) {
+  if (const VersionVector* applied = store_.AppliedVv(key)) {
     version.vv = *applied;
   } else {
     version.vv = VersionVector(config_.num_dcs);
@@ -628,21 +681,23 @@ void ChainReactionNode::ApplyAndPropagate(CrxPut put) {
   version.lamport = NextLamport();
   version.origin = config_.local_dc;
 
-  completed_reqs_[{put.client, put.req}] = version;
+  // At the FIFO cap (steady state) every put both inserts and evicts one
+  // dedup entry; the recycled node makes that churn allocation-free.
+  completed_cache_.Claim(completed_reqs_, {put.client, put.req}).first->second = version;
   completed_order_.push_back({put.client, put.req});
   while (completed_order_.size() > kCompletedReqCap) {
-    completed_reqs_.erase(completed_order_.front());
+    completed_cache_.Erase(completed_reqs_, completed_order_.front());
     completed_order_.pop_front();
   }
 
-  ApplyVersion(put.key, std::move(put.value), version, put.client, put.req, config_.k_stability,
+  ApplyVersion(key, put.value, version, put.client, put.req, config_.k_stability,
                put.deps, /*chain_seq=*/0, std::move(put.trace));
 }
 
-bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version& version,
-                                     Address client, RequestId req, ChainIndex ack_at,
-                                     const std::vector<Dependency>& deps, uint64_t chain_seq,
-                                     TraceContext trace) {
+bool ChainReactionNode::ApplyVersion(const Key& key, std::string_view value,
+                                     const Version& version, Address client, RequestId req,
+                                     ChainIndex ack_at, std::span<const Dependency> deps,
+                                     uint64_t chain_seq, TraceContext trace) {
   const bool applied = DurableApply(key, value, version, deps);  // store keeps its own copy
   if (applied) {
     writes_applied_++;
@@ -710,13 +765,16 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
   }
 
   if (pos == config_.replication) {
-    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, std::move(value),
+    StabilizeAtTail(key, version, deps, version.origin == config_.local_dc, value,
                     std::move(trace));
   } else {
     const NodeId succ = ring_.SuccessorFor(key, id_);
-    CrxChainPut fwd;
+    // Down-chain forward assembled as a view: key/value bytes flow from the
+    // inbound frame (or the store) straight into the encoder — the frame is
+    // encoded exactly once per link and the payload is never rematerialized.
+    CrxChainPutView fwd;
     fwd.key = key;
-    fwd.value = std::move(value);
+    fwd.value = value;
     fwd.version = version;
     fwd.client = client;
     fwd.req = req;
@@ -726,7 +784,7 @@ bool ChainReactionNode::ApplyVersion(const Key& key, Value value, const Version&
     // Every replica stores the dependency list: the tail ships it to the
     // geo replicator, and any replica serves it to multi-get read
     // transactions.
-    fwd.deps = deps;
+    fwd.deps.assign(deps.begin(), deps.end());
     if (config_.dep_watermark) {
       fwd.stable_cut = StableCut();
     }
@@ -741,30 +799,37 @@ void ChainReactionNode::SendClientAck(CrxPutAck ack, Address client, uint64_t ch
     env_->Send(client, Enc(ack));
     return;
   }
-  auto [it, first] = pending_client_acks_.try_emplace(client);
-  CrxPutAckBatch& batch = it->second;
-  batch.up_to_seq = std::max(batch.up_to_seq, chain_seq);
-  batch.acks.push_back(std::move(ack));
+  // The per-client entry is permanent (bounded by the client population):
+  // each flush clears the ack vector but keeps its capacity, so a window's
+  // worth of acks accumulates without reallocating every window.
+  PendingAckBatch& entry = pending_client_acks_[client];
+  entry.batch.up_to_seq = std::max(entry.batch.up_to_seq, chain_seq);
+  entry.batch.acks.push_back(std::move(ack));
   if (m_ack_batched_ != nullptr) {
     m_ack_batched_->Inc();
   }
-  if (first) {
+  if (!entry.armed) {
+    entry.armed = true;
     env_->Schedule(config_.ack_batch_window, [this, client]() { FlushClientAcks(client); });
   }
 }
 
 void ChainReactionNode::FlushClientAcks(Address client) {
   auto it = pending_client_acks_.find(client);
-  if (it == pending_client_acks_.end() || it->second.acks.empty()) {
-    pending_client_acks_.erase(client);
+  if (it == pending_client_acks_.end()) {
     return;
   }
-  CrxPutAckBatch batch = std::move(it->second);
-  pending_client_acks_.erase(it);
-  env_->Send(client, Enc(batch));
+  PendingAckBatch& entry = it->second;
+  entry.armed = false;
+  if (entry.batch.acks.empty()) {
+    return;
+  }
+  env_->Send(client, Enc(entry.batch));
+  entry.batch.acks.clear();
+  entry.batch.up_to_seq = 0;  // next window reports only its own max
 }
 
-void ChainReactionNode::HandleChainPut(CrxChainPut msg, Address from) {
+void ChainReactionNode::HandleChainPut(CrxChainPutView& msg, Address from) {
   if (config_.dep_watermark) {
     // Chain puts come from a peer node (predecessor, repairing head, or
     // migration-era mirror) — learn its piggybacked stable cut.
@@ -778,24 +843,25 @@ void ChainReactionNode::HandleChainPut(CrxChainPut msg, Address from) {
     // head re-propagates all unstable writes under the new epoch.
     return;
   }
-  const ChainIndex pos = ring_.PositionOf(msg.key, id_);
+  const Key key(msg.key);
+  const ChainIndex pos = ring_.PositionOf(key, id_);
   if (pos == 0) {
     return;
   }
   // Arrival hop splits this link into transit (previous apply -> here) and
   // process (here -> this apply). Only for the first delivery — anti-entropy
   // re-propagation of an already-applied version is not the link's transit.
-  if (msg.trace.active() && store_.FindMeta(msg.key, msg.version) == nullptr) {
+  if (msg.trace.active() && store_.FindMeta(key, msg.version) == nullptr) {
     TraceHopAndReport(&msg.trace, trace_sink_, HopKind::kChainRecv, id_, config_.local_dc,
                       pos, env_->Now(), msg.chain_seq);
   }
-  ApplyVersion(msg.key, std::move(msg.value), msg.version, msg.client, msg.req, msg.ack_at,
+  ApplyVersion(key, msg.value, msg.version, msg.client, msg.req, msg.ack_at,
                msg.deps, msg.chain_seq, std::move(msg.trace));
 }
 
 void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
-                                        const std::vector<Dependency>& deps,
-                                        bool has_local_payload, Value value,
+                                        std::span<const Dependency> deps,
+                                        bool has_local_payload, std::string_view value,
                                         TraceContext trace) {
   DurableMarkStable(key, version);
   stable_vv_[key].MergeMax(version.vv);
@@ -806,7 +872,7 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
   if (mig_src_ != nullptr && config_.replication == 1) {
     // Single-node chains: the head IS the tail, so the backward notify that
     // would mirror the stability mark never happens — mirror it here.
-    MirrorMigrationEntry(key, /*has_value=*/false, Value(), version, /*stable=*/true, {});
+    MirrorMigrationEntry(key, /*has_value=*/false, {}, version, /*stable=*/true, {});
   }
 
   if (config_.replication > 1) {
@@ -830,13 +896,13 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
       // The merged (possibly synthetic) version dominates every version
       // stabilized in the window — including mutually concurrent geo
       // versions — so one message marks them all stable upstream.
-      auto [it, inserted] = pending_notify_.try_emplace(key, version);
-      if (!inserted) {
+      auto [it, inserted] = pending_notify_cache_.Claim(pending_notify_, key);
+      if (inserted) {
+        it->second = version;  // recycled nodes keep the old version; overwrite
+        ScheduleStableNotify(key);
+      } else {
         it->second.vv.MergeMax(version.vv);
         it->second.lamport = std::max(it->second.lamport, version.lamport);
-      }
-      if (inserted) {
-        ScheduleStableNotify(key);
       }
     }
   }
@@ -847,8 +913,8 @@ void ChainReactionNode::StabilizeAtTail(const Key& key, const Version& version,
     msg.version = version;
     msg.has_payload = has_local_payload;
     if (has_local_payload) {
-      msg.value = std::move(value);
-      msg.deps = deps;
+      msg.value = Value(value);
+      msg.deps.assign(deps.begin(), deps.end());
     }
     msg.trace = std::move(trace);
     SendGeoNotify(msg);
@@ -859,8 +925,10 @@ void ChainReactionNode::SendGeoNotify(const GeoLocalStable& msg) {
   ByteWriter w;
   w.PutString(msg.key);
   msg.version.Encode(&w);
-  pending_geo_notify_[w.Take()] = msg;
-  env_->Send(config_.geo_replicator, EncodeMessage(msg));
+  // Encode exactly once; the first send and every retry share the frame.
+  Payload frame = Payload::Shared(EncodeMessage(msg));
+  env_->Send(config_.geo_replicator, frame);
+  pending_geo_notify_[w.Take()] = std::move(frame);
   ArmGeoNotifyRetry();
 }
 
@@ -882,33 +950,44 @@ void ChainReactionNode::ArmGeoNotifyRetry() {
   }
   geo_notify_timer_ = env_->Schedule(config_.anti_entropy_interval, [this]() {
     geo_notify_timer_ = 0;
-    for (const auto& [vk, msg] : pending_geo_notify_) {
-      env_->Send(config_.geo_replicator, EncodeMessage(msg));
+    for (const auto& [vk, frame] : pending_geo_notify_) {
+      env_->Send(config_.geo_replicator, frame);
     }
     ArmGeoNotifyRetry();
   });
 }
 
 void ChainReactionNode::ScheduleStableNotify(const Key& key) {
-  const Key key_copy = key;
-  env_->Schedule(config_.stable_notify_delay, [this, key_copy]() {
-        auto pit = pending_notify_.find(key_copy);
-        if (pit == pending_notify_.end()) {
-          return;
-        }
-        CrxStableNotify notify;
-        notify.key = key_copy;
-        notify.version = pit->second;
-        notify.epoch = ring_.epoch();
-        if (config_.dep_watermark) {
-          notify.stable_cut = StableCut();
-        }
-        pending_notify_.erase(pit);
-        const NodeId pred = ring_.PredecessorFor(key_copy, id_);
-        if (pred != kInvalidNode) {
-          env_->Send(pred, Enc(notify));
-        }
-  });
+  // One timer per pending key, exactly like a per-key closure would fire —
+  // but the closure captures only `this` (inside std::function's inline
+  // buffer), and the key rides a FIFO instead: the delay is constant, so
+  // timers fire in arming order and each firing flushes the oldest key.
+  notify_fifo_.push_back(key);
+  env_->Schedule(config_.stable_notify_delay, [this]() { FlushStableNotify(); });
+}
+
+void ChainReactionNode::FlushStableNotify() {
+  if (notify_fifo_.empty()) {
+    return;
+  }
+  const Key key = std::move(notify_fifo_.front());
+  notify_fifo_.pop_front();
+  auto pit = pending_notify_.find(key);
+  if (pit == pending_notify_.end()) {
+    return;
+  }
+  CrxStableNotify notify;
+  notify.key = key;
+  notify.version = pit->second;
+  notify.epoch = ring_.epoch();
+  if (config_.dep_watermark) {
+    notify.stable_cut = StableCut();
+  }
+  pending_notify_cache_.Erase(pending_notify_, pit);
+  const NodeId pred = ring_.PredecessorFor(key, id_);
+  if (pred != kInvalidNode) {
+    env_->Send(pred, Enc(notify));
+  }
 }
 
 void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg, Address from) {
@@ -927,7 +1006,7 @@ void ChainReactionNode::HandleStableNotify(const CrxStableNotify& msg, Address f
   if (pos == 1 && mig_src_ != nullptr) {
     // Mirror the stability mark to the key's future replicas so they can
     // serve dependency checks and geo shipping right after cutover.
-    MirrorMigrationEntry(msg.key, /*has_value=*/false, Value(), msg.version,
+    MirrorMigrationEntry(msg.key, /*has_value=*/false, {}, msg.version,
                          /*stable=*/true, {});
   }
   if (pos > 1) {
@@ -977,15 +1056,16 @@ void ChainReactionNode::ResolveWatchers(const Key& key) {
   }
 }
 
-void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
-  const ChainIndex pos = ring_.PositionOf(get.key, id_);
+void ChainReactionNode::HandleGet(const CrxGetView& get, Address /*from*/) {
+  const Key key(get.key);
+  const ChainIndex pos = ring_.PositionOf(key, id_);
   if (pos == 0) {
     // Stale client ring: route to the current head.
     gets_forwarded_++;
     if (m_gets_forwarded_ != nullptr) {
       m_gets_forwarded_->Inc();
     }
-    env_->Send(ring_.HeadFor(get.key), Enc(get));
+    env_->Send(ring_.HeadFor(key), Enc(get));
     return;
   }
 
@@ -997,23 +1077,22 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
   // dependencies. Serve from an established replica instead: escalate
   // toward the predecessor, or — at the head — park the read until the
   // guard window closes.
-  if (IsJoinGuarded(get.key)) {
+  if (IsJoinGuarded(key)) {
     if (pos > 1) {
       gets_forwarded_++;
       if (m_gets_forwarded_ != nullptr) {
         m_gets_forwarded_->Inc();
       }
-      env_->Send(ring_.PredecessorFor(get.key, id_), Enc(get));
+      env_->Send(ring_.PredecessorFor(key, id_), Enc(get));
     } else {
-      join_guarded_gets_.push_back(std::move(get));
-      events_.Emit(EventKind::kGetParked, env_->Now(),
-                   static_cast<int64_t>(Fnv1a64(join_guarded_gets_.back().key)),
+      join_guarded_gets_.push_back(get.ToOwned());
+      events_.Emit(EventKind::kGetParked, env_->Now(), static_cast<int64_t>(Fnv1a64(key)),
                    static_cast<int64_t>(join_guarded_gets_.size()));
     }
     return;
   }
 
-  if (!ReadSatisfies(get.key, get.min_version)) {
+  if (!ReadSatisfies(key, get.min_version)) {
     if (pos > 1) {
       // This replica is behind the client's causal past (possible briefly
       // during chain repair); escalate toward the head, which applies
@@ -1022,14 +1101,13 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       if (m_gets_forwarded_ != nullptr) {
         m_gets_forwarded_->Inc();
       }
-      env_->Send(ring_.PredecessorFor(get.key, id_), Enc(get));
+      env_->Send(ring_.PredecessorFor(key, id_), Enc(get));
       return;
     }
     // Even the head is behind: the required version is still in flight
     // (e.g. a remote update). Defer until it lands.
     DeferredGet deferred;
-    deferred.get = get;
-    const Key key = get.key;
+    deferred.get = get.ToOwned();
     const RequestId req = get.req;
     deferred.timeout_timer = env_->Schedule(config_.deferred_read_timeout, [this, key, req]() {
       auto it = deferred_gets_.find(key);
@@ -1039,10 +1117,12 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
       auto& list = it->second;
       for (size_t i = 0; i < list.size(); ++i) {
         if (list[i].get.req == req) {
-          CrxGet g = list[i].get;
-          list[i] = list.back();
+          CrxGet g = std::move(list[i].get);
+          if (i + 1 != list.size()) {
+            list[i] = std::move(list.back());
+          }
           list.pop_back();
-          AnswerGet(g, ring_.PositionOf(g.key, id_));
+          AnswerGet(CrxGetView::From(g), ring_.PositionOf(g.key, id_));
           break;
         }
       }
@@ -1050,25 +1130,28 @@ void ChainReactionNode::HandleGet(CrxGet get, Address /*from*/) {
         deferred_gets_.erase(key);
       }
     });
-    deferred_gets_[get.key].push_back(std::move(deferred));
+    deferred_gets_[key].push_back(std::move(deferred));
     return;
   }
 
   AnswerGet(get, pos);
 }
 
-void ChainReactionNode::AnswerGet(const CrxGet& get, ChainIndex position) {
-  CrxGetReply reply;
+void ChainReactionNode::AnswerGet(const CrxGetView& get, ChainIndex position) {
+  const Key key(get.key);
+  // Reply assembled as a view: the answered value aliases the store entry,
+  // which stays untouched until Enc() below copies it into the frame.
+  CrxGetReplyView reply;
   reply.req = get.req;
   reply.key = get.key;
   reply.position = position;
-  if (const StoredVersion* sv = store_.Latest(get.key)) {
+  if (const StoredVersion* sv = store_.Latest(key)) {
     reply.found = true;
     reply.value = sv->value;
     reply.version = sv->version;
     reply.stable = sv->stable;
     if (get.with_deps) {
-      reply.deps = sv->deps;
+      reply.deps.assign(sv->deps.begin(), sv->deps.end());
     }
   }
   if (config_.dep_watermark) {
@@ -1095,10 +1178,12 @@ void ChainReactionNode::ResolveDeferredGets(const Key& key) {
   for (size_t i = 0; i < list.size();) {
     if (ReadSatisfies(key, list[i].get.min_version)) {
       env_->CancelTimer(list[i].timeout_timer);
-      CrxGet g = list[i].get;
-      list[i] = list.back();
+      CrxGet g = std::move(list[i].get);
+      if (i + 1 != list.size()) {
+        list[i] = std::move(list.back());
+      }
       list.pop_back();
-      AnswerGet(g, ring_.PositionOf(g.key, id_));
+      AnswerGet(CrxGetView::From(g), ring_.PositionOf(g.key, id_));
     } else {
       ++i;
     }
@@ -1109,8 +1194,13 @@ void ChainReactionNode::ResolveDeferredGets(const Key& key) {
 }
 
 void ChainReactionNode::TrackUnstableHead(const Key& key) {
-  unstable_head_keys_.insert(key);
-  unstable_since_.try_emplace(key, env_->Now());
+  // Every head put lands here and the stabilization notify erases it a few
+  // ms later — recycled nodes keep this churn allocation-free.
+  unstable_keys_cache_.Insert(unstable_head_keys_, key);
+  auto [sit, fresh] = unstable_since_cache_.Claim(unstable_since_, key);
+  if (fresh) {
+    sit->second = env_->Now();
+  }
   ArmAntiEntropy();
 }
 
@@ -1122,12 +1212,12 @@ void ChainReactionNode::ResolveUnstableHead(const Key& key) {
   if (store_.HasUnstable(key)) {
     return;
   }
-  unstable_head_keys_.erase(it);
+  unstable_keys_cache_.Erase(unstable_head_keys_, it);
   // Head->tail stabilization lag sample for this key, folded into the EWMA
   // the dep-stall watchdog compares against (alpha = 1/8).
   if (auto since = unstable_since_.find(key); since != unstable_since_.end()) {
     const int64_t lag = static_cast<int64_t>(env_->Now() - since->second);
-    unstable_since_.erase(since);
+    unstable_since_cache_.Erase(unstable_since_, since);
     if (lag >= 0) {
       chain_lag_ewma_us_ = chain_lag_ewma_us_ == 0 ? lag : (7 * chain_lag_ewma_us_ + lag) / 8;
       if (m_chain_lag_ != nullptr) {
@@ -1174,7 +1264,7 @@ void ChainReactionNode::RunAntiEntropy() {
       fwd.req = 0;
       fwd.ack_at = 0;
       fwd.epoch = ring_.epoch();
-      fwd.deps = sv.deps;
+      fwd.deps.assign(sv.deps.begin(), sv.deps.end());
       if (config_.dep_watermark) {
         fwd.stable_cut = StableCut();
       }
@@ -1192,7 +1282,7 @@ void ChainReactionNode::HandleRemotePut(GeoRemotePut msg) {
     env_->Send(ring_.HeadFor(msg.key), EncodeMessage(msg));
     return;
   }
-  ApplyVersion(msg.key, std::move(msg.value), msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0,
+  ApplyVersion(msg.key, msg.value, msg.version, /*client=*/0, /*req=*/0, /*ack_at=*/0,
                msg.deps, /*chain_seq=*/0, std::move(msg.trace));
 }
 
@@ -1235,7 +1325,7 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
     // re-driven by nobody — anti-entropy keys off *current* headship, and
     // the new head may have received them only via migration (which does
     // not register them for re-propagation).
-    std::vector<Key> keys;
+    ArenaVector<Key> keys{ArenaAllocator<Key>(&arena_)};
     keys.reserve(store_.KeyCount());
     store_.ForEachKey([&keys](const Key& key, const StoredVersion&) { keys.push_back(key); });
     for (const Key& key : keys) {
@@ -1251,7 +1341,7 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
         fwd.req = 0;
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
-        fwd.deps = sv.deps;
+        fwd.deps.assign(sv.deps.begin(), sv.deps.end());
         env_->Send(ring_.HeadFor(key), Enc(fwd));
       }
     }
@@ -1299,13 +1389,15 @@ void ChainReactionNode::HandleNewMembership(const MemNewMembership& msg) {
     }
   }
   RepairChains(old_ring, msg.pre_synced);
-  // Tell every peer our repair pushes for this epoch are all sent.
+  // Tell every peer our repair pushes for this epoch are all sent. The
+  // marker bytes are identical for every peer: encode once, share the frame.
+  MemSyncDone done_msg;
+  done_msg.epoch = ring_.epoch();
+  done_msg.from = id_;
+  const Payload done_frame = Payload::Shared(EncodeMessage(done_msg));
   for (NodeId n : ring_.nodes()) {
     if (n != id_) {
-      MemSyncDone done_msg;
-      done_msg.epoch = ring_.epoch();
-      done_msg.from = id_;
-      env_->Send(n, EncodeMessage(done_msg));
+      env_->Send(n, done_frame);
     }
   }
 }
@@ -1339,12 +1431,13 @@ void ChainReactionNode::DrainGuardedGets() {
   std::vector<CrxPut> parked_puts = std::move(rejoin_buffered_puts_);
   rejoin_buffered_puts_.clear();
   for (CrxPut& put : parked_puts) {
-    HandlePut(std::move(put));  // re-parks if still guarded
+    CrxPutView view = CrxPutView::From(put);
+    HandlePut(view);  // re-parks (via ToOwned) if still guarded
   }
   std::vector<CrxGet> parked = std::move(join_guarded_gets_);
   join_guarded_gets_.clear();
-  for (CrxGet& get : parked) {
-    HandleGet(std::move(get), /*from=*/0);  // re-parks if still guarded
+  for (const CrxGet& get : parked) {
+    HandleGet(CrxGetView::From(get), /*from=*/0);  // re-parks if still guarded
   }
 }
 
@@ -1354,7 +1447,8 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
     return std::find(pre_synced.begin(), pre_synced.end(), n) != pre_synced.end();
   };
   // Collect keys first: repair sends messages but must not mutate the store.
-  std::vector<Key> keys;
+  // Arena-backed scratch: dropped wholesale at the next message.
+  ArenaVector<Key> keys{ArenaAllocator<Key>(&arena_)};
   keys.reserve(store_.KeyCount());
   store_.ForEachKey([&keys](const Key& key, const StoredVersion&) { keys.push_back(key); });
   events_.Emit(EventKind::kRepairStart, env_->Now(), static_cast<int64_t>(ring_.epoch()),
@@ -1381,7 +1475,7 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
         fwd.req = 0;
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
-        fwd.deps = sv.deps;
+        fwd.deps.assign(sv.deps.begin(), sv.deps.end());
         env_->Send(ring_.HeadFor(key), Enc(fwd));
       }
       unstable_head_keys_.erase(key);
@@ -1405,7 +1499,7 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
         fwd.req = 0;
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
-        fwd.deps = sv.deps;
+        fwd.deps.assign(sv.deps.begin(), sv.deps.end());
         env_->Send(chain[1], Enc(fwd));
       }
     }
@@ -1461,7 +1555,7 @@ void ChainReactionNode::RepairChains(const Ring& old_ring,
         fwd.req = 0;
         fwd.ack_at = 0;
         fwd.epoch = ring_.epoch();
-        fwd.deps = sv.deps;
+        fwd.deps.assign(sv.deps.begin(), sv.deps.end());
         env_->Send(chain[0], Enc(fwd));
       }
     }
@@ -1524,7 +1618,8 @@ void ChainReactionNode::DrainRejoin() {
   std::vector<CrxPut> parked = std::move(rejoin_buffered_puts_);
   rejoin_buffered_puts_.clear();
   for (CrxPut& put : parked) {
-    HandlePut(std::move(put));
+    CrxPutView view = CrxPutView::From(put);
+    HandlePut(view);
   }
   DrainGuardedGets();
 }
@@ -1606,7 +1701,7 @@ void ChainReactionNode::StreamMigrationBatch() {
         e.value = stable->value;
         e.version = stable->version;
         e.stable = true;
-        e.deps = stable->deps;
+        e.deps.assign(stable->deps.begin(), stable->deps.end());
         entries.push_back(std::move(e));
       }
       for (const StoredVersion& sv : store_.UnstableVersions(key)) {
@@ -1615,7 +1710,7 @@ void ChainReactionNode::StreamMigrationBatch() {
         e.value = sv.value;
         e.version = sv.version;
         e.stable = false;
-        e.deps = sv.deps;
+        e.deps.assign(sv.deps.begin(), sv.deps.end());
         entries.push_back(std::move(e));
       }
       if (entries.empty()) {
@@ -1683,9 +1778,9 @@ void ChainReactionNode::StreamMigrationBatch() {
                static_cast<int64_t>(src.entries_streamed));
 }
 
-void ChainReactionNode::MirrorMigrationEntry(const Key& key, bool has_value, const Value& value,
-                                             const Version& version, bool stable,
-                                             const std::vector<Dependency>& deps) {
+void ChainReactionNode::MirrorMigrationEntry(const Key& key, bool has_value,
+                                             std::string_view value, const Version& version,
+                                             bool stable, std::span<const Dependency> deps) {
   const std::vector<NodeId> targets = MigrationTargetsFor(key);
   if (targets.empty()) {
     return;
@@ -1693,10 +1788,10 @@ void ChainReactionNode::MirrorMigrationEntry(const Key& key, bool has_value, con
   MigEntry entry;
   entry.key = key;
   entry.has_value = has_value;
-  entry.value = value;
+  entry.value = Value(value);
   entry.version = version;
   entry.stable = stable;
-  entry.deps = deps;
+  entry.deps.assign(deps.begin(), deps.end());
   for (NodeId target : targets) {
     MigKeyBatch batch;
     batch.migration_id = mig_src_->migration_id;
@@ -1927,7 +2022,9 @@ void ChainReactionNode::BroadcastWatermark() {
   wm.node = id_;
   wm.epoch = ring_.epoch();
   wm.cut = StableCut();
-  const std::string payload = Enc(wm);
+  // One encode, N-1 refcount bumps: the gossip frame is shared across the
+  // whole ring fan-out.
+  const Payload payload = Payload::Shared(Enc(wm));
   for (const NodeId n : ring_.nodes()) {
     if (n != id_) {
       env_->Send(n, payload);

@@ -19,16 +19,22 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/arena.h"
 #include "src/common/histogram.h"
+#include "src/common/node_cache.h"
+#include "src/common/payload.h"
 #include "src/common/types.h"
 #include "src/common/version.h"
 #include "src/core/config.h"
 #include "src/msg/message.h"
+#include "src/obs/alloc_phase.h"
 #include "src/obs/events.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -52,7 +58,7 @@ class ChainReactionNode : public Actor {
   // Either argument may be null. Call before the node starts serving.
   void AttachObs(MetricsRegistry* metrics, TraceCollector* traces);
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   // Recovery: persist / restore this node's store. Restore must happen
   // before the node starts serving (typically right after construction);
@@ -181,9 +187,14 @@ class ChainReactionNode : public Actor {
     Address reply_to = 0;
   };
 
-  void HandlePut(CrxPut put);
-  void HandleChainPut(CrxChainPut msg, Address from);
-  void HandleGet(CrxGet get, Address from);
+  // Hot-path handlers take decoded *views* whose string fields alias the
+  // transport receive buffer (valid only for the current OnMessage call;
+  // DESIGN.md §15). Parking a request past the call materializes it with
+  // ToOwned(); replay re-enters through a From() view so there is a single
+  // code path. Mutable refs because handlers append trace hops in place.
+  void HandlePut(CrxPutView& put);
+  void HandleChainPut(CrxChainPutView& msg, Address from);
+  void HandleGet(const CrxGetView& get, Address from);
   void HandleStableNotify(const CrxStableNotify& msg, Address from);
   void HandleStabilityCheck(const CrxStabilityCheck& msg, Address from);
   void HandleStabilityConfirm(const CrxStabilityConfirm& msg);
@@ -205,28 +216,29 @@ class ChainReactionNode : public Actor {
   // would miss the data without a transfer). Empty when no migration is
   // active or this node does not head the key.
   std::vector<NodeId> MigrationTargetsFor(const Key& key) const;
-  void MirrorMigrationEntry(const Key& key, bool has_value, const Value& value,
+  void MirrorMigrationEntry(const Key& key, bool has_value, std::string_view value,
                             const Version& version, bool stable,
-                            const std::vector<Dependency>& deps);
+                            std::span<const Dependency> deps);
 
   // Assigns a version to a gated client write and starts propagation.
-  void ApplyAndPropagate(CrxPut put);
+  void ApplyAndPropagate(CrxPutView& put);
 
   // Common apply path for a concrete (key, value, version); handles the
   // single-node-chain and tail special cases. Returns true if newly applied.
-  // `value` and `trace` are taken by value and moved through (the store
-  // keeps the only extra copy of the payload; the down-chain forward or the
-  // tail's geo notification consumes the original). `chain_seq` is the
-  // pipeline sequence the write arrived with (0 at the head and for
-  // out-of-band re-propagation) and feeds the cumulative ack batch.
-  bool ApplyVersion(const Key& key, Value value, const Version& version, Address client,
-                    RequestId req, ChainIndex ack_at, const std::vector<Dependency>& deps,
-                    uint64_t chain_seq, TraceContext trace);
+  // `value` may alias the inbound frame: the store makes the single owned
+  // copy, and the down-chain forward / tail geo notification re-encode
+  // straight from the view, so the payload is copied at most once end to
+  // end. `deps` is borrowed for the call. `chain_seq` is the pipeline
+  // sequence the write arrived with (0 at the head and for out-of-band
+  // re-propagation) and feeds the cumulative ack batch.
+  bool ApplyVersion(const Key& key, std::string_view value, const Version& version,
+                    Address client, RequestId req, ChainIndex ack_at,
+                    std::span<const Dependency> deps, uint64_t chain_seq, TraceContext trace);
 
   // Everything the tail must do when a version reaches it.
   void StabilizeAtTail(const Key& key, const Version& version,
-                       const std::vector<Dependency>& deps, bool has_local_payload,
-                       Value value, TraceContext trace);
+                       std::span<const Dependency> deps, bool has_local_payload,
+                       std::string_view value, TraceContext trace);
 
   // Client ack path: with ack_batch_window > 0 acks are coalesced per
   // client into one cumulative CrxPutAckBatch per window; otherwise each
@@ -236,6 +248,7 @@ class ChainReactionNode : public Actor {
 
   void ResolveWatchers(const Key& key);
   void ScheduleStableNotify(const Key& key);
+  void FlushStableNotify();
   void TrackUnstableHead(const Key& key);
   void ResolveUnstableHead(const Key& key);
   void ArmAntiEntropy();
@@ -245,7 +258,7 @@ class ChainReactionNode : public Actor {
   void HandleGeoNotifyAck(const GeoLocalStableAck& msg);
   void ArmGeoNotifyRetry();
   void ResolveDeferredGets(const Key& key);
-  void AnswerGet(const CrxGet& get, ChainIndex position);
+  void AnswerGet(const CrxGetView& get, ChainIndex position);
 
   // True if the dependency does not need a remote stability confirmation:
   // null versions, and dependencies living on this exact chain (the FIFO
@@ -272,8 +285,8 @@ class ChainReactionNode : public Actor {
   // Write-ahead wrappers around the store: log the mutation (when it is not
   // already durable) before applying it. All protocol-path mutations go
   // through these; recovery replays write to store_ directly.
-  bool DurableApply(const Key& key, Value value, const Version& version,
-                    const std::vector<Dependency>& deps);
+  bool DurableApply(const Key& key, std::string_view value, const Version& version,
+                    std::span<const Dependency> deps);
   void DurableMarkStable(const Key& key, const Version& version);
 
   // Rebuilds stability cache, unstable-head tracking, and the lamport clock
@@ -297,6 +310,7 @@ class ChainReactionNode : public Actor {
   // directly and stay v1.
   template <typename M>
   std::string Enc(const M& m) const {
+    AllocPhaseScope phase(AllocPhase::kEncode);
     return EncodeMessage(m, config_.wire_format);
   }
 
@@ -317,6 +331,10 @@ class ChainReactionNode : public Actor {
   VersionedStore store_;
   uint64_t lamport_ = 0;
 
+  // Per-message scratch space, reset at the top of OnMessage. Nothing that
+  // survives the current message may live here (see src/common/arena.h).
+  Arena arena_;
+
   // Durability (null/empty until EnableDurability).
   std::string data_dir_;
   std::unique_ptr<Wal> wal_;
@@ -332,15 +350,22 @@ class ChainReactionNode : public Actor {
   // Requests currently parked behind dependency gating, mapped to their
   // gating token so client retries can re-probe instead of re-parking.
   std::map<std::pair<Address, RequestId>, uint64_t> gated_reqs_;
+  // Node recyclers for the per-request churn above (insert on park/apply,
+  // erase on confirm/evict — one heap node per put without them).
+  MapNodeCache<std::unordered_map<uint64_t, PendingPut>> gated_puts_cache_;
+  MapNodeCache<std::map<std::pair<Address, RequestId>, Version>> completed_cache_;
+  MapNodeCache<std::map<std::pair<Address, RequestId>, uint64_t>> gated_reqs_cache_;
   // Keys this node heads whose newest version is not yet DC-Write-Stable;
   // re-propagated by the anti-entropy timer if stability stalls (lost
   // chain messages). Timer is armed iff the set is non-empty.
   std::unordered_set<Key> unstable_head_keys_;
+  SetNodeCache<std::unordered_set<Key>> unstable_keys_cache_;
   // When each key first went unstable, feeding the chain-lag EWMA that the
   // dep-stall watchdog compares dep-waits against (a dep-wait far beyond
   // the typical head->tail stabilization time means the blocking chain is
   // stuck, not merely busy).
   std::unordered_map<Key, Time> unstable_since_;
+  MapNodeCache<std::unordered_map<Key, Time>> unstable_since_cache_;
   int64_t chain_lag_ewma_us_ = 0;
   uint64_t anti_entropy_timer_ = 0;
   // Rejoin barrier: after an epoch re-adds this node, client puts are
@@ -430,12 +455,18 @@ class ChainReactionNode : public Actor {
   // Tail state.
   std::unordered_map<Key, std::vector<StabilityWatcher>> watchers_;
   // Coalesced backward stability notifications: newest stable version per
-  // key whose notify timer is armed.
+  // key whose notify timer is armed. Map nodes are recycled, and the armed
+  // keys ride a FIFO so the per-key timers capture only `this` (see
+  // ScheduleStableNotify).
   std::unordered_map<Key, Version> pending_notify_;
+  MapNodeCache<std::unordered_map<Key, Version>> pending_notify_cache_;
+  std::deque<Key> notify_fifo_;
   // Geo notifications not yet acknowledged by the local replicator,
   // resent periodically — a lost notification would otherwise silently
-  // prevent an update from ever being shipped or acknowledged.
-  std::unordered_map<std::string, GeoLocalStable> pending_geo_notify_;
+  // prevent an update from ever being shipped or acknowledged. Keyed by
+  // encoded (key, version); the value is the shared frame encoded exactly
+  // once at stabilization time, so every retry is a refcount bump.
+  std::unordered_map<std::string, Payload> pending_geo_notify_;
   uint64_t geo_notify_timer_ = 0;
 
   std::unordered_map<Key, std::vector<DeferredGet>> deferred_gets_;
@@ -446,8 +477,13 @@ class ChainReactionNode : public Actor {
   std::unordered_map<NodeId, uint64_t> next_chain_seq_;
 
   // Cumulative client acks awaiting their flush timer (only populated when
-  // config_.ack_batch_window > 0).
-  std::unordered_map<Address, CrxPutAckBatch> pending_client_acks_;
+  // config_.ack_batch_window > 0). Entries persist across windows so the
+  // ack vector's capacity is reused; `armed` tracks the pending flush timer.
+  struct PendingAckBatch {
+    CrxPutAckBatch batch;
+    bool armed = false;
+  };
+  std::unordered_map<Address, PendingAckBatch> pending_client_acks_;
 
   // Stats.
   uint64_t reads_served_ = 0;

@@ -49,7 +49,7 @@ Status DiskEngine::OpenActive(uint64_t seq) {
 }
 
 ValueHandle DiskEngine::Append(const Key& key, const Version& version,
-                               const Value& value) {
+                               std::string_view value) {
   std::string bytes;
   EncodeVlogRecord(key, version, value, &bytes);
   ValueHandle h;

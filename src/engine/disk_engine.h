@@ -33,7 +33,7 @@ class DiskEngine final : public StorageEngine {
   StorageEngineKind kind() const override { return StorageEngineKind::kDisk; }
   bool inline_values() const override { return false; }
 
-  ValueHandle Append(const Key& key, const Version& version, const Value& value) override;
+  ValueHandle Append(const Key& key, const Version& version, std::string_view value) override;
   Status Read(const ValueHandle& handle, Value* out) override;
   void Release(const ValueHandle& handle) override;
   bool AdoptLive(const ValueHandle& handle) override;

@@ -5,12 +5,12 @@
 namespace chainreaction {
 
 uint32_t EncodeVlogRecord(const Key& key, const Version& version,
-                          const Value& value, std::string* out) {
+                          std::string_view value, std::string* out) {
   ByteWriter payload;
   payload.PutU8(kVlogRecordTag);
   payload.PutString(key);
   version.Encode(&payload);
-  payload.PutString(value);
+  payload.PutStringView(value);
 
   ByteWriter frame;
   frame.PutU32(static_cast<uint32_t>(8 + payload.size()));

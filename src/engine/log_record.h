@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "src/common/bytes.h"
 #include "src/common/types.h"
@@ -36,7 +37,7 @@ struct VlogRecord {
 // Appends the full framed record (prefix + crc + payload) to `out` and
 // returns the framed length.
 uint32_t EncodeVlogRecord(const Key& key, const Version& version,
-                          const Value& value, std::string* out);
+                          std::string_view value, std::string* out);
 
 // Decodes one framed record from `bytes` (which must be exactly one frame,
 // as read back via a handle's offset/length). Verifies the length prefix,

@@ -33,7 +33,7 @@ class MemEngine final : public StorageEngine {
   StorageEngineKind kind() const override { return StorageEngineKind::kMem; }
   bool inline_values() const override { return true; }
 
-  ValueHandle Append(const Key&, const Version&, const Value&) override {
+  ValueHandle Append(const Key&, const Version&, std::string_view) override {
     appends_++;
     return ValueHandle{};
   }

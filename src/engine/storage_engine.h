@@ -25,6 +25,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "src/common/result.h"
 #include "src/common/types.h"
@@ -75,9 +76,11 @@ class StorageEngine {
   virtual bool inline_values() const = 0;
 
   // Appends one value record to the log and returns its handle. For inline
-  // engines this is a no-op returning an invalid handle.
+  // engines this is a no-op returning an invalid handle. `value` may alias a
+  // transport receive buffer (the zero-copy put path) and is only guaranteed
+  // valid for the duration of the call.
   virtual ValueHandle Append(const Key& key, const Version& version,
-                             const Value& value) = 0;
+                             std::string_view value) = 0;
 
   // Reads the value a handle points at, verifying the record checksum.
   virtual Status Read(const ValueHandle& handle, Value* out) = 0;

@@ -38,7 +38,7 @@ std::string GeoReplicator::VersionKey(const Key& key, const Version& v) {
   return w.Take();
 }
 
-void GeoReplicator::OnMessage(Address from, const std::string& payload) {
+void GeoReplicator::OnMessage(Address from, std::string_view payload) {
   (void)from;
   switch (PeekType(payload)) {
     case MsgType::kGeoLocalStable: {

@@ -50,7 +50,7 @@ class GeoReplicator : public Actor {
   // peer_by_dc[d] = address of DC d's replicator; the local slot is ignored.
   void SetPeers(std::vector<Address> peer_by_dc);
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
   // Hooks for experiments/tests ------------------------------------------
   // A remote-origin update became visible (applied & stable) in this DC.

@@ -2,8 +2,8 @@
 
 namespace chainreaction {
 
-MsgType PeekType(const std::string& payload) {
-  ByteReader r(payload);
+MsgType PeekType(std::string_view payload) {
+  ByteReader r(payload.data(), payload.size());
   uint16_t type = 0;
   if (!r.GetU16(&type)) {
     return MsgType::kInvalid;
@@ -11,71 +11,13 @@ MsgType PeekType(const std::string& payload) {
   return static_cast<MsgType>(type & ~kWireV2Flag);
 }
 
-WireFormat PeekWireFormat(const std::string& payload) {
-  ByteReader r(payload);
+WireFormat PeekWireFormat(std::string_view payload) {
+  ByteReader r(payload.data(), payload.size());
   uint16_t type = 0;
   if (!r.GetU16(&type)) {
     return WireFormat::kV1;
   }
   return (type & kWireV2Flag) != 0 ? WireFormat::kV2 : WireFormat::kV1;
-}
-
-void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w) {
-  w->PutVarU64(deps.size());
-  for (const Dependency& d : deps) {
-    d.Encode(w);
-  }
-}
-
-bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps) {
-  uint64_t n = 0;
-  if (!r->GetVarU64(&n) || n > (1u << 20)) {
-    return false;
-  }
-  deps->resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    if (!(*deps)[i].Decode(r)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-size_t EncodedDepsSize(const std::vector<Dependency>& deps) {
-  size_t n = VarU64Size(deps.size());
-  for (const Dependency& d : deps) {
-    n += d.EncodedSize();
-  }
-  return n;
-}
-
-void EncodeDepsV2(const std::vector<Dependency>& deps, ByteWriter* w) {
-  w->PutVarU64(deps.size());
-  for (const Dependency& d : deps) {
-    d.EncodeV2(w);
-  }
-}
-
-bool DecodeDepsV2(ByteReader* r, std::vector<Dependency>* deps) {
-  uint64_t n = 0;
-  if (!r->GetVarU64(&n) || n > (1u << 20)) {
-    return false;
-  }
-  deps->resize(n);
-  for (uint64_t i = 0; i < n; ++i) {
-    if (!(*deps)[i].DecodeV2(r)) {
-      return false;
-    }
-  }
-  return true;
-}
-
-size_t EncodedDepsSizeV2(const std::vector<Dependency>& deps) {
-  size_t n = VarU64Size(deps.size());
-  for (const Dependency& d : deps) {
-    n += d.EncodedSizeV2();
-  }
-  return n;
 }
 
 // --------------------------- ChainReaction ---------------------------------
@@ -430,6 +372,260 @@ bool CrxWatermark::DecodeV2(ByteReader* r) {
 }
 size_t CrxWatermark::EncodedSizeV2() const {
   return VarU64Size(node) + VarU64Size(epoch) + VarU64Size(cut);
+}
+
+// ------------------------- zero-copy view structs --------------------------
+// Each body mirrors its owned counterpart exactly (byte-for-byte parity is
+// asserted by msg_test): strings decode as aliasing views and encode from
+// views, everything else is identical.
+
+void CrxPutView::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutStringView(key);
+  w->PutStringView(value);
+  EncodeDeps(deps, w);
+  trace.Encode(w);
+}
+bool CrxPutView::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetStringView(&key) &&
+         r->GetStringView(&value) && DecodeDeps(r, &deps) && trace.Decode(r);
+}
+size_t CrxPutView::EncodedSize() const {
+  return 8 + 4 + 4 + key.size() + 4 + value.size() + EncodedDepsSize(deps) + trace.EncodedSize();
+}
+void CrxPutView::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutVarU64(client);
+  w->PutStringViewVar(key);
+  w->PutStringViewVar(value);
+  EncodeDepsV2(deps, w);
+  trace.EncodeV2(w);
+  w->PutVarU64(wm_epoch);
+  w->PutVarU64(dep_wm);
+}
+bool CrxPutView::DecodeV2(ByteReader* r) {
+  uint64_t c = 0;
+  if (!(r->GetVarU64(&req) && r->GetVarU64(&c) && c <= UINT32_MAX && r->GetStringViewVar(&key) &&
+        r->GetStringViewVar(&value) && DecodeDepsV2(r, &deps) && trace.DecodeV2(r) &&
+        r->GetVarU64(&wm_epoch) && r->GetVarU64(&dep_wm))) {
+    return false;
+  }
+  client = static_cast<Address>(c);
+  return true;
+}
+size_t CrxPutView::EncodedSizeV2() const {
+  return VarU64Size(req) + VarU64Size(client) + VarStringSize(key) + VarStringSize(value) +
+         EncodedDepsSizeV2(deps) + trace.EncodedSizeV2() + VarU64Size(wm_epoch) +
+         VarU64Size(dep_wm);
+}
+CrxPut CrxPutView::ToOwned() const {
+  CrxPut m;
+  m.req = req;
+  m.client = client;
+  m.key = Key(key);
+  m.value = Value(value);
+  m.deps.assign(deps.begin(), deps.end());
+  m.trace = trace;
+  m.wm_epoch = wm_epoch;
+  m.dep_wm = dep_wm;
+  return m;
+}
+CrxPutView CrxPutView::From(const CrxPut& m) {
+  CrxPutView v;
+  v.req = m.req;
+  v.client = m.client;
+  v.key = m.key;
+  v.value = m.value;
+  v.deps.assign(m.deps.begin(), m.deps.end());
+  v.trace = m.trace;
+  v.wm_epoch = m.wm_epoch;
+  v.dep_wm = m.dep_wm;
+  return v;
+}
+
+void CrxChainPutView::Encode(ByteWriter* w) const {
+  w->PutStringView(key);
+  w->PutStringView(value);
+  version.Encode(w);
+  w->PutU32(client);
+  w->PutU64(req);
+  w->PutU32(ack_at);
+  w->PutU64(epoch);
+  w->PutVarU64(chain_seq);
+  EncodeDeps(deps, w);
+  trace.Encode(w);
+}
+bool CrxChainPutView::Decode(ByteReader* r) {
+  return r->GetStringView(&key) && r->GetStringView(&value) && version.Decode(r) &&
+         r->GetU32(&client) && r->GetU64(&req) && r->GetU32(&ack_at) && r->GetU64(&epoch) &&
+         r->GetVarU64(&chain_seq) && DecodeDeps(r, &deps) && trace.Decode(r);
+}
+size_t CrxChainPutView::EncodedSize() const {
+  return 4 + key.size() + 4 + value.size() + version.EncodedSize() + 4 + 8 + 4 + 8 +
+         VarU64Size(chain_seq) + EncodedDepsSize(deps) + trace.EncodedSize();
+}
+void CrxChainPutView::EncodeV2(ByteWriter* w) const {
+  w->PutStringViewVar(key);
+  w->PutStringViewVar(value);
+  version.EncodeV2(w);
+  w->PutVarU64(client);
+  w->PutVarU64(req);
+  w->PutVarU64(ack_at);
+  w->PutVarU64(epoch);
+  w->PutVarU64(chain_seq);
+  EncodeDepsV2(deps, w);
+  trace.EncodeV2(w);
+  w->PutVarU64(stable_cut);
+}
+bool CrxChainPutView::DecodeV2(ByteReader* r) {
+  uint64_t c = 0, at = 0;
+  if (!(r->GetStringViewVar(&key) && r->GetStringViewVar(&value) && version.DecodeV2(r) &&
+        r->GetVarU64(&c) && c <= UINT32_MAX && r->GetVarU64(&req) && r->GetVarU64(&at) &&
+        at <= UINT32_MAX && r->GetVarU64(&epoch) && r->GetVarU64(&chain_seq) &&
+        DecodeDepsV2(r, &deps) && trace.DecodeV2(r) && r->GetVarU64(&stable_cut))) {
+    return false;
+  }
+  client = static_cast<Address>(c);
+  ack_at = static_cast<ChainIndex>(at);
+  return true;
+}
+size_t CrxChainPutView::EncodedSizeV2() const {
+  return VarStringSize(key) + VarStringSize(value) + version.EncodedSizeV2() +
+         VarU64Size(client) + VarU64Size(req) + VarU64Size(ack_at) + VarU64Size(epoch) +
+         VarU64Size(chain_seq) + EncodedDepsSizeV2(deps) + trace.EncodedSizeV2() +
+         VarU64Size(stable_cut);
+}
+CrxChainPut CrxChainPutView::ToOwned() const {
+  CrxChainPut m;
+  m.key = Key(key);
+  m.value = Value(value);
+  m.version = version;
+  m.client = client;
+  m.req = req;
+  m.ack_at = ack_at;
+  m.epoch = epoch;
+  m.chain_seq = chain_seq;
+  m.deps.assign(deps.begin(), deps.end());
+  m.trace = trace;
+  m.stable_cut = stable_cut;
+  return m;
+}
+CrxChainPutView CrxChainPutView::From(const CrxChainPut& m) {
+  CrxChainPutView v;
+  v.key = m.key;
+  v.value = m.value;
+  v.version = m.version;
+  v.client = m.client;
+  v.req = m.req;
+  v.ack_at = m.ack_at;
+  v.epoch = m.epoch;
+  v.chain_seq = m.chain_seq;
+  v.deps.assign(m.deps.begin(), m.deps.end());
+  v.trace = m.trace;
+  v.stable_cut = m.stable_cut;
+  return v;
+}
+
+void CrxGetView::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutU32(client);
+  w->PutStringView(key);
+  min_version.Encode(w);
+  w->PutBool(with_deps);
+}
+bool CrxGetView::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetU32(&client) && r->GetStringView(&key) &&
+         min_version.Decode(r) && r->GetBool(&with_deps);
+}
+void CrxGetView::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutVarU64(client);
+  w->PutStringViewVar(key);
+  min_version.EncodeV2(w);
+  w->PutBool(with_deps);
+}
+bool CrxGetView::DecodeV2(ByteReader* r) {
+  uint64_t c = 0;
+  if (!(r->GetVarU64(&req) && r->GetVarU64(&c) && c <= UINT32_MAX && r->GetStringViewVar(&key) &&
+        min_version.DecodeV2(r) && r->GetBool(&with_deps))) {
+    return false;
+  }
+  client = static_cast<Address>(c);
+  return true;
+}
+size_t CrxGetView::EncodedSizeV2() const {
+  return VarU64Size(req) + VarU64Size(client) + VarStringSize(key) +
+         min_version.EncodedSizeV2() + 1;
+}
+size_t CrxGetView::EncodedSize() const {
+  return 8 + 4 + 4 + key.size() + min_version.EncodedSize() + 1;
+}
+CrxGet CrxGetView::ToOwned() const {
+  CrxGet m;
+  m.req = req;
+  m.client = client;
+  m.key = Key(key);
+  m.min_version = min_version;
+  m.with_deps = with_deps;
+  return m;
+}
+CrxGetView CrxGetView::From(const CrxGet& m) {
+  CrxGetView v;
+  v.req = m.req;
+  v.client = m.client;
+  v.key = m.key;
+  v.min_version = m.min_version;
+  v.with_deps = m.with_deps;
+  return v;
+}
+
+void CrxGetReplyView::Encode(ByteWriter* w) const {
+  w->PutU64(req);
+  w->PutStringView(key);
+  w->PutBool(found);
+  w->PutStringView(value);
+  version.Encode(w);
+  w->PutU32(position);
+  w->PutBool(stable);
+  EncodeDeps(deps, w);
+}
+bool CrxGetReplyView::Decode(ByteReader* r) {
+  return r->GetU64(&req) && r->GetStringView(&key) && r->GetBool(&found) &&
+         r->GetStringView(&value) && version.Decode(r) && r->GetU32(&position) &&
+         r->GetBool(&stable) && DecodeDeps(r, &deps);
+}
+size_t CrxGetReplyView::EncodedSize() const {
+  return 8 + 4 + key.size() + 1 + 4 + value.size() + version.EncodedSize() + 4 + 1 +
+         EncodedDepsSize(deps);
+}
+void CrxGetReplyView::EncodeV2(ByteWriter* w) const {
+  w->PutVarU64(req);
+  w->PutStringViewVar(key);
+  w->PutBool(found);
+  w->PutStringViewVar(value);
+  version.EncodeV2(w);
+  w->PutVarU64(position);
+  w->PutBool(stable);
+  EncodeDepsV2(deps, w);
+  w->PutVarU64(wm_epoch);
+  w->PutVarU64(stable_wm);
+}
+bool CrxGetReplyView::DecodeV2(ByteReader* r) {
+  uint64_t pos = 0;
+  if (!(r->GetVarU64(&req) && r->GetStringViewVar(&key) && r->GetBool(&found) &&
+        r->GetStringViewVar(&value) && version.DecodeV2(r) && r->GetVarU64(&pos) &&
+        pos <= UINT32_MAX && r->GetBool(&stable) && DecodeDepsV2(r, &deps) &&
+        r->GetVarU64(&wm_epoch) && r->GetVarU64(&stable_wm))) {
+    return false;
+  }
+  position = static_cast<ChainIndex>(pos);
+  return true;
+}
+size_t CrxGetReplyView::EncodedSizeV2() const {
+  return VarU64Size(req) + VarStringSize(key) + 1 + VarStringSize(value) +
+         version.EncodedSizeV2() + VarU64Size(position) + 1 + EncodedDepsSizeV2(deps) +
+         VarU64Size(wm_epoch) + VarU64Size(stable_wm);
 }
 
 // ------------------------ classic chain replication ------------------------

@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/bytes.h"
@@ -107,11 +108,11 @@ inline constexpr uint16_t kWireV2Flag = 0x8000;
 // Returns the type tag of a serialized message (kInvalid if too short).
 // The v2 flag bit is masked off, so dispatch switches see the same MsgType
 // regardless of the body's wire format.
-MsgType PeekType(const std::string& payload);
+MsgType PeekType(std::string_view payload);
 
 // Wire format of a serialized message (kV1 if too short — decode will fail
 // with a honest error downstream anyway).
-WireFormat PeekWireFormat(const std::string& payload);
+WireFormat PeekWireFormat(std::string_view payload);
 
 // Hot-path messages implement EncodedSize() so the writer can allocate the
 // final buffer in one shot (no growth reallocations mid-encode). Messages
@@ -143,9 +144,13 @@ std::string EncodeMessage(const M& m, WireFormat wf = WireFormat::kV1) {
 // frame whose tag carries kWireV2Flag is decoded with DecodeV2() — the
 // receiver accepts both formats unconditionally, which is what makes the
 // `wire_format` knob safe to flip per deployment (mixed traffic decodes).
+//
+// Also accepts the *View structs below: their string fields then alias
+// `payload`, so the decoded message is valid only while the frame buffer
+// is — i.e. within the current OnMessage call.
 template <typename M>
-bool DecodeMessage(const std::string& payload, M* out) {
-  ByteReader r(payload);
+bool DecodeMessage(std::string_view payload, M* out) {
+  ByteReader r(payload.data(), payload.size());
   uint16_t type = 0;
   if (!r.GetU16(&type)) {
     return false;
@@ -161,14 +166,72 @@ bool DecodeMessage(const std::string& payload, M* out) {
   return false;
 }
 
-void EncodeDeps(const std::vector<Dependency>& deps, ByteWriter* w);
-bool DecodeDeps(ByteReader* r, std::vector<Dependency>* deps);
-size_t EncodedDepsSize(const std::vector<Dependency>& deps);
+// Dependency-list codecs, generic over the container (std::vector in the
+// owned structs, the inline-capacity DepList in the hot-path view structs).
+template <typename List>
+void EncodeDeps(const List& deps, ByteWriter* w) {
+  w->PutVarU64(deps.size());
+  for (const Dependency& d : deps) {
+    d.Encode(w);
+  }
+}
+
+template <typename List>
+bool DecodeDeps(ByteReader* r, List* deps) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  deps->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(*deps)[i].Decode(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename List>
+size_t EncodedDepsSize(const List& deps) {
+  size_t n = VarU64Size(deps.size());
+  for (const Dependency& d : deps) {
+    n += d.EncodedSize();
+  }
+  return n;
+}
 
 // v2 variants: varint count, v2-encoded entries.
-void EncodeDepsV2(const std::vector<Dependency>& deps, ByteWriter* w);
-bool DecodeDepsV2(ByteReader* r, std::vector<Dependency>* deps);
-size_t EncodedDepsSizeV2(const std::vector<Dependency>& deps);
+template <typename List>
+void EncodeDepsV2(const List& deps, ByteWriter* w) {
+  w->PutVarU64(deps.size());
+  for (const Dependency& d : deps) {
+    d.EncodeV2(w);
+  }
+}
+
+template <typename List>
+bool DecodeDepsV2(ByteReader* r, List* deps) {
+  uint64_t n = 0;
+  if (!r->GetVarU64(&n) || n > (1u << 20)) {
+    return false;
+  }
+  deps->resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (!(*deps)[i].DecodeV2(r)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+template <typename List>
+size_t EncodedDepsSizeV2(const List& deps) {
+  size_t n = VarU64Size(deps.size());
+  for (const Dependency& d : deps) {
+    n += d.EncodedSizeV2();
+  }
+  return n;
+}
 
 // ---------------------------------------------------------------------------
 // ChainReaction
@@ -374,6 +437,118 @@ struct CrxWatermark {
 
   void Encode(ByteWriter* w) const;
   bool Decode(ByteReader* r);
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
+};
+
+// ---------------------------------------------------------------------------
+// Zero-copy view decoding for the hot-path Crx structs
+// ---------------------------------------------------------------------------
+//
+// The *View structs mirror their owned counterparts field for field, but
+// key/value are std::string_view aliases into the frame buffer and the
+// dependency list is an inline-capacity DepList — decoding a common put
+// touches the allocator zero times. They decode BOTH wire formats (the
+// DecodeMessage dispatch is format-blind) and encode byte-identically to
+// the owned structs, which is what lets a chain node re-encode its forward
+// frame straight from the inbound views without materializing the value.
+//
+// LIFETIME RULES (DESIGN.md §15):
+//   * A decoded view is valid only while the source buffer is alive and
+//     unmodified — in practice, only within the OnMessage call that decoded
+//     it. Both transports guarantee the receive buffer outlives the call.
+//   * Anything that must survive the call (parked puts, rejoin buffers,
+//     deferred retries) materializes via ToOwned() at the park boundary.
+//   * Encoding a view (chain forward, get reply) copies the viewed bytes
+//     into the new frame, so the encoded frame never aliases the source.
+
+struct CrxPutView {
+  static constexpr MsgType kType = MsgType::kCrxPut;
+  RequestId req = 0;
+  Address client = 0;
+  std::string_view key;
+  std::string_view value;
+  DepList deps;
+  TraceContext trace;
+  uint64_t wm_epoch = 0;
+  uint64_t dep_wm = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
+
+  // Materializes an owned copy (for parking past the view's lifetime).
+  CrxPut ToOwned() const;
+  // Views into an owned message (single code path for park-and-replay).
+  static CrxPutView From(const CrxPut& m);
+};
+
+struct CrxChainPutView {
+  static constexpr MsgType kType = MsgType::kCrxChainPut;
+  std::string_view key;
+  std::string_view value;
+  Version version;
+  Address client = 0;
+  RequestId req = 0;
+  ChainIndex ack_at = 0;
+  uint64_t epoch = 0;
+  uint64_t chain_seq = 0;
+  DepList deps;
+  TraceContext trace;
+  uint64_t stable_cut = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
+
+  CrxChainPut ToOwned() const;
+  static CrxChainPutView From(const CrxChainPut& m);
+};
+
+struct CrxGetView {
+  static constexpr MsgType kType = MsgType::kCrxGet;
+  RequestId req = 0;
+  Address client = 0;
+  std::string_view key;
+  Version min_version;
+  bool with_deps = false;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
+  void EncodeV2(ByteWriter* w) const;
+  bool DecodeV2(ByteReader* r);
+  size_t EncodedSizeV2() const;
+
+  // Materializes an owned copy (for parking past the view's lifetime).
+  CrxGet ToOwned() const;
+  // Views into an owned message (single code path for park-and-replay).
+  static CrxGetView From(const CrxGet& m);
+};
+
+struct CrxGetReplyView {
+  static constexpr MsgType kType = MsgType::kCrxGetReply;
+  RequestId req = 0;
+  std::string_view key;
+  bool found = false;
+  std::string_view value;  // may alias the answering node's store
+  Version version;
+  ChainIndex position = 0;
+  bool stable = false;
+  DepList deps;
+  uint64_t wm_epoch = 0;
+  uint64_t stable_wm = 0;
+
+  void Encode(ByteWriter* w) const;
+  bool Decode(ByteReader* r);
+  size_t EncodedSize() const;
   void EncodeV2(ByteWriter* w) const;
   bool DecodeV2(ByteReader* r);
   size_t EncodedSizeV2() const;

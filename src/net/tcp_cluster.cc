@@ -298,6 +298,7 @@ uint64_t TcpCluster::server_frames_sent() const {
 // All LoadSession state except mu/cv/remaining is touched only on the
 // session's client loop thread.
 struct TcpCluster::LoadSession {
+  TcpCluster* owner = nullptr;
   ChainReactionClient* client = nullptr;
   Rng rng{0};
   Histogram hist;
@@ -322,19 +323,22 @@ void TcpCluster::StepLoadSession(LoadSession* s) {
   const Key key = "lk-" + std::to_string(s->rng.NextBelow(s->load.key_space));
   const bool is_get =
       s->load.get_fraction > 0.0 && s->rng.NextDouble() < s->load.get_fraction;
+  // Completion captures are kept to {s, now} (16 bytes, trivially
+  // copyable): they fit std::function's small-object buffer, so issuing an
+  // op does not heap-allocate the callback.
   if (is_get) {
-    s->client->Get(key, [this, s, now](const ChainReactionClient::GetResult& r) {
+    s->client->Get(key, [s, now](const ChainReactionClient::GetResult& r) {
       r.status.ok() ? ++s->ops : ++s->failures;
       s->hist.Record(WallMicros() - now);
-      StepLoadSession(s);
+      s->owner->StepLoadSession(s);
     });
   } else {
     Value value(s->load.value_size, 'v');
     s->client->Put(key, std::move(value),
-                   [this, s, now](const ChainReactionClient::PutResult& r) {
+                   [s, now](const ChainReactionClient::PutResult& r) {
                      r.status.ok() ? ++s->ops : ++s->failures;
                      s->hist.Record(WallMicros() - now);
-                     StepLoadSession(s);
+                     s->owner->StepLoadSession(s);
                    });
   }
 }
@@ -351,6 +355,7 @@ TcpCluster::LoadResult TcpCluster::RunClosedLoop(const LoadOptions& load) {
   std::vector<std::unique_ptr<LoadSession>> sessions;
   for (size_t c = 0; c < clients_.size(); ++c) {
     auto s = std::make_unique<LoadSession>();
+    s->owner = this;
     s->client = clients_[c].get();
     s->rng = Rng(opts_.seed + 77 * (c + 1));
     s->deadline = start + load.duration;

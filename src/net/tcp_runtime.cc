@@ -53,7 +53,7 @@ class TcpRuntime::TcpEnv : public Env {
 
   Time Now() override { return NowMicros(); }
 
-  void Send(Address dst, std::string payload) override {
+  void Send(Address dst, Payload payload) override {
     rt_->SendFrame(shard_, self_, dst, std::move(payload));
   }
 
@@ -63,7 +63,7 @@ class TcpRuntime::TcpEnv : public Env {
     return id;
   }
 
-  void CancelTimer(uint64_t timer_id) override { shard_->cancelled_timers.insert(timer_id); }
+  void CancelTimer(uint64_t timer_id) override { shard_->cancelled_timers.Insert(timer_id); }
 
  private:
   TcpRuntime* rt_;
@@ -206,6 +206,7 @@ void TcpRuntime::Wakeup(Shard* shard) {
 
 void TcpRuntime::Loop(Shard* shard) {
   g_loop_shard = shard;
+  std::vector<pollfd> fds;  // reused across iterations; capacity sticks
   while (running_.load()) {
     DrainPosted(shard);
     RunTimers(shard);
@@ -213,7 +214,7 @@ void TcpRuntime::Loop(Shard* shard) {
     // work produced, before going to sleep.
     FlushAll(shard);
 
-    std::vector<pollfd> fds;
+    fds.clear();
     fds.push_back({shard->listen_fd, POLLIN, 0});
     fds.push_back({shard->wake_read_fd, POLLIN, 0});
     for (const auto& conn : shard->conns) {
@@ -229,7 +230,7 @@ void TcpRuntime::Loop(Shard* shard) {
       const Time delta = shard->timers.top().at - NowMicros();
       timeout_ms = delta <= 0 ? 0 : static_cast<int>(std::min<Time>(delta / 1000 + 1, 50));
     }
-    if (!shard->local_posted.empty()) {
+    if (!shard->local_posted.empty() || !shard->local_frames.empty()) {
       timeout_ms = 0;  // timer callbacks may have posted follow-up work
     } else {
       // Don't sleep on work posted cross-thread between drain and poll.
@@ -273,7 +274,9 @@ void TcpRuntime::Loop(Shard* shard) {
 
 void TcpRuntime::DrainPosted(Shard* shard) {
   shard->wake_armed.store(false);
-  std::deque<std::function<void()>> batch;
+  // Swap through the shard's scratch deque instead of constructing a fresh
+  // one: a default-constructed deque allocates its chunk map every cycle.
+  std::deque<std::function<void()>>& batch = shard->posted_scratch;
   {
     std::lock_guard<std::mutex> lock(shard->posted_mu);
     batch.swap(shard->posted);
@@ -281,22 +284,35 @@ void TcpRuntime::DrainPosted(Shard* shard) {
   for (auto& fn : batch) {
     fn();
   }
+  batch.clear();
   // Run same-shard work (and the work it spawns) to quiescence; socket
   // backpressure bounds how much can accumulate per cycle.
-  while (!shard->local_posted.empty()) {
-    auto fn = std::move(shard->local_posted.front());
-    shard->local_posted.pop_front();
-    fn();
+  while (!shard->local_frames.empty() || !shard->local_posted.empty()) {
+    while (!shard->local_frames.empty()) {
+      LocalFrame f = std::move(shard->local_frames.front());
+      shard->local_frames.pop_front();
+      auto entry = actors_.find(f.dst);
+      if (entry != actors_.end()) {
+        entry->second.actor->OnMessage(f.src, f.payload.view());
+      }
+    }
+    if (!shard->local_posted.empty()) {
+      auto fn = std::move(shard->local_posted.front());
+      shard->local_posted.pop_front();
+      fn();
+    }
   }
 }
 
 void TcpRuntime::RunTimers(Shard* shard) {
   const Time now = NowMicros();
   while (!shard->timers.empty() && shard->timers.top().at <= now) {
-    Timer t = shard->timers.top();
+    // Move (not copy) out of the heap: `at`/`id` are untouched by the move,
+    // so pop()'s sift-down compares stay valid, and the closure's buffer is
+    // not duplicated on every firing.
+    Timer t = std::move(const_cast<Timer&>(shard->timers.top()));
     shard->timers.pop();
-    if (auto it = shard->cancelled_timers.find(t.id); it != shard->cancelled_timers.end()) {
-      shard->cancelled_timers.erase(it);
+    if (shard->cancelled_timers.Erase(t.id)) {
       continue;
     }
     t.fn();
@@ -353,21 +369,24 @@ void TcpRuntime::ParseFrames(Shard* shard, Connection* conn) {
     if (conn->inbox.size() - offset - kFrameHeader < length) {
       break;  // incomplete
     }
-    std::string payload = conn->inbox.substr(offset + kFrameHeader, length);
+    // Zero-copy delivery: hand out a view directly into the inbox. Safe
+    // because the inbox is only mutated here and in ReadFrom, neither of
+    // which re-enters while an actor callback runs.
+    const std::string_view payload(conn->inbox.data() + offset + kFrameHeader, length);
     offset += kFrameHeader + length;
     frames_received_.fetch_add(1);
     if (m_frames_received_ != nullptr) {
       m_frames_received_->Inc();
       m_bytes_received_->Inc(kFrameHeader + length);
     }
-    Deliver(shard, src, dst, std::move(payload));
+    Deliver(shard, src, dst, payload);
   }
   if (offset > 0) {
     conn->inbox.erase(0, offset);
   }
 }
 
-void TcpRuntime::Deliver(Shard* shard, Address src, Address dst, std::string payload) {
+void TcpRuntime::Deliver(Shard* shard, Address src, Address dst, std::string_view payload) {
   auto it = actors_.find(dst);
   if (it == actors_.end()) {
     LOG_WARN("runtime on port %u: no actor %u", shard->port, dst);
@@ -375,10 +394,11 @@ void TcpRuntime::Deliver(Shard* shard, Address src, Address dst, std::string pay
   }
   if (it->second.shard != shard->index) {
     // A frame for an actor homed on another shard (e.g. sent to a stale
-    // port binding): bounce it to the owning loop so the actor's
+    // port binding): the view dies with this parse pass, so copy into an
+    // owned buffer and bounce it to the owning loop so the actor's
     // single-threaded contract holds.
     PostToLoop(it->second.shard,
-               [this, src, dst, payload = std::move(payload)]() mutable {
+               [this, src, dst, payload = std::string(payload)]() {
                  auto entry = actors_.find(dst);
                  if (entry != actors_.end()) {
                    entry->second.actor->OnMessage(src, payload);
@@ -389,16 +409,25 @@ void TcpRuntime::Deliver(Shard* shard, Address src, Address dst, std::string pay
   it->second.actor->OnMessage(src, payload);
 }
 
-void TcpRuntime::SendFrame(Shard* shard, Address src, Address dst, std::string payload) {
+void TcpRuntime::SendFrame(Shard* shard, Address src, Address dst, Payload payload) {
   // Local recipients skip the wire, like colocated processes sharing a bus.
   if (auto it = actors_.find(dst); it != actors_.end()) {
+    Shard* home = shards_[it->second.shard].get();
+    if (coalesced_io_ && g_loop_shard == home) {
+      // Same-shard fast path (the dominant case: chain hops between
+      // colocated replicas): queue a plain frame on the loop-private deque.
+      // Still deferred — never delivered inline — so Send() stays
+      // non-reentrant, but without a per-send closure allocation.
+      home->local_frames.push_back(LocalFrame{src, dst, std::move(payload)});
+      return;
+    }
     // Defer via the owning shard's posted queue: keeps Send() non-reentrant
     // on the same shard and hops threads for cross-shard destinations.
     PostToLoop(it->second.shard,
-               [this, src, dst, payload = std::move(payload)]() mutable {
+               [this, src, dst, payload = std::move(payload)]() {
                  auto entry = actors_.find(dst);
                  if (entry != actors_.end()) {
-                   entry->second.actor->OnMessage(src, payload);
+                   entry->second.actor->OnMessage(src, payload.view());
                  }
                });
     return;
@@ -465,19 +494,20 @@ void TcpRuntime::FlushOutbox(Shard* shard, Connection* conn) {
       if (niov + 2 > kMaxIov) {
         break;
       }
+      const std::string_view bytes = f.payload.view();
       if (skip < kFrameHeader) {
         iov[niov].iov_base = const_cast<char*>(f.header + skip);
         iov[niov].iov_len = kFrameHeader - skip;
         ++niov;
-        if (!f.payload.empty()) {
-          iov[niov].iov_base = const_cast<char*>(f.payload.data());
-          iov[niov].iov_len = f.payload.size();
+        if (!bytes.empty()) {
+          iov[niov].iov_base = const_cast<char*>(bytes.data());
+          iov[niov].iov_len = bytes.size();
           ++niov;
         }
       } else {
         const size_t payload_off = skip - kFrameHeader;
-        iov[niov].iov_base = const_cast<char*>(f.payload.data() + payload_off);
-        iov[niov].iov_len = f.payload.size() - payload_off;
+        iov[niov].iov_base = const_cast<char*>(bytes.data() + payload_off);
+        iov[niov].iov_len = bytes.size() - payload_off;
         ++niov;
       }
       skip = 0;

@@ -31,11 +31,12 @@
 #include <mutex>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "src/common/payload.h"
 #include "src/common/types.h"
 #include "src/net/address_book.h"
 #include "src/obs/metrics.h"
@@ -88,11 +89,13 @@ class TcpRuntime {
  private:
   class TcpEnv;
 
-  // One queued wire frame; the payload string is moved in from Env::Send
-  // and owned here until fully written.
+  // One queued wire frame; the payload is moved in from Env::Send and held
+  // here until fully written. A shared Payload lets one encoded buffer sit
+  // in many connections' outboxes at once (chain fan-out, geo ship) —
+  // immutability makes that safe even across shard threads.
   struct OutFrame {
     char header[12];  // u32 length | u32 src | u32 dst
-    std::string payload;
+    Payload payload;
   };
 
   struct Connection {
@@ -108,6 +111,110 @@ class TcpRuntime {
     uint64_t id;
     std::function<void()> fn;
     bool operator>(const Timer& other) const { return at > other.at; }
+  };
+
+  // A same-shard in-process frame awaiting delivery. Kept as a plain struct
+  // (not a posted closure) because actor-to-actor sends dominate the put
+  // hot path — a std::function capturing {src, dst, payload} exceeds the
+  // small-object buffer and would heap-allocate on every chain hop.
+  struct LocalFrame {
+    Address src = 0;
+    Address dst = 0;
+    Payload payload;
+  };
+
+  // Open-addressed set of cancelled timer ids. Every completed client
+  // request cancels its timeout timer; a node-based std::unordered_set pays
+  // one heap allocation per cancel, so this flat table keeps the steady
+  // state allocation-free. Slot value 0 = empty, 1 = tombstone (timer ids
+  // start at 2); erases tombstone, and the table rebuilds — sweeping
+  // tombstones — once live+dead entries pass half the capacity.
+  class CancelSet {
+   public:
+    void Insert(uint64_t id) {
+      if (slots_.empty() || (live_ + dead_ + 1) * 2 > slots_.size()) {
+        Rehash();
+      }
+      const size_t mask = slots_.size() - 1;
+      size_t i = Hash(id) & mask;
+      size_t tomb = kNone;
+      while (true) {
+        const uint64_t v = slots_[i];
+        if (v == id) {
+          return;
+        }
+        if (v == kTomb && tomb == kNone) {
+          tomb = i;
+        }
+        if (v == kEmpty) {
+          if (tomb != kNone) {
+            slots_[tomb] = id;
+            --dead_;
+          } else {
+            slots_[i] = id;
+          }
+          ++live_;
+          return;
+        }
+        i = (i + 1) & mask;
+      }
+    }
+
+    // Removes `id` if present; returns whether it was.
+    bool Erase(uint64_t id) {
+      if (slots_.empty()) {
+        return false;
+      }
+      const size_t mask = slots_.size() - 1;
+      size_t i = Hash(id) & mask;
+      while (true) {
+        const uint64_t v = slots_[i];
+        if (v == id) {
+          slots_[i] = kTomb;
+          --live_;
+          ++dead_;
+          return true;
+        }
+        if (v == kEmpty) {
+          return false;
+        }
+        i = (i + 1) & mask;
+      }
+    }
+
+   private:
+    static constexpr uint64_t kEmpty = 0;
+    static constexpr uint64_t kTomb = 1;
+    static constexpr size_t kNone = static_cast<size_t>(-1);
+
+    static uint64_t Hash(uint64_t x) {
+      x ^= x >> 33;
+      x *= 0xff51afd7ed558ccdULL;
+      x ^= x >> 33;
+      x *= 0xc4ceb9fe1a85ec53ULL;
+      x ^= x >> 33;
+      return x;
+    }
+
+    void Rehash() {
+      std::vector<uint64_t> old = std::move(slots_);
+      size_t want = 64;
+      while (want < (live_ + 1) * 4) {
+        want <<= 1;
+      }
+      slots_.assign(want, kEmpty);
+      live_ = 0;
+      dead_ = 0;
+      for (uint64_t v : old) {
+        if (v > kTomb) {
+          Insert(v);
+        }
+      }
+    }
+
+    std::vector<uint64_t> slots_;
+    size_t live_ = 0;
+    size_t dead_ = 0;
   };
 
   // Everything one event-loop thread owns. Only `posted` (mutex) and the
@@ -127,17 +234,24 @@ class TcpRuntime {
     std::unordered_map<Address, uint16_t> port_cache;
 
     std::priority_queue<Timer, std::vector<Timer>, std::greater<Timer>> timers;
-    std::unordered_set<uint64_t> cancelled_timers;
-    uint64_t next_timer_id = 1;
+    CancelSet cancelled_timers;
+    uint64_t next_timer_id = 2;  // 0/1 are the CancelSet's empty/tombstone marks
 
     std::mutex posted_mu;
     std::deque<std::function<void()>> posted;
+    // Loop-thread-only drain buffer, swapped with `posted` each cycle so
+    // both deques keep their chunk maps warm (no per-cycle construction).
+    std::deque<std::function<void()>> posted_scratch;
     // True while a wake byte is pending in the pipe: cross-thread posters
     // skip the write() when one is already in flight.
     std::atomic<bool> wake_armed{false};
-    // Work posted from this shard's own loop thread (actor-to-actor sends):
-    // no lock, no wake — drained before the next poll.
+    // Work posted from this shard's own loop thread: no lock, no wake —
+    // drained before the next poll.
     std::deque<std::function<void()>> local_posted;
+    // Same-shard actor-to-actor frames, drained alongside local_posted.
+    // Plain structs instead of closures: the dominant send path must not
+    // allocate per frame.
+    std::deque<LocalFrame> local_frames;
 
     std::atomic<uint64_t> outbox_bytes{0};  // mirror for the queue gauge
     std::thread thread;
@@ -154,8 +268,11 @@ class TcpRuntime {
   void AcceptNew(Shard* shard);
   void ReadFrom(Shard* shard, size_t conn_index);
   void ParseFrames(Shard* shard, Connection* conn);
-  void Deliver(Shard* shard, Address src, Address dst, std::string payload);
-  void SendFrame(Shard* shard, Address src, Address dst, std::string payload);
+  // `payload` aliases the connection's inbox; same-shard actors receive the
+  // view directly (zero copy), cross-shard bounces copy it into an owned
+  // buffer before posting.
+  void Deliver(Shard* shard, Address src, Address dst, std::string_view payload);
+  void SendFrame(Shard* shard, Address src, Address dst, Payload payload);
   void FlushOutbox(Shard* shard, Connection* conn);
   // Flushes every connection with queued frames (one writev each); called
   // once per loop iteration so frames generated in a cycle coalesce.

@@ -1,0 +1,61 @@
+// Per-phase allocation attribution for the hot put/get path.
+//
+// Production code only stamps a thread-local byte (which phase of request
+// processing this thread is currently in); it never counts anything itself.
+// Benchmarks that replace the scalar `operator new` (bench_micro,
+// bench_e16_hotpath) read the stamp inside their hook and bucket each
+// allocation by phase, which is how "allocs/op" decomposes into
+// decode / apply / encode / callback in the emitted JSON.
+//
+// Usage: enter a phase with an RAII scope; nesting restores the outer phase.
+//
+//   { AllocPhaseScope s(AllocPhase::kDecode);  DecodeMessage(...); }
+//
+// Cost when no bench hook is installed: one thread-local store per scope.
+#ifndef SRC_OBS_ALLOC_PHASE_H_
+#define SRC_OBS_ALLOC_PHASE_H_
+
+#include <cstdint>
+
+namespace chainreaction {
+
+enum class AllocPhase : uint8_t {
+  kOther = 0,     // anything outside an explicit scope (timers, setup)
+  kDecode = 1,    // wire bytes -> message struct / view
+  kApply = 2,     // protocol handler + store mutation
+  kEncode = 3,    // message struct -> wire bytes
+  kCallback = 4,  // client completion callbacks
+};
+inline constexpr size_t kAllocPhaseCount = 5;
+
+inline const char* AllocPhaseName(AllocPhase p) {
+  switch (p) {
+    case AllocPhase::kOther:    return "other";
+    case AllocPhase::kDecode:   return "decode";
+    case AllocPhase::kApply:    return "apply";
+    case AllocPhase::kEncode:   return "encode";
+    case AllocPhase::kCallback: return "callback";
+  }
+  return "?";
+}
+
+// The current thread's phase. Read by bench operator-new hooks; written only
+// through AllocPhaseScope.
+inline thread_local AllocPhase g_alloc_phase = AllocPhase::kOther;
+
+class AllocPhaseScope {
+ public:
+  explicit AllocPhaseScope(AllocPhase phase) : prev_(g_alloc_phase) {
+    g_alloc_phase = phase;
+  }
+  ~AllocPhaseScope() { g_alloc_phase = prev_; }
+  AllocPhaseScope(const AllocPhaseScope&) = delete;
+  AllocPhaseScope& operator=(const AllocPhaseScope&) = delete;
+
+ private:
+  AllocPhase prev_;
+};
+
+}  // namespace chainreaction
+
+#endif  // SRC_OBS_ALLOC_PHASE_H_

@@ -415,7 +415,7 @@ size_t TraceAssembler::MergeFrom(const TraceCollector& src) {
     }
     TraceContext ctx;
     ctx.id = trace.id;
-    ctx.hops = std::move(trace.hops);
+    ctx.hops.assign(trace.hops.begin(), trace.hops.end());
     collector_.Report(ctx);
     for (const std::string& note : trace.notes) {
       collector_.AnnotateNote(trace.id, note);
@@ -456,7 +456,7 @@ int TraceAssembler::PullHttp(uint16_t port) {
     }
     TraceContext ctx;
     ctx.id = trace.id;
-    ctx.hops = std::move(trace.hops);
+    ctx.hops.assign(trace.hops.begin(), trace.hops.end());
     collector_.Report(ctx);
     for (const std::string& note : trace.notes) {
       collector_.AnnotateNote(trace.id, note);

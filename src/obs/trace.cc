@@ -143,7 +143,21 @@ void TraceCollector::Report(const TraceContext& trace) {
     }
   }
   std::vector<TraceHop>& merged = it->second;
-  for (const TraceHop& hop : trace.hops) {
+  if (merged.empty()) {
+    merged.reserve(TraceContext::kInlineHops);
+  }
+  // Fast path: a context reported at hop N carries hops 0..N-1 of the same
+  // path, so most reports are prefix-extensions of what the collector
+  // already merged — skip the already-known prefix and only run the
+  // quadratic dedup on hops past it (divergent branches, e.g. the ack path
+  // racing the tail-stability path, land there).
+  size_t start = 0;
+  while (start < merged.size() && start < trace.hops.size() &&
+         merged[start] == trace.hops[start]) {
+    ++start;
+  }
+  for (size_t i = start; i < trace.hops.size(); ++i) {
+    const TraceHop& hop = trace.hops[i];
     if (merged.size() >= kMaxHopsPerTrace) {
       break;
     }

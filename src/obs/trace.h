@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/small_vector.h"
 #include "src/common/types.h"
 
 namespace chainreaction {
@@ -67,8 +68,15 @@ struct TraceHop {
 };
 
 struct TraceContext {
+  // Preallocated span slots: a full intra-DC put trace is 9–12 hops
+  // (client put → head recv/apply → chain recv/apply per link → k-ack →
+  // client ack), so hop capture along the hot path never allocates. Geo
+  // traces can exceed the inline capacity and spill — they are rare and
+  // already pay WAN latency.
+  static constexpr size_t kInlineHops = 12;
+
   uint64_t id = 0;  // 0 = not traced
-  std::vector<TraceHop> hops;
+  SmallVector<TraceHop, kInlineHops> hops;
 
   bool active() const { return id != 0; }
 

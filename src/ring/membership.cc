@@ -163,7 +163,7 @@ void MembershipService::HandleMigCommit(const MigCommit& msg) {
   Broadcast(msg.pre_synced);
 }
 
-void MembershipService::OnMessage(Address /*from*/, const std::string& payload) {
+void MembershipService::OnMessage(Address /*from*/, std::string_view payload) {
   switch (PeekType(payload)) {
     case MsgType::kMemHeartbeat: {
       MemHeartbeat hb;

@@ -61,7 +61,7 @@ class MembershipService : public Actor {
   // Per-node vnode counts, parallel to nodes().
   std::vector<uint32_t> Weights() const;
 
-  void OnMessage(Address from, const std::string& payload) override;
+  void OnMessage(Address from, std::string_view payload) override;
 
  private:
   void RebuildRing();

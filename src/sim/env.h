@@ -9,7 +9,9 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 
+#include "src/common/payload.h"
 #include "src/common/types.h"
 
 namespace chainreaction {
@@ -22,8 +24,10 @@ class Env {
   virtual Time Now() = 0;
 
   // Asynchronously delivers `payload` to `dst`. Links are reliable and FIFO
-  // per (src, dst) pair unless the simulation injects faults.
-  virtual void Send(Address dst, std::string payload) = 0;
+  // per (src, dst) pair unless the simulation injects faults. A std::string
+  // converts implicitly (owned, one move); fan-out senders pass a shared
+  // Payload so one encoded frame serves every destination (DESIGN.md §15).
+  virtual void Send(Address dst, Payload payload) = 0;
 
   // Runs `fn` after `delay`. Returns a timer id usable with CancelTimer.
   virtual uint64_t Schedule(Duration delay, std::function<void()> fn) = 0;
@@ -34,7 +38,11 @@ class Env {
 class Actor {
  public:
   virtual ~Actor() = default;
-  virtual void OnMessage(Address from, const std::string& payload) = 0;
+  // `payload` aliases the transport's receive buffer and is valid ONLY for
+  // the duration of the call: decode what you need, copy what you keep.
+  // This is what lets both transports deliver frames without a per-message
+  // heap copy (DESIGN.md §15).
+  virtual void OnMessage(Address from, std::string_view payload) = 0;
 };
 
 }  // namespace chainreaction

@@ -24,7 +24,7 @@ class SimEnv : public Env {
 
   Time Now() override { return net_->sim_->Now(); }
 
-  void Send(Address dst, std::string payload) override {
+  void Send(Address dst, Payload payload) override {
     net_->Send(self_, dst, std::move(payload));
   }
 
@@ -102,7 +102,7 @@ Duration SimNetwork::SampleLatency(SiteId from, SiteId to) {
   return link.base + jitter;
 }
 
-void SimNetwork::Send(Address src, Address dst, std::string payload) {
+void SimNetwork::Send(Address src, Address dst, Payload payload) {
   auto src_it = endpoints_.find(src);
   auto dst_it = endpoints_.find(dst);
   if (src_it == endpoints_.end() || dst_it == endpoints_.end()) {
@@ -126,8 +126,9 @@ void SimNetwork::Send(Address src, Address dst, std::string payload) {
 
   bytes_sent_ += payload.size();
   if (payload.size() >= 2) {
-    const uint16_t tag = static_cast<uint16_t>(static_cast<uint8_t>(payload[0]) |
-                                               (static_cast<uint8_t>(payload[1]) << 8));
+    const std::string_view bytes = payload.view();
+    const uint16_t tag = static_cast<uint16_t>(static_cast<uint8_t>(bytes[0]) |
+                                               (static_cast<uint8_t>(bytes[1]) << 8));
     bytes_by_tag_[tag] += payload.size();
   }
   if (m_bytes_ != nullptr) {
@@ -159,7 +160,7 @@ void SimNetwork::Send(Address src, Address dst, std::string payload) {
   });
 }
 
-void SimNetwork::Deliver(Address src, Address dst, std::string payload) {
+void SimNetwork::Deliver(Address src, Address dst, Payload payload) {
   auto it = endpoints_.find(dst);
   if (it == endpoints_.end() || crashed_.contains(dst)) {
     CountDrop();
@@ -191,7 +192,7 @@ void SimNetwork::Deliver(Address src, Address dst, std::string payload) {
       m_delivered_->Inc();
     }
     it2->second->processed++;
-    it2->second->actor->OnMessage(src, payload);
+    it2->second->actor->OnMessage(src, payload.view());
   });
 }
 

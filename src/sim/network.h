@@ -27,6 +27,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/payload.h"
 #include "src/common/rng.h"
 #include "src/common/types.h"
 #include "src/obs/metrics.h"
@@ -72,7 +73,7 @@ class SimNetwork {
   // Overrides the latency of the (a, b) site pair in both directions.
   void SetInterSiteLatency(SiteId a, SiteId b, LinkModel link);
 
-  void Send(Address src, Address dst, std::string payload);
+  void Send(Address src, Address dst, Payload payload);
 
   // Fault injection --------------------------------------------------------
   void Crash(Address addr);       // silently drops all traffic to/from addr
@@ -104,7 +105,7 @@ class SimNetwork {
   struct Endpoint;
 
   Duration SampleLatency(SiteId from, SiteId to);
-  void Deliver(Address src, Address dst, std::string payload);
+  void Deliver(Address src, Address dst, Payload payload);
   void CountDrop() {
     messages_dropped_++;
     if (m_dropped_ != nullptr) {

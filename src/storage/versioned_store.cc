@@ -28,8 +28,8 @@ void VersionedStore::AttachEngine(std::unique_ptr<StorageEngine> engine) {
   engine_ = std::move(engine);
 }
 
-bool VersionedStore::Apply(const Key& key, Value value, const Version& version,
-                           std::vector<Dependency> deps) {
+bool VersionedStore::Apply(const Key& key, std::string_view value, const Version& version,
+                           std::span<const Dependency> deps) {
   KeyState& ks = table_[key];
   // Insertion point in ascending LWW order.
   auto it = std::lower_bound(
@@ -40,13 +40,13 @@ bool VersionedStore::Apply(const Key& key, Value value, const Version& version,
   }
   StoredVersion sv;
   sv.version = version;
-  sv.deps = std::move(deps);
+  sv.deps.assign(deps.begin(), deps.end());
   TrackUnstable(version);
   if (!engine_->inline_values()) {
     sv.handle = engine_->Append(key, version, value);
   }
   const size_t value_bytes = value.size();
-  sv.value = std::move(value);
+  sv.value.assign(value.data(), value.size());  // the single owned copy
   sv.resident = true;
   auto inserted = ks.versions.insert(it, std::move(sv));
   inline_bytes_ += value_bytes;
@@ -80,7 +80,7 @@ bool VersionedStore::Adopt(const Key& key, const Version& version,
   }
   StoredVersion sv;
   sv.version = version;
-  sv.deps = std::move(deps);
+  sv.deps.assign(deps.begin(), deps.end());  // recovery path; copy is cold
   TrackUnstable(version);
   sv.handle = handle;
   sv.resident = false;
@@ -336,7 +336,12 @@ uint64_t VersionedStore::resident_versions() const {
 
 void VersionedStore::TrackUnstable(const Version& v) {
   if (wm_tracking_ && v.origin == wm_origin_) {
-    unstable_lamports_[v.lamport]++;
+    auto [it, fresh] = unstable_lamports_cache_.Claim(unstable_lamports_, v.lamport);
+    if (fresh) {
+      it->second = 1;  // recycled nodes keep the old count; reset it
+    } else {
+      it->second++;
+    }
   }
 }
 
@@ -346,7 +351,7 @@ void VersionedStore::UntrackUnstable(const Version& v) {
   }
   auto it = unstable_lamports_.find(v.lamport);
   if (it != unstable_lamports_.end() && --it->second == 0) {
-    unstable_lamports_.erase(it);
+    unstable_lamports_cache_.Erase(unstable_lamports_, it);
   }
 }
 

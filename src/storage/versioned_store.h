@@ -31,10 +31,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "src/common/node_cache.h"
+#include "src/common/small_vector.h"
 #include "src/common/types.h"
 #include "src/common/version.h"
 #include "src/engine/storage_engine.h"
@@ -46,7 +50,10 @@ struct StoredVersion {
   Version version;
   bool stable = false;
   // Write-time dependency list (served to multi-get read transactions).
-  std::vector<Dependency> deps;
+  // Inline capacity 2: the client's accessed-set collapses to one entry per
+  // acked write, so nearly every stored list fits without a heap block —
+  // the apply path stays at one allocation (the value copy) per replica.
+  SmallVector<Dependency, 2> deps;
 
   // Engine bookkeeping (disk engine only; dormant under the mem engine).
   ValueHandle handle;
@@ -74,9 +81,12 @@ class VersionedStore {
   uint64_t cache_budget() const { return cache_budget_; }
 
   // Inserts (value, version) for key. Returns true if newly applied, false
-  // if this exact version was already present.
-  bool Apply(const Key& key, Value value, const Version& version,
-             std::vector<Dependency> deps = {});
+  // if this exact version was already present. `value` may alias a transport
+  // receive buffer (the zero-copy put path): the store makes its own copy —
+  // the only one on the apply path — before returning. `deps` is borrowed
+  // for the call (any contiguous Dependency range: vector or DepList).
+  bool Apply(const Key& key, std::string_view value, const Version& version,
+             std::span<const Dependency> deps = {});
 
   // Re-registers an already-logged version during checkpoint recovery: the
   // engine holds the bytes at `handle`; nothing is written. Returns false
@@ -192,6 +202,9 @@ class VersionedStore {
   bool wm_tracking_ = false;
   DcId wm_origin_ = 0;
   std::map<uint64_t, uint32_t> unstable_lamports_;
+  // Every apply inserts a lamport here and every stabilization erases one;
+  // recycling the map node keeps watermark tracking off the allocator.
+  MapNodeCache<std::map<uint64_t, uint32_t>> unstable_lamports_cache_;
 
   std::unique_ptr<StorageEngine> engine_;
   uint64_t cache_budget_ = 64u << 20;

@@ -40,7 +40,8 @@ class CheckpointTest : public ::testing::Test {
 
 TEST_F(CheckpointTest, RoundTripPreservesEverything) {
   VersionedStore store;
-  store.Apply("a", "a1", V(1, 0, {1, 0}), {Dependency{"z", V(9, 1, {0, 3}), true}});
+  const std::vector<Dependency> a1_deps = {Dependency{"z", V(9, 1, {0, 3}), true}};
+  store.Apply("a", "a1", V(1, 0, {1, 0}), a1_deps);
   store.Apply("a", "a2", V(2, 0, {2, 0}));
   store.MarkStable("a", V(1, 0, {1, 0}));
   store.Apply("b", "b-geo", V(5, 1, {0, 1}));
@@ -196,7 +197,7 @@ TEST_F(CheckpointTest, LoadsFormatV1Files) {
   payload.PutString("v1-value");
   V(3, 0, {3}).Encode(&payload);
   payload.PutBool(true);
-  EncodeDeps({}, &payload);
+  EncodeDeps(std::vector<Dependency>{}, &payload);
 
   ByteWriter file;
   file.PutU32(0x43525843);  // magic
@@ -225,7 +226,7 @@ TEST_F(CheckpointTest, LoadsFormatV2Files) {
   payload.PutString("v2-value");
   V(4, 0, {4}).Encode(&payload);
   payload.PutBool(false);
-  EncodeDeps({}, &payload);
+  EncodeDeps(std::vector<Dependency>{}, &payload);
 
   ByteWriter file;
   file.PutU32(0x43525843);  // magic

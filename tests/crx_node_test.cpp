@@ -249,7 +249,7 @@ TEST(CrxProtocol, RetriedPutIsDeduplicated) {
 
   class RawClient : public Actor {
    public:
-    void OnMessage(Address, const std::string& payload) override {
+    void OnMessage(Address, std::string_view payload) override {
       CrxPutAck ack;
       if (DecodeMessage(payload, &ack)) {
         acks.push_back(ack.version);

@@ -30,9 +30,9 @@ Version V(uint64_t lamport, DcId origin, std::initializer_list<uint64_t> vv) {
 // checks (playing a tail whose data is stable).
 class ScriptedActor : public Actor {
  public:
-  void OnMessage(Address from, const std::string& payload) override {
+  void OnMessage(Address from, std::string_view payload) override {
     from_addresses.push_back(from);
-    payloads.push_back(payload);
+    payloads.emplace_back(payload);
     const MsgType type = PeekType(payload);
     counts[type]++;
     if (type == MsgType::kCrxStabilityCheck && auto_confirm_checks && env != nullptr) {

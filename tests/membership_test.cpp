@@ -12,7 +12,7 @@ namespace {
 
 class RecordingActor : public Actor {
  public:
-  void OnMessage(Address, const std::string& payload) override {
+  void OnMessage(Address, std::string_view payload) override {
     MemNewMembership m;
     if (DecodeMessage(payload, &m)) {
       epochs.push_back(m.epoch);
@@ -112,7 +112,7 @@ TEST(Repair, StaleEpochChainPutsDropped) {
   // Find the node object to address it through a raw registered sender.
   class Sender : public Actor {
    public:
-    void OnMessage(Address, const std::string&) override {}
+    void OnMessage(Address, std::string_view) override {}
   } sender;
   Env* env = cluster.net()->Register(kClientAddressBase + 500, &sender, 0);
   env->Send(victim, EncodeMessage(stale));

@@ -247,7 +247,7 @@ TEST(Migration, CrashDuringMigrationAbortsCleanlyAndRetrySucceeds) {
 
 class SnapshotDoneRecorder : public Actor {
  public:
-  void OnMessage(Address, const std::string& payload) override {
+  void OnMessage(Address, std::string_view payload) override {
     MigSnapshotDone m;
     if (PeekType(payload) == MsgType::kMigSnapshotDone && DecodeMessage(payload, &m)) {
       dones.push_back(m);

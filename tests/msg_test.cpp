@@ -1,6 +1,8 @@
 // Serialization round-trip and robustness tests for every wire message.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/common/rng.h"
 #include "src/msg/message.h"
 
@@ -1104,6 +1106,197 @@ TEST(MessageFuzz, GarbageNeverCrashes) {
                          MemNewMembership, MemHeartbeat, MemSyncKey, MemSyncDone,
                          MigSnapshotRequest, MigKeyBatch, MigSnapshotDone, MigRangeSealed,
                          MigCommit, MigAbort>(garbage);
+  }
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy view decoders (CrxPutView / CrxChainPutView / CrxGetView /
+// CrxGetReplyView): parity with the owned decoders on both wire formats,
+// buffer-lifetime discipline, and fuzz-lite robustness.
+// ---------------------------------------------------------------------------
+
+CrxPut SampleCrxPut() {
+  CrxPut m;
+  m.req = 77;
+  m.client = 1234;
+  m.key = "view-key";
+  m.value = std::string(300, 'v');
+  m.deps = SampleDeps();
+  m.wm_epoch = 4;
+  m.dep_wm = 99;
+  m.trace.id = 0xabcdef;
+  m.trace.Annotate(HopKind::kClientPut, 1234, 0, 2, 17);
+  return m;
+}
+
+CrxChainPut SampleCrxChainPut() {
+  CrxChainPut m;
+  m.key = "chain-key";
+  m.value = std::string(128, 'c');
+  m.version = SampleVersion();
+  m.client = 17;
+  m.req = 3;
+  m.ack_at = 2;
+  m.epoch = 8;
+  m.chain_seq = 41;
+  m.deps = SampleDeps();
+  m.stable_cut = 12345;
+  return m;
+}
+
+CrxGet SampleCrxGet() {
+  CrxGet m;
+  m.req = 5;
+  m.client = 42;
+  m.key = "get-key";
+  m.min_version = SampleVersion();
+  m.with_deps = true;
+  return m;
+}
+
+CrxGetReply SampleCrxGetReply() {
+  CrxGetReply m;
+  m.req = 5;
+  m.key = "get-key";
+  m.found = true;
+  m.value = std::string(64, 'r');
+  m.version = SampleVersion();
+  m.position = 3;
+  m.stable = true;
+  m.deps = SampleDeps();
+  m.wm_epoch = 2;
+  m.stable_wm = 10;
+  return m;
+}
+
+// Each hot-path struct: the view decoder must see exactly what the owned
+// decoder sees, on both wire formats, and encode-from-view must produce
+// byte-identical frames to encode-from-owned.
+template <typename Owned, typename View>
+void CheckViewParity(const Owned& m) {
+  for (const WireFormat wf : {WireFormat::kV1, WireFormat::kV2}) {
+    const std::string frame = EncodeMessage(m, wf);
+
+    Owned owned;
+    View view;
+    ASSERT_TRUE(DecodeMessage(frame, &owned));
+    ASSERT_TRUE(DecodeMessage(frame, &view));
+
+    // Encode parity: the view round-trips to the identical byte stream.
+    EXPECT_EQ(EncodeMessage(view, wf), frame);
+    // And ToOwned() produces a struct that re-encodes identically too.
+    EXPECT_EQ(EncodeMessage(view.ToOwned(), wf), frame);
+
+    // The view's string fields alias the frame (zero-copy, not a copy that
+    // happens to compare equal).
+    const char* lo = frame.data();
+    const char* hi = frame.data() + frame.size();
+    EXPECT_TRUE(view.key.data() >= lo && view.key.data() + view.key.size() <= hi);
+  }
+}
+
+TEST(MessageView, ParityAllHotPathStructs) {
+  CheckViewParity<CrxPut, CrxPutView>(SampleCrxPut());
+  CheckViewParity<CrxChainPut, CrxChainPutView>(SampleCrxChainPut());
+  CheckViewParity<CrxGet, CrxGetView>(SampleCrxGet());
+  // CrxGetReplyView has no ToOwned (replies are consumed within the call);
+  // check decode + encode parity by hand.
+  for (const WireFormat wf : {WireFormat::kV1, WireFormat::kV2}) {
+    const std::string frame = EncodeMessage(SampleCrxGetReply(), wf);
+    CrxGetReplyView view;
+    ASSERT_TRUE(DecodeMessage(frame, &view));
+    EXPECT_EQ(EncodeMessage(view, wf), frame);
+    EXPECT_EQ(view.value, SampleCrxGetReply().value);
+    ASSERT_EQ(view.deps.size(), 2u);
+    EXPECT_EQ(std::string(view.deps[0].key), "dep-key-1");
+  }
+}
+
+TEST(MessageView, FromOwnedMatchesDecodedView) {
+  const CrxChainPut m = SampleCrxChainPut();
+  const CrxChainPutView v = CrxChainPutView::From(m);
+  EXPECT_EQ(v.key, m.key);
+  EXPECT_EQ(v.value, m.value);
+  EXPECT_EQ(v.chain_seq, m.chain_seq);
+  EXPECT_EQ(v.deps.size(), m.deps.size());
+  // From() aliases the owned struct's strings — same zero-copy contract.
+  EXPECT_EQ(v.key.data(), m.key.data());
+  EXPECT_EQ(v.value.data(), m.value.data());
+}
+
+// Lifetime rule: a view dies with its buffer; anything that must outlive
+// the buffer goes through ToOwned() *before* the buffer is mutated or
+// freed. Under ASan this test additionally proves ToOwned() shares no
+// storage with the frame: the frame is heap-freed and every owned byte is
+// then read.
+TEST(MessageView, ToOwnedSurvivesBufferDestruction) {
+  const CrxPut original = SampleCrxPut();
+  auto frame = std::make_unique<std::string>(EncodeMessage(original));
+  CrxPutView view;
+  ASSERT_TRUE(DecodeMessage(*frame, &view));
+  CrxPut owned = view.ToOwned();
+  frame.reset();  // view is now dangling; owned must not be
+  EXPECT_EQ(owned.key, original.key);
+  EXPECT_EQ(owned.value, original.value);
+  ASSERT_EQ(owned.deps.size(), original.deps.size());
+  EXPECT_EQ(owned.deps[0].key, original.deps[0].key);
+  EXPECT_TRUE(owned.trace.id == original.trace.id);
+}
+
+// Mutating the buffer after decode changes what the view reads (it aliases,
+// never snapshots) — while a pre-mutation ToOwned() copy is unaffected.
+// This pins the aliasing contract the node relies on: all view reads happen
+// before any store GC or buffer reuse can touch the frame.
+TEST(MessageView, ViewAliasesMutatedBufferButOwnedCopyDoesNot) {
+  std::string frame = EncodeMessage(SampleCrxChainPut());
+  CrxChainPutView view;
+  ASSERT_TRUE(DecodeMessage(frame, &view));
+  const CrxChainPut owned = view.ToOwned();
+  ASSERT_FALSE(view.value.empty());
+  const size_t value_off = static_cast<size_t>(view.value.data() - frame.data());
+  frame[value_off] = 'X';  // in-place mutation, no reallocation
+  EXPECT_EQ(view.value[0], 'X');            // the view tracks the buffer
+  EXPECT_EQ(owned.value[0], 'c');           // the owned copy does not
+}
+
+// Fuzz-lite: every truncation of a valid frame and 300 random single-byte
+// mutations must never crash the view decoders (failure is fine; memory
+// errors are not — this runs under ASan in CI).
+template <typename View>
+void FuzzViewDecoder(const std::string& frame, Rng* rng) {
+  for (size_t len = 0; len < frame.size(); ++len) {
+    View v;
+    DecodeMessage(std::string_view(frame.data(), len), &v);
+  }
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = frame;
+    mutated[rng->NextBelow(mutated.size())] =
+        static_cast<char>(rng->NextBelow(256));
+    View v;
+    DecodeMessage(mutated, &v);
+  }
+}
+
+TEST(MessageView, FuzzLiteTruncationAndMutation) {
+  Rng rng(99);
+  for (const WireFormat wf : {WireFormat::kV1, WireFormat::kV2}) {
+    {
+      const std::string f = EncodeMessage(SampleCrxPut(), wf);
+      FuzzViewDecoder<CrxPutView>(f, &rng);
+    }
+    {
+      const std::string f = EncodeMessage(SampleCrxChainPut(), wf);
+      FuzzViewDecoder<CrxChainPutView>(f, &rng);
+    }
+    {
+      const std::string f = EncodeMessage(SampleCrxGet(), wf);
+      FuzzViewDecoder<CrxGetView>(f, &rng);
+    }
+    {
+      const std::string f = EncodeMessage(SampleCrxGetReply(), wf);
+      FuzzViewDecoder<CrxGetReplyView>(f, &rng);
+    }
   }
   SUCCEED();
 }

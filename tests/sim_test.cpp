@@ -91,8 +91,8 @@ TEST(Simulator, StepReturnsFalseWhenEmpty) {
 // A test actor that records everything it receives.
 class RecordingActor : public Actor {
  public:
-  void OnMessage(Address from, const std::string& payload) override {
-    received.push_back({from, payload});
+  void OnMessage(Address from, std::string_view payload) override {
+    received.emplace_back(from, std::string(payload));
   }
   std::vector<std::pair<Address, std::string>> received;
 };
@@ -143,7 +143,7 @@ TEST(SimNetwork, ServiceTimeSerializesProcessing) {
   class TimedActor : public Actor {
    public:
     explicit TimedActor(Simulator* sim, std::vector<Time>* times) : sim_(sim), times_(times) {}
-    void OnMessage(Address, const std::string&) override { times_->push_back(sim_->Now()); }
+    void OnMessage(Address, std::string_view) override { times_->push_back(sim_->Now()); }
 
    private:
     Simulator* sim_;
